@@ -1,0 +1,692 @@
+// Package streamloader's root benchmark harness regenerates every table and
+// figure of the paper's evaluation surface, as indexed in DESIGN.md §4 and
+// recorded in EXPERIMENTS.md:
+//
+//	E1  Table 1   BenchmarkTable1_*          per-operation throughput
+//	E2  Figure 1  BenchmarkFigure1_*         end-to-end over the network
+//	E3  Figure 2  BenchmarkFigure2_*         validate/translate/sample
+//	E4  Figure 3  BenchmarkFigure3_*         monitoring overhead
+//	E5  Scenario  BenchmarkScenario_Osaka    the demo dataflow, one day
+//	E6  P3        BenchmarkP3_HotSwap        reconfiguration cycle
+//	A1–A4         BenchmarkAblation_*        design-choice ablations
+//
+// Run with: go test -bench=. -benchmem
+package streamloader
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/dsn"
+	"streamloader/internal/executor"
+	"streamloader/internal/geo"
+	"streamloader/internal/monitor"
+	"streamloader/internal/network"
+	"streamloader/internal/ops"
+	"streamloader/internal/pubsub"
+	"streamloader/internal/sensor"
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+)
+
+var benchT0 = time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+
+// ---------------------------------------------------------------------------
+// E1 — Table 1: per-operation throughput microbenchmarks.
+// ---------------------------------------------------------------------------
+
+var benchWeather = stt.MustSchema([]stt.Field{
+	stt.NewField("temperature", stt.KindFloat, "celsius"),
+	stt.NewField("humidity", stt.KindFloat, "percent"),
+	stt.NewField("station", stt.KindString, ""),
+}, stt.GranSecond, stt.SpatCellDistrict, "weather")
+
+// benchTuples builds n deterministic weather tuples, one per second.
+func benchTuples(n int) []*stt.Tuple {
+	out := make([]*stt.Tuple, n)
+	stations := []string{"umeda", "namba", "tennoji", "sakai"}
+	for i := 0; i < n; i++ {
+		tup := &stt.Tuple{
+			Schema: benchWeather,
+			Values: []stt.Value{
+				stt.Float(15 + float64(i%20)),
+				stt.Float(40 + float64(i%50)),
+				stt.String(stations[i%4]),
+			},
+			Time:  benchT0.Add(time.Duration(i) * time.Second),
+			Lat:   34.5 + float64(i%40)*0.01,
+			Lon:   135.3 + float64(i%40)*0.01,
+			Theme: "weather", Source: "bench",
+			Seq: uint64(i),
+		}
+		out[i] = tup.AlignSTT()
+	}
+	return out
+}
+
+// runOpBench drives one operator over the prepared tuples b.N times and
+// reports tuples/sec.
+func runOpBench(b *testing.B, tuples []*stt.Tuple, mk func() ops.Operator) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := mk()
+		in := stream.New("in", benchWeather, 1024)
+		out := stream.New("out", op.OutSchema(), 1024)
+		go func() {
+			for _, t := range tuples {
+				in.Send(t)
+			}
+			in.SendWatermark(tuples[len(tuples)-1].Time)
+			in.Close()
+		}()
+		done := make(chan error, 1)
+		go func() { done <- op.Run([]*stream.Stream{in}, out) }()
+		out.Drain()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+const opBenchTuples = 100_000
+
+func BenchmarkTable1_Filter(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewFilter("f", "temperature > 25", benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_Transform(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewTransform("t", []ops.TransformStep{
+			{Op: "convert_unit", Field: "temperature", ToUnit: "fahrenheit"},
+			{Op: "validate", Rule: "temperature > -100"},
+		}, benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_VirtualProperty(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewVirtualProperty("v", "apparent_temp",
+			"temperature + 0.33*(humidity/100*6.105*exp(17.27*temperature/(237.7+temperature))) - 4",
+			"celsius", benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_CullTime(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewCullTime("ct", 0.9,
+			benchT0, benchT0.Add(time.Duration(opBenchTuples)*time.Second), benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_CullSpace(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewCullSpace("cs", 0.9, geo.Osaka, benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_Aggregation(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewAggregate("a", time.Minute, []string{"station"},
+			ops.AggAvg, "temperature", benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_TriggerOn(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	act := benchActivator{}
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewTriggerOn("tr", time.Minute, "temperature > 30",
+			[]string{"rain-1"}, ops.TriggerAny, act, nil, benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+func BenchmarkTable1_TriggerOff(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	act := benchActivator{}
+	runOpBench(b, tuples, func() ops.Operator {
+		op, err := ops.NewTriggerOff("tr", time.Minute, "temperature < 16",
+			[]string{"rain-1"}, ops.TriggerAny, act, nil, benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return op
+	})
+}
+
+type benchActivator struct{}
+
+func (benchActivator) Activate(string) error   { return nil }
+func (benchActivator) Deactivate(string) error { return nil }
+
+func BenchmarkTable1_Join(b *testing.B) {
+	// Join is two-input: drive it directly rather than via runOpBench.
+	const n = 20_000
+	left := benchTuples(n)
+	right := benchTuples(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, err := ops.NewJoin("j", time.Minute, "left.station == right.station",
+			benchWeather, benchWeather)
+		if err != nil {
+			b.Fatal(err)
+		}
+		l := stream.New("l", benchWeather, 1024)
+		r := stream.New("r", benchWeather, 1024)
+		out := stream.New("out", op.OutSchema(), 1024)
+		feed := func(s *stream.Stream, tuples []*stt.Tuple) {
+			for _, t := range tuples {
+				s.Send(t)
+				s.SendWatermark(t.Time)
+			}
+			s.Close()
+		}
+		go feed(l, left)
+		go feed(r, right)
+		done := make(chan error, 1)
+		go func() { done <- op.Run([]*stream.Stream{l, r}, out) }()
+		out.Drain()
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(2*n*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+// ---------------------------------------------------------------------------
+// Shared deployment rig for the system-level benchmarks.
+// ---------------------------------------------------------------------------
+
+type benchRig struct {
+	net     *network.Network
+	broker  *pubsub.Broker
+	sensors map[string]*sensor.Sensor
+	mon     *monitor.Monitor
+	exec    *executor.Executor
+}
+
+// newBenchRig builds a topology of the given size with fast 1 Hz temperature
+// sensors (and optional extras), a monitor, and a replay executor.
+func newBenchRig(b *testing.B, nodes int, withMonitor bool, strategy network.Strategy,
+	buffer int, extra []sensor.Spec) *benchRig {
+	b.Helper()
+	net, err := network.Star(network.TopologyConfig{
+		Nodes: nodes, Area: geo.Osaka, Capacity: 1000, BandwidthKbps: 1e9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	broker := pubsub.NewBroker("bench")
+	sensors := map[string]*sensor.Sensor{}
+	specs := append([]sensor.Spec{
+		{ID: "temp-1", Type: sensor.TypeTemperature, Location: geo.OsakaCenter,
+			NodeID: "node-00", Seed: 1, FrequencyHz: 1},
+	}, extra...)
+	for _, spec := range specs {
+		s, err := sensor.New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sensors[s.ID()] = s
+		if err := broker.Publish(s.Meta()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var mon *monitor.Monitor
+	if withMonitor {
+		mon = monitor.New()
+	}
+	if strategy == nil {
+		strategy = network.LeastLoaded{}
+	}
+	exec, err := executor.New(executor.Config{
+		Network: net, Broker: broker, Strategy: strategy, Monitor: mon,
+		Clock:  stream.NewVirtualClock(time.Unix(0, 0)),
+		Buffer: buffer,
+		Sensors: func(id string) (executor.SensorSource, bool) {
+			s, ok := sensors[id]
+			return s, ok
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &benchRig{net: net, broker: broker, sensors: sensors, mon: mon, exec: exec}
+}
+
+// pipelineSpec builds source -> filter -> (optional aggregate) -> sink.
+func pipelineSpec(name string, blocking bool) *dataflow.Spec {
+	spec := &dataflow.Spec{
+		Name: name,
+		Nodes: []dataflow.NodeSpec{
+			{ID: "src", Kind: "source", Sensor: "temp-1"},
+			{ID: "f", Kind: "filter", Cond: "temperature > -100"},
+			{ID: "out", Kind: "sink", Sink: "discard"},
+		},
+	}
+	if blocking {
+		spec.Nodes = append(spec.Nodes[:2:2],
+			dataflow.NodeSpec{ID: "agg", Kind: "aggregate", IntervalMS: 60_000,
+				Func: "AVG", Attr: "temperature"},
+			spec.Nodes[2])
+		spec.Edges = []dataflow.EdgeSpec{
+			{From: "src", To: "f"}, {From: "f", To: "agg"}, {From: "agg", To: "out"},
+		}
+	} else {
+		spec.Edges = []dataflow.EdgeSpec{
+			{From: "src", To: "f"}, {From: "f", To: "out"},
+		}
+	}
+	return spec
+}
+
+// replayBench deploys the spec fresh per iteration and replays one hour of
+// event time (3600 tuples at 1 Hz), reporting tuples/sec.
+func replayBench(b *testing.B, rig *benchRig, spec *dataflow.Spec) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := rig.exec.Deploy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Run(benchT0, benchT0.Add(time.Hour)); err != nil {
+			b.Fatal(err)
+		}
+		d.Undeploy()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(3600*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+}
+
+// ---------------------------------------------------------------------------
+// E2 — Figure 1: end-to-end execution across the network.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigure1_EndToEnd(b *testing.B) {
+	for _, nodes := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			rig := newBenchRig(b, nodes, false, nil, 0, nil)
+			replayBench(b, rig, pipelineSpec("e2e", false))
+		})
+	}
+	for _, chain := range []string{"nonblocking", "blocking"} {
+		b.Run("chain="+chain, func(b *testing.B) {
+			rig := newBenchRig(b, 4, false, nil, 0, nil)
+			replayBench(b, rig, pipelineSpec("e2e", chain == "blocking"))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E3 — Figure 2: the design environment (validate, translate, sample).
+// ---------------------------------------------------------------------------
+
+// osakaSpec is the paper's Figure 2 dataflow against the bench fleet.
+func osakaSpec() *dataflow.Spec {
+	return &dataflow.Spec{
+		Name: "osaka",
+		Nodes: []dataflow.NodeSpec{
+			{ID: "temp", Kind: "source", Sensor: "temp-1"},
+			{ID: "hot", Kind: "trigger_on", IntervalMS: 3600_000,
+				Cond: "temperature > 25", Targets: []string{"rain-1", "tweet-1", "traffic-1"}},
+			{ID: "tsink", Kind: "sink", Sink: "discard"},
+			{ID: "rain", Kind: "source", Sensor: "rain-1"},
+			{ID: "torr", Kind: "filter", Cond: "rain_rate > 30"},
+			{ID: "rsink", Kind: "sink", Sink: "discard"},
+			{ID: "tweets", Kind: "source", Sensor: "tweet-1"},
+			{ID: "cull", Kind: "cull_space", Rate: 0.5, Area: &geo.Osaka},
+			{ID: "wsink", Kind: "sink", Sink: "discard"},
+			{ID: "traffic", Kind: "source", Sensor: "traffic-1"},
+			{ID: "cong", Kind: "aggregate", IntervalMS: 600_000, Func: "AVG", Attr: "congestion"},
+			{ID: "csink", Kind: "sink", Sink: "discard"},
+		},
+		Edges: []dataflow.EdgeSpec{
+			{From: "temp", To: "hot"}, {From: "hot", To: "tsink"},
+			{From: "rain", To: "torr"}, {From: "torr", To: "rsink"},
+			{From: "tweets", To: "cull"}, {From: "cull", To: "wsink"},
+			{From: "traffic", To: "cong"}, {From: "cong", To: "csink"},
+		},
+	}
+}
+
+func osakaSensors() []sensor.Spec {
+	return []sensor.Spec{
+		{ID: "rain-1", Type: sensor.TypeRain, Location: geo.Point{Lat: 34.65, Lon: 135.43},
+			NodeID: "node-00", Seed: 2, FrequencyHz: 1},
+		{ID: "tweet-1", Type: sensor.TypeTweet, Location: geo.Point{Lat: 34.70, Lon: 135.50},
+			NodeID: "node-01", Seed: 3, FrequencyHz: 2},
+		{ID: "traffic-1", Type: sensor.TypeTraffic, Location: geo.Point{Lat: 34.68, Lon: 135.52},
+			NodeID: "node-01", Seed: 4, FrequencyHz: 1},
+	}
+}
+
+func BenchmarkFigure2_ValidateTranslate(b *testing.B) {
+	rig := newBenchRig(b, 2, false, nil, 0, osakaSensors())
+	spec := osakaSpec()
+	resolver := dataflow.ResolverFunc(func(id string) (*stt.Schema, bool) {
+		if meta, ok := rig.broker.Get(id); ok {
+			return meta.Schema, true
+		}
+		return nil, false
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, diags := dataflow.Compile(spec, resolver, rig.broker, nil)
+		if diags.HasErrors() {
+			b.Fatal(diags)
+		}
+		doc, err := dsn.Translate(spec, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dsn.Parse(doc.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2_SampleDebug(b *testing.B) {
+	rig := newBenchRig(b, 2, false, nil, 0, osakaSensors())
+	spec := osakaSpec()
+	resolver := dataflow.ResolverFunc(func(id string) (*stt.Schema, bool) {
+		if meta, ok := rig.broker.Get(id); ok {
+			return meta.Schema, true
+		}
+		return nil, false
+	})
+	// 10 samples per source, as the design UI would request.
+	samples := map[string][]*stt.Tuple{}
+	for nodeID, sensorID := range map[string]string{
+		"temp": "temp-1", "rain": "rain-1", "tweets": "tweet-1", "traffic": "traffic-1",
+	} {
+		gen := rig.sensors[sensorID]
+		var tuples []*stt.Tuple
+		ts := benchT0
+		for i := 0; i < 10; i++ {
+			tuples = append(tuples, gen.At(ts))
+			ts = ts.Add(gen.Period())
+		}
+		samples[nodeID] = tuples
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, diags := dataflow.Compile(spec, resolver, rig.broker, nil)
+		if diags.HasErrors() {
+			b.Fatal(diags)
+		}
+		if _, err := dataflow.Debug(plan, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E4 — Figure 3: monitoring overhead and statistics collection.
+// ---------------------------------------------------------------------------
+
+func BenchmarkFigure3_Monitor(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "monitor=off"
+		if on {
+			name = "monitor=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			rig := newBenchRig(b, 4, on, nil, 0, nil)
+			replayBench(b, rig, pipelineSpec("mon", true))
+		})
+	}
+}
+
+func BenchmarkFigure3_Snapshot(b *testing.B) {
+	rig := newBenchRig(b, 4, true, nil, 0, nil)
+	d, err := rig.exec.Deploy(pipelineSpec("snap", true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Undeploy()
+	if err := d.Run(benchT0, benchT0.Add(time.Hour)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rig.mon.Snapshot(benchT0, true)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// E5 — the Osaka scenario end to end (one replayed day).
+// ---------------------------------------------------------------------------
+
+func BenchmarkScenario_Osaka(b *testing.B) {
+	rig := newBenchRig(b, 4, true, network.Locality{}, 0, osakaSensors())
+	spec := osakaSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := rig.exec.Deploy(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Run(benchT0, benchT0.AddDate(0, 0, 1)); err != nil {
+			b.Fatal(err)
+		}
+		d.Undeploy()
+		// Reset activations for the next iteration.
+		for _, id := range []string{"rain-1", "tweet-1", "traffic-1"} {
+			_ = rig.broker.Deactivate(id)
+		}
+	}
+	b.StopTimer()
+	// One day at 1 Hz temp + 1 Hz rain + 2 Hz tweets + 1 Hz traffic.
+	b.ReportMetric(float64(5*86400*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// ---------------------------------------------------------------------------
+// E6 — P3: hot reconfiguration (stop -> swap -> resume) cycle time.
+// ---------------------------------------------------------------------------
+
+func BenchmarkP3_HotSwap(b *testing.B) {
+	rig := newBenchRig(b, 2, false, nil, 0, nil)
+	d, err := rig.exec.Deploy(pipelineSpec("swap", false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Undeploy()
+	if err := d.Run(benchT0, benchT0.Add(time.Minute)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cond := "temperature > -100"
+		if i%2 == 1 {
+			cond = "temperature > -200"
+		}
+		if err := d.SwapOperator(dataflow.NodeSpec{ID: "f", Kind: "filter", Cond: cond}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A1 — ablation: placement strategies.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_Placement(b *testing.B) {
+	for _, name := range []string{"round-robin", "random", "least-loaded", "locality"} {
+		b.Run(name, func(b *testing.B) {
+			strat, err := network.NewStrategy(name, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rig := newBenchRig(b, 8, false, strat, 0, nil)
+			// Four copies of the pipeline so strategies have room to differ.
+			specs := make([]*dataflow.Spec, 4)
+			for i := range specs {
+				specs[i] = pipelineSpec(fmt.Sprintf("place%d", i), true)
+			}
+			var remoteTuples uint64
+			var maxUtil float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var ds []*executor.Deployment
+				for _, spec := range specs {
+					d, err := rig.exec.Deploy(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ds = append(ds, d)
+				}
+				// Peak node utilization characterizes the balance quality.
+				for _, u := range rig.net.Utilization() {
+					if u > maxUtil {
+						maxUtil = u
+					}
+				}
+				for _, d := range ds {
+					if err := d.Run(benchT0, benchT0.Add(time.Hour)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Cross-node traffic characterizes the strategy; read it
+				// before Undeploy releases the flows.
+				for _, id := range rig.net.Flows() {
+					tuples, _ := rig.net.TransferStats(id)
+					remoteTuples += tuples
+				}
+				for _, d := range ds {
+					d.Undeploy()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(specs)*3600*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+			b.ReportMetric(float64(remoteTuples)/float64(b.N), "xfer-tuples/op")
+			b.ReportMetric(maxUtil*1000, "max-load-millis")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A2 — ablation: blocking window interval t.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_Window(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	for _, interval := range []time.Duration{100 * time.Millisecond, time.Second, 10 * time.Second, time.Minute} {
+		b.Run(fmt.Sprintf("t=%s", interval), func(b *testing.B) {
+			runOpBench(b, tuples, func() ops.Operator {
+				op, err := ops.NewAggregate("a", interval, []string{"station"},
+					ops.AggAvg, "temperature", benchWeather)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return op
+			})
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A3 — ablation: stream buffer size.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_Buffer(b *testing.B) {
+	for _, buffer := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("buffer=%d", buffer), func(b *testing.B) {
+			rig := newBenchRig(b, 4, false, nil, buffer, nil)
+			replayBench(b, rig, pipelineSpec("buf", false))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A4 — ablation: cull reducing rate r.
+// ---------------------------------------------------------------------------
+
+func BenchmarkAblation_Cull(b *testing.B) {
+	tuples := benchTuples(opBenchTuples)
+	for _, rate := range []float64{0, 0.5, 0.9, 0.99} {
+		b.Run(fmt.Sprintf("r=%v", rate), func(b *testing.B) {
+			// Cull feeding an aggregation: downstream cost scales with 1-r.
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cull, err := ops.NewCullSpace("c", rate, geo.Osaka, benchWeather)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg, err := ops.NewAggregate("a", time.Minute, nil, ops.AggAvg, "temperature", benchWeather)
+				if err != nil {
+					b.Fatal(err)
+				}
+				in := stream.New("in", benchWeather, 1024)
+				mid := stream.New("mid", benchWeather, 1024)
+				out := stream.New("out", agg.OutSchema(), 1024)
+				go func() {
+					for _, t := range tuples {
+						in.Send(t)
+					}
+					in.Close()
+				}()
+				go cull.Run([]*stream.Stream{in}, mid)
+				done := make(chan error, 1)
+				go func() { done <- agg.Run([]*stream.Stream{mid}, out) }()
+				out.Drain()
+				if err := <-done; err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/sec")
+		})
+	}
+}

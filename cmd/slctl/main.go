@@ -1,0 +1,273 @@
+// Command slctl operates on StreamLoader dataflow specs from the command
+// line, against an in-process simulated deployment (network + sensor fleet):
+//
+//	slctl validate  flow.json        check the dataflow's consistency
+//	slctl sample    flow.json -n 10  run sample tuples through every node
+//	slctl translate flow.json        print the DSN document
+//	slctl run       flow.json -duration 1h   replay and print statistics
+//
+// Common flags configure the simulated substrate: -nodes, -topology, -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/dsn"
+	"streamloader/internal/executor"
+	"streamloader/internal/geo"
+	"streamloader/internal/monitor"
+	"streamloader/internal/network"
+	"streamloader/internal/pubsub"
+	"streamloader/internal/sensor"
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+	"streamloader/internal/viz"
+	"streamloader/internal/warehouse"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: slctl <command> <flow.json> [flags]
+
+commands:
+  validate    check dataflow consistency against the simulated sensor fleet
+  sample      run sample tuples through every node (design-time debugging)
+  translate   print the dataflow's DSN document
+  run         deploy and replay the dataflow, printing statistics
+
+flags:
+`)
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slctl: ")
+	var (
+		nodes    = flag.Int("nodes", 4, "number of network nodes")
+		topology = flag.String("topology", "star", "network topology")
+		seed     = flag.Int64("seed", 42, "fleet seed")
+		n        = flag.Int("n", 10, "sample tuples per source (sample)")
+		duration = flag.Duration("duration", time.Hour, "replay duration (run)")
+		start    = flag.String("start", "2016-03-15T09:00:00Z", "replay start (run, RFC3339)")
+	)
+	if len(os.Args) < 3 {
+		usage()
+	}
+	cmd, specPath := os.Args[1], os.Args[2]
+	_ = flag.CommandLine.Parse(os.Args[3:])
+
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := dataflow.ParseSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rig, err := buildRig(*topology, *nodes, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "validate":
+		diags := dataflow.Validate(spec, rig.resolver())
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if diags.HasErrors() {
+			os.Exit(1)
+		}
+		fmt.Println("dataflow is consistent: it can be soundly translated")
+
+	case "sample":
+		runSample(rig, spec, *n)
+
+	case "translate":
+		plan, diags := dataflow.Compile(spec, rig.resolver(), rig.broker, nil)
+		if diags.HasErrors() {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(1)
+		}
+		doc, err := dsn.Translate(spec, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(doc.String())
+
+	case "run":
+		from, err := time.Parse(time.RFC3339, *start)
+		if err != nil {
+			log.Fatalf("bad -start: %v", err)
+		}
+		runReplay(rig, spec, from, from.Add(*duration))
+
+	default:
+		usage()
+	}
+}
+
+// rig bundles the simulated substrate slctl operates against.
+type rig struct {
+	net     *network.Network
+	broker  *pubsub.Broker
+	sensors map[string]*sensor.Sensor
+	mon     *monitor.Monitor
+	wh      *warehouse.Warehouse
+	board   *viz.Board
+	exec    *executor.Executor
+	clock   *stream.VirtualClock
+}
+
+func buildRig(topology string, nodes int, seed int64) (*rig, error) {
+	net, err := network.Build(topology, network.TopologyConfig{
+		Nodes: nodes, Area: geo.Osaka, Capacity: 100, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	broker := pubsub.NewBroker("slctl")
+	fleet, err := sensor.BuildFleet(sensor.FleetConfig{
+		Region: geo.Osaka, Counts: sensor.DefaultCounts(), Nodes: net.Nodes(), Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sensor.PublishFleet(broker, fleet); err != nil {
+		return nil, err
+	}
+	sensors := map[string]*sensor.Sensor{}
+	for _, s := range fleet {
+		sensors[s.ID()] = s
+	}
+	mon := monitor.New()
+	wh := warehouse.New()
+	board, err := viz.NewBoard(geo.Osaka, 40, 20, "")
+	if err != nil {
+		return nil, err
+	}
+	clock := stream.NewVirtualClock(time.Unix(0, 0))
+	exec, err := executor.New(executor.Config{
+		Network: net, Broker: broker, Strategy: network.Locality{},
+		Monitor: mon, Clock: clock,
+		Sensors: func(id string) (executor.SensorSource, bool) {
+			s, ok := sensors[id]
+			return s, ok
+		},
+		Sinks: func(kind, nodeID string, schema *stt.Schema) (executor.Sink, error) {
+			switch kind {
+			case "warehouse":
+				return warehouse.Sink{W: wh}, nil
+			case "viz":
+				return board, nil
+			default:
+				return nil, fmt.Errorf("unknown sink %q", kind)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &rig{
+		net: net, broker: broker, sensors: sensors,
+		mon: mon, wh: wh, board: board, exec: exec, clock: clock,
+	}, nil
+}
+
+func (r *rig) resolver() dataflow.SensorResolver {
+	return dataflow.ResolverFunc(func(id string) (*stt.Schema, bool) {
+		if meta, ok := r.broker.Get(id); ok {
+			return meta.Schema, true
+		}
+		return nil, false
+	})
+}
+
+func runSample(r *rig, spec *dataflow.Spec, n int) {
+	plan, diags := dataflow.Compile(spec, r.resolver(), r.broker, nil)
+	if diags.HasErrors() {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(1)
+	}
+	samples := map[string][]*stt.Tuple{}
+	start := time.Date(2016, 3, 15, 12, 0, 0, 0, time.UTC)
+	for _, pn := range plan.Nodes {
+		if pn.SensorID == "" {
+			continue
+		}
+		gen, ok := r.sensors[pn.SensorID]
+		if !ok {
+			continue
+		}
+		var tuples []*stt.Tuple
+		gen.Emit(start, start.Add(time.Duration(n)*gen.Period()), func(t *stt.Tuple) bool {
+			tuples = append(tuples, t)
+			return len(tuples) < n
+		})
+		samples[pn.ID] = tuples
+	}
+	res, err := dataflow.Debug(plan, samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := make([]string, 0, len(res.Outputs))
+	for id := range res.Outputs {
+		nodes = append(nodes, id)
+	}
+	sort.Strings(nodes)
+	for _, id := range nodes {
+		fmt.Printf("== %s (%d tuples)\n", id, len(res.Outputs[id]))
+		for i, tup := range res.Outputs[id] {
+			if i >= 5 {
+				fmt.Printf("   ... %d more\n", len(res.Outputs[id])-5)
+				break
+			}
+			fmt.Printf("   %s\n", tup)
+		}
+	}
+}
+
+func runReplay(r *rig, spec *dataflow.Spec, from, to time.Time) {
+	d, err := r.exec.Deploy(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Undeploy()
+	fmt.Println("== DSN")
+	fmt.Print(d.DSNText())
+	fmt.Println("== SCN")
+	fmt.Print(d.SCNScript())
+	started := time.Now()
+	if err := d.Run(from, to); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== replayed %s of event time in %v\n", to.Sub(from), time.Since(started).Round(time.Millisecond))
+	rep := r.mon.Snapshot(r.clock.Now(), false)
+	fmt.Println("== operations")
+	for _, op := range rep.Ops {
+		fmt.Printf("   %-16s node=%-8s in=%-8d out=%-8d dropped=%d\n",
+			op.Name, op.Node, op.In, op.Out, op.Dropped)
+	}
+	if r.wh.Len() > 0 {
+		fmt.Printf("== warehouse: %d events\n", r.wh.Len())
+	}
+	if r.board.Snapshot().Total > 0 {
+		fmt.Println("== viz")
+		fmt.Print(r.board.RenderASCII())
+	}
+	for _, ev := range r.mon.Events() {
+		fmt.Printf("   event: %s\n", ev)
+	}
+}

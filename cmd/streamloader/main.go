@@ -1,0 +1,119 @@
+// Command streamloader runs the StreamLoader Web application: it builds a
+// simulated programmable network over the Osaka area, plugs in a mixed
+// sensor fleet through the publish/subscribe layer, and serves the dataflow
+// design/validation/translation/deployment/monitoring API plus the embedded
+// dashboard on the configured address.
+//
+// Usage:
+//
+//	streamloader [-addr :8080] [-topology star] [-nodes 8] [-capacity 100]
+//	             [-seed 42] [-live=true]
+//
+// With -live (default) sources pace in real time; with -live=false the
+// server replays event-time ranges at full speed, which is what the
+// benchmarks and demos use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"streamloader/internal/executor"
+	"streamloader/internal/geo"
+	"streamloader/internal/monitor"
+	"streamloader/internal/network"
+	"streamloader/internal/pubsub"
+	"streamloader/internal/sensor"
+	"streamloader/internal/server"
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+	"streamloader/internal/viz"
+	"streamloader/internal/warehouse"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		topology = flag.String("topology", "star", "network topology: star, line, tree, random")
+		nodes    = flag.Int("nodes", 8, "number of network nodes")
+		capacity = flag.Float64("capacity", 100, "per-node processing capacity")
+		seed     = flag.Int64("seed", 42, "random seed for the sensor fleet")
+		live     = flag.Bool("live", true, "pace sources in real time (false: replay at full speed)")
+		strategy = flag.String("placement", "locality", "placement strategy: round-robin, random, least-loaded, locality")
+	)
+	flag.Parse()
+
+	net, err := network.Build(*topology, network.TopologyConfig{
+		Nodes: *nodes, Area: geo.Osaka, Capacity: *capacity, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatalf("building network: %v", err)
+	}
+	broker := pubsub.NewBroker("main")
+	fleet, err := sensor.BuildFleet(sensor.FleetConfig{
+		Region: geo.Osaka,
+		Counts: sensor.DefaultCounts(),
+		Nodes:  net.Nodes(),
+		Seed:   *seed,
+	})
+	if err != nil {
+		log.Fatalf("building fleet: %v", err)
+	}
+	if err := sensor.PublishFleet(broker, fleet); err != nil {
+		log.Fatalf("publishing fleet: %v", err)
+	}
+	sensors := map[string]*sensor.Sensor{}
+	for _, s := range fleet {
+		sensors[s.ID()] = s
+	}
+
+	mon := monitor.New()
+	wh := warehouse.New()
+	board, err := viz.NewBoard(geo.Osaka, 40, 20, "")
+	if err != nil {
+		log.Fatalf("building viz board: %v", err)
+	}
+
+	var clock stream.Clock = stream.WallClock{}
+	if !*live {
+		clock = stream.NewVirtualClock(time.Now().UTC())
+	}
+	strat, err := network.NewStrategy(*strategy, *seed)
+	if err != nil {
+		log.Fatalf("placement: %v", err)
+	}
+	exec, err := executor.New(executor.Config{
+		Network:  net,
+		Broker:   broker,
+		Strategy: strat,
+		Monitor:  mon,
+		Clock:    clock,
+		Sensors: func(id string) (executor.SensorSource, bool) {
+			s, ok := sensors[id]
+			return s, ok
+		},
+		Sinks: func(kind, nodeID string, schema *stt.Schema) (executor.Sink, error) {
+			switch kind {
+			case "warehouse":
+				return warehouse.Sink{W: wh}, nil
+			case "viz":
+				return board, nil
+			default:
+				return nil, fmt.Errorf("unknown sink %q", kind)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatalf("executor: %v", err)
+	}
+
+	srv := server.New(net, broker, exec, mon, wh, board, sensors)
+	log.Printf("streamloader: %d sensors on %d %s nodes, dashboard at http://localhost%s/",
+		len(fleet), *nodes, *topology, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package dataflow
+
+import (
+	"fmt"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/ops"
+)
+
+// Builder assembles dataflow specs programmatically — the API equivalent of
+// dragging operations onto the design canvas and wiring them. Each method
+// adds a node and returns a handle used for wiring:
+//
+//	b := dataflow.NewBuilder("osaka")
+//	temp := b.Source("temp", "temp-osaka-1")
+//	hot := b.Filter("hot", "temperature > 25").From(temp)
+//	b.SinkNode("out", "warehouse").From(hot)
+//	spec, err := b.Spec()
+//
+// Errors accumulate; Spec returns the first one.
+type Builder struct {
+	spec Spec
+	errs []error
+	used map[string]bool
+}
+
+// NewBuilder starts a dataflow with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{spec: Spec{Name: name}, used: map[string]bool{}}
+}
+
+// Handle identifies a node for wiring.
+type Handle struct {
+	b  *Builder
+	id string
+}
+
+// ID returns the node ID the handle refers to.
+func (h Handle) ID() string { return h.id }
+
+// From wires the output of each upstream handle into this node, in port
+// order (a join takes its left input from the first and its right from the
+// second).
+func (h Handle) From(upstream ...Handle) Handle {
+	for port, up := range upstream {
+		h.b.spec.Edges = append(h.b.spec.Edges, EdgeSpec{From: up.id, To: h.id, Port: port})
+	}
+	return h
+}
+
+func (b *Builder) add(n NodeSpec) Handle {
+	if n.ID == "" {
+		b.errs = append(b.errs, fmt.Errorf("dataflow builder: node with empty ID"))
+	} else if b.used[n.ID] {
+		b.errs = append(b.errs, fmt.Errorf("dataflow builder: duplicate node %q", n.ID))
+	}
+	b.used[n.ID] = true
+	b.spec.Nodes = append(b.spec.Nodes, n)
+	return Handle{b: b, id: n.ID}
+}
+
+// Source adds a sensor-bound source.
+func (b *Builder) Source(id, sensorID string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindSource), Sensor: sensorID})
+}
+
+// Filter adds σ(s, cond).
+func (b *Builder) Filter(id, cond string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindFilter), Cond: cond})
+}
+
+// Virtual adds ⊎s⟨property, spec⟩.
+func (b *Builder) Virtual(id, property, spec, unit string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindVirtual),
+		Property: property, Spec: spec, Unit: unit})
+}
+
+// CullTime adds γr(s, ⟨from,to⟩).
+func (b *Builder) CullTime(id string, rate float64, from, to time.Time) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindCullTime), Rate: rate,
+		From: from.UTC().Format(time.RFC3339), To: to.UTC().Format(time.RFC3339)})
+}
+
+// CullSpace adds γr(s, ⟨coord1,coord2⟩).
+func (b *Builder) CullSpace(id string, rate float64, area geo.Rect) Handle {
+	a := area
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindCullSpace), Rate: rate, Area: &a})
+}
+
+// Transform adds ◇trans s with the given reconciliation steps.
+func (b *Builder) Transform(id string, steps ...ops.TransformStep) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindTransform), Steps: steps})
+}
+
+// Aggregate adds @[t,groupBy]fn(attr).
+func (b *Builder) Aggregate(id string, every time.Duration, fn ops.AggFunc, attr string, groupBy ...string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindAggregate),
+		IntervalMS: every.Milliseconds(), Func: string(fn), Attr: attr, GroupBy: groupBy})
+}
+
+// Join adds s1 ⋈t_pred s2. Wire it with From(left, right).
+func (b *Builder) Join(id string, every time.Duration, predicate string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindJoin),
+		IntervalMS: every.Milliseconds(), Predicate: predicate})
+}
+
+// TriggerOn adds ⊕ON,t(s, targets, cond).
+func (b *Builder) TriggerOn(id string, every time.Duration, cond string, targets ...string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindTriggerOn),
+		IntervalMS: every.Milliseconds(), Cond: cond, Targets: targets})
+}
+
+// TriggerOff adds ⊕OFF,t(s, targets, cond).
+func (b *Builder) TriggerOff(id string, every time.Duration, cond string, targets ...string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindTriggerOff),
+		IntervalMS: every.Milliseconds(), Cond: cond, Targets: targets})
+}
+
+// SinkNode adds a destination ("warehouse", "viz", "collect", "discard").
+func (b *Builder) SinkNode(id, kind string) Handle {
+	return b.add(NodeSpec{ID: id, Kind: string(ops.KindSink), Sink: kind})
+}
+
+// Spec finalizes the dataflow, returning the first accumulated error.
+func (b *Builder) Spec() (*Spec, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	spec := b.spec
+	return &spec, nil
+}

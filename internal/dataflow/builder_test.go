@@ -1,0 +1,106 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/ops"
+)
+
+func TestBuilderSimple(t *testing.T) {
+	b := NewBuilder("built")
+	src := b.Source("src", "temp-1")
+	hot := b.Filter("hot", "temperature > 25").From(src)
+	b.SinkNode("out", "collect").From(hot)
+	spec, err := b.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "built" || len(spec.Nodes) != 3 || len(spec.Edges) != 2 {
+		t.Fatalf("spec: %+v", spec)
+	}
+	diags := Validate(spec, testResolver())
+	if diags.HasErrors() {
+		t.Fatalf("built spec invalid: %v", diags)
+	}
+}
+
+func TestBuilderAllNodeKinds(t *testing.T) {
+	b := NewBuilder("kitchen-sink")
+	temp := b.Source("temp", "temp-1")
+	rain := b.Source("rain", "rain-1")
+	f := b.Filter("f", "temperature > 0").From(temp)
+	v := b.Virtual("v", "t2", "temperature * 2", "celsius").From(f)
+	ct := b.CullTime("ct", 0.5,
+		time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC),
+		time.Date(2016, 3, 16, 0, 0, 0, 0, time.UTC)).From(v)
+	cs := b.CullSpace("cs", 0.9, geo.Osaka).From(ct)
+	tr := b.Transform("tr", ops.TransformStep{Op: "rename", Field: "rain_rate", NewName: "rate"}).From(rain)
+	on := b.TriggerOn("on", time.Hour, "temperature > 25", "rain-1").From(cs)
+	ag := b.Aggregate("ag", time.Minute, ops.AggAvg, "temperature", "station").From(on)
+	j := b.Join("j", time.Minute, "left.avg_temperature > right.rate").From(ag, tr)
+	b.SinkNode("out", "collect").From(j)
+	off := b.TriggerOff("off", time.Hour, "temperature < 5", "rain-1").From(temp)
+	b.SinkNode("out2", "discard").From(off)
+
+	spec, err := b.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Validate(spec, testResolver())
+	if diags.HasErrors() {
+		t.Fatalf("kitchen-sink invalid: %v", diags)
+	}
+	// Join wiring: ag on port 0, tr on port 1.
+	var joinEdges []EdgeSpec
+	for _, e := range spec.Edges {
+		if e.To == "j" {
+			joinEdges = append(joinEdges, e)
+		}
+	}
+	if len(joinEdges) != 2 || joinEdges[0].From != "ag" || joinEdges[0].Port != 0 ||
+		joinEdges[1].From != "tr" || joinEdges[1].Port != 1 {
+		t.Errorf("join wiring: %+v", joinEdges)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Source("x", "temp-1")
+	b.Filter("x", "true")
+	if _, err := b.Spec(); err == nil {
+		t.Error("duplicate ID must surface")
+	}
+	b2 := NewBuilder("empty-id")
+	b2.Filter("", "true")
+	if _, err := b2.Spec(); err == nil {
+		t.Error("empty ID must surface")
+	}
+}
+
+func TestBuilderHandleID(t *testing.T) {
+	b := NewBuilder("h")
+	h := b.Source("src", "temp-1")
+	if h.ID() != "src" {
+		t.Error("Handle.ID")
+	}
+}
+
+func TestBuilderSpecIsCopy(t *testing.T) {
+	b := NewBuilder("copy")
+	src := b.Source("src", "temp-1")
+	b.SinkNode("out", "discard").From(src)
+	s1, err := b.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Name = "mutated"
+	s2, err := b.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name != "copy" {
+		t.Error("Spec must return a copy of the builder state")
+	}
+}

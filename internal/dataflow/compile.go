@@ -1,0 +1,406 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streamloader/internal/ops"
+	"streamloader/internal/stt"
+)
+
+// SensorResolver resolves the sensors sources bind to. *pubsub.Broker is
+// adapted to it via BrokerResolver.
+type SensorResolver interface {
+	// ResolveSensor returns the schema of the sensor's stream.
+	ResolveSensor(id string) (*stt.Schema, bool)
+}
+
+// ResolverFunc adapts a function to SensorResolver.
+type ResolverFunc func(id string) (*stt.Schema, bool)
+
+// ResolveSensor calls f.
+func (f ResolverFunc) ResolveSensor(id string) (*stt.Schema, bool) { return f(id) }
+
+// SinkKinds are the destinations a sink node may select.
+var SinkKinds = map[string]bool{
+	"warehouse": true, // Event Data Warehouse [6]
+	"viz":       true, // Sticker visualization [11]
+	"collect":   true, // in-memory collection (debugging, tests)
+	"discard":   true,
+}
+
+// PlanNode is one node of a compiled plan.
+type PlanNode struct {
+	// ID is the node name from the spec.
+	ID string
+	// Kind is the operation kind.
+	Kind ops.Kind
+	// Op is the instantiated operator; nil for sources and sinks, which the
+	// executor realizes itself.
+	Op ops.Operator
+	// SensorID is set for sources.
+	SensorID string
+	// SinkKind is set for sinks.
+	SinkKind string
+	// In lists the IDs of upstream nodes in port order.
+	In []string
+	// Out lists the IDs of downstream nodes (fan-out).
+	Out []string
+	// OutSchema is the schema this node produces (nil for sinks).
+	OutSchema *stt.Schema
+}
+
+// Plan is a compiled dataflow: validated, schema-propagated, with one
+// instantiated operator per operation node, in topological order.
+type Plan struct {
+	Name  string
+	Nodes []*PlanNode
+	byID  map[string]*PlanNode
+}
+
+// Node returns the plan node with the given ID, or nil.
+func (p *Plan) Node(id string) *PlanNode {
+	return p.byID[id]
+}
+
+// Compile validates the spec and builds the runnable plan. The activator and
+// onFire hook are wired into trigger operations. On validation errors the
+// plan is nil and the diagnostics carry at least one error.
+func Compile(spec *Spec, resolver SensorResolver, activator ops.Activator,
+	onFire func(ops.FireEvent)) (*Plan, Diagnostics) {
+
+	var diags Diagnostics
+	if spec.Name == "" {
+		diags.errorf("", "dataflow needs a name")
+	}
+
+	// --- structural validation -------------------------------------------
+	nodes := map[string]*NodeSpec{}
+	for i := range spec.Nodes {
+		n := &spec.Nodes[i]
+		if n.ID == "" {
+			diags.errorf("", "node %d has an empty ID", i)
+			continue
+		}
+		if _, dup := nodes[n.ID]; dup {
+			diags.errorf(n.ID, "duplicate node ID")
+			continue
+		}
+		if !ops.Kind(n.Kind).Valid() {
+			diags.errorf(n.ID, "unknown operation kind %q", n.Kind)
+			continue
+		}
+		nodes[n.ID] = n
+	}
+
+	inEdges := map[string]map[int]string{} // node -> port -> upstream
+	outEdges := map[string][]string{}      // node -> downstreams
+	for _, e := range spec.Edges {
+		if _, ok := nodes[e.From]; !ok {
+			diags.errorf(e.From, "edge references unknown source node %q", e.From)
+			continue
+		}
+		if _, ok := nodes[e.To]; !ok {
+			diags.errorf(e.To, "edge references unknown target node %q", e.To)
+			continue
+		}
+		if e.From == e.To {
+			diags.errorf(e.From, "self loop")
+			continue
+		}
+		if e.Port < 0 || e.Port > 1 {
+			diags.errorf(e.To, "port %d out of range (0 or 1)", e.Port)
+			continue
+		}
+		ports := inEdges[e.To]
+		if ports == nil {
+			ports = map[int]string{}
+			inEdges[e.To] = ports
+		}
+		if prev, taken := ports[e.Port]; taken {
+			diags.errorf(e.To, "input port %d already connected to %q", e.Port, prev)
+			continue
+		}
+		ports[e.Port] = e.From
+		outEdges[e.From] = append(outEdges[e.From], e.To)
+	}
+
+	// Arity checks.
+	for id, n := range nodes {
+		kind := ops.Kind(n.Kind)
+		nIn := len(inEdges[id])
+		nOut := len(outEdges[id])
+		switch kind {
+		case ops.KindSource:
+			if nIn != 0 {
+				diags.errorf(id, "source must not have inputs")
+			}
+			if nOut == 0 {
+				diags.warnf(id, "source output is not consumed")
+			}
+		case ops.KindSink:
+			if nIn == 0 {
+				diags.errorf(id, "sink has no input")
+			}
+			if nOut != 0 {
+				diags.errorf(id, "sink must not have outputs")
+			}
+		case ops.KindJoin:
+			if nIn != 2 {
+				diags.errorf(id, "join needs inputs on ports 0 and 1, found %d", nIn)
+			} else if _, ok := inEdges[id][0]; !ok {
+				diags.errorf(id, "join is missing its port-0 (left) input")
+			} else if _, ok := inEdges[id][1]; !ok {
+				diags.errorf(id, "join is missing its port-1 (right) input")
+			}
+			if nOut == 0 {
+				diags.warnf(id, "join output is not consumed")
+			}
+		default:
+			if nIn != 1 {
+				diags.errorf(id, "%s needs exactly one input, found %d", kind, nIn)
+			} else if _, ok := inEdges[id][0]; !ok {
+				diags.errorf(id, "%s input must use port 0", kind)
+			}
+			if nOut == 0 {
+				diags.warnf(id, "%s output is not consumed", kind)
+			}
+		}
+	}
+	if len(nodes) == 0 {
+		diags.errorf("", "dataflow has no nodes")
+	}
+	if diags.HasErrors() {
+		return nil, diags
+	}
+
+	// --- topological order (and cycle detection) --------------------------
+	order, cyc := topoSort(nodes, inEdges)
+	if len(cyc) > 0 {
+		for _, id := range cyc {
+			diags.errorf(id, "node participates in a cycle")
+		}
+		return nil, diags
+	}
+
+	// --- schema propagation + operator construction -----------------------
+	plan := &Plan{Name: spec.Name, byID: map[string]*PlanNode{}}
+	schemas := map[string]*stt.Schema{}
+	for _, id := range order {
+		n := nodes[id]
+		pn := &PlanNode{ID: id, Kind: ops.Kind(n.Kind)}
+		for port := 0; port < len(inEdges[id]); port++ {
+			pn.In = append(pn.In, inEdges[id][port])
+		}
+		pn.Out = append(pn.Out, outEdges[id]...)
+		sort.Strings(pn.Out) // deterministic fan-out order
+
+		inSchema := func(port int) *stt.Schema {
+			if port < len(pn.In) {
+				return schemas[pn.In[port]]
+			}
+			return nil
+		}
+
+		switch pn.Kind {
+		case ops.KindSource:
+			if n.Sensor == "" {
+				diags.errorf(id, "source needs a sensor ID")
+				continue
+			}
+			schema, ok := resolver.ResolveSensor(n.Sensor)
+			if !ok {
+				diags.errorf(id, "unknown sensor %q (not published)", n.Sensor)
+				continue
+			}
+			pn.SensorID = n.Sensor
+			pn.OutSchema = schema
+
+		case ops.KindSink:
+			kind := n.Sink
+			if kind == "" {
+				kind = "collect"
+			}
+			if !SinkKinds[kind] {
+				diags.errorf(id, "unknown sink kind %q", n.Sink)
+				continue
+			}
+			pn.SinkKind = kind
+
+		case ops.KindJoin:
+			left, right := inSchema(0), inSchema(1)
+			if left == nil || right == nil {
+				continue // upstream failed; already diagnosed
+			}
+			// STT consistency constraint: heterogeneous granularities must
+			// be reconciled (coarsened) before composition.
+			if left.TGran != right.TGran {
+				diags.errorf(id,
+					"temporal granularity mismatch: left is %s, right is %s; insert a transform coarsen step",
+					left.TGran, right.TGran)
+				continue
+			}
+			if left.SGran != right.SGran {
+				diags.errorf(id,
+					"spatial granularity mismatch: left is %s, right is %s; insert a transform coarsen step",
+					left.SGran, right.SGran)
+				continue
+			}
+			op, err := ops.NewJoin(id, n.Interval(), n.Predicate, left, right)
+			if err != nil {
+				diags.errorf(id, "%v", err)
+				continue
+			}
+			pn.Op = op
+			pn.OutSchema = op.OutSchema()
+
+		default:
+			in := inSchema(0)
+			if in == nil {
+				continue
+			}
+			op, err := buildUnaryOp(n, in, activator, onFire)
+			if err != nil {
+				diags.errorf(id, "%v", err)
+				continue
+			}
+			pn.Op = op
+			pn.OutSchema = op.OutSchema()
+			if pn.Kind.Blocking() && n.Interval() < in.TGran.Duration() {
+				diags.warnf(id,
+					"interval %v is finer than the input's %s granularity; most windows will be empty",
+					n.Interval(), in.TGran)
+			}
+		}
+
+		schemas[id] = pn.OutSchema
+		plan.Nodes = append(plan.Nodes, pn)
+		plan.byID[id] = pn
+	}
+	if diags.HasErrors() {
+		return nil, diags
+	}
+
+	// Trigger targets must be resolvable sensors.
+	for _, n := range spec.Nodes {
+		kind := ops.Kind(n.Kind)
+		if kind != ops.KindTriggerOn && kind != ops.KindTriggerOff {
+			continue
+		}
+		for _, target := range n.Targets {
+			if _, ok := resolver.ResolveSensor(target); !ok {
+				diags.errorf(n.ID, "trigger target %q is not a published sensor", target)
+			}
+		}
+	}
+	if diags.HasErrors() {
+		return nil, diags
+	}
+	return plan, diags
+}
+
+func buildUnaryOp(n *NodeSpec, in *stt.Schema, activator ops.Activator,
+	onFire func(ops.FireEvent)) (ops.Operator, error) {
+
+	switch ops.Kind(n.Kind) {
+	case ops.KindFilter:
+		return ops.NewFilter(n.ID, n.Cond, in)
+	case ops.KindVirtual:
+		return ops.NewVirtualProperty(n.ID, n.Property, n.Spec, n.Unit, in)
+	case ops.KindCullTime:
+		from, err := time.Parse(time.RFC3339, n.From)
+		if err != nil {
+			return nil, fmt.Errorf("bad interval start %q: %v", n.From, err)
+		}
+		to, err := time.Parse(time.RFC3339, n.To)
+		if err != nil {
+			return nil, fmt.Errorf("bad interval end %q: %v", n.To, err)
+		}
+		return ops.NewCullTime(n.ID, n.Rate, from, to, in)
+	case ops.KindCullSpace:
+		if n.Area == nil {
+			return nil, fmt.Errorf("cull_space needs an area")
+		}
+		return ops.NewCullSpace(n.ID, n.Rate, *n.Area, in)
+	case ops.KindTransform:
+		return ops.NewTransform(n.ID, n.Steps, in)
+	case ops.KindAggregate:
+		return ops.NewAggregate(n.ID, n.Interval(), n.GroupBy, ops.AggFunc(n.Func), n.Attr, in)
+	case ops.KindTriggerOn:
+		return ops.NewTriggerOn(n.ID, n.Interval(), n.Cond, n.Targets, ops.TriggerMode(n.Mode), activator, onFire, in)
+	case ops.KindTriggerOff:
+		return ops.NewTriggerOff(n.ID, n.Interval(), n.Cond, n.Targets, ops.TriggerMode(n.Mode), activator, onFire, in)
+	default:
+		return nil, fmt.Errorf("unsupported kind %q", n.Kind)
+	}
+}
+
+// topoSort returns a deterministic topological order of the nodes, or the
+// IDs stuck in cycles. Determinism: among ready nodes the lexicographically
+// smallest ID goes first.
+func topoSort(nodes map[string]*NodeSpec, inEdges map[string]map[int]string) (order []string, cyclic []string) {
+	indeg := map[string]int{}
+	downstream := map[string][]string{}
+	for id := range nodes {
+		indeg[id] = 0
+	}
+	for to, ports := range inEdges {
+		for _, from := range ports {
+			indeg[to]++
+			downstream[from] = append(downstream[from], to)
+		}
+	}
+	var ready []string
+	for id, d := range indeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Strings(ready)
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		next := downstream[id]
+		sort.Strings(next)
+		added := false
+		for _, to := range next {
+			indeg[to]--
+			if indeg[to] == 0 {
+				ready = append(ready, to)
+				added = true
+			}
+		}
+		if added {
+			sort.Strings(ready)
+		}
+	}
+	if len(order) != len(nodes) {
+		seen := map[string]bool{}
+		for _, id := range order {
+			seen[id] = true
+		}
+		for id := range nodes {
+			if !seen[id] {
+				cyclic = append(cyclic, id)
+			}
+		}
+		sort.Strings(cyclic)
+	}
+	return order, cyclic
+}
+
+// noopActivator satisfies ops.Activator for validation-only compilation.
+type noopActivator struct{}
+
+func (noopActivator) Activate(string) error   { return nil }
+func (noopActivator) Deactivate(string) error { return nil }
+
+// Validate compiles the spec against the resolver without side effects and
+// returns the diagnostics. A dataflow with no error diagnostics "can be
+// soundly translated in the DSN/SCN specification".
+func Validate(spec *Spec, resolver SensorResolver) Diagnostics {
+	_, diags := Compile(spec, resolver, noopActivator{}, nil)
+	return diags
+}

@@ -1,0 +1,515 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamloader/internal/ops"
+	"streamloader/internal/stt"
+)
+
+var t0 = time.Date(2016, 3, 15, 9, 0, 0, 0, time.UTC)
+
+func tempSchema() *stt.Schema {
+	return stt.MustSchema([]stt.Field{
+		stt.NewField("temperature", stt.KindFloat, "celsius"),
+		stt.NewField("station", stt.KindString, ""),
+	}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+}
+
+func rainSchema() *stt.Schema {
+	return stt.MustSchema([]stt.Field{
+		stt.NewField("rain_rate", stt.KindFloat, "mm/h"),
+		stt.NewField("gauge", stt.KindString, ""),
+	}, stt.GranMinute, stt.SpatCellDistrict, "weather", "rain")
+}
+
+func testResolver() SensorResolver {
+	schemas := map[string]*stt.Schema{
+		"temp-1": tempSchema(),
+		"rain-1": rainSchema(),
+	}
+	return ResolverFunc(func(id string) (*stt.Schema, bool) {
+		s, ok := schemas[id]
+		return s, ok
+	})
+}
+
+// simpleSpec is source -> filter -> sink.
+func simpleSpec() *Spec {
+	return &Spec{
+		Name: "simple",
+		Nodes: []NodeSpec{
+			{ID: "src", Kind: "source", Sensor: "temp-1"},
+			{ID: "hot", Kind: "filter", Cond: "temperature > 25"},
+			{ID: "out", Kind: "sink", Sink: "collect"},
+		},
+		Edges: []EdgeSpec{
+			{From: "src", To: "hot"},
+			{From: "hot", To: "out"},
+		},
+	}
+}
+
+func TestParseEncodeSpec(t *testing.T) {
+	data, err := EncodeSpec(simpleSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "simple" || len(s.Nodes) != 3 || len(s.Edges) != 2 {
+		t.Errorf("round trip: %+v", s)
+	}
+	if s.Node("hot") == nil || s.Node("ghost") != nil {
+		t.Error("Node lookup")
+	}
+	if _, err := ParseSpec([]byte("{")); err == nil {
+		t.Error("bad JSON must fail")
+	}
+	if _, err := ParseSpec([]byte("{}")); err == nil {
+		t.Error("nameless spec must fail")
+	}
+}
+
+func TestValidateSimpleOK(t *testing.T) {
+	diags := Validate(simpleSpec(), testResolver())
+	if diags.HasErrors() {
+		t.Fatalf("valid dataflow rejected: %v", diags)
+	}
+}
+
+func TestCompilePlan(t *testing.T) {
+	plan, diags := Compile(simpleSpec(), testResolver(), noopActivator{}, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	if plan.Name != "simple" || len(plan.Nodes) != 3 {
+		t.Fatalf("plan: %+v", plan)
+	}
+	// Topological order: src before hot before out.
+	idx := map[string]int{}
+	for i, n := range plan.Nodes {
+		idx[n.ID] = i
+	}
+	if !(idx["src"] < idx["hot"] && idx["hot"] < idx["out"]) {
+		t.Errorf("order: %v", idx)
+	}
+	src := plan.Node("src")
+	if src.SensorID != "temp-1" || src.Op != nil || src.OutSchema == nil {
+		t.Errorf("source node: %+v", src)
+	}
+	hot := plan.Node("hot")
+	if hot.Op == nil || hot.Op.Kind() != ops.KindFilter {
+		t.Errorf("filter node: %+v", hot)
+	}
+	sink := plan.Node("out")
+	if sink.SinkKind != "collect" || len(sink.In) != 1 || sink.In[0] != "hot" {
+		t.Errorf("sink node: %+v", sink)
+	}
+}
+
+func errorsMention(diags Diagnostics, substr string) bool {
+	for _, d := range diags {
+		if d.Severity == SevError && strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestValidationCatalog(t *testing.T) {
+	resolver := testResolver()
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		mention string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "needs a name"},
+		{"empty node id", func(s *Spec) { s.Nodes[0].ID = "" }, "empty ID"},
+		{"duplicate id", func(s *Spec) { s.Nodes[1].ID = "src" }, "duplicate"},
+		{"unknown kind", func(s *Spec) { s.Nodes[1].Kind = "teleport" }, "unknown operation kind"},
+		{"unknown sensor", func(s *Spec) { s.Nodes[0].Sensor = "ghost" }, "not published"},
+		{"missing sensor", func(s *Spec) { s.Nodes[0].Sensor = "" }, "needs a sensor"},
+		{"unknown sink", func(s *Spec) { s.Nodes[2].Sink = "blackhole" }, "unknown sink"},
+		{"edge to ghost", func(s *Spec) {
+			s.Edges = append(s.Edges, EdgeSpec{From: "src", To: "ghost"})
+		}, "unknown target"},
+		{"edge from ghost", func(s *Spec) {
+			s.Edges = append(s.Edges, EdgeSpec{From: "ghost", To: "out"})
+		}, "unknown source"},
+		{"self loop", func(s *Spec) {
+			s.Edges = append(s.Edges, EdgeSpec{From: "hot", To: "hot"})
+		}, "self loop"},
+		{"bad port", func(s *Spec) { s.Edges[0].Port = 7 }, "out of range"},
+		{"double port", func(s *Spec) {
+			s.Edges = append(s.Edges, EdgeSpec{From: "src", To: "out"})
+		}, "already connected"},
+		{"source with input", func(s *Spec) {
+			s.Edges = append(s.Edges, EdgeSpec{From: "hot", To: "src", Port: 1})
+		}, "source must not have inputs"},
+		{"sink no input", func(s *Spec) { s.Edges = s.Edges[:1] }, "sink has no input"},
+		{"filter no input", func(s *Spec) { s.Edges = s.Edges[1:] }, "exactly one input"},
+		{"bad condition", func(s *Spec) { s.Nodes[1].Cond = "ghost > 1" }, "unknown field"},
+		{"non-bool condition", func(s *Spec) { s.Nodes[1].Cond = "temperature + 1" }, "want bool"},
+	}
+	for _, c := range cases {
+		spec := simpleSpec()
+		c.mutate(spec)
+		diags := Validate(spec, resolver)
+		if !diags.HasErrors() {
+			t.Errorf("%s: no errors reported", c.name)
+			continue
+		}
+		if !errorsMention(diags, c.mention) {
+			t.Errorf("%s: diagnostics %v do not mention %q", c.name, diags, c.mention)
+		}
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	spec := &Spec{
+		Name: "cyclic",
+		Nodes: []NodeSpec{
+			{ID: "a", Kind: "filter", Cond: "true"},
+			{ID: "b", Kind: "filter", Cond: "true"},
+		},
+		Edges: []EdgeSpec{
+			{From: "a", To: "b"},
+			{From: "b", To: "a"},
+		},
+	}
+	diags := Validate(spec, testResolver())
+	if !errorsMention(diags, "cycle") {
+		t.Errorf("cycle not reported: %v", diags)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	diags := Validate(&Spec{Name: "empty"}, testResolver())
+	if !errorsMention(diags, "no nodes") {
+		t.Errorf("empty dataflow not reported: %v", diags)
+	}
+}
+
+func joinSpec(interval int64) *Spec {
+	return &Spec{
+		Name: "join-flow",
+		Nodes: []NodeSpec{
+			{ID: "t", Kind: "source", Sensor: "temp-1"},
+			{ID: "r", Kind: "source", Sensor: "rain-1"},
+			{ID: "j", Kind: "join", IntervalMS: interval,
+				Predicate: "left.temperature > 25 && right.rain_rate > 0"},
+			{ID: "out", Kind: "sink", Sink: "collect"},
+		},
+		Edges: []EdgeSpec{
+			{From: "t", To: "j", Port: 0},
+			{From: "r", To: "j", Port: 1},
+			{From: "j", To: "out"},
+		},
+	}
+}
+
+func TestCompileJoin(t *testing.T) {
+	plan, diags := Compile(joinSpec(60000), testResolver(), noopActivator{}, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	j := plan.Node("j")
+	if len(j.In) != 2 || j.In[0] != "t" || j.In[1] != "r" {
+		t.Errorf("join inputs: %v", j.In)
+	}
+	if j.OutSchema.IndexOf("rain_rate") < 0 {
+		t.Errorf("join schema: %s", j.OutSchema)
+	}
+}
+
+func TestJoinPortValidation(t *testing.T) {
+	spec := joinSpec(60000)
+	// Rewire both inputs to port 0 -> duplicate port diagnostic.
+	spec.Edges[1].Port = 0
+	diags := Validate(spec, testResolver())
+	if !errorsMention(diags, "already connected") {
+		t.Errorf("%v", diags)
+	}
+}
+
+func TestJoinGranularityConsistency(t *testing.T) {
+	// A second-granularity tweet source joined with minute-granularity
+	// temperature must be rejected: STT consistency constraint.
+	schemas := map[string]*stt.Schema{
+		"temp-1": tempSchema(),
+		"tweet-1": stt.MustSchema([]stt.Field{
+			stt.NewField("text", stt.KindString, ""),
+		}, stt.GranSecond, stt.SpatPoint, "social"),
+	}
+	resolver := ResolverFunc(func(id string) (*stt.Schema, bool) {
+		s, ok := schemas[id]
+		return s, ok
+	})
+	spec := &Spec{
+		Name: "inconsistent",
+		Nodes: []NodeSpec{
+			{ID: "t", Kind: "source", Sensor: "temp-1"},
+			{ID: "w", Kind: "source", Sensor: "tweet-1"},
+			{ID: "j", Kind: "join", IntervalMS: 60000, Predicate: "true"},
+			{ID: "out", Kind: "sink"},
+		},
+		Edges: []EdgeSpec{
+			{From: "t", To: "j", Port: 0},
+			{From: "w", To: "j", Port: 1},
+			{From: "j", To: "out"},
+		},
+	}
+	diags := Validate(spec, resolver)
+	if !errorsMention(diags, "granularity mismatch") {
+		t.Fatalf("granularity mismatch not caught: %v", diags)
+	}
+	// Inserting a coarsen transform reconciles the flow.
+	spec.Nodes = append(spec.Nodes, NodeSpec{
+		ID: "c", Kind: "transform",
+		Steps: []ops.TransformStep{{Op: "coarsen", TGran: "minute", SGran: "district"}},
+	})
+	spec.Edges[1] = EdgeSpec{From: "w", To: "c"}
+	spec.Edges = append(spec.Edges, EdgeSpec{From: "c", To: "j", Port: 1})
+	diags = Validate(spec, resolver)
+	if diags.HasErrors() {
+		t.Fatalf("coarsened flow still rejected: %v", diags)
+	}
+}
+
+func TestTriggerTargetValidation(t *testing.T) {
+	spec := &Spec{
+		Name: "trig",
+		Nodes: []NodeSpec{
+			{ID: "src", Kind: "source", Sensor: "temp-1"},
+			{ID: "tr", Kind: "trigger_on", IntervalMS: 60000,
+				Cond: "temperature > 25", Targets: []string{"ghost-1"}},
+			{ID: "out", Kind: "sink"},
+		},
+		Edges: []EdgeSpec{
+			{From: "src", To: "tr"},
+			{From: "tr", To: "out"},
+		},
+	}
+	diags := Validate(spec, testResolver())
+	if !errorsMention(diags, "not a published sensor") {
+		t.Fatalf("bad trigger target not caught: %v", diags)
+	}
+	spec.Nodes[1].Targets = []string{"rain-1"}
+	if diags := Validate(spec, testResolver()); diags.HasErrors() {
+		t.Fatalf("valid trigger rejected: %v", diags)
+	}
+}
+
+func TestWarnings(t *testing.T) {
+	// Unconsumed source output warns but does not error.
+	spec := simpleSpec()
+	spec.Nodes = append(spec.Nodes, NodeSpec{ID: "lonely", Kind: "source", Sensor: "rain-1"})
+	diags := Validate(spec, testResolver())
+	if diags.HasErrors() {
+		t.Fatalf("warnings must not be errors: %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Severity == SevWarning && d.Node == "lonely" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing unconsumed-output warning: %v", diags)
+	}
+
+	// Blocking interval finer than input granularity warns.
+	spec2 := &Spec{
+		Name: "fine",
+		Nodes: []NodeSpec{
+			{ID: "src", Kind: "source", Sensor: "temp-1"},
+			{ID: "agg", Kind: "aggregate", IntervalMS: 100, Func: "COUNT"},
+			{ID: "out", Kind: "sink"},
+		},
+		Edges: []EdgeSpec{{From: "src", To: "agg"}, {From: "agg", To: "out"}},
+	}
+	diags = Validate(spec2, testResolver())
+	if diags.HasErrors() {
+		t.Fatalf("%v", diags)
+	}
+	warned := false
+	for _, d := range diags {
+		if d.Severity == SevWarning && strings.Contains(d.Message, "finer than") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("missing fine-interval warning: %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: SevError, Node: "x", Message: "boom"}
+	if !strings.Contains(d.String(), "x") || !strings.Contains(d.String(), "boom") {
+		t.Error(d.String())
+	}
+	d2 := Diagnostic{Severity: SevWarning, Message: "global"}
+	if !strings.Contains(d2.String(), "global") {
+		t.Error(d2.String())
+	}
+}
+
+func mkTemp(offset time.Duration, temp float64, station string) *stt.Tuple {
+	tup := &stt.Tuple{
+		Schema: tempSchema(),
+		Values: []stt.Value{stt.Float(temp), stt.String(station)},
+		Time:   t0.Add(offset),
+		Lat:    34.69, Lon: 135.50,
+		Theme:  "weather",
+		Source: "temp-1",
+	}
+	return tup.AlignSTT()
+}
+
+func TestDebugSimple(t *testing.T) {
+	plan, diags := Compile(simpleSpec(), testResolver(), noopActivator{}, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	res, err := Debug(plan, map[string][]*stt.Tuple{
+		"src": {
+			mkTemp(0, 20, "a"), mkTemp(time.Minute, 30, "b"), mkTemp(2*time.Minute, 27, "c"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs["src"]) != 3 {
+		t.Errorf("source samples = %d", len(res.Outputs["src"]))
+	}
+	if len(res.Outputs["hot"]) != 2 {
+		t.Errorf("filter output = %d, want 2", len(res.Outputs["hot"]))
+	}
+	if len(res.Outputs["out"]) != 2 {
+		t.Errorf("sink input = %d, want 2", len(res.Outputs["out"]))
+	}
+}
+
+func TestDebugJoinFlow(t *testing.T) {
+	plan, diags := Compile(joinSpec(60000), testResolver(), noopActivator{}, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	rain := func(offset time.Duration, rate float64) *stt.Tuple {
+		tup := &stt.Tuple{
+			Schema: rainSchema(),
+			Values: []stt.Value{stt.Float(rate), stt.String("g1")},
+			Time:   t0.Add(offset),
+			Lat:    34.69, Lon: 135.50,
+			Theme:  "rain",
+			Source: "rain-1",
+		}
+		return tup.AlignSTT()
+	}
+	res, err := Debug(plan, map[string][]*stt.Tuple{
+		"t": {mkTemp(0, 30, "a"), mkTemp(time.Minute, 20, "a")},
+		"r": {rain(0, 5), rain(time.Minute, 10)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: temp 30 > 25 and rain 5 > 0 -> one pair.
+	// Window 1: temp 20 fails the predicate.
+	if len(res.Outputs["j"]) != 1 {
+		t.Fatalf("join output = %d, want 1: %v", len(res.Outputs["j"]), res.Outputs["j"])
+	}
+	joined := res.Outputs["j"][0]
+	if joined.MustGet("temperature").AsFloat() != 30 || joined.MustGet("rain_rate").AsFloat() != 5 {
+		t.Errorf("joined tuple: %v", joined)
+	}
+}
+
+func TestDebugFanOut(t *testing.T) {
+	spec := &Spec{
+		Name: "fan",
+		Nodes: []NodeSpec{
+			{ID: "src", Kind: "source", Sensor: "temp-1"},
+			{ID: "hot", Kind: "filter", Cond: "temperature > 25"},
+			{ID: "cold", Kind: "filter", Cond: "temperature <= 25"},
+			{ID: "out1", Kind: "sink"},
+			{ID: "out2", Kind: "sink"},
+		},
+		Edges: []EdgeSpec{
+			{From: "src", To: "hot"},
+			{From: "src", To: "cold"},
+			{From: "hot", To: "out1"},
+			{From: "cold", To: "out2"},
+		},
+	}
+	plan, diags := Compile(spec, testResolver(), noopActivator{}, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	res, err := Debug(plan, map[string][]*stt.Tuple{
+		"src": {mkTemp(0, 30, "a"), mkTemp(time.Minute, 10, "b"), mkTemp(2*time.Minute, 28, "c")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs["out1"]) != 2 || len(res.Outputs["out2"]) != 1 {
+		t.Errorf("fan-out split: hot=%d cold=%d", len(res.Outputs["out1"]), len(res.Outputs["out2"]))
+	}
+}
+
+func TestDebugSamplesBySensorID(t *testing.T) {
+	plan, diags := Compile(simpleSpec(), testResolver(), noopActivator{}, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags)
+	}
+	// Samples keyed by the sensor ID instead of the node ID.
+	res, err := Debug(plan, map[string][]*stt.Tuple{
+		"temp-1": {mkTemp(0, 30, "a")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs["hot"]) != 1 {
+		t.Errorf("sensor-ID-keyed samples not picked up: %v", res.Outputs)
+	}
+}
+
+func TestTopoSortDeterminism(t *testing.T) {
+	spec := &Spec{
+		Name: "multi",
+		Nodes: []NodeSpec{
+			{ID: "s1", Kind: "source", Sensor: "temp-1"},
+			{ID: "s2", Kind: "source", Sensor: "rain-1"},
+			{ID: "k1", Kind: "sink"},
+			{ID: "k2", Kind: "sink"},
+		},
+		Edges: []EdgeSpec{
+			{From: "s1", To: "k1"},
+			{From: "s2", To: "k2"},
+		},
+	}
+	var first []string
+	for i := 0; i < 5; i++ {
+		plan, diags := Compile(spec, testResolver(), noopActivator{}, nil)
+		if diags.HasErrors() {
+			t.Fatal(diags)
+		}
+		var order []string
+		for _, n := range plan.Nodes {
+			order = append(order, n.ID)
+		}
+		if first == nil {
+			first = order
+			continue
+		}
+		for j := range order {
+			if order[j] != first[j] {
+				t.Fatalf("order differs between compiles: %v vs %v", first, order)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package dataflow_test
+
+import (
+	"fmt"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/stt"
+)
+
+// ExampleNewBuilder designs the smallest useful dataflow with the fluent
+// builder and validates it against a one-sensor catalog.
+func ExampleNewBuilder() {
+	b := dataflow.NewBuilder("hot-osaka")
+	src := b.Source("src", "temp-1")
+	warm := b.Filter("warm", "temperature > 25").From(src)
+	b.SinkNode("out", "warehouse").From(warm)
+	spec, err := b.Spec()
+	if err != nil {
+		fmt.Println("build error:", err)
+		return
+	}
+
+	schema := stt.MustSchema([]stt.Field{
+		stt.NewField("temperature", stt.KindFloat, "celsius"),
+	}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+	resolver := dataflow.ResolverFunc(func(id string) (*stt.Schema, bool) {
+		if id == "temp-1" {
+			return schema, true
+		}
+		return nil, false
+	})
+
+	diags := dataflow.Validate(spec, resolver)
+	fmt.Printf("nodes=%d edges=%d valid=%v\n",
+		len(spec.Nodes), len(spec.Edges), !diags.HasErrors())
+	// Output:
+	// nodes=3 edges=2 valid=true
+}

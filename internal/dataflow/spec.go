@@ -1,0 +1,163 @@
+// Package dataflow implements StreamLoader's conceptual dataflows: the
+// graphs users draw in the visual environment (paper Figure 2), their
+// consistency validation ("different checks in order to draw only dataflows
+// that can be soundly translated"), schema propagation ("data schema are not
+// fixed but depend on the sensors"), compilation into runnable operator
+// plans, and sample-based debugging (demo walkthrough P1).
+package dataflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/ops"
+)
+
+// Spec is the JSON-serializable conceptual dataflow, the artifact the Web
+// UI edits and the translator consumes.
+type Spec struct {
+	// Name identifies the dataflow.
+	Name string `json:"name"`
+	// Nodes are the operations, sources and sinks.
+	Nodes []NodeSpec `json:"nodes"`
+	// Edges wire node outputs to node inputs.
+	Edges []EdgeSpec `json:"edges"`
+}
+
+// NodeSpec configures one node of the conceptual dataflow. Exactly the
+// fields relevant to Kind are consulted; the rest stay zero.
+type NodeSpec struct {
+	// ID is the dataflow-unique node name.
+	ID string `json:"id"`
+	// Kind is the operation kind ("source", "filter", ..., "sink").
+	Kind string `json:"kind"`
+
+	// Sensor is the sensor ID a source binds to.
+	Sensor string `json:"sensor,omitempty"`
+
+	// Sink selects the destination kind of a sink node: "warehouse",
+	// "viz", "collect" or "discard".
+	Sink string `json:"sink,omitempty"`
+
+	// Cond is the condition of filter and trigger nodes.
+	Cond string `json:"cond,omitempty"`
+
+	// Property, Spec and Unit configure a virtual_property node.
+	Property string `json:"property,omitempty"`
+	Spec     string `json:"spec,omitempty"`
+	Unit     string `json:"unit,omitempty"`
+
+	// Rate is the reducing rate of cull nodes.
+	Rate float64 `json:"rate,omitempty"`
+	// From/To delimit the temporal interval of cull_time (RFC3339).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Area delimits the region of cull_space.
+	Area *geo.Rect `json:"area,omitempty"`
+
+	// IntervalMS is the t of blocking operations, in milliseconds.
+	IntervalMS int64 `json:"interval_ms,omitempty"`
+
+	// GroupBy, Func and Attr configure an aggregate node.
+	GroupBy []string `json:"group_by,omitempty"`
+	Func    string   `json:"func,omitempty"`
+	Attr    string   `json:"attr,omitempty"`
+
+	// Predicate is the join condition (left.x / right.y identifiers).
+	Predicate string `json:"predicate,omitempty"`
+
+	// Targets and Mode configure trigger nodes.
+	Targets []string `json:"targets,omitempty"`
+	Mode    string   `json:"mode,omitempty"`
+
+	// Steps configure a transform node.
+	Steps []ops.TransformStep `json:"steps,omitempty"`
+}
+
+// Interval returns the blocking interval as a duration.
+func (n *NodeSpec) Interval() time.Duration {
+	return time.Duration(n.IntervalMS) * time.Millisecond
+}
+
+// EdgeSpec wires the output of From into an input port of To. Port 0 is the
+// only port for single-input operations; joins take their left input on
+// port 0 and their right input on port 1.
+type EdgeSpec struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Port int    `json:"port,omitempty"`
+}
+
+// ParseSpec decodes and structurally validates a JSON dataflow spec.
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("dataflow: bad spec JSON: %w", err)
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("dataflow: spec needs a name")
+	}
+	return &s, nil
+}
+
+// EncodeSpec renders a spec as indented JSON.
+func EncodeSpec(s *Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Node returns the node with the given ID, or nil.
+func (s *Spec) Node(id string) *NodeSpec {
+	for i := range s.Nodes {
+		if s.Nodes[i].ID == id {
+			return &s.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Severity grades validation diagnostics.
+type Severity string
+
+// Diagnostic severities. Errors block translation; warnings do not.
+const (
+	SevError   Severity = "error"
+	SevWarning Severity = "warning"
+)
+
+// Diagnostic is one finding of dataflow validation, addressed to the node
+// (or edge endpoint) it concerns so the UI can highlight it.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	Node     string   `json:"node,omitempty"`
+	Message  string   `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	if d.Node != "" {
+		return fmt.Sprintf("%s [%s]: %s", d.Severity, d.Node, d.Message)
+	}
+	return fmt.Sprintf("%s: %s", d.Severity, d.Message)
+}
+
+// Diagnostics is a collection with convenience accessors.
+type Diagnostics []Diagnostic
+
+// HasErrors reports whether any diagnostic is an error.
+func (ds Diagnostics) HasErrors() bool {
+	for _, d := range ds {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+func (ds *Diagnostics) errorf(node, format string, args ...any) {
+	*ds = append(*ds, Diagnostic{Severity: SevError, Node: node, Message: fmt.Sprintf(format, args...)})
+}
+
+func (ds *Diagnostics) warnf(node, format string, args ...any) {
+	*ds = append(*ds, Diagnostic{Severity: SevWarning, Node: node, Message: fmt.Sprintf(format, args...)})
+}

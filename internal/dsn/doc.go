@@ -1,0 +1,152 @@
+// Package dsn implements the DSN/SCN layer of StreamLoader: the declarative
+// service networking language that conceptual dataflows are translated into
+// (paper §2, [8]), plus the SCN configuration requests through which the
+// network control protocol stack "interprets the DSN description and
+// dynamically coordinates the network configurations, such as data flows,
+// segmentations, and QoS parameters".
+//
+// Reference [8] describes DSN/SCN in prose without a public grammar; this
+// package defines a concrete grammar for it:
+//
+//	dsn "osaka-hot" {
+//	  service "src_temp" {
+//	    kind: source
+//	    param sensor: "temp-1"
+//	    schema: "(temperature:float[celsius]) @minute/district {weather}"
+//	  }
+//	  service "hot" {
+//	    kind: filter
+//	    param cond: "temperature > 25"
+//	  }
+//	  link "src_temp" -> "hot" {
+//	    port: 0
+//	    qos { max_latency_ms: 500, min_bandwidth_kbps: 16 }
+//	  }
+//	}
+//
+// Documents print and parse losslessly (round-trip property tested).
+package dsn
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// QoS carries the per-link quality-of-service requirements SCN requests
+// from the network platform.
+type QoS struct {
+	// MaxLatencyMS is the highest tolerable end-to-end latency of the link.
+	MaxLatencyMS int `json:"max_latency_ms"`
+	// MinBandwidthKbps is the bandwidth reservation for the flow.
+	MinBandwidthKbps int `json:"min_bandwidth_kbps"`
+}
+
+// DefaultQoS is used when the translator has no better information.
+var DefaultQoS = QoS{MaxLatencyMS: 1000, MinBandwidthKbps: 16}
+
+// Service is one information service of the DSN description: a source, an
+// ETL operation, or a sink, with its parameters.
+type Service struct {
+	// Name is the dataflow node ID.
+	Name string
+	// Kind is the operation kind ("source", "filter", ...).
+	Kind string
+	// Params carries the operation configuration as strings.
+	Params map[string]string
+	// Schema annotates the service's output schema (informational; shown
+	// in the monitoring UI and used for debugging translations).
+	Schema string
+}
+
+// Param returns a parameter value ("" when absent).
+func (s *Service) Param(key string) string { return s.Params[key] }
+
+// Link is one service-to-service flow with its QoS requirements.
+type Link struct {
+	From string
+	To   string
+	Port int
+	QoS  QoS
+}
+
+// Document is a complete DSN description of one dataflow.
+type Document struct {
+	Name     string
+	Services []Service
+	Links    []Link
+}
+
+// Service returns the named service, or nil.
+func (d *Document) Service(name string) *Service {
+	for i := range d.Services {
+		if d.Services[i].Name == name {
+			return &d.Services[i]
+		}
+	}
+	return nil
+}
+
+// String renders the document in DSN concrete syntax. Services keep their
+// declaration order (topological, from the translator); parameters print in
+// sorted order for determinism.
+func (d *Document) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dsn %s {\n", strconv.Quote(d.Name))
+	for _, s := range d.Services {
+		fmt.Fprintf(&b, "  service %s {\n", strconv.Quote(s.Name))
+		fmt.Fprintf(&b, "    kind: %s\n", s.Kind)
+		keys := make([]string, 0, len(s.Params))
+		for k := range s.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "    param %s: %s\n", k, strconv.Quote(s.Params[k]))
+		}
+		if s.Schema != "" {
+			fmt.Fprintf(&b, "    schema: %s\n", strconv.Quote(s.Schema))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, l := range d.Links {
+		fmt.Fprintf(&b, "  link %s -> %s {\n", strconv.Quote(l.From), strconv.Quote(l.To))
+		fmt.Fprintf(&b, "    port: %d\n", l.Port)
+		fmt.Fprintf(&b, "    qos { max_latency_ms: %d, min_bandwidth_kbps: %d }\n",
+			l.QoS.MaxLatencyMS, l.QoS.MinBandwidthKbps)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Validate performs internal consistency checks on a document: unique
+// service names and links referencing declared services.
+func (d *Document) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("dsn: document needs a name")
+	}
+	seen := map[string]bool{}
+	for _, s := range d.Services {
+		if s.Name == "" {
+			return fmt.Errorf("dsn: service with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("dsn: duplicate service %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, l := range d.Links {
+		if !seen[l.From] {
+			return fmt.Errorf("dsn: link from undeclared service %q", l.From)
+		}
+		if !seen[l.To] {
+			return fmt.Errorf("dsn: link to undeclared service %q", l.To)
+		}
+		if l.QoS.MaxLatencyMS < 0 || l.QoS.MinBandwidthKbps < 0 {
+			return fmt.Errorf("dsn: negative QoS on link %s -> %s", l.From, l.To)
+		}
+	}
+	return nil
+}

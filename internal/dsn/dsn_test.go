@@ -1,0 +1,317 @@
+package dsn
+
+import (
+	"strings"
+	"testing"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/geo"
+	"streamloader/internal/ops"
+	"streamloader/internal/stt"
+)
+
+func testResolver() dataflow.SensorResolver {
+	schemas := map[string]*stt.Schema{
+		"temp-1": stt.MustSchema([]stt.Field{
+			stt.NewField("temperature", stt.KindFloat, "celsius"),
+			stt.NewField("station", stt.KindString, ""),
+		}, stt.GranMinute, stt.SpatCellDistrict, "weather"),
+		"rain-1": stt.MustSchema([]stt.Field{
+			stt.NewField("rain_rate", stt.KindFloat, "mm/h"),
+		}, stt.GranMinute, stt.SpatCellDistrict, "weather", "rain"),
+	}
+	return dataflow.ResolverFunc(func(id string) (*stt.Schema, bool) {
+		s, ok := schemas[id]
+		return s, ok
+	})
+}
+
+// fullSpec exercises every operation kind for translation round-trips.
+func fullSpec() *dataflow.Spec {
+	area := geo.NewRect(geo.Point{Lat: 34.4, Lon: 135.2}, geo.Point{Lat: 34.9, Lon: 135.7})
+	return &dataflow.Spec{
+		Name: "everything",
+		Nodes: []dataflow.NodeSpec{
+			{ID: "t", Kind: "source", Sensor: "temp-1"},
+			{ID: "r", Kind: "source", Sensor: "rain-1"},
+			{ID: "f", Kind: "filter", Cond: "temperature > 25"},
+			{ID: "v", Kind: "virtual_property", Property: "t2", Spec: "temperature * 2", Unit: "celsius"},
+			{ID: "ct", Kind: "cull_time", Rate: 0.5,
+				From: "2016-03-15T00:00:00Z", To: "2016-03-16T00:00:00Z"},
+			{ID: "cs", Kind: "cull_space", Rate: 0.9, Area: &area},
+			{ID: "tr", Kind: "transform", Steps: []ops.TransformStep{
+				{Op: "rename", Field: "rain_rate", NewName: "rate"},
+			}},
+			{ID: "ag", Kind: "aggregate", IntervalMS: 60000,
+				GroupBy: []string{"station"}, Func: "AVG", Attr: "temperature"},
+			{ID: "on", Kind: "trigger_on", IntervalMS: 3600000,
+				Cond: "temperature > 25", Targets: []string{"rain-1"}, Mode: "any"},
+			{ID: "j", Kind: "join", IntervalMS: 60000,
+				Predicate: "left.avg_temperature > right.rate"},
+			{ID: "out", Kind: "sink", Sink: "warehouse"},
+			{ID: "out2", Kind: "sink", Sink: "viz"},
+		},
+		Edges: []dataflow.EdgeSpec{
+			{From: "t", To: "f"},
+			{From: "f", To: "v"},
+			{From: "v", To: "ct"},
+			{From: "ct", To: "cs"},
+			{From: "cs", To: "on"},
+			{From: "on", To: "ag"},
+			{From: "r", To: "tr"},
+			{From: "ag", To: "j", Port: 0},
+			{From: "tr", To: "j", Port: 1},
+			{From: "j", To: "out"},
+			{From: "ag", To: "out2"},
+		},
+	}
+}
+
+func compileFull(t *testing.T) (*dataflow.Spec, *dataflow.Plan) {
+	t.Helper()
+	spec := fullSpec()
+	plan, diags := dataflow.Compile(spec, testResolver(), nopAct{}, nil)
+	if diags.HasErrors() {
+		t.Fatalf("fixture does not compile: %v", diags)
+	}
+	return spec, plan
+}
+
+type nopAct struct{}
+
+func (nopAct) Activate(string) error   { return nil }
+func (nopAct) Deactivate(string) error { return nil }
+
+func TestTranslateProducesValidDocument(t *testing.T) {
+	spec, plan := compileFull(t)
+	doc, err := Translate(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Services) != len(spec.Nodes) || len(doc.Links) != len(spec.Edges) {
+		t.Errorf("services=%d links=%d", len(doc.Services), len(doc.Links))
+	}
+	src := doc.Service("t")
+	if src == nil || src.Kind != "source" || src.Param("sensor") != "temp-1" {
+		t.Errorf("source service: %+v", src)
+	}
+	if src.Schema == "" || !strings.Contains(src.Schema, "temperature") {
+		t.Errorf("schema annotation: %q", src.Schema)
+	}
+	if doc.Service("ghost") != nil {
+		t.Error("Service(ghost)")
+	}
+}
+
+func TestTranslateWithoutPlan(t *testing.T) {
+	if _, err := Translate(fullSpec(), nil); err == nil {
+		t.Error("nil plan must fail")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	spec, plan := compileFull(t)
+	doc, err := Translate(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := doc.String()
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse of printed document failed: %v\n%s", err, text)
+	}
+	// Print again: must be byte-identical (stable fixpoint).
+	if parsed.String() != text {
+		t.Error("print/parse/print not a fixpoint")
+	}
+	if len(parsed.Services) != len(doc.Services) || len(parsed.Links) != len(doc.Links) {
+		t.Error("structure lost in round trip")
+	}
+}
+
+func TestSpecRoundTripThroughDSN(t *testing.T) {
+	spec, plan := compileFull(t)
+	doc, err := Translate(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recovered spec must compile identically.
+	plan2, diags := dataflow.Compile(back, testResolver(), nopAct{}, nil)
+	if diags.HasErrors() {
+		t.Fatalf("recovered spec does not compile: %v", diags)
+	}
+	if len(plan2.Nodes) != len(plan.Nodes) {
+		t.Errorf("plans differ: %d vs %d nodes", len(plan2.Nodes), len(plan.Nodes))
+	}
+	// Spot-check a parameter-heavy node.
+	ag := back.Node("ag")
+	if ag.IntervalMS != 60000 || ag.Func != "AVG" || ag.Attr != "temperature" ||
+		len(ag.GroupBy) != 1 || ag.GroupBy[0] != "station" {
+		t.Errorf("aggregate params lost: %+v", ag)
+	}
+	cs := back.Node("cs")
+	if cs.Rate != 0.9 || cs.Area == nil || cs.Area.Min.Lat != 34.4 {
+		t.Errorf("cull_space params lost: %+v", cs)
+	}
+	tr := back.Node("tr")
+	if len(tr.Steps) != 1 || tr.Steps[0].NewName != "rate" {
+		t.Errorf("transform steps lost: %+v", tr)
+	}
+	on := back.Node("on")
+	if len(on.Targets) != 1 || on.Targets[0] != "rain-1" || on.Mode != "any" {
+		t.Errorf("trigger params lost: %+v", on)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"dsn {",
+		`dsn "x" {`,
+		`dsn "x" { service }`,
+		`dsn "x" { service "s" { } }`, // no kind
+		`dsn "x" { service "s" { kind: filter param } }`,                        // bad param
+		`dsn "x" { frobnicate }`,                                                // unknown section
+		`dsn "x" { link "a" -> "b" { port: 0 } }`,                               // undeclared services
+		`dsn "x" { service "s" { kind: filter } service "s" { kind: filter } }`, // dup
+		`dsn "x" { service "s" { kind: filter param a: "1" param a: "2" } }`,    // dup param
+		`dsn "x" { service "s" { kind: filter } link "s" -> "s" { qos { bogus: 1 } } }`,
+		`dsn "x" { service "s" { kind: filter schema: unquoted } }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse succeeded on %q", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# a dataflow
+dsn "c" {
+  # the source
+  service "s" { kind: source param sensor: "temp-1" }
+}
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "c" || len(doc.Services) != 1 {
+		t.Errorf("parsed: %+v", doc)
+	}
+}
+
+func TestQoSDerivation(t *testing.T) {
+	spec, plan := compileFull(t)
+	doc, err := Translate(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Link into the join (blocking, 60s window) must allow 60000 ms latency.
+	for _, l := range doc.Links {
+		if l.To == "j" {
+			if l.QoS.MaxLatencyMS != 60000 {
+				t.Errorf("link %s->j latency = %d, want 60000", l.From, l.QoS.MaxLatencyMS)
+			}
+		}
+		if l.QoS.MinBandwidthKbps < 8 {
+			t.Errorf("link %s->%s bandwidth = %d", l.From, l.To, l.QoS.MinBandwidthKbps)
+		}
+	}
+}
+
+func TestConfigRequests(t *testing.T) {
+	spec, plan := compileFull(t)
+	doc, err := Translate(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := map[string]string{}
+	for _, s := range doc.Services {
+		placement[s.Name] = "node-1"
+	}
+	reqs, err := ConfigRequests(doc, placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One create_process per service, then create_flow+set_qos per link.
+	wantLen := len(doc.Services) + 2*len(doc.Links)
+	if len(reqs) != wantLen {
+		t.Fatalf("requests = %d, want %d", len(reqs), wantLen)
+	}
+	var processes, flows, qos int
+	for _, r := range reqs {
+		switch r.Kind {
+		case ReqCreateProcess:
+			processes++
+			if r.Node != "node-1" {
+				t.Errorf("placement lost: %+v", r)
+			}
+		case ReqCreateFlow:
+			flows++
+		case ReqSetQoS:
+			qos++
+		}
+	}
+	if processes != len(doc.Services) || flows != len(doc.Links) || qos != len(doc.Links) {
+		t.Errorf("counts: %d processes, %d flows, %d qos", processes, flows, qos)
+	}
+	script := Script(reqs)
+	if !strings.Contains(script, "create_process service=t node=node-1") {
+		t.Errorf("script:\n%s", script)
+	}
+	if strings.Count(script, "\n") != wantLen {
+		t.Error("script line count")
+	}
+}
+
+func TestConfigRequestsMissingPlacement(t *testing.T) {
+	spec, plan := compileFull(t)
+	doc, err := Translate(spec, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ConfigRequests(doc, map[string]string{}); err == nil {
+		t.Error("missing placement must fail")
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := Request{Kind: ReqSetQoS, FlowID: "f", QoS: QoS{MaxLatencyMS: 5, MinBandwidthKbps: 9}}
+	if !strings.Contains(r.String(), "max_latency_ms=5") {
+		t.Error(r.String())
+	}
+	r2 := Request{Kind: ReqCreateFlow, Service: "a", PeerService: "b", FlowID: "f"}
+	if !strings.Contains(r2.String(), "from=a to=b") {
+		t.Error(r2.String())
+	}
+	if (Request{Kind: "other"}).String() != "other" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestDocumentValidate(t *testing.T) {
+	bad := []*Document{
+		{},
+		{Name: "x", Services: []Service{{Name: ""}}},
+		{Name: "x", Services: []Service{{Name: "a"}, {Name: "a"}}},
+		{Name: "x", Services: []Service{{Name: "a"}},
+			Links: []Link{{From: "ghost", To: "a"}}},
+		{Name: "x", Services: []Service{{Name: "a"}},
+			Links: []Link{{From: "a", To: "ghost"}}},
+		{Name: "x", Services: []Service{{Name: "a"}, {Name: "b"}},
+			Links: []Link{{From: "a", To: "b", QoS: QoS{MaxLatencyMS: -1}}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("document %d validated, want error", i)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package dsn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a DSN document from its concrete syntax.
+func Parse(src string) (*Document, error) {
+	p := &dsnParser{src: src}
+	doc, err := p.parseDocument()
+	if err != nil {
+		return nil, err
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+type dsnParser struct {
+	src string
+	pos int
+}
+
+func (p *dsnParser) errorf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:p.pos], "\n")
+	return fmt.Errorf("dsn: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *dsnParser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '#' { // comments to end of line
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		p.pos++
+	}
+}
+
+// accept consumes the literal token if present.
+func (p *dsnParser) accept(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+// expect consumes the literal token or fails.
+func (p *dsnParser) expect(tok string) error {
+	if !p.accept(tok) {
+		rest := p.src[p.pos:]
+		if len(rest) > 20 {
+			rest = rest[:20] + "..."
+		}
+		return p.errorf("expected %q, found %q", tok, rest)
+	}
+	return nil
+}
+
+// word reads an identifier-like token (letters, digits, _, -).
+func (p *dsnParser) word() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := rune(p.src[p.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '-' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+// quoted reads a Go-quoted string.
+func (p *dsnParser) quoted() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+		return "", p.errorf("expected quoted string")
+	}
+	// Find the end of the quoted literal respecting escapes.
+	i := p.pos + 1
+	for i < len(p.src) {
+		switch p.src[i] {
+		case '\\':
+			i += 2
+			continue
+		case '"':
+			lit := p.src[p.pos : i+1]
+			s, err := strconv.Unquote(lit)
+			if err != nil {
+				return "", p.errorf("bad string literal %s: %v", lit, err)
+			}
+			p.pos = i + 1
+			return s, nil
+		}
+		i++
+	}
+	return "", p.errorf("unterminated string")
+}
+
+// integer reads a (possibly negative) decimal integer.
+func (p *dsnParser) integer() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errorf("expected integer")
+	}
+	v, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errorf("bad integer: %v", err)
+	}
+	return v, nil
+}
+
+func (p *dsnParser) parseDocument() (*Document, error) {
+	if err := p.expect("dsn"); err != nil {
+		return nil, err
+	}
+	name, err := p.quoted()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	doc := &Document{Name: name}
+	for {
+		p.skipSpace()
+		switch {
+		case p.accept("}"):
+			return doc, nil
+		case p.accept("service"):
+			s, err := p.parseService()
+			if err != nil {
+				return nil, err
+			}
+			doc.Services = append(doc.Services, *s)
+		case p.accept("link"):
+			l, err := p.parseLink()
+			if err != nil {
+				return nil, err
+			}
+			doc.Links = append(doc.Links, *l)
+		default:
+			return nil, p.errorf("expected 'service', 'link' or '}'")
+		}
+	}
+}
+
+func (p *dsnParser) parseService() (*Service, error) {
+	name, err := p.quoted()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	s := &Service{Name: name, Params: map[string]string{}}
+	for {
+		p.skipSpace()
+		switch {
+		case p.accept("}"):
+			if s.Kind == "" {
+				return nil, p.errorf("service %q has no kind", name)
+			}
+			return s, nil
+		case p.accept("kind:"):
+			kind, err := p.word()
+			if err != nil {
+				return nil, err
+			}
+			s.Kind = kind
+		case p.accept("schema:"):
+			schema, err := p.quoted()
+			if err != nil {
+				return nil, err
+			}
+			s.Schema = schema
+		case p.accept("param"):
+			key, err := p.word()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			val, err := p.quoted()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := s.Params[key]; dup {
+				return nil, p.errorf("duplicate param %q in service %q", key, name)
+			}
+			s.Params[key] = val
+		default:
+			return nil, p.errorf("expected 'kind:', 'schema:', 'param' or '}' in service %q", name)
+		}
+	}
+}
+
+func (p *dsnParser) parseLink() (*Link, error) {
+	from, err := p.quoted()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("->"); err != nil {
+		return nil, err
+	}
+	to, err := p.quoted()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	l := &Link{From: from, To: to, QoS: DefaultQoS}
+	for {
+		p.skipSpace()
+		switch {
+		case p.accept("}"):
+			return l, nil
+		case p.accept("port:"):
+			port, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			l.Port = port
+		case p.accept("qos"):
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for {
+				p.skipSpace()
+				if p.accept("}") {
+					break
+				}
+				p.accept(",")
+				switch {
+				case p.accept("max_latency_ms:"):
+					v, err := p.integer()
+					if err != nil {
+						return nil, err
+					}
+					l.QoS.MaxLatencyMS = v
+				case p.accept("min_bandwidth_kbps:"):
+					v, err := p.integer()
+					if err != nil {
+						return nil, err
+					}
+					l.QoS.MinBandwidthKbps = v
+				default:
+					return nil, p.errorf("expected QoS attribute")
+				}
+			}
+		default:
+			return nil, p.errorf("expected 'port:', 'qos' or '}' in link")
+		}
+	}
+}

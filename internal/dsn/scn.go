@@ -1,0 +1,98 @@
+package dsn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RequestKind enumerates the SCN network-configuration request types.
+type RequestKind string
+
+// The configuration requests SCN derives from a DSN document: spawn a
+// process for each service on its assigned node, establish a flow per link,
+// and attach the link's QoS requirements to the flow.
+const (
+	ReqCreateProcess RequestKind = "create_process"
+	ReqCreateFlow    RequestKind = "create_flow"
+	ReqSetQoS        RequestKind = "set_qos"
+)
+
+// Request is one SCN configuration command for the network platform.
+type Request struct {
+	Kind RequestKind `json:"kind"`
+	// Service is the service the request concerns (create_process) or the
+	// flow's upstream service (create_flow, set_qos).
+	Service string `json:"service"`
+	// Node is the placement target (create_process).
+	Node string `json:"node,omitempty"`
+	// PeerService is the flow's downstream service.
+	PeerService string `json:"peer_service,omitempty"`
+	// FlowID names the flow (create_flow, set_qos).
+	FlowID string `json:"flow_id,omitempty"`
+	// QoS carries the requirements (set_qos).
+	QoS QoS `json:"qos,omitempty"`
+}
+
+// String renders the request as one SCN command line.
+func (r Request) String() string {
+	switch r.Kind {
+	case ReqCreateProcess:
+		return fmt.Sprintf("create_process service=%s node=%s", r.Service, r.Node)
+	case ReqCreateFlow:
+		return fmt.Sprintf("create_flow id=%s from=%s to=%s", r.FlowID, r.Service, r.PeerService)
+	case ReqSetQoS:
+		return fmt.Sprintf("set_qos flow=%s max_latency_ms=%d min_bandwidth_kbps=%d",
+			r.FlowID, r.QoS.MaxLatencyMS, r.QoS.MinBandwidthKbps)
+	default:
+		return string(r.Kind)
+	}
+}
+
+// FlowID names the flow established for a DSN link.
+func FlowID(docName, from, to string, port int) string {
+	return fmt.Sprintf("%s/%s->%s#%d", docName, from, to, port)
+}
+
+// ConfigRequests interprets a DSN document into the ordered SCN request
+// sequence for the given service placement (service name -> node ID).
+// Every service must be placed.
+func ConfigRequests(doc *Document, placement map[string]string) ([]Request, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Request
+	// Processes first, in a deterministic order.
+	names := make([]string, 0, len(doc.Services))
+	for _, s := range doc.Services {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		node, ok := placement[name]
+		if !ok || node == "" {
+			return nil, fmt.Errorf("dsn: service %q has no placement", name)
+		}
+		out = append(out, Request{Kind: ReqCreateProcess, Service: name, Node: node})
+	}
+	// Flows and QoS next, in link order.
+	for _, l := range doc.Links {
+		id := FlowID(doc.Name, l.From, l.To, l.Port)
+		out = append(out, Request{
+			Kind: ReqCreateFlow, Service: l.From, PeerService: l.To, FlowID: id,
+		})
+		out = append(out, Request{Kind: ReqSetQoS, Service: l.From, FlowID: id, QoS: l.QoS})
+	}
+	return out, nil
+}
+
+// Script renders a request sequence as an SCN command script, one request
+// per line — what the demo shows when deploying a dataflow (P2).
+func Script(reqs []Request) string {
+	var b strings.Builder
+	for _, r := range reqs {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

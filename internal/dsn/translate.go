@@ -1,0 +1,253 @@
+package dsn
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/geo"
+	"streamloader/internal/ops"
+)
+
+// Translate converts a validated conceptual dataflow into its DSN document,
+// the paper's "once the dataflow is consistent ... the translation is
+// automatically invoked". The plan supplies topological order and the
+// propagated schemas; the spec supplies the operation parameters.
+func Translate(spec *dataflow.Spec, plan *dataflow.Plan) (*Document, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("dsn: cannot translate without a compiled plan")
+	}
+	doc := &Document{Name: spec.Name}
+	for _, pn := range plan.Nodes {
+		ns := spec.Node(pn.ID)
+		if ns == nil {
+			return nil, fmt.Errorf("dsn: plan node %q missing from spec", pn.ID)
+		}
+		svc := Service{Name: pn.ID, Kind: string(pn.Kind), Params: map[string]string{}}
+		if pn.OutSchema != nil {
+			svc.Schema = pn.OutSchema.String()
+		}
+		if err := encodeParams(&svc, ns); err != nil {
+			return nil, fmt.Errorf("dsn: service %q: %w", pn.ID, err)
+		}
+		doc.Services = append(doc.Services, svc)
+	}
+	for _, e := range spec.Edges {
+		doc.Links = append(doc.Links, Link{
+			From: e.From, To: e.To, Port: e.Port, QoS: qosFor(spec, plan, e),
+		})
+	}
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// qosFor derives a link's QoS requirements: blocking consumers tolerate one
+// window of latency; the bandwidth reservation scales with the upstream
+// schema width (a crude but monotone size estimate).
+func qosFor(spec *dataflow.Spec, plan *dataflow.Plan, e dataflow.EdgeSpec) QoS {
+	q := DefaultQoS
+	if to := spec.Node(e.To); to != nil && ops.Kind(to.Kind).Blocking() && to.IntervalMS > 0 {
+		q.MaxLatencyMS = int(to.IntervalMS)
+	}
+	if from := plan.Node(e.From); from != nil && from.OutSchema != nil {
+		// ~64 bytes per field at the observed sensor rates.
+		q.MinBandwidthKbps = 8 + 8*from.OutSchema.NumFields()
+	}
+	return q
+}
+
+func encodeParams(svc *Service, n *dataflow.NodeSpec) error {
+	set := func(k, v string) {
+		if v != "" {
+			svc.Params[k] = v
+		}
+	}
+	switch ops.Kind(n.Kind) {
+	case ops.KindSource:
+		set("sensor", n.Sensor)
+	case ops.KindSink:
+		sink := n.Sink
+		if sink == "" {
+			sink = "collect"
+		}
+		set("sink", sink)
+	case ops.KindFilter:
+		set("cond", n.Cond)
+	case ops.KindVirtual:
+		set("property", n.Property)
+		set("spec", n.Spec)
+		set("unit", n.Unit)
+	case ops.KindCullTime:
+		set("rate", formatFloat(n.Rate))
+		set("from", n.From)
+		set("to", n.To)
+	case ops.KindCullSpace:
+		set("rate", formatFloat(n.Rate))
+		if n.Area != nil {
+			set("area", formatArea(*n.Area))
+		}
+	case ops.KindTransform:
+		steps, err := json.Marshal(n.Steps)
+		if err != nil {
+			return err
+		}
+		set("steps", string(steps))
+	case ops.KindAggregate:
+		set("interval_ms", strconv.FormatInt(n.IntervalMS, 10))
+		set("func", n.Func)
+		set("attr", n.Attr)
+		set("group_by", strings.Join(n.GroupBy, ","))
+	case ops.KindJoin:
+		set("interval_ms", strconv.FormatInt(n.IntervalMS, 10))
+		set("predicate", n.Predicate)
+	case ops.KindTriggerOn, ops.KindTriggerOff:
+		set("interval_ms", strconv.FormatInt(n.IntervalMS, 10))
+		set("cond", n.Cond)
+		set("targets", strings.Join(n.Targets, ","))
+		set("mode", n.Mode)
+	default:
+		return fmt.Errorf("unknown kind %q", n.Kind)
+	}
+	return nil
+}
+
+// ToSpec interprets a DSN document back into a conceptual dataflow spec —
+// the inverse of Translate, used by the network side to instantiate
+// processes from the received description.
+func ToSpec(doc *Document) (*dataflow.Spec, error) {
+	if err := doc.Validate(); err != nil {
+		return nil, err
+	}
+	spec := &dataflow.Spec{Name: doc.Name}
+	for _, svc := range doc.Services {
+		n := dataflow.NodeSpec{ID: svc.Name, Kind: svc.Kind}
+		if err := decodeParams(&n, &svc); err != nil {
+			return nil, fmt.Errorf("dsn: service %q: %w", svc.Name, err)
+		}
+		spec.Nodes = append(spec.Nodes, n)
+	}
+	for _, l := range doc.Links {
+		spec.Edges = append(spec.Edges, dataflow.EdgeSpec{From: l.From, To: l.To, Port: l.Port})
+	}
+	return spec, nil
+}
+
+func decodeParams(n *dataflow.NodeSpec, svc *Service) error {
+	get := svc.Param
+	switch ops.Kind(svc.Kind) {
+	case ops.KindSource:
+		n.Sensor = get("sensor")
+	case ops.KindSink:
+		n.Sink = get("sink")
+	case ops.KindFilter:
+		n.Cond = get("cond")
+	case ops.KindVirtual:
+		n.Property = get("property")
+		n.Spec = get("spec")
+		n.Unit = get("unit")
+	case ops.KindCullTime:
+		if err := parseFloatInto(&n.Rate, get("rate")); err != nil {
+			return err
+		}
+		n.From = get("from")
+		n.To = get("to")
+	case ops.KindCullSpace:
+		if err := parseFloatInto(&n.Rate, get("rate")); err != nil {
+			return err
+		}
+		if a := get("area"); a != "" {
+			area, err := parseArea(a)
+			if err != nil {
+				return err
+			}
+			n.Area = &area
+		}
+	case ops.KindTransform:
+		if s := get("steps"); s != "" {
+			if err := json.Unmarshal([]byte(s), &n.Steps); err != nil {
+				return fmt.Errorf("bad steps: %v", err)
+			}
+		}
+	case ops.KindAggregate:
+		if err := parseIntInto(&n.IntervalMS, get("interval_ms")); err != nil {
+			return err
+		}
+		n.Func = get("func")
+		n.Attr = get("attr")
+		if g := get("group_by"); g != "" {
+			n.GroupBy = strings.Split(g, ",")
+		}
+	case ops.KindJoin:
+		if err := parseIntInto(&n.IntervalMS, get("interval_ms")); err != nil {
+			return err
+		}
+		n.Predicate = get("predicate")
+	case ops.KindTriggerOn, ops.KindTriggerOff:
+		if err := parseIntInto(&n.IntervalMS, get("interval_ms")); err != nil {
+			return err
+		}
+		n.Cond = get("cond")
+		if t := get("targets"); t != "" {
+			n.Targets = strings.Split(t, ",")
+		}
+		n.Mode = get("mode")
+	default:
+		return fmt.Errorf("unknown kind %q", svc.Kind)
+	}
+	return nil
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func parseFloatInto(dst *float64, s string) error {
+	if s == "" {
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("bad float %q: %v", s, err)
+	}
+	*dst = v
+	return nil
+}
+
+func parseIntInto(dst *int64, s string) error {
+	if s == "" {
+		return nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad integer %q: %v", s, err)
+	}
+	*dst = v
+	return nil
+}
+
+func formatArea(r geo.Rect) string {
+	return fmt.Sprintf("%s;%s;%s;%s",
+		formatFloat(r.Min.Lat), formatFloat(r.Min.Lon),
+		formatFloat(r.Max.Lat), formatFloat(r.Max.Lon))
+}
+
+func parseArea(s string) (geo.Rect, error) {
+	parts := strings.Split(s, ";")
+	if len(parts) != 4 {
+		return geo.Rect{}, fmt.Errorf("bad area %q: want 4 components", s)
+	}
+	var vals [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return geo.Rect{}, fmt.Errorf("bad area component %q: %v", p, err)
+		}
+		vals[i] = v
+	}
+	return geo.NewRect(
+		geo.Point{Lat: vals[0], Lon: vals[1]},
+		geo.Point{Lat: vals[2], Lon: vals[3]},
+	), nil
+}

@@ -1,0 +1,81 @@
+package executor
+
+import (
+	"sync"
+	"time"
+)
+
+// timeCoordinator keeps replayed sources aligned in event time: a source may
+// only emit the reading at time ts once ts is the minimum next-emission time
+// across all live sources. This reproduces what the wall clock provides for
+// free in live mode — cross-stream control actions (Trigger On/Off) take
+// effect at a consistent event time on every stream — and makes replays
+// deterministic up to the (measured) activation latency of the control path.
+type timeCoordinator struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pos     map[string]time.Time
+	stopped bool
+}
+
+func newTimeCoordinator() *timeCoordinator {
+	c := &timeCoordinator{pos: map[string]time.Time{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// register announces a source and its first emission time. All sources must
+// register before any of them calls wait, or the early ones would race past
+// the unregistered rest; the executor registers during generation setup.
+func (c *timeCoordinator) register(id string, ts time.Time) {
+	c.mu.Lock()
+	c.pos[id] = ts
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// wait blocks until ts is not ahead of any live source's position (or the
+// coordinator is stopped). It also publishes ts as the source's position.
+func (c *timeCoordinator) wait(id string, ts time.Time) {
+	c.mu.Lock()
+	c.pos[id] = ts
+	c.cond.Broadcast()
+	for !c.stopped && c.minLocked().Before(ts) {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// done removes a finished source so it no longer constrains the minimum.
+func (c *timeCoordinator) done(id string) {
+	c.mu.Lock()
+	delete(c.pos, id)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// stop releases every waiter; sources then observe the stop channel and
+// drain out.
+func (c *timeCoordinator) stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// minLocked returns the earliest live position; the zero time means "no
+// constraint" and is treated as +infinity by returning ts-independent max.
+func (c *timeCoordinator) minLocked() time.Time {
+	var min time.Time
+	first := true
+	for _, ts := range c.pos {
+		if first || ts.Before(min) {
+			min = ts
+			first = false
+		}
+	}
+	if first {
+		return time.Unix(0, 1<<62)
+	}
+	return min
+}

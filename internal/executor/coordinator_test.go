@@ -1,0 +1,161 @@
+package executor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/network"
+	"streamloader/internal/sensor"
+)
+
+func TestCoordinatorLockstep(t *testing.T) {
+	c := newTimeCoordinator()
+	c.register("a", t0)
+	c.register("b", t0)
+
+	// "a" wants to advance one step past "b": it must block until "b"
+	// catches up.
+	released := make(chan struct{})
+	go func() {
+		c.wait("a", t0.Add(time.Second))
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("a advanced past b without waiting")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// b catches up: a releases.
+	c.wait("b", t0.Add(time.Second))
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("a never released after b caught up")
+	}
+}
+
+func TestCoordinatorDoneRemovesConstraint(t *testing.T) {
+	c := newTimeCoordinator()
+	c.register("a", t0)
+	c.register("b", t0)
+	released := make(chan struct{})
+	go func() {
+		c.wait("a", t0.Add(time.Hour))
+		close(released)
+	}()
+	// b finishes: a is unconstrained.
+	c.done("b")
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("done(b) did not release a")
+	}
+}
+
+func TestCoordinatorStopReleasesAll(t *testing.T) {
+	c := newTimeCoordinator()
+	c.register("a", t0)
+	c.register("b", t0)
+	var wg sync.WaitGroup
+	for _, id := range []string{"a", "b"} {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.wait(id, t0.Add(time.Duration(len(id))*time.Hour))
+		}()
+	}
+	c.stop()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not release waiters")
+	}
+}
+
+func TestCoordinatorSingleSourceNeverBlocks(t *testing.T) {
+	c := newTimeCoordinator()
+	c.register("only", t0)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			c.wait("only", t0.Add(time.Duration(i)*time.Second))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("single source blocked")
+	}
+}
+
+func TestCoordinatorEmptyMinIsUnbounded(t *testing.T) {
+	c := newTimeCoordinator()
+	// No sources at all: wait must not block (min = +inf).
+	done := make(chan struct{})
+	go func() {
+		c.wait("late", t0.Add(time.Hour))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait blocked with no other sources")
+	}
+}
+
+func TestDeployFailsWhenBandwidthExhausted(t *testing.T) {
+	// A two-node network whose single link cannot carry the flow's QoS
+	// reservation: SCN flow allocation must fail and Deploy must surface it.
+	r := newRig(t, 2, []sensor.Spec{tempSpec("temp-1")})
+	rebuilt, err := networkWithThinLinks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.exec.cfg.Network = rebuilt
+	r.exec.cfg.Strategy = &network.RoundRobin{} // force cross-node edges
+	if _, err := r.exec.Deploy(simpleFlow()); err == nil {
+		t.Error("deploy must fail when QoS reservations cannot be admitted")
+	}
+}
+
+func TestRunTwiceConcurrentlyFails(t *testing.T) {
+	r := newRig(t, 2, []sensor.Spec{tempSpec("temp-1")})
+	d, err := r.exec.Deploy(simpleFlow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Undeploy()
+	done := make(chan error, 1)
+	go func() { done <- d.Run(t0, t0.Add(time.Hour)) }()
+	for len(d.Collected("out")) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Run(t0, t0.Add(time.Hour)); err == nil {
+		t.Error("concurrent Run must fail")
+	}
+	d.Stop()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// networkWithThinLinks builds a 2-node network whose link bandwidth is below
+// any flow's minimum reservation.
+func networkWithThinLinks() (*network.Network, error) {
+	n := network.New()
+	for _, id := range []string{"node-00", "node-01"} {
+		if err := n.AddNode(network.Node{ID: id, Capacity: 100, Region: geo.Osaka}); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.AddLink("node-00", "node-01", 2, 1); err != nil { // 1 kbps
+		return nil, err
+	}
+	return n, nil
+}

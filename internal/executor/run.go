@@ -1,0 +1,338 @@
+package executor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/dsn"
+	"streamloader/internal/ops"
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+)
+
+// Run executes the deployment over the event-time range [from, to). With a
+// virtual clock the run replays at full speed; with the wall clock it paces
+// sources in real time. Run returns when the range completes or after Stop
+// drains the dataflow. A deployment can Run again (after Reconfigure, or to
+// extend the range): sources resume from where they stopped.
+func (d *Deployment) Run(from, to time.Time) error {
+	d.mu.Lock()
+	if d.running {
+		d.mu.Unlock()
+		return fmt.Errorf("executor: deployment already running")
+	}
+	d.running = true
+	d.stopCh = make(chan struct{})
+	d.stopOnce = sync.Once{}
+	plan := d.plan
+	placement := make(map[string]string, len(d.placement))
+	for k, v := range d.placement {
+		placement[k] = v
+	}
+	docName := d.doc.Name
+	d.mu.Unlock()
+
+	defer func() {
+		d.mu.Lock()
+		d.running = false
+		d.stopCh = nil
+		d.mu.Unlock()
+	}()
+
+	e := d.exec
+	buffer := e.cfg.Buffer
+
+	// One stream per edge, plus a router per producing node that fans its
+	// output out to the edges and records cross-node transfers.
+	edges := map[[2]string]*stream.Stream{}
+	for _, pn := range plan.Nodes {
+		for _, toID := range pn.Out {
+			edges[[2]string{pn.ID, toID}] = stream.New(pn.ID+"->"+toID, pn.OutSchema, buffer)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(plan.Nodes)*2)
+	fail := func(err error) {
+		errs <- err
+		d.Stop() // stop sources so the generation drains
+	}
+
+	// Event-time coordination across sources (see timeCoordinator). Register
+	// every source before any starts so none races ahead.
+	coord := newTimeCoordinator()
+	for _, pn := range plan.Nodes {
+		if pn.Kind == ops.KindSource {
+			d.mu.RLock()
+			start, resumed := d.sourcePos[pn.ID]
+			d.mu.RUnlock()
+			if !resumed || start.Before(from) {
+				start = from
+			}
+			coord.register(pn.ID, start)
+		}
+	}
+	// Release coordinator waiters when a stop is requested.
+	d.mu.RLock()
+	stopCh := d.stopCh
+	d.mu.RUnlock()
+	stopWatch := make(chan struct{})
+	go func() {
+		select {
+		case <-stopCh:
+		case <-stopWatch:
+		}
+		coord.stop()
+	}()
+
+	for _, pn := range plan.Nodes {
+		pn := pn
+		outs := make([]*stream.Stream, 0, len(pn.Out))
+		outFlows := make([]string, 0, len(pn.Out))
+		remote := make([]bool, 0, len(pn.Out))
+		for _, toID := range pn.Out {
+			outs = append(outs, edges[[2]string{pn.ID, toID}])
+			port := 0
+			if t := plan.Node(toID); t != nil {
+				for i, from := range t.In {
+					if from == pn.ID {
+						port = i
+					}
+				}
+			}
+			outFlows = append(outFlows, dsn.FlowID(docName, pn.ID, toID, port))
+			remote = append(remote, placement[pn.ID] != placement[toID])
+		}
+		ins := make([]*stream.Stream, 0, len(pn.In))
+		for _, fromID := range pn.In {
+			ins = append(ins, edges[[2]string{fromID, pn.ID}])
+		}
+
+		switch pn.Kind {
+		case ops.KindSource:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.runSource(pn, coord, outs, outFlows, remote, from, to)
+			}()
+
+		case ops.KindSink:
+			sink, err := d.buildSink(pn, placement[pn.ID])
+			if err != nil {
+				// Construction failure before any goroutine: unwind inputs.
+				for _, in := range ins {
+					go in.Drain()
+				}
+				fail(err)
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d.runSink(pn, sink, ins)
+			}()
+
+		default:
+			mid := stream.New(pn.ID+".out", pn.OutSchema, buffer)
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				err := pn.Op.Run(ins, mid)
+				// Unblock upstream regardless of how Run ended.
+				for _, in := range ins {
+					in.Drain()
+				}
+				if err != nil {
+					fail(fmt.Errorf("executor: operation %s: %w", pn.ID, err))
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				d.route(pn, mid, outs, outFlows, remote)
+			}()
+		}
+	}
+
+	wg.Wait()
+	close(stopWatch)
+	close(errs)
+	return <-errs
+}
+
+// tupleBytes estimates the wire size of a tuple for transfer accounting.
+func tupleBytes(s *stt.Schema) uint64 {
+	return uint64(48 + 16*s.NumFields())
+}
+
+// runSource paces one sensor-bound source. A deactivated sensor (its stream
+// stopped by a Trigger Off, or not yet started by a Trigger On) produces no
+// tuples but still advances the watermark, so downstream windows keep
+// flushing — exactly the "activation/deactivation of streams" semantics of
+// Table 1's trigger operations.
+func (d *Deployment) runSource(pn *dataflow.PlanNode, coord *timeCoordinator, outs []*stream.Stream, flows []string, remote []bool, from, to time.Time) {
+	e := d.exec
+	src, ok := e.cfg.Sensors(pn.SensorID)
+	if !ok {
+		// Sensor vanished between compile and run; emit nothing.
+		coord.done(pn.ID)
+		for _, o := range outs {
+			o.Close()
+		}
+		return
+	}
+	defer coord.done(pn.ID)
+	ctr := d.srcCtrs[pn.ID]
+	period := src.Period()
+	bytes := tupleBytes(src.Schema())
+
+	d.mu.RLock()
+	start, resumed := d.sourcePos[pn.ID]
+	stopCh := d.stopCh
+	d.mu.RUnlock()
+	if !resumed || start.Before(from) {
+		start = from
+	}
+
+	ts := start
+	for ts.Before(to) {
+		select {
+		case <-stopCh:
+			goto done
+		default:
+		}
+		// Hold until every other source has reached this event time, then
+		// pace: wall clock sleeps, virtual clock advances instantly.
+		coord.wait(pn.ID, ts)
+		if wait := ts.Sub(e.cfg.Clock.Now()); wait > 0 {
+			e.cfg.Clock.Sleep(wait)
+		}
+		if e.cfg.Broker.IsActive(pn.SensorID) {
+			tup := src.At(ts)
+			if ctr != nil {
+				ctr.In.Add(1)
+				ctr.Out.Add(1)
+			}
+			for i, o := range outs {
+				o.Send(tup)
+				if remote[i] {
+					e.cfg.Network.RecordTransfer(flows[i], 1, bytes)
+				}
+			}
+		} else {
+			if ctr != nil {
+				ctr.In.Add(1)
+				ctr.Dropped.Add(1)
+			}
+			// Generate-and-discard keeps the generator's internal state
+			// aligned with event time across activation changes.
+			_ = src.At(ts)
+		}
+		for _, o := range outs {
+			o.SendWatermark(ts)
+		}
+		d.maybeSample(ts)
+		ts = ts.Add(period)
+	}
+done:
+	d.mu.Lock()
+	d.sourcePos[pn.ID] = ts
+	d.mu.Unlock()
+	for _, o := range outs {
+		o.Close()
+	}
+}
+
+// route fans an operation's output to its consumers, recording cross-node
+// transfers on the corresponding SCN flows.
+func (d *Deployment) route(pn *dataflow.PlanNode, mid *stream.Stream, outs []*stream.Stream, flows []string, remote []bool) {
+	e := d.exec
+	bytes := uint64(0)
+	if pn.OutSchema != nil {
+		bytes = tupleBytes(pn.OutSchema)
+	}
+	for item := range mid.C {
+		switch item.Kind {
+		case stream.ItemTuple:
+			for i, o := range outs {
+				o.Send(item.Tuple)
+				if remote[i] {
+					e.cfg.Network.RecordTransfer(flows[i], 1, bytes)
+				}
+			}
+		case stream.ItemWatermark:
+			for _, o := range outs {
+				o.SendWatermark(item.Watermark)
+			}
+		}
+	}
+	for _, o := range outs {
+		o.Close()
+	}
+}
+
+// runSink drains the sink's inputs into its destination.
+func (d *Deployment) runSink(pn *dataflow.PlanNode, sink Sink, ins []*stream.Stream) {
+	ctr := d.sinkCtrs[pn.ID]
+	for _, in := range ins {
+		for item := range in.C {
+			if item.Kind != stream.ItemTuple {
+				continue
+			}
+			if ctr != nil {
+				ctr.In.Add(1)
+			}
+			if err := sink.Accept(item.Tuple); err != nil {
+				if ctr != nil {
+					ctr.Dropped.Add(1)
+				}
+				continue
+			}
+			if ctr != nil {
+				ctr.Out.Add(1)
+			}
+		}
+	}
+	_ = sink.Close()
+}
+
+// buildSink realizes a sink node's destination.
+func (d *Deployment) buildSink(pn *dataflow.PlanNode, nodeID string) (Sink, error) {
+	switch pn.SinkKind {
+	case "collect":
+		return &collectSink{d: d, id: pn.ID}, nil
+	case "discard":
+		return discardSink{}, nil
+	default:
+		if d.exec.cfg.Sinks == nil {
+			return nil, fmt.Errorf("executor: sink %s wants %q but no sink factory is configured",
+				pn.ID, pn.SinkKind)
+		}
+		var schema *stt.Schema
+		if len(pn.In) > 0 {
+			if up := d.plan.Node(pn.In[0]); up != nil {
+				schema = up.OutSchema
+			}
+		}
+		return d.exec.cfg.Sinks(pn.SinkKind, nodeID, schema)
+	}
+}
+
+// maybeSample triggers a monitor sample when event time has advanced far
+// enough since the last one.
+func (d *Deployment) maybeSample(ts time.Time) {
+	m := d.exec.cfg.Monitor
+	if m == nil {
+		return
+	}
+	d.mu.Lock()
+	due := d.lastSample.IsZero() || ts.Sub(d.lastSample) >= d.exec.cfg.SampleEvery
+	if due {
+		d.lastSample = ts
+	}
+	d.mu.Unlock()
+	if due {
+		m.SampleAll(ts)
+	}
+}

@@ -1,0 +1,30 @@
+package executor
+
+import "streamloader/internal/stt"
+
+// collectSink gathers tuples into the deployment for inspection, the
+// destination tests and the design environment use.
+type collectSink struct {
+	d  *Deployment
+	id string
+}
+
+// Accept stores the tuple.
+func (s *collectSink) Accept(t *stt.Tuple) error {
+	s.d.mu.Lock()
+	s.d.collected[s.id] = append(s.d.collected[s.id], t)
+	s.d.mu.Unlock()
+	return nil
+}
+
+// Close is a no-op; collected tuples stay available after the run.
+func (s *collectSink) Close() error { return nil }
+
+// discardSink drops everything (throughput benchmarks).
+type discardSink struct{}
+
+// Accept drops the tuple.
+func (discardSink) Accept(*stt.Tuple) error { return nil }
+
+// Close is a no-op.
+func (discardSink) Close() error { return nil }

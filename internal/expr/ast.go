@@ -1,0 +1,147 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+
+	"streamloader/internal/stt"
+)
+
+// Node is an expression-tree node. Nodes are immutable after parsing; the
+// same compiled expression is shared by every tuple an operator processes.
+type Node interface {
+	// String renders the node in concrete syntax that re-parses to an
+	// equivalent tree (used by the DSN translator and round-trip tests).
+	String() string
+	// precedence returns the binding strength for parenthesization.
+	precedence() int
+}
+
+// Lit is a literal value.
+type Lit struct {
+	Value stt.Value
+}
+
+func (n *Lit) String() string {
+	if n.Value.Kind() == stt.KindString {
+		return strconv.Quote(n.Value.AsString())
+	}
+	return n.Value.String()
+}
+
+func (n *Lit) precedence() int { return 100 }
+
+// Ident references a tuple field or one of the reserved STT metadata names
+// (_time, _lat, _lon, _theme, _source, _seq). In join predicates the
+// Qualifier is "left" or "right".
+type Ident struct {
+	Qualifier string // "" for unqualified
+	Name      string
+}
+
+func (n *Ident) String() string {
+	if n.Qualifier != "" {
+		return n.Qualifier + "." + n.Name
+	}
+	return n.Name
+}
+
+func (n *Ident) precedence() int { return 100 }
+
+// Unary is !x or -x.
+type Unary struct {
+	Op string // "!" or "-"
+	X  Node
+}
+
+func (n *Unary) String() string {
+	return n.Op + maybeParen(n.X, n.precedence())
+}
+
+func (n *Unary) precedence() int { return 7 }
+
+// Binary is a binary operation. Op is one of
+// "||", "&&", "==", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%".
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+func (n *Binary) String() string {
+	p := n.precedence()
+	// Right operand needs parens at equal precedence to preserve
+	// left-associativity (a-(b-c) vs a-b-c).
+	return maybeParen(n.L, p) + " " + n.Op + " " + maybeParen(n.R, p+1)
+}
+
+func (n *Binary) precedence() int { return binaryPrec(n.Op) }
+
+// Call is a builtin function application.
+type Call struct {
+	Func string
+	Args []Node
+}
+
+func (n *Call) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return n.Func + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (n *Call) precedence() int { return 100 }
+
+func maybeParen(n Node, ctx int) string {
+	if n.precedence() < ctx {
+		return "(" + n.String() + ")"
+	}
+	return n.String()
+}
+
+func binaryPrec(op string) int {
+	switch op {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "==", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	default:
+		return 0
+	}
+}
+
+// Fields returns the set of field names referenced by the expression, keyed
+// by qualifier ("" for unqualified). Dataflow validation uses it to check
+// conditions against the propagated schemas.
+func Fields(n Node) map[string][]string {
+	out := map[string][]string{}
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Ident:
+			key := t.Qualifier + "." + t.Name
+			if !seen[key] {
+				seen[key] = true
+				out[t.Qualifier] = append(out[t.Qualifier], t.Name)
+			}
+		case *Unary:
+			walk(t.X)
+		case *Binary:
+			walk(t.L)
+			walk(t.R)
+		case *Call:
+			for _, a := range t.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	return out
+}

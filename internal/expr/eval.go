@@ -1,0 +1,460 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+// Scope carries the runtime tuples an expression evaluates against.
+type Scope struct {
+	Tuple *stt.Tuple // single-input operations
+	Left  *stt.Tuple // join predicates
+	Right *stt.Tuple
+}
+
+// EvalError reports a runtime evaluation failure (e.g. division by zero).
+type EvalError struct {
+	Node Node
+	Err  error
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("expr: evaluating %q: %v", e.Node.String(), e.Err)
+}
+
+func (e *EvalError) Unwrap() error { return e.Err }
+
+// Eval evaluates the compiled expression against the scope.
+func (c *Compiled) Eval(s Scope) (stt.Value, error) {
+	return eval(c.Root, s)
+}
+
+// EvalBool evaluates the expression as a condition using truthiness.
+func (c *Compiled) EvalBool(s Scope) (bool, error) {
+	v, err := eval(c.Root, s)
+	if err != nil {
+		return false, err
+	}
+	return v.Truthy(), nil
+}
+
+// EvalTuple is a convenience for the common single-tuple case.
+func (c *Compiled) EvalTuple(t *stt.Tuple) (stt.Value, error) {
+	return c.Eval(Scope{Tuple: t})
+}
+
+func eval(n Node, s Scope) (stt.Value, error) {
+	switch t := n.(type) {
+	case *Lit:
+		return t.Value, nil
+	case *Ident:
+		return evalIdent(t, s)
+	case *Unary:
+		x, err := eval(t.X, s)
+		if err != nil {
+			return stt.Null(), err
+		}
+		switch t.Op {
+		case "!":
+			return stt.Bool(!x.Truthy()), nil
+		case "-":
+			v, err := x.Neg()
+			if err != nil {
+				return stt.Null(), &EvalError{Node: n, Err: err}
+			}
+			return v, nil
+		default:
+			return stt.Null(), &EvalError{Node: n, Err: fmt.Errorf("unknown unary op %q", t.Op)}
+		}
+	case *Binary:
+		return evalBinary(t, s)
+	case *Call:
+		return evalCall(t, s)
+	default:
+		return stt.Null(), &EvalError{Node: n, Err: fmt.Errorf("unknown node %T", n)}
+	}
+}
+
+func evalIdent(t *Ident, s Scope) (stt.Value, error) {
+	tup := s.Tuple
+	switch t.Qualifier {
+	case "left":
+		tup = s.Left
+	case "right":
+		tup = s.Right
+	}
+	if tup == nil {
+		return stt.Null(), &EvalError{Node: t, Err: fmt.Errorf("no tuple bound for %q", t.String())}
+	}
+	switch t.Name {
+	case "_time":
+		return stt.Time(tup.Time), nil
+	case "_lat":
+		return stt.Float(tup.Lat), nil
+	case "_lon":
+		return stt.Float(tup.Lon), nil
+	case "_theme":
+		return stt.String(tup.Theme), nil
+	case "_source":
+		return stt.String(tup.Source), nil
+	case "_seq":
+		return stt.Int(int64(tup.Seq)), nil
+	}
+	v, ok := tup.Get(t.Name)
+	if !ok {
+		return stt.Null(), &EvalError{Node: t, Err: fmt.Errorf("tuple has no field %q", t.Name)}
+	}
+	return v, nil
+}
+
+func evalBinary(t *Binary, s Scope) (stt.Value, error) {
+	// Short-circuit logical operators.
+	switch t.Op {
+	case "&&":
+		l, err := eval(t.L, s)
+		if err != nil {
+			return stt.Null(), err
+		}
+		if !l.Truthy() {
+			return stt.Bool(false), nil
+		}
+		r, err := eval(t.R, s)
+		if err != nil {
+			return stt.Null(), err
+		}
+		return stt.Bool(r.Truthy()), nil
+	case "||":
+		l, err := eval(t.L, s)
+		if err != nil {
+			return stt.Null(), err
+		}
+		if l.Truthy() {
+			return stt.Bool(true), nil
+		}
+		r, err := eval(t.R, s)
+		if err != nil {
+			return stt.Null(), err
+		}
+		return stt.Bool(r.Truthy()), nil
+	}
+
+	l, err := eval(t.L, s)
+	if err != nil {
+		return stt.Null(), err
+	}
+	r, err := eval(t.R, s)
+	if err != nil {
+		return stt.Null(), err
+	}
+
+	// Null propagates through comparisons as false and through arithmetic
+	// as null, the usual stream-ETL behaviour for missing sensor readings.
+	switch t.Op {
+	case "==":
+		if l.IsNull() || r.IsNull() {
+			return stt.Bool(l.IsNull() && r.IsNull()), nil
+		}
+		return stt.Bool(l.Equal(r)), nil
+	case "!=":
+		if l.IsNull() || r.IsNull() {
+			return stt.Bool(l.IsNull() != r.IsNull()), nil
+		}
+		return stt.Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return stt.Bool(false), nil
+		}
+		c, err := l.Compare(r)
+		if err != nil {
+			return stt.Null(), &EvalError{Node: t, Err: err}
+		}
+		switch t.Op {
+		case "<":
+			return stt.Bool(c < 0), nil
+		case "<=":
+			return stt.Bool(c <= 0), nil
+		case ">":
+			return stt.Bool(c > 0), nil
+		default:
+			return stt.Bool(c >= 0), nil
+		}
+	}
+
+	if l.IsNull() || r.IsNull() {
+		return stt.Null(), nil
+	}
+	var v stt.Value
+	switch t.Op {
+	case "+":
+		v, err = l.Add(r)
+	case "-":
+		v, err = l.Sub(r)
+	case "*":
+		v, err = l.Mul(r)
+	case "/":
+		v, err = l.Div(r)
+	case "%":
+		v, err = l.Mod(r)
+	default:
+		err = fmt.Errorf("unknown operator %q", t.Op)
+	}
+	if err != nil {
+		return stt.Null(), &EvalError{Node: t, Err: err}
+	}
+	return v, nil
+}
+
+// kindAny and kindNum are pseudo-kinds for builtin signatures.
+const (
+	kindAny = stt.Kind(200)
+	kindNum = stt.Kind(201)
+)
+
+type builtin struct {
+	params   []stt.Kind // kindAny/kindNum allowed; last repeats if variadic
+	variadic bool
+	result   func(t *Call, env Env) (stt.Kind, error)
+	eval     func(args []stt.Value) (stt.Value, error)
+}
+
+func fixedKind(k stt.Kind) func(*Call, Env) (stt.Kind, error) {
+	return func(*Call, Env) (stt.Kind, error) { return k, nil }
+}
+
+func num1(f func(float64) float64) func([]stt.Value) (stt.Value, error) {
+	return func(args []stt.Value) (stt.Value, error) {
+		if args[0].IsNull() {
+			return stt.Null(), nil
+		}
+		return stt.Float(f(args[0].AsFloat())), nil
+	}
+}
+
+// builtins is the function registry of the condition language. It is
+// populated in init to break the spurious initialization cycle between the
+// registry and Check (which some result inferers call back into).
+var builtins map[string]builtin
+
+func init() {
+	builtins = builtinDefs()
+}
+
+func builtinDefs() map[string]builtin {
+	return map[string]builtin{
+		"abs": {params: []stt.Kind{kindNum}, result: firstArgKind,
+			eval: func(a []stt.Value) (stt.Value, error) {
+				if a[0].IsNull() {
+					return stt.Null(), nil
+				}
+				if a[0].Kind() == stt.KindInt {
+					v := a[0].AsInt()
+					if v < 0 {
+						v = -v
+					}
+					return stt.Int(v), nil
+				}
+				return stt.Float(math.Abs(a[0].AsFloat())), nil
+			}},
+		"sqrt":  {params: []stt.Kind{kindNum}, result: fixedKind(stt.KindFloat), eval: num1(math.Sqrt)},
+		"exp":   {params: []stt.Kind{kindNum}, result: fixedKind(stt.KindFloat), eval: num1(math.Exp)},
+		"log":   {params: []stt.Kind{kindNum}, result: fixedKind(stt.KindFloat), eval: num1(math.Log)},
+		"floor": {params: []stt.Kind{kindNum}, result: fixedKind(stt.KindFloat), eval: num1(math.Floor)},
+		"ceil":  {params: []stt.Kind{kindNum}, result: fixedKind(stt.KindFloat), eval: num1(math.Ceil)},
+		"round": {params: []stt.Kind{kindNum}, result: fixedKind(stt.KindFloat), eval: num1(math.Round)},
+		"pow": {params: []stt.Kind{kindNum, kindNum}, result: fixedKind(stt.KindFloat),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				if a[0].IsNull() || a[1].IsNull() {
+					return stt.Null(), nil
+				}
+				return stt.Float(math.Pow(a[0].AsFloat(), a[1].AsFloat())), nil
+			}},
+		"min": {params: []stt.Kind{kindNum, kindNum}, variadic: true, result: fixedKind(stt.KindFloat),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				best := math.Inf(1)
+				for _, v := range a {
+					if v.IsNull() {
+						continue
+					}
+					best = math.Min(best, v.AsFloat())
+				}
+				return stt.Float(best), nil
+			}},
+		"max": {params: []stt.Kind{kindNum, kindNum}, variadic: true, result: fixedKind(stt.KindFloat),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				best := math.Inf(-1)
+				for _, v := range a {
+					if v.IsNull() {
+						continue
+					}
+					best = math.Max(best, v.AsFloat())
+				}
+				return stt.Float(best), nil
+			}},
+		"contains": {params: []stt.Kind{stt.KindString, stt.KindString}, result: fixedKind(stt.KindBool),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Bool(strings.Contains(a[0].AsString(), a[1].AsString())), nil
+			}},
+		"startswith": {params: []stt.Kind{stt.KindString, stt.KindString}, result: fixedKind(stt.KindBool),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Bool(strings.HasPrefix(a[0].AsString(), a[1].AsString())), nil
+			}},
+		"endswith": {params: []stt.Kind{stt.KindString, stt.KindString}, result: fixedKind(stt.KindBool),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Bool(strings.HasSuffix(a[0].AsString(), a[1].AsString())), nil
+			}},
+		"lower": {params: []stt.Kind{stt.KindString}, result: fixedKind(stt.KindString),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.String(strings.ToLower(a[0].AsString())), nil
+			}},
+		"upper": {params: []stt.Kind{stt.KindString}, result: fixedKind(stt.KindString),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.String(strings.ToUpper(a[0].AsString())), nil
+			}},
+		"trim": {params: []stt.Kind{stt.KindString}, result: fixedKind(stt.KindString),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.String(strings.TrimSpace(a[0].AsString())), nil
+			}},
+		"len": {params: []stt.Kind{stt.KindString}, result: fixedKind(stt.KindInt),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Int(int64(len(a[0].AsString()))), nil
+			}},
+		"matches_date": {params: []stt.Kind{stt.KindString, stt.KindString}, result: fixedKind(stt.KindBool),
+			eval: evalMatchesDate},
+		"distance_m": {params: []stt.Kind{kindNum, kindNum, kindNum, kindNum}, result: fixedKind(stt.KindFloat),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				p := geo.Point{Lat: a[0].AsFloat(), Lon: a[1].AsFloat()}
+				q := geo.Point{Lat: a[2].AsFloat(), Lon: a[3].AsFloat()}
+				return stt.Float(p.DistanceMeters(q)), nil
+			}},
+		"hour": {params: []stt.Kind{stt.KindTime}, result: fixedKind(stt.KindInt),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Int(int64(a[0].AsTime().UTC().Hour())), nil
+			}},
+		"minute": {params: []stt.Kind{stt.KindTime}, result: fixedKind(stt.KindInt),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Int(int64(a[0].AsTime().UTC().Minute())), nil
+			}},
+		"weekday": {params: []stt.Kind{stt.KindTime}, result: fixedKind(stt.KindInt),
+			eval: func(a []stt.Value) (stt.Value, error) {
+				return stt.Int(int64(a[0].AsTime().UTC().Weekday())), nil
+			}},
+		"if": {params: []stt.Kind{kindAny, kindAny, kindAny},
+			result: func(t *Call, env Env) (stt.Kind, error) {
+				thenK, err := Check(t.Args[1], env)
+				if err != nil {
+					return stt.KindNull, err
+				}
+				elseK, err := Check(t.Args[2], env)
+				if err != nil {
+					return stt.KindNull, err
+				}
+				if thenK == elseK {
+					return thenK, nil
+				}
+				if thenK.Numeric() && elseK.Numeric() {
+					return stt.KindFloat, nil
+				}
+				if thenK == stt.KindNull {
+					return elseK, nil
+				}
+				return thenK, nil
+			},
+			eval: func(a []stt.Value) (stt.Value, error) {
+				if a[0].Truthy() {
+					return a[1], nil
+				}
+				return a[2], nil
+			}},
+		"coalesce": {params: []stt.Kind{kindAny, kindAny}, variadic: true,
+			result: func(t *Call, env Env) (stt.Kind, error) {
+				for _, a := range t.Args {
+					k, err := Check(a, env)
+					if err != nil {
+						return stt.KindNull, err
+					}
+					if k != stt.KindNull {
+						return k, nil
+					}
+				}
+				return stt.KindNull, nil
+			},
+			eval: func(a []stt.Value) (stt.Value, error) {
+				for _, v := range a {
+					if !v.IsNull() {
+						return v, nil
+					}
+				}
+				return stt.Null(), nil
+			}},
+	}
+}
+
+func firstArgKind(t *Call, env Env) (stt.Kind, error) {
+	return Check(t.Args[0], env)
+}
+
+// evalMatchesDate implements the paper's validation-rule example "dates
+// conforming to given patterns". The pattern uses Y/M/D/h/m/s placeholders,
+// e.g. "YYYY-MM-DD" or "YYYY/MM/DD hh:mm".
+func evalMatchesDate(a []stt.Value) (stt.Value, error) {
+	s, pat := a[0].AsString(), a[1].AsString()
+	if len(s) != len(pat) {
+		return stt.Bool(false), nil
+	}
+	for i := 0; i < len(pat); i++ {
+		switch pat[i] {
+		case 'Y', 'M', 'D', 'h', 'm', 's':
+			if s[i] < '0' || s[i] > '9' {
+				return stt.Bool(false), nil
+			}
+		default:
+			if s[i] != pat[i] {
+				return stt.Bool(false), nil
+			}
+		}
+	}
+	return stt.Bool(true), nil
+}
+
+func evalCall(t *Call, s Scope) (stt.Value, error) {
+	fn, ok := builtins[t.Func]
+	if !ok {
+		return stt.Null(), &EvalError{Node: t, Err: fmt.Errorf("unknown function %q", t.Func)}
+	}
+	args := make([]stt.Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := eval(a, s)
+		if err != nil {
+			return stt.Null(), err
+		}
+		args[i] = v
+	}
+	v, err := fn.eval(args)
+	if err != nil {
+		return stt.Null(), &EvalError{Node: t, Err: err}
+	}
+	return v, nil
+}
+
+// Builtins returns the sorted names of all builtin functions, for
+// documentation and UI autocomplete.
+func Builtins() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

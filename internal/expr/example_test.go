@@ -1,0 +1,34 @@
+package expr_test
+
+import (
+	"fmt"
+
+	"streamloader/internal/expr"
+	"streamloader/internal/stt"
+)
+
+// ExampleCompile evaluates the paper's apparent-temperature specification
+// against one sensor reading.
+func ExampleCompile() {
+	schema := stt.MustSchema([]stt.Field{
+		stt.NewField("temperature", stt.KindFloat, "celsius"),
+		stt.NewField("humidity", stt.KindFloat, "percent"),
+	}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+
+	spec := "temperature + 0.33*(humidity/100*6.105*exp(17.27*temperature/(237.7+temperature))) - 4"
+	compiled, err := expr.Compile(spec, expr.Env{Schema: schema})
+	if err != nil {
+		fmt.Println("compile error:", err)
+		return
+	}
+
+	reading, _ := stt.NewTuple(schema, []stt.Value{stt.Float(30), stt.Float(70)})
+	apparent, err := compiled.EvalTuple(reading)
+	if err != nil {
+		fmt.Println("eval error:", err)
+		return
+	}
+	fmt.Printf("kind=%s apparent=%.1f\n", compiled.Kind, apparent.AsFloat())
+	// Output:
+	// kind=float apparent=35.8
+}

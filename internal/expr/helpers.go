@@ -1,0 +1,17 @@
+package expr
+
+import (
+	"fmt"
+
+	"streamloader/internal/stt"
+)
+
+// Thin aliases keeping the parser free of direct fmt/stt noise.
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+func intValue(v int64) stt.Value     { return stt.Int(v) }
+func floatValue(v float64) stt.Value { return stt.Float(v) }
+func stringValue(v string) stt.Value { return stt.String(v) }
+func boolValue(v bool) stt.Value     { return stt.Bool(v) }
+func nullValue() stt.Value           { return stt.Null() }

@@ -1,0 +1,271 @@
+// Package monitor collects the execution statistics of the paper's
+// Figure 3: "the number of tuples that each operation handles per second,
+// the node that suffers because of high workload, which node is in charge of
+// executing an operation and when the assignment changes".
+//
+// Logs of the activities are collected here by the executor and exposed as
+// snapshots to the Web interface.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streamloader/internal/ops"
+)
+
+// ringSize is how many samples each operation retains (the sparkline length
+// of the monitoring UI).
+const ringSize = 120
+
+// Sample is one point of an operation's rate series.
+type Sample struct {
+	Time    time.Time `json:"time"`
+	In      uint64    `json:"in"`
+	Out     uint64    `json:"out"`
+	Dropped uint64    `json:"dropped"`
+	RateIn  float64   `json:"rate_in"`  // tuples/sec consumed since last sample
+	RateOut float64   `json:"rate_out"` // tuples/sec produced since last sample
+}
+
+// opState tracks one registered operation process.
+type opState struct {
+	name     string
+	node     string
+	counters *ops.Counters
+
+	lastSample Sample
+	ring       []Sample
+	ringNext   int
+}
+
+// EventKind classifies monitor events.
+type EventKind string
+
+// Monitor event kinds.
+const (
+	EventDeployed   EventKind = "deployed"
+	EventReassigned EventKind = "reassigned"
+	EventTrigger    EventKind = "trigger"
+	EventNodeDown   EventKind = "node-down"
+	EventNodeUp     EventKind = "node-up"
+	EventSwapped    EventKind = "swapped"
+	EventStopped    EventKind = "stopped"
+)
+
+// Event is one logged control-plane occurrence.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Kind   EventKind `json:"kind"`
+	Op     string    `json:"op,omitempty"`
+	Node   string    `json:"node,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s op=%s node=%s %s",
+		e.Time.UTC().Format(time.RFC3339), e.Kind, e.Op, e.Node, e.Detail)
+}
+
+// OpReport is the per-operation part of a snapshot.
+type OpReport struct {
+	Name    string   `json:"name"`
+	Node    string   `json:"node"`
+	In      uint64   `json:"in"`
+	Out     uint64   `json:"out"`
+	Dropped uint64   `json:"dropped"`
+	RateIn  float64  `json:"rate_in"`
+	RateOut float64  `json:"rate_out"`
+	Series  []Sample `json:"series,omitempty"`
+}
+
+// Report is a full monitoring snapshot for the Web interface.
+type Report struct {
+	Time      time.Time          `json:"time"`
+	Ops       []OpReport         `json:"ops"`
+	NodeLoad  map[string]float64 `json:"node_load,omitempty"`
+	HotNode   string             `json:"hot_node,omitempty"`
+	Events    []Event            `json:"events,omitempty"`
+	NumEvents int                `json:"num_events"`
+}
+
+// Monitor aggregates operation counters and control-plane events. All
+// methods are safe for concurrent use.
+type Monitor struct {
+	mu     sync.RWMutex
+	opsMap map[string]*opState
+	events []Event
+	// LoadSource, when set, supplies per-node load for snapshots (the
+	// executor wires it to Network.Utilization).
+	loadSource func() map[string]float64
+}
+
+// New creates an empty monitor.
+func New() *Monitor {
+	return &Monitor{opsMap: map[string]*opState{}}
+}
+
+// SetLoadSource wires the node-utilization provider.
+func (m *Monitor) SetLoadSource(f func() map[string]float64) {
+	m.mu.Lock()
+	m.loadSource = f
+	m.mu.Unlock()
+}
+
+// Register starts tracking an operation process placed on a node.
+func (m *Monitor) Register(op, node string, counters *ops.Counters) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.opsMap[op] = &opState{name: op, node: node, counters: counters}
+}
+
+// Unregister stops tracking an operation.
+func (m *Monitor) Unregister(op string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.opsMap, op)
+}
+
+// Reassign records that an operation moved to a different node (the
+// Figure 3 "when the assignment changes" events).
+func (m *Monitor) Reassign(op, newNode string, at time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.opsMap[op]
+	old := ""
+	if ok {
+		old = st.node
+		st.node = newNode
+	}
+	m.events = append(m.events, Event{
+		Time: at, Kind: EventReassigned, Op: op, Node: newNode,
+		Detail: fmt.Sprintf("from %s", old),
+	})
+}
+
+// RecordEvent appends a control-plane event to the log.
+func (m *Monitor) RecordEvent(ev Event) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+}
+
+// RecordFire adapts trigger fire events into the event log; pass it as the
+// onFire hook when compiling dataflows.
+func (m *Monitor) RecordFire(ev ops.FireEvent) {
+	if !ev.Fired {
+		return
+	}
+	m.RecordEvent(Event{
+		Time: ev.WindowStart, Kind: EventTrigger, Op: ev.Op,
+		Detail: fmt.Sprintf("targets=%v", ev.Targets),
+	})
+}
+
+// SampleAll reads every registered counter and appends a rate sample.
+// Call it periodically (live) or at window boundaries (replay).
+func (m *Monitor) SampleAll(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.opsMap {
+		in, out, dropped := st.counters.Snapshot()
+		s := Sample{Time: now, In: in, Out: out, Dropped: dropped}
+		if !st.lastSample.Time.IsZero() {
+			dt := now.Sub(st.lastSample.Time).Seconds()
+			if dt > 0 {
+				s.RateIn = float64(in-st.lastSample.In) / dt
+				s.RateOut = float64(out-st.lastSample.Out) / dt
+			}
+		}
+		st.lastSample = s
+		if len(st.ring) < ringSize {
+			st.ring = append(st.ring, s)
+		} else {
+			st.ring[st.ringNext%ringSize] = s
+			st.ringNext++
+		}
+	}
+}
+
+// Node returns the node an operation is currently assigned to.
+func (m *Monitor) Node(op string) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	st, ok := m.opsMap[op]
+	if !ok {
+		return "", false
+	}
+	return st.node, true
+}
+
+// Events returns a copy of the event log.
+func (m *Monitor) Events() []Event {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// EventsOfKind filters the event log.
+func (m *Monitor) EventsOfKind(kind EventKind) []Event {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []Event
+	for _, e := range m.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Snapshot builds the report for the Web interface. includeSeries controls
+// whether the per-op sample rings are attached (they are large).
+func (m *Monitor) Snapshot(now time.Time, includeSeries bool) Report {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rep := Report{Time: now, NumEvents: len(m.events)}
+	names := make([]string, 0, len(m.opsMap))
+	for name := range m.opsMap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := m.opsMap[name]
+		in, out, dropped := st.counters.Snapshot()
+		or := OpReport{
+			Name: name, Node: st.node,
+			In: in, Out: out, Dropped: dropped,
+			RateIn: st.lastSample.RateIn, RateOut: st.lastSample.RateOut,
+		}
+		if includeSeries {
+			or.Series = append(or.Series, st.ring...)
+		}
+		rep.Ops = append(rep.Ops, or)
+	}
+	if m.loadSource != nil {
+		rep.NodeLoad = m.loadSource()
+		hot, hotLoad := "", -1.0
+		keys := make([]string, 0, len(rep.NodeLoad))
+		for id := range rep.NodeLoad {
+			keys = append(keys, id)
+		}
+		sort.Strings(keys)
+		for _, id := range keys {
+			if rep.NodeLoad[id] > hotLoad {
+				hot, hotLoad = id, rep.NodeLoad[id]
+			}
+		}
+		rep.HotNode = hot
+	}
+	// Attach the tail of the event log.
+	tail := len(m.events) - 50
+	if tail < 0 {
+		tail = 0
+	}
+	rep.Events = append(rep.Events, m.events[tail:]...)
+	return rep
+}

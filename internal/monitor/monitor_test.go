@@ -1,0 +1,179 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamloader/internal/ops"
+)
+
+var t0 = time.Date(2016, 3, 15, 9, 0, 0, 0, time.UTC)
+
+func TestRegisterSampleSnapshot(t *testing.T) {
+	m := New()
+	var c1, c2 ops.Counters
+	m.Register("filter1", "node-00", &c1)
+	m.Register("agg1", "node-01", &c2)
+
+	c1.In.Add(100)
+	c1.Out.Add(60)
+	c1.Dropped.Add(40)
+	m.SampleAll(t0)
+
+	c1.In.Add(50)
+	c1.Out.Add(30)
+	m.SampleAll(t0.Add(time.Second))
+
+	rep := m.Snapshot(t0.Add(time.Second), true)
+	if len(rep.Ops) != 2 {
+		t.Fatalf("ops = %d", len(rep.Ops))
+	}
+	// Sorted by name: agg1 then filter1.
+	if rep.Ops[0].Name != "agg1" || rep.Ops[1].Name != "filter1" {
+		t.Errorf("order: %v, %v", rep.Ops[0].Name, rep.Ops[1].Name)
+	}
+	f := rep.Ops[1]
+	if f.In != 150 || f.Out != 90 || f.Dropped != 40 {
+		t.Errorf("totals: %+v", f)
+	}
+	// Rate over the second between samples: 50 in/s, 30 out/s.
+	if f.RateIn != 50 || f.RateOut != 30 {
+		t.Errorf("rates: in=%v out=%v", f.RateIn, f.RateOut)
+	}
+	if len(f.Series) != 2 {
+		t.Errorf("series length = %d", len(f.Series))
+	}
+	// Without series.
+	rep2 := m.Snapshot(t0.Add(time.Second), false)
+	if len(rep2.Ops[1].Series) != 0 {
+		t.Error("series must be omitted")
+	}
+}
+
+func TestNodeAndReassign(t *testing.T) {
+	m := New()
+	var c ops.Counters
+	m.Register("op1", "node-00", &c)
+	if node, ok := m.Node("op1"); !ok || node != "node-00" {
+		t.Error("Node")
+	}
+	m.Reassign("op1", "node-02", t0)
+	if node, _ := m.Node("op1"); node != "node-02" {
+		t.Error("Reassign must update the node")
+	}
+	evs := m.EventsOfKind(EventReassigned)
+	if len(evs) != 1 || evs[0].Op != "op1" || evs[0].Node != "node-02" {
+		t.Errorf("events: %v", evs)
+	}
+	if !strings.Contains(evs[0].Detail, "node-00") {
+		t.Errorf("reassignment must mention the old node: %v", evs[0])
+	}
+	if _, ok := m.Node("ghost"); ok {
+		t.Error("Node(ghost)")
+	}
+	m.Unregister("op1")
+	if _, ok := m.Node("op1"); ok {
+		t.Error("Unregister")
+	}
+}
+
+func TestRecordFire(t *testing.T) {
+	m := New()
+	m.RecordFire(ops.FireEvent{Op: "tr", WindowStart: t0, Fired: true, Targets: []string{"rain-1"}})
+	m.RecordFire(ops.FireEvent{Op: "tr", WindowStart: t0, Fired: false})
+	evs := m.EventsOfKind(EventTrigger)
+	if len(evs) != 1 {
+		t.Fatalf("trigger events = %d, want 1 (non-fires are not logged)", len(evs))
+	}
+	if !strings.Contains(evs[0].Detail, "rain-1") {
+		t.Error(evs[0].Detail)
+	}
+}
+
+func TestLoadSourceAndHotNode(t *testing.T) {
+	m := New()
+	m.SetLoadSource(func() map[string]float64 {
+		return map[string]float64{"node-00": 0.2, "node-01": 0.9, "node-02": 0.4}
+	})
+	rep := m.Snapshot(t0, false)
+	if rep.HotNode != "node-01" {
+		t.Errorf("hot node = %q", rep.HotNode)
+	}
+	if rep.NodeLoad["node-02"] != 0.4 {
+		t.Error("node load missing")
+	}
+}
+
+func TestEventLogTail(t *testing.T) {
+	m := New()
+	for i := 0; i < 80; i++ {
+		m.RecordEvent(Event{Time: t0, Kind: EventDeployed, Op: "x"})
+	}
+	rep := m.Snapshot(t0, false)
+	if rep.NumEvents != 80 {
+		t.Errorf("NumEvents = %d", rep.NumEvents)
+	}
+	if len(rep.Events) != 50 {
+		t.Errorf("event tail = %d, want 50", len(rep.Events))
+	}
+	if len(m.Events()) != 80 {
+		t.Error("Events() must return the full log")
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	m := New()
+	var c ops.Counters
+	m.Register("op", "n", &c)
+	for i := 0; i < ringSize*2; i++ {
+		c.In.Add(1)
+		m.SampleAll(t0.Add(time.Duration(i) * time.Second))
+	}
+	rep := m.Snapshot(t0, true)
+	if len(rep.Ops[0].Series) != ringSize {
+		t.Errorf("ring = %d, want %d", len(rep.Ops[0].Series), ringSize)
+	}
+}
+
+func TestSampleRateZeroDt(t *testing.T) {
+	m := New()
+	var c ops.Counters
+	m.Register("op", "n", &c)
+	c.In.Add(10)
+	m.SampleAll(t0)
+	m.SampleAll(t0) // same instant: no division by zero
+	rep := m.Snapshot(t0, false)
+	if rep.Ops[0].RateIn != 0 {
+		t.Errorf("rate = %v", rep.Ops[0].RateIn)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: t0, Kind: EventNodeDown, Node: "node-03", Detail: "injected"}
+	s := e.String()
+	for _, want := range []string{"node-down", "node-03", "injected"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing %q", s, want)
+		}
+	}
+}
+
+func TestConcurrentSampling(t *testing.T) {
+	m := New()
+	var c ops.Counters
+	m.Register("op", "n", &c)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c.In.Add(1)
+			m.SampleAll(t0.Add(time.Duration(i) * time.Millisecond))
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		_ = m.Snapshot(t0, true)
+		_ = m.Events()
+	}
+	<-done
+}

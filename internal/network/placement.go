@@ -1,0 +1,173 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ServiceInfo describes one dataflow service for placement: the executor
+// derives Weight from the operation kind (blocking operations cost more) and
+// PreferredNode from sensor locality (sources want to run on the node
+// managing their sensor — the paper binds "the sources ... to specific
+// sensors handled by the network nodes").
+type ServiceInfo struct {
+	Name          string
+	Kind          string
+	Weight        float64
+	PreferredNode string
+}
+
+// Strategy decides which node runs each service. Implementations must call
+// Network.AddLoad for the chosen node so subsequent decisions see the load.
+type Strategy interface {
+	// Name identifies the strategy in benchmarks and logs.
+	Name() string
+	// Place returns the node for the service and records its load.
+	Place(svc ServiceInfo, net *Network) (string, error)
+}
+
+// healthyNodes returns all non-failed node IDs, sorted.
+func healthyNodes(net *Network) []string {
+	var out []string
+	for _, id := range net.Nodes() {
+		if !net.IsDown(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RoundRobin cycles through the nodes in ID order.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Place assigns the next node in rotation.
+func (p *RoundRobin) Place(svc ServiceInfo, net *Network) (string, error) {
+	nodes := healthyNodes(net)
+	if len(nodes) == 0 {
+		return "", fmt.Errorf("placement: no healthy nodes")
+	}
+	p.mu.Lock()
+	id := nodes[p.next%len(nodes)]
+	p.next++
+	p.mu.Unlock()
+	if err := net.AddLoad(id, svc.Weight); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// RandomPlacement picks uniformly among healthy nodes, seeded for
+// reproducibility.
+type RandomPlacement struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandomPlacement builds a seeded random strategy.
+func NewRandomPlacement(seed int64) *RandomPlacement {
+	return &RandomPlacement{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name returns "random".
+func (*RandomPlacement) Name() string { return "random" }
+
+// Place assigns a uniformly random healthy node.
+func (p *RandomPlacement) Place(svc ServiceInfo, net *Network) (string, error) {
+	nodes := healthyNodes(net)
+	if len(nodes) == 0 {
+		return "", fmt.Errorf("placement: no healthy nodes")
+	}
+	p.mu.Lock()
+	id := nodes[p.rng.Intn(len(nodes))]
+	p.mu.Unlock()
+	if err := net.AddLoad(id, svc.Weight); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// LeastLoaded assigns each service to the node with the lowest
+// load/capacity ratio — the workload-aware placement the paper describes
+// ("operations located on the machines that, depending on workload, apply
+// the logic specified in the conceptual dataflow").
+type LeastLoaded struct{}
+
+// Name returns "least-loaded".
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Place assigns the least utilized healthy node (ties break by ID).
+func (LeastLoaded) Place(svc ServiceInfo, net *Network) (string, error) {
+	nodes := healthyNodes(net)
+	if len(nodes) == 0 {
+		return "", fmt.Errorf("placement: no healthy nodes")
+	}
+	util := net.Utilization()
+	sort.Slice(nodes, func(i, j int) bool {
+		if util[nodes[i]] != util[nodes[j]] {
+			return util[nodes[i]] < util[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
+	id := nodes[0]
+	if err := net.AddLoad(id, svc.Weight); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// Locality places services on their preferred node (sensor locality) when
+// it exists, is healthy and is not overloaded; otherwise it falls back to
+// least-loaded. This keeps source processing next to the data, cutting
+// cross-node traffic.
+type Locality struct {
+	// OverloadFactor is the utilization above which the preferred node is
+	// rejected (default 1.0 = at capacity).
+	OverloadFactor float64
+}
+
+// Name returns "locality".
+func (Locality) Name() string { return "locality" }
+
+// Place prefers svc.PreferredNode, falling back to least-loaded.
+func (p Locality) Place(svc ServiceInfo, net *Network) (string, error) {
+	limit := p.OverloadFactor
+	if limit <= 0 {
+		limit = 1.0
+	}
+	if svc.PreferredNode != "" && !net.IsDown(svc.PreferredNode) {
+		if node, load, ok := net.Node(svc.PreferredNode); ok {
+			if (load+svc.Weight)/node.Capacity <= limit {
+				if err := net.AddLoad(svc.PreferredNode, svc.Weight); err != nil {
+					return "", err
+				}
+				return svc.PreferredNode, nil
+			}
+		}
+	}
+	return LeastLoaded{}.Place(svc, net)
+}
+
+// NewStrategy builds a placement strategy by name: "round-robin", "random",
+// "least-loaded" or "locality".
+func NewStrategy(name string, seed int64) (Strategy, error) {
+	switch name {
+	case "round-robin":
+		return &RoundRobin{}, nil
+	case "random":
+		return NewRandomPlacement(seed), nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "locality":
+		return Locality{}, nil
+	default:
+		return nil, fmt.Errorf("placement: unknown strategy %q", name)
+	}
+}

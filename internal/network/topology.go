@@ -1,0 +1,176 @@
+package network
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamloader/internal/geo"
+)
+
+// TopologyConfig parameterizes the topology builders. Node regions tile the
+// configured area so every sensor position maps to a managing node.
+type TopologyConfig struct {
+	// Nodes is the number of nodes to create.
+	Nodes int
+	// Area is the overall region the nodes share responsibility for.
+	Area geo.Rect
+	// Capacity is the per-node processing budget.
+	Capacity float64
+	// LatencyMS and BandwidthKbps configure every created link.
+	LatencyMS     float64
+	BandwidthKbps float64
+	// Seed drives the random topology builder.
+	Seed int64
+}
+
+func (c *TopologyConfig) defaults() {
+	if c.Capacity <= 0 {
+		c.Capacity = 100
+	}
+	if c.LatencyMS <= 0 {
+		c.LatencyMS = 2
+	}
+	if c.BandwidthKbps <= 0 {
+		c.BandwidthKbps = 100000
+	}
+	if !c.Area.Valid() || (c.Area == geo.Rect{}) {
+		c.Area = geo.Osaka
+	}
+}
+
+// regionFor slices the area into vertical strips, one per node, so node
+// regions partition the area deterministically.
+func regionFor(i, n int, area geo.Rect) geo.Rect {
+	width := (area.Max.Lon - area.Min.Lon) / float64(n)
+	min := geo.Point{Lat: area.Min.Lat, Lon: area.Min.Lon + float64(i)*width}
+	max := geo.Point{Lat: area.Max.Lat, Lon: area.Min.Lon + float64(i+1)*width}
+	return geo.Rect{Min: min, Max: max}
+}
+
+func nodeID(i int) string { return fmt.Sprintf("node-%02d", i) }
+
+// Star builds a hub-and-spoke topology: node-00 is the hub.
+func Star(cfg TopologyConfig) (*Network, error) {
+	cfg.defaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("network: star needs >= 1 node")
+	}
+	n := New()
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := n.AddNode(Node{
+			ID: nodeID(i), Capacity: cfg.Capacity,
+			Region: regionFor(i, cfg.Nodes, cfg.Area),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		if err := n.AddLink(nodeID(0), nodeID(i), cfg.LatencyMS, cfg.BandwidthKbps); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Line builds a chain topology node-00 - node-01 - ... Useful for worst-case
+// path lengths in latency experiments.
+func Line(cfg TopologyConfig) (*Network, error) {
+	cfg.defaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("network: line needs >= 1 node")
+	}
+	n := New()
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := n.AddNode(Node{
+			ID: nodeID(i), Capacity: cfg.Capacity,
+			Region: regionFor(i, cfg.Nodes, cfg.Area),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		if err := n.AddLink(nodeID(i-1), nodeID(i), cfg.LatencyMS, cfg.BandwidthKbps); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Tree builds a complete binary tree topology rooted at node-00, the shape
+// of hierarchical sensor-network deployments.
+func Tree(cfg TopologyConfig) (*Network, error) {
+	cfg.defaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("network: tree needs >= 1 node")
+	}
+	n := New()
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := n.AddNode(Node{
+			ID: nodeID(i), Capacity: cfg.Capacity,
+			Region: regionFor(i, cfg.Nodes, cfg.Area),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		parent := (i - 1) / 2
+		if err := n.AddLink(nodeID(parent), nodeID(i), cfg.LatencyMS, cfg.BandwidthKbps); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Random builds a connected random topology: a random spanning backbone plus
+// extra random links for path diversity (about n/2 extras).
+func Random(cfg TopologyConfig) (*Network, error) {
+	cfg.defaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("network: random needs >= 1 node")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := New()
+	for i := 0; i < cfg.Nodes; i++ {
+		if err := n.AddNode(Node{
+			ID: nodeID(i), Capacity: cfg.Capacity,
+			Region: regionFor(i, cfg.Nodes, cfg.Area),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Spanning backbone: connect each node to a random earlier one.
+	for i := 1; i < cfg.Nodes; i++ {
+		j := rng.Intn(i)
+		lat := cfg.LatencyMS * (0.5 + rng.Float64())
+		if err := n.AddLink(nodeID(i), nodeID(j), lat, cfg.BandwidthKbps); err != nil {
+			return nil, err
+		}
+	}
+	// Extra links.
+	for k := 0; k < cfg.Nodes/2; k++ {
+		i, j := rng.Intn(cfg.Nodes), rng.Intn(cfg.Nodes)
+		if i == j {
+			continue
+		}
+		lat := cfg.LatencyMS * (0.5 + rng.Float64())
+		// Ignore duplicate-link errors: density is best-effort.
+		_ = n.AddLink(nodeID(i), nodeID(j), lat, cfg.BandwidthKbps)
+	}
+	return n, nil
+}
+
+// Build dispatches on a topology name: "star", "line", "tree" or "random".
+func Build(kind string, cfg TopologyConfig) (*Network, error) {
+	switch kind {
+	case "star":
+		return Star(cfg)
+	case "line":
+		return Line(cfg)
+	case "tree":
+		return Tree(cfg)
+	case "random":
+		return Random(cfg)
+	default:
+		return nil, fmt.Errorf("network: unknown topology %q", kind)
+	}
+}

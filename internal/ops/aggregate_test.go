@@ -1,0 +1,226 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+)
+
+func TestParseAggFunc(t *testing.T) {
+	for _, s := range []string{"COUNT", "count", "Avg", "SUM", "min", "MAX"} {
+		if _, err := ParseAggFunc(s); err != nil {
+			t.Errorf("ParseAggFunc(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseAggFunc("MEDIAN"); err == nil {
+		t.Error("MEDIAN must fail")
+	}
+}
+
+func TestAggregateAvgByStation(t *testing.T) {
+	op, err := NewAggregate("avg", time.Minute, []string{"station"}, AggAvg, "temperature", weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Kind() != KindAggregate {
+		t.Error("kind")
+	}
+	// Output schema: station + avg_temperature with the source unit.
+	out := op.OutSchema()
+	if out.NumFields() != 2 || out.IndexOf("station") != 0 || out.IndexOf("avg_temperature") != 1 {
+		t.Fatalf("schema = %s", out)
+	}
+	if f, _ := out.Lookup("avg_temperature"); f.Unit != "celsius" {
+		t.Error("aggregate must carry the unit through")
+	}
+
+	// Two stations over two windows.
+	tuples := []*stt.Tuple{
+		wtuple(0, 20, "a"), wtuple(10*time.Second, 30, "a"), // window 0: avg 25
+		wtuple(20*time.Second, 10, "b"), // window 0: avg 10
+		wtuple(61*time.Second, 40, "a"), // window 1: avg 40
+	}
+	got := runOp(t, op, feed(weatherSchema(), tuples, false))
+	if len(got) != 3 {
+		t.Fatalf("got %d aggregates, want 3: %v", len(got), got)
+	}
+	// Deterministic order: window 0 groups sorted (a, b), then window 1.
+	if got[0].MustGet("station").AsString() != "a" || got[0].MustGet("avg_temperature").AsFloat() != 25 {
+		t.Errorf("w0 a = %v", got[0])
+	}
+	if got[1].MustGet("station").AsString() != "b" || got[1].MustGet("avg_temperature").AsFloat() != 10 {
+		t.Errorf("w0 b = %v", got[1])
+	}
+	if got[2].MustGet("station").AsString() != "a" || got[2].MustGet("avg_temperature").AsFloat() != 40 {
+		t.Errorf("w1 a = %v", got[2])
+	}
+	// Window timestamps are the window starts.
+	if !got[0].Time.Equal(t0) || !got[2].Time.Equal(t0.Add(time.Minute)) {
+		t.Errorf("window times: %v, %v", got[0].Time, got[2].Time)
+	}
+}
+
+func TestAggregateCount(t *testing.T) {
+	op, err := NewAggregate("cnt", time.Minute, nil, AggCount, "", weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.OutSchema().NumFields() != 1 || op.OutSchema().IndexOf("count") != 0 {
+		t.Fatalf("schema = %s", op.OutSchema())
+	}
+	tuples := []*stt.Tuple{
+		wtuple(0, 1, "a"), wtuple(time.Second, 2, "b"), wtuple(2*time.Second, 3, "c"),
+		wtuple(90*time.Second, 4, "d"),
+	}
+	got := runOp(t, op, feed(weatherSchema(), tuples, false))
+	if len(got) != 2 {
+		t.Fatalf("windows = %d", len(got))
+	}
+	if got[0].MustGet("count").AsInt() != 3 || got[1].MustGet("count").AsInt() != 1 {
+		t.Errorf("counts = %v, %v", got[0].Values, got[1].Values)
+	}
+}
+
+func TestAggregateCountAttrSkipsNulls(t *testing.T) {
+	op, err := NewAggregate("cnt", time.Minute, nil, AggCount, "temperature", weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.OutSchema().IndexOf("count_temperature") != 0 {
+		t.Fatalf("schema = %s", op.OutSchema())
+	}
+	withNull := wtuple(time.Second, 0, "n")
+	withNull.Values[0] = stt.Null()
+	got := runOp(t, op, feed(weatherSchema(), []*stt.Tuple{
+		wtuple(0, 1, "a"), withNull, wtuple(2*time.Second, 3, "c"),
+	}, false))
+	if len(got) != 1 || got[0].MustGet("count_temperature").AsInt() != 2 {
+		t.Errorf("count_temperature = %v", got)
+	}
+}
+
+func TestAggregateSumMinMax(t *testing.T) {
+	mk := func(fn AggFunc) []*stt.Tuple {
+		op, err := NewAggregate("x", time.Minute, nil, fn, "temperature", weatherSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runOp(t, op, feed(weatherSchema(), []*stt.Tuple{
+			wtuple(0, 5, "a"), wtuple(time.Second, -3, "b"), wtuple(2*time.Second, 10, "c"),
+		}, false))
+	}
+	if got := mk(AggSum); got[0].Values[0].AsFloat() != 12 {
+		t.Errorf("sum = %v", got[0].Values[0])
+	}
+	if got := mk(AggMin); got[0].Values[0].AsFloat() != -3 {
+		t.Errorf("min = %v", got[0].Values[0])
+	}
+	if got := mk(AggMax); got[0].Values[0].AsFloat() != 10 {
+		t.Errorf("max = %v", got[0].Values[0])
+	}
+}
+
+func TestAggregateCentroid(t *testing.T) {
+	op, err := NewAggregate("avg", time.Minute, nil, AggAvg, "temperature", weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := wtuple(0, 10, "a")
+	a.Lat, a.Lon = 34.0, 135.0
+	b := wtuple(time.Second, 20, "b")
+	b.Lat, b.Lon = 35.0, 136.0
+	got := runOp(t, op, feed(weatherSchema(), []*stt.Tuple{a, b}, false))
+	if len(got) != 1 {
+		t.Fatal("one window")
+	}
+	// Centroid (34.5, 135.5) snapped to district granularity.
+	if math.Abs(got[0].Lat-34.5) > 0.01 || math.Abs(got[0].Lon-135.5) > 0.01 {
+		t.Errorf("centroid = %v,%v", got[0].Lat, got[0].Lon)
+	}
+}
+
+func TestAggregateFlushOnWatermarkOnly(t *testing.T) {
+	op, err := NewAggregate("avg", time.Minute, nil, AggAvg, "temperature", weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := feed(weatherSchema(), []*stt.Tuple{
+		wtuple(0, 10, "a"),
+		wtuple(30*time.Second, 20, "a"), // same window; watermark at 30s < window end
+	}, true) // per-tuple watermarks
+	got := runOp(t, op, in)
+	// The window [t0, t0+60) only flushes at EOS because watermarks stop at 30s.
+	if len(got) != 1 || got[0].Values[0].AsFloat() != 15 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	w := weatherSchema()
+	if _, err := NewAggregate("x", 0, nil, AggCount, "", w); err == nil {
+		t.Error("zero interval must fail")
+	}
+	if _, err := NewAggregate("x", time.Second, nil, "MEDIAN", "", w); err == nil {
+		t.Error("unknown function must fail")
+	}
+	if _, err := NewAggregate("x", time.Second, []string{"ghost"}, AggCount, "", w); err == nil {
+		t.Error("unknown group-by must fail")
+	}
+	if _, err := NewAggregate("x", time.Second, nil, AggAvg, "", w); err == nil {
+		t.Error("AVG without attribute must fail")
+	}
+	if _, err := NewAggregate("x", time.Second, nil, AggAvg, "ghost", w); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := NewAggregate("x", time.Second, nil, AggAvg, "station", w); err == nil {
+		t.Error("AVG over a string must fail")
+	}
+	if _, err := NewAggregate("x", time.Second, nil, AggCount, "ghost", w); err == nil {
+		t.Error("COUNT of unknown attribute must fail")
+	}
+}
+
+// Property: windowed SUM equals the sum of all inputs regardless of how
+// tuples spread over windows, and COUNT sums to the tuple count.
+func TestQuickAggregateConservation(t *testing.T) {
+	f := func(offsets []uint16, temps []int8) bool {
+		n := len(offsets)
+		if len(temps) < n {
+			n = len(temps)
+		}
+		if n == 0 {
+			return true
+		}
+		var tuples []*stt.Tuple
+		var wantSum float64
+		for i := 0; i < n; i++ {
+			tup := wtuple(time.Duration(offsets[i])*time.Second, float64(temps[i]), "s")
+			tuples = append(tuples, tup)
+			wantSum += float64(temps[i])
+		}
+		op, err := NewAggregate("sum", time.Minute, nil, AggSum, "temperature", weatherSchema())
+		if err != nil {
+			return false
+		}
+		in := feed(weatherSchema(), tuples, false)
+		out := stream.New("o", op.OutSchema(), 8192)
+		errc := make(chan error, 1)
+		go func() { errc <- op.Run([]*stream.Stream{in}, out) }()
+		got := stream.Collect(out)
+		if <-errc != nil {
+			return false
+		}
+		var gotSum float64
+		for _, tup := range got {
+			gotSum += tup.Values[len(tup.Values)-1].AsFloat()
+		}
+		return math.Abs(gotSum-wantSum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+)
+
+func trafficSchema() *stt.Schema {
+	return stt.MustSchema([]stt.Field{
+		stt.NewField("congestion", stt.KindFloat, "fraction"),
+		stt.NewField("station", stt.KindString, ""),
+	}, stt.GranMinute, stt.SpatCellCity, "traffic")
+}
+
+func ttuple(offset time.Duration, congestion float64, station string) *stt.Tuple {
+	tup := &stt.Tuple{
+		Schema: trafficSchema(),
+		Values: []stt.Value{stt.Float(congestion), stt.String(station)},
+		Time:   t0.Add(offset),
+		Lat:    34.71, Lon: 135.52,
+		Theme:  "traffic",
+		Source: "traffic-" + station,
+	}
+	return tup.AlignSTT()
+}
+
+func TestJoinSchema(t *testing.T) {
+	j, err := NewJoin("j", time.Minute, "left.station == right.station",
+		weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := j.OutSchema()
+	// left(temperature, station) + right(congestion, right_station).
+	if out.NumFields() != 4 {
+		t.Fatalf("schema = %s", out)
+	}
+	if out.IndexOf("temperature") != 0 || out.IndexOf("station") != 1 ||
+		out.IndexOf("congestion") != 2 || out.IndexOf("right_station") != 3 {
+		t.Fatalf("field layout: %s", out)
+	}
+	// STT composition: coarsest granularities, merged themes.
+	if out.TGran != stt.GranMinute || out.SGran != stt.SpatCellCity {
+		t.Errorf("granularities: %s/%s", out.TGran, out.SGran)
+	}
+	if !out.HasTheme("weather") || !out.HasTheme("traffic") {
+		t.Errorf("themes: %v", out.Themes)
+	}
+}
+
+func TestJoinMatches(t *testing.T) {
+	j, err := NewJoin("j", time.Minute, "left.station == right.station",
+		weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := feed(weatherSchema(), []*stt.Tuple{
+		wtuple(0, 30, "umeda"), wtuple(time.Second, 22, "namba"),
+	}, false)
+	right := feed(trafficSchema(), []*stt.Tuple{
+		ttuple(2*time.Second, 0.9, "umeda"), ttuple(3*time.Second, 0.2, "sakai"),
+	}, false)
+	got := runOp(t, j, left, right)
+	if len(got) != 1 {
+		t.Fatalf("joined %d pairs, want 1: %v", len(got), got)
+	}
+	r := got[0]
+	if r.MustGet("station").AsString() != "umeda" || r.MustGet("right_station").AsString() != "umeda" {
+		t.Errorf("join keys: %v", r)
+	}
+	if r.MustGet("temperature").AsFloat() != 30 || r.MustGet("congestion").AsFloat() != 0.9 {
+		t.Errorf("payload: %v", r)
+	}
+	if r.Source != "umeda+traffic-umeda" {
+		t.Errorf("source = %q", r.Source)
+	}
+	if r.Theme != "weather" {
+		t.Errorf("theme = %q", r.Theme)
+	}
+}
+
+func TestJoinWindowsSeparate(t *testing.T) {
+	// Tuples in different windows must not join even if the predicate holds.
+	j, err := NewJoin("j", time.Minute, "left.station == right.station",
+		weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := feed(weatherSchema(), []*stt.Tuple{wtuple(0, 30, "umeda")}, false)
+	right := feed(trafficSchema(), []*stt.Tuple{ttuple(90*time.Second, 0.9, "umeda")}, false)
+	got := runOp(t, j, left, right)
+	if len(got) != 0 {
+		t.Errorf("cross-window join produced %d tuples", len(got))
+	}
+}
+
+func TestJoinCrossProductWithTruePredicate(t *testing.T) {
+	j, err := NewJoin("j", time.Minute, "true", weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ls, rs []*stt.Tuple
+	for i := 0; i < 3; i++ {
+		ls = append(ls, wtuple(time.Duration(i)*time.Second, 20, "a"))
+		rs = append(rs, ttuple(time.Duration(i)*time.Second, 0.5, "b"))
+	}
+	got := runOp(t, j, feed(weatherSchema(), ls, false), feed(trafficSchema(), rs, false))
+	if len(got) != 9 {
+		t.Errorf("cross product = %d, want 9", len(got))
+	}
+}
+
+func TestJoinTimeAndPosition(t *testing.T) {
+	j, err := NewJoin("j", time.Minute, "true", weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := wtuple(10*time.Second, 20, "a")
+	l.Lat, l.Lon = 34.0, 135.0
+	r := ttuple(30*time.Second, 0.5, "b")
+	r.Lat, r.Lon = 35.0, 136.0
+	got := runOp(t, j, feed(weatherSchema(), []*stt.Tuple{l}, false),
+		feed(trafficSchema(), []*stt.Tuple{r}, false))
+	if len(got) != 1 {
+		t.Fatal("want one result")
+	}
+	// Later event time, re-truncated to the coarser (minute) granularity.
+	if !got[0].Time.Equal(t0) {
+		t.Errorf("time = %v, want %v", got[0].Time, t0)
+	}
+	// Midpoint snapped to the coarser (city) granularity.
+	if got[0].Lat != 34.5 || got[0].Lon != 135.5 {
+		t.Errorf("position = %v,%v", got[0].Lat, got[0].Lon)
+	}
+}
+
+func TestJoinWatermarkDriven(t *testing.T) {
+	// With per-tuple watermarks the join flushes incrementally: results for
+	// window 0 must be emitted before the inputs finish window 1.
+	j, err := NewJoin("j", time.Minute, "left.station == right.station",
+		weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := stream.New("l", weatherSchema(), 16)
+	right := stream.New("r", trafficSchema(), 16)
+	out := stream.New("o", j.OutSchema(), 16)
+	go j.Run([]*stream.Stream{left, right}, out)
+
+	left.Send(wtuple(0, 30, "umeda"))
+	right.Send(ttuple(time.Second, 0.9, "umeda"))
+	// Advance both watermarks past window 0.
+	left.SendWatermark(t0.Add(61 * time.Second))
+	right.SendWatermark(t0.Add(61 * time.Second))
+
+	select {
+	case item := <-out.C:
+		if item.Kind != stream.ItemTuple {
+			t.Fatalf("first item = %v, want tuple", item.Kind)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("join did not flush on watermark")
+	}
+	left.Close()
+	right.Close()
+	out.Drain()
+}
+
+func TestJoinLateTupleDropped(t *testing.T) {
+	j, err := NewJoin("j", time.Minute, "true", weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := stream.New("l", weatherSchema(), 16)
+	right := stream.New("r", trafficSchema(), 16)
+	out := stream.New("o", j.OutSchema(), 64)
+	done := make(chan error, 1)
+	go func() { done <- j.Run([]*stream.Stream{left, right}, out) }()
+
+	// Flush window 0 on both sides.
+	left.SendWatermark(t0.Add(2 * time.Minute))
+	right.SendWatermark(t0.Add(2 * time.Minute))
+	// Wait for the forwarded watermark so the flush has happened.
+	for item := range out.C {
+		if item.Kind == stream.ItemWatermark {
+			break
+		}
+	}
+	// A tuple arriving for the already-flushed window 0 must be dropped.
+	left.Send(wtuple(0, 30, "late"))
+	left.Close()
+	right.Close()
+	out.Drain()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, _, dropped := j.Counters().Snapshot(); dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	w, tr := weatherSchema(), trafficSchema()
+	if _, err := NewJoin("j", 0, "true", w, tr); err == nil {
+		t.Error("zero interval must fail")
+	}
+	if _, err := NewJoin("j", time.Second, "left.ghost == right.station", w, tr); err == nil {
+		t.Error("unknown predicate field must fail")
+	}
+	if _, err := NewJoin("j", time.Second, "left.temperature + right.congestion", w, tr); err == nil {
+		t.Error("non-bool predicate must fail")
+	}
+	if _, err := NewJoin("j", time.Second, "station == 1", w, tr); err == nil {
+		t.Error("unqualified field must fail")
+	}
+}
+
+func TestJoinArity(t *testing.T) {
+	j, err := NewJoin("j", time.Minute, "true", weatherSchema(), trafficSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stream.New("o", j.OutSchema(), 4)
+	if err := j.Run([]*stream.Stream{feed(weatherSchema(), nil, false)}, out); err == nil {
+		t.Error("join with one input must fail")
+	}
+}
+
+// Property: windowed join result size equals the window-partitioned
+// nested-loop reference for equality predicates.
+func TestQuickJoinEqualsNestedLoop(t *testing.T) {
+	stations := []string{"a", "b", "c"}
+	f := func(lOff, rOff []uint8, lSt, rSt []uint8) bool {
+		nl, nr := len(lOff), len(rOff)
+		if len(lSt) < nl {
+			nl = len(lSt)
+		}
+		if len(rSt) < nr {
+			nr = len(rSt)
+		}
+		if nl > 20 {
+			nl = 20
+		}
+		if nr > 20 {
+			nr = 20
+		}
+		var ls, rs []*stt.Tuple
+		for i := 0; i < nl; i++ {
+			ls = append(ls, wtuple(time.Duration(lOff[i])*time.Second, 20, stations[int(lSt[i])%3]))
+		}
+		for i := 0; i < nr; i++ {
+			rs = append(rs, ttuple(time.Duration(rOff[i])*time.Second, 0.5, stations[int(rSt[i])%3]))
+		}
+		// Reference: nested loop within minute windows.
+		want := 0
+		for _, l := range ls {
+			for _, r := range rs {
+				if l.MustGet("station").AsString() == r.MustGet("station").AsString() &&
+					windowIndex(l.Time, time.Minute) == windowIndex(r.Time, time.Minute) {
+					want++
+				}
+			}
+		}
+		j, err := NewJoin("j", time.Minute, "left.station == right.station",
+			weatherSchema(), trafficSchema())
+		if err != nil {
+			return false
+		}
+		out := stream.New("o", j.OutSchema(), 8192)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- j.Run([]*stream.Stream{
+				feed(weatherSchema(), ls, false),
+				feed(trafficSchema(), rs, false),
+			}, out)
+		}()
+		got := stream.Collect(out)
+		if <-errc != nil {
+			return false
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package ops implements the stream-processing operations of the paper's
+// Table 1: Aggregation, Cull Time, Cull Space, Filter, Join, Transform,
+// Trigger On, Trigger Off and Virtual Property.
+//
+// Operations are event-driven processes: each runs as one goroutine
+// consuming input streams and producing one output stream, mirroring the
+// paper's "processes are generated for each operation of the dataflow".
+// Non-blocking operations (filter, cull-time/space, transform, virtual
+// property) apply to each tuple as it is processed; blocking operations
+// (aggregation, trigger, join) maintain a cache of tuples that is processed
+// every t time interval, driven by event-time watermarks.
+package ops
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+)
+
+// Kind identifies an operation of Table 1.
+type Kind string
+
+// The operation kinds. Source and Sink are the pseudo-operations that bind
+// a dataflow to sensors and destinations; they are placed by the executor.
+const (
+	KindFilter     Kind = "filter"
+	KindTransform  Kind = "transform"
+	KindVirtual    Kind = "virtual_property"
+	KindCullTime   Kind = "cull_time"
+	KindCullSpace  Kind = "cull_space"
+	KindAggregate  Kind = "aggregate"
+	KindJoin       Kind = "join"
+	KindTriggerOn  Kind = "trigger_on"
+	KindTriggerOff Kind = "trigger_off"
+	KindSource     Kind = "source"
+	KindSink       Kind = "sink"
+)
+
+// Blocking reports whether the operation kind maintains a window cache
+// (paper §3: aggregation, trigger and join are blocking; the others are
+// applied directly on each tuple).
+func (k Kind) Blocking() bool {
+	switch k {
+	case KindAggregate, KindJoin, KindTriggerOn, KindTriggerOff:
+		return true
+	default:
+		return false
+	}
+}
+
+// Valid reports whether k names a deployable operation kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindFilter, KindTransform, KindVirtual, KindCullTime, KindCullSpace,
+		KindAggregate, KindJoin, KindTriggerOn, KindTriggerOff, KindSource, KindSink:
+		return true
+	default:
+		return false
+	}
+}
+
+// Counters exposes the running tuple counts of one operation process. The
+// monitor samples them to compute the tuples/second figures of the paper's
+// Figure 3.
+type Counters struct {
+	In      atomic.Uint64 // tuples consumed
+	Out     atomic.Uint64 // tuples produced
+	Dropped atomic.Uint64 // tuples culled/filtered/invalidated
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() (in, out, dropped uint64) {
+	return c.In.Load(), c.Out.Load(), c.Dropped.Load()
+}
+
+// Operator is one runnable operation process.
+type Operator interface {
+	// Name is the dataflow-unique operation name.
+	Name() string
+	// Kind is the Table 1 operation this process implements.
+	Kind() Kind
+	// OutSchema is the schema of the produced stream.
+	OutSchema() *stt.Schema
+	// Counters exposes the live tuple counters.
+	Counters() *Counters
+	// Run consumes the inputs until EOS and closes out. It is called once,
+	// on its own goroutine, by the executor.
+	Run(in []*stream.Stream, out *stream.Stream) error
+}
+
+// base carries the common operator identity.
+type base struct {
+	name     string
+	kind     Kind
+	out      *stt.Schema
+	counters Counters
+}
+
+func (b *base) Name() string           { return b.name }
+func (b *base) Kind() Kind             { return b.kind }
+func (b *base) OutSchema() *stt.Schema { return b.out }
+func (b *base) Counters() *Counters    { return &b.counters }
+
+// runMap is the shared loop of the non-blocking operations: apply f to each
+// tuple, forward watermarks unchanged. f returns the tuples to emit (nil to
+// drop) — every non-blocking operation of Table 1 is a special case.
+func (b *base) runMap(in []*stream.Stream, out *stream.Stream, f func(*stt.Tuple) (*stt.Tuple, error)) error {
+	if len(in) != 1 {
+		out.Close()
+		return fmt.Errorf("%s: want exactly 1 input, got %d", b.name, len(in))
+	}
+	defer out.Close()
+	for item := range in[0].C {
+		switch item.Kind {
+		case stream.ItemTuple:
+			b.counters.In.Add(1)
+			res, err := f(item.Tuple)
+			if err != nil {
+				return fmt.Errorf("%s: %w", b.name, err)
+			}
+			if res == nil {
+				b.counters.Dropped.Add(1)
+				continue
+			}
+			b.counters.Out.Add(1)
+			out.Send(res)
+		case stream.ItemWatermark:
+			out.SendWatermark(item.Watermark)
+		case stream.ItemEOS:
+			// Close happens via defer after the channel drains.
+		}
+	}
+	return nil
+}
+
+// windowIndex maps an event time to its window ordinal for a given interval.
+// Negative times floor toward minus infinity so windows are stable across
+// the epoch.
+func windowIndex(ts time.Time, interval time.Duration) int64 {
+	n := ts.UnixNano()
+	i := n / int64(interval)
+	if n < 0 && n%int64(interval) != 0 {
+		i--
+	}
+	return i
+}
+
+// windowStart returns the start instant of window i.
+func windowStart(i int64, interval time.Duration) time.Time {
+	return time.Unix(0, i*int64(interval)).UTC()
+}
+
+// watermarkMerger tracks per-input watermarks and yields the combined
+// (minimum) watermark across inputs that have not reached EOS. Once an
+// input ends its watermark is treated as +infinity.
+type watermarkMerger struct {
+	marks []time.Time
+	ended []bool
+}
+
+func newWatermarkMerger(n int) *watermarkMerger {
+	return &watermarkMerger{marks: make([]time.Time, n), ended: make([]bool, n)}
+}
+
+// update records a watermark for input i and returns the combined watermark
+// plus whether it is defined (it is undefined until every open input has
+// reported at least once).
+func (m *watermarkMerger) update(i int, ts time.Time) (time.Time, bool) {
+	if ts.After(m.marks[i]) {
+		m.marks[i] = ts
+	}
+	return m.combined()
+}
+
+// end marks input i as finished.
+func (m *watermarkMerger) end(i int) (time.Time, bool) {
+	m.ended[i] = true
+	return m.combined()
+}
+
+func (m *watermarkMerger) combined() (time.Time, bool) {
+	var combined time.Time
+	first := true
+	for i := range m.marks {
+		if m.ended[i] {
+			continue
+		}
+		if m.marks[i].IsZero() {
+			return time.Time{}, false // an open input has not reported yet
+		}
+		if first || m.marks[i].Before(combined) {
+			combined = m.marks[i]
+			first = false
+		}
+	}
+	if first {
+		// All inputs ended: everything may flush.
+		return time.Unix(0, 1<<62).UTC(), true
+	}
+	return combined, true
+}
+
+// allEnded reports whether every input reached EOS.
+func (m *watermarkMerger) allEnded() bool {
+	for _, e := range m.ended {
+		if !e {
+			return false
+		}
+	}
+	return true
+}

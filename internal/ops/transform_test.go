@@ -1,0 +1,208 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+func fahrenheitSchema() *stt.Schema {
+	return stt.MustSchema([]stt.Field{
+		stt.NewField("temperature", stt.KindFloat, "fahrenheit"),
+		stt.NewField("station", stt.KindString, ""),
+	}, stt.GranSecond, stt.SpatCellDistrict, "weather")
+}
+
+func TestTransformConvertUnit(t *testing.T) {
+	op, err := NewTransform("t", []TransformStep{
+		{Op: "convert_unit", Field: "temperature", ToUnit: "celsius"},
+	}, fahrenheitSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := op.OutSchema().Lookup("temperature"); f.Unit != "celsius" {
+		t.Errorf("schema unit = %q", f.Unit)
+	}
+	tup := &stt.Tuple{
+		Schema: fahrenheitSchema(),
+		Values: []stt.Value{stt.Float(212), stt.String("s")},
+		Time:   t0, Lat: 34.69, Lon: 135.50,
+	}
+	tup.AlignSTT()
+	got := runOp(t, op, feed(fahrenheitSchema(), []*stt.Tuple{tup}, false))
+	if len(got) != 1 {
+		t.Fatal("want 1 tuple")
+	}
+	if v := got[0].MustGet("temperature").AsFloat(); math.Abs(v-100) > 1e-9 {
+		t.Errorf("212F = %vC, want 100", v)
+	}
+	// Null values pass through unconverted.
+	tup2 := tup.Clone()
+	tup2.Values[0] = stt.Null()
+	got = runOp(t, mustTransform(t, []TransformStep{
+		{Op: "convert_unit", Field: "temperature", ToUnit: "celsius"},
+	}, fahrenheitSchema()), feed(fahrenheitSchema(), []*stt.Tuple{tup2}, false))
+	if !got[0].MustGet("temperature").IsNull() {
+		t.Error("null must stay null")
+	}
+}
+
+func mustTransform(t *testing.T, steps []TransformStep, in *stt.Schema) *Transform {
+	t.Helper()
+	op, err := NewTransform("t", steps, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+func TestTransformConvertCoord(t *testing.T) {
+	op := mustTransform(t, []TransformStep{
+		{Op: "convert_coord", FromSystem: "tokyo", ToSystem: "wgs84"},
+	}, weatherSchema())
+	tup := wtuple(0, 20, "s")
+	origLat, origLon := tup.Lat, tup.Lon
+	got := runOp(t, op, feed(weatherSchema(), []*stt.Tuple{tup}, false))
+	if len(got) != 1 {
+		t.Fatal("want 1 tuple")
+	}
+	if got[0].Lat == origLat && got[0].Lon == origLon {
+		t.Error("coordinates unchanged after datum conversion")
+	}
+	// Datum shift in Japan is a few hundred meters; snapped to the schema's
+	// district granularity the cell may or may not change, but the raw shift
+	// must be small.
+	if math.Abs(got[0].Lat-origLat) > 0.02 || math.Abs(got[0].Lon-origLon) > 0.02 {
+		t.Errorf("datum shift too large: %v,%v -> %v,%v", origLat, origLon, got[0].Lat, got[0].Lon)
+	}
+}
+
+func TestTransformRenameProject(t *testing.T) {
+	op := mustTransform(t, []TransformStep{
+		{Op: "rename", Field: "temperature", NewName: "temp_c"},
+		{Op: "project", Fields: []string{"temp_c"}},
+	}, weatherSchema())
+	if op.OutSchema().NumFields() != 1 || op.OutSchema().IndexOf("temp_c") != 0 {
+		t.Fatalf("schema = %s", op.OutSchema())
+	}
+	got := runOp(t, op, feed(weatherSchema(), []*stt.Tuple{wtuple(0, 21.5, "x")}, false))
+	if got[0].MustGet("temp_c").AsFloat() != 21.5 {
+		t.Errorf("renamed value = %v", got[0].Values[0])
+	}
+	if len(got[0].Values) != 1 {
+		t.Error("projection must drop the station column")
+	}
+}
+
+func TestTransformValidateRule(t *testing.T) {
+	// The paper's example: dates conforming to given patterns.
+	schema := stt.MustSchema([]stt.Field{
+		stt.NewField("date", stt.KindString, ""),
+	}, stt.GranSecond, stt.SpatPoint)
+	op := mustTransform(t, []TransformStep{
+		{Op: "validate", Rule: `matches_date(date, "YYYY-MM-DD")`},
+	}, schema)
+	mk := func(s string, off time.Duration) *stt.Tuple {
+		tup := &stt.Tuple{Schema: schema, Values: []stt.Value{stt.String(s)}, Time: t0.Add(off)}
+		return tup.AlignSTT()
+	}
+	got := runOp(t, op, feed(schema, []*stt.Tuple{
+		mk("2016-03-15", 0), mk("15/03/2016", time.Second), mk("2016-03-16", 2*time.Second),
+	}, false))
+	if len(got) != 2 {
+		t.Fatalf("validated %d, want 2", len(got))
+	}
+	_, _, dropped := op.Counters().Snapshot()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestTransformCoarsen(t *testing.T) {
+	op := mustTransform(t, []TransformStep{
+		{Op: "coarsen", TGran: "minute", SGran: "city"},
+	}, weatherSchema())
+	if op.OutSchema().TGran != stt.GranMinute || op.OutSchema().SGran != stt.SpatCellCity {
+		t.Fatalf("schema granularities: %s", op.OutSchema())
+	}
+	tup := wtuple(42*time.Second, 20, "s")
+	got := runOp(t, op, feed(weatherSchema(), []*stt.Tuple{tup}, false))
+	if !got[0].Time.Equal(t0) {
+		t.Errorf("time not coarsened: %v", got[0].Time)
+	}
+	if got[0].Lat != 34.6 {
+		t.Errorf("lat not snapped to city cell: %v", got[0].Lat)
+	}
+}
+
+func TestTransformChain(t *testing.T) {
+	// Fahrenheit -> Celsius, then validate plausibility, then rename.
+	op := mustTransform(t, []TransformStep{
+		{Op: "convert_unit", Field: "temperature", ToUnit: "celsius"},
+		{Op: "validate", Rule: "temperature > -50 && temperature < 60"},
+		{Op: "rename", Field: "temperature", NewName: "temp_c"},
+	}, fahrenheitSchema())
+	mk := func(f float64, off time.Duration) *stt.Tuple {
+		tup := &stt.Tuple{Schema: fahrenheitSchema(),
+			Values: []stt.Value{stt.Float(f), stt.String("s")}, Time: t0.Add(off)}
+		return tup.AlignSTT()
+	}
+	got := runOp(t, op, feed(fahrenheitSchema(), []*stt.Tuple{
+		mk(77, 0),            // 25C: kept
+		mk(999, time.Second), // 537C: dropped by validation
+	}, false))
+	if len(got) != 1 {
+		t.Fatalf("got %d tuples, want 1", len(got))
+	}
+	if v := got[0].MustGet("temp_c").AsFloat(); math.Abs(v-25) > 1e-9 {
+		t.Errorf("temp_c = %v, want 25", v)
+	}
+}
+
+func TestTransformErrors(t *testing.T) {
+	w := weatherSchema()
+	cases := []struct {
+		name  string
+		steps []TransformStep
+	}{
+		{"no steps", nil},
+		{"unknown op", []TransformStep{{Op: "teleport"}}},
+		{"unknown field", []TransformStep{{Op: "convert_unit", Field: "ghost", ToUnit: "m"}}},
+		{"non-numeric unit field", []TransformStep{{Op: "convert_unit", Field: "station", ToUnit: "m"}}},
+		{"cross-dimension", []TransformStep{{Op: "convert_unit", Field: "temperature", ToUnit: "m"}}},
+		{"unknown target unit", []TransformStep{{Op: "convert_unit", Field: "temperature", ToUnit: "cubits"}}},
+		{"unknown coord system", []TransformStep{{Op: "convert_coord", FromSystem: "mars", ToSystem: "wgs84"}}},
+		{"rename unknown", []TransformStep{{Op: "rename", Field: "ghost", NewName: "x"}}},
+		{"rename empty", []TransformStep{{Op: "rename", Field: "temperature"}}},
+		{"rename collision", []TransformStep{{Op: "rename", Field: "temperature", NewName: "station"}}},
+		{"project empty", []TransformStep{{Op: "project"}}},
+		{"project unknown", []TransformStep{{Op: "project", Fields: []string{"ghost"}}}},
+		{"validate bad rule", []TransformStep{{Op: "validate", Rule: "ghost > 1"}}},
+		{"refine temporal", []TransformStep{{Op: "coarsen", TGran: "millisecond"}}},
+		{"bad tgran", []TransformStep{{Op: "coarsen", TGran: "fortnight"}}},
+		{"bad sgran", []TransformStep{{Op: "coarsen", SGran: "galaxy"}}},
+	}
+	for _, c := range cases {
+		if _, err := NewTransform("t", c.steps, w); err == nil {
+			t.Errorf("%s: construction succeeded, want error", c.name)
+		}
+	}
+	// Refining spatial granularity must fail too.
+	coarse := w.WithGranularities(stt.GranHour, stt.SpatCellCity)
+	if _, err := NewTransform("t", []TransformStep{{Op: "coarsen", SGran: "street"}}, coarse); err == nil {
+		t.Error("spatial refinement must fail")
+	}
+}
+
+func TestTransformUnitFieldNoSourceUnit(t *testing.T) {
+	schema := stt.MustSchema([]stt.Field{
+		stt.NewField("x", stt.KindFloat, ""),
+	}, stt.GranSecond, stt.SpatPoint)
+	if _, err := NewTransform("t", []TransformStep{
+		{Op: "convert_unit", Field: "x", ToUnit: "m"},
+	}, schema); err == nil {
+		t.Error("conversion without source unit must fail")
+	}
+}

@@ -1,0 +1,202 @@
+package ops
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"streamloader/internal/stream"
+	"streamloader/internal/stt"
+)
+
+// fakeActivator records activation calls, standing in for the pub/sub broker.
+type fakeActivator struct {
+	mu          sync.Mutex
+	activated   []string
+	deactivated []string
+	failOn      string
+}
+
+func (f *fakeActivator) Activate(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id == f.failOn {
+		return errFail
+	}
+	f.activated = append(f.activated, id)
+	return nil
+}
+
+func (f *fakeActivator) Deactivate(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id == f.failOn {
+		return errFail
+	}
+	f.deactivated = append(f.deactivated, id)
+	return nil
+}
+
+var errFail = &activatorError{}
+
+type activatorError struct{}
+
+func (*activatorError) Error() string { return "activator failure injected" }
+
+func TestTriggerOnFires(t *testing.T) {
+	act := &fakeActivator{}
+	var fires []FireEvent
+	var mu sync.Mutex
+	tr, err := NewTriggerOn("hot", time.Minute, "temperature > 25",
+		[]string{"rain-1", "tweet-1"}, TriggerAny, act,
+		func(ev FireEvent) { mu.Lock(); fires = append(fires, ev); mu.Unlock() },
+		weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind() != KindTriggerOn {
+		t.Error("kind")
+	}
+	// Window 0: cold; window 1: one hot tuple -> fires.
+	tuples := []*stt.Tuple{
+		wtuple(0, 20, "a"), wtuple(10*time.Second, 22, "a"),
+		wtuple(65*time.Second, 27, "a"), wtuple(70*time.Second, 21, "a"),
+	}
+	got := runOp(t, tr, feed(weatherSchema(), tuples, false))
+	// Pass-through: all 4 tuples flow on.
+	if len(got) != 4 {
+		t.Fatalf("pass-through broke: %d tuples", len(got))
+	}
+	if len(act.activated) != 2 {
+		t.Fatalf("activated = %v, want both targets once", act.activated)
+	}
+	if act.activated[0] != "rain-1" || act.activated[1] != "tweet-1" {
+		t.Errorf("activation order: %v", act.activated)
+	}
+	if len(act.deactivated) != 0 {
+		t.Error("trigger ON must not deactivate")
+	}
+	// Fire log: window 0 no-fire, window 1 fire.
+	if len(fires) != 2 {
+		t.Fatalf("fire events = %d, want 2", len(fires))
+	}
+	if fires[0].Fired || !fires[1].Fired {
+		t.Errorf("fire pattern: %+v", fires)
+	}
+	if !fires[1].WindowStart.Equal(t0.Add(time.Minute)) {
+		t.Errorf("fired window = %v", fires[1].WindowStart)
+	}
+}
+
+func TestTriggerOffFires(t *testing.T) {
+	act := &fakeActivator{}
+	tr, err := NewTriggerOff("cold", time.Minute, "temperature < 10",
+		[]string{"rain-1"}, TriggerAny, act, nil, weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kind() != KindTriggerOff {
+		t.Error("kind")
+	}
+	runOp(t, tr, feed(weatherSchema(), []*stt.Tuple{wtuple(0, 5, "a")}, false))
+	if len(act.deactivated) != 1 || act.deactivated[0] != "rain-1" {
+		t.Errorf("deactivated = %v", act.deactivated)
+	}
+	if len(act.activated) != 0 {
+		t.Error("trigger OFF must not activate")
+	}
+}
+
+func TestTriggerModeAll(t *testing.T) {
+	act := &fakeActivator{}
+	tr, err := NewTriggerOn("allhot", time.Minute, "temperature > 25",
+		[]string{"x"}, TriggerAll, act, nil, weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: mixed -> no fire. Window 1: all hot -> fire.
+	runOp(t, tr, feed(weatherSchema(), []*stt.Tuple{
+		wtuple(0, 30, "a"), wtuple(time.Second, 20, "a"),
+		wtuple(61*time.Second, 30, "a"), wtuple(62*time.Second, 28, "a"),
+	}, false))
+	if len(act.activated) != 1 {
+		t.Errorf("activated %d times, want 1", len(act.activated))
+	}
+}
+
+func TestTriggerEmptyWindowNeverFires(t *testing.T) {
+	act := &fakeActivator{}
+	tr, err := NewTriggerOn("x", time.Minute, "true", []string{"t"},
+		TriggerAll, act, nil, weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No tuples at all: EOS flush must not fire ALL-mode on empty windows.
+	runOp(t, tr, feed(weatherSchema(), nil, false))
+	if len(act.activated) != 0 {
+		t.Error("empty stream must not fire")
+	}
+}
+
+func TestTriggerScenarioOsaka(t *testing.T) {
+	// The paper's scenario: activate rain/tweets/traffic when the last-hour
+	// temperature exceeds 25 C.
+	act := &fakeActivator{}
+	tr, err := NewTriggerOn("osaka", time.Hour, "temperature > 25",
+		[]string{"rain-1", "tweet-1", "traffic-1"}, TriggerAny, act, nil, weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []*stt.Tuple
+	// Hour 0: all below 25. Hour 1: one reading of 26.
+	for i := 0; i < 60; i++ {
+		tuples = append(tuples, wtuple(time.Duration(i)*time.Minute, 20, "a"))
+	}
+	tuples = append(tuples, wtuple(90*time.Minute, 26, "a"))
+	runOp(t, tr, feed(weatherSchema(), tuples, false))
+	if len(act.activated) != 3 {
+		t.Fatalf("activated = %v", act.activated)
+	}
+}
+
+func TestTriggerActivatorFailureStopsRun(t *testing.T) {
+	act := &fakeActivator{failOn: "broken"}
+	tr, err := NewTriggerOn("x", time.Minute, "true", []string{"broken"},
+		TriggerAny, act, nil, weatherSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := feed(weatherSchema(), []*stt.Tuple{wtuple(0, 30, "a")}, false)
+	out := stream.New("o", tr.OutSchema(), 64)
+	errc := make(chan error, 1)
+	go func() { errc <- tr.Run([]*stream.Stream{in}, out) }()
+	out.Drain()
+	if err := <-errc; err == nil {
+		t.Error("activator failure must surface as run error")
+	}
+}
+
+func TestTriggerValidation(t *testing.T) {
+	act := &fakeActivator{}
+	w := weatherSchema()
+	if _, err := NewTriggerOn("x", 0, "true", []string{"t"}, TriggerAny, act, nil, w); err == nil {
+		t.Error("zero interval must fail")
+	}
+	if _, err := NewTriggerOn("x", time.Second, "true", nil, TriggerAny, act, nil, w); err == nil {
+		t.Error("no targets must fail")
+	}
+	if _, err := NewTriggerOn("x", time.Second, "true", []string{"t"}, TriggerAny, nil, nil, w); err == nil {
+		t.Error("nil activator must fail")
+	}
+	if _, err := NewTriggerOn("x", time.Second, "ghost > 1", []string{"t"}, TriggerAny, act, nil, w); err == nil {
+		t.Error("bad condition must fail")
+	}
+	if _, err := NewTriggerOn("x", time.Second, "true", []string{"t"}, "most", act, nil, w); err == nil {
+		t.Error("unknown mode must fail")
+	}
+	// Empty mode defaults to any.
+	tr, err := NewTriggerOn("x", time.Second, "true", []string{"t"}, "", act, nil, w)
+	if err != nil || tr.mode != TriggerAny {
+		t.Error("empty mode must default to any")
+	}
+}

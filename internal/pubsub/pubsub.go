@@ -1,0 +1,394 @@
+// Package pubsub implements the distributed publish/subscribe system through
+// which StreamLoader handles sensors (paper §2 "Discovery of sensor data
+// sources", §3 "Sensors are handled through a distributed publish-subscribe
+// system"). Each time a sensor is published, its type, schema, and frequency
+// of data generation are made available to subscribers; sensors may join and
+// leave the network dynamically, and the Trigger On/Off operations activate
+// and deactivate their streams.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+// SensorMeta is the publication record of one sensor.
+type SensorMeta struct {
+	// ID is the unique sensor identifier ("temp-osaka-3").
+	ID string `json:"id"`
+	// Type is the sensor class ("temperature", "rain", "tweet", ...).
+	Type string `json:"type"`
+	// Schema is the shape of tuples the sensor produces.
+	Schema *stt.Schema `json:"-"`
+	// FrequencyHz is the nominal data-generation frequency.
+	FrequencyHz float64 `json:"frequency_hz"`
+	// Location is the sensor position (for physical sensors) or the centre
+	// of its coverage area (for social sensors).
+	Location geo.Point `json:"location"`
+	// NodeID is the network node managing the sensor.
+	NodeID string `json:"node_id"`
+	// Themes are the thematic dimensions the sensor reports on.
+	Themes []string `json:"themes,omitempty"`
+}
+
+// EventKind enumerates sensor lifecycle events.
+type EventKind uint8
+
+// Sensor lifecycle events delivered to subscribers.
+const (
+	EventPublished EventKind = iota
+	EventUnpublished
+	EventActivated
+	EventDeactivated
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventPublished:
+		return "published"
+	case EventUnpublished:
+		return "unpublished"
+	case EventActivated:
+		return "activated"
+	case EventDeactivated:
+		return "deactivated"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one sensor lifecycle notification.
+type Event struct {
+	Kind EventKind
+	Meta SensorMeta
+}
+
+// Query selects sensors by their publication attributes. Zero fields match
+// everything, so the zero Query selects all sensors.
+type Query struct {
+	// Type restricts to one sensor class.
+	Type string
+	// Region restricts to sensors located inside the rectangle.
+	Region *geo.Rect
+	// Theme restricts to sensors carrying the theme.
+	Theme string
+	// ActiveOnly restricts to currently-activated sensors.
+	ActiveOnly bool
+}
+
+// Matches reports whether a sensor publication satisfies the query.
+func (q Query) Matches(m SensorMeta, active bool) bool {
+	if q.Type != "" && m.Type != q.Type {
+		return false
+	}
+	if q.Region != nil && !q.Region.Contains(m.Location) {
+		return false
+	}
+	if q.Theme != "" {
+		found := false
+		for _, t := range m.Themes {
+			if t == q.Theme {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if q.ActiveOnly && !active {
+		return false
+	}
+	return true
+}
+
+type registration struct {
+	meta   SensorMeta
+	active bool
+}
+
+// Subscription delivers lifecycle events matching a query. Events arrives on
+// C until Cancel is called (which closes C).
+type Subscription struct {
+	C      chan Event
+	id     int64
+	query  Query
+	broker *Broker
+}
+
+// Cancel detaches the subscription and closes its channel.
+func (s *Subscription) Cancel() { s.broker.unsubscribe(s.id) }
+
+// Broker is one publish/subscribe node. Brokers can be federated with
+// Connect so that a publication on any broker is visible on every broker,
+// which is how the paper's per-network-node pub/sub layers behave.
+type Broker struct {
+	name string
+
+	mu      sync.RWMutex
+	sensors map[string]*registration
+	subs    map[int64]*Subscription
+	nextSub int64
+	peers   []*Broker
+}
+
+// NewBroker creates an empty broker. The name appears in diagnostics only.
+func NewBroker(name string) *Broker {
+	return &Broker{
+		name:    name,
+		sensors: make(map[string]*registration),
+		subs:    make(map[int64]*Subscription),
+	}
+}
+
+// Connect federates b with peer bidirectionally: existing and future
+// publications propagate both ways.
+func (b *Broker) Connect(peer *Broker) {
+	if b == peer {
+		return
+	}
+	b.mu.Lock()
+	b.peers = append(b.peers, peer)
+	b.mu.Unlock()
+	peer.mu.Lock()
+	peer.peers = append(peer.peers, b)
+	peer.mu.Unlock()
+
+	// Exchange current state.
+	for _, m := range b.snapshot() {
+		peer.replicate(Event{Kind: EventPublished, Meta: m.meta}, m.active, b)
+	}
+	for _, m := range peer.snapshot() {
+		b.replicate(Event{Kind: EventPublished, Meta: m.meta}, m.active, peer)
+	}
+}
+
+func (b *Broker) snapshot() []*registration {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]*registration, 0, len(b.sensors))
+	for _, r := range b.sensors {
+		out = append(out, &registration{meta: r.meta, active: r.active})
+	}
+	return out
+}
+
+// Publish registers a sensor. Sensors start deactivated: dataflow sources or
+// Trigger On operations activate them. Publishing an already-known ID
+// updates the publication in place (sensors re-announce after reconfiguration).
+func (b *Broker) Publish(meta SensorMeta) error {
+	if meta.ID == "" {
+		return fmt.Errorf("pubsub: sensor ID must not be empty")
+	}
+	if meta.Schema == nil {
+		return fmt.Errorf("pubsub: sensor %q published without schema", meta.ID)
+	}
+	if !meta.Location.Valid() {
+		return fmt.Errorf("pubsub: sensor %q has invalid location %v", meta.ID, meta.Location)
+	}
+	b.apply(Event{Kind: EventPublished, Meta: meta}, false, nil)
+	return nil
+}
+
+// Unpublish removes a sensor (it left the network).
+func (b *Broker) Unpublish(id string) error {
+	b.mu.RLock()
+	r, ok := b.sensors[id]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("pubsub: unknown sensor %q", id)
+	}
+	b.apply(Event{Kind: EventUnpublished, Meta: r.meta}, false, nil)
+	return nil
+}
+
+// Activate marks the sensor's stream as flowing. Used by dataflow sources at
+// deployment and by Trigger On operations at runtime.
+func (b *Broker) Activate(id string) error {
+	return b.setActive(id, true)
+}
+
+// Deactivate stops the sensor's stream. Used by Trigger Off.
+func (b *Broker) Deactivate(id string) error {
+	return b.setActive(id, false)
+}
+
+func (b *Broker) setActive(id string, active bool) error {
+	b.mu.RLock()
+	r, ok := b.sensors[id]
+	b.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("pubsub: unknown sensor %q", id)
+	}
+	kind := EventDeactivated
+	if active {
+		kind = EventActivated
+	}
+	b.apply(Event{Kind: kind, Meta: r.meta}, active, nil)
+	return nil
+}
+
+// apply performs the state change locally, notifies matching subscribers,
+// and replicates to peers (except the one the event came from).
+func (b *Broker) apply(ev Event, active bool, from *Broker) {
+	b.mu.Lock()
+	switch ev.Kind {
+	case EventPublished:
+		// Preserve activation state across re-publication.
+		if old, ok := b.sensors[ev.Meta.ID]; ok {
+			active = old.active
+		}
+		b.sensors[ev.Meta.ID] = &registration{meta: ev.Meta, active: active}
+	case EventUnpublished:
+		delete(b.sensors, ev.Meta.ID)
+	case EventActivated, EventDeactivated:
+		if r, ok := b.sensors[ev.Meta.ID]; ok {
+			r.active = ev.Kind == EventActivated
+			active = r.active
+		}
+	}
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		if s.query.Matches(ev.Meta, active || ev.Kind == EventPublished || ev.Kind == EventUnpublished) {
+			subs = append(subs, s)
+		}
+	}
+	peers := make([]*Broker, len(b.peers))
+	copy(peers, b.peers)
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		// Non-blocking send: a slow subscriber loses lifecycle events rather
+		// than stalling the control plane; data-plane streams are unaffected.
+		select {
+		case s.C <- ev:
+		default:
+		}
+	}
+	for _, p := range peers {
+		if p != from {
+			p.replicate(ev, active, b)
+		}
+	}
+}
+
+// replicate applies a remote event without echoing it back to the sender.
+func (b *Broker) replicate(ev Event, active bool, from *Broker) {
+	b.mu.RLock()
+	_, known := b.sensors[ev.Meta.ID]
+	b.mu.RUnlock()
+	// Suppress no-op replication cycles in meshes: publication of a known
+	// sensor with identical metadata still refreshes, but unpublication of
+	// an unknown one is dropped.
+	if ev.Kind == EventUnpublished && !known {
+		return
+	}
+	b.apply(ev, active, from)
+}
+
+// Get returns a sensor publication by ID.
+func (b *Broker) Get(id string) (SensorMeta, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	r, ok := b.sensors[id]
+	if !ok {
+		return SensorMeta{}, false
+	}
+	return r.meta, true
+}
+
+// IsActive reports whether the sensor's stream is currently activated.
+func (b *Broker) IsActive(id string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	r, ok := b.sensors[id]
+	return ok && r.active
+}
+
+// Discover returns the publications matching the query, sorted by ID for
+// deterministic output (the Web UI lists them).
+func (b *Broker) Discover(q Query) []SensorMeta {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []SensorMeta
+	for _, r := range b.sensors {
+		if q.Matches(r.meta, r.active) {
+			out = append(out, r.meta)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Subscribe registers for lifecycle events matching q. The returned
+// subscription's channel has a fixed buffer; cancel it when done.
+func (b *Broker) Subscribe(q Query) *Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextSub++
+	s := &Subscription{
+		C:      make(chan Event, 64),
+		id:     b.nextSub,
+		query:  q,
+		broker: b,
+	}
+	b.subs[s.id] = s
+	return s
+}
+
+func (b *Broker) unsubscribe(id int64) {
+	b.mu.Lock()
+	s, ok := b.subs[id]
+	if ok {
+		delete(b.subs, id)
+	}
+	b.mu.Unlock()
+	if ok {
+		close(s.C)
+	}
+}
+
+// Count returns the number of known sensors.
+func (b *Broker) Count() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.sensors)
+}
+
+// GroupBy organizes discovered sensors according to the given criterion, the
+// paper's "sensors can be organized according to different criteria
+// (temporal/spatial, type/location) to facilitate the specification of
+// dataflows". Supported criteria: "type", "node", "theme", "region" (1-degree
+// spatial cells).
+func (b *Broker) GroupBy(criterion string, q Query) (map[string][]SensorMeta, error) {
+	metas := b.Discover(q)
+	out := make(map[string][]SensorMeta)
+	for _, m := range metas {
+		var keys []string
+		switch criterion {
+		case "type":
+			keys = []string{m.Type}
+		case "node":
+			keys = []string{m.NodeID}
+		case "theme":
+			if len(m.Themes) == 0 {
+				keys = []string{""}
+			} else {
+				keys = m.Themes
+			}
+		case "region":
+			c := geo.CellOf(m.Location, 1.0)
+			keys = []string{fmt.Sprintf("cell(%d,%d)", c.X, c.Y)}
+		default:
+			return nil, fmt.Errorf("pubsub: unknown grouping criterion %q", criterion)
+		}
+		for _, k := range keys {
+			out[k] = append(out[k], m)
+		}
+	}
+	return out, nil
+}

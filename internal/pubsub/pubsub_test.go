@@ -1,0 +1,351 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+func tempSchema() *stt.Schema {
+	return stt.MustSchema([]stt.Field{
+		stt.NewField("temperature", stt.KindFloat, "celsius"),
+	}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+}
+
+func meta(id, typ string, lat, lon float64, themes ...string) SensorMeta {
+	return SensorMeta{
+		ID: id, Type: typ, Schema: tempSchema(), FrequencyHz: 1,
+		Location: geo.Point{Lat: lat, Lon: lon}, NodeID: "node-1", Themes: themes,
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	b := NewBroker("test")
+	if err := b.Publish(SensorMeta{}); err == nil {
+		t.Error("empty ID must be rejected")
+	}
+	if err := b.Publish(SensorMeta{ID: "x", Location: geo.Point{}}); err == nil {
+		t.Error("missing schema must be rejected")
+	}
+	bad := meta("x", "temperature", 95, 0)
+	if err := b.Publish(bad); err == nil {
+		t.Error("invalid location must be rejected")
+	}
+	if err := b.Publish(meta("ok", "temperature", 34.7, 135.5)); err != nil {
+		t.Errorf("valid publish failed: %v", err)
+	}
+}
+
+func TestPublishGetUnpublish(t *testing.T) {
+	b := NewBroker("test")
+	m := meta("temp-1", "temperature", 34.7, 135.5, "weather")
+	if err := b.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get("temp-1")
+	if !ok || got.Type != "temperature" || got.FrequencyHz != 1 {
+		t.Errorf("Get = %+v, %v", got, ok)
+	}
+	if b.Count() != 1 {
+		t.Error("Count")
+	}
+	if _, ok := b.Get("ghost"); ok {
+		t.Error("Get(ghost)")
+	}
+	if err := b.Unpublish("temp-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get("temp-1"); ok {
+		t.Error("sensor still visible after Unpublish")
+	}
+	if err := b.Unpublish("temp-1"); err == nil {
+		t.Error("double Unpublish must fail")
+	}
+}
+
+func TestActivation(t *testing.T) {
+	b := NewBroker("test")
+	if err := b.Publish(meta("s1", "rain", 34.5, 135.3)); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsActive("s1") {
+		t.Error("sensors start deactivated")
+	}
+	if err := b.Activate("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsActive("s1") {
+		t.Error("Activate")
+	}
+	if err := b.Deactivate("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if b.IsActive("s1") {
+		t.Error("Deactivate")
+	}
+	if err := b.Activate("ghost"); err == nil {
+		t.Error("activating unknown sensor must fail")
+	}
+	if err := b.Deactivate("ghost"); err == nil {
+		t.Error("deactivating unknown sensor must fail")
+	}
+	if b.IsActive("ghost") {
+		t.Error("unknown sensor is not active")
+	}
+}
+
+func TestRepublishPreservesActivation(t *testing.T) {
+	b := NewBroker("test")
+	m := meta("s1", "rain", 34.5, 135.3)
+	if err := b.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate("s1"); err != nil {
+		t.Fatal(err)
+	}
+	m.FrequencyHz = 10 // reconfigured sensor re-announces
+	if err := b.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsActive("s1") {
+		t.Error("re-publication must preserve activation state")
+	}
+	got, _ := b.Get("s1")
+	if got.FrequencyHz != 10 {
+		t.Error("re-publication must update metadata")
+	}
+}
+
+func TestDiscover(t *testing.T) {
+	b := NewBroker("test")
+	sensors := []SensorMeta{
+		meta("temp-1", "temperature", 34.70, 135.50, "weather"),
+		meta("temp-2", "temperature", 34.45, 135.25, "weather"),
+		meta("rain-1", "rain", 34.70, 135.50, "weather", "rain"),
+		meta("tweet-1", "tweet", 34.69, 135.50, "social"),
+		meta("kyoto-1", "temperature", 35.01, 135.77, "weather"),
+	}
+	for _, m := range sensors {
+		if err := b.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Activate("temp-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	all := b.Discover(Query{})
+	if len(all) != 5 {
+		t.Fatalf("Discover(all) = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Error("Discover must sort by ID")
+		}
+	}
+	temps := b.Discover(Query{Type: "temperature"})
+	if len(temps) != 3 {
+		t.Errorf("by type = %d, want 3", len(temps))
+	}
+	osaka := b.Discover(Query{Region: &geo.Osaka})
+	if len(osaka) != 4 {
+		t.Errorf("in Osaka = %d, want 4", len(osaka))
+	}
+	weather := b.Discover(Query{Theme: "weather"})
+	if len(weather) != 4 {
+		t.Errorf("weather theme = %d, want 4", len(weather))
+	}
+	active := b.Discover(Query{ActiveOnly: true})
+	if len(active) != 1 || active[0].ID != "temp-1" {
+		t.Errorf("active = %v", active)
+	}
+	both := b.Discover(Query{Type: "temperature", Region: &geo.Osaka})
+	if len(both) != 2 {
+		t.Errorf("temperature in Osaka = %d, want 2", len(both))
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	b := NewBroker("test")
+	m1 := meta("a", "temperature", 34.7, 135.5, "weather")
+	m2 := meta("b", "rain", 34.7, 135.5, "weather", "rain")
+	m3 := meta("c", "tweet", 35.01, 135.77, "social")
+	m3.NodeID = "node-2"
+	for _, m := range []SensorMeta{m1, m2, m3} {
+		if err := b.Publish(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byType, err := b.GroupBy("type", Query{})
+	if err != nil || len(byType["temperature"]) != 1 || len(byType["rain"]) != 1 {
+		t.Errorf("GroupBy type = %v, %v", byType, err)
+	}
+	byNode, err := b.GroupBy("node", Query{})
+	if err != nil || len(byNode["node-1"]) != 2 || len(byNode["node-2"]) != 1 {
+		t.Errorf("GroupBy node = %v, %v", byNode, err)
+	}
+	byTheme, err := b.GroupBy("theme", Query{})
+	if err != nil || len(byTheme["weather"]) != 2 || len(byTheme["rain"]) != 1 {
+		t.Errorf("GroupBy theme = %v, %v", byTheme, err)
+	}
+	byRegion, err := b.GroupBy("region", Query{})
+	if err != nil || len(byRegion) != 2 {
+		t.Errorf("GroupBy region = %v, %v", byRegion, err)
+	}
+	if _, err := b.GroupBy("color", Query{}); err == nil {
+		t.Error("unknown criterion must fail")
+	}
+}
+
+func collectEvents(s *Subscription, n int, timeout time.Duration) []Event {
+	var out []Event
+	deadline := time.After(timeout)
+	for len(out) < n {
+		select {
+		case ev, ok := <-s.C:
+			if !ok {
+				return out
+			}
+			out = append(out, ev)
+		case <-deadline:
+			return out
+		}
+	}
+	return out
+}
+
+func TestSubscription(t *testing.T) {
+	b := NewBroker("test")
+	sub := b.Subscribe(Query{Type: "temperature"})
+	defer sub.Cancel()
+
+	if err := b.Publish(meta("temp-1", "temperature", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish(meta("rain-1", "rain", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate("temp-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unpublish("temp-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := collectEvents(sub, 3, time.Second)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3: %v", len(evs), evs)
+	}
+	if evs[0].Kind != EventPublished || evs[0].Meta.ID != "temp-1" {
+		t.Errorf("ev0 = %v", evs[0])
+	}
+	if evs[1].Kind != EventActivated {
+		t.Errorf("ev1 = %v", evs[1])
+	}
+	if evs[2].Kind != EventUnpublished {
+		t.Errorf("ev2 = %v", evs[2])
+	}
+}
+
+func TestSubscriptionCancel(t *testing.T) {
+	b := NewBroker("test")
+	sub := b.Subscribe(Query{})
+	sub.Cancel()
+	if _, ok := <-sub.C; ok {
+		t.Error("channel must be closed after Cancel")
+	}
+	// Publishing after cancel must not panic.
+	if err := b.Publish(meta("s", "rain", 34.5, 135.3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFederation(t *testing.T) {
+	a := NewBroker("a")
+	c := NewBroker("c")
+	// Publish before federation: state exchange on Connect.
+	if err := a.Publish(meta("pre", "temperature", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	a.Connect(c)
+	if _, ok := c.Get("pre"); !ok {
+		t.Error("Connect must exchange existing publications")
+	}
+	// Publish after federation: replication.
+	if err := c.Publish(meta("post", "rain", 34.6, 135.4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Get("post"); !ok {
+		t.Error("publication must replicate to peer")
+	}
+	// Activation propagates.
+	if err := a.Activate("post"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsActive("post") {
+		t.Error("activation must replicate")
+	}
+	// Unpublication propagates.
+	if err := c.Unpublish("pre"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Get("pre"); ok {
+		t.Error("unpublication must replicate")
+	}
+	// Self-connect is a no-op.
+	a.Connect(a)
+}
+
+func TestFederationChain(t *testing.T) {
+	// a - b - c in a line: events must traverse both hops.
+	a, b, c := NewBroker("a"), NewBroker("b"), NewBroker("c")
+	a.Connect(b)
+	b.Connect(c)
+	if err := a.Publish(meta("s1", "rain", 34.5, 135.3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("s1"); !ok {
+		t.Error("publication must traverse the chain")
+	}
+	if err := c.Activate("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsActive("s1") {
+		t.Error("activation must traverse the chain")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventPublished: "published", EventUnpublished: "unpublished",
+		EventActivated: "activated", EventDeactivated: "deactivated",
+	} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if EventKind(9).String() == "" {
+		t.Error("unknown kind must print")
+	}
+}
+
+func TestConcurrentPublishDiscover(t *testing.T) {
+	b := NewBroker("test")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = b.Publish(meta(fmt.Sprintf("s%d", i), "temperature", 34.7, 135.5))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = b.Discover(Query{Type: "temperature"})
+	}
+	<-done
+	if b.Count() != 200 {
+		t.Errorf("Count = %d", b.Count())
+	}
+}

@@ -1,0 +1,86 @@
+package sensor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/pubsub"
+)
+
+// FleetConfig describes a mixed population of sensors spread over a region,
+// as plugged into the demo network (walkthrough P3: "it is easy to
+// plug-and-play new sensors to the network").
+type FleetConfig struct {
+	// Region is the area sensors are scattered over.
+	Region geo.Rect
+	// Counts maps sensor class to the number of instances.
+	Counts map[Type]int
+	// Nodes are the network node IDs sensors are assigned to, round-robin.
+	Nodes []string
+	// Seed drives placement and the per-sensor generator seeds.
+	Seed int64
+}
+
+// DefaultCounts is a representative mixed fleet for the Osaka scenario.
+func DefaultCounts() map[Type]int {
+	return map[Type]int{
+		TypeTemperature: 6,
+		TypeHumidity:    4,
+		TypeRain:        5,
+		TypeWind:        2,
+		TypePressure:    1,
+		TypeRiverLevel:  2,
+		TypeTweet:       3,
+		TypeTraffic:     4,
+		TypeTrain:       1,
+	}
+}
+
+// BuildFleet constructs the sensors of a fleet. Sensors are named
+// "<type>-<n>" and receive deterministic seeds derived from the fleet seed.
+func BuildFleet(cfg FleetConfig) ([]*Sensor, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("sensor: fleet needs at least one node")
+	}
+	if !cfg.Region.Valid() {
+		return nil, fmt.Errorf("sensor: invalid fleet region %v", cfg.Region)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*Sensor
+	node := 0
+	// Iterate classes in stable order so fleets are reproducible.
+	for _, typ := range AllTypes {
+		n := cfg.Counts[typ]
+		for i := 0; i < n; i++ {
+			loc := geo.Point{
+				Lat: cfg.Region.Min.Lat + rng.Float64()*(cfg.Region.Max.Lat-cfg.Region.Min.Lat),
+				Lon: cfg.Region.Min.Lon + rng.Float64()*(cfg.Region.Max.Lon-cfg.Region.Min.Lon),
+			}
+			s, err := New(Spec{
+				ID:          fmt.Sprintf("%s-%d", typ, i+1),
+				Type:        typ,
+				Location:    loc,
+				NodeID:      cfg.Nodes[node%len(cfg.Nodes)],
+				Seed:        cfg.Seed + int64(len(out))*7919,
+				UnitVariant: i,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+			node++
+		}
+	}
+	return out, nil
+}
+
+// PublishFleet publishes every sensor of the fleet to the broker.
+func PublishFleet(b *pubsub.Broker, sensors []*Sensor) error {
+	for _, s := range sensors {
+		if err := b.Publish(s.Meta()); err != nil {
+			return fmt.Errorf("sensor: publishing %s: %w", s.ID(), err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package sensor
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/pubsub"
+	"streamloader/internal/stt"
+)
+
+// Replay plays back a recorded trace (the JSON Lines format cmd/slgen
+// emits: payload fields plus _time/_lat/_lon/_theme/_source metadata) as a
+// sensor. It lets real captured data stand in for a simulator wherever a
+// *Sensor is accepted: Replay satisfies the executor's SensorSource
+// interface, so dataflows run unchanged over recorded streams.
+//
+// Readings are replayed cyclically relative to the requested event time:
+// asking for a time past the end of the trace wraps around, shifting the
+// trace's timestamps forward by whole trace durations, so long experiments
+// can loop short captures.
+type Replay struct {
+	id     string
+	schema *stt.Schema
+	themes []string
+	loc    geo.Point
+	nodeID string
+	period time.Duration
+
+	base     time.Time // first reading's event time
+	span     time.Duration
+	readings []replayReading
+	seq      uint64
+}
+
+type replayReading struct {
+	offset time.Duration // from base
+	values []stt.Value
+	lat    float64
+	lon    float64
+	theme  string
+}
+
+// NewReplay parses a JSONL trace into a replayable sensor. The schema must
+// describe the payload fields of the trace (kinds are validated against the
+// first reading). nodeID names the network node that will manage the
+// replayed stream.
+func NewReplay(id string, schema *stt.Schema, nodeID string, trace io.Reader) (*Replay, error) {
+	if id == "" {
+		return nil, fmt.Errorf("sensor: replay needs an ID")
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("sensor: replay needs a schema")
+	}
+	r := &Replay{id: id, schema: schema, nodeID: nodeID, themes: schema.Themes}
+
+	scanner := bufio.NewScanner(trace)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for scanner.Scan() {
+		line++
+		raw := scanner.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("sensor: replay %s line %d: %v", id, line, err)
+		}
+		reading, ts, err := r.decode(rec)
+		if err != nil {
+			return nil, fmt.Errorf("sensor: replay %s line %d: %v", id, line, err)
+		}
+		if len(r.readings) == 0 || ts.Before(r.base) {
+			if len(r.readings) > 0 {
+				// Re-base existing offsets.
+				delta := r.base.Sub(ts)
+				for i := range r.readings {
+					r.readings[i].offset += delta
+				}
+			}
+			r.base = ts
+		}
+		reading.offset = ts.Sub(r.base)
+		r.readings = append(r.readings, reading)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("sensor: replay %s: %v", id, err)
+	}
+	if len(r.readings) == 0 {
+		return nil, fmt.Errorf("sensor: replay %s: empty trace", id)
+	}
+	sort.SliceStable(r.readings, func(i, j int) bool {
+		return r.readings[i].offset < r.readings[j].offset
+	})
+	r.loc = geo.Point{Lat: r.readings[0].lat, Lon: r.readings[0].lon}
+
+	// Period: median inter-reading gap, or 1s for single-reading traces.
+	r.span = r.readings[len(r.readings)-1].offset
+	if len(r.readings) > 1 {
+		gaps := make([]time.Duration, 0, len(r.readings)-1)
+		for i := 1; i < len(r.readings); i++ {
+			gaps = append(gaps, r.readings[i].offset-r.readings[i-1].offset)
+		}
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		r.period = gaps[len(gaps)/2]
+	}
+	if r.period <= 0 {
+		r.period = time.Second
+	}
+	return r, nil
+}
+
+// decode converts one JSONL record into a reading plus its event time.
+func (r *Replay) decode(rec map[string]any) (replayReading, time.Time, error) {
+	tsRaw, ok := rec["_time"].(string)
+	if !ok {
+		return replayReading{}, time.Time{}, fmt.Errorf("missing _time")
+	}
+	ts, err := time.Parse(time.RFC3339Nano, tsRaw)
+	if err != nil {
+		return replayReading{}, time.Time{}, fmt.Errorf("bad _time %q: %v", tsRaw, err)
+	}
+	reading := replayReading{values: make([]stt.Value, r.schema.NumFields())}
+	for i := 0; i < r.schema.NumFields(); i++ {
+		f := r.schema.Field(i)
+		raw, present := rec[f.Name]
+		if !present {
+			reading.values[i] = stt.Null()
+			continue
+		}
+		v, err := stt.FromGoValue(raw)
+		if err != nil {
+			return replayReading{}, time.Time{}, fmt.Errorf("field %q: %v", f.Name, err)
+		}
+		// JSON numbers arrive as floats; coerce to declared int fields.
+		if f.Kind == stt.KindInt && v.Kind() == stt.KindFloat {
+			v = stt.Int(v.AsInt())
+		}
+		if f.Kind == stt.KindTime && v.Kind() == stt.KindString {
+			parsed, err := time.Parse(time.RFC3339Nano, v.AsString())
+			if err != nil {
+				return replayReading{}, time.Time{}, fmt.Errorf("field %q: %v", f.Name, err)
+			}
+			v = stt.Time(parsed)
+		}
+		if v.Kind() != stt.KindNull && v.Kind() != f.Kind &&
+			!(f.Kind == stt.KindFloat && v.Kind() == stt.KindInt) {
+			return replayReading{}, time.Time{}, fmt.Errorf(
+				"field %q: trace has %s, schema declares %s", f.Name, v.Kind(), f.Kind)
+		}
+		reading.values[i] = v
+	}
+	if lat, ok := rec["_lat"].(float64); ok {
+		reading.lat = lat
+	}
+	if lon, ok := rec["_lon"].(float64); ok {
+		reading.lon = lon
+	}
+	if theme, ok := rec["_theme"].(string); ok {
+		reading.theme = theme
+	}
+	return reading, ts, nil
+}
+
+// ID returns the replay sensor's identifier.
+func (r *Replay) ID() string { return r.id }
+
+// Schema returns the payload schema.
+func (r *Replay) Schema() *stt.Schema { return r.schema }
+
+// Period returns the median inter-reading interval of the trace.
+func (r *Replay) Period() time.Duration { return r.period }
+
+// Len returns the number of recorded readings.
+func (r *Replay) Len() int { return len(r.readings) }
+
+// Meta returns the publication record for the pub/sub layer.
+func (r *Replay) Meta() pubsub.SensorMeta {
+	return pubsub.SensorMeta{
+		ID:          r.id,
+		Type:        "replay",
+		Schema:      r.schema,
+		FrequencyHz: float64(time.Second) / float64(r.period),
+		Location:    r.loc,
+		NodeID:      r.nodeID,
+		Themes:      r.themes,
+	}
+}
+
+// At returns the recorded reading nearest at or before ts, cycling the
+// trace when ts lies beyond its end. The returned tuple carries ts (aligned
+// to the schema granularity) as its event time, so replays integrate with
+// watermark-driven windows exactly like simulated sensors.
+func (r *Replay) At(ts time.Time) *stt.Tuple {
+	var reading replayReading
+	if ts.Before(r.base) {
+		reading = r.readings[0]
+	} else {
+		offset := ts.Sub(r.base)
+		if r.span > 0 {
+			offset %= r.span + r.period
+		}
+		// Last reading with offset <= offset (binary search).
+		i := sort.Search(len(r.readings), func(i int) bool {
+			return r.readings[i].offset > offset
+		})
+		if i > 0 {
+			i--
+		}
+		reading = r.readings[i]
+	}
+	vals := make([]stt.Value, len(reading.values))
+	copy(vals, reading.values)
+	tup := &stt.Tuple{
+		Schema: r.schema,
+		Values: vals,
+		Time:   ts,
+		Lat:    reading.lat,
+		Lon:    reading.lon,
+		Theme:  reading.theme,
+		Source: r.id,
+		Seq:    r.seq,
+	}
+	r.seq++
+	return tup.AlignSTT()
+}

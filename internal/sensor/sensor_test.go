@@ -1,0 +1,388 @@
+package sensor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/pubsub"
+	"streamloader/internal/stt"
+)
+
+var t0 = time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+
+func newSensor(t *testing.T, typ Type, variant int) *Sensor {
+	t.Helper()
+	s, err := New(Spec{
+		ID: string(typ) + "-t", Type: typ,
+		Location: geo.OsakaCenter, NodeID: "n1", Seed: 42, UnitVariant: variant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseType(t *testing.T) {
+	for _, typ := range AllTypes {
+		got, err := ParseType(string(typ))
+		if err != nil || got != typ {
+			t.Errorf("ParseType(%q) = %v, %v", typ, got, err)
+		}
+	}
+	if _, err := ParseType("seismometer"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Spec{ID: "x", Type: "bogus", Location: geo.OsakaCenter}); err == nil {
+		t.Error("unknown type must fail")
+	}
+	if _, err := New(Spec{Type: TypeRain, Location: geo.OsakaCenter}); err == nil {
+		t.Error("missing ID must fail")
+	}
+	if _, err := New(Spec{ID: "x", Type: TypeRain, Location: geo.Point{Lat: 99}}); err == nil {
+		t.Error("invalid location must fail")
+	}
+	if _, err := New(Spec{ID: "x", Type: TypeRain, Location: geo.OsakaCenter, FrequencyHz: -1}); err == nil {
+		t.Error("negative frequency must fail")
+	}
+}
+
+func TestProfileAndSchemaFor(t *testing.T) {
+	for _, typ := range AllTypes {
+		f, tg, sg, themes, err := Profile(typ)
+		if err != nil {
+			t.Fatalf("Profile(%s): %v", typ, err)
+		}
+		if f <= 0 || len(themes) == 0 {
+			t.Errorf("%s profile: f=%v themes=%v", typ, f, themes)
+		}
+		sc, err := SchemaFor(typ, 0)
+		if err != nil {
+			t.Fatalf("SchemaFor(%s): %v", typ, err)
+		}
+		if sc.TGran != tg || sc.SGran != sg {
+			t.Errorf("%s schema granularities disagree with profile", typ)
+		}
+		if sc.NumFields() == 0 {
+			t.Errorf("%s schema empty", typ)
+		}
+	}
+	if _, _, _, _, err := Profile("bogus"); err == nil {
+		t.Error("Profile(bogus) must fail")
+	}
+	if _, err := SchemaFor("bogus", 0); err == nil {
+		t.Error("SchemaFor(bogus) must fail")
+	}
+}
+
+func TestEverySensorTypeProducesValidTuples(t *testing.T) {
+	for _, typ := range AllTypes {
+		for variant := 0; variant < 3; variant++ {
+			s := newSensor(t, typ, variant)
+			ts := t0
+			for i := 0; i < 50; i++ {
+				tup := s.At(ts)
+				if err := tup.Validate(); err != nil {
+					t.Fatalf("%s variant %d reading %d invalid: %v", typ, variant, i, err)
+				}
+				if tup.Source != s.ID() {
+					t.Fatalf("%s: source not set", typ)
+				}
+				if tup.Seq != uint64(i) {
+					t.Fatalf("%s: seq %d != %d", typ, tup.Seq, i)
+				}
+				ts = ts.Add(s.Period())
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, typ := range AllTypes {
+		a := newSensor(t, typ, 0)
+		b := newSensor(t, typ, 0)
+		ts := t0
+		for i := 0; i < 20; i++ {
+			ta, tb := a.At(ts), b.At(ts)
+			for j := range ta.Values {
+				if !ta.Values[j].Equal(tb.Values[j]) {
+					t.Fatalf("%s: reading %d field %d differs: %v vs %v",
+						typ, i, j, ta.Values[j], tb.Values[j])
+				}
+			}
+			ts = ts.Add(a.Period())
+		}
+	}
+}
+
+func TestTemperatureDiurnalCycle(t *testing.T) {
+	s := newSensor(t, TypeTemperature, 0) // celsius variant
+	// Afternoon (14:00) must be warmer than pre-dawn (02:00) on average.
+	var sum14, sum02 float64
+	for day := 0; day < 5; day++ {
+		base := t0.AddDate(0, 0, day)
+		sum14 += s.At(base.Add(14 * time.Hour)).Values[0].AsFloat()
+		sum02 += s.At(base.Add(26 * time.Hour)).Values[0].AsFloat()
+	}
+	if sum14 <= sum02 {
+		t.Errorf("diurnal cycle broken: 14h avg %.1f <= 02h avg %.1f", sum14/5, sum02/5)
+	}
+}
+
+func TestTemperatureUnitVariant(t *testing.T) {
+	c := newSensor(t, TypeTemperature, 0)
+	f := newSensor(t, TypeTemperature, 1)
+	if c.Schema().Field(0).Unit != "celsius" {
+		t.Error("variant 0 must be celsius")
+	}
+	if f.Schema().Field(0).Unit != "fahrenheit" {
+		t.Error("variant 1 must be fahrenheit")
+	}
+	// A Fahrenheit reading of the same model must be numerically larger
+	// (Osaka spring temperatures are far above -40).
+	vc := c.At(t0.Add(12 * time.Hour)).Values[0].AsFloat()
+	vf := f.At(t0.Add(12 * time.Hour)).Values[0].AsFloat()
+	if vf < vc {
+		t.Errorf("fahrenheit %v < celsius %v", vf, vc)
+	}
+}
+
+func TestRainBurstsAndRiverResponse(t *testing.T) {
+	rain := newSensor(t, TypeRain, 0)
+	dry, wet := 0, 0
+	ts := t0
+	for i := 0; i < 2000; i++ {
+		v := rain.At(ts).Values[0].AsFloat()
+		if v > 0 {
+			wet++
+		} else {
+			dry++
+		}
+		ts = ts.Add(rain.Period())
+	}
+	if wet == 0 || dry == 0 {
+		t.Fatalf("rain model must alternate: wet=%d dry=%d", wet, dry)
+	}
+	if wet > dry {
+		t.Errorf("rain should be the exception: wet=%d dry=%d", wet, dry)
+	}
+
+	river := newSensor(t, TypeRiverLevel, 0)
+	minLevel, maxLevel := 1e9, -1e9
+	ts = t0
+	for i := 0; i < 2000; i++ {
+		v := river.At(ts).Values[0].AsFloat()
+		minLevel = min(minLevel, v)
+		maxLevel = max(maxLevel, v)
+		ts = ts.Add(river.Period())
+	}
+	if maxLevel-minLevel < 0.05 {
+		t.Errorf("river level never responds to rain: range [%v, %v]", minLevel, maxLevel)
+	}
+	if minLevel < 1.0 {
+		t.Errorf("river below baseline: %v", minLevel)
+	}
+}
+
+func TestHumidityBounds(t *testing.T) {
+	s := newSensor(t, TypeHumidity, 0)
+	ts := t0
+	for i := 0; i < 500; i++ {
+		v := s.At(ts).Values[0].AsFloat()
+		if v < 20 || v > 100 {
+			t.Fatalf("humidity out of range: %v", v)
+		}
+		ts = ts.Add(s.Period())
+	}
+}
+
+func TestTweetContent(t *testing.T) {
+	s := newSensor(t, TypeTweet, 0)
+	rainy := 0
+	ts := t0
+	for i := 0; i < 500; i++ {
+		tup := s.At(ts)
+		text := tup.Values[0].AsString()
+		if text == "" || strings.Contains(text, "%s") {
+			t.Fatalf("bad tweet text %q", text)
+		}
+		if strings.Contains(text, "rain") {
+			rainy++
+		}
+		user := tup.Values[1].AsString()
+		if !strings.HasPrefix(user, "user") {
+			t.Fatalf("bad user %q", user)
+		}
+		if tup.Values[2].AsInt() < 0 {
+			t.Fatal("negative retweets")
+		}
+		ts = ts.Add(s.Period())
+	}
+	if rainy == 0 {
+		t.Error("rain topic never appears in 500 tweets")
+	}
+}
+
+func TestTrafficRushHour(t *testing.T) {
+	s := newSensor(t, TypeTraffic, 0)
+	var rush, night float64
+	for day := 0; day < 5; day++ {
+		base := t0.AddDate(0, 0, day)
+		rush += s.At(base.Add(8 * time.Hour)).Values[0].AsFloat()
+		night += s.At(base.Add(27 * time.Hour)).Values[0].AsFloat() // 03:00 next day
+	}
+	if rush <= night {
+		t.Errorf("rush hour congestion %.2f <= night %.2f", rush/5, night/5)
+	}
+}
+
+func TestTrainDelays(t *testing.T) {
+	s := newSensor(t, TypeTrain, 0)
+	delayed, cancelled := 0, 0
+	ts := t0
+	for i := 0; i < 1000; i++ {
+		tup := s.At(ts)
+		if tup.Values[1].AsFloat() > 0 {
+			delayed++
+		}
+		if tup.Values[2].AsBool() {
+			cancelled++
+		}
+		ts = ts.Add(s.Period())
+	}
+	if delayed == 0 {
+		t.Error("no delays in 1000 readings")
+	}
+	if cancelled == 0 || cancelled > 100 {
+		t.Errorf("cancellations = %d, want rare but present", cancelled)
+	}
+}
+
+func TestEmit(t *testing.T) {
+	s := newSensor(t, TypeTemperature, 0)
+	var count int
+	s.Emit(t0, t0.Add(time.Hour), func(tup *stt.Tuple) bool {
+		count++
+		return true
+	})
+	if count != 60 { // one per minute
+		t.Errorf("emitted %d tuples in an hour, want 60", count)
+	}
+	// Early stop.
+	count = 0
+	s.Emit(t0, t0.Add(time.Hour), func(*stt.Tuple) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Errorf("early stop at %d, want 10", count)
+	}
+}
+
+func TestMeta(t *testing.T) {
+	s := newSensor(t, TypeRain, 0)
+	m := s.Meta()
+	if m.ID != s.ID() || m.Type != "rain" || m.Schema != s.Schema() {
+		t.Errorf("meta = %+v", m)
+	}
+	if m.FrequencyHz != 1.0/60 {
+		t.Errorf("frequency = %v", m.FrequencyHz)
+	}
+	if len(m.Themes) != 2 {
+		t.Errorf("themes = %v", m.Themes)
+	}
+}
+
+func TestFrequencyOverride(t *testing.T) {
+	s, err := New(Spec{
+		ID: "fast", Type: TypeTemperature, Location: geo.OsakaCenter,
+		FrequencyHz: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Period() != 100*time.Millisecond {
+		t.Errorf("period = %v", s.Period())
+	}
+}
+
+func TestBuildFleet(t *testing.T) {
+	cfg := FleetConfig{
+		Region: geo.Osaka,
+		Counts: DefaultCounts(),
+		Nodes:  []string{"n1", "n2", "n3"},
+		Seed:   7,
+	}
+	sensors, err := BuildFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, n := range cfg.Counts {
+		want += n
+	}
+	if len(sensors) != want {
+		t.Fatalf("fleet size = %d, want %d", len(sensors), want)
+	}
+	ids := map[string]bool{}
+	nodes := map[string]int{}
+	for _, s := range sensors {
+		if ids[s.ID()] {
+			t.Fatalf("duplicate sensor ID %s", s.ID())
+		}
+		ids[s.ID()] = true
+		m := s.Meta()
+		if !cfg.Region.Contains(m.Location) {
+			t.Errorf("%s placed outside region: %v", s.ID(), m.Location)
+		}
+		nodes[m.NodeID]++
+	}
+	if len(nodes) != 3 {
+		t.Errorf("sensors must spread over all nodes: %v", nodes)
+	}
+
+	// Reproducibility: same seed, same placement.
+	again, err := BuildFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sensors {
+		if sensors[i].Meta().Location != again[i].Meta().Location {
+			t.Fatalf("fleet not reproducible at %d", i)
+		}
+	}
+}
+
+func TestBuildFleetValidation(t *testing.T) {
+	if _, err := BuildFleet(FleetConfig{Region: geo.Osaka}); err == nil {
+		t.Error("no nodes must fail")
+	}
+	bad := geo.Rect{Min: geo.Point{Lat: 99}, Max: geo.Point{Lat: 100}}
+	if _, err := BuildFleet(FleetConfig{Region: bad, Nodes: []string{"n"}}); err == nil {
+		t.Error("invalid region must fail")
+	}
+}
+
+func TestPublishFleet(t *testing.T) {
+	b := pubsub.NewBroker("test")
+	sensors, err := BuildFleet(FleetConfig{
+		Region: geo.Osaka, Counts: map[Type]int{TypeRain: 3}, Nodes: []string{"n1"}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishFleet(b, sensors); err != nil {
+		t.Fatal(err)
+	}
+	if b.Count() != 3 {
+		t.Errorf("broker count = %d", b.Count())
+	}
+	got := b.Discover(pubsub.Query{Type: "rain"})
+	if len(got) != 3 {
+		t.Errorf("discover = %d", len(got))
+	}
+}

@@ -1,0 +1,194 @@
+// Package sensor simulates the heterogeneous physical and social sensors of
+// the paper's NICT testbed: temperature, humidity, rain, wind, pressure and
+// river-level physical sensors, plus tweet, traffic and train social
+// sensors. Generators are deterministic given a seed, so every experiment in
+// EXPERIMENTS.md replays identically.
+//
+// Heterogeneity is deliberate and mirrors the paper's motivation: sensor
+// types differ in schema, unit of measure (some stations report Fahrenheit
+// or yards), temporal/spatial granularity, theme, and data frequency. The
+// Transform and granularity-coarsening operations exist precisely to
+// reconcile these differences.
+package sensor
+
+import (
+	"fmt"
+
+	"streamloader/internal/stt"
+)
+
+// Type is a sensor class.
+type Type string
+
+// The sensor classes of the simulated testbed.
+const (
+	TypeTemperature Type = "temperature"
+	TypeHumidity    Type = "humidity"
+	TypeRain        Type = "rain"
+	TypeWind        Type = "wind"
+	TypePressure    Type = "pressure"
+	TypeRiverLevel  Type = "river-level"
+	TypeTweet       Type = "tweet"
+	TypeTraffic     Type = "traffic"
+	TypeTrain       Type = "train"
+)
+
+// AllTypes lists every sensor class, in a stable order.
+var AllTypes = []Type{
+	TypeTemperature, TypeHumidity, TypeRain, TypeWind, TypePressure,
+	TypeRiverLevel, TypeTweet, TypeTraffic, TypeTrain,
+}
+
+// ParseType validates a sensor class name.
+func ParseType(s string) (Type, error) {
+	for _, t := range AllTypes {
+		if string(t) == s {
+			return t, nil
+		}
+	}
+	return "", fmt.Errorf("sensor: unknown sensor type %q", s)
+}
+
+// typeProfile describes the static properties of a sensor class; the schema
+// may depend on the unit variant to exercise heterogeneity.
+type typeProfile struct {
+	themes      []string
+	frequencyHz float64
+	tgran       stt.TemporalGranularity
+	sgran       stt.SpatialGranularity
+	schema      func(variant int) *stt.Schema
+}
+
+var profiles = map[Type]typeProfile{
+	TypeTemperature: {
+		themes: []string{"weather"}, frequencyHz: 1.0 / 60, // one per minute
+		tgran: stt.GranMinute, sgran: stt.SpatCellDistrict,
+		schema: func(variant int) *stt.Schema {
+			unit := "celsius"
+			if variant%2 == 1 {
+				unit = "fahrenheit" // legacy stations report Fahrenheit
+			}
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("temperature", stt.KindFloat, unit),
+				stt.NewField("station", stt.KindString, ""),
+			}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+		},
+	},
+	TypeHumidity: {
+		themes: []string{"weather"}, frequencyHz: 1.0 / 60,
+		tgran: stt.GranMinute, sgran: stt.SpatCellDistrict,
+		schema: func(int) *stt.Schema {
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("humidity", stt.KindFloat, "percent"),
+				stt.NewField("station", stt.KindString, ""),
+			}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+		},
+	},
+	TypeRain: {
+		themes: []string{"weather", "rain"}, frequencyHz: 1.0 / 60,
+		tgran: stt.GranMinute, sgran: stt.SpatCellDistrict,
+		schema: func(variant int) *stt.Schema {
+			unit := "mm/h"
+			if variant%3 == 2 {
+				unit = "inch/h"
+			}
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("rain_rate", stt.KindFloat, unit),
+				stt.NewField("gauge", stt.KindString, ""),
+			}, stt.GranMinute, stt.SpatCellDistrict, "weather", "rain")
+		},
+	},
+	TypeWind: {
+		themes: []string{"weather"}, frequencyHz: 1.0 / 60,
+		tgran: stt.GranMinute, sgran: stt.SpatCellDistrict,
+		schema: func(variant int) *stt.Schema {
+			unit := "m/s"
+			if variant%2 == 1 {
+				unit = "mph"
+			}
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("wind_speed", stt.KindFloat, unit),
+				stt.NewField("wind_dir", stt.KindFloat, ""),
+			}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+		},
+	},
+	TypePressure: {
+		themes: []string{"weather"}, frequencyHz: 1.0 / 300, // every 5 min
+		tgran: stt.GranMinute, sgran: stt.SpatCellCity,
+		schema: func(int) *stt.Schema {
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("pressure", stt.KindFloat, "hPa"),
+			}, stt.GranMinute, stt.SpatCellCity, "weather")
+		},
+	},
+	TypeRiverLevel: {
+		themes: []string{"water", "flood"}, frequencyHz: 1.0 / 120,
+		tgran: stt.GranMinute, sgran: stt.SpatPoint,
+		schema: func(variant int) *stt.Schema {
+			unit := "m"
+			if variant%2 == 1 {
+				unit = "yard" // the paper's own yards-to-meters example
+			}
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("level", stt.KindFloat, unit),
+				stt.NewField("gauge", stt.KindString, ""),
+			}, stt.GranMinute, stt.SpatPoint, "flood", "water")
+		},
+	},
+	TypeTweet: {
+		themes: []string{"social"}, frequencyHz: 0.5, // bursty, nominal 0.5/s
+		tgran: stt.GranSecond, sgran: stt.SpatPoint,
+		schema: func(int) *stt.Schema {
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("text", stt.KindString, ""),
+				stt.NewField("user", stt.KindString, ""),
+				stt.NewField("retweets", stt.KindInt, ""),
+			}, stt.GranSecond, stt.SpatPoint, "social")
+		},
+	},
+	TypeTraffic: {
+		themes: []string{"traffic"}, frequencyHz: 1.0 / 30,
+		tgran: stt.GranMinute, sgran: stt.SpatCellStreet,
+		schema: func(variant int) *stt.Schema {
+			unit := "km/h"
+			if variant%2 == 1 {
+				unit = "mph"
+			}
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("congestion", stt.KindFloat, "fraction"),
+				stt.NewField("speed", stt.KindFloat, unit),
+				stt.NewField("segment", stt.KindString, ""),
+			}, stt.GranMinute, stt.SpatCellStreet, "traffic")
+		},
+	},
+	TypeTrain: {
+		themes: []string{"traffic", "transit"}, frequencyHz: 1.0 / 60,
+		tgran: stt.GranMinute, sgran: stt.SpatCellCity,
+		schema: func(int) *stt.Schema {
+			return stt.MustSchema([]stt.Field{
+				stt.NewField("line", stt.KindString, ""),
+				stt.NewField("delay_min", stt.KindFloat, ""),
+				stt.NewField("cancelled", stt.KindBool, ""),
+			}, stt.GranMinute, stt.SpatCellCity, "traffic", "transit")
+		},
+	},
+}
+
+// Profile returns the frequency, granularities and themes of a sensor class.
+func Profile(t Type) (frequencyHz float64, tg stt.TemporalGranularity, sg stt.SpatialGranularity, themes []string, err error) {
+	p, ok := profiles[t]
+	if !ok {
+		return 0, 0, 0, nil, fmt.Errorf("sensor: unknown sensor type %q", t)
+	}
+	return p.frequencyHz, p.tgran, p.sgran, p.themes, nil
+}
+
+// SchemaFor returns the schema a sensor of the given class and unit variant
+// produces.
+func SchemaFor(t Type, variant int) (*stt.Schema, error) {
+	p, ok := profiles[t]
+	if !ok {
+		return nil, fmt.Errorf("sensor: unknown sensor type %q", t)
+	}
+	return p.schema(variant), nil
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/dsn"
+	"streamloader/internal/expr"
+	"streamloader/internal/ops"
+	"streamloader/internal/sensor"
+)
+
+// exprBuiltins exposes the expression-language registry to the UI.
+func exprBuiltins() []string { return expr.Builtins() }
+
+// translate validates and translates a spec into DSN text.
+func translate(spec *dataflow.Spec, resolver dataflow.SensorResolver, act ops.Activator) (string, error) {
+	plan, diags := dataflow.Compile(spec, resolver, act, nil)
+	if diags.HasErrors() {
+		return "", fmt.Errorf("dataflow invalid: %v", diags)
+	}
+	doc, err := dsn.Translate(spec, plan)
+	if err != nil {
+		return "", err
+	}
+	return doc.String(), nil
+}
+
+// sampleSpecOf derives a fresh sampler spec from an existing sensor so
+// sample debugging does not disturb the live generator's state.
+func sampleSpecOf(gen *sensor.Sensor, id string) sensor.Spec {
+	meta := gen.Meta()
+	typ, _ := sensor.ParseType(meta.Type)
+	return sensor.Spec{
+		ID:          id,
+		Type:        typ,
+		Location:    meta.Location,
+		NodeID:      meta.NodeID,
+		Seed:        1,
+		FrequencyHz: meta.FrequencyHz,
+	}
+}
+
+// handleIndex serves the embedded dashboard.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+// dashboardHTML is the minimal monitoring dashboard: sensors, dataflows,
+// per-operation rates and the event log, auto-refreshing — the Figure 2/3
+// surfaces without a JS framework.
+const dashboardHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>StreamLoader</title>
+<style>
+body { font-family: monospace; margin: 1.5em; background: #101418; color: #d6dde4; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.2em; color: #8fd; }
+table { border-collapse: collapse; margin: .4em 0; }
+td, th { border: 1px solid #334; padding: .15em .6em; text-align: left; }
+th { background: #1b2430; }
+pre { background: #0a0e12; padding: .6em; overflow-x: auto; }
+.err { color: #f88; }
+</style>
+</head>
+<body>
+<h1>StreamLoader &mdash; event-driven ETL on a programmable network</h1>
+<h2>Sensors</h2><div id="sensors">loading&hellip;</div>
+<h2>Dataflows</h2><div id="dataflows">loading&hellip;</div>
+<h2>Network</h2><div id="network">loading&hellip;</div>
+<h2>Events</h2><pre id="events">loading&hellip;</pre>
+<script>
+async function j(u) { const r = await fetch(u); return r.json(); }
+function table(rows, cols) {
+  let h = '<table><tr>' + cols.map(c => '<th>'+c+'</th>').join('') + '</tr>';
+  for (const r of rows) h += '<tr>' + cols.map(c => '<td>'+(r[c] ?? '')+'</td>').join('') + '</tr>';
+  return h + '</table>';
+}
+async function refresh() {
+  try {
+    const sensors = await j('/api/sensors');
+    document.getElementById('sensors').innerHTML =
+      table(sensors, ['id','type','frequency_hz','node_id','active','schema']);
+    const names = await j('/api/dataflows');
+    let html = '';
+    for (const n of names) {
+      html += '<b>'+n+'</b>';
+      try {
+        const st = await j('/api/dataflows/'+n+'/stats');
+        html += table(st.ops, ['name','node','in','out','dropped','rate_in','rate_out']);
+      } catch (e) { html += ' (not deployed)<br>'; }
+    }
+    document.getElementById('dataflows').innerHTML = html || 'none';
+    const net = await j('/api/network');
+    document.getElementById('network').innerHTML =
+      table(net.nodes, ['id','capacity','load','down']) +
+      table(net.flows || [], ['id','tuples','bytes']);
+    const evs = await j('/api/events');
+    document.getElementById('events').textContent =
+      (evs || []).slice(-20).map(e => e.time+' '+e.kind+' '+(e.op||'')+' '+(e.node||'')+' '+(e.detail||'')).join('\n');
+  } catch (e) {
+    document.getElementById('events').textContent = 'refresh failed: ' + e;
+  }
+}
+refresh(); setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

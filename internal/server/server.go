@@ -1,0 +1,461 @@
+// Package server is the Web application of StreamLoader (paper Figure 2):
+// the JSON HTTP API the visual environment is a front-end for — sensor
+// discovery, dataflow creation and validation, sample-based debugging,
+// DSN/SCN translation, deployment, live monitoring — plus a small embedded
+// dashboard. The paper's AngularJS/Cytoscape/SparkJava stack is replaced by
+// net/http and vanilla HTML per DESIGN.md.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"streamloader/internal/dataflow"
+	"streamloader/internal/executor"
+	"streamloader/internal/geo"
+	"streamloader/internal/monitor"
+	"streamloader/internal/network"
+	"streamloader/internal/pubsub"
+	"streamloader/internal/sensor"
+	"streamloader/internal/stt"
+	"streamloader/internal/viz"
+	"streamloader/internal/warehouse"
+)
+
+// Server wires the StreamLoader subsystems behind the HTTP API.
+type Server struct {
+	Network   *network.Network
+	Broker    *pubsub.Broker
+	Executor  *executor.Executor
+	Monitor   *monitor.Monitor
+	Warehouse *warehouse.Warehouse
+	Board     *viz.Board
+	Sensors   map[string]*sensor.Sensor
+
+	mu          sync.Mutex
+	specs       map[string]*dataflow.Spec
+	deployments map[string]*executor.Deployment
+	runs        map[string]chan error
+}
+
+// New assembles a server over existing subsystems.
+func New(net *network.Network, broker *pubsub.Broker, exec *executor.Executor,
+	mon *monitor.Monitor, wh *warehouse.Warehouse, board *viz.Board,
+	sensors map[string]*sensor.Sensor) *Server {
+	return &Server{
+		Network: net, Broker: broker, Executor: exec, Monitor: mon,
+		Warehouse: wh, Board: board, Sensors: sensors,
+		specs:       map[string]*dataflow.Spec{},
+		deployments: map[string]*executor.Deployment{},
+		runs:        map[string]chan error{},
+	}
+}
+
+// Handler builds the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/sensors", s.handleSensors)
+	mux.HandleFunc("GET /api/sensors/groups", s.handleSensorGroups)
+	mux.HandleFunc("GET /api/builtins", s.handleBuiltins)
+	mux.HandleFunc("POST /api/dataflows", s.handleCreateDataflow)
+	mux.HandleFunc("GET /api/dataflows", s.handleListDataflows)
+	mux.HandleFunc("GET /api/dataflows/{name}", s.handleGetDataflow)
+	mux.HandleFunc("POST /api/dataflows/{name}/validate", s.handleValidate)
+	mux.HandleFunc("POST /api/dataflows/{name}/sample", s.handleSample)
+	mux.HandleFunc("GET /api/dataflows/{name}/dsn", s.handleDSN)
+	mux.HandleFunc("POST /api/dataflows/{name}/deploy", s.handleDeploy)
+	mux.HandleFunc("GET /api/dataflows/{name}/scn", s.handleSCN)
+	mux.HandleFunc("POST /api/dataflows/{name}/start", s.handleStart)
+	mux.HandleFunc("POST /api/dataflows/{name}/stop", s.handleStop)
+	mux.HandleFunc("GET /api/dataflows/{name}/stats", s.handleStats)
+	mux.HandleFunc("GET /api/network", s.handleNetwork)
+	mux.HandleFunc("GET /api/events", s.handleEvents)
+	mux.HandleFunc("GET /api/warehouse/stats", s.handleWarehouseStats)
+	mux.HandleFunc("GET /api/viz", s.handleViz)
+	mux.HandleFunc("GET /", s.handleIndex)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSensors lists published sensors, filterable by type/theme/active —
+// the P1 "identify the different sensors that are currently available".
+func (s *Server) handleSensors(w http.ResponseWriter, r *http.Request) {
+	q := pubsub.Query{
+		Type:       r.URL.Query().Get("type"),
+		Theme:      r.URL.Query().Get("theme"),
+		ActiveOnly: r.URL.Query().Get("active") == "true",
+	}
+	metas := s.Broker.Discover(q)
+	type sensorView struct {
+		pubsub.SensorMeta
+		Schema string `json:"schema"`
+		Active bool   `json:"active"`
+	}
+	out := make([]sensorView, 0, len(metas))
+	for _, m := range metas {
+		out = append(out, sensorView{
+			SensorMeta: m,
+			Schema:     m.Schema.String(),
+			Active:     s.Broker.IsActive(m.ID),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSensorGroups organizes sensors by a criterion (type/node/theme/region).
+func (s *Server) handleSensorGroups(w http.ResponseWriter, r *http.Request) {
+	by := r.URL.Query().Get("by")
+	if by == "" {
+		by = "type"
+	}
+	groups, err := s.Broker.GroupBy(by, pubsub.Query{})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	out := map[string][]string{}
+	for k, metas := range groups {
+		for _, m := range metas {
+			out[k] = append(out[k], m.ID)
+		}
+		sort.Strings(out[k])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleBuiltins lists the expression-language functions for the UI editor.
+func (s *Server) handleBuiltins(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"functions": exprBuiltins()})
+}
+
+func (s *Server) handleCreateDataflow(w http.ResponseWriter, r *http.Request) {
+	var spec dataflow.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	if spec.Name == "" {
+		writeError(w, http.StatusBadRequest, "spec needs a name")
+		return
+	}
+	s.mu.Lock()
+	s.specs[spec.Name] = &spec
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"name": spec.Name})
+}
+
+func (s *Server) handleListDataflows(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.specs))
+	for name := range s.specs {
+		names = append(names, name)
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, names)
+}
+
+func (s *Server) spec(name string) (*dataflow.Spec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spec, ok := s.specs[name]
+	return spec, ok
+}
+
+func (s *Server) handleGetDataflow(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.spec(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataflow")
+		return
+	}
+	writeJSON(w, http.StatusOK, spec)
+}
+
+func (s *Server) resolver() dataflow.SensorResolver {
+	return dataflow.ResolverFunc(func(id string) (*stt.Schema, bool) {
+		if meta, ok := s.Broker.Get(id); ok {
+			return meta.Schema, true
+		}
+		return nil, false
+	})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.spec(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataflow")
+		return
+	}
+	diags := dataflow.Validate(spec, s.resolver())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"valid":       !diags.HasErrors(),
+		"diagnostics": diags,
+	})
+}
+
+// handleSample runs the P1 sample debugger: n readings per source through
+// the dataflow, returning every node's output sample.
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.spec(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataflow")
+		return
+	}
+	n := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 1000 {
+			writeError(w, http.StatusBadRequest, "n must be 1..1000")
+			return
+		}
+		n = parsed
+	}
+	plan, diags := dataflow.Compile(spec, s.resolver(), s.Broker, nil)
+	if diags.HasErrors() {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{"diagnostics": diags})
+		return
+	}
+	// Generate fresh samples from each bound sensor.
+	samples := map[string][]*stt.Tuple{}
+	start := time.Date(2016, 3, 15, 12, 0, 0, 0, time.UTC)
+	for _, pn := range plan.Nodes {
+		if pn.SensorID == "" {
+			continue
+		}
+		gen, ok := s.Sensors[pn.SensorID]
+		if !ok {
+			continue
+		}
+		sampler, err := sensor.New(sampleSpecOf(gen, pn.SensorID))
+		if err != nil {
+			continue
+		}
+		var tuples []*stt.Tuple
+		ts := start
+		for i := 0; i < n; i++ {
+			tuples = append(tuples, sampler.At(ts))
+			ts = ts.Add(sampler.Period())
+		}
+		samples[pn.ID] = tuples
+	}
+	res, err := dataflow.Debug(plan, samples)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := map[string][]map[string]any{}
+	for node, tuples := range res.Outputs {
+		for _, tup := range tuples {
+			out[node] = append(out[node], tup.Map())
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDSN(w http.ResponseWriter, r *http.Request) {
+	spec, ok := s.spec(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataflow")
+		return
+	}
+	text, err := translate(spec, s.resolver(), s.Broker)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := s.spec(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataflow")
+		return
+	}
+	s.mu.Lock()
+	_, exists := s.deployments[name]
+	s.mu.Unlock()
+	if exists {
+		writeError(w, http.StatusConflict, "dataflow already deployed")
+		return
+	}
+	d, err := s.Executor.Deploy(spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.deployments[name] = d
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"placement": d.Placement(),
+		"scn":       d.SCNScript(),
+	})
+}
+
+func (s *Server) deployment(name string) (*executor.Deployment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.deployments[name]
+	return d, ok
+}
+
+func (s *Server) handleSCN(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.deployment(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataflow not deployed")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, d.SCNScript())
+}
+
+// handleStart launches a run over an event-time range. Body (optional):
+// {"from": RFC3339, "to": RFC3339}. Defaults: now .. now+1h.
+func (s *Server) handleStart(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, ok := s.deployment(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataflow not deployed")
+		return
+	}
+	var body struct {
+		From string `json:"from"`
+		To   string `json:"to"`
+	}
+	_ = json.NewDecoder(r.Body).Decode(&body)
+	from := time.Now().UTC()
+	to := from.Add(time.Hour)
+	var err error
+	if body.From != "" {
+		if from, err = time.Parse(time.RFC3339, body.From); err != nil {
+			writeError(w, http.StatusBadRequest, "bad from: %v", err)
+			return
+		}
+	}
+	if body.To != "" {
+		if to, err = time.Parse(time.RFC3339, body.To); err != nil {
+			writeError(w, http.StatusBadRequest, "bad to: %v", err)
+			return
+		}
+	}
+	s.mu.Lock()
+	if _, running := s.runs[name]; running {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "dataflow already running")
+		return
+	}
+	done := make(chan error, 1)
+	s.runs[name] = done
+	s.mu.Unlock()
+	go func() {
+		err := d.Run(from, to)
+		done <- err
+		s.mu.Lock()
+		delete(s.runs, name)
+		s.mu.Unlock()
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]string{
+		"from": from.Format(time.RFC3339), "to": to.Format(time.RFC3339),
+	})
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, ok := s.deployment(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "dataflow not deployed")
+		return
+	}
+	s.mu.Lock()
+	done := s.runs[name]
+	s.mu.Unlock()
+	d.Stop()
+	if done != nil {
+		if err := <-done; err != nil {
+			writeError(w, http.StatusInternalServerError, "run failed: %v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stopped"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.deployment(name); !ok {
+		writeError(w, http.StatusNotFound, "dataflow not deployed")
+		return
+	}
+	series := r.URL.Query().Get("series") == "true"
+	writeJSON(w, http.StatusOK, s.Monitor.Snapshot(time.Now().UTC(), series))
+}
+
+func (s *Server) handleNetwork(w http.ResponseWriter, r *http.Request) {
+	type nodeView struct {
+		ID       string   `json:"id"`
+		Capacity float64  `json:"capacity"`
+		Load     float64  `json:"load"`
+		Down     bool     `json:"down"`
+		Region   geo.Rect `json:"region"`
+	}
+	var nodes []nodeView
+	for _, id := range s.Network.Nodes() {
+		n, load, _ := s.Network.Node(id)
+		nodes = append(nodes, nodeView{
+			ID: id, Capacity: n.Capacity, Load: load,
+			Down: s.Network.IsDown(id), Region: n.Region,
+		})
+	}
+	type flowView struct {
+		ID     string `json:"id"`
+		Tuples uint64 `json:"tuples"`
+		Bytes  uint64 `json:"bytes"`
+	}
+	var flows []flowView
+	for _, id := range s.Network.Flows() {
+		tuples, bytes := s.Network.TransferStats(id)
+		flows = append(flows, flowView{ID: id, Tuples: tuples, Bytes: bytes})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"nodes": nodes, "flows": flows})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Monitor.Events())
+}
+
+func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
+	if s.Warehouse == nil {
+		writeError(w, http.StatusNotFound, "no warehouse configured")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Warehouse.Stats())
+}
+
+func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {
+	if s.Board == nil {
+		writeError(w, http.StatusNotFound, "no viz board configured")
+		return
+	}
+	if r.URL.Query().Get("format") == "ascii" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.Board.RenderASCII())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Board.Snapshot())
+}

@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the executor: live deployments use the wall
+// clock, tests and benchmarks use a virtual clock so runs are deterministic
+// and replay at full speed.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d (or returns immediately on a virtual clock that
+	// auto-advances).
+	Sleep(d time.Duration)
+}
+
+// WallClock is the real-time clock.
+type WallClock struct{}
+
+// Now returns the wall-clock time.
+func (WallClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d of real time.
+func (WallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// VirtualClock is a manually- or auto-advancing clock. The zero value is not
+// usable; construct with NewVirtualClock. Sleep advances the clock instead
+// of blocking, so replay runs proceed at full speed while still observing a
+// coherent timeline.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock starts a virtual clock at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances virtual time by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Advance moves virtual time forward by d and returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	c.mu.Unlock()
+	return now
+}
+
+// Set jumps the virtual clock to ts if ts is later than the current time.
+func (c *VirtualClock) Set(ts time.Time) {
+	c.mu.Lock()
+	if ts.After(c.now) {
+		c.now = ts
+	}
+	c.mu.Unlock()
+}

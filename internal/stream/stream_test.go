@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+func testSchema() *stt.Schema {
+	return stt.MustSchema([]stt.Field{
+		stt.NewField("v", stt.KindInt, ""),
+	}, stt.GranSecond, stt.SpatPoint)
+}
+
+func TestItemKinds(t *testing.T) {
+	s := testSchema()
+	tup, _ := stt.NewTuple(s, []stt.Value{stt.Int(1)})
+	ti := TupleItem(tup)
+	if ti.Kind != ItemTuple || ti.Tuple != tup {
+		t.Error("TupleItem")
+	}
+	ts := time.Unix(100, 0)
+	wi := WatermarkItem(ts)
+	if wi.Kind != ItemWatermark || !wi.Watermark.Equal(ts) {
+		t.Error("WatermarkItem")
+	}
+	if EOSItem().Kind != ItemEOS {
+		t.Error("EOSItem")
+	}
+	if ItemTuple.String() != "tuple" || ItemWatermark.String() != "watermark" ||
+		ItemEOS.String() != "eos" || ItemKind(9).String() == "" {
+		t.Error("ItemKind.String")
+	}
+}
+
+func TestStreamSendCollect(t *testing.T) {
+	s := testSchema()
+	st := New("src->sink", s, 16)
+	if st.Name != "src->sink" || st.Schema != s {
+		t.Error("stream fields")
+	}
+	go func() {
+		for i := 0; i < 5; i++ {
+			tup, _ := stt.NewTuple(s, []stt.Value{stt.Int(int64(i))})
+			st.Send(tup)
+			if i == 2 {
+				st.SendWatermark(time.Unix(int64(i), 0))
+			}
+		}
+		st.Close()
+	}()
+	tuples := Collect(st)
+	if len(tuples) != 5 {
+		t.Fatalf("collected %d tuples, want 5", len(tuples))
+	}
+	for i, tup := range tuples {
+		if tup.Values[0].AsInt() != int64(i) {
+			t.Errorf("tuple %d out of order: %v", i, tup.Values[0])
+		}
+	}
+}
+
+func TestCollectItemsSeesWatermarksAndEOS(t *testing.T) {
+	s := testSchema()
+	st := New("e", s, 4)
+	go func() {
+		tup, _ := stt.NewTuple(s, []stt.Value{stt.Int(7)})
+		st.Send(tup)
+		st.SendWatermark(time.Unix(1, 0))
+		st.Close()
+	}()
+	items := CollectItems(st)
+	if len(items) != 3 {
+		t.Fatalf("items = %d, want 3", len(items))
+	}
+	if items[0].Kind != ItemTuple || items[1].Kind != ItemWatermark || items[2].Kind != ItemEOS {
+		t.Errorf("item order: %v %v %v", items[0].Kind, items[1].Kind, items[2].Kind)
+	}
+}
+
+func TestNegativeBufferUsesDefault(t *testing.T) {
+	st := New("e", testSchema(), -1)
+	if cap(st.C) != DefaultBuffer {
+		t.Errorf("cap = %d, want %d", cap(st.C), DefaultBuffer)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := testSchema()
+	st := New("e", s, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tup, _ := stt.NewTuple(s, []stt.Value{stt.Int(int64(i))})
+			st.Send(tup) // would block on a full buffer without Drain
+		}
+		st.Close()
+	}()
+	st.Drain()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer blocked; Drain did not drain")
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	var c Clock = WallClock{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Error("WallClock.Now in the past")
+	}
+	start := time.Now()
+	c.Sleep(10 * time.Millisecond)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("WallClock.Sleep did not block")
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	start := time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+	c := NewVirtualClock(start)
+	if !c.Now().Equal(start) {
+		t.Error("initial time")
+	}
+	c.Sleep(time.Hour)
+	if !c.Now().Equal(start.Add(time.Hour)) {
+		t.Error("Sleep must advance virtual time")
+	}
+	got := c.Advance(30 * time.Minute)
+	if !got.Equal(start.Add(90 * time.Minute)) {
+		t.Error("Advance return value")
+	}
+	// Set only moves forward.
+	c.Set(start) // earlier: ignored
+	if !c.Now().Equal(start.Add(90 * time.Minute)) {
+		t.Error("Set must not move backward")
+	}
+	later := start.Add(5 * time.Hour)
+	c.Set(later)
+	if !c.Now().Equal(later) {
+		t.Error("Set must move forward")
+	}
+}
+
+func TestVirtualClockConcurrentAccess(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = c.Now()
+	}
+	<-done
+	if got := c.Now(); !got.Equal(time.Unix(1, 0)) {
+		t.Errorf("final time = %v, want 1s", got)
+	}
+}

@@ -1,0 +1,219 @@
+package stt
+
+import (
+	"fmt"
+	"time"
+)
+
+// TemporalGranularity is the temporal resolution at which a sensor reports
+// events. The paper's STT model uses granularities both to correlate data
+// produced by different sensors and to impose consistency constraints when
+// heterogeneous streams are composed (e.g. a join between a per-second and a
+// per-day stream is only sound after coarsening to the coarser of the two).
+type TemporalGranularity uint8
+
+// Temporal granularities from finest to coarsest. The order of declaration
+// is the coarsening order: a granularity with a higher value is coarser.
+const (
+	GranMillisecond TemporalGranularity = iota
+	GranSecond
+	GranMinute
+	GranHour
+	GranDay
+	GranWeek
+	GranMonth
+	GranYear
+)
+
+var temporalNames = [...]string{
+	GranMillisecond: "millisecond",
+	GranSecond:      "second",
+	GranMinute:      "minute",
+	GranHour:        "hour",
+	GranDay:         "day",
+	GranWeek:        "week",
+	GranMonth:       "month",
+	GranYear:        "year",
+}
+
+// String returns the granularity name.
+func (g TemporalGranularity) String() string {
+	if int(g) < len(temporalNames) {
+		return temporalNames[g]
+	}
+	return fmt.Sprintf("temporal(%d)", uint8(g))
+}
+
+// ParseTemporalGranularity converts a name into a TemporalGranularity.
+func ParseTemporalGranularity(s string) (TemporalGranularity, error) {
+	for g, name := range temporalNames {
+		if name == s {
+			return TemporalGranularity(g), nil
+		}
+	}
+	return GranMillisecond, fmt.Errorf("stt: unknown temporal granularity %q", s)
+}
+
+// Valid reports whether g is one of the declared granularities.
+func (g TemporalGranularity) Valid() bool { return int(g) < len(temporalNames) }
+
+// CoarserThan reports whether g is strictly coarser than o.
+func (g TemporalGranularity) CoarserThan(o TemporalGranularity) bool { return g > o }
+
+// FinerThan reports whether g is strictly finer than o.
+func (g TemporalGranularity) FinerThan(o TemporalGranularity) bool { return g < o }
+
+// Coarsest returns the coarser of g and o. It is the least upper bound in
+// the coarsening lattice and the granularity at which two streams can be
+// soundly combined.
+func (g TemporalGranularity) Coarsest(o TemporalGranularity) TemporalGranularity {
+	if o > g {
+		return o
+	}
+	return g
+}
+
+// Truncate rounds t down to the start of the granule containing it.
+// Weeks start on Monday, per ISO 8601. All computations are in UTC so that
+// truncation is deterministic regardless of host timezone.
+func (g TemporalGranularity) Truncate(t time.Time) time.Time {
+	t = t.UTC()
+	switch g {
+	case GranMillisecond:
+		return t.Truncate(time.Millisecond)
+	case GranSecond:
+		return t.Truncate(time.Second)
+	case GranMinute:
+		return t.Truncate(time.Minute)
+	case GranHour:
+		return t.Truncate(time.Hour)
+	case GranDay:
+		return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	case GranWeek:
+		day := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		wd := (int(day.Weekday()) + 6) % 7 // Monday == 0
+		return day.AddDate(0, 0, -wd)
+	case GranMonth:
+		return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+	case GranYear:
+		return time.Date(t.Year(), time.January, 1, 0, 0, 0, 0, time.UTC)
+	default:
+		return t
+	}
+}
+
+// Duration returns the nominal length of one granule. Months and years use
+// nominal civil lengths (30 and 365 days); callers that need exact granule
+// boundaries must use Truncate.
+func (g TemporalGranularity) Duration() time.Duration {
+	switch g {
+	case GranMillisecond:
+		return time.Millisecond
+	case GranSecond:
+		return time.Second
+	case GranMinute:
+		return time.Minute
+	case GranHour:
+		return time.Hour
+	case GranDay:
+		return 24 * time.Hour
+	case GranWeek:
+		return 7 * 24 * time.Hour
+	case GranMonth:
+		return 30 * 24 * time.Hour
+	case GranYear:
+		return 365 * 24 * time.Hour
+	default:
+		return time.Millisecond
+	}
+}
+
+// SpatialGranularity is the spatial resolution of a sensor's events: either
+// an exact point or a grid cell of a given size. Cell sizes follow a decimal
+// degree hierarchy so that coarsening is a pure widening of the cell.
+type SpatialGranularity uint8
+
+// Spatial granularities from finest to coarsest. CellStreet ≈ 110 m,
+// CellDistrict ≈ 1.1 km, CellCity ≈ 11 km, CellRegion ≈ 110 km at the
+// equator.
+const (
+	SpatPoint SpatialGranularity = iota
+	SpatCellStreet
+	SpatCellDistrict
+	SpatCellCity
+	SpatCellRegion
+)
+
+var spatialNames = [...]string{
+	SpatPoint:        "point",
+	SpatCellStreet:   "street",
+	SpatCellDistrict: "district",
+	SpatCellCity:     "city",
+	SpatCellRegion:   "region",
+}
+
+// String returns the granularity name.
+func (g SpatialGranularity) String() string {
+	if int(g) < len(spatialNames) {
+		return spatialNames[g]
+	}
+	return fmt.Sprintf("spatial(%d)", uint8(g))
+}
+
+// ParseSpatialGranularity converts a name into a SpatialGranularity.
+func ParseSpatialGranularity(s string) (SpatialGranularity, error) {
+	for g, name := range spatialNames {
+		if name == s {
+			return SpatialGranularity(g), nil
+		}
+	}
+	return SpatPoint, fmt.Errorf("stt: unknown spatial granularity %q", s)
+}
+
+// Valid reports whether g is one of the declared granularities.
+func (g SpatialGranularity) Valid() bool { return int(g) < len(spatialNames) }
+
+// CoarserThan reports whether g is strictly coarser than o.
+func (g SpatialGranularity) CoarserThan(o SpatialGranularity) bool { return g > o }
+
+// Coarsest returns the coarser of g and o.
+func (g SpatialGranularity) Coarsest(o SpatialGranularity) SpatialGranularity {
+	if o > g {
+		return o
+	}
+	return g
+}
+
+// CellDegrees returns the side length of the grid cell in decimal degrees,
+// or 0 for SpatPoint.
+func (g SpatialGranularity) CellDegrees() float64 {
+	switch g {
+	case SpatCellStreet:
+		return 0.001
+	case SpatCellDistrict:
+		return 0.01
+	case SpatCellCity:
+		return 0.1
+	case SpatCellRegion:
+		return 1.0
+	default:
+		return 0
+	}
+}
+
+// SnapCoord snaps a coordinate (latitude or longitude in decimal degrees) to
+// the lower-left corner of the grid cell at granularity g. Points are
+// returned unchanged.
+func (g SpatialGranularity) SnapCoord(c float64) float64 {
+	d := g.CellDegrees()
+	if d == 0 {
+		return c
+	}
+	// Floor to the cell origin; add a tiny epsilon-free computation by
+	// working on scaled integers to keep snapping idempotent.
+	scaled := int64(c / d)
+	if c < 0 && float64(scaled)*d != c {
+		scaled--
+	}
+	return float64(scaled) * d
+}

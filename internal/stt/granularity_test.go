@@ -1,0 +1,227 @@
+package stt
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTemporalGranularityNames(t *testing.T) {
+	for g := GranMillisecond; g <= GranYear; g++ {
+		parsed, err := ParseTemporalGranularity(g.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", g.String(), err)
+		}
+		if parsed != g {
+			t.Errorf("round trip %v -> %v", g, parsed)
+		}
+		if !g.Valid() {
+			t.Errorf("%v must be valid", g)
+		}
+	}
+	if _, err := ParseTemporalGranularity("fortnight"); err == nil {
+		t.Error("fortnight must not parse")
+	}
+	if TemporalGranularity(99).Valid() {
+		t.Error("99 must be invalid")
+	}
+	if TemporalGranularity(99).String() == "" {
+		t.Error("unknown granularity must still print")
+	}
+}
+
+func TestTemporalOrdering(t *testing.T) {
+	if !GranHour.CoarserThan(GranMinute) {
+		t.Error("hour coarser than minute")
+	}
+	if !GranMinute.FinerThan(GranHour) {
+		t.Error("minute finer than hour")
+	}
+	if GranHour.Coarsest(GranDay) != GranDay {
+		t.Error("coarsest(hour,day) = day")
+	}
+	if GranHour.Coarsest(GranSecond) != GranHour {
+		t.Error("coarsest(hour,second) = hour")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	// 2016-03-15 (Tuesday) 09:41:23.456789 UTC — EDBT 2016 week.
+	ts := time.Date(2016, 3, 15, 9, 41, 23, 456789000, time.UTC)
+	cases := []struct {
+		g    TemporalGranularity
+		want time.Time
+	}{
+		{GranMillisecond, time.Date(2016, 3, 15, 9, 41, 23, 456000000, time.UTC)},
+		{GranSecond, time.Date(2016, 3, 15, 9, 41, 23, 0, time.UTC)},
+		{GranMinute, time.Date(2016, 3, 15, 9, 41, 0, 0, time.UTC)},
+		{GranHour, time.Date(2016, 3, 15, 9, 0, 0, 0, time.UTC)},
+		{GranDay, time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)},
+		{GranWeek, time.Date(2016, 3, 14, 0, 0, 0, 0, time.UTC)}, // Monday
+		{GranMonth, time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)},
+		{GranYear, time.Date(2016, 1, 1, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, c := range cases {
+		if got := c.g.Truncate(ts); !got.Equal(c.want) {
+			t.Errorf("%v.Truncate = %v, want %v", c.g, got, c.want)
+		}
+	}
+}
+
+func TestTruncateWeekOnSunday(t *testing.T) {
+	// 2016-03-20 is a Sunday; ISO week starts the preceding Monday 03-14.
+	sun := time.Date(2016, 3, 20, 23, 59, 0, 0, time.UTC)
+	want := time.Date(2016, 3, 14, 0, 0, 0, 0, time.UTC)
+	if got := GranWeek.Truncate(sun); !got.Equal(want) {
+		t.Errorf("week truncate Sunday = %v, want %v", got, want)
+	}
+	// A Monday truncates to itself.
+	mon := time.Date(2016, 3, 14, 5, 0, 0, 0, time.UTC)
+	if got := GranWeek.Truncate(mon); !got.Equal(want) {
+		t.Errorf("week truncate Monday = %v, want %v", got, want)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if GranSecond.Duration() != time.Second {
+		t.Error("second duration")
+	}
+	if GranWeek.Duration() != 7*24*time.Hour {
+		t.Error("week duration")
+	}
+	if GranYear.Duration() != 365*24*time.Hour {
+		t.Error("year duration")
+	}
+	if TemporalGranularity(99).Duration() != time.Millisecond {
+		t.Error("unknown duration defaults to millisecond")
+	}
+}
+
+// Property: truncation is idempotent at every granularity.
+func TestQuickTruncateIdempotent(t *testing.T) {
+	f := func(sec int64, g8 uint8) bool {
+		g := TemporalGranularity(g8 % 8)
+		ts := time.Unix(sec%4e9, 0)
+		once := g.Truncate(ts)
+		return g.Truncate(once).Equal(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: truncation is monotone — coarser granularity yields an earlier
+// or equal instant.
+func TestQuickTruncateMonotone(t *testing.T) {
+	f := func(sec int64, a8, b8 uint8) bool {
+		a := TemporalGranularity(a8 % 8)
+		b := TemporalGranularity(b8 % 8)
+		if a.CoarserThan(b) {
+			a, b = b, a // ensure a finer-or-equal b
+		}
+		// Weeks do not nest inside months/years (a week may start in the
+		// previous month), so monotonicity only holds in the nested chain.
+		if a == GranWeek && b > GranWeek {
+			return true
+		}
+		ts := time.Unix(sec%4e9, 0)
+		return !b.Truncate(ts).After(a.Truncate(ts))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: coarsening then coarsening again equals coarsening to the
+// coarser granularity directly (truncation composes).
+func TestQuickTruncateComposes(t *testing.T) {
+	f := func(sec int64, a8, b8 uint8) bool {
+		fine := TemporalGranularity(a8 % 8)
+		coarse := TemporalGranularity(b8 % 8)
+		if fine.CoarserThan(coarse) {
+			fine, coarse = coarse, fine
+		}
+		// Exclude week/month interplay: weeks do not nest in months/years.
+		if fine == GranWeek && coarse > GranWeek {
+			return true
+		}
+		ts := time.Unix(sec%4e9, 0)
+		via := coarse.Truncate(fine.Truncate(ts))
+		direct := coarse.Truncate(ts)
+		return via.Equal(direct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpatialGranularity(t *testing.T) {
+	for g := SpatPoint; g <= SpatCellRegion; g++ {
+		parsed, err := ParseSpatialGranularity(g.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", g.String(), err)
+		}
+		if parsed != g {
+			t.Errorf("round trip %v -> %v", g, parsed)
+		}
+		if !g.Valid() {
+			t.Errorf("%v must be valid", g)
+		}
+	}
+	if _, err := ParseSpatialGranularity("galaxy"); err == nil {
+		t.Error("galaxy must not parse")
+	}
+	if !SpatCellCity.CoarserThan(SpatCellStreet) {
+		t.Error("city coarser than street")
+	}
+	if SpatCellCity.Coarsest(SpatCellRegion) != SpatCellRegion {
+		t.Error("coarsest(city,region)")
+	}
+	if SpatPoint.CellDegrees() != 0 {
+		t.Error("point has no cell size")
+	}
+	if SpatCellDistrict.CellDegrees() != 0.01 {
+		t.Error("district cell size")
+	}
+	if SpatialGranularity(99).String() == "" {
+		t.Error("unknown spatial granularity must still print")
+	}
+}
+
+func TestSnapCoord(t *testing.T) {
+	cases := []struct {
+		g    SpatialGranularity
+		in   float64
+		want float64
+	}{
+		{SpatPoint, 34.6937, 34.6937},
+		{SpatCellCity, 34.6937, 34.6},
+		{SpatCellRegion, 135.5023, 135},
+		{SpatCellRegion, -0.5, -1},
+		{SpatCellCity, -0.25, -0.3},
+		{SpatCellRegion, 2, 2}, // exact boundary stays put
+	}
+	for _, c := range cases {
+		got := c.g.SnapCoord(c.in)
+		if diff := got - c.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%v.SnapCoord(%v) = %v, want %v", c.g, c.in, got, c.want)
+		}
+	}
+}
+
+// Property: snapping is idempotent and never increases the coordinate.
+func TestQuickSnapIdempotentAndFloor(t *testing.T) {
+	f := func(c float64, g8 uint8) bool {
+		if c > 1e6 || c < -1e6 {
+			return true // avoid float-precision noise far outside lat/lon ranges
+		}
+		g := SpatialGranularity(g8 % 5)
+		once := g.SnapCoord(c)
+		twice := g.SnapCoord(once)
+		const eps = 1e-6
+		return once <= c+eps && (twice-once) < eps && (once-twice) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package stt implements the multigranular Space-Time-Thematic (STT) data
+// model that StreamLoader sensors produce tuples in.
+//
+// Following the paper (§3, "Stream Processing Operations"), an event is a
+// value associated with a spatial object at a given time according to given
+// thematics, represented at a temporal and a spatial granularity.
+// Granularities identify correlations among data produced by different
+// sensors and impose consistency constraints when streams produced by
+// heterogeneous devices are composed.
+package stt
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Kind identifies the dynamic type carried by a Value.
+type Kind uint8
+
+// The value kinds supported by the STT model. They cover the payloads of the
+// physical and social sensors the paper considers (numeric measures, text,
+// timestamps, booleans).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+)
+
+var kindNames = [...]string{
+	KindNull:   "null",
+	KindBool:   "bool",
+	KindInt:    "int",
+	KindFloat:  "float",
+	KindString: "string",
+	KindTime:   "time",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind converts a kind name (as used in sensor schema declarations and
+// dataflow specs) into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return KindNull, fmt.Errorf("stt: unknown kind %q", s)
+}
+
+// Numeric reports whether values of the kind support arithmetic.
+func (k Kind) Numeric() bool { return k == KindInt || k == KindFloat }
+
+// Comparable reports whether values of the kind support ordering.
+func (k Kind) Comparable() bool {
+	return k == KindInt || k == KindFloat || k == KindString || k == KindTime
+}
+
+// Value is a tagged union holding one STT payload value. The zero Value is
+// the null value. Values are small and copied by value; they never share
+// mutable state, so tuples can flow between operator goroutines freely.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	t    time.Time
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int wraps a 64-bit integer.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps a float64.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Time wraps a timestamp.
+func Time(t time.Time) Value { return Value{kind: KindTime, t: t} }
+
+// Kind returns the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; it is false unless Kind is KindBool.
+func (v Value) AsBool() bool { return v.b }
+
+// AsInt returns the value as an int64, converting from float if necessary.
+func (v Value) AsInt() int64 {
+	if v.kind == KindFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// AsFloat returns the value as a float64, converting from int if necessary.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload; it is empty unless Kind is KindString.
+func (v Value) AsString() string { return v.s }
+
+// AsTime returns the time payload; it is the zero time unless Kind is KindTime.
+func (v Value) AsTime() time.Time { return v.t }
+
+// Truthy reports whether the value is "true" in a condition context:
+// a true bool, a non-zero number, a non-empty string, a non-zero time.
+func (v Value) Truthy() bool {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindString:
+		return v.s != ""
+	case KindTime:
+		return !v.t.IsZero()
+	default:
+		return false
+	}
+}
+
+// String renders the value for logs, samples and the monitoring UI.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindTime:
+		return v.t.UTC().Format(time.RFC3339Nano)
+	default:
+		return "?"
+	}
+}
+
+// GoValue returns the payload as a plain Go value, for JSON encoding.
+func (v Value) GoValue() any {
+	switch v.kind {
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	case KindTime:
+		return v.t.UTC().Format(time.RFC3339Nano)
+	default:
+		return nil
+	}
+}
+
+// FromGoValue converts a plain Go value (as produced by encoding/json) into
+// a Value. JSON numbers arrive as float64; they stay floats to keep decoding
+// loss-free.
+func FromGoValue(x any) (Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return Null(), nil
+	case bool:
+		return Bool(t), nil
+	case int:
+		return Int(int64(t)), nil
+	case int64:
+		return Int(t), nil
+	case float64:
+		return Float(t), nil
+	case string:
+		return String(t), nil
+	case time.Time:
+		return Time(t), nil
+	default:
+		return Null(), fmt.Errorf("stt: cannot convert %T to Value", x)
+	}
+}
+
+// Equal reports deep equality between two values. Int and float values
+// compare numerically (Int(2) equals Float(2)).
+func (v Value) Equal(o Value) bool {
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindString:
+		return v.s == o.s
+	case KindTime:
+		return v.t.Equal(o.t)
+	default:
+		return false
+	}
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// It returns an error when the kinds are not mutually comparable.
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind.Numeric() && o.kind.Numeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind != o.kind {
+		return 0, fmt.Errorf("stt: cannot compare %s with %s", v.kind, o.kind)
+	}
+	switch v.kind {
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1, nil
+		case v.s > o.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindTime:
+		switch {
+		case v.t.Before(o.t):
+			return -1, nil
+		case v.t.After(o.t):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1, nil
+		case v.b && !o.b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("stt: kind %s is not comparable", v.kind)
+	}
+}
+
+// Add returns v + o for numeric values, or string concatenation when both
+// operands are strings.
+func (v Value) Add(o Value) (Value, error) {
+	if v.kind == KindString && o.kind == KindString {
+		return String(v.s + o.s), nil
+	}
+	if v.kind == KindInt && o.kind == KindInt {
+		return Int(v.i + o.i), nil
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return Float(v.AsFloat() + o.AsFloat()), nil
+	}
+	return Null(), fmt.Errorf("stt: cannot add %s and %s", v.kind, o.kind)
+}
+
+// Sub returns v - o for numeric values.
+func (v Value) Sub(o Value) (Value, error) {
+	if v.kind == KindInt && o.kind == KindInt {
+		return Int(v.i - o.i), nil
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return Float(v.AsFloat() - o.AsFloat()), nil
+	}
+	return Null(), fmt.Errorf("stt: cannot subtract %s from %s", o.kind, v.kind)
+}
+
+// Mul returns v * o for numeric values.
+func (v Value) Mul(o Value) (Value, error) {
+	if v.kind == KindInt && o.kind == KindInt {
+		return Int(v.i * o.i), nil
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return Float(v.AsFloat() * o.AsFloat()), nil
+	}
+	return Null(), fmt.Errorf("stt: cannot multiply %s and %s", v.kind, o.kind)
+}
+
+// Div returns v / o for numeric values. Integer division of two ints
+// truncates toward zero, matching Go. Division by zero is an error for ints
+// and yields ±Inf/NaN for floats, matching IEEE semantics sensors rely on.
+func (v Value) Div(o Value) (Value, error) {
+	if v.kind == KindInt && o.kind == KindInt {
+		if o.i == 0 {
+			return Null(), fmt.Errorf("stt: integer division by zero")
+		}
+		return Int(v.i / o.i), nil
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return Float(v.AsFloat() / o.AsFloat()), nil
+	}
+	return Null(), fmt.Errorf("stt: cannot divide %s by %s", v.kind, o.kind)
+}
+
+// Mod returns v % o. Ints use Go's %, floats use math.Mod.
+func (v Value) Mod(o Value) (Value, error) {
+	if v.kind == KindInt && o.kind == KindInt {
+		if o.i == 0 {
+			return Null(), fmt.Errorf("stt: integer modulo by zero")
+		}
+		return Int(v.i % o.i), nil
+	}
+	if v.kind.Numeric() && o.kind.Numeric() {
+		return Float(math.Mod(v.AsFloat(), o.AsFloat())), nil
+	}
+	return Null(), fmt.Errorf("stt: cannot take %s mod %s", v.kind, o.kind)
+}
+
+// Neg returns -v for numeric values.
+func (v Value) Neg() (Value, error) {
+	switch v.kind {
+	case KindInt:
+		return Int(-v.i), nil
+	case KindFloat:
+		return Float(-v.f), nil
+	default:
+		return Null(), fmt.Errorf("stt: cannot negate %s", v.kind)
+	}
+}

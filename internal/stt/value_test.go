@@ -1,0 +1,313 @@
+package stt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull: "null", KindBool: "bool", KindInt: "int",
+		KindFloat: "float", KindString: "string", KindTime: "time",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "kind(42)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for k := KindNull; k <= KindTime; k++ {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded, want error")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindInt.Numeric() || !KindFloat.Numeric() {
+		t.Error("int/float must be numeric")
+	}
+	if KindString.Numeric() || KindBool.Numeric() || KindTime.Numeric() {
+		t.Error("string/bool/time must not be numeric")
+	}
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindTime} {
+		if !k.Comparable() {
+			t.Errorf("%s must be comparable", k)
+		}
+	}
+	if KindNull.Comparable() || KindBool.Comparable() {
+		t.Error("null/bool must not be comparable")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{Bool(true), KindBool},
+		{Int(-3), KindInt},
+		{Float(2.5), KindFloat},
+		{String("osaka"), KindString},
+		{Time(now), KindTime},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if !Null().IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if Bool(true).AsBool() != true {
+		t.Error("AsBool")
+	}
+	if Int(7).AsInt() != 7 || Float(7.9).AsInt() != 7 {
+		t.Error("AsInt")
+	}
+	if Int(7).AsFloat() != 7.0 || Float(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat")
+	}
+	if String("x").AsString() != "x" {
+		t.Error("AsString")
+	}
+	if !Time(now).AsTime().Equal(now) {
+		t.Error("AsTime")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []Value{Bool(true), Int(1), Float(-0.5), String("a"), Time(time.Now())}
+	falsy := []Value{Null(), Bool(false), Int(0), Float(0), String(""), Time(time.Time{})}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Null().String() != "null" {
+		t.Error("null string")
+	}
+	if Bool(true).String() != "true" {
+		t.Error("bool string")
+	}
+	if Int(-12).String() != "-12" {
+		t.Error("int string")
+	}
+	if Float(2.5).String() != "2.5" {
+		t.Error("float string")
+	}
+	if String("osaka").String() != "osaka" {
+		t.Error("string string")
+	}
+	ts := time.Date(2016, 3, 15, 9, 0, 0, 0, time.UTC)
+	if Time(ts).String() != "2016-03-15T09:00:00Z" {
+		t.Errorf("time string = %q", Time(ts).String())
+	}
+}
+
+func TestGoValueRoundTrip(t *testing.T) {
+	vals := []Value{Null(), Bool(true), Int(5), Float(1.25), String("s")}
+	for _, v := range vals {
+		back, err := FromGoValue(v.GoValue())
+		if err != nil {
+			t.Fatalf("FromGoValue(%v): %v", v, err)
+		}
+		// Ints come back as ints, floats as floats; time round-trips to string
+		// so is excluded here.
+		if !back.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, back)
+		}
+	}
+	if _, err := FromGoValue(struct{}{}); err == nil {
+		t.Error("FromGoValue(struct{}{}) succeeded, want error")
+	}
+	if v, err := FromGoValue(3); err != nil || v.AsInt() != 3 {
+		t.Error("FromGoValue(int)")
+	}
+	now := time.Now()
+	if v, err := FromGoValue(now); err != nil || !v.AsTime().Equal(now) {
+		t.Error("FromGoValue(time)")
+	}
+}
+
+func TestEqualNumericCrossKind(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should equal Float(2)")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Error("Int(2) should not equal Float(2.5)")
+	}
+	if Int(2).Equal(String("2")) {
+		t.Error("Int should not equal String")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("null equals null")
+	}
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Error("string equality")
+	}
+	now := time.Now()
+	if !Time(now).Equal(Time(now)) {
+		t.Error("time equality")
+	}
+	if !Bool(true).Equal(Bool(true)) || Bool(true).Equal(Bool(false)) {
+		t.Error("bool equality")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	lt := [][2]Value{
+		{Int(1), Int(2)},
+		{Float(1.5), Int(2)},
+		{String("a"), String("b")},
+		{Bool(false), Bool(true)},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0))},
+	}
+	for _, p := range lt {
+		c, err := p[0].Compare(p[1])
+		if err != nil || c != -1 {
+			t.Errorf("Compare(%v,%v) = %d,%v want -1", p[0], p[1], c, err)
+		}
+		c, err = p[1].Compare(p[0])
+		if err != nil || c != 1 {
+			t.Errorf("Compare(%v,%v) = %d,%v want 1", p[1], p[0], c, err)
+		}
+		c, err = p[0].Compare(p[0])
+		if err != nil || c != 0 {
+			t.Errorf("Compare(%v,%v) = %d,%v want 0", p[0], p[0], c, err)
+		}
+	}
+	if _, err := String("a").Compare(Int(1)); err == nil {
+		t.Error("string vs int comparison should fail")
+	}
+	if _, err := Null().Compare(Null()); err == nil {
+		t.Error("null comparison should fail")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustV := func(v Value, err error) Value {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if got := mustV(Int(2).Add(Int(3))); got.Kind() != KindInt || got.AsInt() != 5 {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustV(Int(2).Add(Float(0.5))); got.Kind() != KindFloat || got.AsFloat() != 2.5 {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := mustV(String("ab").Add(String("cd"))); got.AsString() != "abcd" {
+		t.Errorf("concat = %v", got)
+	}
+	if got := mustV(Int(5).Sub(Int(7))); got.AsInt() != -2 {
+		t.Errorf("5-7 = %v", got)
+	}
+	if got := mustV(Int(4).Mul(Float(2.5))); got.AsFloat() != 10 {
+		t.Errorf("4*2.5 = %v", got)
+	}
+	if got := mustV(Int(7).Div(Int(2))); got.Kind() != KindInt || got.AsInt() != 3 {
+		t.Errorf("7/2 = %v", got)
+	}
+	if got := mustV(Float(7).Div(Int(2))); got.AsFloat() != 3.5 {
+		t.Errorf("7.0/2 = %v", got)
+	}
+	if got := mustV(Int(7).Mod(Int(4))); got.AsInt() != 3 {
+		t.Errorf("7%%4 = %v", got)
+	}
+	if got := mustV(Float(7.5).Mod(Float(2))); got.AsFloat() != 1.5 {
+		t.Errorf("7.5 mod 2 = %v", got)
+	}
+	if got := mustV(Int(3).Neg()); got.AsInt() != -3 {
+		t.Errorf("-3 = %v", got)
+	}
+	if got := mustV(Float(3.5).Neg()); got.AsFloat() != -3.5 {
+		t.Errorf("-3.5 = %v", got)
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Int(1).Div(Int(0)); err == nil {
+		t.Error("int division by zero must error")
+	}
+	if _, err := Int(1).Mod(Int(0)); err == nil {
+		t.Error("int modulo by zero must error")
+	}
+	if v, err := Float(1).Div(Float(0)); err != nil || !math.IsInf(v.AsFloat(), 1) {
+		t.Error("float division by zero must be +Inf")
+	}
+	if _, err := String("a").Sub(String("b")); err == nil {
+		t.Error("string subtraction must error")
+	}
+	if _, err := Bool(true).Add(Int(1)); err == nil {
+		t.Error("bool addition must error")
+	}
+	if _, err := String("x").Neg(); err == nil {
+		t.Error("string negation must error")
+	}
+	if _, err := Bool(true).Mul(Bool(false)); err == nil {
+		t.Error("bool multiplication must error")
+	}
+}
+
+// Property: Add is commutative for numeric values and Compare is
+// antisymmetric for ints.
+func TestQuickNumericProperties(t *testing.T) {
+	addComm := func(a, b int32) bool {
+		x, err1 := Int(int64(a)).Add(Float(float64(b)))
+		y, err2 := Float(float64(b)).Add(Int(int64(a)))
+		return err1 == nil && err2 == nil && x.Equal(y)
+	}
+	if err := quick.Check(addComm, nil); err != nil {
+		t.Error(err)
+	}
+	antisym := func(a, b int64) bool {
+		c1, err1 := Int(a).Compare(Int(b))
+		c2, err2 := Int(b).Compare(Int(a))
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: integer Add/Sub are inverses.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, err := Int(int64(a)).Add(Int(int64(b)))
+		if err != nil {
+			return false
+		}
+		back, err := sum.Sub(Int(int64(b)))
+		return err == nil && back.AsInt() == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package viz is StreamLoader's stand-in for NICT's Sticker visualization
+// tool [11] and the mTrend geo-microblogging trend discovery it builds on:
+// spatio-temporal aggregation of dataflow output into grid heatmaps, per-cell
+// top-k topic trends, and terminal-friendly rendering. Dataflows select the
+// "viz" sink to feed it.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+// Board accumulates dataflow output for visualization. Safe for concurrent
+// use; a deployment's viz sinks feed it while HTTP handlers render it.
+type Board struct {
+	// Region is the visualized area.
+	Region geo.Rect
+	// Cols/Rows is the heatmap resolution.
+	Cols, Rows int
+
+	mu     sync.RWMutex
+	counts [][]int     // [row][col] event counts
+	values [][]float64 // [row][col] sum of the tracked measure
+	nval   [][]int     // [row][col] number of measure samples
+	topics map[string]map[string]int
+	// topics: cell key -> word -> count (the mTrend per-cell topic counts)
+	measure  string // payload field aggregated into values
+	earliest time.Time
+	latest   time.Time
+	total    int
+}
+
+// NewBoard creates a board over a region at the given grid resolution.
+// measure names the numeric payload field averaged per cell (may be empty
+// for count-only heatmaps).
+func NewBoard(region geo.Rect, cols, rows int, measure string) (*Board, error) {
+	if !region.Valid() {
+		return nil, fmt.Errorf("viz: invalid region %v", region)
+	}
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("viz: grid must be at least 1x1, got %dx%d", cols, rows)
+	}
+	b := &Board{
+		Region: region, Cols: cols, Rows: rows,
+		topics:  map[string]map[string]int{},
+		measure: measure,
+	}
+	b.counts = make([][]int, rows)
+	b.values = make([][]float64, rows)
+	b.nval = make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		b.counts[r] = make([]int, cols)
+		b.values[r] = make([]float64, cols)
+		b.nval[r] = make([]int, cols)
+	}
+	return b, nil
+}
+
+// cellOf maps a position to grid coordinates; ok is false outside the region.
+func (b *Board) cellOf(lat, lon float64) (row, col int, ok bool) {
+	if !b.Region.Contains(geo.Point{Lat: lat, Lon: lon}) {
+		return 0, 0, false
+	}
+	fr := (lat - b.Region.Min.Lat) / (b.Region.Max.Lat - b.Region.Min.Lat)
+	fc := (lon - b.Region.Min.Lon) / (b.Region.Max.Lon - b.Region.Min.Lon)
+	row = int(fr * float64(b.Rows))
+	col = int(fc * float64(b.Cols))
+	if row >= b.Rows {
+		row = b.Rows - 1
+	}
+	if col >= b.Cols {
+		col = b.Cols - 1
+	}
+	return row, col, true
+}
+
+// Accept ingests one tuple: bumps the cell count, accumulates the measure if
+// present, and extracts topic words from any "text" field (mTrend-style).
+func (b *Board) Accept(t *stt.Tuple) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	row, col, ok := b.cellOf(t.Lat, t.Lon)
+	if !ok {
+		return nil // outside the board: ignore quietly
+	}
+	b.total++
+	b.counts[row][col]++
+	if b.earliest.IsZero() || t.Time.Before(b.earliest) {
+		b.earliest = t.Time
+	}
+	if t.Time.After(b.latest) {
+		b.latest = t.Time
+	}
+	if b.measure != "" {
+		if v, okv := t.Get(b.measure); okv && v.Kind().Numeric() {
+			b.values[row][col] += v.AsFloat()
+			b.nval[row][col]++
+		}
+	}
+	if v, okv := t.Get("text"); okv && v.Kind() == stt.KindString {
+		key := cellKey(row, col)
+		words := b.topics[key]
+		if words == nil {
+			words = map[string]int{}
+			b.topics[key] = words
+		}
+		for _, word := range topicWords(v.AsString()) {
+			words[word]++
+		}
+	}
+	return nil
+}
+
+// Close is a no-op; Board satisfies the executor Sink interface.
+func (b *Board) Close() error { return nil }
+
+func cellKey(row, col int) string { return fmt.Sprintf("%d,%d", row, col) }
+
+// stopwords excluded from topic extraction.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "in": true, "on": true, "at": true,
+	"is": true, "are": true, "was": true, "to": true, "of": true, "and": true,
+	"for": true, "with": true, "my": true, "our": true, "this": true,
+	"today": true, "tonight": true, "near": true, "right": true, "now": true,
+	"will": true, "not": true, "it": true, "so": true,
+}
+
+// topicWords tokenizes a message into candidate topic words.
+func topicWords(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	var out []string
+	for _, f := range fields {
+		if len(f) < 3 || stopwords[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Topic is one trending word with its count.
+type Topic struct {
+	Word  string `json:"word"`
+	Count int    `json:"count"`
+}
+
+// TopTopics returns the k most frequent topic words of a cell, the mTrend
+// "discovery of topic movements" primitive. Deterministic: ties break
+// alphabetically.
+func (b *Board) TopTopics(row, col, k int) []Topic {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	words := b.topics[cellKey(row, col)]
+	out := make([]Topic, 0, len(words))
+	for w, c := range words {
+		out = append(out, Topic{Word: w, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// GlobalTopTopics aggregates topics across all cells.
+func (b *Board) GlobalTopTopics(k int) []Topic {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	agg := map[string]int{}
+	for _, words := range b.topics {
+		for w, c := range words {
+			agg[w] += c
+		}
+	}
+	out := make([]Topic, 0, len(agg))
+	for w, c := range agg {
+		out = append(out, Topic{Word: w, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Word < out[j].Word
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Snapshot is a JSON-able view of the board.
+type Snapshot struct {
+	Region   geo.Rect    `json:"region"`
+	Cols     int         `json:"cols"`
+	Rows     int         `json:"rows"`
+	Total    int         `json:"total"`
+	Earliest time.Time   `json:"earliest"`
+	Latest   time.Time   `json:"latest"`
+	Counts   [][]int     `json:"counts"`
+	Means    [][]float64 `json:"means,omitempty"`
+	Measure  string      `json:"measure,omitempty"`
+}
+
+// Snapshot copies the current grids.
+func (b *Board) Snapshot() Snapshot {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	s := Snapshot{
+		Region: b.Region, Cols: b.Cols, Rows: b.Rows,
+		Total: b.total, Earliest: b.earliest, Latest: b.latest,
+		Measure: b.measure,
+	}
+	s.Counts = make([][]int, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		s.Counts[r] = append([]int(nil), b.counts[r]...)
+	}
+	if b.measure != "" {
+		s.Means = make([][]float64, b.Rows)
+		for r := 0; r < b.Rows; r++ {
+			s.Means[r] = make([]float64, b.Cols)
+			for c := 0; c < b.Cols; c++ {
+				if b.nval[r][c] > 0 {
+					s.Means[r][c] = b.values[r][c] / float64(b.nval[r][c])
+				}
+			}
+		}
+	}
+	return s
+}
+
+// shades maps intensity to ASCII, light to dark.
+var shades = []byte(" .:-=+*#%@")
+
+// RenderASCII draws the count heatmap as text, north at the top.
+func (b *Board) RenderASCII() string {
+	s := b.Snapshot()
+	maxC := 0
+	for _, row := range s.Counts {
+		for _, c := range row {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	var out strings.Builder
+	fmt.Fprintf(&out, "viz %dx%d total=%d region=%s\n", s.Cols, s.Rows, s.Total, s.Region)
+	for r := s.Rows - 1; r >= 0; r-- { // north (max lat) on top
+		for c := 0; c < s.Cols; c++ {
+			idx := 0
+			if count := s.Counts[r][c]; count > 0 && maxC > 0 {
+				idx = count * (len(shades) - 1) / maxC
+				if idx == 0 {
+					idx = 1 // non-empty cells are never blank
+				}
+			}
+			out.WriteByte(shades[idx])
+		}
+		out.WriteByte('\n')
+	}
+	return out.String()
+}

@@ -1,0 +1,203 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+var t0 = time.Date(2016, 3, 15, 9, 0, 0, 0, time.UTC)
+
+var tweetSchema = stt.MustSchema([]stt.Field{
+	stt.NewField("text", stt.KindString, ""),
+	stt.NewField("retweets", stt.KindInt, ""),
+}, stt.GranSecond, stt.SpatPoint, "social")
+
+var tempSchema = stt.MustSchema([]stt.Field{
+	stt.NewField("temperature", stt.KindFloat, "celsius"),
+}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+
+func tweet(lat, lon float64, text string) *stt.Tuple {
+	tup := &stt.Tuple{
+		Schema: tweetSchema,
+		Values: []stt.Value{stt.String(text), stt.Int(0)},
+		Time:   t0, Lat: lat, Lon: lon, Theme: "social",
+	}
+	return tup.AlignSTT()
+}
+
+func temp(lat, lon, v float64, offset time.Duration) *stt.Tuple {
+	tup := &stt.Tuple{
+		Schema: tempSchema,
+		Values: []stt.Value{stt.Float(v)},
+		Time:   t0.Add(offset), Lat: lat, Lon: lon, Theme: "weather",
+	}
+	return tup.AlignSTT()
+}
+
+func TestNewBoardValidation(t *testing.T) {
+	if _, err := NewBoard(geo.Rect{Min: geo.Point{Lat: 99}}, 4, 4, ""); err == nil {
+		t.Error("invalid region must fail")
+	}
+	if _, err := NewBoard(geo.Osaka, 0, 4, ""); err == nil {
+		t.Error("zero cols must fail")
+	}
+}
+
+func TestAcceptAndSnapshot(t *testing.T) {
+	b, err := NewBoard(geo.Osaka, 10, 10, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two readings in the SW corner cell, one in the NE corner.
+	mustAccept(t, b, temp(34.41, 135.21, 20, 0))
+	mustAccept(t, b, temp(34.41, 135.21, 30, time.Minute))
+	mustAccept(t, b, temp(34.89, 135.69, 10, 2*time.Minute))
+	// Outside the region: ignored.
+	mustAccept(t, b, temp(35.5, 136.5, 99, 3*time.Minute))
+
+	s := b.Snapshot()
+	if s.Total != 3 {
+		t.Fatalf("total = %d, want 3 (outside ignored)", s.Total)
+	}
+	if s.Counts[0][0] != 2 {
+		t.Errorf("SW cell count = %d", s.Counts[0][0])
+	}
+	if s.Counts[9][9] != 1 {
+		t.Errorf("NE cell count = %d", s.Counts[9][9])
+	}
+	if s.Means[0][0] != 25 {
+		t.Errorf("SW mean = %v, want 25", s.Means[0][0])
+	}
+	if !s.Earliest.Equal(t0) || !s.Latest.Equal(t0.Add(2*time.Minute)) {
+		t.Errorf("time bounds: %v .. %v", s.Earliest, s.Latest)
+	}
+	// Snapshot is a copy.
+	s.Counts[0][0] = 999
+	if b.Snapshot().Counts[0][0] != 2 {
+		t.Error("snapshot must copy grids")
+	}
+}
+
+func mustAccept(t *testing.T, b *Board, tup *stt.Tuple) {
+	t.Helper()
+	if err := b.Accept(tup); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryPointsLandInGrid(t *testing.T) {
+	b, _ := NewBoard(geo.Osaka, 5, 5, "")
+	// The exact max corner must clamp into the last cell, not panic.
+	mustAccept(t, b, temp(geo.Osaka.Max.Lat, geo.Osaka.Max.Lon, 1, 0))
+	if b.Snapshot().Counts[4][4] != 1 {
+		t.Error("max corner not clamped into the grid")
+	}
+}
+
+func TestTopics(t *testing.T) {
+	b, _ := NewBoard(geo.Osaka, 2, 2, "")
+	for i := 0; i < 5; i++ {
+		mustAccept(t, b, tweet(34.45, 135.25, "torrential rain flooding the street"))
+	}
+	mustAccept(t, b, tweet(34.45, 135.25, "nice lunch in Umeda"))
+	mustAccept(t, b, tweet(34.85, 135.65, "traffic jam on the loop"))
+
+	top := b.TopTopics(0, 0, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0].Count != 5 {
+		t.Errorf("top word count = %d, want 5", top[0].Count)
+	}
+	// Stopwords and short words are excluded.
+	for _, tp := range top {
+		if tp.Word == "the" || len(tp.Word) < 3 {
+			t.Errorf("bad topic %q", tp.Word)
+		}
+	}
+	// The NE cell has its own topics.
+	ne := b.TopTopics(1, 1, 10)
+	found := false
+	for _, tp := range ne {
+		if tp.Word == "traffic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("NE topics: %v", ne)
+	}
+	// Global aggregation.
+	global := b.GlobalTopTopics(2)
+	if len(global) != 2 || global[0].Count < 5 {
+		t.Errorf("global = %v", global)
+	}
+	// Empty cell: no topics.
+	if len(b.TopTopics(0, 1, 5)) != 0 {
+		t.Error("empty cell must have no topics")
+	}
+}
+
+func TestTopicDeterminism(t *testing.T) {
+	b, _ := NewBoard(geo.Osaka, 1, 1, "")
+	mustAccept(t, b, tweet(34.5, 135.4, "alpha beta gamma"))
+	first := b.TopTopics(0, 0, 3)
+	for i := 0; i < 10; i++ {
+		again := b.TopTopics(0, 0, 3)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("tie-broken order must be stable")
+			}
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	b, _ := NewBoard(geo.Osaka, 8, 4, "")
+	for i := 0; i < 50; i++ {
+		mustAccept(t, b, temp(34.41, 135.21, 20, time.Duration(i)*time.Minute)) // SW corner
+	}
+	mustAccept(t, b, temp(34.89, 135.69, 20, 0)) // NE corner
+	out := b.RenderASCII()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	// North on top: the hot SW cell appears in the last line, darkest shade.
+	last := lines[len(lines)-1]
+	if last[0] != '@' {
+		t.Errorf("SW cell shade = %q, want '@':\n%s", last[0], out)
+	}
+	// NE corner has a light but non-space shade on the first grid row.
+	if lines[1][7] == ' ' {
+		t.Errorf("NE cell empty:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "total=51") {
+		t.Errorf("header: %s", lines[0])
+	}
+}
+
+func TestRenderEmptyBoard(t *testing.T) {
+	b, _ := NewBoard(geo.Osaka, 4, 2, "")
+	out := b.RenderASCII()
+	if !strings.Contains(out, "total=0") {
+		t.Error("empty render")
+	}
+}
+
+func TestTopicWords(t *testing.T) {
+	words := topicWords("Heavy RAIN, rain & more rain in Umeda!! 123x")
+	counts := map[string]int{}
+	for _, w := range words {
+		counts[w]++
+	}
+	if counts["rain"] != 3 || counts["heavy"] != 1 || counts["umeda"] != 1 {
+		t.Errorf("words = %v", words)
+	}
+	if counts["in"] != 0 {
+		t.Error("stopword leaked")
+	}
+}

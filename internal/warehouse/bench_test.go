@@ -1,0 +1,72 @@
+package warehouse
+
+import (
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+)
+
+// benchLoaded builds a warehouse with n weather events spread over a day
+// and the Osaka area.
+func benchLoaded(b *testing.B, n int) *Warehouse {
+	b.Helper()
+	w := New()
+	for i := 0; i < n; i++ {
+		tup := wTuple(time.Duration(i%86400)*time.Second, float64(10+i%25),
+			"s", 34.4+float64(i%50)*0.01, 135.2+float64(i%50)*0.01)
+		if err := w.Append(tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return w
+}
+
+func BenchmarkAppend(b *testing.B) {
+	w := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tup := wTuple(time.Duration(i)*time.Second, 20, "s", 34.7, 135.5)
+		if err := w.Append(tup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectTimeRange(b *testing.B) {
+	w := benchLoaded(b, 50_000)
+	q := Query{From: t0.Add(6 * time.Hour), To: t0.Add(7 * time.Hour)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectRegion(b *testing.B) {
+	w := benchLoaded(b, 50_000)
+	region := geo.NewRect(geo.Point{Lat: 34.5, Lon: 135.3}, geo.Point{Lat: 34.55, Lon: 135.35})
+	q := Query{Region: &region}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectCond(b *testing.B) {
+	w := benchLoaded(b, 50_000)
+	q := Query{Cond: "temperature > 30", From: t0.Add(3 * time.Hour), To: t0.Add(4 * time.Hour)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package warehouse is StreamLoader's stand-in for the NICT Event Data
+// Warehouse [6] the paper's dataflows load into: an in-memory event store
+// indexed along the three STT dimensions — time, space and theme — with a
+// query API suited to the "further analysis" the paper delegates to it.
+//
+// Events append to per-source segments ordered by event time; a spatial
+// grid index and a theme inverted index accelerate the corresponding query
+// constraints. Queries combine a time range, a region, a theme set and an
+// optional condition over the payload.
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"streamloader/internal/expr"
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+// gridCellDeg is the spatial index resolution (~1.1 km cells).
+const gridCellDeg = 0.01
+
+// Event is one stored STT event.
+type Event struct {
+	// Seq is the warehouse-assigned insertion sequence.
+	Seq uint64
+	// Tuple is the stored event.
+	Tuple *stt.Tuple
+}
+
+// Query selects stored events. Zero-valued constraints match everything.
+type Query struct {
+	// From/To bound the event time (inclusive from, exclusive to).
+	From, To time.Time
+	// Region bounds the event position.
+	Region *geo.Rect
+	// Themes restricts to events carrying one of the themes.
+	Themes []string
+	// Sources restricts to specific producing sensors/operations.
+	Sources []string
+	// Cond is an optional payload condition; it is compiled lazily per
+	// schema encountered, so heterogeneous events can coexist.
+	Cond string
+	// Limit caps the result size (0 = unlimited).
+	Limit int
+}
+
+// Warehouse is the STT event store. Safe for concurrent use.
+type Warehouse struct {
+	mu        sync.RWMutex
+	events    []Event
+	nextID    uint64
+	maxEvents int
+	evicted   uint64
+
+	// timeIndex: events sorted by event time (ordinal into events).
+	// Maintained sorted on the fly; appends are near-ordered so insertion
+	// position is found by binary search from the end.
+	byTime []int
+	// spatial grid -> event ordinals.
+	byCell map[geo.Cell][]int
+	// theme -> event ordinals.
+	byTheme map[string][]int
+	// source -> event ordinals.
+	bySource map[string][]int
+}
+
+// New creates an empty warehouse.
+func New() *Warehouse {
+	return &Warehouse{
+		byCell:   map[geo.Cell][]int{},
+		byTheme:  map[string][]int{},
+		bySource: map[string][]int{},
+	}
+}
+
+// Append stores one event. The tuple is retained as-is and must not be
+// mutated afterwards (executor tuples are never mutated downstream).
+func (w *Warehouse) Append(t *stt.Tuple) error {
+	if t == nil || t.Schema == nil {
+		return fmt.Errorf("warehouse: nil tuple")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ord := len(w.events)
+	w.events = append(w.events, Event{Seq: w.nextID, Tuple: t})
+	w.nextID++
+
+	// Insert into the time index, keeping it sorted. Appends usually come
+	// in near time order, so scan from the end.
+	pos := len(w.byTime)
+	for pos > 0 && w.events[w.byTime[pos-1]].Tuple.Time.After(t.Time) {
+		pos--
+	}
+	w.byTime = append(w.byTime, 0)
+	copy(w.byTime[pos+1:], w.byTime[pos:])
+	w.byTime[pos] = ord
+
+	cell := geo.CellOf(geo.Point{Lat: t.Lat, Lon: t.Lon}, gridCellDeg)
+	w.byCell[cell] = append(w.byCell[cell], ord)
+	if t.Theme != "" {
+		w.byTheme[t.Theme] = append(w.byTheme[t.Theme], ord)
+	}
+	for _, theme := range t.Schema.Themes {
+		if theme != t.Theme {
+			w.byTheme[theme] = append(w.byTheme[theme], ord)
+		}
+	}
+	if t.Source != "" {
+		w.bySource[t.Source] = append(w.bySource[t.Source], ord)
+	}
+	if w.maxEvents > 0 && len(w.events) > w.maxEvents {
+		w.compactLocked()
+	}
+	return nil
+}
+
+// SetRetention bounds the store to at most maxEvents events; the oldest (by
+// event time) are evicted when the bound is exceeded. Zero disables
+// retention (the default).
+func (w *Warehouse) SetRetention(maxEvents int) {
+	w.mu.Lock()
+	w.maxEvents = maxEvents
+	if w.maxEvents > 0 && len(w.events) > w.maxEvents {
+		w.compactLocked()
+	}
+	w.mu.Unlock()
+}
+
+// Evicted returns how many events retention has dropped so far.
+func (w *Warehouse) Evicted() uint64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.evicted
+}
+
+// compactLocked drops the oldest quarter of the store (amortizing the index
+// rebuild) and rebuilds all indexes. Caller holds the write lock.
+func (w *Warehouse) compactLocked() {
+	keep := w.maxEvents * 3 / 4
+	if keep < 1 {
+		keep = 1
+	}
+	if keep >= len(w.byTime) {
+		return
+	}
+	survivors := make([]Event, 0, keep)
+	for _, ord := range w.byTime[len(w.byTime)-keep:] {
+		survivors = append(survivors, w.events[ord])
+	}
+	w.evicted += uint64(len(w.events) - len(survivors))
+	w.events = w.events[:0]
+	w.byTime = w.byTime[:0]
+	w.byCell = map[geo.Cell][]int{}
+	w.byTheme = map[string][]int{}
+	w.bySource = map[string][]int{}
+	for i, ev := range survivors {
+		t := ev.Tuple
+		w.events = append(w.events, ev)
+		w.byTime = append(w.byTime, i) // survivors come out time-sorted
+		cell := geo.CellOf(geo.Point{Lat: t.Lat, Lon: t.Lon}, gridCellDeg)
+		w.byCell[cell] = append(w.byCell[cell], i)
+		if t.Theme != "" {
+			w.byTheme[t.Theme] = append(w.byTheme[t.Theme], i)
+		}
+		for _, theme := range t.Schema.Themes {
+			if theme != t.Theme {
+				w.byTheme[theme] = append(w.byTheme[theme], i)
+			}
+		}
+		if t.Source != "" {
+			w.bySource[t.Source] = append(w.bySource[t.Source], i)
+		}
+	}
+}
+
+// Len returns the number of stored events.
+func (w *Warehouse) Len() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.events)
+}
+
+// candidateSet picks the cheapest index for the query and returns candidate
+// ordinals (nil means "scan the time index"). Caller holds the read lock.
+func (w *Warehouse) candidateSet(q Query) []int {
+	best := []int(nil)
+	bestN := len(w.events) + 1
+
+	consider := func(ords []int) {
+		if len(ords) < bestN {
+			best, bestN = ords, len(ords)
+		}
+	}
+	if len(q.Themes) > 0 {
+		var merged []int
+		for _, th := range q.Themes {
+			merged = append(merged, w.byTheme[th]...)
+		}
+		sort.Ints(merged)
+		merged = dedupeInts(merged)
+		consider(merged)
+	}
+	if len(q.Sources) > 0 {
+		var merged []int
+		for _, s := range q.Sources {
+			merged = append(merged, w.bySource[s]...)
+		}
+		sort.Ints(merged)
+		merged = dedupeInts(merged)
+		consider(merged)
+	}
+	if q.Region != nil {
+		minCell := geo.CellOf(q.Region.Min, gridCellDeg)
+		maxCell := geo.CellOf(q.Region.Max, gridCellDeg)
+		nCells := (maxCell.X - minCell.X + 1) * (maxCell.Y - minCell.Y + 1)
+		// Only use the grid when the region is small enough to enumerate.
+		if nCells > 0 && nCells <= 10000 {
+			var merged []int
+			for x := minCell.X; x <= maxCell.X; x++ {
+				for y := minCell.Y; y <= maxCell.Y; y++ {
+					merged = append(merged, w.byCell[geo.Cell{X: x, Y: y}]...)
+				}
+			}
+			sort.Ints(merged)
+			consider(merged)
+		}
+	}
+	if !q.From.IsZero() || !q.To.IsZero() {
+		// Narrow the time index by binary search.
+		lo, hi := 0, len(w.byTime)
+		if !q.From.IsZero() {
+			lo = sort.Search(len(w.byTime), func(i int) bool {
+				return !w.events[w.byTime[i]].Tuple.Time.Before(q.From)
+			})
+		}
+		if !q.To.IsZero() {
+			hi = sort.Search(len(w.byTime), func(i int) bool {
+				return !w.events[w.byTime[i]].Tuple.Time.Before(q.To)
+			})
+		}
+		if hi < lo {
+			hi = lo
+		}
+		consider(w.byTime[lo:hi])
+	}
+	if best == nil {
+		return w.byTime
+	}
+	return best
+}
+
+func dedupeInts(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Select returns the events matching the query, in event-time order.
+func (w *Warehouse) Select(q Query) ([]Event, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+
+	conds := map[*stt.Schema]*expr.Compiled{}
+	var out []Event
+	for _, ord := range w.candidateSet(q) {
+		ev := w.events[ord]
+		t := ev.Tuple
+		if !q.From.IsZero() && t.Time.Before(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && !t.Time.Before(q.To) {
+			continue
+		}
+		if q.Region != nil && !q.Region.Contains(geo.Point{Lat: t.Lat, Lon: t.Lon}) {
+			continue
+		}
+		if len(q.Themes) > 0 && !matchTheme(t, q.Themes) {
+			continue
+		}
+		if len(q.Sources) > 0 && !containsString(q.Sources, t.Source) {
+			continue
+		}
+		if q.Cond != "" {
+			c, ok := conds[t.Schema]
+			if !ok {
+				compiled, err := expr.CompileBool(q.Cond, expr.Env{Schema: t.Schema})
+				if err != nil {
+					// The condition does not type-check against this event's
+					// schema: it cannot match events of this shape.
+					conds[t.Schema] = nil
+					continue
+				}
+				c = compiled
+				conds[t.Schema] = c
+			}
+			if c == nil {
+				continue
+			}
+			ok2, err := c.EvalBool(expr.Scope{Tuple: t})
+			if err != nil {
+				return nil, fmt.Errorf("warehouse: evaluating %q: %w", q.Cond, err)
+			}
+			if !ok2 {
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Tuple.Time.Equal(out[j].Tuple.Time) {
+			return out[i].Tuple.Time.Before(out[j].Tuple.Time)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+func matchTheme(t *stt.Tuple, themes []string) bool {
+	for _, want := range themes {
+		if t.Theme == want || t.Schema.HasTheme(want) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of matching events without materializing them.
+func (w *Warehouse) Count(q Query) (int, error) {
+	evs, err := w.Select(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(evs), nil
+}
+
+// Stats summarizes the warehouse content for the monitoring UI.
+type Stats struct {
+	Events   int            `json:"events"`
+	Sources  int            `json:"sources"`
+	Themes   map[string]int `json:"themes"`
+	Earliest time.Time      `json:"earliest"`
+	Latest   time.Time      `json:"latest"`
+}
+
+// Stats computes the summary.
+func (w *Warehouse) Stats() Stats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s := Stats{Events: len(w.events), Sources: len(w.bySource), Themes: map[string]int{}}
+	for theme, ords := range w.byTheme {
+		s.Themes[theme] = len(ords)
+	}
+	if len(w.byTime) > 0 {
+		s.Earliest = w.events[w.byTime[0]].Tuple.Time
+		s.Latest = w.events[w.byTime[len(w.byTime)-1]].Tuple.Time
+	}
+	return s
+}
+
+// Sink adapts the warehouse to the executor's Sink interface.
+type Sink struct {
+	W *Warehouse
+}
+
+// Accept appends the tuple.
+func (s Sink) Accept(t *stt.Tuple) error { return s.W.Append(t) }
+
+// Close is a no-op; the warehouse outlives deployments.
+func (s Sink) Close() error { return nil }
