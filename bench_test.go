@@ -29,6 +29,7 @@ import (
 	"streamloader/internal/sensor"
 	"streamloader/internal/stream"
 	"streamloader/internal/stt"
+	"streamloader/internal/warehouse"
 )
 
 var benchT0 = time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
@@ -527,6 +528,89 @@ func BenchmarkScenario_Osaka(b *testing.B) {
 	b.StopTimer()
 	// One day at 1 Hz temp + 1 Hz rain + 2 Hz tweets + 1 Hz traffic.
 	b.ReportMetric(float64(5*86400*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// ---------------------------------------------------------------------------
+// E5b — warehouse ingest through a deployed dataflow: the executor→warehouse
+// hot path, per-tuple Append vs the buffered AppendBatch sink.
+// ---------------------------------------------------------------------------
+
+// BenchmarkWarehouseIngest replays four 1 Hz sources for an event-time hour
+// into warehouse sinks. sink=per-tuple disables sink buffering (one shard
+// lock round-trip per tuple); sink=batched is the default buffering path.
+func BenchmarkWarehouseIngest(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{
+		{"sink=per-tuple", -1},
+		{"sink=batched", 256},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			net, err := network.Star(network.TopologyConfig{
+				Nodes: 4, Area: geo.Osaka, Capacity: 1000, BandwidthKbps: 1e9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			broker := pubsub.NewBroker("bench")
+			sensors := map[string]*sensor.Sensor{}
+			spec := &dataflow.Spec{Name: "ingest"}
+			for i := 0; i < 4; i++ {
+				id := fmt.Sprintf("temp-%d", i+1)
+				s, err := sensor.New(sensor.Spec{
+					ID: id, Type: sensor.TypeTemperature, Location: geo.OsakaCenter,
+					NodeID: fmt.Sprintf("node-%02d", i), Seed: int64(i + 1), FrequencyHz: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sensors[id] = s
+				if err := broker.Publish(s.Meta()); err != nil {
+					b.Fatal(err)
+				}
+				spec.Nodes = append(spec.Nodes,
+					dataflow.NodeSpec{ID: fmt.Sprintf("src%d", i), Kind: "source", Sensor: id},
+					dataflow.NodeSpec{ID: fmt.Sprintf("wh%d", i), Kind: "sink", Sink: "warehouse"},
+				)
+				spec.Edges = append(spec.Edges,
+					dataflow.EdgeSpec{From: fmt.Sprintf("src%d", i), To: fmt.Sprintf("wh%d", i)})
+			}
+			wh := warehouse.New()
+			exec, err := executor.New(executor.Config{
+				Network: net, Broker: broker,
+				Clock:     stream.NewVirtualClock(time.Unix(0, 0)),
+				SinkBatch: mode.batch,
+				Sensors: func(id string) (executor.SensorSource, bool) {
+					s, ok := sensors[id]
+					return s, ok
+				},
+				Sinks: func(kind, nodeID string, schema *stt.Schema) (executor.Sink, error) {
+					return warehouse.Sink{W: wh}, nil
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d, err := exec.Deploy(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Run(benchT0, benchT0.Add(time.Hour)); err != nil {
+					b.Fatal(err)
+				}
+				d.Undeploy()
+			}
+			b.StopTimer()
+			if wh.Len() != 4*3600*b.N {
+				b.Fatalf("warehouse has %d events, want %d", wh.Len(), 4*3600*b.N)
+			}
+			b.ReportMetric(float64(4*3600*b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------------

@@ -7,7 +7,8 @@
 // Usage:
 //
 //	streamloader [-addr :8080] [-topology star] [-nodes 8] [-capacity 100]
-//	             [-seed 42] [-live=true]
+//	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 256]
+//	             [-retain 0]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -43,6 +44,9 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed for the sensor fleet")
 		live     = flag.Bool("live", true, "pace sources in real time (false: replay at full speed)")
 		strategy = flag.String("placement", "locality", "placement strategy: round-robin, random, least-loaded, locality")
+		shards   = flag.Int("shards", warehouse.DefaultShards, "warehouse shard count (rounded up to a power of two)")
+		sinkBuf  = flag.Int("sink-batch", 256, "warehouse sink batch size (negative: per-tuple appends)")
+		retain   = flag.Int("retain", 0, "warehouse retention bound in events (0: unlimited)")
 	)
 	flag.Parse()
 
@@ -71,7 +75,10 @@ func main() {
 	}
 
 	mon := monitor.New()
-	wh := warehouse.New()
+	wh := warehouse.NewSharded(*shards)
+	if *retain > 0 {
+		wh.SetRetention(*retain)
+	}
 	board, err := viz.NewBoard(geo.Osaka, 40, 20, "")
 	if err != nil {
 		log.Fatalf("building viz board: %v", err)
@@ -86,11 +93,12 @@ func main() {
 		log.Fatalf("placement: %v", err)
 	}
 	exec, err := executor.New(executor.Config{
-		Network:  net,
-		Broker:   broker,
-		Strategy: strat,
-		Monitor:  mon,
-		Clock:    clock,
+		Network:   net,
+		Broker:    broker,
+		Strategy:  strat,
+		Monitor:   mon,
+		Clock:     clock,
+		SinkBatch: *sinkBuf,
 		Sensors: func(id string) (executor.SensorSource, bool) {
 			s, ok := sensors[id]
 			return s, ok

@@ -1,0 +1,3 @@
+module streamloader
+
+go 1.24

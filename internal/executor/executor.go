@@ -73,6 +73,13 @@ type Config struct {
 	// SampleEvery is the event-time interval between monitor samples
 	// (default 1s).
 	SampleEvery time.Duration
+	// SinkBatch is the buffering batch size applied in front of factory
+	// sinks that support batched accepts (the warehouse). Default 256;
+	// negative disables sink buffering.
+	SinkBatch int
+	// SinkMaxAge bounds how long a tuple may sit in a sink buffer before
+	// an age-based flush (default 50ms).
+	SinkMaxAge time.Duration
 }
 
 // Executor deploys dataflows.
@@ -103,6 +110,12 @@ func New(cfg Config) (*Executor, error) {
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = time.Second
 	}
+	if cfg.SinkBatch == 0 {
+		cfg.SinkBatch = 256
+	}
+	if cfg.SinkMaxAge <= 0 {
+		cfg.SinkMaxAge = 50 * time.Millisecond
+	}
 	return &Executor{cfg: cfg}, nil
 }
 
@@ -132,11 +145,11 @@ type Deployment struct {
 	reqs      []dsn.Request
 	running   bool
 
-	sourcePos map[string]time.Time // resume position per source node
-	collected map[string][]*stt.Tuple
-	fires     []ops.FireEvent
-	srcCtrs   map[string]*ops.Counters
-	sinkCtrs  map[string]*ops.Counters
+	sourcePos  map[string]time.Time // resume position per source node
+	collectors map[string]*collectSink
+	fires      []ops.FireEvent
+	srcCtrs    map[string]*ops.Counters
+	sinkCtrs   map[string]*ops.Counters
 
 	lastSample time.Time
 	stopCh     chan struct{}
@@ -148,12 +161,12 @@ type Deployment struct {
 // will start them); every other source sensor is activated.
 func (e *Executor) Deploy(spec *dataflow.Spec) (*Deployment, error) {
 	d := &Deployment{
-		exec:      e,
-		spec:      spec,
-		sourcePos: map[string]time.Time{},
-		collected: map[string][]*stt.Tuple{},
-		srcCtrs:   map[string]*ops.Counters{},
-		sinkCtrs:  map[string]*ops.Counters{},
+		exec:       e,
+		spec:       spec,
+		sourcePos:  map[string]time.Time{},
+		collectors: map[string]*collectSink{},
+		srcCtrs:    map[string]*ops.Counters{},
+		sinkCtrs:   map[string]*ops.Counters{},
 	}
 	if err := d.compileAndConfigure(spec); err != nil {
 		return nil, err
@@ -344,13 +357,29 @@ func (d *Deployment) Placement() map[string]string {
 	return out
 }
 
-// Collected returns the tuples gathered by a "collect" sink.
+// Collected returns the tuples gathered by a "collect" sink (merged across
+// runs; each sink buffers under its own lock).
 func (d *Deployment) Collected(sinkID string) []*stt.Tuple {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]*stt.Tuple, len(d.collected[sinkID]))
-	copy(out, d.collected[sinkID])
-	return out
+	c := d.collectors[sinkID]
+	d.mu.RUnlock()
+	if c == nil {
+		return []*stt.Tuple{}
+	}
+	return c.snapshot()
+}
+
+// collector returns the named collect sink, creating it on first use so
+// collected tuples accumulate across runs of the same deployment.
+func (d *Deployment) collector(sinkID string) *collectSink {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := d.collectors[sinkID]
+	if c == nil {
+		c = &collectSink{}
+		d.collectors[sinkID] = c
+	}
+	return c
 }
 
 // Fires returns the trigger decisions observed so far.

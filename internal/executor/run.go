@@ -131,7 +131,9 @@ func (d *Deployment) Run(from, to time.Time) error {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				d.runSink(pn, sink, ins)
+				if err := d.runSink(pn, sink, ins); err != nil {
+					fail(err)
+				}
 			}()
 
 		default:
@@ -272,8 +274,10 @@ func (d *Deployment) route(pn *dataflow.PlanNode, mid *stream.Stream, outs []*st
 	}
 }
 
-// runSink drains the sink's inputs into its destination.
-func (d *Deployment) runSink(pn *dataflow.PlanNode, sink Sink, ins []*stream.Stream) {
+// runSink drains the sink's inputs into its destination. A Close failure is
+// returned: for buffered sinks it means the final drain (or an asynchronous
+// age flush) lost tuples, which must surface as a run error.
+func (d *Deployment) runSink(pn *dataflow.PlanNode, sink Sink, ins []*stream.Stream) error {
 	ctr := d.sinkCtrs[pn.ID]
 	for _, in := range ins {
 		for item := range in.C {
@@ -294,14 +298,17 @@ func (d *Deployment) runSink(pn *dataflow.PlanNode, sink Sink, ins []*stream.Str
 			}
 		}
 	}
-	_ = sink.Close()
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("executor: sink %s: %w", pn.ID, err)
+	}
+	return nil
 }
 
 // buildSink realizes a sink node's destination.
 func (d *Deployment) buildSink(pn *dataflow.PlanNode, nodeID string) (Sink, error) {
 	switch pn.SinkKind {
 	case "collect":
-		return &collectSink{d: d, id: pn.ID}, nil
+		return d.collector(pn.ID), nil
 	case "discard":
 		return discardSink{}, nil
 	default:
@@ -315,7 +322,20 @@ func (d *Deployment) buildSink(pn *dataflow.PlanNode, nodeID string) (Sink, erro
 				schema = up.OutSchema
 			}
 		}
-		return d.exec.cfg.Sinks(pn.SinkKind, nodeID, schema)
+		sink, err := d.exec.cfg.Sinks(pn.SinkKind, nodeID, schema)
+		if err != nil {
+			return nil, err
+		}
+		// Batch-capable destinations (the warehouse) get a buffering
+		// front so the dataflow pays one shard lock round-trip per batch
+		// instead of per tuple; Close drains, so Run still hands the
+		// complete output downstream before returning.
+		if batch := d.exec.cfg.SinkBatch; batch > 0 {
+			if bs, ok := sink.(BatchSink); ok {
+				return newBufferedSink(bs, batch, d.exec.cfg.SinkMaxAge), nil
+			}
+		}
+		return sink, nil
 	}
 }
 

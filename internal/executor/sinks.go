@@ -1,24 +1,40 @@
 package executor
 
-import "streamloader/internal/stt"
+import (
+	"sync"
+	"time"
+
+	"streamloader/internal/stt"
+)
 
 // collectSink gathers tuples into the deployment for inspection, the
-// destination tests and the design environment use.
+// destination tests and the design environment use. Each sink owns its
+// buffer and lock, so parallel sinks of one deployment never contend on
+// the shared Deployment.mu; readers merge on read via Collected.
 type collectSink struct {
-	d  *Deployment
-	id string
+	mu  sync.Mutex
+	buf []*stt.Tuple
 }
 
 // Accept stores the tuple.
 func (s *collectSink) Accept(t *stt.Tuple) error {
-	s.d.mu.Lock()
-	s.d.collected[s.id] = append(s.d.collected[s.id], t)
-	s.d.mu.Unlock()
+	s.mu.Lock()
+	s.buf = append(s.buf, t)
+	s.mu.Unlock()
 	return nil
 }
 
 // Close is a no-op; collected tuples stay available after the run.
 func (s *collectSink) Close() error { return nil }
+
+// snapshot copies the collected tuples.
+func (s *collectSink) snapshot() []*stt.Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*stt.Tuple, len(s.buf))
+	copy(out, s.buf)
+	return out
+}
 
 // discardSink drops everything (throughput benchmarks).
 type discardSink struct{}
@@ -28,3 +44,116 @@ func (discardSink) Accept(*stt.Tuple) error { return nil }
 
 // Close is a no-op.
 func (discardSink) Close() error { return nil }
+
+// BatchSink is the optional capability of a Sink to accept many tuples in
+// one call (the warehouse implements it via AppendBatch). Factory sinks
+// exposing it are wrapped in a buffering sink, so dataflows stop paying
+// one sink lock round-trip per tuple.
+type BatchSink interface {
+	Sink
+	AcceptBatch([]*stt.Tuple) error
+}
+
+// bufferedSink batches tuples in front of a BatchSink. It flushes when the
+// buffer reaches size tuples or on an age tick (so a stalled stream still
+// lands within ~2×maxAge of wall time), and drains on Close, so a completed
+// run always observes its full output downstream.
+type bufferedSink struct {
+	dst      BatchSink
+	size     int
+	ticker   *time.Ticker
+	done     chan struct{}
+	loopDone chan struct{}
+
+	mu       sync.Mutex
+	buf      []*stt.Tuple
+	flushErr error // first asynchronous flush failure, surfaced by Close
+}
+
+// newBufferedSink wraps dst; size and maxAge must be positive.
+func newBufferedSink(dst BatchSink, size int, maxAge time.Duration) *bufferedSink {
+	b := &bufferedSink{
+		dst:      dst,
+		size:     size,
+		ticker:   time.NewTicker(maxAge),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go b.ageLoop()
+	return b
+}
+
+// ageLoop flushes any buffered tuples on each tick until Close.
+func (b *bufferedSink) ageLoop() {
+	defer close(b.loopDone)
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-b.ticker.C:
+			if err := b.flush(); err != nil {
+				b.mu.Lock()
+				if b.flushErr == nil {
+					b.flushErr = err
+				}
+				b.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Accept buffers the tuple, flushing the batch once it reaches size. A
+// flush failure is returned AND recorded in flushErr: the whole batch is
+// lost, not just this tuple, so the loss must also surface as a run error
+// when Close propagates it.
+func (b *bufferedSink) Accept(t *stt.Tuple) error {
+	b.mu.Lock()
+	b.buf = append(b.buf, t)
+	if len(b.buf) < b.size {
+		b.mu.Unlock()
+		return nil
+	}
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if err := b.dst.AcceptBatch(batch); err != nil {
+		b.mu.Lock()
+		if b.flushErr == nil {
+			b.flushErr = err
+		}
+		b.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// flush hands any buffered tuples to the destination.
+func (b *bufferedSink) flush() error {
+	b.mu.Lock()
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return b.dst.AcceptBatch(batch)
+}
+
+// Close drains the buffer and closes the destination. It waits out any
+// in-flight age flush first, so every accepted tuple has reached the
+// destination by the time Close returns.
+func (b *bufferedSink) Close() error {
+	b.ticker.Stop()
+	close(b.done)
+	<-b.loopDone
+	err := b.flush()
+	b.mu.Lock()
+	if err == nil {
+		err = b.flushErr
+	}
+	b.mu.Unlock()
+	if cerr := b.dst.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,166 @@
+package executor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+var sinkSchema = stt.MustSchema([]stt.Field{
+	stt.NewField("v", stt.KindFloat, ""),
+}, stt.GranSecond, stt.SpatPoint, "test")
+
+func sinkTuple(i int) *stt.Tuple {
+	tup := &stt.Tuple{
+		Schema: sinkSchema,
+		Values: []stt.Value{stt.Float(float64(i))},
+		Time:   time.Date(2016, 3, 15, 0, 0, i, 0, time.UTC),
+		Lat:    34.7, Lon: 135.5,
+		Theme:  "test",
+		Source: "s-1",
+	}
+	return tup.AlignSTT()
+}
+
+// recordingBatchSink records the batch sizes it receives.
+type recordingBatchSink struct {
+	mu      sync.Mutex
+	batches [][]*stt.Tuple
+	closed  bool
+}
+
+func (r *recordingBatchSink) Accept(t *stt.Tuple) error { return r.AcceptBatch([]*stt.Tuple{t}) }
+
+func (r *recordingBatchSink) AcceptBatch(ts []*stt.Tuple) error {
+	r.mu.Lock()
+	cp := make([]*stt.Tuple, len(ts))
+	copy(cp, ts)
+	r.batches = append(r.batches, cp)
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recordingBatchSink) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recordingBatchSink) total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, b := range r.batches {
+		n += len(b)
+	}
+	return n
+}
+
+func TestBufferedSinkSizeFlush(t *testing.T) {
+	rec := &recordingBatchSink{}
+	b := newBufferedSink(rec, 4, time.Hour)
+	for i := 0; i < 10; i++ {
+		if err := b.Accept(sinkTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.mu.Lock()
+	flushed := len(rec.batches)
+	rec.mu.Unlock()
+	if flushed != 2 { // two full batches of 4; 2 tuples still buffered
+		t.Fatalf("flushed %d batches, want 2", flushed)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.total(); got != 10 {
+		t.Fatalf("after close %d tuples delivered, want 10", got)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if !rec.closed {
+		t.Error("Close must close the destination")
+	}
+	// Batch order must preserve accept order.
+	i := 0
+	for _, batch := range rec.batches {
+		for _, tup := range batch {
+			if tup.MustGet("v").AsFloat() != float64(i) {
+				t.Fatalf("tuple %d out of order", i)
+			}
+			i++
+		}
+	}
+}
+
+func TestBufferedSinkAgeFlush(t *testing.T) {
+	rec := &recordingBatchSink{}
+	b := newBufferedSink(rec, 1000, 5*time.Millisecond)
+	if err := b.Accept(sinkTuple(0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rec.total() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("age flush never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferedSinkFlushError(t *testing.T) {
+	fail := &failingBatchSink{}
+	b := newBufferedSink(fail, 1000, time.Hour)
+	if err := b.Accept(sinkTuple(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err == nil {
+		t.Fatal("Close must surface the drain failure")
+	}
+}
+
+type failingBatchSink struct{}
+
+func (failingBatchSink) Accept(*stt.Tuple) error        { return fmt.Errorf("boom") }
+func (failingBatchSink) AcceptBatch([]*stt.Tuple) error { return fmt.Errorf("boom") }
+func (failingBatchSink) Close() error                   { return nil }
+
+func TestCollectSinksDoNotShareLocks(t *testing.T) {
+	// Two collect sinks of one deployment accept concurrently; each buffers
+	// under its own lock and Collected merges on read.
+	d := &Deployment{collectors: map[string]*collectSink{}}
+	a, b := d.collector("a"), d.collector("b")
+	if d.collector("a") != a {
+		t.Fatal("collector must be reused across calls")
+	}
+	var wg sync.WaitGroup
+	for _, s := range []*collectSink{a, b} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := s.Accept(sinkTuple(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(d.Collected("a")); got != 500 {
+		t.Errorf("collected a = %d", got)
+	}
+	if got := len(d.Collected("b")); got != 500 {
+		t.Errorf("collected b = %d", got)
+	}
+	if got := d.Collected("missing"); len(got) != 0 {
+		t.Errorf("unknown sink = %v", got)
+	}
+}

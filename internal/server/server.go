@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -76,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/network", s.handleNetwork)
 	mux.HandleFunc("GET /api/events", s.handleEvents)
 	mux.HandleFunc("GET /api/warehouse/stats", s.handleWarehouseStats)
+	mux.HandleFunc("GET /api/warehouse/query", s.handleWarehouseQuery)
 	mux.HandleFunc("GET /api/viz", s.handleViz)
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
@@ -445,6 +447,71 @@ func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Warehouse.Stats())
+}
+
+// handleWarehouseQuery runs an STT query against the Event Data Warehouse:
+// ?from=&to= (RFC3339), ®ion=minLat,minLon,maxLat,maxLon, &themes= and
+// &sources= (comma-separated), &cond= (payload condition), &limit=. The
+// select fans out across the warehouse shards and merges in time order.
+func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
+	if s.Warehouse == nil {
+		writeError(w, http.StatusNotFound, "no warehouse configured")
+		return
+	}
+	var q warehouse.Query
+	params := r.URL.Query()
+	var err error
+	if v := params.Get("from"); v != "" {
+		if q.From, err = time.Parse(time.RFC3339, v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad from: %v", err)
+			return
+		}
+	}
+	if v := params.Get("to"); v != "" {
+		if q.To, err = time.Parse(time.RFC3339, v); err != nil {
+			writeError(w, http.StatusBadRequest, "bad to: %v", err)
+			return
+		}
+	}
+	if v := params.Get("region"); v != "" {
+		var minLat, minLon, maxLat, maxLon float64
+		if _, err := fmt.Sscanf(v, "%f,%f,%f,%f", &minLat, &minLon, &maxLat, &maxLon); err != nil {
+			writeError(w, http.StatusBadRequest, "bad region (want minLat,minLon,maxLat,maxLon): %v", err)
+			return
+		}
+		rect := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
+		q.Region = &rect
+	}
+	if v := params.Get("themes"); v != "" {
+		q.Themes = strings.Split(v, ",")
+	}
+	if v := params.Get("sources"); v != "" {
+		q.Sources = strings.Split(v, ",")
+	}
+	q.Cond = params.Get("cond")
+	q.Limit = 100
+	if v := params.Get("limit"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 || parsed > 10000 {
+			writeError(w, http.StatusBadRequest, "limit must be 1..10000")
+			return
+		}
+		q.Limit = parsed
+	}
+	evs, err := s.Warehouse.Select(q)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	type eventView struct {
+		Seq   uint64         `json:"seq"`
+		Event map[string]any `json:"event"`
+	}
+	out := make([]eventView, 0, len(evs))
+	for _, ev := range evs {
+		out = append(out, eventView{Seq: ev.Seq, Event: ev.Tuple.Map()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "events": out})
 }
 
 func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {

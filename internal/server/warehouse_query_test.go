@@ -1,0 +1,93 @@
+package server
+
+import (
+	"net/url"
+	"testing"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+var queryWeather = stt.MustSchema([]stt.Field{
+	stt.NewField("temperature", stt.KindFloat, "celsius"),
+}, stt.GranMinute, stt.SpatPoint, "weather")
+
+func queryTuples(n int) []*stt.Tuple {
+	base := time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+	out := make([]*stt.Tuple, n)
+	for i := range out {
+		tup := &stt.Tuple{
+			Schema: queryWeather,
+			Values: []stt.Value{stt.Float(float64(15 + i))},
+			Time:   base.Add(time.Duration(i) * time.Minute),
+			Lat:    34.70, Lon: 135.50,
+			Theme:  "weather",
+			Source: "station-1",
+		}
+		out[i] = tup.AlignSTT()
+	}
+	return out
+}
+
+func TestWarehouseQuery(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+
+	var res struct {
+		Count  int `json:"count"`
+		Events []struct {
+			Seq   uint64         `json:"seq"`
+			Event map[string]any `json:"event"`
+		} `json:"events"`
+	}
+	u := ts.URL + "/api/warehouse/query?themes=weather&cond=" + url.QueryEscape("temperature > 19")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("query status = %d", code)
+	}
+	// temperatures 15..24: five exceed 19.
+	if res.Count != 5 || len(res.Events) != 5 {
+		t.Fatalf("count = %d, events = %d, want 5", res.Count, len(res.Events))
+	}
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Seq < res.Events[i-1].Seq {
+			t.Error("results out of order")
+		}
+	}
+
+	// Limit caps the result at the earliest events.
+	res.Events = nil
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=3", &res); code != 200 {
+		t.Fatalf("limit query status = %d", code)
+	}
+	if res.Count != 3 {
+		t.Fatalf("limited count = %d, want 3", res.Count)
+	}
+
+	// Time-range constraint.
+	res.Events = nil
+	u = ts.URL + "/api/warehouse/query?from=" + url.QueryEscape("2016-03-15T00:02:00Z") +
+		"&to=" + url.QueryEscape("2016-03-15T00:05:00Z")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("range query status = %d", code)
+	}
+	if res.Count != 3 {
+		t.Fatalf("range count = %d, want 3", res.Count)
+	}
+}
+
+func TestWarehouseQueryBadParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{
+		"from=yesterday",
+		"to=later",
+		"region=1,2,3",
+		"limit=0",
+		"limit=abc",
+	} {
+		if code := getJSON(t, ts.URL+"/api/warehouse/query?"+q, nil); code != 400 {
+			t.Errorf("query %q status = %d, want 400", q, code)
+		}
+	}
+}

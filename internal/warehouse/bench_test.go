@@ -1,10 +1,13 @@
 package warehouse
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/stt"
 )
 
 // benchLoaded builds a warehouse with n weather events spread over a day
@@ -30,6 +33,137 @@ func BenchmarkAppend(b *testing.B) {
 		tup := wTuple(time.Duration(i)*time.Second, 20, "s", 34.7, 135.5)
 		if err := w.Append(tup); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// producerStreams pre-builds one monotone tuple stream per producer (one
+// source each), with producers offset from each other by a small clock skew
+// — the realistic shape of a heterogeneous fleet. Under a single global
+// time index, interleaved skewed producers force mid-index insertions (the
+// O(n) `byTime` insertion this package's sharding removes); with per-source
+// shards each stream appends in order.
+func producerStreams(producers, perProducer int) [][]*stt.Tuple {
+	streams := make([][]*stt.Tuple, producers)
+	for p := range streams {
+		stream := make([]*stt.Tuple, perProducer)
+		skew := time.Duration(p) * time.Minute
+		for i := range stream {
+			stream[i] = wTuple(skew+time.Duration(i)*time.Second, float64(10+i%25),
+				fmt.Sprintf("src-%d", p), 34.4+float64(i%50)*0.01, 135.2+float64(i%50)*0.01)
+		}
+		streams[p] = stream
+	}
+	return streams
+}
+
+// benchConcurrentIngest runs `producers` goroutines, each appending its own
+// source stream into a fresh warehouse per iteration. shards=1 is the old
+// single-lock store; the sharded configurations demonstrate the ingest
+// speedup the acceptance criteria require. batch > 1 drives AppendBatch.
+func benchConcurrentIngest(b *testing.B, shards, producers, batch int) {
+	const perProducer = 5_000
+	streams := producerStreams(producers, perProducer)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		w := NewSharded(shards)
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				stream := streams[p]
+				if batch <= 1 {
+					for _, tup := range stream {
+						if err := w.Append(tup); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					return
+				}
+				for i := 0; i < len(stream); i += batch {
+					end := min(i+batch, len(stream))
+					if err := w.AppendBatch(stream[i:end]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*producers*perProducer)/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkIngestConcurrent(b *testing.B) {
+	const producers = 8
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchConcurrentIngest(b, shards, producers, 1)
+		})
+	}
+}
+
+func BenchmarkIngestBatchConcurrent(b *testing.B) {
+	const producers = 8
+	for _, batch := range []int{16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchConcurrentIngest(b, DefaultShards, producers, batch)
+		})
+	}
+}
+
+// benchLoadedSharded fills a warehouse with n events over 16 sources.
+func benchLoadedSharded(b *testing.B, shards, n int) *Warehouse {
+	b.Helper()
+	w := NewSharded(shards)
+	batch := make([]*stt.Tuple, 0, 1024)
+	for i := 0; i < n; i++ {
+		batch = append(batch, wTuple(time.Duration(i)*time.Second, float64(10+i%25),
+			fmt.Sprintf("src-%d", i%16), 34.4+float64(i%50)*0.01, 135.2+float64(i%50)*0.01))
+		if len(batch) == cap(batch) {
+			if err := w.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := w.AppendBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSelectFanout measures concurrent query throughput: readers issue
+// time-range selects while the per-shard scans run in parallel.
+func BenchmarkSelectFanout(b *testing.B) {
+	for _, shards := range []int{1, 16} {
+		for _, readers := range []int{4, 16} {
+			b.Run(fmt.Sprintf("shards=%d/readers=%d", shards, readers), func(b *testing.B) {
+				w := benchLoadedSharded(b, shards, 200_000)
+				q := Query{From: t0.Add(6 * time.Hour), To: t0.Add(7 * time.Hour)}
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for i := r; i < b.N; i += readers {
+							if _, err := w.Select(q); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			})
 		}
 	}
 }

@@ -1,0 +1,296 @@
+package warehouse
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"streamloader/internal/expr"
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+// shard is one lock-and-index partition of the warehouse. Events are routed
+// to shards by source hash, so a sensor's per-source segment stays entirely
+// shard-local and producers of distinct sources never contend.
+type shard struct {
+	mu     sync.RWMutex
+	events []Event
+
+	// timeIndex: events sorted by event time (ordinal into events).
+	// Maintained sorted on the fly; appends are near-ordered so insertion
+	// position is found by scanning from the end.
+	byTime []int
+	// spatial grid -> event ordinals.
+	byCell map[geo.Cell][]int
+	// theme -> event ordinals.
+	byTheme map[string][]int
+	// source -> event ordinals.
+	bySource map[string][]int
+}
+
+func newShard() *shard {
+	return &shard{
+		byCell:   map[geo.Cell][]int{},
+		byTheme:  map[string][]int{},
+		bySource: map[string][]int{},
+	}
+}
+
+// appendLocked stores one event. Caller holds the write lock.
+func (s *shard) appendLocked(ev Event) {
+	t := ev.Tuple
+	ord := len(s.events)
+	s.events = append(s.events, ev)
+
+	// Insert into the time index, keeping it sorted. Appends usually come
+	// in near time order, so probe a few slots from the end; when the event
+	// is far out of order (skewed producers sharing a shard), fall back to
+	// binary search rather than scanning the whole index.
+	pos := len(s.byTime)
+	for probes := 0; pos > 0 && s.events[s.byTime[pos-1]].Tuple.Time.After(t.Time); probes++ {
+		if probes == 8 {
+			pos = sort.Search(pos, func(i int) bool {
+				return s.events[s.byTime[i]].Tuple.Time.After(t.Time)
+			})
+			break
+		}
+		pos--
+	}
+	s.byTime = append(s.byTime, 0)
+	copy(s.byTime[pos+1:], s.byTime[pos:])
+	s.byTime[pos] = ord
+
+	s.indexLocked(t, ord)
+}
+
+// indexLocked adds the secondary-index entries for the event at ord.
+func (s *shard) indexLocked(t *stt.Tuple, ord int) {
+	cell := geo.CellOf(geo.Point{Lat: t.Lat, Lon: t.Lon}, gridCellDeg)
+	s.byCell[cell] = append(s.byCell[cell], ord)
+	if t.Theme != "" {
+		s.byTheme[t.Theme] = append(s.byTheme[t.Theme], ord)
+	}
+	for _, theme := range t.Schema.Themes {
+		if theme != t.Theme {
+			s.byTheme[theme] = append(s.byTheme[theme], ord)
+		}
+	}
+	if t.Source != "" {
+		s.bySource[t.Source] = append(s.bySource[t.Source], ord)
+	}
+}
+
+// dropOldestLocked evicts the n oldest events (by the time index) and
+// rebuilds all indexes. Caller holds the write lock.
+func (s *shard) dropOldestLocked(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= len(s.byTime) {
+		n = len(s.byTime)
+	}
+	survivors := make([]Event, 0, len(s.byTime)-n)
+	for _, ord := range s.byTime[n:] {
+		survivors = append(survivors, s.events[ord])
+	}
+	s.events = s.events[:0]
+	s.byTime = s.byTime[:0]
+	s.byCell = map[geo.Cell][]int{}
+	s.byTheme = map[string][]int{}
+	s.bySource = map[string][]int{}
+	for i, ev := range survivors {
+		s.events = append(s.events, ev)
+		s.byTime = append(s.byTime, i) // survivors come out time-sorted
+		s.indexLocked(ev.Tuple, i)
+	}
+}
+
+// candidateSet picks the cheapest index for the query and returns candidate
+// ordinals. Caller holds the read lock.
+func (s *shard) candidateSet(q Query) []int {
+	best := []int(nil)
+	bestN := len(s.events) + 1
+
+	consider := func(ords []int) {
+		if len(ords) < bestN {
+			best, bestN = ords, len(ords)
+		}
+	}
+	if len(q.Themes) > 0 {
+		var merged []int
+		for _, th := range q.Themes {
+			merged = append(merged, s.byTheme[th]...)
+		}
+		sort.Ints(merged)
+		merged = dedupeInts(merged)
+		consider(merged)
+	}
+	if len(q.Sources) > 0 {
+		var merged []int
+		for _, src := range q.Sources {
+			merged = append(merged, s.bySource[src]...)
+		}
+		sort.Ints(merged)
+		merged = dedupeInts(merged)
+		consider(merged)
+	}
+	if q.Region != nil {
+		minCell := geo.CellOf(q.Region.Min, gridCellDeg)
+		maxCell := geo.CellOf(q.Region.Max, gridCellDeg)
+		nCells := (maxCell.X - minCell.X + 1) * (maxCell.Y - minCell.Y + 1)
+		// Only use the grid when the region is small enough to enumerate.
+		if nCells > 0 && nCells <= 10000 {
+			var merged []int
+			for x := minCell.X; x <= maxCell.X; x++ {
+				for y := minCell.Y; y <= maxCell.Y; y++ {
+					merged = append(merged, s.byCell[geo.Cell{X: x, Y: y}]...)
+				}
+			}
+			sort.Ints(merged)
+			consider(merged)
+		}
+	}
+	if !q.From.IsZero() || !q.To.IsZero() {
+		// Narrow the time index by binary search.
+		lo, hi := 0, len(s.byTime)
+		if !q.From.IsZero() {
+			lo = sort.Search(len(s.byTime), func(i int) bool {
+				return !s.events[s.byTime[i]].Tuple.Time.Before(q.From)
+			})
+		}
+		if !q.To.IsZero() {
+			hi = sort.Search(len(s.byTime), func(i int) bool {
+				return !s.events[s.byTime[i]].Tuple.Time.Before(q.To)
+			})
+		}
+		if hi < lo {
+			hi = lo
+		}
+		consider(s.byTime[lo:hi])
+	}
+	if best == nil {
+		return s.byTime
+	}
+	return best
+}
+
+func dedupeInts(s []int) []int {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// selectQ evaluates the query against this shard, returning events in
+// (event time, Seq) order, capped at q.Limit when set.
+func (s *shard) selectQ(q Query) ([]Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	conds := map[*stt.Schema]*expr.Compiled{}
+	var out []Event
+	for _, ord := range s.candidateSet(q) {
+		ev := s.events[ord]
+		t := ev.Tuple
+		if !q.From.IsZero() && t.Time.Before(q.From) {
+			continue
+		}
+		if !q.To.IsZero() && !t.Time.Before(q.To) {
+			continue
+		}
+		if q.Region != nil && !q.Region.Contains(geo.Point{Lat: t.Lat, Lon: t.Lon}) {
+			continue
+		}
+		if len(q.Themes) > 0 && !matchTheme(t, q.Themes) {
+			continue
+		}
+		if len(q.Sources) > 0 && !containsString(q.Sources, t.Source) {
+			continue
+		}
+		if q.Cond != "" {
+			c, ok := conds[t.Schema]
+			if !ok {
+				compiled, err := expr.CompileBool(q.Cond, expr.Env{Schema: t.Schema})
+				if err != nil {
+					// The condition does not type-check against this event's
+					// schema: it cannot match events of this shape.
+					conds[t.Schema] = nil
+					continue
+				}
+				c = compiled
+				conds[t.Schema] = c
+			}
+			if c == nil {
+				continue
+			}
+			ok2, err := c.EvalBool(expr.Scope{Tuple: t})
+			if err != nil {
+				return nil, fmt.Errorf("warehouse: evaluating %q: %w", q.Cond, err)
+			}
+			if !ok2 {
+				continue
+			}
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].Tuple.Time.Equal(out[j].Tuple.Time) {
+			return out[i].Tuple.Time.Before(out[j].Tuple.Time)
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	// The globally-earliest Limit events are contained in the union of each
+	// shard's earliest Limit matches, so capping here is safe and keeps the
+	// merge cost bounded.
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, nil
+}
+
+// stats folds this shard's contribution into st under the shard's own
+// read lock; st itself is only touched by the single calling goroutine.
+func (s *shard) stats(st *Stats) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st.Events += len(s.events)
+	st.Sources += len(s.bySource) // sources are shard-local, so sums are exact
+	for theme, ords := range s.byTheme {
+		st.Themes[theme] += len(ords)
+	}
+	if len(s.byTime) > 0 {
+		earliest := s.events[s.byTime[0]].Tuple.Time
+		latest := s.events[s.byTime[len(s.byTime)-1]].Tuple.Time
+		if st.Earliest.IsZero() || earliest.Before(st.Earliest) {
+			st.Earliest = earliest
+		}
+		if st.Latest.IsZero() || latest.After(st.Latest) {
+			st.Latest = latest
+		}
+	}
+}
+
+func matchTheme(t *stt.Tuple, themes []string) bool {
+	for _, want := range themes {
+		if t.Theme == want || t.Schema.HasTheme(want) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

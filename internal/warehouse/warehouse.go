@@ -3,6 +3,13 @@
 // indexed along the three STT dimensions — time, space and theme — with a
 // query API suited to the "further analysis" the paper delegates to it.
 //
+// The store is sharded: events are partitioned by source hash across N
+// power-of-two shards, each with its own lock and time/space/theme/source
+// indexes, so concurrent producers of distinct sources never contend.
+// AppendBatch groups a batch per shard and takes each shard lock once,
+// which is the executor's preferred ingest path. Queries fan out across
+// shards concurrently and merge shard results in event-time order.
+//
 // Events append to per-source segments ordered by event time; a spatial
 // grid index and a theme inverted index accelerate the corresponding query
 // constraints. Queries combine a time range, a region, a theme set and an
@@ -11,17 +18,20 @@ package warehouse
 
 import (
 	"fmt"
-	"sort"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"streamloader/internal/expr"
 	"streamloader/internal/geo"
 	"streamloader/internal/stt"
 )
 
 // gridCellDeg is the spatial index resolution (~1.1 km cells).
 const gridCellDeg = 0.01
+
+// DefaultShards is the shard count New uses; NewSharded overrides it.
+const DefaultShards = 16
 
 // Event is one stored STT event.
 type Event struct {
@@ -48,33 +58,53 @@ type Query struct {
 	Limit int
 }
 
+// sourceSeed keys the shard hash; shared so every warehouse routes a given
+// source to the same shard index for a given shard count.
+var sourceSeed = maphash.MakeSeed()
+
 // Warehouse is the STT event store. Safe for concurrent use.
 type Warehouse struct {
-	mu        sync.RWMutex
-	events    []Event
-	nextID    uint64
-	maxEvents int
-	evicted   uint64
+	shards []*shard
+	mask   uint64
 
-	// timeIndex: events sorted by event time (ordinal into events).
-	// Maintained sorted on the fly; appends are near-ordered so insertion
-	// position is found by binary search from the end.
-	byTime []int
-	// spatial grid -> event ordinals.
-	byCell map[geo.Cell][]int
-	// theme -> event ordinals.
-	byTheme map[string][]int
-	// source -> event ordinals.
-	bySource map[string][]int
+	nextID  atomic.Uint64
+	count   atomic.Int64
+	evicted atomic.Uint64
+
+	// retMu serializes retention changes and global compactions, which
+	// need every shard lock (always taken in shard order).
+	retMu     sync.Mutex
+	maxEvents atomic.Int64
 }
 
-// New creates an empty warehouse.
-func New() *Warehouse {
-	return &Warehouse{
-		byCell:   map[geo.Cell][]int{},
-		byTheme:  map[string][]int{},
-		bySource: map[string][]int{},
+// New creates an empty warehouse with DefaultShards shards.
+func New() *Warehouse { return NewSharded(DefaultShards) }
+
+// NewSharded creates an empty warehouse with n shards, rounded up to a
+// power of two; n < 1 falls back to DefaultShards. One shard degenerates
+// to the original single-lock store.
+func NewSharded(n int) *Warehouse {
+	if n < 1 {
+		n = DefaultShards
 	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	w := &Warehouse{shards: make([]*shard, pow), mask: uint64(pow - 1)}
+	for i := range w.shards {
+		w.shards[i] = newShard()
+	}
+	return w
+}
+
+// NumShards returns the shard count.
+func (w *Warehouse) NumShards() int { return len(w.shards) }
+
+// shardFor routes a source to its shard. Hashing by source keeps each
+// sensor's per-source segment on one shard.
+func (w *Warehouse) shardFor(source string) *shard {
+	return w.shards[maphash.String(sourceSeed, source)&w.mask]
 }
 
 // Append stores one event. The tuple is retained as-is and must not be
@@ -83,38 +113,54 @@ func (w *Warehouse) Append(t *stt.Tuple) error {
 	if t == nil || t.Schema == nil {
 		return fmt.Errorf("warehouse: nil tuple")
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ord := len(w.events)
-	w.events = append(w.events, Event{Seq: w.nextID, Tuple: t})
-	w.nextID++
+	s := w.shardFor(t.Source)
+	s.mu.Lock()
+	s.appendLocked(Event{Seq: w.nextID.Add(1) - 1, Tuple: t})
+	w.count.Add(1)
+	s.mu.Unlock()
+	w.maybeCompact()
+	return nil
+}
 
-	// Insert into the time index, keeping it sorted. Appends usually come
-	// in near time order, so scan from the end.
-	pos := len(w.byTime)
-	for pos > 0 && w.events[w.byTime[pos-1]].Tuple.Time.After(t.Time) {
-		pos--
+// AppendBatch stores a batch of events, taking each involved shard lock
+// once instead of once per tuple. The whole batch is validated up front:
+// on error nothing is stored. Tuples are retained as-is, like Append.
+func (w *Warehouse) AppendBatch(tuples []*stt.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
 	}
-	w.byTime = append(w.byTime, 0)
-	copy(w.byTime[pos+1:], w.byTime[pos:])
-	w.byTime[pos] = ord
-
-	cell := geo.CellOf(geo.Point{Lat: t.Lat, Lon: t.Lon}, gridCellDeg)
-	w.byCell[cell] = append(w.byCell[cell], ord)
-	if t.Theme != "" {
-		w.byTheme[t.Theme] = append(w.byTheme[t.Theme], ord)
-	}
-	for _, theme := range t.Schema.Themes {
-		if theme != t.Theme {
-			w.byTheme[theme] = append(w.byTheme[theme], ord)
+	for _, t := range tuples {
+		if t == nil || t.Schema == nil {
+			return fmt.Errorf("warehouse: nil tuple in batch")
 		}
 	}
-	if t.Source != "" {
-		w.bySource[t.Source] = append(w.bySource[t.Source], ord)
+	// Reserve a contiguous Seq block so batch order survives grouping.
+	base := w.nextID.Add(uint64(len(tuples))) - uint64(len(tuples))
+
+	if len(w.shards) == 1 {
+		s := w.shards[0]
+		s.mu.Lock()
+		for i, t := range tuples {
+			s.appendLocked(Event{Seq: base + uint64(i), Tuple: t})
+		}
+		w.count.Add(int64(len(tuples)))
+		s.mu.Unlock()
+	} else {
+		groups := map[*shard][]Event{}
+		for i, t := range tuples {
+			s := w.shardFor(t.Source)
+			groups[s] = append(groups[s], Event{Seq: base + uint64(i), Tuple: t})
+		}
+		for s, evs := range groups {
+			s.mu.Lock()
+			for _, ev := range evs {
+				s.appendLocked(ev)
+			}
+			w.count.Add(int64(len(evs)))
+			s.mu.Unlock()
+		}
 	}
-	if w.maxEvents > 0 && len(w.events) > w.maxEvents {
-		w.compactLocked()
-	}
+	w.maybeCompact()
 	return nil
 }
 
@@ -122,229 +168,175 @@ func (w *Warehouse) Append(t *stt.Tuple) error {
 // event time) are evicted when the bound is exceeded. Zero disables
 // retention (the default).
 func (w *Warehouse) SetRetention(maxEvents int) {
-	w.mu.Lock()
-	w.maxEvents = maxEvents
-	if w.maxEvents > 0 && len(w.events) > w.maxEvents {
-		w.compactLocked()
-	}
-	w.mu.Unlock()
+	w.maxEvents.Store(int64(maxEvents))
+	w.maybeCompact()
 }
 
 // Evicted returns how many events retention has dropped so far.
-func (w *Warehouse) Evicted() uint64 {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.evicted
+func (w *Warehouse) Evicted() uint64 { return w.evicted.Load() }
+
+// Len returns the number of stored events.
+func (w *Warehouse) Len() int { return int(w.count.Load()) }
+
+// maybeCompact runs a global compaction when retention is enabled and the
+// store exceeds the bound. Append paths call it after releasing their shard
+// lock, so compaction can take every shard lock without deadlocking.
+func (w *Warehouse) maybeCompact() {
+	max := w.maxEvents.Load()
+	if max <= 0 || w.count.Load() <= max {
+		return
+	}
+	w.retMu.Lock()
+	defer w.retMu.Unlock()
+	max = w.maxEvents.Load()
+	if max <= 0 || w.count.Load() <= max {
+		return
+	}
+	w.compactAll(int(max))
 }
 
-// compactLocked drops the oldest quarter of the store (amortizing the index
-// rebuild) and rebuilds all indexes. Caller holds the write lock.
-func (w *Warehouse) compactLocked() {
-	keep := w.maxEvents * 3 / 4
+// compactAll drops the globally-oldest events down to 3/4 of the bound
+// (amortizing the index rebuilds). Caller holds retMu; every shard lock is
+// taken, in order, for the duration.
+func (w *Warehouse) compactAll(maxEvents int) {
+	for _, s := range w.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range w.shards {
+			s.mu.Unlock()
+		}
+	}()
+
+	total := 0
+	for _, s := range w.shards {
+		total += len(s.events)
+	}
+	keep := maxEvents * 3 / 4
 	if keep < 1 {
 		keep = 1
 	}
-	if keep >= len(w.byTime) {
+	if keep >= total {
 		return
 	}
-	survivors := make([]Event, 0, keep)
-	for _, ord := range w.byTime[len(w.byTime)-keep:] {
-		survivors = append(survivors, w.events[ord])
-	}
-	w.evicted += uint64(len(w.events) - len(survivors))
-	w.events = w.events[:0]
-	w.byTime = w.byTime[:0]
-	w.byCell = map[geo.Cell][]int{}
-	w.byTheme = map[string][]int{}
-	w.bySource = map[string][]int{}
-	for i, ev := range survivors {
-		t := ev.Tuple
-		w.events = append(w.events, ev)
-		w.byTime = append(w.byTime, i) // survivors come out time-sorted
-		cell := geo.CellOf(geo.Point{Lat: t.Lat, Lon: t.Lon}, gridCellDeg)
-		w.byCell[cell] = append(w.byCell[cell], i)
-		if t.Theme != "" {
-			w.byTheme[t.Theme] = append(w.byTheme[t.Theme], i)
-		}
-		for _, theme := range t.Schema.Themes {
-			if theme != t.Theme {
-				w.byTheme[theme] = append(w.byTheme[theme], i)
+	drop := total - keep
+
+	// The globally-oldest events are a prefix of each shard's time index:
+	// k-way walk the prefixes by (time, Seq) to apportion the drop count.
+	pos := make([]int, len(w.shards))
+	dropN := make([]int, len(w.shards))
+	for i := 0; i < drop; i++ {
+		best := -1
+		var bestTime time.Time
+		var bestSeq uint64
+		for si, s := range w.shards {
+			if pos[si] >= len(s.byTime) {
+				continue
+			}
+			ev := s.events[s.byTime[pos[si]]]
+			if best < 0 || ev.Tuple.Time.Before(bestTime) ||
+				(ev.Tuple.Time.Equal(bestTime) && ev.Seq < bestSeq) {
+				best, bestTime, bestSeq = si, ev.Tuple.Time, ev.Seq
 			}
 		}
-		if t.Source != "" {
-			w.bySource[t.Source] = append(w.bySource[t.Source], i)
-		}
+		pos[best]++
+		dropN[best]++
 	}
+	for si, s := range w.shards {
+		s.dropOldestLocked(dropN[si])
+	}
+	w.evicted.Add(uint64(drop))
+	// All shard locks are held, so no append races this adjustment.
+	w.count.Add(int64(-drop))
 }
 
-// Len returns the number of stored events.
-func (w *Warehouse) Len() int {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return len(w.events)
-}
-
-// candidateSet picks the cheapest index for the query and returns candidate
-// ordinals (nil means "scan the time index"). Caller holds the read lock.
-func (w *Warehouse) candidateSet(q Query) []int {
-	best := []int(nil)
-	bestN := len(w.events) + 1
-
-	consider := func(ords []int) {
-		if len(ords) < bestN {
-			best, bestN = ords, len(ords)
-		}
-	}
-	if len(q.Themes) > 0 {
-		var merged []int
-		for _, th := range q.Themes {
-			merged = append(merged, w.byTheme[th]...)
-		}
-		sort.Ints(merged)
-		merged = dedupeInts(merged)
-		consider(merged)
-	}
-	if len(q.Sources) > 0 {
-		var merged []int
-		for _, s := range q.Sources {
-			merged = append(merged, w.bySource[s]...)
-		}
-		sort.Ints(merged)
-		merged = dedupeInts(merged)
-		consider(merged)
-	}
-	if q.Region != nil {
-		minCell := geo.CellOf(q.Region.Min, gridCellDeg)
-		maxCell := geo.CellOf(q.Region.Max, gridCellDeg)
-		nCells := (maxCell.X - minCell.X + 1) * (maxCell.Y - minCell.Y + 1)
-		// Only use the grid when the region is small enough to enumerate.
-		if nCells > 0 && nCells <= 10000 {
-			var merged []int
-			for x := minCell.X; x <= maxCell.X; x++ {
-				for y := minCell.Y; y <= maxCell.Y; y++ {
-					merged = append(merged, w.byCell[geo.Cell{X: x, Y: y}]...)
-				}
+// Select returns the events matching the query, in event-time order.
+// Shards are queried concurrently and their (sorted) results merged; a
+// source-constrained query is routed only to the shards those sources
+// hash to.
+func (w *Warehouse) Select(q Query) ([]Event, error) {
+	shards := w.shards
+	if len(q.Sources) > 0 && len(w.shards) > 1 {
+		seen := make(map[*shard]bool, len(q.Sources))
+		routed := make([]*shard, 0, len(q.Sources))
+		for _, src := range q.Sources {
+			if s := w.shardFor(src); !seen[s] {
+				seen[s] = true
+				routed = append(routed, s)
 			}
-			sort.Ints(merged)
-			consider(merged)
+		}
+		shards = routed
+	}
+	parts := make([][]Event, len(shards))
+	errs := make([]error, len(shards))
+	if len(shards) == 1 {
+		parts[0], errs[0] = shards[0].selectQ(q)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(shards))
+		for i, s := range shards {
+			go func() {
+				defer wg.Done()
+				parts[i], errs[i] = s.selectQ(q)
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	if !q.From.IsZero() || !q.To.IsZero() {
-		// Narrow the time index by binary search.
-		lo, hi := 0, len(w.byTime)
-		if !q.From.IsZero() {
-			lo = sort.Search(len(w.byTime), func(i int) bool {
-				return !w.events[w.byTime[i]].Tuple.Time.Before(q.From)
-			})
-		}
-		if !q.To.IsZero() {
-			hi = sort.Search(len(w.byTime), func(i int) bool {
-				return !w.events[w.byTime[i]].Tuple.Time.Before(q.To)
-			})
-		}
-		if hi < lo {
-			hi = lo
-		}
-		consider(w.byTime[lo:hi])
-	}
-	if best == nil {
-		return w.byTime
-	}
-	return best
+	return mergeEvents(parts, q.Limit), nil
 }
 
-func dedupeInts(s []int) []int {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
+// mergeEvents k-way merges per-shard results already sorted by
+// (time, Seq), honoring the limit.
+func mergeEvents(parts [][]Event, limit int) []Event {
+	nonEmpty := parts[:0]
+	total := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty = append(nonEmpty, p)
+			total += len(p)
 		}
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		out := nonEmpty[0]
+		if limit > 0 && len(out) > limit {
+			out = out[:limit]
+		}
+		return out
+	}
+	if limit > 0 && total > limit {
+		total = limit
+	}
+	out := make([]Event, 0, total)
+	pos := make([]int, len(nonEmpty))
+	for len(out) < total {
+		best := -1
+		for i, p := range nonEmpty {
+			if pos[i] >= len(p) {
+				continue
+			}
+			if best < 0 || eventLess(p[pos[i]], nonEmpty[best][pos[best]]) {
+				best = i
+			}
+		}
+		out = append(out, nonEmpty[best][pos[best]])
+		pos[best]++
 	}
 	return out
 }
 
-// Select returns the events matching the query, in event-time order.
-func (w *Warehouse) Select(q Query) ([]Event, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-
-	conds := map[*stt.Schema]*expr.Compiled{}
-	var out []Event
-	for _, ord := range w.candidateSet(q) {
-		ev := w.events[ord]
-		t := ev.Tuple
-		if !q.From.IsZero() && t.Time.Before(q.From) {
-			continue
-		}
-		if !q.To.IsZero() && !t.Time.Before(q.To) {
-			continue
-		}
-		if q.Region != nil && !q.Region.Contains(geo.Point{Lat: t.Lat, Lon: t.Lon}) {
-			continue
-		}
-		if len(q.Themes) > 0 && !matchTheme(t, q.Themes) {
-			continue
-		}
-		if len(q.Sources) > 0 && !containsString(q.Sources, t.Source) {
-			continue
-		}
-		if q.Cond != "" {
-			c, ok := conds[t.Schema]
-			if !ok {
-				compiled, err := expr.CompileBool(q.Cond, expr.Env{Schema: t.Schema})
-				if err != nil {
-					// The condition does not type-check against this event's
-					// schema: it cannot match events of this shape.
-					conds[t.Schema] = nil
-					continue
-				}
-				c = compiled
-				conds[t.Schema] = c
-			}
-			if c == nil {
-				continue
-			}
-			ok2, err := c.EvalBool(expr.Scope{Tuple: t})
-			if err != nil {
-				return nil, fmt.Errorf("warehouse: evaluating %q: %w", q.Cond, err)
-			}
-			if !ok2 {
-				continue
-			}
-		}
-		out = append(out, ev)
+func eventLess(a, b Event) bool {
+	if !a.Tuple.Time.Equal(b.Tuple.Time) {
+		return a.Tuple.Time.Before(b.Tuple.Time)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].Tuple.Time.Equal(out[j].Tuple.Time) {
-			return out[i].Tuple.Time.Before(out[j].Tuple.Time)
-		}
-		return out[i].Seq < out[j].Seq
-	})
-	if q.Limit > 0 && len(out) > q.Limit {
-		out = out[:q.Limit]
-	}
-	return out, nil
-}
-
-func matchTheme(t *stt.Tuple, themes []string) bool {
-	for _, want := range themes {
-		if t.Theme == want || t.Schema.HasTheme(want) {
-			return true
-		}
-	}
-	return false
-}
-
-func containsString(s []string, v string) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
+	return a.Seq < b.Seq
 }
 
 // Count returns the number of matching events without materializing them.
@@ -365,28 +357,27 @@ type Stats struct {
 	Latest   time.Time      `json:"latest"`
 }
 
-// Stats computes the summary.
+// Stats computes the summary, folding every shard's contribution.
 func (w *Warehouse) Stats() Stats {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	s := Stats{Events: len(w.events), Sources: len(w.bySource), Themes: map[string]int{}}
-	for theme, ords := range w.byTheme {
-		s.Themes[theme] = len(ords)
+	st := Stats{Themes: map[string]int{}}
+	for _, s := range w.shards {
+		s.stats(&st)
 	}
-	if len(w.byTime) > 0 {
-		s.Earliest = w.events[w.byTime[0]].Tuple.Time
-		s.Latest = w.events[w.byTime[len(w.byTime)-1]].Tuple.Time
-	}
-	return s
+	return st
 }
 
-// Sink adapts the warehouse to the executor's Sink interface.
+// Sink adapts the warehouse to the executor's Sink interface. It also
+// implements the executor's batch-accept capability, so the executor's
+// buffering sink wrapper can route whole batches to AppendBatch.
 type Sink struct {
 	W *Warehouse
 }
 
 // Accept appends the tuple.
 func (s Sink) Accept(t *stt.Tuple) error { return s.W.Append(t) }
+
+// AcceptBatch appends a batch with one lock round-trip per shard.
+func (s Sink) AcceptBatch(tuples []*stt.Tuple) error { return s.W.AppendBatch(tuples) }
 
 // Close is a no-op; the warehouse outlives deployments.
 func (s Sink) Close() error { return nil }
