@@ -8,7 +8,7 @@
 //
 //	streamloader [-addr :8080] [-topology star] [-nodes 8] [-capacity 100]
 //	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 256]
-//	             [-retain 0]
+//	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -37,16 +37,18 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		topology = flag.String("topology", "star", "network topology: star, line, tree, random")
-		nodes    = flag.Int("nodes", 8, "number of network nodes")
-		capacity = flag.Float64("capacity", 100, "per-node processing capacity")
-		seed     = flag.Int64("seed", 42, "random seed for the sensor fleet")
-		live     = flag.Bool("live", true, "pace sources in real time (false: replay at full speed)")
-		strategy = flag.String("placement", "locality", "placement strategy: round-robin, random, least-loaded, locality")
-		shards   = flag.Int("shards", warehouse.DefaultShards, "warehouse shard count (rounded up to a power of two)")
-		sinkBuf  = flag.Int("sink-batch", 256, "warehouse sink batch size (negative: per-tuple appends)")
-		retain   = flag.Int("retain", 0, "warehouse retention bound in events (0: unlimited)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		topology  = flag.String("topology", "star", "network topology: star, line, tree, random")
+		nodes     = flag.Int("nodes", 8, "number of network nodes")
+		capacity  = flag.Float64("capacity", 100, "per-node processing capacity")
+		seed      = flag.Int64("seed", 42, "random seed for the sensor fleet")
+		live      = flag.Bool("live", true, "pace sources in real time (false: replay at full speed)")
+		strategy  = flag.String("placement", "locality", "placement strategy: round-robin, random, least-loaded, locality")
+		shards    = flag.Int("shards", warehouse.DefaultShards, "warehouse shard count (rounded up to a power of two)")
+		sinkBuf   = flag.Int("sink-batch", 256, "warehouse sink batch size (negative: per-tuple appends)")
+		retain    = flag.Int("retain", 0, "warehouse retention bound in events (0: unlimited)")
+		segEvents = flag.Int("segment-events", warehouse.DefaultSegmentEvents, "events per warehouse segment before rotation")
+		segSpan   = flag.Duration("segment-span", warehouse.DefaultSegmentSpan, "event-time span one warehouse segment covers before rotation")
 	)
 	flag.Parse()
 
@@ -75,7 +77,11 @@ func main() {
 	}
 
 	mon := monitor.New()
-	wh := warehouse.NewSharded(*shards)
+	wh := warehouse.NewWithConfig(warehouse.Config{
+		Shards:        *shards,
+		SegmentEvents: *segEvents,
+		SegmentSpan:   *segSpan,
+	})
 	if *retain > 0 {
 		wh.SetRetention(*retain)
 	}

@@ -58,6 +58,13 @@ type BatchSink interface {
 // buffer reaches size tuples or on an age tick (so a stalled stream still
 // lands within ~2×maxAge of wall time), and drains on Close, so a completed
 // run always observes its full output downstream.
+//
+// A failed flush loses nothing: the batch is re-buffered and retried on the
+// next size trigger, age tick or Close, so a transient destination error is
+// invisible once the tuples eventually land. Only when the destination
+// keeps failing does the sink shed load — Accept rejects new tuples once
+// the backlog reaches maxBacklog flushes' worth — and Close reports the
+// failure rather than success.
 type bufferedSink struct {
 	dst      BatchSink
 	size     int
@@ -65,10 +72,26 @@ type bufferedSink struct {
 	done     chan struct{}
 	loopDone chan struct{}
 
+	// flushMu serializes flushes end to end (take buffer, hand to dst,
+	// re-buffer on failure), so a failed batch cannot interleave with a
+	// concurrent successful flush of newer tuples — which would both
+	// reorder delivery and clear flushErr while the failed batch is still
+	// parked in buf, disarming the maxBacklog shed gate.
+	flushMu sync.Mutex
+
 	mu       sync.Mutex
 	buf      []*stt.Tuple
-	flushErr error // first asynchronous flush failure, surfaced by Close
+	flushErr error // latest unresolved flush failure; cleared when the backlog lands
+	// failedAccepts counts Accepts since the last retry while flushErr is
+	// set: the destination is retried once every size accepts — not per
+	// tuple (a retry storm), and not only on age ticks (which would keep a
+	// full backlog shedding long after the destination recovers).
+	failedAccepts int
 }
+
+// maxBacklog bounds the re-buffered backlog to this many full batches
+// before Accept starts shedding.
+const maxBacklog = 4
 
 // newBufferedSink wraps dst; size and maxAge must be positive.
 func newBufferedSink(dst BatchSink, size int, maxAge time.Duration) *bufferedSink {
@@ -83,7 +106,8 @@ func newBufferedSink(dst BatchSink, size int, maxAge time.Duration) *bufferedSin
 	return b
 }
 
-// ageLoop flushes any buffered tuples on each tick until Close.
+// ageLoop flushes any buffered tuples on each tick until Close; each tick
+// also retries a re-buffered backlog. flush records any failure itself.
 func (b *bufferedSink) ageLoop() {
 	defer close(b.loopDone)
 	for {
@@ -91,44 +115,71 @@ func (b *bufferedSink) ageLoop() {
 		case <-b.done:
 			return
 		case <-b.ticker.C:
-			if err := b.flush(); err != nil {
-				b.mu.Lock()
-				if b.flushErr == nil {
-					b.flushErr = err
-				}
-				b.mu.Unlock()
-			}
+			_ = b.flush()
 		}
 	}
 }
 
 // Accept buffers the tuple, flushing the batch once it reaches size. A
-// flush failure is returned AND recorded in flushErr: the whole batch is
-// lost, not just this tuple, so the loss must also surface as a run error
-// when Close propagates it.
+// flush failure keeps the batch buffered for a later retry, so nothing is
+// lost and Accept stays nil; only when the destination keeps failing and
+// the backlog is full does Accept shed the tuple, returning the recorded
+// error so the caller counts the drop.
 func (b *bufferedSink) Accept(t *stt.Tuple) error {
 	b.mu.Lock()
-	b.buf = append(b.buf, t)
-	if len(b.buf) < b.size {
+	if b.flushErr != nil {
+		b.failedAccepts++
+		retry := b.failedAccepts >= b.size
+		if retry {
+			b.failedAccepts = 0
+		}
+		full := len(b.buf) >= maxBacklog*b.size
+		if !full {
+			b.buf = append(b.buf, t)
+		}
+		err := b.flushErr
 		b.mu.Unlock()
+		if retry && b.flush() == nil {
+			if full {
+				// The backlog just drained: room for the shed tuple after all.
+				b.mu.Lock()
+				b.buf = append(b.buf, t)
+				b.mu.Unlock()
+			}
+			return nil
+		}
+		if full {
+			// Re-check before shedding: a concurrent flush (age tick or
+			// another Accept's retry) may have drained the backlog since
+			// the snapshot above, in which case the tuple fits after all.
+			b.mu.Lock()
+			if b.flushErr == nil || len(b.buf) < maxBacklog*b.size {
+				b.buf = append(b.buf, t)
+				b.mu.Unlock()
+				return nil
+			}
+			err = b.flushErr
+			b.mu.Unlock()
+			return err
+		}
 		return nil
 	}
-	batch := b.buf
-	b.buf = nil
+	b.buf = append(b.buf, t)
+	ripe := len(b.buf) >= b.size
 	b.mu.Unlock()
-	if err := b.dst.AcceptBatch(batch); err != nil {
-		b.mu.Lock()
-		if b.flushErr == nil {
-			b.flushErr = err
-		}
-		b.mu.Unlock()
-		return err
+	if ripe {
+		_ = b.flush() // failure is re-buffered and recorded, not a loss
 	}
 	return nil
 }
 
-// flush hands any buffered tuples to the destination.
+// flush hands the buffered tuples to the destination. On failure the batch
+// is put back at the front of the buffer — preserving accept order — and
+// the error is recorded for Close; on success any recorded error is
+// cleared, because the tuples it covered have now landed.
 func (b *bufferedSink) flush() error {
+	b.flushMu.Lock()
+	defer b.flushMu.Unlock()
 	b.mu.Lock()
 	batch := b.buf
 	b.buf = nil
@@ -136,12 +187,24 @@ func (b *bufferedSink) flush() error {
 	if len(batch) == 0 {
 		return nil
 	}
-	return b.dst.AcceptBatch(batch)
+	if err := b.dst.AcceptBatch(batch); err != nil {
+		b.mu.Lock()
+		b.buf = append(batch, b.buf...)
+		b.flushErr = err
+		b.mu.Unlock()
+		return err
+	}
+	b.mu.Lock()
+	b.flushErr = nil
+	b.mu.Unlock()
+	return nil
 }
 
 // Close drains the buffer and closes the destination. It waits out any
 // in-flight age flush first, so every accepted tuple has reached the
-// destination by the time Close returns.
+// destination by the time Close returns. The final drain is one last retry
+// of any failed backlog: if it succeeds, the earlier failure is moot; if
+// not, Close reports it instead of success.
 func (b *bufferedSink) Close() error {
 	b.ticker.Stop()
 	close(b.done)

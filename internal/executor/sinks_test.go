@@ -132,6 +132,136 @@ func (failingBatchSink) Accept(*stt.Tuple) error        { return fmt.Errorf("boo
 func (failingBatchSink) AcceptBatch([]*stt.Tuple) error { return fmt.Errorf("boom") }
 func (failingBatchSink) Close() error                   { return nil }
 
+// flakyBatchSink fails its first failN AcceptBatch calls, then delegates to
+// the embedded recorder.
+type flakyBatchSink struct {
+	recordingBatchSink
+	mu2   sync.Mutex
+	calls int
+	failN int
+}
+
+func (f *flakyBatchSink) AcceptBatch(ts []*stt.Tuple) error {
+	f.mu2.Lock()
+	f.calls++
+	fail := f.calls <= f.failN
+	f.mu2.Unlock()
+	if fail {
+		return fmt.Errorf("transient boom %d", f.calls)
+	}
+	return f.recordingBatchSink.AcceptBatch(ts)
+}
+
+// TestBufferedSinkFlushRetry is the regression test for the mid-run flush
+// bug: a failed size-triggered flush used to drop the whole batch on the
+// floor while Close still reported success. The batch must instead be
+// retried until it lands, with nothing lost, duplicated or reordered.
+func TestBufferedSinkFlushRetry(t *testing.T) {
+	flaky := &flakyBatchSink{failN: 2}
+	b := newBufferedSink(flaky, 4, time.Hour)
+	for i := 0; i < 10; i++ {
+		if err := b.Accept(sinkTuple(i)); err != nil {
+			t.Fatalf("accept %d: %v (mid-run flush failures must not surface per tuple)", i, err)
+		}
+	}
+	flaky.mu2.Lock()
+	attempts := flaky.calls
+	flaky.mu2.Unlock()
+	if attempts < 2 {
+		t.Fatalf("only %d flush attempts; the failed batch was never retried mid-run", attempts)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close = %v, want success after the drain retry lands", err)
+	}
+	if got := flaky.total(); got != 10 {
+		t.Fatalf("delivered %d tuples, want all 10 despite two failed flushes", got)
+	}
+	i := 0
+	for _, batch := range flaky.batches {
+		for _, tup := range batch {
+			if tup.MustGet("v").AsFloat() != float64(i) {
+				t.Fatalf("tuple %d out of order after retry", i)
+			}
+			i++
+		}
+	}
+}
+
+// TestBufferedSinkAgeFlushRetries: a backlog from a failed flush must be
+// retried by the age ticker, not parked until Close.
+func TestBufferedSinkAgeFlushRetries(t *testing.T) {
+	flaky := &flakyBatchSink{failN: 1}
+	b := newBufferedSink(flaky, 2, 5*time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if err := b.Accept(sinkTuple(i)); err != nil { // first flush fails
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for flaky.total() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("age ticker never retried the failed batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufferedSinkRecoveryAfterBacklogFull: even once the backlog is full
+// and Accept is shedding, the destination must still be retried on the
+// accept path (not just age ticks), so a recovery drains the backlog and
+// later tuples flow again; every accept is either delivered or was shed
+// with an error — never silently lost.
+func TestBufferedSinkRecoveryAfterBacklogFull(t *testing.T) {
+	flaky := &flakyBatchSink{failN: 6}
+	b := newBufferedSink(flaky, 2, time.Hour) // age ticks never fire in-test
+	shed := 0
+	for i := 0; i < 14; i++ {
+		if err := b.Accept(sinkTuple(i)); err != nil {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("full backlog never shed")
+	}
+	if flaky.total() == 0 {
+		t.Fatal("destination recovered but the backlog was never retried from Accept")
+	}
+	if err := b.Accept(sinkTuple(14)); err != nil {
+		t.Fatalf("post-recovery accept: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close after recovery = %v, want success", err)
+	}
+	if got := flaky.total() + shed; got != 15 {
+		t.Errorf("delivered %d + shed %d = %d, want 15 accounted", flaky.total(), shed, got)
+	}
+}
+
+// TestBufferedSinkPersistentFailure: when the destination never recovers,
+// the sink must shed (surfacing the error per Accept once the backlog is
+// full) and Close must report the failure, never success.
+func TestBufferedSinkPersistentFailure(t *testing.T) {
+	b := newBufferedSink(failingBatchSink{}, 2, time.Hour)
+	var shed int
+	for i := 0; i < 20; i++ {
+		if err := b.Accept(sinkTuple(i)); err != nil {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Error("a persistently failing destination must surface shed tuples via Accept")
+	}
+	if shed >= 20 {
+		t.Error("the backlog must hold some tuples for retry, not shed everything")
+	}
+	if err := b.Close(); err == nil {
+		t.Fatal("Close must report the unflushed backlog, not success")
+	}
+}
+
 func TestCollectSinksDoNotShareLocks(t *testing.T) {
 	// Two collect sinks of one deployment accept concurrently; each buffers
 	// under its own lock and Collected merges on read.

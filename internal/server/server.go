@@ -452,7 +452,9 @@ func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
 // handleWarehouseQuery runs an STT query against the Event Data Warehouse:
 // ?from=&to= (RFC3339), ®ion=minLat,minLon,maxLat,maxLon, &themes= and
 // &sources= (comma-separated), &cond= (payload condition), &limit=. The
-// select fans out across the warehouse shards and merges in time order.
+// select fans out across the warehouse shards and merges in time order;
+// the response's "segments" object reports how many time-partitioned
+// segments the query scanned versus pruned by their time envelope.
 func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	if s.Warehouse == nil {
 		writeError(w, http.StatusNotFound, "no warehouse configured")
@@ -498,7 +500,7 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Limit = parsed
 	}
-	evs, err := s.Warehouse.Select(q)
+	evs, qs, err := s.Warehouse.SelectWithStats(q)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -511,7 +513,7 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	for _, ev := range evs {
 		out = append(out, eventView{Seq: ev.Seq, Event: ev.Tuple.Map()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "events": out})
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "events": out, "segments": qs})
 }
 
 func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {

@@ -41,6 +41,10 @@ func TestWarehouseQuery(t *testing.T) {
 			Seq   uint64         `json:"seq"`
 			Event map[string]any `json:"event"`
 		} `json:"events"`
+		Segments struct {
+			Scanned int `json:"segments_scanned"`
+			Pruned  int `json:"segments_pruned"`
+		} `json:"segments"`
 	}
 	u := ts.URL + "/api/warehouse/query?themes=weather&cond=" + url.QueryEscape("temperature > 19")
 	if code := getJSON(t, u, &res); code != 200 {
@@ -74,6 +78,11 @@ func TestWarehouseQuery(t *testing.T) {
 	}
 	if res.Count != 3 {
 		t.Fatalf("range count = %d, want 3", res.Count)
+	}
+	// The query response carries segment-pruning telemetry: ten events in
+	// one fresh segment means exactly one segment was scanned, none pruned.
+	if res.Segments.Scanned != 1 || res.Segments.Pruned != 0 {
+		t.Errorf("segments = %+v, want 1 scanned / 0 pruned", res.Segments)
 	}
 }
 

@@ -204,3 +204,108 @@ func BenchmarkSelectCond(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRetentionUnderIngest measures sustained batched ingest with a
+// retention bound engaged, so every few batches trigger a compaction.
+// Eviction must ride the whole-segment cold path: the evictions/sec and
+// whole-drops/trims metrics make an index-rebuild regression visible.
+func BenchmarkRetentionUnderIngest(b *testing.B) {
+	for _, segEvents := range []int{512, 4096} {
+		b.Run(fmt.Sprintf("segEvents=%d", segEvents), func(b *testing.B) {
+			w := NewWithConfig(Config{Shards: 4, SegmentEvents: segEvents, SegmentSpan: time.Hour})
+			w.SetRetention(20_000)
+			const batchSize = 256
+			batch := make([]*stt.Tuple, batchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					off := time.Duration(i*batchSize+j) * time.Second
+					batch[j] = wTuple(off, 20, fmt.Sprintf("ret-%d", j%8), 34.7, 135.5)
+				}
+				if err := w.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sec := b.Elapsed().Seconds()
+			b.ReportMetric(float64(w.Evicted())/sec, "evictions/sec")
+			b.ReportMetric(float64(b.N*batchSize)/sec, "events/sec")
+			b.ReportMetric(float64(w.segDrops.Load()), "whole-drops")
+			b.ReportMetric(float64(w.segTrims.Load()), "boundary-trims")
+		})
+	}
+}
+
+// BenchmarkSelectSegmentPruning compares a narrow time-range select, which
+// should prune nearly every segment of a wide history, against a full-range
+// select that must scan them all. The %segs-pruned metric tracks the
+// acceptance criterion (>= 90% pruned on the narrow window).
+func BenchmarkSelectSegmentPruning(b *testing.B) {
+	w := NewWithConfig(Config{Shards: 4, SegmentEvents: 1000, SegmentSpan: time.Hour})
+	const n = 200_000 // ~55 hours of seconds -> hundreds of segments
+	batch := make([]*stt.Tuple, 0, 1000)
+	for i := 0; i < n; i++ {
+		batch = append(batch, wTuple(time.Duration(i)*time.Second, float64(10+i%25),
+			fmt.Sprintf("src-%d", i%8), 34.4+float64(i%50)*0.01, 135.2+float64(i%50)*0.01))
+		if len(batch) == cap(batch) {
+			if err := w.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	for name, q := range map[string]Query{
+		"narrow": {From: t0.Add(50 * time.Hour), To: t0.Add(50*time.Hour + 30*time.Minute)},
+		"full":   {From: t0, To: t0.Add(56 * time.Hour)},
+	} {
+		b.Run(name, func(b *testing.B) {
+			var scanned, pruned int
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, qs, err := w.SelectWithStats(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scanned += qs.SegmentsScanned
+				pruned += qs.SegmentsPruned
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			if total := scanned + pruned; total > 0 {
+				b.ReportMetric(100*float64(pruned)/float64(total), "%segs-pruned")
+			}
+		})
+	}
+}
+
+// BenchmarkCountFastPath compares the per-segment counting path against
+// materializing the same events through Select.
+func BenchmarkCountFastPath(b *testing.B) {
+	w := NewWithConfig(Config{Shards: 4, SegmentEvents: 1000, SegmentSpan: time.Hour})
+	for _, streamTuples := range producerStreams(8, 25_000) {
+		if err := w.AppendBatch(streamTuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := Query{From: t0.Add(1 * time.Hour), To: t0.Add(4 * time.Hour)}
+	b.Run("count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Count(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("select", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			evs, err := w.Select(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = evs
+		}
+	})
+}

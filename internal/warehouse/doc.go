@@ -1,0 +1,45 @@
+// Package warehouse is StreamLoader's stand-in for the NICT Event Data
+// Warehouse [6] the paper's dataflows load into: an in-memory event store
+// indexed along the three STT dimensions — time, space and theme — with a
+// query API suited to the "further analysis" the paper delegates to it.
+//
+// # Layout: shards of time-partitioned segments
+//
+// The store is partitioned twice. Events are first routed by source hash
+// across N power-of-two shards, each with its own lock, so concurrent
+// producers of distinct sources never contend; AppendBatch groups a batch
+// per shard and takes each shard lock once, which is the executor's
+// preferred ingest path.
+//
+// Inside a shard, events live in time-partitioned segments. The active
+// "hot" segment absorbs the advancing stream and rotates — is sealed and
+// replaced — once it holds Config.SegmentEvents events or its event-time
+// envelope covers Config.SegmentSpan. Stragglers arriving with event times
+// older than the sealed history are diverted to a side out-of-order
+// segment (rotating on the same bounds), so a late event never stretches a
+// sealed segment's [minTime, maxTime] envelope. Each segment carries its
+// own time index plus spatial-grid, theme and source inverted indexes.
+//
+// # Queries
+//
+// Select fans out across shards concurrently and k-way merges the per-shard
+// results in (event time, Seq) order; a source-constrained query is routed
+// only to the shards those sources hash to. Within a shard, a segment whose
+// envelope misses the query's [From, To) window is pruned outright — none
+// of its indexes are consulted — which keeps small-window queries cheap on
+// a wide history. SelectWithStats exposes the scanned/pruned split per
+// query. Count takes a fast path when no Cond or Limit is set: time-only
+// constraints are answered by binary search on segment time indexes alone,
+// and other constraints are counted without materializing, sorting or
+// merging events.
+//
+// # Retention
+//
+// SetRetention bounds the store; when exceeded, the globally-oldest events
+// (by event time, then insertion Seq) are evicted down to 3/4 of the bound.
+// Eviction is apportioned by walking segment time-index prefixes, and a
+// segment consumed in full is dropped whole off the cold end — an O(1)
+// unlink with no index rebuild. Only the segments straddling the cutoff
+// (at most a handful, each bounded by SegmentEvents) pay a per-event trim
+// and segment-local index rebuild.
+package warehouse

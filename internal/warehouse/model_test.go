@@ -1,0 +1,360 @@
+package warehouse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/stt"
+)
+
+// This file model-checks the segmented warehouse: randomized, seeded
+// operation sequences run against both the real store and a deliberately
+// naive in-memory reference model, and every observable result — Select
+// contents and order, Count, Len, Evicted — must agree. Failing sequences
+// are shrunk to a minimal reproduction before being reported, so a broken
+// invariant prints a handful of operations, not hundreds.
+
+// mop is one generated warehouse operation.
+type mop struct {
+	kind   mopKind
+	tuples []*stt.Tuple // append (1 tuple) / appendBatch
+	q      Query        // selectOp / countOp
+	retain int          // setRetention
+}
+
+type mopKind int
+
+const (
+	opAppend mopKind = iota
+	opAppendBatch
+	opSelect
+	opCount
+	opSetRetention
+)
+
+func (o mop) String() string {
+	switch o.kind {
+	case opAppend:
+		t := o.tuples[0]
+		return fmt.Sprintf("Append{%s @%s}", t.Source, t.Time.Format("15:04:05"))
+	case opAppendBatch:
+		srcs := make([]string, 0, len(o.tuples))
+		for _, t := range o.tuples {
+			srcs = append(srcs, fmt.Sprintf("%s@%s", t.Source, t.Time.Format("15:04:05")))
+		}
+		return fmt.Sprintf("AppendBatch{%s}", strings.Join(srcs, " "))
+	case opSelect:
+		return fmt.Sprintf("Select{%s}", queryString(o.q))
+	case opCount:
+		return fmt.Sprintf("Count{%s}", queryString(o.q))
+	default:
+		return fmt.Sprintf("SetRetention{%d}", o.retain)
+	}
+}
+
+func queryString(q Query) string {
+	var parts []string
+	if !q.From.IsZero() {
+		parts = append(parts, "from="+q.From.Format("15:04:05"))
+	}
+	if !q.To.IsZero() {
+		parts = append(parts, "to="+q.To.Format("15:04:05"))
+	}
+	if q.Region != nil {
+		parts = append(parts, "region")
+	}
+	if len(q.Themes) > 0 {
+		parts = append(parts, "themes="+strings.Join(q.Themes, ","))
+	}
+	if len(q.Sources) > 0 {
+		parts = append(parts, "sources="+strings.Join(q.Sources, ","))
+	}
+	if q.Cond != "" {
+		parts = append(parts, "cond="+q.Cond)
+	}
+	if q.Limit > 0 {
+		parts = append(parts, fmt.Sprintf("limit=%d", q.Limit))
+	}
+	return strings.Join(parts, " ")
+}
+
+// refModel is the naive reference: a flat event list, linear-scan queries,
+// and retention implemented by sorting everything. No shards, no segments,
+// no indexes — just the specification.
+type refModel struct {
+	events  []Event
+	nextSeq uint64
+	retain  int
+	evicted int
+}
+
+func (m *refModel) append(tuples ...*stt.Tuple) {
+	for _, t := range tuples {
+		m.events = append(m.events, Event{Seq: m.nextSeq, Tuple: t})
+		m.nextSeq++
+	}
+	m.compact()
+}
+
+// compact mirrors the warehouse retention contract: when the store exceeds
+// the bound, the globally-oldest events (by event time, then Seq) are
+// dropped down to 3/4 of the bound.
+func (m *refModel) compact() {
+	if m.retain <= 0 || len(m.events) <= m.retain {
+		return
+	}
+	keep := m.retain * 3 / 4
+	if keep < 1 {
+		keep = 1
+	}
+	if keep >= len(m.events) {
+		return
+	}
+	sort.SliceStable(m.events, func(i, j int) bool { return eventLess(m.events[i], m.events[j]) })
+	m.evicted += len(m.events) - keep
+	m.events = append([]Event(nil), m.events[len(m.events)-keep:]...)
+}
+
+func (m *refModel) setRetention(n int) {
+	m.retain = n
+	m.compact()
+}
+
+// selectQ filters and sorts the flat list; condTemp handles the one
+// condition shape the generator emits ("temperature > X") by direct field
+// access, independent of the expr engine under test.
+func (m *refModel) selectQ(q Query) []Event {
+	var out []Event
+	for _, ev := range m.events {
+		if m.matches(ev.Tuple, q) {
+			out = append(out, ev)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return eventLess(out[i], out[j]) })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+func (m *refModel) matches(t *stt.Tuple, q Query) bool {
+	if !q.From.IsZero() && t.Time.Before(q.From) {
+		return false
+	}
+	if !q.To.IsZero() && !t.Time.Before(q.To) {
+		return false
+	}
+	if q.Region != nil && !q.Region.Contains(geo.Point{Lat: t.Lat, Lon: t.Lon}) {
+		return false
+	}
+	if len(q.Themes) > 0 && !matchTheme(t, q.Themes) {
+		return false
+	}
+	if len(q.Sources) > 0 && !containsString(q.Sources, t.Source) {
+		return false
+	}
+	if q.Cond != "" {
+		var threshold float64
+		if _, err := fmt.Sscanf(q.Cond, "temperature > %f", &threshold); err != nil {
+			panic("model: unsupported cond " + q.Cond)
+		}
+		if t.Schema != weather {
+			return false // cond does not type-check against other schemas
+		}
+		if t.MustGet("temperature").AsFloat() <= threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// genOps builds a random op sequence. Times mostly advance (the hot-segment
+// path) with occasional deep stragglers (the out-of-order path), sources
+// come from a small pool so shards see interleaved streams, and retention
+// flips between off, loose and tight bounds.
+func genOps(r *rand.Rand, n int) []mop {
+	sources := []string{"umeda", "namba", "kyoto", "sakai", "kobe", "nara"}
+	clock := 0 // minutes since t0
+	genTuple := func() *stt.Tuple {
+		if r.Intn(5) == 0 {
+			clock += r.Intn(4) // social tuple rides the same clock
+			return sTuple(time.Duration(clock)*time.Minute, fmt.Sprintf("msg-%d", clock))
+		}
+		off := clock
+		if r.Intn(5) == 0 {
+			off -= 30 + r.Intn(300) // straggler, possibly before t0
+		} else {
+			clock += r.Intn(4)
+			off = clock
+		}
+		src := sources[r.Intn(len(sources))]
+		return wTuple(time.Duration(off)*time.Minute, float64(r.Intn(40)),
+			src, 34.4+r.Float64()*0.5, 135.2+r.Float64()*0.5)
+	}
+	genQuery := func() Query {
+		var q Query
+		if r.Intn(2) == 0 {
+			from := r.Intn(clock + 1)
+			q.From = t0.Add(time.Duration(from) * time.Minute)
+			q.To = q.From.Add(time.Duration(1+r.Intn(120)) * time.Minute)
+		}
+		switch r.Intn(4) {
+		case 0:
+			q.Themes = []string{[]string{"weather", "social"}[r.Intn(2)]}
+		case 1:
+			q.Sources = []string{sources[r.Intn(len(sources))], sources[r.Intn(len(sources))]}
+		case 2:
+			lat, lon := 34.4+r.Float64()*0.4, 135.2+r.Float64()*0.4
+			rect := geo.NewRect(geo.Point{Lat: lat, Lon: lon},
+				geo.Point{Lat: lat + 0.2, Lon: lon + 0.2})
+			q.Region = &rect
+		}
+		if r.Intn(4) == 0 {
+			q.Cond = fmt.Sprintf("temperature > %d", r.Intn(40))
+		}
+		if r.Intn(4) == 0 {
+			q.Limit = 1 + r.Intn(20)
+		}
+		return q
+	}
+
+	ops := make([]mop, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := r.Intn(10); {
+		case k < 4:
+			ops = append(ops, mop{kind: opAppend, tuples: []*stt.Tuple{genTuple()}})
+		case k < 6:
+			batch := make([]*stt.Tuple, 1+r.Intn(20))
+			for j := range batch {
+				batch[j] = genTuple()
+			}
+			ops = append(ops, mop{kind: opAppendBatch, tuples: batch})
+		case k < 8:
+			ops = append(ops, mop{kind: opSelect, q: genQuery()})
+		case k < 9:
+			ops = append(ops, mop{kind: opCount, q: genQuery()})
+		default:
+			retain := 0
+			if r.Intn(3) > 0 {
+				retain = 10 + r.Intn(150)
+			}
+			ops = append(ops, mop{kind: opSetRetention, retain: retain})
+		}
+	}
+	return ops
+}
+
+// runOps replays the sequence against a fresh warehouse and model, checking
+// every observable after every op. It returns a description of the first
+// divergence, or "" when the run agrees — side-effect free, so the shrinker
+// can replay candidate subsequences.
+func runOps(cfg Config, ops []mop) string {
+	w := NewWithConfig(cfg)
+	m := &refModel{}
+	for i, op := range ops {
+		switch op.kind {
+		case opAppend:
+			if err := w.Append(op.tuples[0]); err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			m.append(op.tuples[0])
+		case opAppendBatch:
+			if err := w.AppendBatch(op.tuples); err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			m.append(op.tuples...)
+		case opSelect:
+			got, err := w.Select(op.q)
+			if err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			if diff := diffEvents(got, m.selectQ(op.q)); diff != "" {
+				return fmt.Sprintf("op %d %s: %s", i, op, diff)
+			}
+		case opCount:
+			got, err := w.Count(op.q)
+			if err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			if want := len(m.selectQ(op.q)); got != want {
+				return fmt.Sprintf("op %d %s: count = %d, model = %d", i, op, got, want)
+			}
+		case opSetRetention:
+			w.SetRetention(op.retain)
+			m.setRetention(op.retain)
+		}
+		if w.Len() != len(m.events) {
+			return fmt.Sprintf("after op %d %s: Len = %d, model = %d", i, op, w.Len(), len(m.events))
+		}
+		if int(w.Evicted()) != m.evicted {
+			return fmt.Sprintf("after op %d %s: Evicted = %d, model = %d", i, op, w.Evicted(), m.evicted)
+		}
+	}
+	return ""
+}
+
+func diffEvents(got, want []Event) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("select returned %d events, model %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq {
+			return fmt.Sprintf("select[%d].Seq = %d, model %d", i, got[i].Seq, want[i].Seq)
+		}
+	}
+	return ""
+}
+
+// shrinkOps minimizes a failing sequence by chunked delta removal: drop
+// ever-smaller chunks while the failure persists.
+func shrinkOps(ops []mop, fails func([]mop) bool) []mop {
+	for chunk := len(ops) / 2; chunk >= 1; chunk /= 2 {
+		for i := 0; i+chunk <= len(ops); {
+			cand := make([]mop, 0, len(ops)-chunk)
+			cand = append(cand, ops[:i]...)
+			cand = append(cand, ops[i+chunk:]...)
+			if fails(cand) {
+				ops = cand
+			} else {
+				i += chunk
+			}
+		}
+	}
+	return ops
+}
+
+// TestModelCheck drives randomized op sequences across segment-boundary-
+// heavy configurations; the segmented, sharded, index-accelerated store
+// must be observationally identical to the naive model.
+func TestModelCheck(t *testing.T) {
+	configs := []Config{
+		{Shards: 1, SegmentEvents: 4, SegmentSpan: 10 * time.Minute},
+		{Shards: 4, SegmentEvents: 8, SegmentSpan: 30 * time.Minute},
+		{Shards: 2, SegmentEvents: 1, SegmentSpan: time.Minute},                // every event its own segment
+		{Shards: 4, SegmentEvents: 1 << 20, SegmentSpan: 24 * 365 * time.Hour}, // never rotates
+	}
+	const seeds = 25
+	for ci, cfg := range configs {
+		t.Run(fmt.Sprintf("shards=%d/segEvents=%d", cfg.Shards, cfg.SegmentEvents), func(t *testing.T) {
+			for seed := int64(0); seed < seeds; seed++ {
+				ops := genOps(rand.New(rand.NewSource(seed+int64(ci)*1000)), 250)
+				diff := runOps(cfg, ops)
+				if diff == "" {
+					continue
+				}
+				minimal := shrinkOps(ops, func(cand []mop) bool { return runOps(cfg, cand) != "" })
+				var steps []string
+				for _, op := range minimal {
+					steps = append(steps, op.String())
+				}
+				t.Fatalf("seed %d diverges: %s\nminimal reproduction (%d ops):\n  %s",
+					seed, runOps(cfg, minimal), len(minimal), strings.Join(steps, "\n  "))
+			}
+		})
+	}
+}

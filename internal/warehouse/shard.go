@@ -4,255 +4,265 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"streamloader/internal/expr"
 	"streamloader/internal/geo"
 	"streamloader/internal/stt"
 )
 
-// shard is one lock-and-index partition of the warehouse. Events are routed
-// to shards by source hash, so a sensor's per-source segment stays entirely
-// shard-local and producers of distinct sources never contend.
+// segLimits bound the active segments of a shard: a segment rotates once it
+// holds maxEvents events or its time envelope covers maxSpan.
+type segLimits struct {
+	maxEvents int
+	maxSpan   time.Duration
+}
+
+// shard is one lock partition of the warehouse. Events are routed to shards
+// by source hash, so a sensor's stream stays entirely shard-local and
+// producers of distinct sources never contend. Inside the shard, events live
+// in time-partitioned segments: an in-order "hot" segment absorbs the
+// advancing stream and rotates on the segLimits bounds, while stragglers
+// older than the sealed history go to a side "ooo" segment so they never
+// stretch a sealed envelope.
 type shard struct {
-	mu     sync.RWMutex
-	events []Event
+	mu  sync.RWMutex
+	lim segLimits
 
-	// timeIndex: events sorted by event time (ordinal into events).
-	// Maintained sorted on the fly; appends are near-ordered so insertion
-	// position is found by scanning from the end.
-	byTime []int
-	// spatial grid -> event ordinals.
-	byCell map[geo.Cell][]int
-	// theme -> event ordinals.
-	byTheme map[string][]int
-	// source -> event ordinals.
-	bySource map[string][]int
+	// segs holds every segment, sealed and active, in creation order.
+	segs []*segment
+	// hot is the active in-order segment (nil until the next append).
+	hot *segment
+	// ooo is the active out-of-order side segment for stragglers.
+	ooo *segment
+	// sealBound is the highest event time covered by sealed in-order
+	// segments; events older than it are stragglers and go to ooo.
+	sealBound time.Time
+
+	// count is the live event total across segments.
+	count int
+	// sources tracks live events per source, so Stats can count distinct
+	// sources without unioning per-segment indexes.
+	sources map[string]int
 }
 
-func newShard() *shard {
-	return &shard{
-		byCell:   map[geo.Cell][]int{},
-		byTheme:  map[string][]int{},
-		bySource: map[string][]int{},
-	}
+// segScan counts how segment pruning served one shard-local query.
+type segScan struct {
+	scanned, pruned int
 }
 
-// appendLocked stores one event. Caller holds the write lock.
+func newShard(lim segLimits) *shard {
+	return &shard{lim: lim, sources: map[string]int{}}
+}
+
+// appendLocked stores one event, routing it to the hot or out-of-order
+// segment and rotating the target when it fills. Caller holds the write
+// lock.
 func (s *shard) appendLocked(ev Event) {
 	t := ev.Tuple
-	ord := len(s.events)
-	s.events = append(s.events, ev)
-
-	// Insert into the time index, keeping it sorted. Appends usually come
-	// in near time order, so probe a few slots from the end; when the event
-	// is far out of order (skewed producers sharing a shard), fall back to
-	// binary search rather than scanning the whole index.
-	pos := len(s.byTime)
-	for probes := 0; pos > 0 && s.events[s.byTime[pos-1]].Tuple.Time.After(t.Time); probes++ {
-		if probes == 8 {
-			pos = sort.Search(pos, func(i int) bool {
-				return s.events[s.byTime[i]].Tuple.Time.After(t.Time)
-			})
-			break
-		}
-		pos--
+	straggler := !s.sealBound.IsZero() && t.Time.Before(s.sealBound)
+	seg := s.hot
+	if straggler {
+		seg = s.ooo
 	}
-	s.byTime = append(s.byTime, 0)
-	copy(s.byTime[pos+1:], s.byTime[pos:])
-	s.byTime[pos] = ord
-
-	s.indexLocked(t, ord)
-}
-
-// indexLocked adds the secondary-index entries for the event at ord.
-func (s *shard) indexLocked(t *stt.Tuple, ord int) {
-	cell := geo.CellOf(geo.Point{Lat: t.Lat, Lon: t.Lon}, gridCellDeg)
-	s.byCell[cell] = append(s.byCell[cell], ord)
-	if t.Theme != "" {
-		s.byTheme[t.Theme] = append(s.byTheme[t.Theme], ord)
-	}
-	for _, theme := range t.Schema.Themes {
-		if theme != t.Theme {
-			s.byTheme[theme] = append(s.byTheme[theme], ord)
+	if seg == nil {
+		seg = newSegment()
+		s.segs = append(s.segs, seg)
+		if straggler {
+			s.ooo = seg
+		} else {
+			s.hot = seg
 		}
 	}
+	seg.append(ev)
+	s.count++
 	if t.Source != "" {
-		s.bySource[t.Source] = append(s.bySource[t.Source], ord)
+		s.sources[t.Source]++
+	}
+	if seg.len() >= s.lim.maxEvents || seg.maxTime.Sub(seg.minTime) >= s.lim.maxSpan {
+		s.sealLocked(seg)
 	}
 }
 
-// dropOldestLocked evicts the n oldest events (by the time index) and
-// rebuilds all indexes. Caller holds the write lock.
-func (s *shard) dropOldestLocked(n int) {
-	if n <= 0 {
-		return
-	}
-	if n >= len(s.byTime) {
-		n = len(s.byTime)
-	}
-	survivors := make([]Event, 0, len(s.byTime)-n)
-	for _, ord := range s.byTime[n:] {
-		survivors = append(survivors, s.events[ord])
-	}
-	s.events = s.events[:0]
-	s.byTime = s.byTime[:0]
-	s.byCell = map[geo.Cell][]int{}
-	s.byTheme = map[string][]int{}
-	s.bySource = map[string][]int{}
-	for i, ev := range survivors {
-		s.events = append(s.events, ev)
-		s.byTime = append(s.byTime, i) // survivors come out time-sorted
-		s.indexLocked(ev.Tuple, i)
+// sealLocked retires an active segment; the next append in its role starts a
+// fresh one. Sealing the hot segment advances the straggler boundary.
+func (s *shard) sealLocked(seg *segment) {
+	switch seg {
+	case s.hot:
+		s.hot = nil
+		if seg.maxTime.After(s.sealBound) {
+			s.sealBound = seg.maxTime
+		}
+	case s.ooo:
+		s.ooo = nil
 	}
 }
 
-// candidateSet picks the cheapest index for the query and returns candidate
-// ordinals. Caller holds the read lock.
-func (s *shard) candidateSet(q Query) []int {
-	best := []int(nil)
-	bestN := len(s.events) + 1
-
-	consider := func(ords []int) {
-		if len(ords) < bestN {
-			best, bestN = ords, len(ords)
-		}
-	}
-	if len(q.Themes) > 0 {
-		var merged []int
-		for _, th := range q.Themes {
-			merged = append(merged, s.byTheme[th]...)
-		}
-		sort.Ints(merged)
-		merged = dedupeInts(merged)
-		consider(merged)
-	}
-	if len(q.Sources) > 0 {
-		var merged []int
-		for _, src := range q.Sources {
-			merged = append(merged, s.bySource[src]...)
-		}
-		sort.Ints(merged)
-		merged = dedupeInts(merged)
-		consider(merged)
-	}
-	if q.Region != nil {
-		minCell := geo.CellOf(q.Region.Min, gridCellDeg)
-		maxCell := geo.CellOf(q.Region.Max, gridCellDeg)
-		nCells := (maxCell.X - minCell.X + 1) * (maxCell.Y - minCell.Y + 1)
-		// Only use the grid when the region is small enough to enumerate.
-		if nCells > 0 && nCells <= 10000 {
-			var merged []int
-			for x := minCell.X; x <= maxCell.X; x++ {
-				for y := minCell.Y; y <= maxCell.Y; y++ {
-					merged = append(merged, s.byCell[geo.Cell{X: x, Y: y}]...)
+// applyDropsLocked executes a compaction verdict: drops[seg] oldest events
+// leave each segment. Fully-consumed segments are dropped whole — no index
+// is rebuilt — and only boundary segments pay a trim. It returns how many
+// segments were dropped whole and how many were trimmed. Caller holds the
+// write lock.
+func (s *shard) applyDropsLocked(drops map[*segment]int) (wholeDrops, trims int) {
+	kept := s.segs[:0]
+	for _, seg := range s.segs {
+		n := drops[seg]
+		switch {
+		case n <= 0:
+			kept = append(kept, seg)
+		case n >= seg.len():
+			s.dropSourcesLocked(seg.bySource)
+			s.count -= seg.len()
+			if seg == s.hot {
+				s.hot = nil
+			}
+			if seg == s.ooo {
+				s.ooo = nil
+			}
+			wholeDrops++
+		default:
+			for _, ev := range seg.trimOldest(n) {
+				if src := ev.Tuple.Source; src != "" {
+					if s.sources[src]--; s.sources[src] == 0 {
+						delete(s.sources, src)
+					}
 				}
 			}
-			sort.Ints(merged)
-			consider(merged)
+			s.count -= n
+			kept = append(kept, seg)
+			trims++
 		}
 	}
-	if !q.From.IsZero() || !q.To.IsZero() {
-		// Narrow the time index by binary search.
-		lo, hi := 0, len(s.byTime)
-		if !q.From.IsZero() {
-			lo = sort.Search(len(s.byTime), func(i int) bool {
-				return !s.events[s.byTime[i]].Tuple.Time.Before(q.From)
-			})
-		}
-		if !q.To.IsZero() {
-			hi = sort.Search(len(s.byTime), func(i int) bool {
-				return !s.events[s.byTime[i]].Tuple.Time.Before(q.To)
-			})
-		}
-		if hi < lo {
-			hi = lo
-		}
-		consider(s.byTime[lo:hi])
+	for i := len(kept); i < len(s.segs); i++ {
+		s.segs[i] = nil
 	}
-	if best == nil {
-		return s.byTime
-	}
-	return best
+	s.segs = kept
+	return wholeDrops, trims
 }
 
-func dedupeInts(s []int) []int {
-	if len(s) < 2 {
-		return s
-	}
-	out := s[:1]
-	for _, v := range s[1:] {
-		if v != out[len(out)-1] {
-			out = append(out, v)
+// dropSourcesLocked settles the per-source counts for a whole dropped
+// segment.
+func (s *shard) dropSourcesLocked(bySource map[string][]int) {
+	for src, ords := range bySource {
+		if s.sources[src] -= len(ords); s.sources[src] <= 0 {
+			delete(s.sources, src)
 		}
 	}
-	return out
 }
 
 // selectQ evaluates the query against this shard, returning events in
-// (event time, Seq) order, capped at q.Limit when set.
-func (s *shard) selectQ(q Query) ([]Event, error) {
+// (event time, Seq) order, capped at q.Limit when set. Segments whose time
+// envelope misses the query window are pruned without touching any index.
+func (s *shard) selectQ(q Query) ([]Event, segScan, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
+	var sc segScan
 	conds := map[*stt.Schema]*expr.Compiled{}
 	var out []Event
-	for _, ord := range s.candidateSet(q) {
-		ev := s.events[ord]
-		t := ev.Tuple
-		if !q.From.IsZero() && t.Time.Before(q.From) {
+	for _, seg := range s.segs {
+		if seg.prunedBy(q.From, q.To) {
+			sc.pruned++
 			continue
 		}
-		if !q.To.IsZero() && !t.Time.Before(q.To) {
-			continue
-		}
-		if q.Region != nil && !q.Region.Contains(geo.Point{Lat: t.Lat, Lon: t.Lon}) {
-			continue
-		}
-		if len(q.Themes) > 0 && !matchTheme(t, q.Themes) {
-			continue
-		}
-		if len(q.Sources) > 0 && !containsString(q.Sources, t.Source) {
-			continue
-		}
-		if q.Cond != "" {
-			c, ok := conds[t.Schema]
-			if !ok {
-				compiled, err := expr.CompileBool(q.Cond, expr.Env{Schema: t.Schema})
-				if err != nil {
-					// The condition does not type-check against this event's
-					// schema: it cannot match events of this shape.
-					conds[t.Schema] = nil
-					continue
-				}
-				c = compiled
-				conds[t.Schema] = c
-			}
-			if c == nil {
-				continue
-			}
-			ok2, err := c.EvalBool(expr.Scope{Tuple: t})
+		sc.scanned++
+		for _, ord := range seg.candidateSet(q) {
+			ev := seg.events[ord]
+			ok, err := matchEvent(ev, q, conds)
 			if err != nil {
-				return nil, fmt.Errorf("warehouse: evaluating %q: %w", q.Cond, err)
+				return nil, sc, err
 			}
-			if !ok2 {
-				continue
+			if ok {
+				out = append(out, ev)
 			}
 		}
-		out = append(out, ev)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if !out[i].Tuple.Time.Equal(out[j].Tuple.Time) {
-			return out[i].Tuple.Time.Before(out[j].Tuple.Time)
-		}
-		return out[i].Seq < out[j].Seq
-	})
+	sort.SliceStable(out, func(i, j int) bool { return eventLess(out[i], out[j]) })
 	// The globally-earliest Limit events are contained in the union of each
 	// shard's earliest Limit matches, so capping here is safe and keeps the
 	// merge cost bounded.
 	if q.Limit > 0 && len(out) > q.Limit {
 		out = out[:q.Limit]
 	}
-	return out, nil
+	return out, sc, nil
+}
+
+// matchEvent applies every query constraint to one event; conds caches the
+// per-schema compilation of q.Cond across segments.
+func matchEvent(ev Event, q Query, conds map[*stt.Schema]*expr.Compiled) (bool, error) {
+	t := ev.Tuple
+	if !q.From.IsZero() && t.Time.Before(q.From) {
+		return false, nil
+	}
+	if !q.To.IsZero() && !t.Time.Before(q.To) {
+		return false, nil
+	}
+	if q.Region != nil && !q.Region.Contains(geo.Point{Lat: t.Lat, Lon: t.Lon}) {
+		return false, nil
+	}
+	if len(q.Themes) > 0 && !matchTheme(t, q.Themes) {
+		return false, nil
+	}
+	if len(q.Sources) > 0 && !containsString(q.Sources, t.Source) {
+		return false, nil
+	}
+	if q.Cond != "" {
+		c, ok := conds[t.Schema]
+		if !ok {
+			compiled, err := expr.CompileBool(q.Cond, expr.Env{Schema: t.Schema})
+			if err != nil {
+				// The condition does not type-check against this event's
+				// schema: it cannot match events of this shape.
+				conds[t.Schema] = nil
+				return false, nil
+			}
+			c = compiled
+			conds[t.Schema] = c
+		}
+		if c == nil {
+			return false, nil
+		}
+		ok2, err := c.EvalBool(expr.Scope{Tuple: t})
+		if err != nil {
+			return false, fmt.Errorf("warehouse: evaluating %q: %w", q.Cond, err)
+		}
+		if !ok2 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// countQ counts the matching events without materializing or sorting them.
+// Time-only queries never touch individual events: pruned segments are
+// skipped, fully- or partially-covered segments contribute a binary-searched
+// slice of their time index. Only valid for queries without Cond or Limit.
+func (s *shard) countQ(q Query) (int, segScan) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var sc segScan
+	n := 0
+	timeOnly := q.Region == nil && len(q.Themes) == 0 && len(q.Sources) == 0
+	for _, seg := range s.segs {
+		if seg.prunedBy(q.From, q.To) {
+			sc.pruned++
+			continue
+		}
+		sc.scanned++
+		if timeOnly {
+			lo, hi := seg.timeBounds(q.From, q.To)
+			n += hi - lo
+			continue
+		}
+		for _, ord := range seg.candidateSet(q) {
+			// q.Cond is empty here, so matchEvent cannot fail.
+			if ok, _ := matchEvent(seg.events[ord], q, nil); ok {
+				n++
+			}
+		}
+	}
+	return n, sc
 }
 
 // stats folds this shard's contribution into st under the shard's own
@@ -260,19 +270,18 @@ func (s *shard) selectQ(q Query) ([]Event, error) {
 func (s *shard) stats(st *Stats) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st.Events += len(s.events)
-	st.Sources += len(s.bySource) // sources are shard-local, so sums are exact
-	for theme, ords := range s.byTheme {
-		st.Themes[theme] += len(ords)
-	}
-	if len(s.byTime) > 0 {
-		earliest := s.events[s.byTime[0]].Tuple.Time
-		latest := s.events[s.byTime[len(s.byTime)-1]].Tuple.Time
-		if st.Earliest.IsZero() || earliest.Before(st.Earliest) {
-			st.Earliest = earliest
+	st.Events += s.count
+	st.Sources += len(s.sources) // sources are shard-local, so sums are exact
+	st.Segments += len(s.segs)
+	for _, seg := range s.segs {
+		for theme, ords := range seg.byTheme {
+			st.Themes[theme] += len(ords)
 		}
-		if st.Latest.IsZero() || latest.After(st.Latest) {
-			st.Latest = latest
+		if st.Earliest.IsZero() || seg.minTime.Before(st.Earliest) {
+			st.Earliest = seg.minTime
+		}
+		if st.Latest.IsZero() || seg.maxTime.After(st.Latest) {
+			st.Latest = seg.maxTime
 		}
 	}
 }

@@ -1,24 +1,10 @@
-// Package warehouse is StreamLoader's stand-in for the NICT Event Data
-// Warehouse [6] the paper's dataflows load into: an in-memory event store
-// indexed along the three STT dimensions — time, space and theme — with a
-// query API suited to the "further analysis" the paper delegates to it.
-//
-// The store is sharded: events are partitioned by source hash across N
-// power-of-two shards, each with its own lock and time/space/theme/source
-// indexes, so concurrent producers of distinct sources never contend.
-// AppendBatch groups a batch per shard and takes each shard lock once,
-// which is the executor's preferred ingest path. Queries fan out across
-// shards concurrently and merge shard results in event-time order.
-//
-// Events append to per-source segments ordered by event time; a spatial
-// grid index and a theme inverted index accelerate the corresponding query
-// constraints. Queries combine a time range, a region, a theme set and an
-// optional condition over the payload.
 package warehouse
 
 import (
+	"container/heap"
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,8 +16,29 @@ import (
 // gridCellDeg is the spatial index resolution (~1.1 km cells).
 const gridCellDeg = 0.01
 
-// DefaultShards is the shard count New uses; NewSharded overrides it.
+// DefaultShards is the shard count New uses; Config.Shards overrides it.
 const DefaultShards = 16
+
+// DefaultSegmentEvents is the per-segment event bound before a shard
+// rotates to a fresh segment; Config.SegmentEvents overrides it.
+const DefaultSegmentEvents = 4096
+
+// DefaultSegmentSpan is the per-segment time-envelope bound before a shard
+// rotates to a fresh segment; Config.SegmentSpan overrides it.
+const DefaultSegmentSpan = time.Hour
+
+// Config sizes a warehouse. The zero value of any field selects its
+// default.
+type Config struct {
+	// Shards is the shard count, rounded up to a power of two.
+	Shards int
+	// SegmentEvents bounds how many events one segment holds before the
+	// shard rotates to a fresh one.
+	SegmentEvents int
+	// SegmentSpan bounds the event-time envelope one segment covers before
+	// the shard rotates to a fresh one.
+	SegmentSpan time.Duration
+}
 
 // Event is one stored STT event.
 type Event struct {
@@ -58,6 +65,14 @@ type Query struct {
 	Limit int
 }
 
+// QueryStats reports how segment pruning served one query: Scanned segments
+// had their indexes consulted, Pruned segments were skipped outright because
+// their time envelope missed the query window.
+type QueryStats struct {
+	SegmentsScanned int `json:"segments_scanned"`
+	SegmentsPruned  int `json:"segments_pruned"`
+}
+
 // sourceSeed keys the shard hash; shared so every warehouse routes a given
 // source to the same shard index for a given shard count.
 var sourceSeed = maphash.MakeSeed()
@@ -71,29 +86,45 @@ type Warehouse struct {
 	count   atomic.Int64
 	evicted atomic.Uint64
 
+	// segDrops/segTrims count retention work units: segments dropped whole
+	// off the cold end versus boundary segments trimmed per event.
+	segDrops atomic.Uint64
+	segTrims atomic.Uint64
+
 	// retMu serializes retention changes and global compactions, which
 	// need every shard lock (always taken in shard order).
 	retMu     sync.Mutex
 	maxEvents atomic.Int64
 }
 
-// New creates an empty warehouse with DefaultShards shards.
-func New() *Warehouse { return NewSharded(DefaultShards) }
+// New creates an empty warehouse with the default configuration.
+func New() *Warehouse { return NewWithConfig(Config{}) }
 
 // NewSharded creates an empty warehouse with n shards, rounded up to a
 // power of two; n < 1 falls back to DefaultShards. One shard degenerates
-// to the original single-lock store.
-func NewSharded(n int) *Warehouse {
-	if n < 1 {
-		n = DefaultShards
+// to a single-lock store.
+func NewSharded(n int) *Warehouse { return NewWithConfig(Config{Shards: n}) }
+
+// NewWithConfig creates an empty warehouse sized by cfg; zero fields take
+// their defaults.
+func NewWithConfig(cfg Config) *Warehouse {
+	if cfg.Shards < 1 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.SegmentEvents < 1 {
+		cfg.SegmentEvents = DefaultSegmentEvents
+	}
+	if cfg.SegmentSpan <= 0 {
+		cfg.SegmentSpan = DefaultSegmentSpan
 	}
 	pow := 1
-	for pow < n {
+	for pow < cfg.Shards {
 		pow <<= 1
 	}
 	w := &Warehouse{shards: make([]*shard, pow), mask: uint64(pow - 1)}
+	lim := segLimits{maxEvents: cfg.SegmentEvents, maxSpan: cfg.SegmentSpan}
 	for i := range w.shards {
-		w.shards[i] = newShard()
+		w.shards[i] = newShard(lim)
 	}
 	return w
 }
@@ -102,7 +133,7 @@ func NewSharded(n int) *Warehouse {
 func (w *Warehouse) NumShards() int { return len(w.shards) }
 
 // shardFor routes a source to its shard. Hashing by source keeps each
-// sensor's per-source segment on one shard.
+// sensor's stream on one shard.
 func (w *Warehouse) shardFor(source string) *shard {
 	return w.shards[maphash.String(sourceSeed, source)&w.mask]
 }
@@ -196,8 +227,10 @@ func (w *Warehouse) maybeCompact() {
 }
 
 // compactAll drops the globally-oldest events down to 3/4 of the bound
-// (amortizing the index rebuilds). Caller holds retMu; every shard lock is
-// taken, in order, for the duration.
+// (amortizing the boundary trims). Whole cold segments fall off in O(1)
+// each — no index is rebuilt — and only the segments straddling the cutoff
+// pay a per-event trim. Caller holds retMu; every shard lock is taken, in
+// order, for the duration.
 func (w *Warehouse) compactAll(maxEvents int) {
 	for _, s := range w.shards {
 		s.mu.Lock()
@@ -210,7 +243,7 @@ func (w *Warehouse) compactAll(maxEvents int) {
 
 	total := 0
 	for _, s := range w.shards {
-		total += len(s.events)
+		total += s.count
 	}
 	keep := maxEvents * 3 / 4
 	if keep < 1 {
@@ -221,33 +254,126 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	}
 	drop := total - keep
 
-	// The globally-oldest events are a prefix of each shard's time index:
-	// k-way walk the prefixes by (time, Seq) to apportion the drop count.
-	pos := make([]int, len(w.shards))
-	dropN := make([]int, len(w.shards))
-	for i := 0; i < drop; i++ {
-		best := -1
-		var bestTime time.Time
-		var bestSeq uint64
-		for si, s := range w.shards {
-			if pos[si] >= len(s.byTime) {
-				continue
-			}
-			ev := s.events[s.byTime[pos[si]]]
-			if best < 0 || ev.Tuple.Time.Before(bestTime) ||
-				(ev.Tuple.Time.Equal(bestTime) && ev.Seq < bestSeq) {
-				best, bestTime, bestSeq = si, ev.Tuple.Time, ev.Seq
-			}
+	// The globally-oldest events form a prefix of each segment's time
+	// index: walk the segment prefixes by (time, Seq) to apportion the drop
+	// count. A min-heap orders segment cursors by their head event, and the
+	// coldest cursor is consumed in chunks — its whole remainder when that
+	// precedes every other head (the common case for sealed history), or
+	// the binary-searched prefix strictly before the next head — so the
+	// walk costs O(segments · log segments), not O(drop · segments), even
+	// when out-of-order segments overlap the cold end.
+	var cursors []*segCursor
+	h := &cursorHeap{}
+	for _, s := range w.shards {
+		for _, seg := range s.segs {
+			c := &segCursor{sh: s, seg: seg}
+			cursors = append(cursors, c)
+			*h = append(*h, c)
 		}
-		pos[best]++
-		dropN[best]++
 	}
-	for si, s := range w.shards {
-		s.dropOldestLocked(dropN[si])
+	heap.Init(h)
+
+	remaining := drop
+	for remaining > 0 && h.Len() > 0 {
+		c := heap.Pop(h).(*segCursor)
+		rest := c.seg.len() - c.pos
+		if h.Len() == 0 {
+			take := min(rest, remaining)
+			c.pos += take
+			remaining -= take
+			continue
+		}
+		next := (*h)[0].head()
+		if rest <= remaining && eventLess(c.tail(), next) {
+			c.pos += rest // whole remainder is globally coldest: consume it all
+			remaining -= rest
+			continue
+		}
+		// Consume the prefix strictly before the next head in one chunk;
+		// when the heads tie on time, this cursor still precedes by Seq,
+		// so one event is always safe.
+		chunk := sort.Search(rest, func(i int) bool {
+			return !c.seg.events[c.seg.byTime[c.pos+i]].Tuple.Time.Before(next.Tuple.Time)
+		})
+		if chunk == 0 {
+			chunk = 1
+		}
+		take := min(chunk, remaining)
+		c.pos += take
+		remaining -= take
+		if c.pos < c.seg.len() {
+			heap.Push(h, c)
+		}
+	}
+
+	perShard := map[*shard]map[*segment]int{}
+	for _, c := range cursors {
+		if c.pos == 0 {
+			continue
+		}
+		m := perShard[c.sh]
+		if m == nil {
+			m = map[*segment]int{}
+			perShard[c.sh] = m
+		}
+		m[c.seg] = c.pos
+	}
+	for _, s := range w.shards {
+		if m := perShard[s]; m != nil {
+			whole, trims := s.applyDropsLocked(m)
+			w.segDrops.Add(uint64(whole))
+			w.segTrims.Add(uint64(trims))
+		}
 	}
 	w.evicted.Add(uint64(drop))
 	// All shard locks are held, so no append races this adjustment.
 	w.count.Add(int64(-drop))
+}
+
+// segCursor tracks a compaction's progress through one segment's time
+// index: events before pos are marked for eviction.
+type segCursor struct {
+	sh  *shard
+	seg *segment
+	pos int
+}
+
+func (c *segCursor) head() Event { return c.seg.events[c.seg.byTime[c.pos]] }
+func (c *segCursor) tail() Event {
+	return c.seg.events[c.seg.byTime[len(c.seg.byTime)-1]]
+}
+
+// cursorHeap is a min-heap of segment cursors ordered by head event.
+type cursorHeap []*segCursor
+
+func (h cursorHeap) Len() int           { return len(h) }
+func (h cursorHeap) Less(i, j int) bool { return eventLess(h[i].head(), h[j].head()) }
+func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *cursorHeap) Push(x any)        { *h = append(*h, x.(*segCursor)) }
+func (h *cursorHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// routedShards returns the shards a query must visit: all of them, unless a
+// source constraint pins it to the shards those sources hash to.
+func (w *Warehouse) routedShards(q Query) []*shard {
+	if len(q.Sources) == 0 || len(w.shards) == 1 {
+		return w.shards
+	}
+	seen := make(map[*shard]bool, len(q.Sources))
+	routed := make([]*shard, 0, len(q.Sources))
+	for _, src := range q.Sources {
+		if s := w.shardFor(src); !seen[s] {
+			seen[s] = true
+			routed = append(routed, s)
+		}
+	}
+	return routed
 }
 
 // Select returns the events matching the query, in event-time order.
@@ -255,39 +381,47 @@ func (w *Warehouse) compactAll(maxEvents int) {
 // source-constrained query is routed only to the shards those sources
 // hash to.
 func (w *Warehouse) Select(q Query) ([]Event, error) {
-	shards := w.shards
-	if len(q.Sources) > 0 && len(w.shards) > 1 {
-		seen := make(map[*shard]bool, len(q.Sources))
-		routed := make([]*shard, 0, len(q.Sources))
-		for _, src := range q.Sources {
-			if s := w.shardFor(src); !seen[s] {
-				seen[s] = true
-				routed = append(routed, s)
-			}
-		}
-		shards = routed
-	}
-	parts := make([][]Event, len(shards))
-	errs := make([]error, len(shards))
+	evs, _, err := w.SelectWithStats(q)
+	return evs, err
+}
+
+// forEachShard runs fn once per shard, concurrently when there are several.
+func forEachShard(shards []*shard, fn func(i int, s *shard)) {
 	if len(shards) == 1 {
-		parts[0], errs[0] = shards[0].selectQ(q)
-	} else {
-		var wg sync.WaitGroup
-		wg.Add(len(shards))
-		for i, s := range shards {
-			go func() {
-				defer wg.Done()
-				parts[i], errs[i] = s.selectQ(q)
-			}()
-		}
-		wg.Wait()
+		fn(0, shards[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for i, s := range shards {
+		go func() {
+			defer wg.Done()
+			fn(i, s)
+		}()
+	}
+	wg.Wait()
+}
+
+// SelectWithStats is Select plus segment-pruning telemetry for the query.
+func (w *Warehouse) SelectWithStats(q Query) ([]Event, QueryStats, error) {
+	shards := w.routedShards(q)
+	parts := make([][]Event, len(shards))
+	scans := make([]segScan, len(shards))
+	errs := make([]error, len(shards))
+	forEachShard(shards, func(i int, s *shard) {
+		parts[i], scans[i], errs[i] = s.selectQ(q)
+	})
+	var qs QueryStats
+	for _, sc := range scans {
+		qs.SegmentsScanned += sc.scanned
+		qs.SegmentsPruned += sc.pruned
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, qs, err
 		}
 	}
-	return mergeEvents(parts, q.Limit), nil
+	return mergeEvents(parts, q.Limit), qs, nil
 }
 
 // mergeEvents k-way merges per-shard results already sorted by
@@ -340,12 +474,27 @@ func eventLess(a, b Event) bool {
 }
 
 // Count returns the number of matching events without materializing them.
+// Queries without a Cond or Limit take a fast path that sums per-segment
+// counts — time-only constraints resolve entirely on the segment time
+// indexes, never touching an event.
 func (w *Warehouse) Count(q Query) (int, error) {
-	evs, err := w.Select(q)
-	if err != nil {
-		return 0, err
+	if q.Cond != "" || q.Limit > 0 {
+		evs, err := w.Select(q)
+		if err != nil {
+			return 0, err
+		}
+		return len(evs), nil
 	}
-	return len(evs), nil
+	shards := w.routedShards(q)
+	counts := make([]int, len(shards))
+	forEachShard(shards, func(i int, s *shard) {
+		counts[i], _ = s.countQ(q)
+	})
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n, nil
 }
 
 // Stats summarizes the warehouse content for the monitoring UI.
@@ -355,6 +504,10 @@ type Stats struct {
 	Themes   map[string]int `json:"themes"`
 	Earliest time.Time      `json:"earliest"`
 	Latest   time.Time      `json:"latest"`
+	// Segments is the live time-partition count across all shards;
+	// SegmentsDropped counts whole segments retention has aged out.
+	Segments        int    `json:"segments"`
+	SegmentsDropped uint64 `json:"segments_dropped"`
 }
 
 // Stats computes the summary, folding every shard's contribution.
@@ -363,6 +516,7 @@ func (w *Warehouse) Stats() Stats {
 	for _, s := range w.shards {
 		s.stats(&st)
 	}
+	st.SegmentsDropped = w.segDrops.Load()
 	return st
 }
 
