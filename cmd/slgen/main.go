@@ -6,6 +6,17 @@
 //
 // Each line is one STT event with payload fields plus _time, _lat, _lon,
 // _theme and _source metadata.
+//
+// With -data-dir the trace is loaded straight into a durable warehouse
+// instead of printed: batches are appended through the write-ahead log
+// (fsync per -fsync) and an "acked N" line follows every durable batch,
+// looping the trace until killed. With -verify the directory is recovered
+// and its event count checked against -min-events — together they form a
+// crash-recovery smoke test:
+//
+//	slgen -data-dir /tmp/wh -fsync always &   # ingest; note the acked lines
+//	kill -9 $!                                # crash it mid-ingest
+//	slgen -data-dir /tmp/wh -verify -min-events N
 package main
 
 import (
@@ -18,20 +29,27 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/persist"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
+	"streamloader/internal/warehouse"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("slgen: ")
 	var (
-		typ      = flag.String("type", "temperature", "sensor type to generate")
-		all      = flag.Bool("all", false, "generate one sensor of every type instead")
-		count    = flag.Int("count", 1, "number of sensors of the type")
-		duration = flag.Duration("duration", time.Hour, "trace duration")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		start    = flag.String("start", "2016-03-15T00:00:00Z", "trace start (RFC3339)")
+		typ       = flag.String("type", "temperature", "sensor type to generate")
+		all       = flag.Bool("all", false, "generate one sensor of every type instead")
+		count     = flag.Int("count", 1, "number of sensors of the type")
+		duration  = flag.Duration("duration", time.Hour, "trace duration")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		start     = flag.String("start", "2016-03-15T00:00:00Z", "trace start (RFC3339)")
+		dataDir   = flag.String("data-dir", "", "load into a durable warehouse at this directory instead of printing")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy for -data-dir: never, always, interval, or a duration")
+		hotSegs   = flag.Int("hot-segments", 2, "sealed in-memory segments per shard before spilling (-data-dir)")
+		verify    = flag.Bool("verify", false, "recover the -data-dir warehouse and report instead of ingesting")
+		minEvents = flag.Int("min-events", 0, "with -verify: fail unless at least this many events recovered")
 	)
 	flag.Parse()
 
@@ -40,6 +58,11 @@ func main() {
 		log.Fatalf("bad -start: %v", err)
 	}
 	to := from.Add(*duration)
+
+	if *dataDir != "" && *verify {
+		verifyWarehouse(*dataDir, *minEvents)
+		return
+	}
 
 	var specs []sensor.Spec
 	if *all {
@@ -66,6 +89,11 @@ func main() {
 		}
 	}
 
+	if *dataDir != "" {
+		ingestWarehouse(*dataDir, *fsync, *hotSegs, specs, from, *duration)
+		return
+	}
+
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
@@ -84,4 +112,76 @@ func main() {
 		})
 	}
 	log.Printf("wrote %d events from %d sensors (%s .. %s)", total, len(specs), from.Format(time.RFC3339), to.Format(time.RFC3339))
+}
+
+// ingestWarehouse loads the generated trace into a durable warehouse,
+// looping the trace (with an advancing clock) until the process is killed.
+// Every "acked N" line is printed only after the batch behind it returned
+// from AppendBatch, i.e. after it hit the WAL under the chosen policy — a
+// SIGKILL immediately after a line must not lose the N events it reports.
+func ingestWarehouse(dir, fsync string, hotSegs int, specs []sensor.Spec, from time.Time, duration time.Duration) {
+	syncPolicy, syncEvery, err := persist.ParseSyncPolicy(fsync)
+	if err != nil {
+		log.Fatalf("bad -fsync: %v", err)
+	}
+	w, err := warehouse.Open(warehouse.Config{
+		Shards:  4,
+		DataDir: dir,
+		Sync:    syncPolicy, SyncEvery: syncEvery,
+		HotSegments:   hotSegs,
+		SegmentEvents: 256, // small segments so spill exercises quickly
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := w.Stats()
+	log.Printf("opened %s: %d events recovered (%d cold segments)", dir, st.RecoveredEvents, st.SegmentsCold)
+
+	out := bufio.NewWriter(os.Stdout)
+	acked := 0
+	batch := make([]*stt.Tuple, 0, 64)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		if err := w.AppendBatch(batch); err != nil {
+			log.Fatalf("append: %v", err)
+		}
+		acked += len(batch)
+		batch = batch[:0]
+		fmt.Fprintf(out, "acked %d\n", acked)
+		out.Flush()
+	}
+	for pass := 0; ; pass++ {
+		passFrom := from.Add(time.Duration(pass) * duration)
+		for _, spec := range specs {
+			s, err := sensor.New(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Emit(passFrom, passFrom.Add(duration), func(t *stt.Tuple) bool {
+				batch = append(batch, t)
+				if len(batch) == cap(batch) {
+					flush()
+				}
+				return true
+			})
+		}
+		flush()
+	}
+}
+
+// verifyWarehouse recovers the warehouse and checks the event count.
+func verifyWarehouse(dir string, minEvents int) {
+	w, err := warehouse.Open(warehouse.Config{Shards: 4, DataDir: dir})
+	if err != nil {
+		log.Fatalf("recover: %v", err)
+	}
+	defer w.Close()
+	st := w.Stats()
+	log.Printf("recovered %d events (%d cold segments, %d segments, wal %d bytes, disk %d bytes)",
+		st.Events, st.SegmentsCold, st.Segments, st.WALBytes, st.DiskBytes)
+	if st.Events < minEvents {
+		log.Fatalf("recovered %d events, want at least %d", st.Events, minEvents)
+	}
 }

@@ -9,10 +9,16 @@
 //	streamloader [-addr :8080] [-topology star] [-nodes 8] [-capacity 100]
 //	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 256]
 //	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
+//	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
 // benchmarks and demos use.
+//
+// With -data-dir the warehouse is durable: appends go through a per-shard
+// write-ahead log (fsync per -fsync: never, always, interval, or a
+// duration like 250ms), cold segments beyond -hot-segments per shard spill
+// to disk, and a restart recovers everything that was acked.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"streamloader/internal/geo"
 	"streamloader/internal/monitor"
 	"streamloader/internal/network"
+	"streamloader/internal/persist"
 	"streamloader/internal/pubsub"
 	"streamloader/internal/sensor"
 	"streamloader/internal/server"
@@ -49,6 +56,9 @@ func main() {
 		retain    = flag.Int("retain", 0, "warehouse retention bound in events (0: unlimited)")
 		segEvents = flag.Int("segment-events", warehouse.DefaultSegmentEvents, "events per warehouse segment before rotation")
 		segSpan   = flag.Duration("segment-span", warehouse.DefaultSegmentSpan, "event-time span one warehouse segment covers before rotation")
+		dataDir   = flag.String("data-dir", "", "warehouse data directory (empty: in-memory only)")
+		fsync     = flag.String("fsync", "interval", "WAL fsync policy: never, always, interval, or a duration")
+		hotSegs   = flag.Int("hot-segments", warehouse.DefaultHotSegments, "sealed in-memory segments per shard before spilling to disk (negative: never spill)")
 	)
 	flag.Parse()
 
@@ -77,11 +87,27 @@ func main() {
 	}
 
 	mon := monitor.New()
-	wh := warehouse.NewWithConfig(warehouse.Config{
+	syncPolicy, syncEvery, err := persist.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatalf("bad -fsync: %v", err)
+	}
+	wh, err := warehouse.Open(warehouse.Config{
 		Shards:        *shards,
 		SegmentEvents: *segEvents,
 		SegmentSpan:   *segSpan,
+		DataDir:       *dataDir,
+		Sync:          syncPolicy,
+		SyncEvery:     syncEvery,
+		HotSegments:   *hotSegs,
 	})
+	if err != nil {
+		log.Fatalf("opening warehouse: %v", err)
+	}
+	if *dataDir != "" {
+		st := wh.Stats()
+		log.Printf("warehouse: %d events recovered from %s (%d cold segments, %d WAL bytes)",
+			st.RecoveredEvents, *dataDir, st.SegmentsCold, st.WALBytes)
+	}
 	if *retain > 0 {
 		wh.SetRetention(*retain)
 	}

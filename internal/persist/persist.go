@@ -1,0 +1,238 @@
+// Package persist is the durable storage layer under the Event Data
+// Warehouse: a per-shard write-ahead log so acked events survive a crash,
+// immutable on-disk segment files that cold warehouse segments spill into,
+// and a small manifest carrying the state recovery needs (shard count and
+// the retention watermark).
+//
+// The package deliberately knows nothing about shards, indexes or queries —
+// it moves (sequence, tuple) pairs between memory and disk with integrity
+// checks, and leaves placement and semantics to the warehouse.
+//
+// # Write-ahead log
+//
+// A WAL is a directory of numbered append-only files. Every append frames
+// one record — a schema definition or a batch of events — as
+// [length][CRC32C][payload], buffered into a single write(2) so an acked
+// batch is in the kernel even under SyncNever. Fsync is governed by
+// SyncPolicy: SyncAlways syncs once per append (batch-coalesced), the
+// default SyncInterval syncs when the configured interval has elapsed since
+// the last sync, SyncNever leaves flushing to the OS. Files rotate at
+// SegmentBytes; each fresh file re-states every known schema definition so
+// any file can be decoded after its predecessors are checkpointed away.
+//
+// Replay walks the files in order and stops a file at the first frame whose
+// length or checksum does not hold, truncating the torn tail so the next
+// writer starts from a clean boundary. Records for events that are already
+// durable elsewhere are the caller's business: replay hands over every
+// record and the warehouse filters against its spilled segments and the
+// retention watermark.
+//
+// # Segment files
+//
+// A segment file stores one sealed warehouse segment: a JSON header (event
+// count, time envelope, head/tail keys, per-source and per-theme counts,
+// schema dictionary, sparse index), the sequence numbers of every event,
+// then the events themselves in (time, seq) order. The seq block lets
+// recovery dedupe WAL records against spilled files without decoding any
+// event payload; the sparse index maps every IndexEvery-th event to its
+// byte offset so a time-window read decodes only the overlapping stretch.
+// Segment files are immutable: retention removes them whole, and partial
+// eviction is a logical skip recorded in the manifest watermark.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+// SyncPolicy says when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs on the first append after
+	// SyncEvery has elapsed since the previous sync.
+	SyncInterval SyncPolicy = iota
+	// SyncNever leaves flushing entirely to the OS page cache.
+	SyncNever
+	// SyncAlways fsyncs once per append call; a batch still pays one sync.
+	SyncAlways
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncAlways:
+		return "always"
+	default:
+		return "interval"
+	}
+}
+
+// DefaultSyncEvery is the SyncInterval period when none is configured.
+const DefaultSyncEvery = 100 * time.Millisecond
+
+// ParseSyncPolicy reads a -fsync style flag value: "never", "always",
+// "interval" (at the default period), or a duration like "250ms" meaning
+// interval syncing at that period.
+func ParseSyncPolicy(s string) (SyncPolicy, time.Duration, error) {
+	switch s {
+	case "never":
+		return SyncNever, 0, nil
+	case "always":
+		return SyncAlways, 0, nil
+	case "", "interval":
+		return SyncInterval, DefaultSyncEvery, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return SyncInterval, 0, fmt.Errorf("persist: bad sync policy %q (want never, always, interval or a duration)", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// DefaultSegmentBytes is the WAL rotation threshold.
+const DefaultSegmentBytes = 4 << 20
+
+// Event is one durable (warehouse sequence, tuple) pair.
+type Event struct {
+	Seq   uint64
+	Tuple *stt.Tuple
+}
+
+// Key is the global eviction order of warehouse events: event time, then
+// warehouse sequence. Sequence uniqueness makes the order total, so one Key
+// fully describes a retention cut.
+type Key struct {
+	Time time.Time
+	Seq  uint64
+}
+
+// Less reports whether k precedes o in eviction order.
+func (k Key) Less(o Key) bool {
+	if !k.Time.Equal(o.Time) {
+		return k.Time.Before(o.Time)
+	}
+	return k.Seq < o.Seq
+}
+
+// IsZero reports whether the key is unset (no watermark).
+func (k Key) IsZero() bool { return k.Time.IsZero() && k.Seq == 0 }
+
+// keyJSON is the manifest encoding of a Key.
+type keyJSON struct {
+	UnixSec int64  `json:"unix_sec"`
+	Nanos   int    `json:"nanos"`
+	Seq     uint64 `json:"seq"`
+	Set     bool   `json:"set"`
+}
+
+// ShardMark pins where one shard's log and spill history stood when the
+// watermark was written: WAL records at or past (WALFile, WALOff), and
+// segment files of generation >= SegGen, were created after the compaction
+// and are exempt from its watermark — without the mark, a straggler
+// ingested after a compaction (event time below the watermark, but alive)
+// would be wrongly suppressed at recovery.
+type ShardMark struct {
+	WALFile int   `json:"wal_file"`
+	WALOff  int64 `json:"wal_off"`
+	SegGen  int   `json:"seg_gen"`
+}
+
+// Covers reports whether a WAL record at (file, off) predates the mark,
+// i.e. was visible to the compaction that wrote it.
+func (m ShardMark) Covers(p Pos) bool {
+	if p.File != m.WALFile {
+		return p.File < m.WALFile
+	}
+	return p.Off < m.WALOff
+}
+
+// Pos locates one record in a shard's WAL.
+type Pos struct {
+	File int   // wal file number
+	Off  int64 // frame start offset within the file
+}
+
+// Manifest is the per-data-dir recovery state, saved atomically.
+type Manifest struct {
+	Version int `json:"version"`
+	// Shards pins the shard count the directory layout was written for;
+	// Open adopts it so spilled segment files stay on their shard.
+	Shards int `json:"shards"`
+	// Watermark is the retention cut: every event with Key <= Watermark
+	// that was visible to the compaction (per Marks) has been evicted and
+	// must not be resurrected by replay.
+	Watermark Key `json:"-"`
+	// Marks holds one ShardMark per shard, recorded when Watermark was.
+	Marks []ShardMark `json:"marks,omitempty"`
+
+	WatermarkJSON keyJSON `json:"watermark"`
+}
+
+const manifestName = "MANIFEST.json"
+
+// LoadManifest reads the manifest in dir; ok is false when none exists yet.
+func LoadManifest(dir string) (Manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("persist: bad manifest: %w", err)
+	}
+	if m.WatermarkJSON.Set {
+		m.Watermark = Key{
+			Time: time.Unix(m.WatermarkJSON.UnixSec, int64(m.WatermarkJSON.Nanos)).UTC(),
+			Seq:  m.WatermarkJSON.Seq,
+		}
+	}
+	return m, true, nil
+}
+
+// SaveManifest writes the manifest atomically (temp file + rename + dir
+// sync), so a crash leaves either the old or the new manifest, never a mix.
+func SaveManifest(dir string, m Manifest) error {
+	if !m.Watermark.IsZero() {
+		m.WatermarkJSON = keyJSON{
+			UnixSec: m.Watermark.Time.Unix(),
+			Nanos:   m.Watermark.Time.Nanosecond(),
+			Seq:     m.Watermark.Seq,
+			Set:     true,
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

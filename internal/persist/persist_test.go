@@ -1,0 +1,489 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+var t0 = time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+
+var weather = stt.MustSchema([]stt.Field{
+	stt.NewField("temperature", stt.KindFloat, "celsius"),
+	stt.NewField("station", stt.KindString, ""),
+}, stt.GranMinute, stt.SpatCellDistrict, "weather")
+
+var kitchenSink = stt.MustSchema([]stt.Field{
+	stt.NewField("b", stt.KindBool, ""),
+	stt.NewField("i", stt.KindInt, ""),
+	stt.NewField("f", stt.KindFloat, ""),
+	stt.NewField("s", stt.KindString, ""),
+	stt.NewField("t", stt.KindTime, ""),
+	stt.NewField("n", stt.KindFloat, ""),
+}, stt.GranSecond, stt.SpatPoint, "test", "misc")
+
+func wEvent(seq uint64, offset time.Duration, temp float64, station string) Event {
+	return Event{Seq: seq, Tuple: &stt.Tuple{
+		Schema: weather,
+		Values: []stt.Value{stt.Float(temp), stt.String(station)},
+		Time:   t0.Add(offset),
+		Lat:    34.7, Lon: 135.5,
+		Theme: "weather", Source: station, Seq: seq,
+	}}
+}
+
+func sinkEvent(seq uint64) Event {
+	return Event{Seq: seq, Tuple: &stt.Tuple{
+		Schema: kitchenSink,
+		Values: []stt.Value{
+			stt.Bool(true), stt.Int(-42), stt.Float(3.25),
+			stt.String("héllo\x00world"), stt.Time(t0.Add(time.Hour)), stt.Null(),
+		},
+		Time: t0.Add(time.Duration(seq) * time.Second),
+		Lat:  -1.5, Lon: 0.25,
+		Theme: "test", Source: "sink",
+	}}
+}
+
+func sameTuple(t *testing.T, got, want *stt.Tuple) {
+	t.Helper()
+	if !got.Time.Equal(want.Time) {
+		t.Fatalf("time = %v, want %v", got.Time, want.Time)
+	}
+	if got.Lat != want.Lat || got.Lon != want.Lon {
+		t.Fatalf("pos = (%v,%v), want (%v,%v)", got.Lat, got.Lon, want.Lat, want.Lon)
+	}
+	if got.Theme != want.Theme || got.Source != want.Source || got.Seq != want.Seq {
+		t.Fatalf("meta = %q/%q/%d, want %q/%q/%d",
+			got.Theme, got.Source, got.Seq, want.Theme, want.Source, want.Seq)
+	}
+	if !got.Schema.Compatible(want.Schema) {
+		t.Fatalf("schema = %s, want %s", got.Schema, want.Schema)
+	}
+	if got.Schema.TGran != want.Schema.TGran || got.Schema.SGran != want.Schema.SGran {
+		t.Fatalf("granularities differ: %s vs %s", got.Schema, want.Schema)
+	}
+	if len(got.Schema.Themes) != len(want.Schema.Themes) {
+		t.Fatalf("themes = %v, want %v", got.Schema.Themes, want.Schema.Themes)
+	}
+	if len(got.Values) != len(want.Values) {
+		t.Fatalf("%d values, want %d", len(got.Values), len(want.Values))
+	}
+	for i := range got.Values {
+		g, w := got.Values[i], want.Values[i]
+		if g.Kind() != w.Kind() {
+			t.Fatalf("value %d kind = %s, want %s", i, g.Kind(), w.Kind())
+		}
+		if g.Kind() != stt.KindNull && !g.Equal(w) {
+			t.Fatalf("value %d = %v, want %v", i, g, w)
+		}
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]Event, ReplayResult) {
+	t.Helper()
+	var got []Event
+	res, err := ReplayWAL(dir, func(ev Event, _ Pos) error {
+		got = append(got, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, res
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Event
+	for i := 0; i < 10; i++ {
+		want = append(want, wEvent(uint64(i), time.Duration(i)*time.Minute, float64(20+i), "umeda"))
+	}
+	want = append(want, sinkEvent(10), sinkEvent(11))
+	if err := w.Append(want[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(want[5:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res := replayAll(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	}
+	if res.MaxSeq != 11 || res.Truncated != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	for i := range got {
+		if got[i].Seq != want[i].Seq {
+			t.Fatalf("event %d seq = %d, want %d", i, got[i].Seq, want[i].Seq)
+		}
+		sameTuple(t, got[i].Tuple, want[i].Tuple)
+	}
+	// Replayed tuples of one logical schema share one *Schema.
+	if got[0].Tuple.Schema != got[9].Tuple.Schema {
+		t.Error("recovered schemas not interned")
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := w.Append([]Event{wEvent(uint64(i), time.Duration(i)*time.Minute, 20, "s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.CloseHard()
+
+	files, err := listWALFiles(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("files = %v, %v", files, err)
+	}
+	// Tear the last record: cut a few bytes off the tail.
+	st, _ := os.Stat(files[0])
+	if err := os.Truncate(files[0], st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res := replayAll(t, dir)
+	if len(got) != 7 {
+		t.Fatalf("replayed %d events after tear, want 7", len(got))
+	}
+	if res.Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", res.Truncated)
+	}
+	// The file now ends on a clean frame boundary: replay again, no tear.
+	got, res = replayAll(t, dir)
+	if len(got) != 7 || res.Truncated != 0 {
+		t.Fatalf("second replay: %d events, %d truncations", len(got), res.Truncated)
+	}
+}
+
+func TestWALCorruptRecordDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]Event{wEvent(uint64(i), time.Duration(i)*time.Minute, 20, "s")}); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, w.fileSize)
+	}
+	w.CloseHard()
+
+	files, _ := listWALFiles(dir)
+	// Flip a byte inside the third record's payload.
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[sizes[1]+frameHeader+2] ^= 0xff
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, res := replayAll(t, dir)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d events after corruption, want 2", len(got))
+	}
+	if res.Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", res.Truncated)
+	}
+}
+
+func TestWALRotationAndSchemaRestate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segment size forces a rotation per append.
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNever, SegmentBytes: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := w.Append([]Event{wEvent(uint64(i), time.Duration(i)*time.Minute, 20, "s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := listWALFiles(dir)
+	if len(files) < 3 {
+		t.Fatalf("expected several rotated files, got %d", len(files))
+	}
+	// Delete the early files (as a checkpoint would): later files must
+	// still decode because each file re-states the schema dictionary.
+	for _, f := range files[:len(files)-2] {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) == 0 || len(got) >= n {
+		t.Fatalf("replayed %d events from surviving files", len(got))
+	}
+	for _, ev := range got {
+		if ev.Tuple.Schema == nil {
+			t.Fatal("event decoded without schema")
+		}
+	}
+}
+
+func TestWALDropObsolete(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNever, SegmentBytes: 64}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Append([]Event{wEvent(uint64(i), time.Duration(i)*time.Minute, 20, "s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := w.Bytes()
+	reclaimed := w.DropObsolete(10)
+	if reclaimed <= 0 {
+		t.Fatal("no bytes reclaimed")
+	}
+	if w.Bytes() != before-reclaimed {
+		t.Fatalf("Bytes() = %d, want %d", w.Bytes(), before-reclaimed)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Events >= 10 must all survive the checkpoint.
+	got, _ := replayAll(t, dir)
+	seen := map[uint64]bool{}
+	for _, ev := range got {
+		seen[ev.Seq] = true
+	}
+	for seq := uint64(10); seq < 20; seq++ {
+		if !seen[seq] {
+			t.Fatalf("seq %d lost by DropObsolete", seq)
+		}
+	}
+}
+
+func TestWALReopenContinues(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, WALOptions{Sync: SyncNever}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]Event{wEvent(0, 0, 20, "s")}); err != nil {
+		t.Fatal(err)
+	}
+	w.CloseHard()
+
+	var replayed []Event
+	res, err := ReplayWAL(dir, func(ev Event, _ Pos) error { replayed = append(replayed, ev); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(dir, WALOptions{Sync: SyncNever}, res.Files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]Event{wEvent(1, time.Minute, 21, "s")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := replayAll(t, dir)
+	if len(got) != 2 {
+		t.Fatalf("after reopen replayed %d events, want 2", len(got))
+	}
+	if got[0].Seq != 0 || got[1].Seq != 1 {
+		t.Fatalf("seqs = %d, %d", got[0].Seq, got[1].Seq)
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var events []Event
+	for i := 0; i < 1000; i++ {
+		events = append(events, wEvent(uint64(i), time.Duration(i)*time.Second, float64(i%30), fmt.Sprintf("src-%d", i%4)))
+	}
+	events = append(events, sinkEvent(1000))
+	SortEvents(events)
+	path := filepath.Join(dir, SegmentFileName(1))
+	info, err := WriteSegment(path, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Count != len(events) {
+		t.Fatalf("Count = %d", info.Count)
+	}
+
+	opened, seqs, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Count != len(events) || len(seqs) != len(events) {
+		t.Fatalf("opened count = %d, seqs = %d", opened.Count, len(seqs))
+	}
+	if !opened.Head.Time.Equal(events[0].Tuple.Time) || opened.Head.Seq != events[0].Seq {
+		t.Fatalf("head = %+v", opened.Head)
+	}
+	if !opened.Tail.Time.Equal(events[len(events)-1].Tuple.Time) {
+		t.Fatalf("tail = %+v", opened.Tail)
+	}
+	if opened.SourceCounts["src-0"] != 250 {
+		t.Fatalf("source counts = %v", opened.SourceCounts)
+	}
+	if opened.ThemeCounts["weather"] != 1000 || opened.ThemeCounts["test"] != 1 {
+		t.Fatalf("theme counts = %v", opened.ThemeCounts)
+	}
+	for i, ev := range events {
+		if seqs[i] != ev.Seq {
+			t.Fatalf("seq block [%d] = %d, want %d", i, seqs[i], ev.Seq)
+		}
+	}
+
+	got, err := opened.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i].Seq != events[i].Seq {
+			t.Fatalf("event %d seq = %d, want %d", i, got[i].Seq, events[i].Seq)
+		}
+		sameTuple(t, got[i].Tuple, events[i].Tuple)
+	}
+}
+
+func TestSegmentReadRangeAndWindow(t *testing.T) {
+	dir := t.TempDir()
+	var events []Event
+	for i := 0; i < 1000; i++ {
+		events = append(events, wEvent(uint64(i), time.Duration(i)*time.Second, 20, "s"))
+	}
+	path := filepath.Join(dir, SegmentFileName(1))
+	if _, err := WriteSegment(path, events); err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-file range spanning a chunk boundary.
+	got, err := info.ReadRange(200, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 400 || got[0].Seq != 200 || got[399].Seq != 599 {
+		t.Fatalf("range = %d events, first %d, last %d", len(got), got[0].Seq, got[len(got)-1].Seq)
+	}
+
+	// Window positions are conservative but chunk-pruned.
+	lo, hi := info.WindowPositions(t0.Add(500*time.Second), t0.Add(510*time.Second))
+	if lo > 500 || hi < 510 {
+		t.Fatalf("window [%d, %d) excludes target events", lo, hi)
+	}
+	if lo == 0 && hi == 1000 {
+		t.Fatal("window did not prune any chunk")
+	}
+	got, err = info.ReadRange(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ev := range got {
+		if !ev.Tuple.Time.Before(t0.Add(500*time.Second)) && ev.Tuple.Time.Before(t0.Add(510*time.Second)) {
+			n++
+		}
+	}
+	if n != 10 {
+		t.Fatalf("window read found %d in-window events, want 10", n)
+	}
+}
+
+func TestSegmentCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	var events []Event
+	for i := 0; i < 300; i++ {
+		events = append(events, wEvent(uint64(i), time.Duration(i)*time.Second, 20, "s"))
+	}
+	path := filepath.Join(dir, SegmentFileName(1))
+	info, err := WriteSegment(path, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[info.eventOff+10] ^= 0xff // corrupt the first event chunk
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opened, _, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err) // header is intact
+	}
+	if _, err := opened.ReadAll(); err == nil {
+		t.Fatal("corrupted chunk read without error")
+	}
+	// The second chunk is clean and still readable.
+	if _, err := opened.ReadRange(IndexEvery, 300); err != nil {
+		t.Fatalf("clean chunk unreadable: %v", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := LoadManifest(dir); err != nil || ok {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	m := Manifest{Version: 1, Shards: 8, Watermark: Key{Time: t0.Add(time.Hour), Seq: 42}}
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if got.Shards != 8 || !got.Watermark.Time.Equal(m.Watermark.Time) || got.Watermark.Seq != 42 {
+		t.Fatalf("manifest = %+v", got)
+	}
+	// Watermark-free manifests stay watermark-free.
+	if err := SaveManifest(dir, Manifest{Version: 1, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = LoadManifest(dir)
+	if !got.Watermark.IsZero() {
+		t.Fatalf("watermark = %+v, want zero", got.Watermark)
+	}
+}
+
+func TestKeyOrder(t *testing.T) {
+	a := Key{Time: t0, Seq: 1}
+	b := Key{Time: t0, Seq: 2}
+	c := Key{Time: t0.Add(time.Second), Seq: 0}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("key order broken")
+	}
+	if (Key{}).Less(Key{}) {
+		t.Fatal("equal keys must not be Less")
+	}
+}

@@ -1,0 +1,422 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+// Segment file layout:
+//
+//	[8]  magic "SLSEG001"
+//	[4]  header length          [4] header CRC32C
+//	[..] header JSON            (counts, keys, dictionaries, sparse index)
+//	[..] seq block              count × 8-byte little-endian warehouse seqs
+//	[..] event block            events in (time, seq) order, chunked
+//
+// The header carries everything the warehouse keeps in RAM for a spilled
+// segment; the seq block lets recovery dedupe WAL records against the file
+// without touching a payload; the event block is cut into chunks of
+// IndexEvery events, each with its own CRC and byte offset in the sparse
+// index, so a time-window read decodes only the chunks that can overlap.
+
+var segMagic = []byte("SLSEG001")
+
+// IndexEvery is the sparse-index granule: one index entry (and one CRC'd
+// chunk) per this many events.
+const IndexEvery = 256
+
+// SparseEntry locates one chunk of a segment's event block.
+type SparseEntry struct {
+	Pos  int       // ordinal of the chunk's first event
+	Time time.Time // that event's time (chunk-local minimum)
+	Off  int64     // byte offset of the chunk within the event block
+	CRC  uint32    // checksum of the chunk's bytes
+}
+
+type sparseJSON struct {
+	Pos     int    `json:"pos"`
+	UnixSec int64  `json:"unix_sec"`
+	Nanos   int    `json:"nanos"`
+	Off     int64  `json:"off"`
+	CRC     uint32 `json:"crc"`
+}
+
+type segHeaderJSON struct {
+	Count        int            `json:"count"`
+	Head         keyJSON        `json:"head"`
+	Tail         keyJSON        `json:"tail"`
+	SourceCounts map[string]int `json:"source_counts"`
+	ThemeCounts  map[string]int `json:"theme_counts"`
+	Schemas      []schemaJSON   `json:"schemas"`
+	Sparse       []sparseJSON   `json:"sparse"`
+	EventBytes   int64          `json:"event_bytes"`
+}
+
+// SegmentInfo is the in-RAM face of one on-disk segment file: the time/seq
+// envelope, index dictionaries and sparse index — everything queries need
+// to prune, plus what they need to read the overlap when they cannot.
+type SegmentInfo struct {
+	Path  string
+	Count int
+	// Head and Tail are the keys of the first and last event in (time,
+	// seq) order; [Head.Time, Tail.Time] is the segment's time envelope.
+	Head, Tail   Key
+	SourceCounts map[string]int
+	ThemeCounts  map[string]int
+	Sparse       []SparseEntry
+	Bytes        int64 // whole-file size
+
+	schemas  []*stt.Schema
+	eventOff int64 // absolute offset of the event block
+}
+
+func timeToKeyJSON(k Key) keyJSON {
+	return keyJSON{UnixSec: k.Time.Unix(), Nanos: k.Time.Nanosecond(), Seq: k.Seq, Set: true}
+}
+
+func keyFromJSON(j keyJSON) Key {
+	return Key{Time: time.Unix(j.UnixSec, int64(j.Nanos)).UTC(), Seq: j.Seq}
+}
+
+// WriteSegment writes events — which must already be in (time, seq) order
+// and non-empty — to path via a temp file, fsyncing file and directory
+// before the rename publishes it.
+func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("persist: refusing to write empty segment")
+	}
+	dict := newSchemaDict()
+	info := &SegmentInfo{
+		Path:         path,
+		Count:        len(events),
+		Head:         Key{Time: events[0].Tuple.Time, Seq: events[0].Seq},
+		Tail:         Key{Time: events[len(events)-1].Tuple.Time, Seq: events[len(events)-1].Seq},
+		SourceCounts: map[string]int{},
+		ThemeCounts:  map[string]int{},
+	}
+
+	// Event block, chunked at IndexEvery events.
+	var block []byte
+	for i, ev := range events {
+		if i%IndexEvery == 0 {
+			if i > 0 {
+				prev := &info.Sparse[len(info.Sparse)-1]
+				prev.CRC = checksum(block[prev.Off:])
+			}
+			info.Sparse = append(info.Sparse, SparseEntry{
+				Pos: i, Time: ev.Tuple.Time, Off: int64(len(block)),
+			})
+		}
+		id, _ := dict.id(ev.Tuple.Schema)
+		block = appendEvent(block, ev, id)
+
+		t := ev.Tuple
+		if t.Source != "" {
+			info.SourceCounts[t.Source]++
+		}
+		if t.Theme != "" {
+			info.ThemeCounts[t.Theme]++
+		}
+		for _, theme := range t.Schema.Themes {
+			if theme != t.Theme {
+				info.ThemeCounts[theme]++
+			}
+		}
+	}
+	last := &info.Sparse[len(info.Sparse)-1]
+	last.CRC = checksum(block[last.Off:])
+	info.schemas = dict.order
+
+	hdr := segHeaderJSON{
+		Count:        info.Count,
+		Head:         timeToKeyJSON(info.Head),
+		Tail:         timeToKeyJSON(info.Tail),
+		SourceCounts: info.SourceCounts,
+		ThemeCounts:  info.ThemeCounts,
+		EventBytes:   int64(len(block)),
+	}
+	for _, s := range dict.order {
+		hdr.Schemas = append(hdr.Schemas, encodeSchema(s))
+	}
+	for _, e := range info.Sparse {
+		hdr.Sparse = append(hdr.Sparse, sparseJSON{
+			Pos: e.Pos, UnixSec: e.Time.Unix(), Nanos: e.Time.Nanosecond(),
+			Off: e.Off, CRC: e.CRC,
+		})
+	}
+	hdrBytes, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+
+	buf := make([]byte, 0, len(segMagic)+8+len(hdrBytes)+8*len(events)+len(block))
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdrBytes)))
+	buf = binary.LittleEndian.AppendUint32(buf, checksum(hdrBytes))
+	buf = append(buf, hdrBytes...)
+	for _, ev := range events {
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Seq)
+	}
+	info.eventOff = int64(len(buf))
+	buf = append(buf, block...)
+	info.Bytes = int64(len(buf))
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// OpenSegment reads a segment file's header and seq block — but no event
+// payloads. The seqs are returned separately so recovery can dedupe WAL
+// records against the file and then let them go.
+func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fixed := make([]byte, len(segMagic)+8)
+	if _, err := io.ReadFull(f, fixed); err != nil {
+		return nil, nil, fmt.Errorf("persist: %s: short header: %w", path, err)
+	}
+	if string(fixed[:len(segMagic)]) != string(segMagic) {
+		return nil, nil, fmt.Errorf("persist: %s: bad magic", path)
+	}
+	hdrLen := int(binary.LittleEndian.Uint32(fixed[len(segMagic):]))
+	hdrCRC := binary.LittleEndian.Uint32(fixed[len(segMagic)+4:])
+	if int64(hdrLen) > st.Size() {
+		return nil, nil, fmt.Errorf("persist: %s: header length %d exceeds file", path, hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(f, hdrBytes); err != nil {
+		return nil, nil, fmt.Errorf("persist: %s: short header: %w", path, err)
+	}
+	if checksum(hdrBytes) != hdrCRC {
+		return nil, nil, fmt.Errorf("persist: %s: header checksum mismatch", path)
+	}
+	var hdr segHeaderJSON
+	if err := json.Unmarshal(hdrBytes, &hdr); err != nil {
+		return nil, nil, fmt.Errorf("persist: %s: bad header: %w", path, err)
+	}
+
+	info := &SegmentInfo{
+		Path:         path,
+		Count:        hdr.Count,
+		Head:         keyFromJSON(hdr.Head),
+		Tail:         keyFromJSON(hdr.Tail),
+		SourceCounts: hdr.SourceCounts,
+		ThemeCounts:  hdr.ThemeCounts,
+		Bytes:        st.Size(),
+	}
+	if info.SourceCounts == nil {
+		info.SourceCounts = map[string]int{}
+	}
+	if info.ThemeCounts == nil {
+		info.ThemeCounts = map[string]int{}
+	}
+	for _, sj := range hdr.Schemas {
+		s, err := globalInterner.intern(sj)
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: %s: %w", path, err)
+		}
+		info.schemas = append(info.schemas, s)
+	}
+	for _, e := range hdr.Sparse {
+		info.Sparse = append(info.Sparse, SparseEntry{
+			Pos: e.Pos, Time: time.Unix(e.UnixSec, int64(e.Nanos)).UTC(),
+			Off: e.Off, CRC: e.CRC,
+		})
+	}
+
+	seqBytes := make([]byte, 8*hdr.Count)
+	if _, err := io.ReadFull(f, seqBytes); err != nil {
+		return nil, nil, fmt.Errorf("persist: %s: short seq block: %w", path, err)
+	}
+	seqs := make([]uint64, hdr.Count)
+	for i := range seqs {
+		seqs[i] = binary.LittleEndian.Uint64(seqBytes[8*i:])
+	}
+	info.eventOff = int64(len(segMagic)) + 8 + int64(hdrLen) + int64(8*hdr.Count)
+	if info.eventOff+hdr.EventBytes != st.Size() {
+		return nil, nil, fmt.Errorf("persist: %s: event block size mismatch", path)
+	}
+	if info.Count > 0 && len(info.Sparse) == 0 {
+		return nil, nil, fmt.Errorf("persist: %s: missing sparse index", path)
+	}
+	return info, seqs, nil
+}
+
+// WindowPositions returns the conservative [lo, hi) event-ordinal range
+// whose chunks can hold events in the [from, to) window, resolved on the
+// sparse index alone. Callers re-filter exactly; events outside the window
+// only cost their decode.
+func (si *SegmentInfo) WindowPositions(from, to time.Time) (int, int) {
+	lo, hi := 0, si.Count
+	if !from.IsZero() {
+		// Skip chunks that end strictly before from: chunk k's events are
+		// all <= the next chunk's start time.
+		k := 0
+		for k+1 < len(si.Sparse) && si.Sparse[k+1].Time.Before(from) {
+			k++
+		}
+		lo = si.Sparse[k].Pos
+	}
+	if !to.IsZero() {
+		k := len(si.Sparse)
+		for k > 0 && !si.Sparse[k-1].Time.Before(to) {
+			k--
+		}
+		if k < len(si.Sparse) {
+			hi = si.Sparse[k].Pos
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// ReadRange decodes the events with ordinals [lo, hi), reading only the
+// chunks that span the range and verifying each chunk's checksum.
+func (si *SegmentInfo) ReadRange(lo, hi int) ([]Event, error) {
+	if lo < 0 || hi > si.Count || lo >= hi {
+		if lo == hi {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("persist: %s: bad range [%d, %d) of %d", si.Path, lo, hi, si.Count)
+	}
+	// Chunk span covering [lo, hi).
+	first := 0
+	for first+1 < len(si.Sparse) && si.Sparse[first+1].Pos <= lo {
+		first++
+	}
+	last := first
+	for last+1 < len(si.Sparse) && si.Sparse[last+1].Pos < hi {
+		last++
+	}
+	startOff := si.Sparse[first].Off
+	endOff := si.Bytes - si.eventOff
+	if last+1 < len(si.Sparse) {
+		endOff = si.Sparse[last+1].Off
+	}
+
+	f, err := os.Open(si.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	block := make([]byte, endOff-startOff)
+	if _, err := io.ReadFull(io.NewSectionReader(f, si.eventOff+startOff, int64(len(block))), block); err != nil {
+		return nil, fmt.Errorf("persist: %s: reading events: %w", si.Path, err)
+	}
+	for k := first; k <= last; k++ {
+		chunkEnd := int64(len(block))
+		if k+1 < len(si.Sparse) {
+			chunkEnd = si.Sparse[k+1].Off - startOff
+		}
+		chunk := block[si.Sparse[k].Off-startOff : chunkEnd]
+		if checksum(chunk) != si.Sparse[k].CRC {
+			return nil, fmt.Errorf("persist: %s: chunk %d checksum mismatch", si.Path, k)
+		}
+	}
+
+	dict := make(map[uint64]*stt.Schema, len(si.schemas))
+	for i, s := range si.schemas {
+		dict[uint64(i)] = s
+	}
+	d := &decoder{data: block}
+	out := make([]Event, 0, hi-lo)
+	for pos := si.Sparse[first].Pos; pos < hi; pos++ {
+		ev := d.event(dict)
+		if d.err != nil {
+			return nil, fmt.Errorf("persist: %s: decoding event %d: %w", si.Path, pos, d.err)
+		}
+		if pos >= lo {
+			out = append(out, ev)
+		}
+	}
+	return out, nil
+}
+
+// ReadAll decodes every event in the file.
+func (si *SegmentInfo) ReadAll() ([]Event, error) { return si.ReadRange(0, si.Count) }
+
+// Remove deletes the segment file.
+func (si *SegmentInfo) Remove() error {
+	err := os.Remove(si.Path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// ListSegments returns the segment files in dir in generation order, plus
+// the next free generation number.
+func ListSegments(dir string) ([]string, int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 1, nil
+		}
+		return nil, 0, err
+	}
+	var files []string
+	next := 1
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash mid-spill can strand a temp file; it was never
+			// published, so clear it out.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(name, "seg-%d.seg", &n); err == nil && strings.HasSuffix(name, ".seg") {
+			files = append(files, filepath.Join(dir, name))
+			if n >= next {
+				next = n + 1
+			}
+		}
+	}
+	return files, next, nil
+}
+
+// SegmentFileName names generation n's segment file.
+func SegmentFileName(n int) string { return fmt.Sprintf("seg-%08d.seg", n) }

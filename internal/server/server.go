@@ -450,11 +450,15 @@ func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleWarehouseQuery runs an STT query against the Event Data Warehouse:
-// ?from=&to= (RFC3339), ®ion=minLat,minLon,maxLat,maxLon, &themes= and
-// &sources= (comma-separated), &cond= (payload condition), &limit=. The
-// select fans out across the warehouse shards and merges in time order;
-// the response's "segments" object reports how many time-partitioned
-// segments the query scanned versus pruned by their time envelope.
+// ?from=&to= (RFC3339), &region=minLat,minLon,maxLat,maxLon, &themes= and
+// &sources= (comma-separated), &cond= (payload condition), &limit=,
+// &offset=. The select fans out across the warehouse shards and merges in
+// time order. Results are paged: offset skips that many matches in
+// (time, seq) order, limit caps the page, and the response's "truncated"
+// flag says whether more matches follow — so a spilled history can be
+// walked page by page instead of materialized in one response. The
+// "segments" object reports how many time-partitioned segments the query
+// scanned versus pruned by their time envelope.
 func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	if s.Warehouse == nil {
 		writeError(w, http.StatusNotFound, "no warehouse configured")
@@ -491,19 +495,47 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		q.Sources = strings.Split(v, ",")
 	}
 	q.Cond = params.Get("cond")
-	q.Limit = 100
+	limit := 100
 	if v := params.Get("limit"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed < 1 || parsed > 10000 {
 			writeError(w, http.StatusBadRequest, "limit must be 1..10000")
 			return
 		}
-		q.Limit = parsed
+		limit = parsed
 	}
+	offset := 0
+	if v := params.Get("offset"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, "offset must be >= 0")
+			return
+		}
+		offset = parsed
+	}
+	// offset+limit bounds how many events one request materializes — the
+	// same 10000-event ceiling the limit alone used to carry. Deeper than
+	// that, page by time instead: pass the last event's _time as from=.
+	if offset+limit > 10000 {
+		writeError(w, http.StatusBadRequest,
+			"page too deep: offset+limit must be <= 10000; advance from= to the last seen event time instead")
+		return
+	}
+	// Fetch one event past the page to learn whether the result was cut.
+	q.Limit = offset + limit + 1
 	evs, qs, err := s.Warehouse.SelectWithStats(q)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
+	}
+	truncated := len(evs) > offset+limit
+	if truncated {
+		evs = evs[:offset+limit]
+	}
+	if offset < len(evs) {
+		evs = evs[offset:]
+	} else {
+		evs = nil
 	}
 	type eventView struct {
 		Seq   uint64         `json:"seq"`
@@ -513,7 +545,10 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	for _, ev := range evs {
 		out = append(out, eventView{Seq: ev.Seq, Event: ev.Tuple.Map()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"count": len(out), "events": out, "segments": qs})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count": len(out), "events": out, "segments": qs,
+		"offset": offset, "truncated": truncated,
+	})
 }
 
 func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"net/url"
+	"strconv"
 	"testing"
 	"time"
 
@@ -94,9 +95,96 @@ func TestWarehouseQueryBadParams(t *testing.T) {
 		"region=1,2,3",
 		"limit=0",
 		"limit=abc",
+		"offset=-1",
+		"offset=abc",
 	} {
 		if code := getJSON(t, ts.URL+"/api/warehouse/query?"+q, nil); code != 400 {
 			t.Errorf("query %q status = %d, want 400", q, code)
 		}
+	}
+}
+
+// TestWarehouseQueryPagination pages a result set with offset/limit and
+// checks the truncated flag and page boundaries.
+func TestWarehouseQueryPagination(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Count  int `json:"count"`
+		Events []struct {
+			Seq uint64 `json:"seq"`
+		} `json:"events"`
+		Offset    int  `json:"offset"`
+		Truncated bool `json:"truncated"`
+	}
+	var seen []uint64
+	for page := 0; page < 5; page++ {
+		res.Events = nil
+		u := ts.URL + "/api/warehouse/query?limit=4&offset=" + strconv.Itoa(page*4)
+		if code := getJSON(t, u, &res); code != 200 {
+			t.Fatalf("page %d status = %d", page, code)
+		}
+		if res.Offset != page*4 {
+			t.Fatalf("page %d offset echoed as %d", page, res.Offset)
+		}
+		for _, ev := range res.Events {
+			seen = append(seen, ev.Seq)
+		}
+		wantTruncated := page < 2 // 10 events in pages of 4: 4, 4, 2
+		if res.Truncated != wantTruncated {
+			t.Fatalf("page %d truncated = %v, want %v (count %d)", page, res.Truncated, wantTruncated, res.Count)
+		}
+		if !res.Truncated {
+			break
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("paged through %d events, want 10", len(seen))
+	}
+	for i, seq := range seen {
+		if seq != uint64(i) {
+			t.Fatalf("page order broken: seen[%d] = %d", i, seq)
+		}
+	}
+
+	// An offset past the end returns an empty, non-truncated page.
+	res.Events = nil
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=4&offset=50", &res); code != 200 {
+		t.Fatal("offset past end must succeed")
+	}
+	if res.Count != 0 || res.Truncated {
+		t.Fatalf("past-end page: count=%d truncated=%v", res.Count, res.Truncated)
+	}
+}
+
+// TestWarehouseStatsExposesDurability checks the durable-mode counters
+// ride the stats payload.
+func TestWarehouseStatsExposesDurability(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Events          int    `json:"events"`
+		SegmentsSpilled uint64 `json:"segments_spilled"`
+		WALBytes        *int64 `json:"wal_bytes"`
+		DiskBytes       *int64 `json:"disk_bytes"`
+		Recovered       *int64 `json:"recovered_events"`
+	}
+	if code := getJSON(t, ts.URL+"/api/warehouse/stats", &st); code != 200 {
+		t.Fatal("stats status")
+	}
+	if st.Events != 10 {
+		t.Fatalf("events = %d", st.Events)
+	}
+	// The test server's warehouse is in-memory: the fields must be present
+	// (not omitted) and zero.
+	if st.WALBytes == nil || st.DiskBytes == nil || st.Recovered == nil {
+		t.Fatal("durability fields missing from stats payload")
+	}
+	if *st.WALBytes != 0 || *st.DiskBytes != 0 || st.SegmentsSpilled != 0 {
+		t.Fatalf("in-memory warehouse reports disk usage: %+v", st)
 	}
 }

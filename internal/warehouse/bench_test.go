@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
 
@@ -278,6 +279,118 @@ func BenchmarkSelectSegmentPruning(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkIngestFsyncPolicy measures durable batched ingest under each
+// WAL fsync policy against the in-memory baseline. SyncAlways pays one
+// fsync per shard sub-batch; SyncInterval coalesces to one per 100ms;
+// SyncNever leaves flushing to the OS (crash-of-process safe, crash-of-
+// host exposed).
+func BenchmarkIngestFsyncPolicy(b *testing.B) {
+	const batchSize = 256
+	policies := []struct {
+		name string
+		open func(b *testing.B) *Warehouse
+	}{
+		{"memory", func(b *testing.B) *Warehouse { return NewWithConfig(Config{Shards: 4}) }},
+		{"never", func(b *testing.B) *Warehouse { return openBenchWarehouse(b, persist.SyncNever) }},
+		{"interval", func(b *testing.B) *Warehouse { return openBenchWarehouse(b, persist.SyncInterval) }},
+		{"always", func(b *testing.B) *Warehouse { return openBenchWarehouse(b, persist.SyncAlways) }},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			w := p.open(b)
+			defer w.Close()
+			batch := make([]*stt.Tuple, batchSize)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					off := time.Duration(i*batchSize+j) * time.Second
+					batch[j] = wTuple(off, 20, fmt.Sprintf("fs-%d", j%8), 34.7, 135.5)
+				}
+				if err := w.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+func openBenchWarehouse(b *testing.B, sync persist.SyncPolicy) *Warehouse {
+	b.Helper()
+	w, err := Open(Config{Shards: 4, DataDir: b.TempDir(), Sync: sync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSelectColdVsHot compares a time-range select over spilled
+// segments against the same data fully in memory: the cost of reading a
+// cold segment's overlapping chunks back from disk, and the envelope
+// pruning that keeps most cold files unopened.
+func BenchmarkSelectColdVsHot(b *testing.B) {
+	const n = 100_000
+	load := func(b *testing.B, w *Warehouse) {
+		batch := make([]*stt.Tuple, 0, 1000)
+		for i := 0; i < n; i++ {
+			batch = append(batch, wTuple(time.Duration(i)*time.Second, float64(10+i%25),
+				fmt.Sprintf("src-%d", i%8), 34.4+float64(i%50)*0.01, 135.2+float64(i%50)*0.01))
+			if len(batch) == cap(batch) {
+				if err := w.AppendBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+	}
+	q := Query{From: t0.Add(2 * time.Hour), To: t0.Add(3 * time.Hour)}
+
+	b.Run("hot", func(b *testing.B) {
+		w := NewWithConfig(Config{Shards: 4, SegmentEvents: 1000, SegmentSpan: time.Hour})
+		load(b, w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := w.Select(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	})
+	b.Run("spilled", func(b *testing.B) {
+		w, err := Open(Config{
+			Shards: 4, SegmentEvents: 1000, SegmentSpan: time.Hour,
+			DataDir: b.TempDir(), HotSegments: 1, Sync: persist.SyncNever,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		load(b, w)
+		if w.Stats().SegmentsCold == 0 {
+			b.Fatal("nothing spilled")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var scanned, pruned int
+		for i := 0; i < b.N; i++ {
+			_, qs, err := w.SelectWithStats(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scanned += qs.SegmentsScanned
+			pruned += qs.SegmentsPruned
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		if total := scanned + pruned; total > 0 {
+			b.ReportMetric(100*float64(pruned)/float64(total), "%segs-pruned")
+		}
+	})
 }
 
 // BenchmarkCountFastPath compares the per-segment counting path against

@@ -39,7 +39,43 @@
 // (by event time, then insertion Seq) are evicted down to 3/4 of the bound.
 // Eviction is apportioned by walking segment time-index prefixes, and a
 // segment consumed in full is dropped whole off the cold end — an O(1)
-// unlink with no index rebuild. Only the segments straddling the cutoff
-// (at most a handful, each bounded by SegmentEvents) pay a per-event trim
-// and segment-local index rebuild.
+// unlink with no index rebuild, or a single file delete for a spilled
+// segment. Only the segments straddling the cutoff (at most a handful,
+// each bounded by SegmentEvents) pay a per-event trim: an index rebuild in
+// memory, a logical skip on disk.
+//
+// # Durability & tiering
+//
+// Open with Config.DataDir builds the durable warehouse over the
+// internal/persist subsystem; everything else above still holds, and nil
+// DataDir keeps the store purely in-memory.
+//
+// Ingest durability comes from a per-shard write-ahead log: Append and
+// AppendBatch frame each shard sub-batch as one CRC-checked record and
+// write it before the events become visible, so a nil return means the
+// batch survives a process crash. Config.Sync picks the fsync policy —
+// SyncAlways (one sync per call), the default SyncInterval (coalesced to
+// one per Config.SyncEvery), or SyncNever (OS page cache only).
+//
+// Capacity beyond RAM comes from spilling: once a shard holds more than
+// Config.HotSegments sealed in-memory segments, the oldest are flushed to
+// immutable segment files — events in (time, seq) order behind a header
+// carrying the time/seq envelope, per-source and per-theme counts, a
+// schema dictionary and a sparse time index. Only that envelope stays in
+// RAM. Queries treat cold segments like hot ones: envelope pruning first
+// (most disk segments are never opened), then a chunked read of just the
+// window-overlapping stretch of the file. Spilling also checkpoints the
+// WAL: log files whose every record is spilled or evicted are deleted
+// whole.
+//
+// Open recovers a previous incarnation from its directory: spilled
+// segments are re-registered from their headers, the WAL tail is replayed
+// into fresh hot segments (skipping events already in segment files, and
+// truncating a torn tail at the first bad frame), and appends resume with
+// the sequence counter past everything recovered. A retention watermark in
+// the manifest — the (time, seq) cut of the last compaction, scoped by
+// per-shard log positions so later stragglers are exempt — keeps evicted
+// events from resurrecting out of the log. Stats reports the durable
+// footprint: segments_cold/segments_spilled, wal_bytes, disk_bytes and
+// recovered_events.
 package warehouse

@@ -3,6 +3,7 @@ package warehouse
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
 	"testing"
@@ -35,6 +36,9 @@ const (
 	opSelect
 	opCount
 	opSetRetention
+	// opReopen hard-closes the warehouse mid-run (simulating a crash) and
+	// reopens it from its data dir; only generated for durable configs.
+	opReopen
 )
 
 func (o mop) String() string {
@@ -52,6 +56,8 @@ func (o mop) String() string {
 		return fmt.Sprintf("Select{%s}", queryString(o.q))
 	case opCount:
 		return fmt.Sprintf("Count{%s}", queryString(o.q))
+	case opReopen:
+		return "CrashReopen{}"
 	default:
 		return fmt.Sprintf("SetRetention{%d}", o.retain)
 	}
@@ -176,8 +182,9 @@ func (m *refModel) matches(t *stt.Tuple, q Query) bool {
 // genOps builds a random op sequence. Times mostly advance (the hot-segment
 // path) with occasional deep stragglers (the out-of-order path), sources
 // come from a small pool so shards see interleaved streams, and retention
-// flips between off, loose and tight bounds.
-func genOps(r *rand.Rand, n int) []mop {
+// flips between off, loose and tight bounds. withReopen additionally mixes
+// in crash/reopen ops for durable configurations.
+func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 	sources := []string{"umeda", "namba", "kyoto", "sakai", "kobe", "nara"}
 	clock := 0 // minutes since t0
 	genTuple := func() *stt.Tuple {
@@ -225,6 +232,10 @@ func genOps(r *rand.Rand, n int) []mop {
 
 	ops := make([]mop, 0, n)
 	for i := 0; i < n; i++ {
+		if withReopen && r.Intn(25) == 0 {
+			ops = append(ops, mop{kind: opReopen})
+			continue
+		}
 		switch k := r.Intn(10); {
 		case k < 4:
 			ops = append(ops, mop{kind: opAppend, tuples: []*stt.Tuple{genTuple()}})
@@ -250,12 +261,35 @@ func genOps(r *rand.Rand, n int) []mop {
 }
 
 // runOps replays the sequence against a fresh warehouse and model, checking
-// every observable after every op. It returns a description of the first
-// divergence, or "" when the run agrees — side-effect free, so the shrinker
-// can replay candidate subsequences.
+// every observable after every op. A config with a DataDir sentinel runs
+// durably in a fresh temp directory (cleaned up on return) and honors
+// opReopen by hard-closing and recovering. It returns a description of the
+// first divergence, or "" when the run agrees — side-effect free, so the
+// shrinker can replay candidate subsequences.
 func runOps(cfg Config, ops []mop) string {
-	w := NewWithConfig(cfg)
+	durable := cfg.DataDir != ""
+	var w *Warehouse
+	if durable {
+		dir, err := os.MkdirTemp("", "whmodel")
+		if err != nil {
+			return fmt.Sprintf("tempdir: %v", err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.DataDir = dir
+		ww, err := Open(cfg)
+		if err != nil {
+			return fmt.Sprintf("open: %v", err)
+		}
+		w = ww
+		defer func() { w.CloseHard() }()
+	} else {
+		w = NewWithConfig(cfg)
+	}
 	m := &refModel{}
+	// The warehouse's Evicted counter restarts at zero on reopen; offset
+	// tracks the model evictions already accounted before the last crash.
+	evictedOffset := 0
+	retain := 0
 	for i, op := range ops {
 		switch op.kind {
 		case opAppend:
@@ -285,14 +319,32 @@ func runOps(cfg Config, ops []mop) string {
 				return fmt.Sprintf("op %d %s: count = %d, model = %d", i, op, got, want)
 			}
 		case opSetRetention:
+			retain = op.retain
 			w.SetRetention(op.retain)
 			m.setRetention(op.retain)
+		case opReopen:
+			if !durable {
+				continue
+			}
+			w.CloseHard()
+			ww, err := Open(cfg)
+			if err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			w = ww
+			evictedOffset = m.evicted
+			// Retention is configuration, not data: re-arm it like an
+			// operator would. The recovered store already reflects every
+			// pre-crash eviction (watermark), so this evicts nothing new.
+			if retain > 0 {
+				w.SetRetention(retain)
+			}
 		}
 		if w.Len() != len(m.events) {
 			return fmt.Sprintf("after op %d %s: Len = %d, model = %d", i, op, w.Len(), len(m.events))
 		}
-		if int(w.Evicted()) != m.evicted {
-			return fmt.Sprintf("after op %d %s: Evicted = %d, model = %d", i, op, w.Evicted(), m.evicted)
+		if int(w.Evicted())+evictedOffset != m.evicted {
+			return fmt.Sprintf("after op %d %s: Evicted = %d+%d, model = %d", i, op, w.Evicted(), evictedOffset, m.evicted)
 		}
 	}
 	return ""
@@ -330,19 +382,36 @@ func shrinkOps(ops []mop, fails func([]mop) bool) []mop {
 
 // TestModelCheck drives randomized op sequences across segment-boundary-
 // heavy configurations; the segmented, sharded, index-accelerated store
-// must be observationally identical to the naive model.
+// must be observationally identical to the naive model. Configurations
+// with a DataDir sentinel run durably — spilling cold segments to a temp
+// dir with a tiny hot budget, and crashing/reopening mid-sequence — and
+// must still be indistinguishable.
 func TestModelCheck(t *testing.T) {
+	// The sentinel is replaced by a fresh temp dir per run inside runOps.
+	const durableDir = "<tmp>"
 	configs := []Config{
 		{Shards: 1, SegmentEvents: 4, SegmentSpan: 10 * time.Minute},
 		{Shards: 4, SegmentEvents: 8, SegmentSpan: 30 * time.Minute},
 		{Shards: 2, SegmentEvents: 1, SegmentSpan: time.Minute},                // every event its own segment
 		{Shards: 4, SegmentEvents: 1 << 20, SegmentSpan: 24 * 365 * time.Hour}, // never rotates
+		// Durable: spill-heavy (everything beyond one sealed segment per
+		// shard is on disk) and crash-prone.
+		{Shards: 2, SegmentEvents: 4, SegmentSpan: 10 * time.Minute, DataDir: durableDir, HotSegments: 1},
+		{Shards: 4, SegmentEvents: 8, SegmentSpan: 30 * time.Minute, DataDir: durableDir, HotSegments: 2},
 	}
 	const seeds = 25
 	for ci, cfg := range configs {
-		t.Run(fmt.Sprintf("shards=%d/segEvents=%d", cfg.Shards, cfg.SegmentEvents), func(t *testing.T) {
-			for seed := int64(0); seed < seeds; seed++ {
-				ops := genOps(rand.New(rand.NewSource(seed+int64(ci)*1000)), 250)
+		name := fmt.Sprintf("shards=%d/segEvents=%d", cfg.Shards, cfg.SegmentEvents)
+		if cfg.DataDir != "" {
+			name += "/durable"
+		}
+		t.Run(name, func(t *testing.T) {
+			seedCount := seeds
+			if cfg.DataDir != "" && testing.Short() {
+				seedCount = 5 // durable runs pay real disk I/O
+			}
+			for seed := int64(0); seed < int64(seedCount); seed++ {
+				ops := genOps(rand.New(rand.NewSource(seed+int64(ci)*1000)), 250, cfg.DataDir != "")
 				diff := runOps(cfg, ops)
 				if diff == "" {
 					continue

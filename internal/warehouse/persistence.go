@@ -1,0 +1,250 @@
+package warehouse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streamloader/internal/persist"
+)
+
+// Open creates or recovers a warehouse. With no DataDir it is
+// NewWithConfig: a pure in-memory store, and every other persistence field
+// is ignored. With a DataDir it builds the durable warehouse: per-shard
+// WALs on the append path, spill-to-disk for cold segments, and — when the
+// directory already holds a previous incarnation — recovery:
+//
+//  1. spilled segment files are re-registered from their headers (no event
+//     payloads are read), with files wholly below the retention watermark
+//     deleted and the one straddling it re-trimmed;
+//  2. the WAL tail is replayed into fresh hot segments, skipping events
+//     already present in spilled files or below the watermark, truncating
+//     any torn tail; and
+//  3. appends resume in a fresh WAL file with the sequence counter past
+//     everything recovered.
+//
+// The manifest pins the shard count: a cfg.Shards that disagrees with an
+// existing directory is overridden, so spilled files stay on the shard
+// whose WAL wrote them.
+func Open(cfg Config) (*Warehouse, error) {
+	if cfg.DataDir == "" {
+		return NewWithConfig(cfg), nil
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("warehouse: open: %w", err)
+	}
+	man, found, err := persist.LoadManifest(cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: open: %w", err)
+	}
+	if found && man.Shards > 0 {
+		cfg.Shards = man.Shards
+	}
+	w := NewWithConfig(cfg)
+	if !found {
+		man = persist.Manifest{Version: 1, Shards: len(w.shards)}
+		if err := persist.SaveManifest(cfg.DataDir, man); err != nil {
+			return nil, fmt.Errorf("warehouse: open: %w", err)
+		}
+	}
+	w.pers = &persistState{dir: cfg.DataDir, manifest: man}
+
+	hotSegments := cfg.HotSegments
+	if hotSegments == 0 {
+		hotSegments = DefaultHotSegments
+	}
+	walOpts := persist.WALOptions{
+		Sync:         cfg.Sync,
+		SyncEvery:    cfg.SyncEvery,
+		SegmentBytes: cfg.WALBytes,
+	}
+
+	var maxSeq uint64
+	var anySeq bool
+	total := 0
+	for i, s := range w.shards {
+		s.dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%03d", i))
+		s.hotSegments = hotSegments
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			w.CloseHard()
+			return nil, fmt.Errorf("warehouse: open: %w", err)
+		}
+		var mark persist.ShardMark
+		if i < len(man.Marks) {
+			mark = man.Marks[i]
+		}
+		seqMax, any, err := w.recoverShard(s, man.Watermark, mark)
+		if err != nil {
+			w.CloseHard()
+			return nil, err
+		}
+		if any && (!anySeq || seqMax > maxSeq) {
+			maxSeq = seqMax
+		}
+		anySeq = anySeq || any
+		shardOpts := walOpts
+		// Never fall back behind the mark: a reused WAL file number or
+		// segment generation would make fresh records look older than the
+		// last compaction and expose them to its watermark.
+		shardOpts.MinFile = mark.WALFile + 1
+		if s.nextSegGen < mark.SegGen {
+			s.nextSegGen = mark.SegGen
+		}
+		wal, err := persist.OpenWAL(s.dir, shardOpts, s.walFiles)
+		s.walFiles = nil
+		if err != nil {
+			w.CloseHard()
+			return nil, fmt.Errorf("warehouse: open wal: %w", err)
+		}
+		s.wal = wal
+		// Replay may have rebuilt more hot segments than the budget
+		// allows; spill down now, which also checkpoints log files made
+		// wholly obsolete by pre-crash spills.
+		s.maybeSpillLocked(w)
+		s.wal.DropObsolete(s.minLiveSeqLocked())
+		total += s.count
+	}
+	if anySeq {
+		w.nextID.Store(maxSeq + 1)
+	}
+	w.count.Store(int64(total))
+	return w, nil
+}
+
+// recoverShard rebuilds one shard from its directory: cold segment files
+// first, then the WAL tail. The retention watermark is applied only to
+// state the recording compaction could see (WAL records and spill files
+// before the shard's mark); anything newer is live by definition, straggler
+// or not. It returns the highest warehouse seq it saw and whether it saw
+// any. Runs before the shard is shared, so no locking.
+func (w *Warehouse) recoverShard(s *shard, watermark persist.Key, mark persist.ShardMark) (uint64, bool, error) {
+	segPaths, nextGen, err := persist.ListSegments(s.dir)
+	if err != nil {
+		return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+	}
+	s.nextSegGen = nextGen
+
+	var maxSeq uint64
+	var anySeq bool
+	note := func(seq uint64) {
+		if !anySeq || seq > maxSeq {
+			maxSeq = seq
+		}
+		anySeq = true
+	}
+
+	// Seqs already durable in segment files; WAL records carrying them are
+	// duplicates and must not replay.
+	spilled := map[uint64]struct{}{}
+	for _, path := range segPaths {
+		info, seqs, err := persist.OpenSegment(path)
+		if err != nil {
+			return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+		}
+		for _, seq := range seqs {
+			spilled[seq] = struct{}{}
+			note(seq)
+		}
+		gen := 0
+		fmt.Sscanf(filepath.Base(path), "seg-%d.seg", &gen)
+		// Files spilled after the watermark's compaction hold only
+		// survivors and later arrivals; the cut does not apply to them.
+		cutApplies := !watermark.IsZero() && gen < mark.SegGen
+		if cutApplies && keyLE(info.Tail, watermark) {
+			// Every event is below the retention cut: the pre-crash
+			// compaction meant to delete this file (or already tried).
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+			}
+			continue
+		}
+		cs := newColdSegment(info)
+		if cutApplies && keyLE(info.Head, watermark) {
+			// The file straddles the cut: re-apply the logical trim the
+			// pre-crash compaction performed.
+			if err := cs.ensureLoaded(); err != nil {
+				return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+			}
+			n := 0
+			for n < len(cs.loaded) && keyLE(eventKey(cs.loaded[n]), watermark) {
+				n++
+			}
+			if n > 0 {
+				cs.dropPrefix(n)
+			}
+			cs.unload()
+			if cs.count == 0 {
+				_ = os.Remove(path)
+				continue
+			}
+		}
+		s.cold = append(s.cold, cs)
+		s.count += cs.count
+		for src, n := range cs.sourceCounts {
+			s.sources[src] += n
+		}
+		if cs.tail.Time.After(s.sealBound) {
+			// Keep straggler routing sane: events older than spilled
+			// history are out-of-order and should not stretch fresh hot
+			// segments' envelopes.
+			s.sealBound = cs.tail.Time
+		}
+		w.coldBytes.Add(info.Bytes)
+		w.recovered.Add(uint64(cs.count))
+	}
+
+	res, err := persist.ReplayWAL(s.dir, func(pe persist.Event, pos persist.Pos) error {
+		note(pe.Seq)
+		if _, dup := spilled[pe.Seq]; dup {
+			return nil
+		}
+		if !watermark.IsZero() && mark.Covers(pos) &&
+			keyLE(persist.Key{Time: pe.Tuple.Time, Seq: pe.Seq}, watermark) {
+			return nil
+		}
+		s.appendLocked(Event{Seq: pe.Seq, Tuple: pe.Tuple})
+		w.recovered.Add(1)
+		return nil
+	})
+	if err != nil {
+		return 0, false, fmt.Errorf("warehouse: replay: %w", err)
+	}
+	s.walFiles = res.Files
+	return maxSeq, anySeq, nil
+}
+
+// Close flushes and closes every shard's WAL. The warehouse stays
+// queryable, but further appends fail. A nil receiver or an in-memory
+// warehouse closes trivially.
+func (w *Warehouse) Close() error {
+	if w == nil || w.pers == nil {
+		return nil
+	}
+	var first error
+	for _, s := range w.shards {
+		s.mu.Lock()
+		if s.wal != nil {
+			if err := s.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.mu.Unlock()
+	}
+	return first
+}
+
+// CloseHard closes every WAL file descriptor without flushing, simulating
+// a crash: anything the OS has not been handed is lost, exactly as if the
+// process had been killed. For recovery testing.
+func (w *Warehouse) CloseHard() {
+	if w == nil || w.pers == nil {
+		return
+	}
+	for _, s := range w.shards {
+		s.mu.Lock()
+		if s.wal != nil {
+			s.wal.CloseHard()
+		}
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,407 @@
+package warehouse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/persist"
+	"streamloader/internal/stt"
+)
+
+// durableCfg is a small, spill-happy configuration: tiny segments and a
+// one-segment hot budget force most history onto disk.
+func durableCfg(dir string) Config {
+	return Config{
+		Shards: 4, SegmentEvents: 16, SegmentSpan: 10 * time.Minute,
+		DataDir: dir, HotSegments: 1, Sync: persist.SyncNever,
+	}
+}
+
+// ingestMixed appends n events over several sources with occasional
+// stragglers, mirroring the fleet shape the executor produces.
+func ingestMixed(t *testing.T, w *Warehouse, n int) []*stt.Tuple {
+	t.Helper()
+	sources := []string{"umeda", "namba", "kyoto", "sakai"}
+	var all []*stt.Tuple
+	batch := make([]*stt.Tuple, 0, 8)
+	for i := 0; i < n; i++ {
+		off := time.Duration(i) * time.Minute
+		if i%11 == 7 {
+			off -= 90 * time.Minute // straggler into sealed history
+		}
+		tup := wTuple(off, float64(i%35), sources[i%len(sources)],
+			34.4+float64(i%40)*0.01, 135.2+float64(i%40)*0.01)
+		all = append(all, tup)
+		batch = append(batch, tup)
+		if len(batch) == cap(batch) {
+			if err := w.AppendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := w.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	return all
+}
+
+// sameSelect asserts two warehouses answer a query identically, event for
+// event (Seq, time, payload).
+func sameSelect(t *testing.T, got, want *Warehouse, q Query) {
+	t.Helper()
+	gevs, err := got.Select(q)
+	if err != nil {
+		t.Fatalf("select: %v", err)
+	}
+	wevs, err := want.Select(q)
+	if err != nil {
+		t.Fatalf("reference select: %v", err)
+	}
+	if len(gevs) != len(wevs) {
+		t.Fatalf("select %+v: %d events, want %d", q, len(gevs), len(wevs))
+	}
+	for i := range gevs {
+		if gevs[i].Seq != wevs[i].Seq {
+			t.Fatalf("select %+v: [%d].Seq = %d, want %d", q, i, gevs[i].Seq, wevs[i].Seq)
+		}
+		g, w2 := gevs[i].Tuple, wevs[i].Tuple
+		if !g.Time.Equal(w2.Time) || g.Source != w2.Source {
+			t.Fatalf("select %+v: [%d] = %v, want %v", q, i, g, w2)
+		}
+		if g.Schema.IndexOf("temperature") >= 0 &&
+			g.MustGet("temperature").AsFloat() != w2.MustGet("temperature").AsFloat() {
+			t.Fatalf("select %+v: [%d] payload differs", q, i)
+		}
+	}
+}
+
+// queriesOver builds a representative query mix over the ingested span.
+func queriesOver() []Query {
+	region := geo.NewRect(geo.Point{Lat: 34.4, Lon: 135.2}, geo.Point{Lat: 34.6, Lon: 135.4})
+	return []Query{
+		{},
+		{From: t0.Add(30 * time.Minute), To: t0.Add(2 * time.Hour)},
+		{Sources: []string{"umeda", "kyoto"}},
+		{Themes: []string{"weather"}},
+		{Region: &region},
+		{Cond: "temperature > 20"},
+		{From: t0, To: t0.Add(3 * time.Hour), Limit: 25},
+	}
+}
+
+func TestOpenWithoutDataDirIsInMemory(t *testing.T) {
+	w, err := Open(Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.pers != nil {
+		t.Fatal("expected in-memory warehouse")
+	}
+	if err := w.Append(wTuple(0, 20, "s", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpilledEqualsInMemory is the acceptance criterion: a mixed
+// hot/spilled history answers every query byte-identically to the pure
+// in-memory configuration.
+func TestSpilledEqualsInMemory(t *testing.T) {
+	dir := t.TempDir()
+	durable, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer durable.Close()
+	mem := NewWithConfig(Config{Shards: 4, SegmentEvents: 16, SegmentSpan: 10 * time.Minute})
+
+	tuples := ingestMixed(t, durable, 600)
+	if err := mem.AppendBatch(tuples); err != nil {
+		t.Fatal(err)
+	}
+
+	if durable.Stats().SegmentsSpilled == 0 {
+		t.Fatal("configuration did not spill; test is vacuous")
+	}
+	for _, q := range queriesOver() {
+		sameSelect(t, durable, mem, q)
+		gn, err := durable.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wn, err := mem.Count(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gn != wn {
+			t.Fatalf("count %+v = %d, want %d", q, gn, wn)
+		}
+	}
+
+	// Envelope pruning still applies to spilled segments: a narrow window
+	// over a wide history must not open most files.
+	_, qs, err := durable.SelectWithStats(Query{From: t0.Add(8 * time.Hour), To: t0.Add(8*time.Hour + 10*time.Minute)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.SegmentsPruned == 0 || qs.SegmentsScanned > qs.SegmentsPruned {
+		t.Errorf("narrow window scanned %d, pruned %d", qs.SegmentsScanned, qs.SegmentsPruned)
+	}
+}
+
+func TestCrashRecoveryRecoversEverything(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := ingestMixed(t, w, 500)
+	beforeLen := w.Len()
+	beforeStats := w.Stats()
+	w.CloseHard() // crash
+
+	re, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != beforeLen {
+		t.Fatalf("recovered Len = %d, want %d", re.Len(), beforeLen)
+	}
+	st := re.Stats()
+	if st.RecoveredEvents != uint64(beforeLen) {
+		t.Errorf("recovered_events = %d, want %d", st.RecoveredEvents, beforeLen)
+	}
+	if st.Sources != beforeStats.Sources {
+		t.Errorf("sources = %d, want %d", st.Sources, beforeStats.Sources)
+	}
+	if !st.Earliest.Equal(beforeStats.Earliest) || !st.Latest.Equal(beforeStats.Latest) {
+		t.Errorf("time bounds %v..%v, want %v..%v", st.Earliest, st.Latest, beforeStats.Earliest, beforeStats.Latest)
+	}
+
+	// The recovered store answers like a fresh in-memory store holding
+	// the same tuples.
+	mem := NewWithConfig(Config{Shards: 4, SegmentEvents: 16, SegmentSpan: 10 * time.Minute})
+	if err := mem.AppendBatch(tuples); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queriesOver() {
+		sameSelect(t, re, mem, q)
+	}
+
+	// And ingest continues: sequence numbers must not collide with
+	// recovered ones.
+	if err := re.Append(wTuple(1000*time.Minute, 21, "umeda", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := re.Select(Query{Sources: []string{"umeda"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d after recovery", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestRecoveryAfterCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestMixed(t, w, 200)
+	n := w.Len()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(wTuple(0, 20, "s", 34.7, 135.5)); err == nil {
+		t.Fatal("append after Close must fail")
+	}
+	re, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != n {
+		t.Fatalf("Len = %d, want %d", re.Len(), n)
+	}
+}
+
+func TestRetentionSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetRetention(150)
+	ingestMixed(t, w, 600)
+	beforeLen := w.Len()
+	evs, err := w.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest := evs[0]
+	w.CloseHard()
+
+	re, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Evicted events must not be resurrected from the WAL or from
+	// spilled files.
+	if re.Len() != beforeLen {
+		t.Fatalf("recovered Len = %d, want %d (no resurrection)", re.Len(), beforeLen)
+	}
+	revs, err := re.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revs[0].Seq != oldest.Seq || !revs[0].Tuple.Time.Equal(oldest.Tuple.Time) {
+		t.Fatalf("recovered oldest = %d@%v, want %d@%v",
+			revs[0].Seq, revs[0].Tuple.Time, oldest.Seq, oldest.Tuple.Time)
+	}
+}
+
+func TestWALCheckpointBoundsLogSize(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.WALBytes = 8 << 10 // rotate often so spills can retire files
+	w, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ingestMixed(t, w, 3000)
+	st := w.Stats()
+	if st.SegmentsSpilled == 0 {
+		t.Fatal("no spills")
+	}
+	// Nearly all events are spilled; checkpointing must have deleted the
+	// bulk of the log. Allow generous slack for live tails.
+	if st.WALBytes > st.DiskBytes/2 {
+		t.Errorf("wal_bytes = %d of disk_bytes = %d; checkpoint not retiring files", st.WALBytes, st.DiskBytes)
+	}
+	walFiles := 0
+	for i := 0; i < w.NumShards(); i++ {
+		glob, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("shard-%03d", i), "wal-*.log"))
+		walFiles += len(glob)
+	}
+	if walFiles == 0 {
+		t.Fatal("no live wal files")
+	}
+}
+
+func TestRetentionDeletesColdFilesWhole(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ingestMixed(t, w, 800)
+	spilledBytes := w.coldBytes.Load()
+	if spilledBytes == 0 {
+		t.Fatal("no cold bytes before retention")
+	}
+	segFiles := func() int {
+		n := 0
+		for i := 0; i < w.NumShards(); i++ {
+			glob, _ := filepath.Glob(filepath.Join(dir, fmt.Sprintf("shard-%03d", i), "seg-*.seg"))
+			n += len(glob)
+		}
+		return n
+	}
+	before := segFiles()
+	w.SetRetention(100)
+	if after := segFiles(); after >= before {
+		t.Fatalf("segment files %d -> %d; retention must delete cold files", before, after)
+	}
+	if w.coldBytes.Load() >= spilledBytes {
+		t.Fatal("cold byte accounting did not shrink")
+	}
+	if w.Len() > 100 {
+		t.Fatalf("Len = %d after retention", w.Len())
+	}
+	// Queries still work over the surviving mixed history.
+	if _, err := w.Select(Query{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManifestPinsShardCount(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.Shards = 4
+	w, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestMixed(t, w, 100)
+	n := w.Len()
+	w.CloseHard()
+
+	cfg.Shards = 32 // disagreeing config must lose to the manifest
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumShards() != 4 {
+		t.Fatalf("shards = %d, want manifest's 4", re.NumShards())
+	}
+	if re.Len() != n {
+		t.Fatalf("Len = %d, want %d", re.Len(), n)
+	}
+}
+
+func TestTornWALTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableCfg(dir)
+	cfg.Shards = 1 // single shard so the torn file is deterministic
+	w, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := w.Append(wTuple(time.Duration(i)*time.Minute, 20, "s", 34.7, 135.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.CloseHard()
+
+	// Tear the newest WAL file mid-record.
+	glob, err := filepath.Glob(filepath.Join(dir, "shard-000", "wal-*.log"))
+	if err != nil || len(glob) == 0 {
+		t.Fatalf("wal files: %v, %v", glob, err)
+	}
+	last := glob[len(glob)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Exactly the torn record is lost; everything else survives.
+	if re.Len() != 39 {
+		t.Fatalf("Len = %d after torn tail, want 39", re.Len())
+	}
+}

@@ -28,6 +28,11 @@ type segment struct {
 
 	// minTime/maxTime bound the event times stored here (inclusive).
 	minTime, maxTime time.Time
+
+	// minSeq is the smallest warehouse sequence stored here; WAL
+	// checkpointing deletes log files whose every record is below the
+	// shard-wide minimum.
+	minSeq uint64
 }
 
 func newSegment() *segment {
@@ -70,6 +75,9 @@ func (g *segment) append(ev Event) {
 	}
 	if ord == 0 || t.Time.After(g.maxTime) {
 		g.maxTime = t.Time
+	}
+	if ord == 0 || ev.Seq < g.minSeq {
+		g.minSeq = ev.Seq
 	}
 	g.index(t, ord)
 }
@@ -200,6 +208,9 @@ func (g *segment) trimOldest(n int) []Event {
 	for i, ev := range survivors {
 		g.byTime = append(g.byTime, i) // survivors come out time-sorted
 		g.index(ev.Tuple, i)
+		if i == 0 || ev.Seq < g.minSeq {
+			g.minSeq = ev.Seq
+		}
 	}
 	g.minTime = survivors[0].Tuple.Time
 	g.maxTime = survivors[len(survivors)-1].Tuple.Time

@@ -2,12 +2,14 @@ package warehouse
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
 	"streamloader/internal/expr"
 	"streamloader/internal/geo"
+	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
 
@@ -39,11 +41,25 @@ type shard struct {
 	// segments; events older than it are stragglers and go to ooo.
 	sealBound time.Time
 
-	// count is the live event total across segments.
+	// count is the live event total across segments, cold included.
 	count int
 	// sources tracks live events per source, so Stats can count distinct
 	// sources without unioning per-segment indexes.
 	sources map[string]int
+
+	// Durable-mode state; wal is nil for a pure in-memory warehouse.
+	// wal logs every append before it becomes visible; cold holds the
+	// segments spilled to disk (oldest first); dir is the shard's data
+	// directory; nextSegGen numbers the next spill file; hotSegments
+	// bounds the sealed in-memory segments before spill kicks in.
+	wal         *persist.WAL
+	cold        []*coldSegment
+	dir         string
+	nextSegGen  int
+	hotSegments int
+	// walFiles carries the surviving WAL files from recovery to OpenWAL;
+	// cleared once the WAL takes ownership.
+	walFiles []persist.WALFileInfo
 }
 
 // segScan counts how segment pruning served one shard-local query.
@@ -99,11 +115,48 @@ func (s *shard) sealLocked(seg *segment) {
 }
 
 // applyDropsLocked executes a compaction verdict: drops[seg] oldest events
-// leave each segment. Fully-consumed segments are dropped whole — no index
-// is rebuilt — and only boundary segments pay a trim. It returns how many
-// segments were dropped whole and how many were trimmed. Caller holds the
-// write lock.
-func (s *shard) applyDropsLocked(drops map[*segment]int) (wholeDrops, trims int) {
+// leave each in-memory segment, coldDrops[cs] oldest live events leave
+// each spilled segment. Fully-consumed segments are dropped whole — an
+// in-memory unlink or a single file delete, no index rebuilt — and only
+// boundary segments pay a trim (in-memory rebuild, or a logical skip for
+// cold files). It returns how many segments were dropped whole and how
+// many were trimmed. Caller holds the write lock; w takes the disk-byte
+// accounting.
+func (s *shard) applyDropsLocked(w *Warehouse, drops map[*segment]int, coldDrops map[*coldSegment]int) (wholeDrops, trims int) {
+	keptCold := s.cold[:0]
+	for _, cs := range s.cold {
+		n := coldDrops[cs]
+		switch {
+		case n <= 0:
+			keptCold = append(keptCold, cs)
+		case n >= cs.count:
+			s.dropSourceCountsLocked(cs.sourceCounts)
+			s.count -= cs.count
+			w.coldBytes.Add(-cs.info.Bytes)
+			_ = cs.info.Remove() // a failed delete is re-reaped at next Open
+			wholeDrops++
+		default:
+			// The compaction walk loaded the segment to find the cutoff;
+			// settle per-source counts from the dropped prefix and record
+			// the skip. The file stays as-is.
+			for _, ev := range cs.dropPrefix(n) {
+				if src := ev.Tuple.Source; src != "" {
+					if s.sources[src]--; s.sources[src] == 0 {
+						delete(s.sources, src)
+					}
+				}
+			}
+			cs.unload()
+			s.count -= n
+			keptCold = append(keptCold, cs)
+			trims++
+		}
+	}
+	for i := len(keptCold); i < len(s.cold); i++ {
+		s.cold[i] = nil
+	}
+	s.cold = keptCold
+
 	kept := s.segs[:0]
 	for _, seg := range s.segs {
 		n := drops[seg]
@@ -150,9 +203,103 @@ func (s *shard) dropSourcesLocked(bySource map[string][]int) {
 	}
 }
 
+// dropSourceCountsLocked is dropSourcesLocked for a cold segment's
+// count-valued source map.
+func (s *shard) dropSourceCountsLocked(counts map[string]int) {
+	for src, n := range counts {
+		if s.sources[src] -= n; s.sources[src] <= 0 {
+			delete(s.sources, src)
+		}
+	}
+}
+
+// sealedInMemoryLocked counts the sealed (non-active) in-memory segments.
+func (s *shard) sealedInMemoryLocked() int {
+	n := len(s.segs)
+	if s.hot != nil {
+		n--
+	}
+	if s.ooo != nil {
+		n--
+	}
+	return n
+}
+
+// minLiveSeqLocked is the smallest warehouse seq still held in memory by
+// this shard; every WAL record below it is durable elsewhere (spilled or
+// evicted), so log files wholly below it can be checkpointed away.
+func (s *shard) minLiveSeqLocked() uint64 {
+	min := ^uint64(0)
+	for _, seg := range s.segs {
+		if seg.len() > 0 && seg.minSeq < min {
+			min = seg.minSeq
+		}
+	}
+	return min
+}
+
+// maybeSpillLocked flushes the oldest sealed in-memory segments to disk
+// until the shard is back under its hot-segment budget, then lets the WAL
+// retire log files the spill made obsolete. A spill failure leaves the
+// segment in memory — durability is unaffected (its WAL records survive)
+// and the next append retries. Caller holds the write lock.
+func (s *shard) maybeSpillLocked(w *Warehouse) {
+	if s.wal == nil || s.hotSegments <= 0 {
+		return
+	}
+	spilled := false
+	for s.sealedInMemoryLocked() > s.hotSegments {
+		victim := -1
+		for i, seg := range s.segs {
+			if seg != s.hot && seg != s.ooo && seg.len() > 0 {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		if err := s.spillLocked(w, victim); err != nil {
+			break
+		}
+		spilled = true
+	}
+	if spilled {
+		s.wal.DropObsolete(s.minLiveSeqLocked())
+	}
+}
+
+// spillLocked writes one sealed in-memory segment to a cold segment file
+// and swaps it for its envelope. Caller holds the write lock.
+func (s *shard) spillLocked(w *Warehouse, idx int) error {
+	seg := s.segs[idx]
+	events := make([]persist.Event, 0, seg.len())
+	for _, ord := range seg.byTime {
+		ev := seg.events[ord]
+		events = append(events, persist.Event{Seq: ev.Seq, Tuple: ev.Tuple})
+	}
+	// byTime is time-sorted with ties in insertion order; the file wants
+	// ties by seq.
+	persist.SortEvents(events)
+	path := filepath.Join(s.dir, persist.SegmentFileName(s.nextSegGen))
+	info, err := persist.WriteSegment(path, events)
+	if err != nil {
+		return err
+	}
+	s.nextSegGen++
+	s.cold = append(s.cold, newColdSegment(info))
+	s.segs = append(s.segs[:idx], s.segs[idx+1:]...)
+	w.segsSpilled.Add(1)
+	w.coldBytes.Add(info.Bytes)
+	return nil
+}
+
 // selectQ evaluates the query against this shard, returning events in
 // (event time, Seq) order, capped at q.Limit when set. Segments whose time
-// envelope misses the query window are pruned without touching any index.
+// envelope misses the query window are pruned without touching any index —
+// or, for spilled segments, without opening the file; a cold segment that
+// survives pruning has only its window-overlapping chunks read back and
+// linearly filtered.
 func (s *shard) selectQ(q Query) ([]Event, segScan, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -160,6 +307,26 @@ func (s *shard) selectQ(q Query) ([]Event, segScan, error) {
 	var sc segScan
 	conds := map[*stt.Schema]*expr.Compiled{}
 	var out []Event
+	for _, cs := range s.cold {
+		if cs.prunedBy(q.From, q.To) {
+			sc.pruned++
+			continue
+		}
+		sc.scanned++
+		evs, err := cs.readWindow(q.From, q.To)
+		if err != nil {
+			return nil, sc, err
+		}
+		for _, ev := range evs {
+			ok, err := matchEvent(ev, q, conds)
+			if err != nil {
+				return nil, sc, err
+			}
+			if ok {
+				out = append(out, ev)
+			}
+		}
+	}
 	for _, seg := range s.segs {
 		if seg.prunedBy(q.From, q.To) {
 			sc.pruned++
@@ -234,16 +401,40 @@ func matchEvent(ev Event, q Query, conds map[*stt.Schema]*expr.Compiled) (bool, 
 }
 
 // countQ counts the matching events without materializing or sorting them.
-// Time-only queries never touch individual events: pruned segments are
-// skipped, fully- or partially-covered segments contribute a binary-searched
-// slice of their time index. Only valid for queries without Cond or Limit.
-func (s *shard) countQ(q Query) (int, segScan) {
+// Time-only queries touch as few events as possible: pruned segments are
+// skipped, fully-covered segments (in memory or on disk) contribute their
+// count outright, partially-covered in-memory segments a binary-searched
+// slice of their time index, and only a partially-covered cold segment
+// reads its boundary chunks back. Only valid for queries without Cond or
+// Limit.
+func (s *shard) countQ(q Query) (int, segScan, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
 	var sc segScan
 	n := 0
 	timeOnly := q.Region == nil && len(q.Themes) == 0 && len(q.Sources) == 0
+	for _, cs := range s.cold {
+		if cs.prunedBy(q.From, q.To) {
+			sc.pruned++
+			continue
+		}
+		sc.scanned++
+		if timeOnly && cs.coveredBy(q.From, q.To) {
+			n += cs.count
+			continue
+		}
+		evs, err := cs.readWindow(q.From, q.To)
+		if err != nil {
+			return 0, sc, err
+		}
+		for _, ev := range evs {
+			// q.Cond is empty here, so matchEvent cannot fail.
+			if ok, _ := matchEvent(ev, q, nil); ok {
+				n++
+			}
+		}
+	}
 	for _, seg := range s.segs {
 		if seg.prunedBy(q.From, q.To) {
 			sc.pruned++
@@ -256,13 +447,12 @@ func (s *shard) countQ(q Query) (int, segScan) {
 			continue
 		}
 		for _, ord := range seg.candidateSet(q) {
-			// q.Cond is empty here, so matchEvent cannot fail.
 			if ok, _ := matchEvent(seg.events[ord], q, nil); ok {
 				n++
 			}
 		}
 	}
-	return n, sc
+	return n, sc, nil
 }
 
 // stats folds this shard's contribution into st under the shard's own
@@ -272,7 +462,8 @@ func (s *shard) stats(st *Stats) {
 	defer s.mu.RUnlock()
 	st.Events += s.count
 	st.Sources += len(s.sources) // sources are shard-local, so sums are exact
-	st.Segments += len(s.segs)
+	st.Segments += len(s.segs) + len(s.cold)
+	st.SegmentsCold += len(s.cold)
 	for _, seg := range s.segs {
 		for theme, ords := range seg.byTheme {
 			st.Themes[theme] += len(ords)
@@ -283,6 +474,20 @@ func (s *shard) stats(st *Stats) {
 		if st.Latest.IsZero() || seg.maxTime.After(st.Latest) {
 			st.Latest = seg.maxTime
 		}
+	}
+	for _, cs := range s.cold {
+		for theme, cnt := range cs.themeCounts {
+			st.Themes[theme] += cnt
+		}
+		if st.Earliest.IsZero() || cs.head.Time.Before(st.Earliest) {
+			st.Earliest = cs.head.Time
+		}
+		if st.Latest.IsZero() || cs.tail.Time.After(st.Latest) {
+			st.Latest = cs.tail.Time
+		}
+	}
+	if s.wal != nil {
+		st.WALBytes += s.wal.Bytes()
 	}
 }
 

@@ -3,13 +3,13 @@ package warehouse
 import (
 	"container/heap"
 	"fmt"
-	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
 
@@ -27,10 +27,18 @@ const DefaultSegmentEvents = 4096
 // rotates to a fresh segment; Config.SegmentSpan overrides it.
 const DefaultSegmentSpan = time.Hour
 
+// DefaultHotSegments is the per-shard sealed in-memory segment budget
+// before cold segments spill to disk, when a DataDir is configured;
+// Config.HotSegments overrides it.
+const DefaultHotSegments = 16
+
 // Config sizes a warehouse. The zero value of any field selects its
 // default.
 type Config struct {
-	// Shards is the shard count, rounded up to a power of two.
+	// Shards is the shard count, rounded up to a power of two. When a
+	// DataDir with an existing manifest is opened, the manifest's shard
+	// count wins, so spilled segment files stay on the shard that wrote
+	// them.
 	Shards int
 	// SegmentEvents bounds how many events one segment holds before the
 	// shard rotates to a fresh one.
@@ -38,6 +46,23 @@ type Config struct {
 	// SegmentSpan bounds the event-time envelope one segment covers before
 	// the shard rotates to a fresh one.
 	SegmentSpan time.Duration
+
+	// DataDir enables the durable subsystem: a per-shard write-ahead log
+	// on the append path and spill-to-disk for cold segments. Empty keeps
+	// the warehouse purely in-memory. Only Open honors it; NewWithConfig
+	// always builds an in-memory store.
+	DataDir string
+	// Sync is the WAL fsync policy (default: persist.SyncInterval, which
+	// coalesces syncs to at most one per SyncEvery).
+	Sync persist.SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// HotSegments bounds the sealed in-memory segments per shard before
+	// the oldest spill to disk. 0 means DefaultHotSegments; negative
+	// disables spilling (WAL-only durability).
+	HotSegments int
+	// WALBytes is the per-WAL-file rotation threshold (default 4 MiB).
+	WALBytes int64
 }
 
 // Event is one stored STT event.
@@ -73,9 +98,22 @@ type QueryStats struct {
 	SegmentsPruned  int `json:"segments_pruned"`
 }
 
-// sourceSeed keys the shard hash; shared so every warehouse routes a given
-// source to the same shard index for a given shard count.
-var sourceSeed = maphash.MakeSeed()
+// sourceHash routes a source name to a shard. It is FNV-1a rather than a
+// seeded hash so the routing is stable across process restarts: a durable
+// warehouse must send a recovering source's events to the shard whose WAL
+// and spill files hold its history.
+func sourceHash(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
 
 // Warehouse is the STT event store. Safe for concurrent use.
 type Warehouse struct {
@@ -91,10 +129,25 @@ type Warehouse struct {
 	segDrops atomic.Uint64
 	segTrims atomic.Uint64
 
+	// Durable-mode counters; pers is nil for an in-memory warehouse.
+	pers        *persistState
+	segsSpilled atomic.Uint64
+	coldBytes   atomic.Int64
+	recovered   atomic.Uint64
+
 	// retMu serializes retention changes and global compactions, which
 	// need every shard lock (always taken in shard order).
 	retMu     sync.Mutex
 	maxEvents atomic.Int64
+}
+
+// persistState carries the warehouse-global durable-mode state: the data
+// directory and the manifest holding the retention watermark. The manifest
+// is only written under every shard lock (compactions), so it needs no
+// extra synchronization beyond retMu.
+type persistState struct {
+	dir      string
+	manifest persist.Manifest
 }
 
 // New creates an empty warehouse with the default configuration.
@@ -105,8 +158,9 @@ func New() *Warehouse { return NewWithConfig(Config{}) }
 // to a single-lock store.
 func NewSharded(n int) *Warehouse { return NewWithConfig(Config{Shards: n}) }
 
-// NewWithConfig creates an empty warehouse sized by cfg; zero fields take
-// their defaults.
+// NewWithConfig creates an empty in-memory warehouse sized by cfg; zero
+// fields take their defaults. The persistence fields (DataDir and friends)
+// are ignored — Open is the entry point for a durable warehouse.
 func NewWithConfig(cfg Config) *Warehouse {
 	if cfg.Shards < 1 {
 		cfg.Shards = DefaultShards
@@ -135,27 +189,41 @@ func (w *Warehouse) NumShards() int { return len(w.shards) }
 // shardFor routes a source to its shard. Hashing by source keeps each
 // sensor's stream on one shard.
 func (w *Warehouse) shardFor(source string) *shard {
-	return w.shards[maphash.String(sourceSeed, source)&w.mask]
+	return w.shards[sourceHash(source)&w.mask]
 }
 
 // Append stores one event. The tuple is retained as-is and must not be
-// mutated afterwards (executor tuples are never mutated downstream).
+// mutated afterwards (executor tuples are never mutated downstream). In
+// durable mode the event is logged — and synced, per the fsync policy —
+// before it becomes visible, so a returned nil means the event survives a
+// crash.
 func (w *Warehouse) Append(t *stt.Tuple) error {
 	if t == nil || t.Schema == nil {
 		return fmt.Errorf("warehouse: nil tuple")
 	}
 	s := w.shardFor(t.Source)
 	s.mu.Lock()
-	s.appendLocked(Event{Seq: w.nextID.Add(1) - 1, Tuple: t})
+	ev := Event{Seq: w.nextID.Add(1) - 1, Tuple: t}
+	if s.wal != nil {
+		if err := s.wal.Append([]persist.Event{{Seq: ev.Seq, Tuple: t}}); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("warehouse: wal: %w", err)
+		}
+	}
+	s.appendLocked(ev)
 	w.count.Add(1)
+	s.maybeSpillLocked(w)
 	s.mu.Unlock()
 	w.maybeCompact()
 	return nil
 }
 
 // AppendBatch stores a batch of events, taking each involved shard lock
-// once instead of once per tuple. The whole batch is validated up front:
-// on error nothing is stored. Tuples are retained as-is, like Append.
+// once instead of once per tuple; in durable mode each shard's sub-batch
+// is one WAL record and at most one fsync. The whole batch is validated up
+// front: on a validation error nothing is stored. A WAL write failure also
+// fails the call, but sub-batches already logged to other shards remain
+// stored (and durable). Tuples are retained as-is, like Append.
 func (w *Warehouse) AppendBatch(tuples []*stt.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
@@ -169,13 +237,9 @@ func (w *Warehouse) AppendBatch(tuples []*stt.Tuple) error {
 	base := w.nextID.Add(uint64(len(tuples))) - uint64(len(tuples))
 
 	if len(w.shards) == 1 {
-		s := w.shards[0]
-		s.mu.Lock()
-		for i, t := range tuples {
-			s.appendLocked(Event{Seq: base + uint64(i), Tuple: t})
+		if err := w.appendShardBatch(w.shards[0], tuplesToEvents(tuples, base)); err != nil {
+			return err
 		}
-		w.count.Add(int64(len(tuples)))
-		s.mu.Unlock()
 	} else {
 		groups := map[*shard][]Event{}
 		for i, t := range tuples {
@@ -183,15 +247,43 @@ func (w *Warehouse) AppendBatch(tuples []*stt.Tuple) error {
 			groups[s] = append(groups[s], Event{Seq: base + uint64(i), Tuple: t})
 		}
 		for s, evs := range groups {
-			s.mu.Lock()
-			for _, ev := range evs {
-				s.appendLocked(ev)
+			if err := w.appendShardBatch(s, evs); err != nil {
+				return err
 			}
-			w.count.Add(int64(len(evs)))
-			s.mu.Unlock()
 		}
 	}
 	w.maybeCompact()
+	return nil
+}
+
+func tuplesToEvents(tuples []*stt.Tuple, base uint64) []Event {
+	evs := make([]Event, len(tuples))
+	for i, t := range tuples {
+		evs[i] = Event{Seq: base + uint64(i), Tuple: t}
+	}
+	return evs
+}
+
+// appendShardBatch stores one shard's slice of a batch under its lock,
+// logging it first in durable mode. A WAL failure drops the whole
+// sub-batch before any of it becomes visible.
+func (w *Warehouse) appendShardBatch(s *shard, evs []Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		pes := make([]persist.Event, len(evs))
+		for i, ev := range evs {
+			pes[i] = persist.Event{Seq: ev.Seq, Tuple: ev.Tuple}
+		}
+		if err := s.wal.Append(pes); err != nil {
+			return fmt.Errorf("warehouse: wal: %w", err)
+		}
+	}
+	for _, ev := range evs {
+		s.appendLocked(ev)
+	}
+	w.count.Add(int64(len(evs)))
+	s.maybeSpillLocked(w)
 	return nil
 }
 
@@ -228,9 +320,12 @@ func (w *Warehouse) maybeCompact() {
 
 // compactAll drops the globally-oldest events down to 3/4 of the bound
 // (amortizing the boundary trims). Whole cold segments fall off in O(1)
-// each — no index is rebuilt — and only the segments straddling the cutoff
-// pay a per-event trim. Caller holds retMu; every shard lock is taken, in
-// order, for the duration.
+// each — an in-memory unlink or one file delete, no index rebuilt — and
+// only the segments straddling the cutoff pay a per-event trim. In durable
+// mode the eviction watermark is persisted to the manifest before any
+// state changes, so a crash can never resurrect evicted events from the
+// WAL or from spilled files. Caller holds retMu; every shard lock is
+// taken, in order, for the duration.
 func (w *Warehouse) compactAll(maxEvents int) {
 	for _, s := range w.shards {
 		s.mu.Lock()
@@ -261,12 +356,19 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	// precedes every other head (the common case for sealed history), or
 	// the binary-searched prefix strictly before the next head — so the
 	// walk costs O(segments · log segments), not O(drop · segments), even
-	// when out-of-order segments overlap the cold end.
+	// when out-of-order segments overlap the cold end. Spilled segments
+	// join the walk by their envelope keys alone; only one that is
+	// partially consumed (the boundary file) is read back from disk.
 	var cursors []*segCursor
 	h := &cursorHeap{}
 	for _, s := range w.shards {
 		for _, seg := range s.segs {
-			c := &segCursor{sh: s, seg: seg}
+			c := &segCursor{sh: s, mem: seg}
+			cursors = append(cursors, c)
+			*h = append(*h, c)
+		}
+		for _, cs := range s.cold {
+			c := &segCursor{sh: s, cold: cs}
 			cursors = append(cursors, c)
 			*h = append(*h, c)
 		}
@@ -276,24 +378,43 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	remaining := drop
 	for remaining > 0 && h.Len() > 0 {
 		c := heap.Pop(h).(*segCursor)
-		rest := c.seg.len() - c.pos
+		if c.dead {
+			continue
+		}
+		rest := c.length() - c.pos
 		if h.Len() == 0 {
 			take := min(rest, remaining)
+			if c.cold != nil && take < rest {
+				// Partial consumption needs per-event keys below; make
+				// sure the boundary file is readable before committing.
+				if c.cold.ensureLoaded() != nil {
+					continue
+				}
+			}
 			c.pos += take
 			remaining -= take
 			continue
 		}
 		next := (*h)[0].head()
-		if rest <= remaining && eventLess(c.tail(), next) {
+		if rest <= remaining && c.tail().Less(next) {
 			c.pos += rest // whole remainder is globally coldest: consume it all
 			remaining -= rest
 			continue
 		}
 		// Consume the prefix strictly before the next head in one chunk;
 		// when the heads tie on time, this cursor still precedes by Seq,
-		// so one event is always safe.
+		// so one event is always safe. For a cold cursor this loads the
+		// file — it is the compaction boundary, so at most a couple of
+		// files per compaction pay the read; an unreadable file is left
+		// untouched (its events simply outlive the bound).
+		if c.cold != nil {
+			if c.cold.ensureLoaded() != nil {
+				c.dead = true
+				continue
+			}
+		}
 		chunk := sort.Search(rest, func(i int) bool {
-			return !c.seg.events[c.seg.byTime[c.pos+i]].Tuple.Time.Before(next.Tuple.Time)
+			return !c.timeAt(c.pos + i).Before(next.Time)
 		})
 		if chunk == 0 {
 			chunk = 1
@@ -301,53 +422,153 @@ func (w *Warehouse) compactAll(maxEvents int) {
 		take := min(chunk, remaining)
 		c.pos += take
 		remaining -= take
-		if c.pos < c.seg.len() {
+		if c.pos < c.length() {
 			heap.Push(h, c)
 		}
 	}
 
+	// Actual evictions may fall short of the plan when an unreadable cold
+	// file was skipped; count what really happens.
+	dropped := 0
+	anyDead := false
+	var cut persist.Key
+	for _, c := range cursors {
+		anyDead = anyDead || c.dead
+		if c.pos == 0 {
+			continue
+		}
+		dropped += c.pos
+		if k, ok := c.key(c.pos - 1); ok && cut.Less(k) {
+			cut = k
+		}
+	}
+	if dropped == 0 {
+		return
+	}
+	// Persist the watermark first: recovery re-applies any eviction the
+	// crash interrupts below. The per-shard marks scope it to the records
+	// this compaction could see — a straggler logged later may carry an
+	// event time below the watermark yet must survive recovery. When an
+	// unreadable cold file kept its (old) events, the cut computed from
+	// the segments that did evict would cover them too, and the next Open
+	// — with the file readable again — would delete events that visibly
+	// survived; leave the manifest alone in that degraded case and let
+	// the next clean compaction advance it (resurrecting this round's
+	// evictions after a crash is recoverable, losing live events is not).
+	if w.pers != nil && !anyDead {
+		if cut.Less(w.pers.manifest.Watermark) {
+			cut = w.pers.manifest.Watermark
+		}
+		w.pers.manifest.Watermark = cut
+		marks := make([]persist.ShardMark, len(w.shards))
+		for i, s := range w.shards {
+			if s.wal != nil {
+				p := s.wal.Position()
+				marks[i] = persist.ShardMark{WALFile: p.File, WALOff: p.Off, SegGen: s.nextSegGen}
+			}
+		}
+		w.pers.manifest.Marks = marks
+		// A failed manifest write is tolerable: eviction proceeds, and
+		// the worst case after a crash is re-ingesting events the next
+		// compaction re-evicts.
+		_ = persist.SaveManifest(w.pers.dir, w.pers.manifest)
+	}
+
 	perShard := map[*shard]map[*segment]int{}
+	perShardCold := map[*shard]map[*coldSegment]int{}
 	for _, c := range cursors {
 		if c.pos == 0 {
 			continue
 		}
-		m := perShard[c.sh]
-		if m == nil {
-			m = map[*segment]int{}
-			perShard[c.sh] = m
+		if c.mem != nil {
+			m := perShard[c.sh]
+			if m == nil {
+				m = map[*segment]int{}
+				perShard[c.sh] = m
+			}
+			m[c.mem] = c.pos
+		} else {
+			m := perShardCold[c.sh]
+			if m == nil {
+				m = map[*coldSegment]int{}
+				perShardCold[c.sh] = m
+			}
+			m[c.cold] = c.pos
 		}
-		m[c.seg] = c.pos
 	}
 	for _, s := range w.shards {
-		if m := perShard[s]; m != nil {
-			whole, trims := s.applyDropsLocked(m)
-			w.segDrops.Add(uint64(whole))
-			w.segTrims.Add(uint64(trims))
+		mem, cold := perShard[s], perShardCold[s]
+		if mem == nil && cold == nil {
+			continue
+		}
+		whole, trims := s.applyDropsLocked(w, mem, cold)
+		w.segDrops.Add(uint64(whole))
+		w.segTrims.Add(uint64(trims))
+		if s.wal != nil {
+			// In-memory evictions may have raised the shard's minimum
+			// live seq; let the WAL retire obsolete files.
+			s.wal.DropObsolete(s.minLiveSeqLocked())
 		}
 	}
-	w.evicted.Add(uint64(drop))
+	w.evicted.Add(uint64(dropped))
 	// All shard locks are held, so no append races this adjustment.
-	w.count.Add(int64(-drop))
+	w.count.Add(int64(-dropped))
 }
 
-// segCursor tracks a compaction's progress through one segment's time
-// index: events before pos are marked for eviction.
+// segCursor tracks a compaction's progress through one segment — exactly
+// one of mem (in-memory) or cold (spilled) is set — in (time, Seq) order:
+// events before pos are marked for eviction.
 type segCursor struct {
-	sh  *shard
-	seg *segment
-	pos int
+	sh   *shard
+	mem  *segment
+	cold *coldSegment
+	pos  int
+	// dead marks a cold cursor whose file could not be read; it is
+	// excluded from the walk and keeps its events.
+	dead bool
 }
 
-func (c *segCursor) head() Event { return c.seg.events[c.seg.byTime[c.pos]] }
-func (c *segCursor) tail() Event {
-	return c.seg.events[c.seg.byTime[len(c.seg.byTime)-1]]
+func (c *segCursor) length() int {
+	if c.mem != nil {
+		return c.mem.len()
+	}
+	return c.cold.count
 }
 
-// cursorHeap is a min-heap of segment cursors ordered by head event.
+// key returns the eviction key of the i-th oldest event. For a cold
+// segment, interior positions force a file load; ok is false if the file
+// is unreadable.
+func (c *segCursor) key(i int) (persist.Key, bool) {
+	if c.mem != nil {
+		return eventKey(c.mem.events[c.mem.byTime[i]]), true
+	}
+	return c.cold.keyAt(i)
+}
+
+func (c *segCursor) head() persist.Key {
+	k, _ := c.key(c.pos)
+	return k
+}
+
+func (c *segCursor) tail() persist.Key {
+	k, _ := c.key(c.length() - 1)
+	return k
+}
+
+// timeAt is key(i).Time for the binary-searched chunk consumption; the
+// caller has already ensured cold segments are loaded.
+func (c *segCursor) timeAt(i int) time.Time {
+	if c.mem != nil {
+		return c.mem.events[c.mem.byTime[i]].Tuple.Time
+	}
+	return c.cold.loaded[i].Tuple.Time
+}
+
+// cursorHeap is a min-heap of segment cursors ordered by head key.
 type cursorHeap []*segCursor
 
 func (h cursorHeap) Len() int           { return len(h) }
-func (h cursorHeap) Less(i, j int) bool { return eventLess(h[i].head(), h[j].head()) }
+func (h cursorHeap) Less(i, j int) bool { return h[i].head().Less(h[j].head()) }
 func (h cursorHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *cursorHeap) Push(x any)        { *h = append(*h, x.(*segCursor)) }
 func (h *cursorHeap) Pop() any {
@@ -487,12 +708,18 @@ func (w *Warehouse) Count(q Query) (int, error) {
 	}
 	shards := w.routedShards(q)
 	counts := make([]int, len(shards))
+	errs := make([]error, len(shards))
 	forEachShard(shards, func(i int, s *shard) {
-		counts[i], _ = s.countQ(q)
+		counts[i], _, errs[i] = s.countQ(q)
 	})
 	n := 0
 	for _, c := range counts {
 		n += c
+	}
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
 	}
 	return n, nil
 }
@@ -504,10 +731,23 @@ type Stats struct {
 	Themes   map[string]int `json:"themes"`
 	Earliest time.Time      `json:"earliest"`
 	Latest   time.Time      `json:"latest"`
-	// Segments is the live time-partition count across all shards;
-	// SegmentsDropped counts whole segments retention has aged out.
+	// Segments is the live time-partition count across all shards (cold
+	// included); SegmentsDropped counts whole segments retention has aged
+	// out.
 	Segments        int    `json:"segments"`
 	SegmentsDropped uint64 `json:"segments_dropped"`
+
+	// Durable-mode telemetry. SegmentsCold is the live spilled-segment
+	// count; SegmentsSpilled the cumulative spills; WALBytes/DiskBytes the
+	// on-disk footprint (DiskBytes = WAL + segment files);
+	// RecoveredEvents how many events the last Open brought back (WAL
+	// replay plus re-registered spilled segments). All zero for an
+	// in-memory warehouse.
+	SegmentsCold    int    `json:"segments_cold"`
+	SegmentsSpilled uint64 `json:"segments_spilled"`
+	WALBytes        int64  `json:"wal_bytes"`
+	DiskBytes       int64  `json:"disk_bytes"`
+	RecoveredEvents uint64 `json:"recovered_events"`
 }
 
 // Stats computes the summary, folding every shard's contribution.
@@ -517,6 +757,9 @@ func (w *Warehouse) Stats() Stats {
 		s.stats(&st)
 	}
 	st.SegmentsDropped = w.segDrops.Load()
+	st.SegmentsSpilled = w.segsSpilled.Load()
+	st.DiskBytes = st.WALBytes + w.coldBytes.Load()
+	st.RecoveredEvents = w.recovered.Load()
 	return st
 }
 
