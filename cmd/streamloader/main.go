@@ -7,9 +7,10 @@
 // Usage:
 //
 //	streamloader [-addr :8080] [-topology star] [-nodes 8] [-capacity 100]
-//	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 256]
+//	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 0]
 //	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
 //	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
+//	             [-cold-cache-bytes 67108864]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -17,8 +18,12 @@
 //
 // With -data-dir the warehouse is durable: appends go through a per-shard
 // write-ahead log (fsync per -fsync: never, always, interval, or a
-// duration like 250ms), cold segments beyond -hot-segments per shard spill
-// to disk, and a restart recovers everything that was acked.
+// duration like 250ms), cold segments beyond -hot-segments per shard are
+// flushed to disk by a background spiller (so ingest never stalls on a
+// segment write), and a restart recovers everything that was acked.
+// Queries over spilled history go through an LRU of decoded chunks sized
+// by -cold-cache-bytes, so repeated window queries over the same history
+// hit RAM instead of disk.
 package main
 
 import (
@@ -52,13 +57,14 @@ func main() {
 		live      = flag.Bool("live", true, "pace sources in real time (false: replay at full speed)")
 		strategy  = flag.String("placement", "locality", "placement strategy: round-robin, random, least-loaded, locality")
 		shards    = flag.Int("shards", warehouse.DefaultShards, "warehouse shard count (rounded up to a power of two)")
-		sinkBuf   = flag.Int("sink-batch", 256, "warehouse sink batch size (negative: per-tuple appends)")
+		sinkBuf   = flag.Int("sink-batch", 0, "warehouse sink batch size (0: adaptive from arrival rate; negative: per-tuple appends)")
 		retain    = flag.Int("retain", 0, "warehouse retention bound in events (0: unlimited)")
 		segEvents = flag.Int("segment-events", warehouse.DefaultSegmentEvents, "events per warehouse segment before rotation")
 		segSpan   = flag.Duration("segment-span", warehouse.DefaultSegmentSpan, "event-time span one warehouse segment covers before rotation")
 		dataDir   = flag.String("data-dir", "", "warehouse data directory (empty: in-memory only)")
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: never, always, interval, or a duration")
 		hotSegs   = flag.Int("hot-segments", warehouse.DefaultHotSegments, "sealed in-memory segments per shard before spilling to disk (negative: never spill)")
+		coldCache = flag.Int64("cold-cache-bytes", warehouse.DefaultColdCacheBytes, "budget for the LRU of decoded cold-segment chunks (negative: disable)")
 	)
 	flag.Parse()
 
@@ -92,13 +98,14 @@ func main() {
 		log.Fatalf("bad -fsync: %v", err)
 	}
 	wh, err := warehouse.Open(warehouse.Config{
-		Shards:        *shards,
-		SegmentEvents: *segEvents,
-		SegmentSpan:   *segSpan,
-		DataDir:       *dataDir,
-		Sync:          syncPolicy,
-		SyncEvery:     syncEvery,
-		HotSegments:   *hotSegs,
+		Shards:         *shards,
+		SegmentEvents:  *segEvents,
+		SegmentSpan:    *segSpan,
+		DataDir:        *dataDir,
+		Sync:           syncPolicy,
+		SyncEvery:      syncEvery,
+		HotSegments:    *hotSegs,
+		ColdCacheBytes: *coldCache,
 	})
 	if err != nil {
 		log.Fatalf("opening warehouse: %v", err)

@@ -73,9 +73,11 @@ type Config struct {
 	// SampleEvery is the event-time interval between monitor samples
 	// (default 1s).
 	SampleEvery time.Duration
-	// SinkBatch is the buffering batch size applied in front of factory
-	// sinks that support batched accepts (the warehouse). Default 256;
-	// negative disables sink buffering.
+	// SinkBatch sizes the buffering applied in front of factory sinks that
+	// support batched accepts (the warehouse). 0 (the default) sizes each
+	// sink's batches adaptively from its observed arrival rate (an EWMA of
+	// tuples per flush interval, clamped to [32, 4096]); a positive value
+	// fixes the batch size; negative disables sink buffering.
 	SinkBatch int
 	// SinkMaxAge bounds how long a tuple may sit in a sink buffer before
 	// an age-based flush (default 50ms).
@@ -109,9 +111,6 @@ func New(cfg Config) (*Executor, error) {
 	}
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = time.Second
-	}
-	if cfg.SinkBatch == 0 {
-		cfg.SinkBatch = 256
 	}
 	if cfg.SinkMaxAge <= 0 {
 		cfg.SinkMaxAge = 50 * time.Millisecond

@@ -329,8 +329,9 @@ func (d *Deployment) buildSink(pn *dataflow.PlanNode, nodeID string) (Sink, erro
 		// Batch-capable destinations (the warehouse) get a buffering
 		// front so the dataflow pays one shard lock round-trip per batch
 		// instead of per tuple; Close drains, so Run still hands the
-		// complete output downstream before returning.
-		if batch := d.exec.cfg.SinkBatch; batch > 0 {
+		// complete output downstream before returning. SinkBatch 0 sizes
+		// the batches adaptively from the sink's observed arrival rate.
+		if batch := d.exec.cfg.SinkBatch; batch >= 0 {
 			if bs, ok := sink.(BatchSink); ok {
 				return newBufferedSink(bs, batch, d.exec.cfg.SinkMaxAge), nil
 			}

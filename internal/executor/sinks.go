@@ -55,9 +55,17 @@ type BatchSink interface {
 }
 
 // bufferedSink batches tuples in front of a BatchSink. It flushes when the
-// buffer reaches size tuples or on an age tick (so a stalled stream still
-// lands within ~2×maxAge of wall time), and drains on Close, so a completed
-// run always observes its full output downstream.
+// buffer reaches the batch size or on an age tick (so a stalled stream
+// still lands within ~2×maxAge of wall time), and drains on Close, so a
+// completed run always observes its full output downstream.
+//
+// The batch size is either fixed (a positive size at construction) or
+// adaptive: sized from the observed arrival rate, as an EWMA of tuples
+// accepted per age interval, clamped to [minAdaptiveBatch,
+// maxAdaptiveBatch]. A trickle stream then flushes in small, low-latency
+// batches instead of waiting out the age tick at a fixed 256, while a
+// heavy stream grows its batches until each flush amortizes the
+// destination's lock round-trip over thousands of tuples.
 //
 // A failed flush loses nothing: the batch is re-buffered and retried on the
 // next size trigger, age tick or Close, so a transient destination error is
@@ -67,7 +75,6 @@ type BatchSink interface {
 // failure rather than success.
 type bufferedSink struct {
 	dst      BatchSink
-	size     int
 	ticker   *time.Ticker
 	done     chan struct{}
 	loopDone chan struct{}
@@ -81,7 +88,11 @@ type bufferedSink struct {
 
 	mu       sync.Mutex
 	buf      []*stt.Tuple
-	flushErr error // latest unresolved flush failure; cleared when the backlog lands
+	size     int // current flush threshold; fixed, or retuned per age tick
+	adaptive bool
+	accepted int     // tuples accepted since the last rate sample
+	rate     float64 // EWMA of tuples per age interval
+	flushErr error   // latest unresolved flush failure; cleared when the backlog lands
 	// failedAccepts counts Accepts since the last retry while flushErr is
 	// set: the destination is retried once every size accepts — not per
 	// tuple (a retry storm), and not only on age ticks (which would keep a
@@ -93,7 +104,23 @@ type bufferedSink struct {
 // before Accept starts shedding.
 const maxBacklog = 4
 
-// newBufferedSink wraps dst; size and maxAge must be positive.
+// Adaptive batch sizing bounds and smoothing.
+const (
+	minAdaptiveBatch = 32
+	maxAdaptiveBatch = 4096
+	// adaptiveStart seeds the EWMA before the first rate sample; it is the
+	// old fixed default, so a sink behaves identically until it has
+	// observed real traffic.
+	adaptiveStart = 256
+	// adaptiveAlpha weights the newest interval in the EWMA: high enough
+	// to follow a workload shift within a few age ticks, low enough that
+	// one bursty interval does not whipsaw the batch size.
+	adaptiveAlpha = 0.3
+)
+
+// newBufferedSink wraps dst; maxAge must be positive. A positive size fixes
+// the flush threshold; size <= 0 selects adaptive sizing from the observed
+// arrival rate.
 func newBufferedSink(dst BatchSink, size int, maxAge time.Duration) *bufferedSink {
 	b := &bufferedSink{
 		dst:      dst,
@@ -102,12 +129,19 @@ func newBufferedSink(dst BatchSink, size int, maxAge time.Duration) *bufferedSin
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	if size <= 0 {
+		b.adaptive = true
+		b.size = adaptiveStart
+		b.rate = adaptiveStart
+	}
 	go b.ageLoop()
 	return b
 }
 
 // ageLoop flushes any buffered tuples on each tick until Close; each tick
-// also retries a re-buffered backlog. flush records any failure itself.
+// also retries a re-buffered backlog and, in adaptive mode, retunes the
+// batch size from the interval's arrival count. flush records any failure
+// itself.
 func (b *bufferedSink) ageLoop() {
 	defer close(b.loopDone)
 	for {
@@ -115,9 +149,33 @@ func (b *bufferedSink) ageLoop() {
 		case <-b.done:
 			return
 		case <-b.ticker.C:
+			b.adapt()
 			_ = b.flush()
 		}
 	}
+}
+
+// adapt folds the last interval's arrivals into the rate EWMA and resizes
+// the flush threshold to it, clamped. One batch per age interval is the
+// equilibrium: slower streams flush by age at whatever has arrived, faster
+// ones flush by size a few times per tick with maximal batches.
+func (b *bufferedSink) adapt() {
+	if !b.adaptive {
+		return
+	}
+	b.mu.Lock()
+	n := b.accepted
+	b.accepted = 0
+	b.rate = adaptiveAlpha*float64(n) + (1-adaptiveAlpha)*b.rate
+	size := int(b.rate + 0.5)
+	if size < minAdaptiveBatch {
+		size = minAdaptiveBatch
+	}
+	if size > maxAdaptiveBatch {
+		size = maxAdaptiveBatch
+	}
+	b.size = size
+	b.mu.Unlock()
 }
 
 // Accept buffers the tuple, flushing the batch once it reaches size. A
@@ -127,6 +185,7 @@ func (b *bufferedSink) ageLoop() {
 // error so the caller counts the drop.
 func (b *bufferedSink) Accept(t *stt.Tuple) error {
 	b.mu.Lock()
+	b.accepted++ // arrival-rate sample for adaptive sizing, shed or not
 	if b.flushErr != nil {
 		b.failedAccepts++
 		retry := b.failedAccepts >= b.size

@@ -262,6 +262,92 @@ func TestBufferedSinkPersistentFailure(t *testing.T) {
 	}
 }
 
+// TestBufferedSinkAdaptiveSizing drives an adaptive sink (size 0) at a
+// known rate and checks the batch size tracks it: heavy traffic grows the
+// threshold toward the arrivals-per-interval rate, silence shrinks it back
+// down, and the clamp bounds always hold.
+func TestBufferedSinkAdaptiveSizing(t *testing.T) {
+	rec := &recordingBatchSink{}
+	b := newBufferedSink(rec, 0, time.Hour) // ticks driven manually via adapt()
+	if !b.adaptive || b.size != adaptiveStart {
+		t.Fatalf("adaptive sink starts size=%d adaptive=%v, want %d/true", b.size, b.adaptive, adaptiveStart)
+	}
+
+	// Sustained heavy intervals: ~10000 arrivals per tick must saturate at
+	// the clamp ceiling, not track the raw rate.
+	for tick := 0; tick < 12; tick++ {
+		for i := 0; i < 10000; i++ {
+			if err := b.Accept(sinkTuple(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.adapt()
+	}
+	b.mu.Lock()
+	heavy := b.size
+	b.mu.Unlock()
+	if heavy != maxAdaptiveBatch {
+		t.Fatalf("after heavy intervals size = %d, want clamp %d", heavy, maxAdaptiveBatch)
+	}
+
+	// Silence: the EWMA decays and the size floors at the clamp minimum.
+	for tick := 0; tick < 40; tick++ {
+		b.adapt()
+	}
+	b.mu.Lock()
+	quiet := b.size
+	b.mu.Unlock()
+	if quiet != minAdaptiveBatch {
+		t.Fatalf("after quiet intervals size = %d, want clamp %d", quiet, minAdaptiveBatch)
+	}
+
+	// A moderate steady rate settles near the rate itself.
+	for tick := 0; tick < 20; tick++ {
+		for i := 0; i < 500; i++ {
+			if err := b.Accept(sinkTuple(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.adapt()
+	}
+	b.mu.Lock()
+	steady := b.size
+	b.mu.Unlock()
+	if steady < 400 || steady > 600 {
+		t.Fatalf("steady 500/interval settled at size %d, want ~500", steady)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Conservation across all the resizing: every accepted tuple landed.
+	if got := rec.total(); got != 12*10000+20*500 {
+		t.Fatalf("delivered %d tuples, want %d", got, 12*10000+20*500)
+	}
+}
+
+// TestBufferedSinkFixedSizeStaysFixed: an explicit size must never be
+// retuned by the age loop.
+func TestBufferedSinkFixedSizeStaysFixed(t *testing.T) {
+	rec := &recordingBatchSink{}
+	b := newBufferedSink(rec, 7, time.Hour)
+	for i := 0; i < 100; i++ {
+		if err := b.Accept(sinkTuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.adapt() // a tick on a fixed-size sink is a no-op
+	b.mu.Lock()
+	size := b.size
+	b.mu.Unlock()
+	if size != 7 {
+		t.Fatalf("fixed sink resized to %d", size)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCollectSinksDoNotShareLocks(t *testing.T) {
 	// Two collect sinks of one deployment accept concurrently; each buffers
 	// under its own lock and Collected merges on read.

@@ -1,0 +1,140 @@
+package persist
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkCache is a byte-budgeted LRU of decoded segment-file chunks, shared
+// across every cold segment of one warehouse. Segment files are immutable
+// and their paths are never reused within a process (generation numbers
+// only grow), so an entry can never go stale — at worst it outlives its
+// file and ages out. Repeated window queries over the same cold history hit
+// RAM instead of re-reading and re-decoding the file.
+//
+// The budget counts each chunk's encoded on-disk size: it is known exactly
+// without walking the decoded tuples, and the decoded footprint is
+// proportional to it. Entries are small (IndexEvery events each), so a
+// budget admits many chunks and eviction granularity stays fine.
+type ChunkCache struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[chunkKey]*list.Element
+	lru     *list.List // front = most recently used
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// chunkKey identifies one decoded chunk: the segment file and the chunk's
+// index in its sparse index.
+type chunkKey struct {
+	path  string
+	chunk int
+}
+
+type chunkEntry struct {
+	key    chunkKey
+	events []Event
+	bytes  int64
+}
+
+// NewChunkCache builds a cache bounded to roughly budget encoded bytes.
+// A budget <= 0 returns nil, which every user treats as "no cache".
+func NewChunkCache(budget int64) *ChunkCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &ChunkCache{
+		budget:  budget,
+		entries: map[chunkKey]*list.Element{},
+		lru:     list.New(),
+	}
+}
+
+// get returns the decoded chunk and marks it recently used. The returned
+// slice is shared: callers must treat it (and the tuples it references) as
+// immutable, which is already the warehouse-wide contract for stored events.
+func (c *ChunkCache) get(k chunkKey) ([]Event, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	evs := el.Value.(*chunkEntry).events
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return evs, true
+}
+
+// put inserts a decoded chunk, evicting least-recently-used entries until
+// the budget holds. A chunk larger than the whole budget is not cached.
+func (c *ChunkCache) put(k chunkKey, events []Event, size int64) {
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el) // raced with another reader; keep the first copy
+		return
+	}
+	for c.bytes+size > c.budget {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*chunkEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.bytes
+	}
+	c.entries[k] = c.lru.PushFront(&chunkEntry{key: k, events: events, bytes: size})
+	c.bytes += size
+}
+
+// Invalidate drops every cached chunk of one segment file. Retention calls
+// it when it deletes a cold file whole, so the dead file's chunks free
+// their budget immediately instead of aging out.
+func (c *ChunkCache) Invalidate(path string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, el := range c.entries {
+		if k.path != path {
+			continue
+		}
+		c.bytes -= el.Value.(*chunkEntry).bytes
+		c.lru.Remove(el)
+		delete(c.entries, k)
+	}
+}
+
+// ChunkCacheStats is a point-in-time cache summary.
+type ChunkCacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Bytes   int64
+	Entries int
+}
+
+// Stats reports cumulative hit/miss counters and the current footprint.
+// Safe on a nil cache (all zeros).
+func (c *ChunkCache) Stats() ChunkCacheStats {
+	if c == nil {
+		return ChunkCacheStats{}
+	}
+	c.mu.Lock()
+	st := ChunkCacheStats{Bytes: c.bytes, Entries: c.lru.Len()}
+	c.mu.Unlock()
+	st.Hits = c.hits.Load()
+	st.Misses = c.misses.Load()
+	return st
+}

@@ -2,7 +2,7 @@
 // Warehouse: a per-shard write-ahead log so acked events survive a crash,
 // immutable on-disk segment files that cold warehouse segments spill into,
 // and a small manifest carrying the state recovery needs (shard count and
-// the retention watermark).
+// the retention cut frontier).
 //
 // The package deliberately knows nothing about shards, indexes or queries —
 // it moves (sequence, tuple) pairs between memory and disk with integrity
@@ -37,7 +37,19 @@
 // event payload; the sparse index maps every IndexEvery-th event to its
 // byte offset so a time-window read decodes only the overlapping stretch.
 // Segment files are immutable: retention removes them whole, and partial
-// eviction is a logical skip recorded in the manifest watermark.
+// eviction is a logical skip re-derivable from the manifest's cuts.
+//
+// # Retention cuts
+//
+// The manifest records evictions as a frontier of Cuts, each pairing one
+// compaction's watermark — the highest (time, seq) key it evicted — with
+// the per-shard WAL positions and segment generations it saw. Recovery
+// suppresses an event when any cut both saw it and covers its key. The
+// pairing matters: a compaction that runs after deep stragglers arrived
+// may evict up to a lower watermark than an earlier cut's, and those
+// stragglers must survive recovery even though they sit below the older
+// watermark — so the older watermark stays scoped to the older marks
+// instead of being re-issued against newer ones.
 package persist
 
 import (
@@ -159,20 +171,83 @@ type Pos struct {
 	Off  int64 // frame start offset within the file
 }
 
+// Cut records one compaction's eviction durably: every event with
+// Key <= Watermark that the compaction could see — WAL records and segment
+// files before the per-shard Marks — has been evicted and must not be
+// resurrected by replay. The pairing is load-bearing: a watermark is only
+// meaningful against the marks of the compaction that computed it. A later
+// compaction may legitimately leave alive stragglers whose keys sit below
+// an earlier cut's watermark (they arrived after it), so its own cut must
+// carry its own, lower watermark rather than inherit the old one against
+// new marks.
+type Cut struct {
+	Watermark Key `json:"-"`
+	// Marks holds one ShardMark per shard, recorded when Watermark was.
+	Marks []ShardMark `json:"marks,omitempty"`
+
+	WatermarkJSON keyJSON `json:"watermark"`
+}
+
+// Mark returns the cut's mark for one shard (zero when out of range).
+func (c Cut) Mark(shard int) ShardMark {
+	if shard < len(c.Marks) {
+		return c.Marks[shard]
+	}
+	return ShardMark{}
+}
+
+// maxCuts bounds the manifest's cut frontier. Overflow drops the
+// oldest (highest-watermark) cut: its evictions are the longest-settled —
+// their log files are the likeliest already checkpointed away — and the
+// worst case of dropping it is bounded resurrection, never loss.
+const maxCuts = 32
+
 // Manifest is the per-data-dir recovery state, saved atomically.
 type Manifest struct {
 	Version int `json:"version"`
 	// Shards pins the shard count the directory layout was written for;
 	// Open adopts it so spilled segment files stay on their shard.
 	Shards int `json:"shards"`
-	// Watermark is the retention cut: every event with Key <= Watermark
-	// that was visible to the compaction (per Marks) has been evicted and
-	// must not be resurrected by replay.
-	Watermark Key `json:"-"`
-	// Marks holds one ShardMark per shard, recorded when Watermark was.
-	Marks []ShardMark `json:"marks,omitempty"`
+	// Cuts is the frontier of live retention cuts, oldest first: marks
+	// increase and watermarks strictly decrease along it (a new cut at or
+	// above an older watermark subsumes the older cut, which is pruned).
+	// An event is suppressed at recovery when ANY cut covers it.
+	Cuts []Cut `json:"cuts,omitempty"`
 
-	WatermarkJSON keyJSON `json:"watermark"`
+	// Legacy single-cut fields, read (never written) so manifests from
+	// before the frontier keep recovering.
+	LegacyMarks         []ShardMark `json:"marks,omitempty"`
+	LegacyWatermarkJSON *keyJSON    `json:"watermark,omitempty"`
+}
+
+// AddCut appends a compaction's cut, pruning the cuts it subsumes: every
+// older cut whose watermark is at or below the new one is fully covered
+// (the new cut's marks are at or past every older cut's). A zero-watermark
+// cut records nothing and is ignored.
+func (m *Manifest) AddCut(c Cut) {
+	if c.Watermark.IsZero() {
+		return
+	}
+	kept := m.Cuts[:0]
+	for _, old := range m.Cuts {
+		if !c.Watermark.Less(old.Watermark) { // old <= new: subsumed
+			continue
+		}
+		kept = append(kept, old)
+	}
+	m.Cuts = append(kept, c)
+	if len(m.Cuts) > maxCuts {
+		m.Cuts = append(m.Cuts[:0], m.Cuts[1:]...)
+	}
+}
+
+// LastMarks returns the newest cut's marks — the furthest positions any
+// recorded compaction has seen — or nil when no cut exists.
+func (m *Manifest) LastMarks() []ShardMark {
+	if len(m.Cuts) == 0 {
+		return nil
+	}
+	return m.Cuts[len(m.Cuts)-1].Marks
 }
 
 const manifestName = "MANIFEST.json"
@@ -190,26 +265,35 @@ func LoadManifest(dir string) (Manifest, bool, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return Manifest{}, false, fmt.Errorf("persist: bad manifest: %w", err)
 	}
-	if m.WatermarkJSON.Set {
-		m.Watermark = Key{
-			Time: time.Unix(m.WatermarkJSON.UnixSec, int64(m.WatermarkJSON.Nanos)).UTC(),
-			Seq:  m.WatermarkJSON.Seq,
+	for i := range m.Cuts {
+		if m.Cuts[i].WatermarkJSON.Set {
+			m.Cuts[i].Watermark = keyFromJSON(m.Cuts[i].WatermarkJSON)
 		}
 	}
+	// A pre-frontier manifest carries one (watermark, marks) pair at the
+	// top level; adopt it as the sole cut.
+	if len(m.Cuts) == 0 && m.LegacyWatermarkJSON != nil && m.LegacyWatermarkJSON.Set {
+		m.Cuts = []Cut{{
+			Watermark: keyFromJSON(*m.LegacyWatermarkJSON),
+			Marks:     m.LegacyMarks,
+		}}
+	}
+	m.LegacyMarks, m.LegacyWatermarkJSON = nil, nil
 	return m, true, nil
 }
 
 // SaveManifest writes the manifest atomically (temp file + rename + dir
 // sync), so a crash leaves either the old or the new manifest, never a mix.
 func SaveManifest(dir string, m Manifest) error {
-	if !m.Watermark.IsZero() {
-		m.WatermarkJSON = keyJSON{
-			UnixSec: m.Watermark.Time.Unix(),
-			Nanos:   m.Watermark.Time.Nanosecond(),
-			Seq:     m.Watermark.Seq,
-			Set:     true,
+	cuts := make([]Cut, len(m.Cuts))
+	copy(cuts, m.Cuts)
+	for i := range cuts {
+		if !cuts[i].Watermark.IsZero() {
+			cuts[i].WatermarkJSON = timeToKeyJSON(cuts[i].Watermark)
 		}
 	}
+	m.Cuts = cuts
+	m.LegacyMarks, m.LegacyWatermarkJSON = nil, nil
 	data, err := json.Marshal(m)
 	if err != nil {
 		return err

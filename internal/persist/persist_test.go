@@ -455,7 +455,11 @@ func TestManifestRoundTrip(t *testing.T) {
 	if _, ok, err := LoadManifest(dir); err != nil || ok {
 		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
 	}
-	m := Manifest{Version: 1, Shards: 8, Watermark: Key{Time: t0.Add(time.Hour), Seq: 42}}
+	m := Manifest{Version: 1, Shards: 8}
+	m.AddCut(Cut{
+		Watermark: Key{Time: t0.Add(time.Hour), Seq: 42},
+		Marks:     []ShardMark{{WALFile: 1, WALOff: 100, SegGen: 3}},
+	})
 	if err := SaveManifest(dir, m); err != nil {
 		t.Fatal(err)
 	}
@@ -463,16 +467,78 @@ func TestManifestRoundTrip(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("load: ok=%v err=%v", ok, err)
 	}
-	if got.Shards != 8 || !got.Watermark.Time.Equal(m.Watermark.Time) || got.Watermark.Seq != 42 {
+	if got.Shards != 8 || len(got.Cuts) != 1 {
 		t.Fatalf("manifest = %+v", got)
 	}
-	// Watermark-free manifests stay watermark-free.
+	c := got.Cuts[0]
+	if !c.Watermark.Time.Equal(t0.Add(time.Hour)) || c.Watermark.Seq != 42 ||
+		c.Mark(0) != (ShardMark{WALFile: 1, WALOff: 100, SegGen: 3}) {
+		t.Fatalf("cut = %+v", c)
+	}
+	// Cut-free manifests stay cut-free.
 	if err := SaveManifest(dir, Manifest{Version: 1, Shards: 4}); err != nil {
 		t.Fatal(err)
 	}
 	got, _, _ = LoadManifest(dir)
-	if !got.Watermark.IsZero() {
-		t.Fatalf("watermark = %+v, want zero", got.Watermark)
+	if len(got.Cuts) != 0 {
+		t.Fatalf("cuts = %+v, want none", got.Cuts)
+	}
+}
+
+// TestManifestLegacySingleCut: a manifest written before the cut frontier
+// (top-level watermark + marks) loads as one cut.
+func TestManifestLegacySingleCut(t *testing.T) {
+	dir := t.TempDir()
+	legacy := `{"version":1,"shards":4,"marks":[{"wal_file":2,"wal_off":7,"seg_gen":5}],` +
+		`"watermark":{"unix_sec":1458000000,"nanos":0,"seq":9,"set":true}}`
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST.json"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := LoadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("load: ok=%v err=%v", ok, err)
+	}
+	if len(m.Cuts) != 1 {
+		t.Fatalf("cuts = %+v, want the legacy pair", m.Cuts)
+	}
+	c := m.Cuts[0]
+	if c.Watermark.Seq != 9 || c.Mark(0).SegGen != 5 || c.Mark(0).WALFile != 2 {
+		t.Fatalf("legacy cut = %+v", c)
+	}
+}
+
+// TestManifestCutFrontier: a new cut at or above an older watermark prunes
+// it; a lower cut coexists (the straggler case); overflow drops the oldest.
+func TestManifestCutFrontier(t *testing.T) {
+	key := func(sec int64) Key { return Key{Time: time.Unix(sec, 0).UTC(), Seq: uint64(sec)} }
+	var m Manifest
+	m.AddCut(Cut{Watermark: key(100), Marks: []ShardMark{{SegGen: 1}}})
+	// A later compaction with a LOWER cut (stragglers arrived and mostly
+	// survived) must not replace the older cut — both stay.
+	m.AddCut(Cut{Watermark: key(50), Marks: []ShardMark{{SegGen: 2}}})
+	if len(m.Cuts) != 2 || m.Cuts[0].Watermark.Seq != 100 || m.Cuts[1].Watermark.Seq != 50 {
+		t.Fatalf("frontier = %+v, want [100, 50]", m.Cuts)
+	}
+	// A cut at or above every existing watermark subsumes them all.
+	m.AddCut(Cut{Watermark: key(100), Marks: []ShardMark{{SegGen: 3}}})
+	if len(m.Cuts) != 1 || m.Cuts[0].Mark(0).SegGen != 3 {
+		t.Fatalf("frontier = %+v, want the one subsuming cut", m.Cuts)
+	}
+	// Zero cuts record nothing.
+	m.AddCut(Cut{})
+	if len(m.Cuts) != 1 {
+		t.Fatalf("zero cut must be ignored: %+v", m.Cuts)
+	}
+	// Overflow drops the oldest (highest-watermark) cut.
+	m = Manifest{}
+	for i := 40; i > 0; i-- {
+		m.AddCut(Cut{Watermark: key(int64(i * 10))})
+	}
+	if len(m.Cuts) != 32 {
+		t.Fatalf("frontier size = %d, want capped 32", len(m.Cuts))
+	}
+	if m.Cuts[0].Watermark.Seq != 320 {
+		t.Fatalf("overflow kept %+v first, want the 32 newest cuts", m.Cuts[0].Watermark)
 	}
 }
 

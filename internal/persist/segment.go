@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"streamloader/internal/stt"
@@ -75,7 +76,17 @@ type SegmentInfo struct {
 	Bytes        int64 // whole-file size
 
 	schemas  []*stt.Schema
-	eventOff int64 // absolute offset of the event block
+	dict     map[uint64]*stt.Schema // id -> schema, shared by every read
+	eventOff int64                  // absolute offset of the event block
+}
+
+// buildDict materializes the id->schema decode dictionary once, so reads
+// do not rebuild a map per call.
+func (si *SegmentInfo) buildDict() {
+	si.dict = make(map[uint64]*stt.Schema, len(si.schemas))
+	for i, s := range si.schemas {
+		si.dict[uint64(i)] = s
+	}
 }
 
 func timeToKeyJSON(k Key) keyJSON {
@@ -134,6 +145,7 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 	last := &info.Sparse[len(info.Sparse)-1]
 	last.CRC = checksum(block[last.Off:])
 	info.schemas = dict.order
+	info.buildDict()
 
 	hdr := segHeaderJSON{
 		Count:        info.Count,
@@ -280,6 +292,7 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 	if info.Count > 0 && len(info.Sparse) == 0 {
 		return nil, nil, fmt.Errorf("persist: %s: missing sparse index", path)
 	}
+	info.buildDict()
 	return info, seqs, nil
 }
 
@@ -313,16 +326,23 @@ func (si *SegmentInfo) WindowPositions(from, to time.Time) (int, int) {
 	return lo, hi
 }
 
-// ReadRange decodes the events with ordinals [lo, hi), reading only the
-// chunks that span the range and verifying each chunk's checksum.
-func (si *SegmentInfo) ReadRange(lo, hi int) ([]Event, error) {
-	if lo < 0 || hi > si.Count || lo >= hi {
-		if lo == hi {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("persist: %s: bad range [%d, %d) of %d", si.Path, lo, hi, si.Count)
-	}
-	// Chunk span covering [lo, hi).
+// ReadStats reports how one read was served: chunks found decoded in the
+// cache versus chunks read back from disk.
+type ReadStats struct {
+	CacheHits   int
+	CacheMisses int
+}
+
+// readBufPool recycles the scratch buffers chunk reads land in. Decoded
+// events copy every byte they keep (strings included), so a buffer can be
+// reused the moment its decode finishes; the pool turns the per-read block
+// allocation — the dominant alloc on the spilled-select path — into a
+// steady-state no-op.
+var readBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// chunkSpan returns the [first, last] chunk range covering event ordinals
+// [lo, hi).
+func (si *SegmentInfo) chunkSpan(lo, hi int) (int, int) {
 	first := 0
 	for first+1 < len(si.Sparse) && si.Sparse[first+1].Pos <= lo {
 		first++
@@ -331,48 +351,129 @@ func (si *SegmentInfo) ReadRange(lo, hi int) ([]Event, error) {
 	for last+1 < len(si.Sparse) && si.Sparse[last+1].Pos < hi {
 		last++
 	}
-	startOff := si.Sparse[first].Off
-	endOff := si.Bytes - si.eventOff
-	if last+1 < len(si.Sparse) {
-		endOff = si.Sparse[last+1].Off
+	return first, last
+}
+
+// chunkBounds returns chunk k's event-ordinal range and its byte range
+// within the event block.
+func (si *SegmentInfo) chunkBounds(k int) (posStart, posEnd int, offStart, offEnd int64) {
+	posStart, offStart = si.Sparse[k].Pos, si.Sparse[k].Off
+	posEnd, offEnd = si.Count, si.Bytes-si.eventOff
+	if k+1 < len(si.Sparse) {
+		posEnd, offEnd = si.Sparse[k+1].Pos, si.Sparse[k+1].Off
+	}
+	return posStart, posEnd, offStart, offEnd
+}
+
+// ReadRange decodes the events with ordinals [lo, hi), reading only the
+// chunks that span the range and verifying each chunk's checksum.
+func (si *SegmentInfo) ReadRange(lo, hi int) ([]Event, error) {
+	evs, _, err := si.ReadRangeCached(nil, lo, hi)
+	return evs, err
+}
+
+// ReadRangeCached is ReadRange through a chunk cache: chunks already
+// decoded in the cache are reused, and only the missing stretches touch the
+// disk — each contiguous run of misses as a single pread into a pooled
+// buffer. A nil cache reads everything. The returned events may be shared
+// with other readers and must not be mutated.
+func (si *SegmentInfo) ReadRangeCached(cache *ChunkCache, lo, hi int) ([]Event, ReadStats, error) {
+	var rs ReadStats
+	if lo < 0 || hi > si.Count || lo >= hi {
+		if lo == hi {
+			return nil, rs, nil
+		}
+		return nil, rs, fmt.Errorf("persist: %s: bad range [%d, %d) of %d", si.Path, lo, hi, si.Count)
+	}
+	first, last := si.chunkSpan(lo, hi)
+	chunks := make([][]Event, last-first+1)
+	if cache != nil {
+		for k := first; k <= last; k++ {
+			if evs, ok := cache.get(chunkKey{si.Path, k}); ok {
+				chunks[k-first] = evs
+				rs.CacheHits++
+			} else {
+				rs.CacheMisses++
+			}
+		}
+	} else {
+		rs.CacheMisses = last - first + 1
 	}
 
-	f, err := os.Open(si.Path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	block := make([]byte, endOff-startOff)
-	if _, err := io.ReadFull(io.NewSectionReader(f, si.eventOff+startOff, int64(len(block))), block); err != nil {
-		return nil, fmt.Errorf("persist: %s: reading events: %w", si.Path, err)
-	}
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
 	for k := first; k <= last; k++ {
-		chunkEnd := int64(len(block))
-		if k+1 < len(si.Sparse) {
-			chunkEnd = si.Sparse[k+1].Off - startOff
+		if chunks[k-first] != nil {
+			continue
 		}
-		chunk := block[si.Sparse[k].Off-startOff : chunkEnd]
-		if checksum(chunk) != si.Sparse[k].CRC {
-			return nil, fmt.Errorf("persist: %s: chunk %d checksum mismatch", si.Path, k)
+		end := k
+		for end+1 <= last && chunks[end+1-first] == nil {
+			end++
 		}
+		if f == nil {
+			var err error
+			if f, err = os.Open(si.Path); err != nil {
+				return nil, rs, err
+			}
+		}
+		if err := si.readChunks(f, cache, k, end, chunks[k-first:end+1-first]); err != nil {
+			return nil, rs, err
+		}
+		k = end
 	}
 
-	dict := make(map[uint64]*stt.Schema, len(si.schemas))
-	for i, s := range si.schemas {
-		dict[uint64(i)] = s
-	}
-	d := &decoder{data: block}
 	out := make([]Event, 0, hi-lo)
-	for pos := si.Sparse[first].Pos; pos < hi; pos++ {
-		ev := d.event(dict)
-		if d.err != nil {
-			return nil, fmt.Errorf("persist: %s: decoding event %d: %w", si.Path, pos, d.err)
-		}
-		if pos >= lo {
-			out = append(out, ev)
+	for idx, evs := range chunks {
+		posStart, posEnd, _, _ := si.chunkBounds(first + idx)
+		a, b := max(lo, posStart), min(hi, posEnd)
+		if a < b {
+			out = append(out, evs[a-posStart:b-posStart]...)
 		}
 	}
-	return out, nil
+	return out, rs, nil
+}
+
+// readChunks reads and decodes chunks [k, end] with one pread, verifying
+// each chunk's checksum, storing the per-chunk event slices into dst and —
+// when a cache is supplied — inserting each decoded chunk into it.
+func (si *SegmentInfo) readChunks(f *os.File, cache *ChunkCache, k, end int, dst [][]Event) error {
+	_, _, startOff, _ := si.chunkBounds(k)
+	_, _, _, endOff := si.chunkBounds(end)
+	bufp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bufp)
+	need := int(endOff - startOff)
+	if cap(*bufp) < need {
+		*bufp = make([]byte, need)
+	}
+	block := (*bufp)[:need]
+	if _, err := f.ReadAt(block, si.eventOff+startOff); err != nil {
+		return fmt.Errorf("persist: %s: reading events: %w", si.Path, err)
+	}
+	for c := k; c <= end; c++ {
+		posStart, posEnd, cOff, cEnd := si.chunkBounds(c)
+		chunk := block[cOff-startOff : cEnd-startOff]
+		if checksum(chunk) != si.Sparse[c].CRC {
+			return fmt.Errorf("persist: %s: chunk %d checksum mismatch", si.Path, c)
+		}
+		d := &decoder{data: chunk}
+		evs := make([]Event, 0, posEnd-posStart)
+		for pos := posStart; pos < posEnd; pos++ {
+			ev := d.event(si.dict)
+			if d.err != nil {
+				return fmt.Errorf("persist: %s: decoding event %d: %w", si.Path, pos, d.err)
+			}
+			evs = append(evs, ev)
+		}
+		dst[c-k] = evs
+		if cache != nil {
+			cache.put(chunkKey{si.Path, c}, evs, cEnd-cOff)
+		}
+	}
+	return nil
 }
 
 // ReadAll decodes every event in the file.

@@ -456,9 +456,14 @@ func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
 // time order. Results are paged: offset skips that many matches in
 // (time, seq) order, limit caps the page, and the response's "truncated"
 // flag says whether more matches follow — so a spilled history can be
-// walked page by page instead of materialized in one response. The
-// "segments" object reports how many time-partitioned segments the query
-// scanned versus pruned by their time envelope.
+// walked page by page instead of materialized in one response. limit=0
+// asks for the match count alone: it routes through the warehouse Count
+// fast path, which never materializes an event (time-only constraints
+// resolve on segment indexes and cold-segment envelopes without touching
+// disk). The "segments" object reports how many time-partitioned segments
+// the query scanned versus pruned by their time envelope, plus how many
+// cold-segment chunks were served from the chunk cache versus read back
+// from disk.
 func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	if s.Warehouse == nil {
 		writeError(w, http.StatusNotFound, "no warehouse configured")
@@ -496,13 +501,15 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	q.Cond = params.Get("cond")
 	limit := 100
+	countOnly := false
 	if v := params.Get("limit"); v != "" {
 		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed < 1 || parsed > 10000 {
-			writeError(w, http.StatusBadRequest, "limit must be 1..10000")
+		if err != nil || parsed < 0 || parsed > 10000 {
+			writeError(w, http.StatusBadRequest, "limit must be 0..10000 (0: count only)")
 			return
 		}
 		limit = parsed
+		countOnly = parsed == 0
 	}
 	offset := 0
 	if v := params.Get("offset"); v != "" {
@@ -512,6 +519,31 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		offset = parsed
+	}
+	if countOnly {
+		// The caller wants the cardinality, not the events: skip
+		// materialization entirely. Offset is meaningless against a bare
+		// count and is ignored. A count with a payload condition has to
+		// evaluate events, so it keeps the same 10000-event ceiling paging
+		// enforces — past it, the count comes back truncated.
+		cq := q
+		if cq.Cond != "" {
+			cq.Limit = 10001
+		}
+		n, qs, err := s.Warehouse.CountWithStats(cq)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		truncated := false
+		if cq.Limit > 0 && n > 10000 {
+			n, truncated = 10000, true
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"count": n, "events": []any{}, "segments": qs,
+			"offset": 0, "truncated": truncated,
+		})
+		return
 	}
 	// offset+limit bounds how many events one request materializes — the
 	// same 10000-event ceiling the limit alone used to carry. Deeper than

@@ -93,7 +93,8 @@ func TestWarehouseQueryBadParams(t *testing.T) {
 		"from=yesterday",
 		"to=later",
 		"region=1,2,3",
-		"limit=0",
+		"limit=-1",
+		"limit=10001",
 		"limit=abc",
 		"offset=-1",
 		"offset=abc",
@@ -101,6 +102,80 @@ func TestWarehouseQueryBadParams(t *testing.T) {
 		if code := getJSON(t, ts.URL+"/api/warehouse/query?"+q, nil); code != 400 {
 			t.Errorf("query %q status = %d, want 400", q, code)
 		}
+	}
+}
+
+// TestWarehouseQueryCountOnly: limit=0 returns the match count without
+// materializing any event, through the warehouse Count fast path.
+func TestWarehouseQueryCountOnly(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(500)); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Count    int   `json:"count"`
+		Events   []any `json:"events"`
+		Segments struct {
+			Scanned     int `json:"segments_scanned"`
+			CacheHits   int `json:"cold_cache_hits"`
+			CacheMisses int `json:"cold_cache_misses"`
+		} `json:"segments"`
+		Truncated bool `json:"truncated"`
+	}
+	// Unconstrained: the full cardinality, far past the 10000-page ceiling
+	// logic, with zero events materialized.
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=0", &res); code != 200 {
+		t.Fatalf("count query status = %d", code)
+	}
+	if res.Count != 500 || len(res.Events) != 0 || res.Truncated {
+		t.Fatalf("count-only = %d events=%d truncated=%v, want 500/0/false", res.Count, len(res.Events), res.Truncated)
+	}
+	// Time-windowed count still takes the no-materialization path.
+	u := ts.URL + "/api/warehouse/query?limit=0&from=" + url.QueryEscape("2016-03-15T00:10:00Z") +
+		"&to=" + url.QueryEscape("2016-03-15T01:10:00Z")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("windowed count status = %d", code)
+	}
+	if res.Count != 60 {
+		t.Fatalf("windowed count = %d, want 60", res.Count)
+	}
+	// A condition forces evaluation but still returns no events.
+	u = ts.URL + "/api/warehouse/query?limit=0&cond=" + url.QueryEscape("temperature > 19")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("cond count status = %d", code)
+	}
+	if res.Count != 495 || len(res.Events) != 0 || res.Truncated {
+		t.Fatalf("cond count = %d events=%d truncated=%v, want 495/0/false", res.Count, len(res.Events), res.Truncated)
+	}
+}
+
+// TestWarehouseQueryCountOnlyCondCeiling: a conditioned count has to
+// evaluate events, so it keeps the handler's 10000-event materialization
+// ceiling and reports truncation past it rather than reading back the
+// whole history.
+func TestWarehouseQueryCountOnlyCondCeiling(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(10050)); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Count     int   `json:"count"`
+		Events    []any `json:"events"`
+		Truncated bool  `json:"truncated"`
+	}
+	u := ts.URL + "/api/warehouse/query?limit=0&cond=" + url.QueryEscape("temperature > 0")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if res.Count != 10000 || !res.Truncated || len(res.Events) != 0 {
+		t.Fatalf("ceiling count = %d truncated=%v events=%d, want 10000/true/0", res.Count, res.Truncated, len(res.Events))
+	}
+	// Without a condition the count stays exact and unbounded.
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=0", &res); code != 200 {
+		t.Fatal("bare count status")
+	}
+	if res.Count != 10050 || res.Truncated {
+		t.Fatalf("bare count = %d truncated=%v, want 10050/false", res.Count, res.Truncated)
 	}
 }
 

@@ -18,6 +18,9 @@ import (
 // crash.
 type coldSegment struct {
 	info *persist.SegmentInfo
+	// cache is the warehouse-wide LRU of decoded chunks reads go through;
+	// nil when the cold-read cache is disabled.
+	cache *persist.ChunkCache
 
 	// skip is how many leading events (in the file's (time, seq) order)
 	// retention has logically evicted.
@@ -39,9 +42,10 @@ type coldSegment struct {
 // newColdSegment wraps a freshly written or reopened segment file. The
 // info's count maps are adopted (not copied): the coldSegment is their
 // sole owner from here on.
-func newColdSegment(info *persist.SegmentInfo) *coldSegment {
+func newColdSegment(info *persist.SegmentInfo, cache *persist.ChunkCache) *coldSegment {
 	return &coldSegment{
 		info:         info,
+		cache:        cache,
 		count:        info.Count,
 		head:         info.Head,
 		tail:         info.Tail,
@@ -74,34 +78,39 @@ func (c *coldSegment) coveredBy(from, to time.Time) bool {
 }
 
 // readWindow decodes the live events whose chunks can intersect the
-// [from, to) window. Results are in (time, seq) order and conservative:
-// the caller re-filters exactly.
-func (c *coldSegment) readWindow(from, to time.Time) ([]Event, error) {
+// [from, to) window, going through the warehouse chunk cache when one is
+// configured. Results are in (time, seq) order and conservative: the
+// caller re-filters exactly.
+func (c *coldSegment) readWindow(from, to time.Time) ([]Event, persist.ReadStats, error) {
 	if c.loaded != nil {
-		return c.loaded, nil // compaction already paid for the full load
+		return c.loaded, persist.ReadStats{}, nil // compaction already paid for the full load
 	}
 	lo, hi := c.info.WindowPositions(from, to)
 	if lo < c.skip {
 		lo = c.skip
 	}
-	pes, err := c.info.ReadRange(lo, hi)
+	pes, rs, err := c.info.ReadRangeCached(c.cache, lo, hi)
 	if err != nil {
-		return nil, err
+		return nil, rs, err
 	}
 	out := make([]Event, len(pes))
 	for i, pe := range pes {
 		out[i] = Event{Seq: pe.Seq, Tuple: pe.Tuple}
 	}
-	return out, nil
+	return out, rs, nil
 }
 
 // ensureLoaded materializes every live event, for compactions that need
-// per-event keys. Release with unload once done.
+// per-event keys. Release with unload once done. The read deliberately
+// bypasses the chunk cache (nil): the result is pinned in c.loaded for the
+// compaction's lifetime, and the segment is usually trimmed or deleted
+// moments later — inserting its chunks would only evict ones serving live
+// queries.
 func (c *coldSegment) ensureLoaded() error {
 	if c.loaded != nil {
 		return nil
 	}
-	pes, err := c.info.ReadRange(c.skip, c.info.Count)
+	pes, _, err := c.info.ReadRangeCached(nil, c.skip, c.info.Count)
 	if err != nil {
 		return err
 	}

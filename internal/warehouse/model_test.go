@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
 
@@ -39,6 +41,13 @@ const (
 	// opReopen hard-closes the warehouse mid-run (simulating a crash) and
 	// reopens it from its data dir; only generated for durable configs.
 	opReopen
+	// opCrashMidSpill crashes during an in-flight background spill: a
+	// sealed segment's file has been written and published, but the crash
+	// lands before the swap installs it and before the WAL checkpoints —
+	// so the same events exist both in the file and in the log. Recovery
+	// must register the file and dedupe the WAL against it by sequence:
+	// no acked event lost, none duplicated. Durable configs only.
+	opCrashMidSpill
 )
 
 func (o mop) String() string {
@@ -58,6 +67,8 @@ func (o mop) String() string {
 		return fmt.Sprintf("Count{%s}", queryString(o.q))
 	case opReopen:
 		return "CrashReopen{}"
+	case opCrashMidSpill:
+		return "CrashMidSpill{}"
 	default:
 		return fmt.Sprintf("SetRetention{%d}", o.retain)
 	}
@@ -233,7 +244,13 @@ func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 	ops := make([]mop, 0, n)
 	for i := 0; i < n; i++ {
 		if withReopen && r.Intn(25) == 0 {
-			ops = append(ops, mop{kind: opReopen})
+			// Half the crashes land mid-spill: the victim segment's file is
+			// on disk but never swapped in or checkpointed.
+			if r.Intn(2) == 0 {
+				ops = append(ops, mop{kind: opCrashMidSpill})
+			} else {
+				ops = append(ops, mop{kind: opReopen})
+			}
 			continue
 		}
 		switch k := r.Intn(10); {
@@ -322,9 +339,17 @@ func runOps(cfg Config, ops []mop) string {
 			retain = op.retain
 			w.SetRetention(op.retain)
 			m.setRetention(op.retain)
-		case opReopen:
+		case opReopen, opCrashMidSpill:
 			if !durable {
 				continue
+			}
+			if op.kind == opCrashMidSpill {
+				// Freeze the spill worker as the crash would, then write —
+				// but never install — one sealed segment's file, leaving
+				// exactly the on-disk state of a kill between the file
+				// rename and the swap.
+				w.spill.abort()
+				forceSpillFileNoInstall(w)
 			}
 			w.CloseHard()
 			ww, err := Open(cfg)
@@ -348,6 +373,37 @@ func runOps(cfg Config, ops []mop) string {
 		}
 	}
 	return ""
+}
+
+// forceSpillFileNoInstall reproduces the first half of a background spill
+// — snapshot a sealed in-memory segment and publish its segment file —
+// without the swap or the WAL checkpoint, on the first shard that has a
+// spillable segment. This is the precise "crash during an in-flight
+// spill" window; the caller has already stopped the spill worker, so the
+// write cannot race it. No-op when no shard holds a sealed segment (the
+// crash then degenerates to a plain CrashReopen).
+func forceSpillFileNoInstall(w *Warehouse) {
+	for _, s := range w.shards {
+		s.mu.Lock()
+		var victim *segment
+		for _, seg := range s.segs {
+			if seg != s.hot && seg != s.ooo && seg.len() > 0 {
+				victim = seg
+				break
+			}
+		}
+		if victim == nil {
+			s.mu.Unlock()
+			continue
+		}
+		events := s.spillSnapshotLocked(victim)
+		gen := s.nextSegGen
+		s.nextSegGen++
+		dir := s.dir
+		s.mu.Unlock()
+		_, _ = persist.WriteSegment(filepath.Join(dir, persist.SegmentFileName(gen)), events)
+		return
+	}
 }
 
 func diffEvents(got, want []Event) string {

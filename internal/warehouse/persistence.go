@@ -49,6 +49,13 @@ func Open(cfg Config) (*Warehouse, error) {
 	}
 	w.pers = &persistState{dir: cfg.DataDir, manifest: man}
 
+	cacheBytes := cfg.ColdCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultColdCacheBytes
+	}
+	w.coldCache = persist.NewChunkCache(cacheBytes) // nil when disabled
+	w.spill = newSpiller(w)
+
 	hotSegments := cfg.HotSegments
 	if hotSegments == 0 {
 		hotSegments = DefaultHotSegments
@@ -62,6 +69,7 @@ func Open(cfg Config) (*Warehouse, error) {
 	var maxSeq uint64
 	var anySeq bool
 	total := 0
+	lastMarks := man.LastMarks()
 	for i, s := range w.shards {
 		s.dir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%03d", i))
 		s.hotSegments = hotSegments
@@ -69,11 +77,11 @@ func Open(cfg Config) (*Warehouse, error) {
 			w.CloseHard()
 			return nil, fmt.Errorf("warehouse: open: %w", err)
 		}
-		var mark persist.ShardMark
-		if i < len(man.Marks) {
-			mark = man.Marks[i]
+		var lastMark persist.ShardMark
+		if i < len(lastMarks) {
+			lastMark = lastMarks[i]
 		}
-		seqMax, any, err := w.recoverShard(s, man.Watermark, mark)
+		seqMax, any, err := w.recoverShard(s, man.Cuts, i)
 		if err != nil {
 			w.CloseHard()
 			return nil, err
@@ -83,12 +91,12 @@ func Open(cfg Config) (*Warehouse, error) {
 		}
 		anySeq = anySeq || any
 		shardOpts := walOpts
-		// Never fall back behind the mark: a reused WAL file number or
-		// segment generation would make fresh records look older than the
-		// last compaction and expose them to its watermark.
-		shardOpts.MinFile = mark.WALFile + 1
-		if s.nextSegGen < mark.SegGen {
-			s.nextSegGen = mark.SegGen
+		// Never fall back behind the newest mark: a reused WAL file number
+		// or segment generation would make fresh records look older than
+		// the last compaction and expose them to its watermark.
+		shardOpts.MinFile = lastMark.WALFile + 1
+		if s.nextSegGen < lastMark.SegGen {
+			s.nextSegGen = lastMark.SegGen
 		}
 		wal, err := persist.OpenWAL(s.dir, shardOpts, s.walFiles)
 		s.walFiles = nil
@@ -97,9 +105,10 @@ func Open(cfg Config) (*Warehouse, error) {
 			return nil, fmt.Errorf("warehouse: open wal: %w", err)
 		}
 		s.wal = wal
-		// Replay may have rebuilt more hot segments than the budget
-		// allows; spill down now, which also checkpoints log files made
-		// wholly obsolete by pre-crash spills.
+		// Replay may have rebuilt more hot segments than the budget allows;
+		// queue them for the background spiller (it starts below, so the
+		// backlog drains once the shards are consistent), and checkpoint log
+		// files made wholly obsolete by pre-crash spills.
 		s.maybeSpillLocked(w)
 		s.wal.DropObsolete(s.minLiveSeqLocked())
 		total += s.count
@@ -108,16 +117,40 @@ func Open(cfg Config) (*Warehouse, error) {
 		w.nextID.Store(maxSeq + 1)
 	}
 	w.count.Store(int64(total))
+	w.spill.start()
 	return w, nil
 }
 
 // recoverShard rebuilds one shard from its directory: cold segment files
-// first, then the WAL tail. The retention watermark is applied only to
-// state the recording compaction could see (WAL records and spill files
-// before the shard's mark); anything newer is live by definition, straggler
-// or not. It returns the highest warehouse seq it saw and whether it saw
-// any. Runs before the shard is shared, so no locking.
-func (w *Warehouse) recoverShard(s *shard, watermark persist.Key, mark persist.ShardMark) (uint64, bool, error) {
+// first, then the WAL tail. Each retention cut is applied only to state the
+// recording compaction could see (WAL records and spill files before that
+// cut's shard mark); anything newer is live by definition, straggler or
+// not — the effective watermark for a file or log position is the highest
+// one among the cuts that saw it. It returns the highest warehouse seq it
+// saw and whether it saw any. Runs before the shard is shared, so no
+// locking.
+func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (uint64, bool, error) {
+	// fileCut/walCut resolve the effective watermark covering a segment
+	// file generation / WAL position on this shard.
+	fileCut := func(gen int) persist.Key {
+		var k persist.Key
+		for _, c := range cuts {
+			if gen < c.Mark(shardIdx).SegGen && k.Less(c.Watermark) {
+				k = c.Watermark
+			}
+		}
+		return k
+	}
+	walCut := func(pos persist.Pos) persist.Key {
+		var k persist.Key
+		for _, c := range cuts {
+			if c.Mark(shardIdx).Covers(pos) && k.Less(c.Watermark) {
+				k = c.Watermark
+			}
+		}
+		return k
+	}
+
 	segPaths, nextGen, err := persist.ListSegments(s.dir)
 	if err != nil {
 		return 0, false, fmt.Errorf("warehouse: recover: %w", err)
@@ -141,15 +174,32 @@ func (w *Warehouse) recoverShard(s *shard, watermark persist.Key, mark persist.S
 		if err != nil {
 			return 0, false, fmt.Errorf("warehouse: recover: %w", err)
 		}
+		// A crash between a background spill's file write and its swap can
+		// leave a segment's file published while the segment also stays in
+		// memory — and a later spill attempt (or the next incarnation's)
+		// can then publish a second snapshot of the same segment. Files
+		// arrive here in generation order and a later snapshot is always a
+		// subset of an earlier one (sealed segments only shrink, via
+		// retention trims that the earlier file's watermark re-trim
+		// reproduces), so a file whose every seq is already registered is a
+		// stale duplicate: delete it rather than double-count its events.
+		if dupFile(spilled, seqs) {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+			}
+			continue
+		}
 		for _, seq := range seqs {
 			spilled[seq] = struct{}{}
 			note(seq)
 		}
 		gen := 0
 		fmt.Sscanf(filepath.Base(path), "seg-%d.seg", &gen)
-		// Files spilled after the watermark's compaction hold only
-		// survivors and later arrivals; the cut does not apply to them.
-		cutApplies := !watermark.IsZero() && gen < mark.SegGen
+		// Files spilled after a cut's compaction hold only survivors and
+		// later arrivals; that cut does not apply to them. The watermark
+		// here is the highest among the cuts that saw this generation.
+		watermark := fileCut(gen)
+		cutApplies := !watermark.IsZero()
 		if cutApplies && keyLE(info.Tail, watermark) {
 			// Every event is below the retention cut: the pre-crash
 			// compaction meant to delete this file (or already tried).
@@ -158,7 +208,7 @@ func (w *Warehouse) recoverShard(s *shard, watermark persist.Key, mark persist.S
 			}
 			continue
 		}
-		cs := newColdSegment(info)
+		cs := newColdSegment(info, w.coldCache)
 		if cutApplies && keyLE(info.Head, watermark) {
 			// The file straddles the cut: re-apply the logical trim the
 			// pre-crash compaction performed.
@@ -198,8 +248,8 @@ func (w *Warehouse) recoverShard(s *shard, watermark persist.Key, mark persist.S
 		if _, dup := spilled[pe.Seq]; dup {
 			return nil
 		}
-		if !watermark.IsZero() && mark.Covers(pos) &&
-			keyLE(persist.Key{Time: pe.Tuple.Time, Seq: pe.Seq}, watermark) {
+		if wm := walCut(pos); !wm.IsZero() &&
+			keyLE(persist.Key{Time: pe.Tuple.Time, Seq: pe.Seq}, wm) {
 			return nil
 		}
 		s.appendLocked(Event{Seq: pe.Seq, Tuple: pe.Tuple})
@@ -213,13 +263,29 @@ func (w *Warehouse) recoverShard(s *shard, watermark persist.Key, mark persist.S
 	return maxSeq, anySeq, nil
 }
 
-// Close flushes and closes every shard's WAL. The warehouse stays
+// dupFile reports whether every seq of a segment file is already durable in
+// an earlier-generation file.
+func dupFile(spilled map[uint64]struct{}, seqs []uint64) bool {
+	if len(seqs) == 0 {
+		return false
+	}
+	for _, seq := range seqs {
+		if _, ok := spilled[seq]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Close drains the background spill queue — every pending segment reaches
+// its file — then flushes and closes every shard's WAL. The warehouse stays
 // queryable, but further appends fail. A nil receiver or an in-memory
 // warehouse closes trivially.
 func (w *Warehouse) Close() error {
 	if w == nil || w.pers == nil {
 		return nil
 	}
+	w.spill.close()
 	var first error
 	for _, s := range w.shards {
 		s.mu.Lock()
@@ -235,11 +301,15 @@ func (w *Warehouse) Close() error {
 
 // CloseHard closes every WAL file descriptor without flushing, simulating
 // a crash: anything the OS has not been handed is lost, exactly as if the
-// process had been killed. For recovery testing.
+// process had been killed. The background spiller is cut off the same way
+// — queued spills are dropped, and an in-flight one may leave its segment
+// file published but never swapped in, which recovery dedupes. For
+// recovery testing.
 func (w *Warehouse) CloseHard() {
 	if w == nil || w.pers == nil {
 		return
 	}
+	w.spill.abort()
 	for _, s := range w.shards {
 		s.mu.Lock()
 		if s.wal != nil {

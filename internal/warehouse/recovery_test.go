@@ -127,6 +127,7 @@ func TestSpilledEqualsInMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	durable.DrainSpills() // settle the async spill pipeline before comparing
 	if durable.Stats().SegmentsSpilled == 0 {
 		t.Fatal("configuration did not spill; test is vacuous")
 	}
@@ -284,6 +285,7 @@ func TestWALCheckpointBoundsLogSize(t *testing.T) {
 	}
 	defer w.Close()
 	ingestMixed(t, w, 3000)
+	w.DrainSpills() // checkpointing rides the spill worker; let it finish
 	st := w.Stats()
 	if st.SegmentsSpilled == 0 {
 		t.Fatal("no spills")
@@ -311,6 +313,7 @@ func TestRetentionDeletesColdFilesWhole(t *testing.T) {
 	}
 	defer w.Close()
 	ingestMixed(t, w, 800)
+	w.DrainSpills() // cold files exist only once the background spills land
 	spilledBytes := w.coldBytes.Load()
 	if spilledBytes == 0 {
 		t.Fatal("no cold bytes before retention")
@@ -337,6 +340,75 @@ func TestRetentionDeletesColdFilesWhole(t *testing.T) {
 	// Queries still work over the surviving mixed history.
 	if _, err := w.Select(Query{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestColdCacheServesRepeatQueries: the second identical window query over
+// spilled history must be served from the chunk cache, with identical
+// results and the hit/miss split visible in QueryStats and Stats.
+func TestColdCacheServesRepeatQueries(t *testing.T) {
+	w, err := Open(durableCfg(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ingestMixed(t, w, 600)
+	w.DrainSpills()
+	if w.Stats().SegmentsCold == 0 {
+		t.Fatal("nothing spilled")
+	}
+
+	q := Query{From: t0, To: t0.Add(4 * time.Hour)}
+	first, qs1, err := w.SelectWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs1.ColdCacheMisses == 0 {
+		t.Fatalf("cold first pass reported no chunk misses: %+v", qs1)
+	}
+	second, qs2, err := w.SelectWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs2.ColdCacheHits == 0 || qs2.ColdCacheMisses != 0 {
+		t.Fatalf("repeat pass hits=%d misses=%d, want all hits", qs2.ColdCacheHits, qs2.ColdCacheMisses)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("cached pass returned %d events, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i].Seq != second[i].Seq {
+			t.Fatalf("cached pass diverges at %d", i)
+		}
+	}
+	st := w.Stats()
+	if st.ColdCacheHits == 0 || st.ColdCacheMisses == 0 || st.ColdCacheBytes <= 0 {
+		t.Fatalf("cache counters missing from Stats: %+v", st)
+	}
+
+	// A cache-disabled warehouse answers identically and reports only
+	// misses.
+	cfg := durableCfg(t.TempDir())
+	cfg.ColdCacheBytes = -1
+	off, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	ingestMixed(t, off, 600)
+	off.DrainSpills()
+	evs, qs, err := off.SelectWithStats(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.ColdCacheHits != 0 || qs.ColdCacheMisses == 0 {
+		t.Fatalf("disabled cache reported hits=%d misses=%d", qs.ColdCacheHits, qs.ColdCacheMisses)
+	}
+	if len(evs) != len(first) {
+		t.Fatalf("disabled-cache select = %d events, want %d", len(evs), len(first))
+	}
+	if st := off.Stats(); st.ColdCacheBytes != 0 || st.ColdCacheHits != 0 {
+		t.Fatalf("disabled cache leaks stats: %+v", st)
 	}
 }
 

@@ -33,6 +33,11 @@ type segment struct {
 	// checkpointing deletes log files whose every record is below the
 	// shard-wide minimum.
 	minSeq uint64
+
+	// spilling marks a sealed segment that sits in the background spill
+	// queue (or is being written), so it is neither counted against the
+	// hot-segment budget nor enqueued twice. Guarded by the shard lock.
+	spilling bool
 }
 
 func newSegment() *segment {

@@ -2,7 +2,6 @@ package warehouse
 
 import (
 	"fmt"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -62,9 +61,11 @@ type shard struct {
 	walFiles []persist.WALFileInfo
 }
 
-// segScan counts how segment pruning served one shard-local query.
+// segScan counts how segment pruning — and, for cold segments, the chunk
+// cache — served one shard-local query.
 type segScan struct {
-	scanned, pruned int
+	scanned, pruned        int
+	cacheHits, cacheMisses int
 }
 
 func newShard(lim segLimits) *shard {
@@ -134,6 +135,7 @@ func (s *shard) applyDropsLocked(w *Warehouse, drops map[*segment]int, coldDrops
 			s.count -= cs.count
 			w.coldBytes.Add(-cs.info.Bytes)
 			_ = cs.info.Remove() // a failed delete is re-reaped at next Open
+			cs.cache.Invalidate(cs.info.Path)
 			wholeDrops++
 		default:
 			// The compaction walk loaded the segment to find the cutoff;
@@ -213,18 +215,6 @@ func (s *shard) dropSourceCountsLocked(counts map[string]int) {
 	}
 }
 
-// sealedInMemoryLocked counts the sealed (non-active) in-memory segments.
-func (s *shard) sealedInMemoryLocked() int {
-	n := len(s.segs)
-	if s.hot != nil {
-		n--
-	}
-	if s.ooo != nil {
-		n--
-	}
-	return n
-}
-
 // minLiveSeqLocked is the smallest warehouse seq still held in memory by
 // this shard; every WAL record below it is durable elsewhere (spilled or
 // evicted), so log files wholly below it can be checkpointed away.
@@ -238,41 +228,49 @@ func (s *shard) minLiveSeqLocked() uint64 {
 	return min
 }
 
-// maybeSpillLocked flushes the oldest sealed in-memory segments to disk
-// until the shard is back under its hot-segment budget, then lets the WAL
-// retire log files the spill made obsolete. A spill failure leaves the
-// segment in memory — durability is unaffected (its WAL records survive)
-// and the next append retries. Caller holds the write lock.
+// maybeSpillLocked hands the oldest sealed in-memory segments to the
+// background spiller until the segments not yet queued are back under the
+// hot-segment budget. The file writes happen on the spill worker, outside
+// this lock; until each swap lands the segment stays readable in memory.
+// Caller holds the write lock.
 func (s *shard) maybeSpillLocked(w *Warehouse) {
-	if s.wal == nil || s.hotSegments <= 0 {
+	if s.wal == nil || s.hotSegments <= 0 || w.spill == nil {
 		return
 	}
-	spilled := false
-	for s.sealedInMemoryLocked() > s.hotSegments {
-		victim := -1
-		for i, seg := range s.segs {
-			if seg != s.hot && seg != s.ooo && seg.len() > 0 {
-				victim = i
-				break
-			}
+	resident := 0
+	for _, seg := range s.segs {
+		if seg != s.hot && seg != s.ooo && seg.len() > 0 && !seg.spilling {
+			resident++
 		}
-		if victim < 0 {
-			break
-		}
-		if err := s.spillLocked(w, victim); err != nil {
-			break
-		}
-		spilled = true
 	}
-	if spilled {
-		s.wal.DropObsolete(s.minLiveSeqLocked())
+	for _, seg := range s.segs {
+		if resident <= s.hotSegments {
+			return
+		}
+		if seg == s.hot || seg == s.ooo || seg.len() == 0 || seg.spilling {
+			continue
+		}
+		seg.spilling = true
+		w.spill.enqueue(s, seg)
+		resident--
 	}
 }
 
-// spillLocked writes one sealed in-memory segment to a cold segment file
-// and swaps it for its envelope. Caller holds the write lock.
-func (s *shard) spillLocked(w *Warehouse, idx int) error {
-	seg := s.segs[idx]
+// containsSegLocked reports whether seg is still one of the shard's
+// in-memory segments. Caller holds the lock.
+func (s *shard) containsSegLocked(seg *segment) bool {
+	for _, sg := range s.segs {
+		if sg == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// spillSnapshotLocked copies a segment's events in the canonical on-disk
+// (time, seq) order. Caller holds the write lock; the copy holds only
+// tuple references, so the expensive encode happens off-lock.
+func (s *shard) spillSnapshotLocked(seg *segment) []persist.Event {
 	events := make([]persist.Event, 0, seg.len())
 	for _, ord := range seg.byTime {
 		ev := seg.events[ord]
@@ -281,17 +279,7 @@ func (s *shard) spillLocked(w *Warehouse, idx int) error {
 	// byTime is time-sorted with ties in insertion order; the file wants
 	// ties by seq.
 	persist.SortEvents(events)
-	path := filepath.Join(s.dir, persist.SegmentFileName(s.nextSegGen))
-	info, err := persist.WriteSegment(path, events)
-	if err != nil {
-		return err
-	}
-	s.nextSegGen++
-	s.cold = append(s.cold, newColdSegment(info))
-	s.segs = append(s.segs[:idx], s.segs[idx+1:]...)
-	w.segsSpilled.Add(1)
-	w.coldBytes.Add(info.Bytes)
-	return nil
+	return events
 }
 
 // selectQ evaluates the query against this shard, returning events in
@@ -313,10 +301,12 @@ func (s *shard) selectQ(q Query) ([]Event, segScan, error) {
 			continue
 		}
 		sc.scanned++
-		evs, err := cs.readWindow(q.From, q.To)
+		evs, rs, err := cs.readWindow(q.From, q.To)
 		if err != nil {
 			return nil, sc, err
 		}
+		sc.cacheHits += rs.CacheHits
+		sc.cacheMisses += rs.CacheMisses
 		for _, ev := range evs {
 			ok, err := matchEvent(ev, q, conds)
 			if err != nil {
@@ -424,10 +414,12 @@ func (s *shard) countQ(q Query) (int, segScan, error) {
 			n += cs.count
 			continue
 		}
-		evs, err := cs.readWindow(q.From, q.To)
+		evs, rs, err := cs.readWindow(q.From, q.To)
 		if err != nil {
 			return 0, sc, err
 		}
+		sc.cacheHits += rs.CacheHits
+		sc.cacheMisses += rs.CacheMisses
 		for _, ev := range evs {
 			// q.Cond is empty here, so matchEvent cannot fail.
 			if ok, _ := matchEvent(ev, q, nil); ok {

@@ -32,6 +32,11 @@ const DefaultSegmentSpan = time.Hour
 // Config.HotSegments overrides it.
 const DefaultHotSegments = 16
 
+// DefaultColdCacheBytes is the budget of the warehouse-wide LRU of decoded
+// cold-segment chunks, when a DataDir is configured; Config.ColdCacheBytes
+// overrides it.
+const DefaultColdCacheBytes = 64 << 20
+
 // Config sizes a warehouse. The zero value of any field selects its
 // default.
 type Config struct {
@@ -63,6 +68,11 @@ type Config struct {
 	HotSegments int
 	// WALBytes is the per-WAL-file rotation threshold (default 4 MiB).
 	WALBytes int64
+	// ColdCacheBytes budgets the warehouse-wide LRU of decoded cold-segment
+	// chunks, so repeated window queries over the same spilled history hit
+	// RAM instead of re-reading files. 0 means DefaultColdCacheBytes;
+	// negative disables the cache.
+	ColdCacheBytes int64
 }
 
 // Event is one stored STT event.
@@ -96,6 +106,10 @@ type Query struct {
 type QueryStats struct {
 	SegmentsScanned int `json:"segments_scanned"`
 	SegmentsPruned  int `json:"segments_pruned"`
+	// ColdCacheHits/ColdCacheMisses count the cold-segment chunks this
+	// query found decoded in the chunk cache versus read back from disk.
+	ColdCacheHits   int `json:"cold_cache_hits"`
+	ColdCacheMisses int `json:"cold_cache_misses"`
 }
 
 // sourceHash routes a source name to a shard. It is FNV-1a rather than a
@@ -134,6 +148,12 @@ type Warehouse struct {
 	segsSpilled atomic.Uint64
 	coldBytes   atomic.Int64
 	recovered   atomic.Uint64
+
+	// spill is the background spill worker and coldCache the LRU of decoded
+	// cold chunks; both nil for an in-memory warehouse (coldCache also when
+	// disabled by config).
+	spill     *spiller
+	coldCache *persist.ChunkCache
 
 	// retMu serializes retention changes and global compactions, which
 	// need every shard lock (always taken in shard order).
@@ -214,6 +234,7 @@ func (w *Warehouse) Append(t *stt.Tuple) error {
 	w.count.Add(1)
 	s.maybeSpillLocked(w)
 	s.mu.Unlock()
+	w.throttleSpill()
 	w.maybeCompact()
 	return nil
 }
@@ -252,6 +273,7 @@ func (w *Warehouse) AppendBatch(tuples []*stt.Tuple) error {
 			}
 		}
 	}
+	w.throttleSpill()
 	w.maybeCompact()
 	return nil
 }
@@ -445,10 +467,15 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	if dropped == 0 {
 		return
 	}
-	// Persist the watermark first: recovery re-applies any eviction the
-	// crash interrupts below. The per-shard marks scope it to the records
+	// Persist the cut first: recovery re-applies any eviction the crash
+	// interrupts below. The per-shard marks scope this cut to the records
 	// this compaction could see — a straggler logged later may carry an
-	// event time below the watermark yet must survive recovery. When an
+	// event time below the watermark yet must survive recovery. The cut is
+	// paired with THIS compaction's marks and added to the manifest's cut
+	// frontier rather than max-merged into a single watermark: an older,
+	// higher watermark stays scoped by its own older marks, so stragglers
+	// that arrived after it (and legitimately survive this compaction
+	// despite sitting below it) are never swept at recovery. When an
 	// unreadable cold file kept its (old) events, the cut computed from
 	// the segments that did evict would cover them too, and the next Open
 	// — with the file readable again — would delete events that visibly
@@ -456,10 +483,6 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	// the next clean compaction advance it (resurrecting this round's
 	// evictions after a crash is recoverable, losing live events is not).
 	if w.pers != nil && !anyDead {
-		if cut.Less(w.pers.manifest.Watermark) {
-			cut = w.pers.manifest.Watermark
-		}
-		w.pers.manifest.Watermark = cut
 		marks := make([]persist.ShardMark, len(w.shards))
 		for i, s := range w.shards {
 			if s.wal != nil {
@@ -467,7 +490,7 @@ func (w *Warehouse) compactAll(maxEvents int) {
 				marks[i] = persist.ShardMark{WALFile: p.File, WALOff: p.Off, SegGen: s.nextSegGen}
 			}
 		}
-		w.pers.manifest.Marks = marks
+		w.pers.manifest.AddCut(persist.Cut{Watermark: cut, Marks: marks})
 		// A failed manifest write is tolerable: eviction proceeds, and
 		// the worst case after a crash is re-ingesting events the next
 		// compaction re-evicts.
@@ -636,6 +659,8 @@ func (w *Warehouse) SelectWithStats(q Query) ([]Event, QueryStats, error) {
 	for _, sc := range scans {
 		qs.SegmentsScanned += sc.scanned
 		qs.SegmentsPruned += sc.pruned
+		qs.ColdCacheHits += sc.cacheHits
+		qs.ColdCacheMisses += sc.cacheMisses
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -699,29 +724,39 @@ func eventLess(a, b Event) bool {
 // counts — time-only constraints resolve entirely on the segment time
 // indexes, never touching an event.
 func (w *Warehouse) Count(q Query) (int, error) {
+	n, _, err := w.CountWithStats(q)
+	return n, err
+}
+
+// CountWithStats is Count plus the segment-pruning and cold-cache telemetry
+// of the counting pass.
+func (w *Warehouse) CountWithStats(q Query) (int, QueryStats, error) {
 	if q.Cond != "" || q.Limit > 0 {
-		evs, err := w.Select(q)
-		if err != nil {
-			return 0, err
-		}
-		return len(evs), nil
+		evs, qs, err := w.SelectWithStats(q)
+		return len(evs), qs, err
 	}
 	shards := w.routedShards(q)
 	counts := make([]int, len(shards))
+	scans := make([]segScan, len(shards))
 	errs := make([]error, len(shards))
 	forEachShard(shards, func(i int, s *shard) {
-		counts[i], _, errs[i] = s.countQ(q)
+		counts[i], scans[i], errs[i] = s.countQ(q)
 	})
+	var qs QueryStats
 	n := 0
-	for _, c := range counts {
+	for i, c := range counts {
 		n += c
+		qs.SegmentsScanned += scans[i].scanned
+		qs.SegmentsPruned += scans[i].pruned
+		qs.ColdCacheHits += scans[i].cacheHits
+		qs.ColdCacheMisses += scans[i].cacheMisses
 	}
 	for _, err := range errs {
 		if err != nil {
-			return 0, err
+			return 0, qs, err
 		}
 	}
-	return n, nil
+	return n, qs, nil
 }
 
 // Stats summarizes the warehouse content for the monitoring UI.
@@ -748,6 +783,13 @@ type Stats struct {
 	WALBytes        int64  `json:"wal_bytes"`
 	DiskBytes       int64  `json:"disk_bytes"`
 	RecoveredEvents uint64 `json:"recovered_events"`
+
+	// Cold-read chunk cache counters: cumulative hits and misses, and the
+	// decoded chunks currently resident (in encoded bytes). All zero for an
+	// in-memory warehouse or when the cache is disabled.
+	ColdCacheHits   uint64 `json:"cold_cache_hits"`
+	ColdCacheMisses uint64 `json:"cold_cache_misses"`
+	ColdCacheBytes  int64  `json:"cold_cache_bytes"`
 }
 
 // Stats computes the summary, folding every shard's contribution.
@@ -760,6 +802,10 @@ func (w *Warehouse) Stats() Stats {
 	st.SegmentsSpilled = w.segsSpilled.Load()
 	st.DiskBytes = st.WALBytes + w.coldBytes.Load()
 	st.RecoveredEvents = w.recovered.Load()
+	cc := w.coldCache.Stats()
+	st.ColdCacheHits = cc.Hits
+	st.ColdCacheMisses = cc.Misses
+	st.ColdCacheBytes = cc.Bytes
 	return st
 }
 
