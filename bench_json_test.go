@@ -1,0 +1,37 @@
+package streamloader
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestBenchJSONValid guards BENCH_warehouse.json against hand-edit rot:
+// the file is appended to by hand each PR that moves a warehouse hot path,
+// and a stray comma turns the whole perf trajectory unreadable. CI also
+// validates it standalone, but this keeps `go test ./...` sufficient.
+func TestBenchJSONValid(t *testing.T) {
+	data, err := os.ReadFile("BENCH_warehouse.json")
+	if err != nil {
+		t.Fatalf("reading BENCH_warehouse.json: %v", err)
+	}
+	var doc struct {
+		Description string `json:"description"`
+		Runs        []struct {
+			PR         int            `json:"pr"`
+			Date       string         `json:"date"`
+			Benchmarks map[string]any `json:"benchmarks"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("BENCH_warehouse.json is not valid JSON: %v", err)
+	}
+	if doc.Description == "" || len(doc.Runs) == 0 {
+		t.Fatal("BENCH_warehouse.json lost its description or runs")
+	}
+	for i, run := range doc.Runs {
+		if run.PR == 0 || run.Date == "" || len(run.Benchmarks) == 0 {
+			t.Fatalf("run %d is missing pr/date/benchmarks", i)
+		}
+	}
+}

@@ -17,6 +17,13 @@
 //	slgen -data-dir /tmp/wh -fsync always &   # ingest; note the acked lines
 //	kill -9 $!                                # crash it mid-ingest
 //	slgen -data-dir /tmp/wh -verify -min-events N
+//
+// With -agg the directory is recovered and one aggregation is pushed down
+// into the warehouse instead, printing NDJSON rows — the offline twin of
+// GET /api/warehouse/aggregate:
+//
+//	slgen -data-dir /tmp/wh -agg count -agg-group source
+//	slgen -data-dir /tmp/wh -agg avg -agg-field temperature_c -agg-bucket 1h
 package main
 
 import (
@@ -26,9 +33,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/ops"
 	"streamloader/internal/persist"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
@@ -50,6 +59,10 @@ func main() {
 		hotSegs   = flag.Int("hot-segments", 2, "sealed in-memory segments per shard before spilling (-data-dir)")
 		verify    = flag.Bool("verify", false, "recover the -data-dir warehouse and report instead of ingesting")
 		minEvents = flag.Int("min-events", 0, "with -verify: fail unless at least this many events recovered")
+		aggFunc   = flag.String("agg", "", "with -data-dir: run this aggregation (count, sum, avg, min, max) over the recovered warehouse instead of ingesting")
+		aggField  = flag.String("agg-field", "", "payload field the aggregation reads (required for sum/avg/min/max)")
+		aggGroup  = flag.String("agg-group", "", "comma-separated aggregation group-by dimensions: source, theme")
+		aggBucket = flag.Duration("agg-bucket", 0, "fixed-width event-time bucketing for the aggregation (0: none)")
 	)
 	flag.Parse()
 
@@ -61,6 +74,10 @@ func main() {
 
 	if *dataDir != "" && *verify {
 		verifyWarehouse(*dataDir, *minEvents)
+		return
+	}
+	if *dataDir != "" && *aggFunc != "" {
+		aggregateWarehouse(*dataDir, *aggFunc, *aggField, *aggGroup, *aggBucket, from, to)
 		return
 	}
 
@@ -169,6 +186,56 @@ func ingestWarehouse(dir, fsync string, hotSegs int, specs []sensor.Spec, from t
 		}
 		flush()
 	}
+}
+
+// aggregateWarehouse recovers the warehouse at dir and pushes one
+// aggregation down into it, printing the result rows as NDJSON — the
+// offline twin of GET /api/warehouse/aggregate. The [from, to) window
+// reuses -start/-duration; group by -agg-group, bucket by -agg-bucket.
+func aggregateWarehouse(dir, fn, field, group string, bucket time.Duration, from, to time.Time) {
+	w, err := warehouse.Open(warehouse.Config{Shards: 4, DataDir: dir})
+	if err != nil {
+		log.Fatalf("recover: %v", err)
+	}
+	defer w.Close()
+	parsed, err := ops.ParseAggFunc(fn)
+	if err != nil {
+		log.Fatalf("bad -agg: %v", err)
+	}
+	aq := warehouse.AggQuery{
+		Query:  warehouse.Query{From: from, To: to},
+		Func:   parsed,
+		Field:  field,
+		Bucket: bucket,
+	}
+	if group != "" {
+		aq.GroupBy = strings.Split(group, ",")
+	}
+	rows, qs, err := w.Aggregate(aq)
+	if err != nil {
+		log.Fatalf("aggregate: %v", err)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	for _, row := range rows {
+		line := map[string]any{"count": row.Count, "value": row.Value}
+		if bucket > 0 {
+			line["bucket"] = row.Bucket.UTC().Format(time.RFC3339)
+		}
+		if row.Source != "" {
+			line["source"] = row.Source
+		}
+		if row.Theme != "" {
+			line["theme"] = row.Theme
+		}
+		if err := enc.Encode(line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("%s(%s): %d rows over [%s, %s) — %d segments scanned, %d pruned, %d answered from cold headers",
+		parsed, field, len(rows), from.Format(time.RFC3339), to.Format(time.RFC3339),
+		qs.SegmentsScanned, qs.SegmentsPruned, qs.ColdHeaderOnly)
 }
 
 // verifyWarehouse recovers the warehouse and checks the event count.

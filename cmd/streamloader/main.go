@@ -10,7 +10,7 @@
 //	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 0]
 //	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
 //	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
-//	             [-cold-cache-bytes 67108864]
+//	             [-cold-cache-bytes 67108864] [-agg-max-groups 100000]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -65,6 +65,7 @@ func main() {
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: never, always, interval, or a duration")
 		hotSegs   = flag.Int("hot-segments", warehouse.DefaultHotSegments, "sealed in-memory segments per shard before spilling to disk (negative: never spill)")
 		coldCache = flag.Int64("cold-cache-bytes", warehouse.DefaultColdCacheBytes, "budget for the LRU of decoded cold-segment chunks (negative: disable)")
+		aggGroups = flag.Int("agg-max-groups", warehouse.DefaultAggMaxGroups, "group cardinality bound for /api/warehouse/aggregate")
 	)
 	flag.Parse()
 
@@ -158,6 +159,7 @@ func main() {
 	}
 
 	srv := server.New(net, broker, exec, mon, wh, board, sensors)
+	srv.AggMaxGroups = *aggGroups
 	log.Printf("streamloader: %d sensors on %d %s nodes, dashboard at http://localhost%s/",
 		len(fleet), *nodes, *topology, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

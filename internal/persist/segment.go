@@ -56,9 +56,15 @@ type segHeaderJSON struct {
 	Tail         keyJSON        `json:"tail"`
 	SourceCounts map[string]int `json:"source_counts"`
 	ThemeCounts  map[string]int `json:"theme_counts"`
-	Schemas      []schemaJSON   `json:"schemas"`
-	Sparse       []sparseJSON   `json:"sparse"`
-	EventBytes   int64          `json:"event_bytes"`
+	// PrimaryThemeCounts counts events by their primary Theme tag alone —
+	// ThemeCounts additionally credits every schema theme, so it answers
+	// "matches theme t" but not "is tagged t". Aggregate group-by-theme
+	// pushdown needs the latter. Files written before this field existed
+	// decode with it nil, which disables that one fast path for the file.
+	PrimaryThemeCounts map[string]int `json:"primary_theme_counts"`
+	Schemas            []schemaJSON   `json:"schemas"`
+	Sparse             []sparseJSON   `json:"sparse"`
+	EventBytes         int64          `json:"event_bytes"`
 }
 
 // SegmentInfo is the in-RAM face of one on-disk segment file: the time/seq
@@ -72,8 +78,11 @@ type SegmentInfo struct {
 	Head, Tail   Key
 	SourceCounts map[string]int
 	ThemeCounts  map[string]int
-	Sparse       []SparseEntry
-	Bytes        int64 // whole-file size
+	// PrimaryThemeCounts counts events by primary Theme tag only (empty
+	// themes uncounted); nil when the file predates the field.
+	PrimaryThemeCounts map[string]int
+	Sparse             []SparseEntry
+	Bytes              int64 // whole-file size
 
 	schemas  []*stt.Schema
 	dict     map[uint64]*stt.Schema // id -> schema, shared by every read
@@ -106,12 +115,13 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 	}
 	dict := newSchemaDict()
 	info := &SegmentInfo{
-		Path:         path,
-		Count:        len(events),
-		Head:         Key{Time: events[0].Tuple.Time, Seq: events[0].Seq},
-		Tail:         Key{Time: events[len(events)-1].Tuple.Time, Seq: events[len(events)-1].Seq},
-		SourceCounts: map[string]int{},
-		ThemeCounts:  map[string]int{},
+		Path:               path,
+		Count:              len(events),
+		Head:               Key{Time: events[0].Tuple.Time, Seq: events[0].Seq},
+		Tail:               Key{Time: events[len(events)-1].Tuple.Time, Seq: events[len(events)-1].Seq},
+		SourceCounts:       map[string]int{},
+		ThemeCounts:        map[string]int{},
+		PrimaryThemeCounts: map[string]int{},
 	}
 
 	// Event block, chunked at IndexEvery events.
@@ -135,6 +145,7 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 		}
 		if t.Theme != "" {
 			info.ThemeCounts[t.Theme]++
+			info.PrimaryThemeCounts[t.Theme]++
 		}
 		for _, theme := range t.Schema.Themes {
 			if theme != t.Theme {
@@ -148,12 +159,13 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 	info.buildDict()
 
 	hdr := segHeaderJSON{
-		Count:        info.Count,
-		Head:         timeToKeyJSON(info.Head),
-		Tail:         timeToKeyJSON(info.Tail),
-		SourceCounts: info.SourceCounts,
-		ThemeCounts:  info.ThemeCounts,
-		EventBytes:   int64(len(block)),
+		Count:              info.Count,
+		Head:               timeToKeyJSON(info.Head),
+		Tail:               timeToKeyJSON(info.Tail),
+		SourceCounts:       info.SourceCounts,
+		ThemeCounts:        info.ThemeCounts,
+		PrimaryThemeCounts: info.PrimaryThemeCounts,
+		EventBytes:         int64(len(block)),
 	}
 	for _, s := range dict.order {
 		hdr.Schemas = append(hdr.Schemas, encodeSchema(s))
@@ -249,13 +261,14 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 	}
 
 	info := &SegmentInfo{
-		Path:         path,
-		Count:        hdr.Count,
-		Head:         keyFromJSON(hdr.Head),
-		Tail:         keyFromJSON(hdr.Tail),
-		SourceCounts: hdr.SourceCounts,
-		ThemeCounts:  hdr.ThemeCounts,
-		Bytes:        st.Size(),
+		Path:               path,
+		Count:              hdr.Count,
+		Head:               keyFromJSON(hdr.Head),
+		Tail:               keyFromJSON(hdr.Tail),
+		SourceCounts:       hdr.SourceCounts,
+		ThemeCounts:        hdr.ThemeCounts,
+		PrimaryThemeCounts: hdr.PrimaryThemeCounts, // nil for legacy files
+		Bytes:              st.Size(),
 	}
 	if info.SourceCounts == nil {
 		info.SourceCounts = map[string]int{}

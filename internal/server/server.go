@@ -8,6 +8,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"streamloader/internal/geo"
 	"streamloader/internal/monitor"
 	"streamloader/internal/network"
+	"streamloader/internal/ops"
 	"streamloader/internal/pubsub"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
@@ -37,6 +39,10 @@ type Server struct {
 	Warehouse *warehouse.Warehouse
 	Board     *viz.Board
 	Sensors   map[string]*sensor.Sensor
+
+	// AggMaxGroups caps the group cardinality one /api/warehouse/aggregate
+	// call may return (0 = the warehouse default).
+	AggMaxGroups int
 
 	mu          sync.Mutex
 	specs       map[string]*dataflow.Spec
@@ -78,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/events", s.handleEvents)
 	mux.HandleFunc("GET /api/warehouse/stats", s.handleWarehouseStats)
 	mux.HandleFunc("GET /api/warehouse/query", s.handleWarehouseQuery)
+	mux.HandleFunc("GET /api/warehouse/aggregate", s.handleWarehouseAggregate)
 	mux.HandleFunc("GET /api/viz", s.handleViz)
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
@@ -449,46 +456,28 @@ func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Warehouse.Stats())
 }
 
-// handleWarehouseQuery runs an STT query against the Event Data Warehouse:
-// ?from=&to= (RFC3339), &region=minLat,minLon,maxLat,maxLon, &themes= and
-// &sources= (comma-separated), &cond= (payload condition), &limit=,
-// &offset=. The select fans out across the warehouse shards and merges in
-// time order. Results are paged: offset skips that many matches in
-// (time, seq) order, limit caps the page, and the response's "truncated"
-// flag says whether more matches follow — so a spilled history can be
-// walked page by page instead of materialized in one response. limit=0
-// asks for the match count alone: it routes through the warehouse Count
-// fast path, which never materializes an event (time-only constraints
-// resolve on segment indexes and cold-segment envelopes without touching
-// disk). The "segments" object reports how many time-partitioned segments
-// the query scanned versus pruned by their time envelope, plus how many
-// cold-segment chunks were served from the chunk cache versus read back
-// from disk.
-func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
-	if s.Warehouse == nil {
-		writeError(w, http.StatusNotFound, "no warehouse configured")
-		return
-	}
+// parseWarehouseFilter reads the STT filter params shared by the query and
+// aggregate endpoints: ?from=&to= (RFC3339), &region=minLat,minLon,maxLat,
+// maxLon, &themes= and &sources= (comma-separated), &cond= (payload
+// condition).
+func parseWarehouseFilter(r *http.Request) (warehouse.Query, error) {
 	var q warehouse.Query
 	params := r.URL.Query()
 	var err error
 	if v := params.Get("from"); v != "" {
 		if q.From, err = time.Parse(time.RFC3339, v); err != nil {
-			writeError(w, http.StatusBadRequest, "bad from: %v", err)
-			return
+			return q, fmt.Errorf("bad from: %v", err)
 		}
 	}
 	if v := params.Get("to"); v != "" {
 		if q.To, err = time.Parse(time.RFC3339, v); err != nil {
-			writeError(w, http.StatusBadRequest, "bad to: %v", err)
-			return
+			return q, fmt.Errorf("bad to: %v", err)
 		}
 	}
 	if v := params.Get("region"); v != "" {
 		var minLat, minLon, maxLat, maxLon float64
 		if _, err := fmt.Sscanf(v, "%f,%f,%f,%f", &minLat, &minLon, &maxLat, &maxLon); err != nil {
-			writeError(w, http.StatusBadRequest, "bad region (want minLat,minLon,maxLat,maxLon): %v", err)
-			return
+			return q, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): %v", err)
 		}
 		rect := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
 		q.Region = &rect
@@ -500,6 +489,88 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		q.Sources = strings.Split(v, ",")
 	}
 	q.Cond = params.Get("cond")
+	return q, nil
+}
+
+// parseFormat reads the response format param: "json" (the default, one
+// buffered JSON document) or "ndjson" (newline-delimited JSON, flushed
+// incrementally).
+func parseFormat(r *http.Request) (string, error) {
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		return "json", nil
+	case "ndjson":
+		return "ndjson", nil
+	default:
+		return "", fmt.Errorf("bad format %q (want json or ndjson)", f)
+	}
+}
+
+// ndjsonFlushEvery is how many NDJSON lines are written between explicit
+// flushes, so a large result streams to the client as it is encoded instead
+// of buffering whole.
+const ndjsonFlushEvery = 64
+
+// writeNDJSON streams one value per line, flushing every ndjsonFlushEvery
+// lines and once at the end. It stops at the first write error (client
+// gone) and reports whether the stream completed.
+func writeNDJSON(w http.ResponseWriter, lines func(yield func(v any) bool)) bool {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	n := 0
+	ok := true
+	lines(func(v any) bool {
+		if err := enc.Encode(v); err != nil {
+			ok = false
+			return false
+		}
+		if n++; n%ndjsonFlushEvery == 0 && flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return ok
+}
+
+// handleWarehouseQuery runs an STT query against the Event Data Warehouse
+// using the parseWarehouseFilter params plus &limit= and &offset=. The
+// select fans out across the warehouse shards and merges in time order.
+// Results are paged: offset skips that many matches in (time, seq) order,
+// limit caps the page, and the response's "truncated" flag says whether
+// more matches follow — so a spilled history can be walked page by page
+// instead of materialized in one response. limit=0 asks for the match count
+// alone: it routes through the warehouse Count fast path, which never
+// materializes an event (time-only constraints resolve on segment indexes
+// and cold-segment envelopes without touching disk). The "segments" object
+// reports how many time-partitioned segments the query scanned versus
+// pruned by their time envelope, plus how many cold-segment chunks were
+// served from the chunk cache versus read back from disk.
+//
+// &format=ndjson streams the page as newline-delimited JSON instead of one
+// buffered array: one {"seq","event"} object per line, flushed
+// incrementally, terminated by a {"summary":...} line carrying what the
+// JSON envelope would have (count, offset, truncated, segments) — so a
+// client can process a large page as it arrives.
+func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
+	if s.Warehouse == nil {
+		writeError(w, http.StatusNotFound, "no warehouse configured")
+		return
+	}
+	q, err := parseWarehouseFilter(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format, err := parseFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params := r.URL.Query()
 	limit := 100
 	countOnly := false
 	if v := params.Get("limit"); v != "" {
@@ -532,12 +603,20 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		n, qs, err := s.Warehouse.CountWithStats(cq)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			writeError(w, warehouseErrStatus(err), "%v", err)
 			return
 		}
 		truncated := false
 		if cq.Limit > 0 && n > 10000 {
 			n, truncated = 10000, true
+		}
+		if format == "ndjson" {
+			writeNDJSON(w, func(yield func(v any) bool) {
+				yield(map[string]any{"summary": map[string]any{
+					"count": n, "segments": qs, "offset": 0, "truncated": truncated,
+				}})
+			})
+			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"count": n, "events": []any{}, "segments": qs,
@@ -557,7 +636,7 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	q.Limit = offset + limit + 1
 	evs, qs, err := s.Warehouse.SelectWithStats(q)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, warehouseErrStatus(err), "%v", err)
 		return
 	}
 	truncated := len(evs) > offset+limit
@@ -573,6 +652,20 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		Seq   uint64         `json:"seq"`
 		Event map[string]any `json:"event"`
 	}
+	if format == "ndjson" {
+		writeNDJSON(w, func(yield func(v any) bool) {
+			for _, ev := range evs {
+				if !yield(eventView{Seq: ev.Seq, Event: ev.Tuple.Map()}) {
+					return
+				}
+			}
+			yield(map[string]any{"summary": map[string]any{
+				"count": len(evs), "segments": qs,
+				"offset": offset, "truncated": truncated,
+			}})
+		})
+		return
+	}
 	out := make([]eventView, 0, len(evs))
 	for _, ev := range evs {
 		out = append(out, eventView{Seq: ev.Seq, Event: ev.Tuple.Map()})
@@ -580,6 +673,110 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"count": len(out), "events": out, "segments": qs,
 		"offset": offset, "truncated": truncated,
+	})
+}
+
+// warehouseErrStatus classifies a warehouse query/aggregate evaluation
+// error: malformed specs are the client's (400), a condition that fails at
+// runtime or a group explosion is addressable by the client (422), and
+// anything else — cold-segment I/O above all — is a server fault (500).
+func warehouseErrStatus(err error) int {
+	switch {
+	case errors.Is(err, warehouse.ErrInvalidAggQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, warehouse.ErrCondEval), errors.Is(err, warehouse.ErrTooManyGroups):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// aggRowView is the wire form of one warehouse.AggRow.
+type aggRowView struct {
+	Bucket string  `json:"bucket,omitempty"`
+	Source string  `json:"source,omitempty"`
+	Theme  string  `json:"theme,omitempty"`
+	Count  int64   `json:"count"`
+	Value  float64 `json:"value"`
+}
+
+// handleWarehouseAggregate pushes an aggregation down into the warehouse:
+// the parseWarehouseFilter params plus &func= (count, sum, avg, min, max),
+// &field= (the aggregated payload field; required for everything but
+// count), &group= (comma-separated: source, theme) and &bucket= (a Go
+// duration; fixed-width event-time windows). The aggregation is evaluated
+// as per-shard, per-segment partial aggregates merged at the top — no event
+// list is materialized, and cold segments whose header stats cover the
+// query never open their event block (the "cold_header_only" counter in
+// "segments" says how many were answered that way). Rows come back sorted
+// by (bucket, source, theme); &format=ndjson streams one row per line
+// followed by a {"summary":...} line.
+func (s *Server) handleWarehouseAggregate(w http.ResponseWriter, r *http.Request) {
+	if s.Warehouse == nil {
+		writeError(w, http.StatusNotFound, "no warehouse configured")
+		return
+	}
+	filter, err := parseWarehouseFilter(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	format, err := parseFormat(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	params := r.URL.Query()
+	fn, err := ops.ParseAggFunc(params.Get("func"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad func: %v", err)
+		return
+	}
+	aq := warehouse.AggQuery{
+		Query:     filter,
+		Func:      fn,
+		Field:     params.Get("field"),
+		MaxGroups: s.AggMaxGroups,
+	}
+	if v := params.Get("group"); v != "" {
+		aq.GroupBy = strings.Split(v, ",")
+	}
+	if v := params.Get("bucket"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad bucket (want a positive duration like 1h)")
+			return
+		}
+		aq.Bucket = d
+	}
+	rows, qs, err := s.Warehouse.Aggregate(aq)
+	if err != nil {
+		writeError(w, warehouseErrStatus(err), "%v", err)
+		return
+	}
+	views := make([]aggRowView, 0, len(rows))
+	for _, row := range rows {
+		v := aggRowView{Source: row.Source, Theme: row.Theme, Count: row.Count, Value: row.Value}
+		if aq.Bucket > 0 {
+			v.Bucket = row.Bucket.UTC().Format(time.RFC3339Nano)
+		}
+		views = append(views, v)
+	}
+	if format == "ndjson" {
+		writeNDJSON(w, func(yield func(v any) bool) {
+			for _, v := range views {
+				if !yield(v) {
+					return
+				}
+			}
+			yield(map[string]any{"summary": map[string]any{
+				"rows": len(views), "func": string(fn), "field": aq.Field, "segments": qs,
+			}})
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rows": views, "func": string(fn), "field": aq.Field, "segments": qs,
 	})
 }
 

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"streamloader/internal/stt"
+)
+
+// aggTuples spreads n weather readings across two stations, one per
+// minute, temperatures 15, 16, ...
+func aggTuples(n int) []*stt.Tuple {
+	base := time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)
+	out := make([]*stt.Tuple, n)
+	for i := range out {
+		tup := &stt.Tuple{
+			Schema: queryWeather,
+			Values: []stt.Value{stt.Float(float64(15 + i))},
+			Time:   base.Add(time.Duration(i) * time.Minute),
+			Lat:    34.70, Lon: 135.50,
+			Theme:  "weather",
+			Source: []string{"station-1", "station-2"}[i%2],
+		}
+		out[i] = tup.AlignSTT()
+	}
+	return out
+}
+
+type aggResponse struct {
+	Rows []struct {
+		Bucket string  `json:"bucket"`
+		Source string  `json:"source"`
+		Theme  string  `json:"theme"`
+		Count  int64   `json:"count"`
+		Value  float64 `json:"value"`
+	} `json:"rows"`
+	Func     string `json:"func"`
+	Field    string `json:"field"`
+	Segments struct {
+		Scanned    int `json:"segments_scanned"`
+		HeaderOnly int `json:"cold_header_only"`
+	} `json:"segments"`
+}
+
+func TestWarehouseAggregate(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(aggTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+	// AVG by source: station-1 holds 15,17,19,21,23 and station-2 the evens.
+	var res aggResponse
+	u := ts.URL + "/api/warehouse/aggregate?func=avg&field=temperature&group=source"
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if res.Func != "AVG" || res.Field != "temperature" {
+		t.Fatalf("echo = %q/%q", res.Func, res.Field)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v, want 2", res.Rows)
+	}
+	if res.Rows[0].Source != "station-1" || res.Rows[0].Value != 19 || res.Rows[0].Count != 5 {
+		t.Fatalf("row 0 = %+v, want station-1 avg 19 over 5", res.Rows[0])
+	}
+	if res.Rows[1].Source != "station-2" || res.Rows[1].Value != 20 {
+		t.Fatalf("row 1 = %+v, want station-2 avg 20", res.Rows[1])
+	}
+
+	// Bare count with a filter window.
+	u = ts.URL + "/api/warehouse/aggregate?func=count&from=" + url.QueryEscape("2016-03-15T00:02:00Z") +
+		"&to=" + url.QueryEscape("2016-03-15T00:07:00Z")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("windowed count status = %d", code)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Count != 5 {
+		t.Fatalf("windowed count rows = %+v, want one row of 5", res.Rows)
+	}
+
+	// Bucketed MAX: 5-minute windows.
+	u = ts.URL + "/api/warehouse/aggregate?func=max&field=temperature&bucket=5m"
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("bucketed status = %d", code)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("bucketed rows = %+v, want 2", res.Rows)
+	}
+	if res.Rows[0].Bucket == "" || res.Rows[0].Value != 19 || res.Rows[1].Value != 24 {
+		t.Fatalf("bucketed rows = %+v, want maxes 19 and 24 with buckets", res.Rows)
+	}
+
+	// A payload condition rides along.
+	u = ts.URL + "/api/warehouse/aggregate?func=sum&field=temperature&cond=" + url.QueryEscape("temperature > 22")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatalf("cond status = %d", code)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Value != 47 { // 23 + 24
+		t.Fatalf("cond rows = %+v, want sum 47", res.Rows)
+	}
+}
+
+func TestWarehouseAggregateBadParams(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, q := range []string{
+		"",                        // func required
+		"func=median",             // unknown function
+		"func=avg",                // field required
+		"func=count&bucket=-5m",   // negative bucket
+		"func=count&bucket=huge",  // unparseable bucket
+		"func=count&from=always",  // filter errors surface too
+		"func=count&format=xml",   // unknown format
+		"func=count&group=region", // unknown group dimension
+	} {
+		code := getJSON(t, ts.URL+"/api/warehouse/aggregate?"+q, nil)
+		if code != 400 && code != 422 {
+			t.Errorf("query %q status = %d, want 400/422", q, code)
+		}
+	}
+}
+
+// TestWarehouseAggregateNDJSON: rows stream line by line with a trailing
+// summary.
+func TestWarehouseAggregateNDJSON(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(aggTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+	rec := newFlushRecorder()
+	req := httptest.NewRequest("GET", "/api/warehouse/aggregate?func=count&group=source&format=ndjson", nil)
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.status != 200 {
+		t.Fatalf("status = %d", rec.status)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(rec.buf.Bytes()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("malformed line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 { // two groups + summary
+		t.Fatalf("%d lines, want 3", len(lines))
+	}
+	if lines[0]["source"] != "station-1" || lines[1]["source"] != "station-2" {
+		t.Fatalf("group lines = %+v", lines[:2])
+	}
+	if _, ok := lines[2]["summary"]; !ok {
+		t.Fatalf("last line is not a summary: %+v", lines[2])
+	}
+}
+
+// TestWarehouseAggregateMaxGroups: the server-configured bound surfaces as
+// an unprocessable aggregation, not an unbounded response.
+func TestWarehouseAggregateMaxGroups(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.AggMaxGroups = 3
+	if err := srv.Warehouse.AppendBatch(aggTuples(20)); err != nil {
+		t.Fatal(err)
+	}
+	// 20 one-minute buckets > 3 groups.
+	code := getJSON(t, ts.URL+"/api/warehouse/aggregate?func=count&bucket=1m", nil)
+	if code != 422 {
+		t.Fatalf("status = %d, want 422", code)
+	}
+}

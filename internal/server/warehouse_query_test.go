@@ -1,8 +1,15 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"net/url"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -231,6 +238,219 @@ func TestWarehouseQueryPagination(t *testing.T) {
 	}
 	if res.Count != 0 || res.Truncated {
 		t.Fatalf("past-end page: count=%d truncated=%v", res.Count, res.Truncated)
+	}
+}
+
+// flushRecorder is a ResponseWriter that records how many response bytes
+// had been written at each explicit Flush, so tests can prove a handler
+// streamed incrementally instead of buffering to the end.
+type flushRecorder struct {
+	header     http.Header
+	buf        bytes.Buffer
+	status     int
+	flushMarks []int
+}
+
+func newFlushRecorder() *flushRecorder {
+	return &flushRecorder{header: http.Header{}, status: http.StatusOK}
+}
+
+func (r *flushRecorder) Header() http.Header { return r.header }
+func (r *flushRecorder) WriteHeader(code int) {
+	r.status = code
+}
+func (r *flushRecorder) Write(p []byte) (int, error) { return r.buf.Write(p) }
+func (r *flushRecorder) Flush() {
+	r.flushMarks = append(r.flushMarks, r.buf.Len())
+}
+
+// droppingWriter simulates a client that disconnects mid-stream: every
+// write past failAfter bytes fails.
+type droppingWriter struct {
+	flushRecorder
+	failAfter int
+}
+
+func (w *droppingWriter) Write(p []byte) (int, error) {
+	if w.buf.Len() >= w.failAfter {
+		return 0, errors.New("client gone")
+	}
+	return w.buf.Write(p)
+}
+
+// TestWarehouseQueryNDJSON: format=ndjson streams one event object per
+// line, flushes before the response completes, and terminates with a
+// summary line carrying the JSON envelope's fields.
+func TestWarehouseQueryNDJSON(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(300)); err != nil {
+		t.Fatal(err)
+	}
+	rec := newFlushRecorder()
+	req := httptest.NewRequest("GET", "/api/warehouse/query?format=ndjson&limit=200", nil)
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.status != 200 {
+		t.Fatalf("status = %d", rec.status)
+	}
+	if ct := rec.header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	// 200 event lines at 64 lines per flush: at least two flushes landed
+	// strictly before the stream was complete.
+	total := rec.buf.Len()
+	early := 0
+	for _, mark := range rec.flushMarks {
+		if mark > 0 && mark < total {
+			early++
+		}
+	}
+	if early < 2 {
+		t.Fatalf("flush marks %v: want >= 2 flushes before completion (total %d bytes)", rec.flushMarks, total)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(rec.buf.Bytes()))
+	var seqs []uint64
+	sawSummary := false
+	for sc.Scan() {
+		line := sc.Text()
+		if sawSummary {
+			t.Fatal("lines after the summary")
+		}
+		var ev struct {
+			Seq     *uint64 `json:"seq"`
+			Event   map[string]any
+			Summary *struct {
+				Count     int  `json:"count"`
+				Truncated bool `json:"truncated"`
+			} `json:"summary"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("malformed NDJSON line %q: %v", line, err)
+		}
+		if ev.Summary != nil {
+			sawSummary = true
+			if ev.Summary.Count != 200 || !ev.Summary.Truncated {
+				t.Fatalf("summary = %+v, want count 200 truncated", ev.Summary)
+			}
+			continue
+		}
+		if ev.Seq == nil || ev.Event == nil {
+			t.Fatalf("event line missing seq/event: %q", line)
+		}
+		seqs = append(seqs, *ev.Seq)
+	}
+	if !sawSummary {
+		t.Fatal("stream did not end with a summary line")
+	}
+	if len(seqs) != 200 {
+		t.Fatalf("%d event lines, want 200", len(seqs))
+	}
+	for i, seq := range seqs {
+		if seq != uint64(i) {
+			t.Fatalf("line %d seq = %d, out of order", i, seq)
+		}
+	}
+}
+
+// TestWarehouseQueryNDJSONCountOnly: limit=0 under ndjson is a single
+// summary line.
+func TestWarehouseQueryNDJSONCountOnly(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(50)); err != nil {
+		t.Fatal(err)
+	}
+	rec := newFlushRecorder()
+	req := httptest.NewRequest("GET", "/api/warehouse/query?format=ndjson&limit=0", nil)
+	srv.Handler().ServeHTTP(rec, req)
+	lines := strings.Split(strings.TrimSpace(rec.buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("count-only stream has %d lines, want 1", len(lines))
+	}
+	var line struct {
+		Summary *struct {
+			Count int `json:"count"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil || line.Summary == nil {
+		t.Fatalf("bad summary line %q: %v", lines[0], err)
+	}
+	if line.Summary.Count != 50 {
+		t.Fatalf("count = %d, want 50", line.Summary.Count)
+	}
+}
+
+// TestWarehouseQueryNDJSONDisconnect: a client vanishing mid-stream must
+// not wedge or panic the handler — it just stops writing.
+func TestWarehouseQueryNDJSONDisconnect(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(500)); err != nil {
+		t.Fatal(err)
+	}
+	rec := &droppingWriter{flushRecorder: *newFlushRecorder(), failAfter: 2048}
+	req := httptest.NewRequest("GET", "/api/warehouse/query?format=ndjson&limit=500", nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Handler().ServeHTTP(rec, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler wedged after client disconnect")
+	}
+	if strings.Contains(rec.buf.String(), `"summary"`) {
+		t.Fatal("summary written despite disconnect")
+	}
+}
+
+func TestWarehouseQueryBadFormat(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?format=xml", nil); code != 400 {
+		t.Fatalf("format=xml status = %d, want 400", code)
+	}
+}
+
+// TestWarehouseQueryPagingEdges: offset landing exactly on the end, and
+// limit=0 combined with offset, keep the truncated flag honest.
+func TestWarehouseQueryPagingEdges(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(8)); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Count     int   `json:"count"`
+		Events    []any `json:"events"`
+		Truncated bool  `json:"truncated"`
+		Offset    int   `json:"offset"`
+	}
+	// Offset exactly at the end: empty page, not truncated.
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=4&offset=8", &res); code != 200 {
+		t.Fatal("offset at end must succeed")
+	}
+	if res.Count != 0 || res.Truncated {
+		t.Fatalf("page at end: %+v", res)
+	}
+	// Last full page: present, not truncated.
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=4&offset=4", &res); code != 200 {
+		t.Fatal("last page must succeed")
+	}
+	if res.Count != 4 || res.Truncated {
+		t.Fatalf("last page: %+v", res)
+	}
+	// limit=0 ignores offset entirely (count-only) and echoes offset 0.
+	if code := getJSON(t, ts.URL+"/api/warehouse/query?limit=0&offset=5", &res); code != 200 {
+		t.Fatal("count-only with offset must succeed")
+	}
+	if res.Count != 8 || res.Offset != 0 || res.Truncated {
+		t.Fatalf("count-only with offset: %+v", res)
+	}
+	// limit=0 with a cond keeps the count exact under the ceiling.
+	u := ts.URL + "/api/warehouse/query?limit=0&offset=3&cond=" + url.QueryEscape("temperature > 16")
+	if code := getJSON(t, u, &res); code != 200 {
+		t.Fatal("cond count with offset must succeed")
+	}
+	if res.Count != 6 || res.Truncated {
+		t.Fatalf("cond count with offset: %+v", res)
 	}
 }
 

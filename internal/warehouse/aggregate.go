@@ -1,0 +1,467 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"streamloader/internal/expr"
+	"streamloader/internal/ops"
+	"streamloader/internal/stt"
+)
+
+// ErrInvalidAggQuery tags AggQuery validation failures (unknown function,
+// missing field, bad group-by, negative bucket), so callers can answer
+// them as client errors rather than evaluation faults.
+var ErrInvalidAggQuery = errors.New("warehouse: invalid aggregate query")
+
+// ErrTooManyGroups reports an aggregation whose group cardinality exceeded
+// its MaxGroups bound — addressable by the caller (narrow the filter,
+// coarsen the bucket, raise the bound), unlike an I/O failure.
+var ErrTooManyGroups = errors.New("warehouse: aggregate group cardinality exceeds the bound")
+
+// DefaultAggMaxGroups bounds the group cardinality one Aggregate call may
+// produce; AggQuery.MaxGroups overrides it. The bound protects the process
+// from a group-by × fine bucketing over a wide history materializing an
+// unbounded result — the one way an aggregation, which otherwise touches no
+// event slices, could still blow memory.
+const DefaultAggMaxGroups = 100_000
+
+// AggQuery is an aggregation pushed down into the warehouse: the usual
+// Query filter (Limit is ignored — an aggregate has no page to cap) plus an
+// aggregation spec. The query is evaluated as per-shard, per-segment partial
+// aggregates merged at the top, never materializing a merged event list; a
+// cold segment whose header stats fully cover the filter and grouping is
+// answered without opening its event block at all.
+type AggQuery struct {
+	Query
+
+	// Func is the aggregation function: COUNT, SUM, AVG, MIN or MAX.
+	Func ops.AggFunc
+	// Field names the aggregated payload field. Required for SUM/AVG/MIN/
+	// MAX, where only events carrying a numeric non-null value of it
+	// contribute; optional for COUNT, where a named field counts events
+	// whose value for it is present and non-null (matching the streaming
+	// COUNT(attr) operator) and an empty field counts every matching event.
+	Field string
+	// GroupBy lists grouping dimensions: "source" and/or "theme" (the
+	// event's primary Theme tag).
+	GroupBy []string
+	// Bucket, when positive, additionally groups results into fixed-width
+	// event-time windows (time.Time.Truncate alignment).
+	Bucket time.Duration
+	// MaxGroups bounds the result cardinality (0 = DefaultAggMaxGroups).
+	MaxGroups int
+}
+
+// AggRow is one output group of an Aggregate call.
+type AggRow struct {
+	// Bucket is the window start; the zero time when the query had no
+	// bucketing.
+	Bucket time.Time
+	// Source/Theme carry the group values for the dimensions grouped on,
+	// empty otherwise (and for events genuinely lacking the tag).
+	Source string
+	Theme  string
+	// Count is how many events contributed to the aggregate.
+	Count int64
+	// Value is the aggregate result: the count for COUNT, sum for SUM,
+	// sum/count for AVG, and the extrema for MIN/MAX.
+	Value float64
+}
+
+// aggPlan is a validated AggQuery with the grouping flags resolved.
+type aggPlan struct {
+	AggQuery
+	groupSource, groupTheme bool
+	// bareCount marks COUNT with no field: every matching event
+	// contributes, which is what makes the cold-header fast path possible.
+	bareCount bool
+	maxGroups int
+}
+
+// plan validates the query and resolves the grouping spec.
+func (q AggQuery) plan() (aggPlan, error) {
+	p := aggPlan{AggQuery: q}
+	fn, err := ops.ParseAggFunc(string(q.Func))
+	if err != nil {
+		return p, fmt.Errorf("%w: %v", ErrInvalidAggQuery, err)
+	}
+	p.Func = fn
+	if fn != ops.AggCount && q.Field == "" {
+		return p, fmt.Errorf("%w: %s needs a field", ErrInvalidAggQuery, fn)
+	}
+	p.bareCount = fn == ops.AggCount && q.Field == ""
+	for _, g := range q.GroupBy {
+		switch strings.ToLower(g) {
+		case "source":
+			p.groupSource = true
+		case "theme":
+			p.groupTheme = true
+		default:
+			return p, fmt.Errorf("%w: unknown group-by %q (want source, theme)", ErrInvalidAggQuery, g)
+		}
+	}
+	if q.Bucket < 0 {
+		return p, fmt.Errorf("%w: negative bucket %v", ErrInvalidAggQuery, q.Bucket)
+	}
+	p.maxGroups = q.MaxGroups
+	if p.maxGroups <= 0 {
+		p.maxGroups = DefaultAggMaxGroups
+	}
+	p.Limit = 0 // aggregates have no page; never let a Limit prune inputs
+	return p, nil
+}
+
+// aggKey identifies one output group. The bucket rides as (unix sec, nanos)
+// so the key is comparable without time.Time's location pointer.
+type aggKey struct {
+	sec    int64
+	ns     int
+	source string
+	theme  string
+}
+
+// aggPartial is the mergeable state of one group: count, sum, min and max
+// are carried separately — never the derived value — so AVG merges exactly
+// across segments and shards.
+type aggPartial struct {
+	bucket     time.Time
+	count      int64
+	sum        float64
+	minV, maxV float64
+}
+
+func (st *aggPartial) merge(o *aggPartial) {
+	st.count += o.count
+	st.sum += o.sum
+	st.minV = math.Min(st.minV, o.minV)
+	st.maxV = math.Max(st.maxV, o.maxV)
+}
+
+// contribution resolves whether one event contributes and with what value.
+func (p *aggPlan) contribution(t *stt.Tuple) (float64, bool) {
+	if p.bareCount {
+		return 0, true
+	}
+	v, ok := t.Get(p.Field)
+	if p.Func == ops.AggCount {
+		return 0, ok && !v.IsNull()
+	}
+	if !ok || !v.Kind().Numeric() {
+		return 0, false
+	}
+	return v.AsFloat(), true
+}
+
+// keyOf builds the group key (and bucket start) for one event.
+func (p *aggPlan) keyOf(t *stt.Tuple) (aggKey, time.Time) {
+	var key aggKey
+	var bs time.Time
+	if p.Bucket > 0 {
+		bs = t.Time.Truncate(p.Bucket)
+		key.sec, key.ns = bs.Unix(), bs.Nanosecond()
+	}
+	if p.groupSource {
+		key.source = t.Source
+	}
+	if p.groupTheme {
+		key.theme = t.Theme
+	}
+	return key, bs
+}
+
+// accumulate folds one matching event into the group map. It reports false
+// when the group cardinality bound is exceeded.
+func (p *aggPlan) accumulate(acc map[aggKey]*aggPartial, t *stt.Tuple) bool {
+	f, ok := p.contribution(t)
+	if !ok {
+		return true
+	}
+	key, bs := p.keyOf(t)
+	st := acc[key]
+	if st == nil {
+		if len(acc) >= p.maxGroups {
+			return false
+		}
+		st = &aggPartial{bucket: bs, minV: math.Inf(1), maxV: math.Inf(-1)}
+		acc[key] = st
+	}
+	st.count++
+	switch p.Func {
+	case ops.AggCount:
+	default:
+		st.sum += f
+		st.minV = math.Min(st.minV, f)
+		st.maxV = math.Max(st.maxV, f)
+	}
+	return true
+}
+
+// add folds a header-derived count into the group map (cold fast path).
+func (p *aggPlan) add(acc map[aggKey]*aggPartial, bs time.Time, source, theme string, n int64) bool {
+	key := aggKey{source: source, theme: theme}
+	if p.Bucket > 0 {
+		key.sec, key.ns = bs.Unix(), bs.Nanosecond()
+	}
+	st := acc[key]
+	if st == nil {
+		if len(acc) >= p.maxGroups {
+			return false
+		}
+		st = &aggPartial{bucket: bs, minV: math.Inf(1), maxV: math.Inf(-1)}
+		acc[key] = st
+	}
+	st.count += n
+	return true
+}
+
+var errAggGroups = fmt.Errorf("%w (narrow the filter, coarsen the bucket, or raise MaxGroups)", ErrTooManyGroups)
+
+// coldHeaderAgg answers one cold segment purely from its in-RAM header
+// stats, without opening the event block. It applies only when every live
+// event's contribution is fully determined by the header:
+//
+//   - bare COUNT (a field or numeric aggregate needs payload values);
+//   - no Region or Cond (the header has no spatial or payload stats);
+//   - the [From, To) window covers every live event, and — under
+//     bucketing — the whole live envelope lands in a single bucket;
+//   - the source and theme dimensions are not constrained simultaneously
+//     (the header has per-source and per-theme counts, never the cross);
+//   - a theme group-by needs the primary-theme header stats (files written
+//     before that field fall back to reads), with no theme filter on top;
+//     a theme filter alone must name exactly one theme, whose ThemeCounts
+//     entry is precisely the matchTheme cardinality.
+//
+// The first return says whether the segment was answered; the second is
+// false only on group-cardinality overflow.
+func (p *aggPlan) coldHeaderAgg(acc map[aggKey]*aggPartial, cs *coldSegment) (bool, bool) {
+	if !p.bareCount || p.Region != nil || p.Cond != "" {
+		return false, true
+	}
+	if !cs.coveredBy(p.From, p.To) {
+		return false, true
+	}
+	var bs time.Time
+	if p.Bucket > 0 {
+		hb, tb := cs.head.Time.Truncate(p.Bucket), cs.tail.Time.Truncate(p.Bucket)
+		if !hb.Equal(tb) {
+			return false, true
+		}
+		bs = hb
+	}
+	needSource := p.groupSource || len(p.Sources) > 0
+	needTheme := p.groupTheme || len(p.Themes) > 0
+	switch {
+	case needSource && needTheme:
+		return false, true
+	case p.groupTheme:
+		if len(p.Themes) > 0 || cs.primaryThemes == nil {
+			return false, true
+		}
+		named := 0
+		for th, n := range cs.primaryThemes {
+			named += n
+			if !p.add(acc, bs, "", th, int64(n)) {
+				return true, false
+			}
+		}
+		if rem := cs.count - named; rem > 0 {
+			if !p.add(acc, bs, "", "", int64(rem)) {
+				return true, false
+			}
+		}
+	case needTheme:
+		if len(p.Themes) != 1 {
+			return false, true
+		}
+		if n := cs.themeCounts[p.Themes[0]]; n > 0 {
+			if !p.add(acc, bs, "", "", int64(n)) {
+				return true, false
+			}
+		}
+	case needSource:
+		named := 0
+		for src, n := range cs.sourceCounts {
+			named += n
+			if len(p.Sources) > 0 && !containsString(p.Sources, src) {
+				continue
+			}
+			group := ""
+			if p.groupSource {
+				group = src
+			}
+			if !p.add(acc, bs, group, "", int64(n)) {
+				return true, false
+			}
+		}
+		// Events with an empty source are absent from sourceCounts; the
+		// remainder is exactly them.
+		if rem := cs.count - named; rem > 0 && (len(p.Sources) == 0 || containsString(p.Sources, "")) {
+			if !p.add(acc, bs, "", "", int64(rem)) {
+				return true, false
+			}
+		}
+	default:
+		if !p.add(acc, bs, "", "", int64(cs.count)) {
+			return true, false
+		}
+	}
+	return true, true
+}
+
+// value resolves a group's final result from its partial.
+func (p *aggPlan) value(st *aggPartial) float64 {
+	switch p.Func {
+	case ops.AggCount:
+		return float64(st.count)
+	case ops.AggSum:
+		return st.sum
+	case ops.AggAvg:
+		return st.sum / float64(st.count)
+	case ops.AggMin:
+		return st.minV
+	default: // ops.AggMax
+		return st.maxV
+	}
+}
+
+// Aggregate evaluates an aggregation over the store without materializing a
+// merged event list: each shard folds its matching events (or, for covered
+// cold segments, its header stats) into partial aggregates, and the partials
+// merge at the top. Rows come back sorted by (bucket, source, theme). A
+// group appears only when at least one event contributed to it.
+func (w *Warehouse) Aggregate(q AggQuery) ([]AggRow, QueryStats, error) {
+	rows, qs, _, err := w.aggregate(q)
+	return rows, qs, err
+}
+
+// aggregate additionally reports the group count before row building, for
+// telemetry-minded callers and tests.
+func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
+	var qs QueryStats
+	p, err := q.plan()
+	if err != nil {
+		return nil, qs, 0, err
+	}
+	shards := w.routedShards(p.Query)
+	parts := make([]map[aggKey]*aggPartial, len(shards))
+	scans := make([]segScan, len(shards))
+	errs := make([]error, len(shards))
+	forEachShard(shards, func(i int, s *shard) {
+		parts[i], scans[i], errs[i] = s.aggQ(&p)
+	})
+	for _, sc := range scans {
+		qs.SegmentsScanned += sc.scanned
+		qs.SegmentsPruned += sc.pruned
+		qs.ColdCacheHits += sc.cacheHits
+		qs.ColdCacheMisses += sc.cacheMisses
+		qs.ColdHeaderOnly += sc.headerOnly
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, qs, 0, err
+		}
+	}
+	// Merge in shard order, so equal-key float partials combine in a
+	// deterministic order run to run.
+	merged := map[aggKey]*aggPartial{}
+	for _, part := range parts {
+		for k, st := range part {
+			if dst := merged[k]; dst != nil {
+				dst.merge(st)
+			} else {
+				if len(merged) >= p.maxGroups {
+					return nil, qs, 0, errAggGroups
+				}
+				merged[k] = st
+			}
+		}
+	}
+	rows := make([]AggRow, 0, len(merged))
+	for k, st := range merged {
+		rows = append(rows, AggRow{
+			Bucket: st.bucket,
+			Source: k.source,
+			Theme:  k.theme,
+			Count:  st.count,
+			Value:  p.value(st),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if !a.Bucket.Equal(b.Bucket) {
+			return a.Bucket.Before(b.Bucket)
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Theme < b.Theme
+	})
+	return rows, qs, len(merged), nil
+}
+
+// aggQ folds this shard's matching events into per-group partials. Cold
+// segments are answered from header stats when coldHeaderAgg's coverage
+// rules hold; otherwise only their window-overlapping chunks are read back
+// (through the chunk cache) and filtered exactly, and hot segments iterate
+// their cheapest candidate index. No event list is built, sorted or merged.
+func (s *shard) aggQ(p *aggPlan) (map[aggKey]*aggPartial, segScan, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var sc segScan
+	acc := map[aggKey]*aggPartial{}
+	conds := map[*stt.Schema]*expr.Compiled{}
+	for _, cs := range s.cold {
+		if cs.prunedBy(p.From, p.To) {
+			sc.pruned++
+			continue
+		}
+		sc.scanned++
+		answered, ok := p.coldHeaderAgg(acc, cs)
+		if answered {
+			if !ok {
+				return nil, sc, errAggGroups
+			}
+			sc.headerOnly++
+			continue
+		}
+		evs, rs, err := cs.readWindow(p.From, p.To)
+		if err != nil {
+			return nil, sc, err
+		}
+		sc.cacheHits += rs.CacheHits
+		sc.cacheMisses += rs.CacheMisses
+		for _, ev := range evs {
+			match, err := matchEvent(ev, p.Query, conds)
+			if err != nil {
+				return nil, sc, err
+			}
+			if match && !p.accumulate(acc, ev.Tuple) {
+				return nil, sc, errAggGroups
+			}
+		}
+	}
+	for _, seg := range s.segs {
+		if seg.prunedBy(p.From, p.To) {
+			sc.pruned++
+			continue
+		}
+		sc.scanned++
+		for _, ord := range seg.candidateSet(p.Query) {
+			ev := seg.events[ord]
+			match, err := matchEvent(ev, p.Query, conds)
+			if err != nil {
+				return nil, sc, err
+			}
+			if match && !p.accumulate(acc, ev.Tuple) {
+				return nil, sc, errAggGroups
+			}
+		}
+	}
+	return acc, sc, nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/ops"
 	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
@@ -514,6 +515,111 @@ func BenchmarkIngestSpillStall(b *testing.B) {
 			}
 			b.ReportMetric(float64(w.Stats().SegmentsSpilled), "spills")
 		})
+	}
+}
+
+// BenchmarkAggregatePushdown compares a pushed-down aggregation against
+// select-then-aggregate — materializing every matching event over HTTP's
+// old path and folding client-side — on hot and on fully-spilled history.
+// The pushdown never builds a merged event list; on spilled history a
+// fully-covered COUNT must be answered from cold headers alone (zero
+// chunks read, the files-opened metric), which is where the ≥5x allocs/op
+// win comes from.
+func BenchmarkAggregatePushdown(b *testing.B) {
+	const n = 100_000
+	buildHot := func(b *testing.B) *Warehouse {
+		w := NewWithConfig(Config{Shards: 4, SegmentEvents: 1000, SegmentSpan: time.Hour})
+		benchLoadColdable(b, w, n)
+		return w
+	}
+	buildSpilled := func(b *testing.B) *Warehouse {
+		w, err := Open(Config{
+			Shards: 4, SegmentEvents: 1000, SegmentSpan: time.Hour,
+			DataDir: b.TempDir(), HotSegments: 1, Sync: persist.SyncNever,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { w.Close() })
+		benchLoadColdable(b, w, n)
+		w.DrainSpills()
+		if w.Stats().SegmentsCold == 0 {
+			b.Fatal("nothing spilled")
+		}
+		return w
+	}
+	countQ := AggQuery{Func: ops.AggCount, GroupBy: []string{"source"}}
+	avgQ := AggQuery{Func: ops.AggAvg, Field: "temperature", GroupBy: []string{"source"}}
+
+	// selectAggregate is the client-side baseline: materialize the merged
+	// event list, then fold it.
+	selectAggregate := func(b *testing.B, w *Warehouse, aq AggQuery) {
+		evs, err := w.Select(aq.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts := map[string]int64{}
+		sums := map[string]float64{}
+		for _, ev := range evs {
+			if aq.Field != "" {
+				v, ok := ev.Tuple.Get(aq.Field)
+				if !ok || !v.Kind().Numeric() {
+					continue
+				}
+				sums[ev.Tuple.Source] += v.AsFloat()
+			}
+			counts[ev.Tuple.Source]++
+		}
+		if len(counts) == 0 {
+			b.Fatal("empty aggregate")
+		}
+	}
+
+	for _, tier := range []struct {
+		name  string
+		build func(*testing.B) *Warehouse
+	}{{"hot", buildHot}, {"spilled", buildSpilled}} {
+		for _, shape := range []struct {
+			name string
+			aq   AggQuery
+		}{{"count", countQ}, {"avg", avgQ}} {
+			b.Run(fmt.Sprintf("%s/%s/pushdown", tier.name, shape.name), func(b *testing.B) {
+				w := tier.build(b)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var headerOnly, chunkReads int
+				for i := 0; i < b.N; i++ {
+					rows, qs, err := w.Aggregate(shape.aq)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rows) == 0 {
+						b.Fatal("empty aggregate")
+					}
+					headerOnly += qs.ColdHeaderOnly
+					chunkReads += qs.ColdCacheHits + qs.ColdCacheMisses
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(chunkReads)/float64(b.N), "chunk-reads/op")
+				b.ReportMetric(float64(headerOnly)/float64(b.N), "header-only-segs/op")
+				// The acceptance bar: a fully-covered COUNT over spilled
+				// history opens no event block at all.
+				if tier.name == "spilled" && shape.name == "count" && chunkReads != 0 {
+					b.Fatalf("covered COUNT read %d chunks, want 0", chunkReads)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%s/select", tier.name, shape.name), func(b *testing.B) {
+				w := tier.build(b)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					selectAggregate(b, w, shape.aq)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
 	}
 }
 

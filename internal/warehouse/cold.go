@@ -32,6 +32,10 @@ type coldSegment struct {
 	// sourceCounts/themeCounts are live counts, kept exact across skips.
 	sourceCounts map[string]int
 	themeCounts  map[string]int
+	// primaryThemes counts live events by primary Theme tag only; nil when
+	// the file predates the header field, which disables the group-by-theme
+	// aggregate fast path for this one segment (reads still work).
+	primaryThemes map[string]int
 
 	// loaded caches the live events ([skip:] of the file) while a
 	// compaction needs per-event keys; it is released when the compaction
@@ -44,13 +48,14 @@ type coldSegment struct {
 // sole owner from here on.
 func newColdSegment(info *persist.SegmentInfo, cache *persist.ChunkCache) *coldSegment {
 	return &coldSegment{
-		info:         info,
-		cache:        cache,
-		count:        info.Count,
-		head:         info.Head,
-		tail:         info.Tail,
-		sourceCounts: info.SourceCounts,
-		themeCounts:  info.ThemeCounts,
+		info:          info,
+		cache:         cache,
+		count:         info.Count,
+		head:          info.Head,
+		tail:          info.Tail,
+		sourceCounts:  info.SourceCounts,
+		themeCounts:   info.ThemeCounts,
+		primaryThemes: info.PrimaryThemeCounts,
 	}
 }
 
@@ -154,6 +159,11 @@ func (c *coldSegment) dropPrefix(n int) (dropped []Event) {
 		if t.Theme != "" {
 			if c.themeCounts[t.Theme]--; c.themeCounts[t.Theme] <= 0 {
 				delete(c.themeCounts, t.Theme)
+			}
+			if c.primaryThemes != nil {
+				if c.primaryThemes[t.Theme]--; c.primaryThemes[t.Theme] <= 0 {
+					delete(c.primaryThemes, t.Theme)
+				}
 			}
 		}
 		for _, theme := range t.Schema.Themes {

@@ -33,6 +33,43 @@
 // and other constraints are counted without materializing, sorting or
 // merging events.
 //
+// # Aggregate pushdown
+//
+// Aggregate evaluates COUNT/SUM/AVG/MIN/MAX over a named payload field —
+// with optional group-by (source, the event's primary theme) and optional
+// fixed-width time bucketing — without ever materializing a merged event
+// list. Each shard folds its matching events into per-group partial
+// aggregates under its read lock; the partials carry count, sum, min and
+// max separately (never a derived value), so AVG merges exactly across
+// segments and shards, and the per-shard maps merge at the top in shard
+// order, keeping float accumulation deterministic for a given store state.
+// Contribution semantics over heterogeneous schemas: a bare COUNT counts
+// every matching event; COUNT(field) counts events whose value for the
+// field is present and non-null (mirroring the streaming COUNT(attr)
+// operator); the numeric functions fold only present numeric values, so
+// events of schemas lacking the field simply don't contribute. A group row
+// exists only when at least one event contributed. MaxGroups (default
+// DefaultAggMaxGroups) bounds the result cardinality — the one way an
+// aggregation could still blow memory.
+//
+// Cold segments get a header-only fast path: a segment file whose in-RAM
+// envelope fully covers the query is answered from the per-source,
+// per-theme and primary-theme counts its header already carries, without
+// opening the event block. The coverage rules are strict — bare COUNT
+// only; no Region or Cond; the [From, To) window covers every live event
+// and, under bucketing, the whole envelope lands in one bucket; source and
+// theme never constrained together (headers carry each dimension's counts
+// but not the cross); a theme group-by needs the primary-theme stats
+// (files from before that header field fall back to reads) and a bare
+// theme filter must name a single theme, whose ThemeCounts entry is
+// exactly the matchTheme cardinality. Everything the header cannot answer
+// falls back to reading just the window-overlapping chunks through the
+// chunk cache, bounded by the sparse time index, and filtering exactly —
+// so partially-covered boundary files pay chunk reads while interior files
+// pay nothing. The model checker's Aggregate op proves the two paths
+// indistinguishable, crash/reopen included; QueryStats.ColdHeaderOnly
+// counts the segments answered header-only per query.
+//
 // # Retention
 //
 // SetRetention bounds the store; when exceeded, the globally-oldest events

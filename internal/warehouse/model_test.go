@@ -2,6 +2,7 @@ package warehouse
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/ops"
 	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
@@ -27,6 +29,7 @@ type mop struct {
 	kind   mopKind
 	tuples []*stt.Tuple // append (1 tuple) / appendBatch
 	q      Query        // selectOp / countOp
+	aq     AggQuery     // aggregateOp
 	retain int          // setRetention
 }
 
@@ -37,6 +40,12 @@ const (
 	opAppendBatch
 	opSelect
 	opCount
+	// opAggregate pushes a randomized aggregation (function × group-by ×
+	// bucket × filter) down into the warehouse and checks the rows against
+	// a naive aggregation over the reference event list — including the
+	// cold-header fast paths, which must be indistinguishable from full
+	// materialization.
+	opAggregate
 	opSetRetention
 	// opReopen hard-closes the warehouse mid-run (simulating a crash) and
 	// reopens it from its data dir; only generated for durable configs.
@@ -65,6 +74,18 @@ func (o mop) String() string {
 		return fmt.Sprintf("Select{%s}", queryString(o.q))
 	case opCount:
 		return fmt.Sprintf("Count{%s}", queryString(o.q))
+	case opAggregate:
+		spec := string(o.aq.Func)
+		if o.aq.Field != "" {
+			spec += "(" + o.aq.Field + ")"
+		}
+		if len(o.aq.GroupBy) > 0 {
+			spec += " by " + strings.Join(o.aq.GroupBy, ",")
+		}
+		if o.aq.Bucket > 0 {
+			spec += fmt.Sprintf(" bucket=%s", o.aq.Bucket)
+		}
+		return fmt.Sprintf("Aggregate{%s %s}", spec, queryString(o.aq.Query))
 	case opReopen:
 		return "CrashReopen{}"
 	case opCrashMidSpill:
@@ -190,6 +211,111 @@ func (m *refModel) matches(t *stt.Tuple, q Query) bool {
 	return true
 }
 
+// aggregate is the naive reference aggregation: filter the flat event list
+// with matches, fold contributions in insertion order, emit rows sorted by
+// (bucket, source, theme). It deliberately re-states the contribution
+// semantics — bare COUNT counts every match, COUNT(field) counts present
+// non-null values, numeric functions fold present numeric values — without
+// sharing any engine code. The generator only emits integral field values,
+// so float sums are exact and order-independent: rows must match the
+// engine's bit for bit.
+func (m *refModel) aggregate(q AggQuery) []AggRow {
+	groupSource, groupTheme := false, false
+	for _, g := range q.GroupBy {
+		switch g {
+		case "source":
+			groupSource = true
+		case "theme":
+			groupTheme = true
+		}
+	}
+	bare := q.Func == ops.AggCount && q.Field == ""
+	type key struct {
+		sec    int64
+		ns     int
+		source string
+		theme  string
+	}
+	type state struct {
+		bucket     time.Time
+		count      int64
+		sum        float64
+		minV, maxV float64
+	}
+	acc := map[key]*state{}
+	for _, ev := range m.events {
+		t := ev.Tuple
+		if !m.matches(t, q.Query) {
+			continue
+		}
+		var f float64
+		if !bare {
+			v, ok := t.Get(q.Field)
+			if q.Func == ops.AggCount {
+				if !ok || v.IsNull() {
+					continue
+				}
+			} else {
+				if !ok || !v.Kind().Numeric() {
+					continue
+				}
+				f = v.AsFloat()
+			}
+		}
+		var k key
+		var bs time.Time
+		if q.Bucket > 0 {
+			bs = t.Time.Truncate(q.Bucket)
+			k.sec, k.ns = bs.Unix(), bs.Nanosecond()
+		}
+		if groupSource {
+			k.source = t.Source
+		}
+		if groupTheme {
+			k.theme = t.Theme
+		}
+		st := acc[k]
+		if st == nil {
+			st = &state{bucket: bs, minV: math.Inf(1), maxV: math.Inf(-1)}
+			acc[k] = st
+		}
+		st.count++
+		if !bare && q.Func != ops.AggCount {
+			st.sum += f
+			st.minV = math.Min(st.minV, f)
+			st.maxV = math.Max(st.maxV, f)
+		}
+	}
+	rows := make([]AggRow, 0, len(acc))
+	for k, st := range acc {
+		var val float64
+		switch q.Func {
+		case ops.AggCount:
+			val = float64(st.count)
+		case ops.AggSum:
+			val = st.sum
+		case ops.AggAvg:
+			val = st.sum / float64(st.count)
+		case ops.AggMin:
+			val = st.minV
+		case ops.AggMax:
+			val = st.maxV
+		}
+		rows = append(rows, AggRow{Bucket: st.bucket, Source: k.source, Theme: k.theme, Count: st.count, Value: val})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if !a.Bucket.Equal(b.Bucket) {
+			return a.Bucket.Before(b.Bucket)
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Theme < b.Theme
+	})
+	return rows
+}
+
 // genOps builds a random op sequence. Times mostly advance (the hot-segment
 // path) with occasional deep stragglers (the out-of-order path), sources
 // come from a small pool so shards see interleaved streams, and retention
@@ -240,41 +366,63 @@ func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 		}
 		return q
 	}
+	genAgg := func() AggQuery {
+		aq := AggQuery{Query: genQuery()}
+		aq.Limit = 0 // aggregates ignore Limit; keep the op readable
+		fns := []ops.AggFunc{ops.AggCount, ops.AggCount, ops.AggSum, ops.AggAvg, ops.AggMin, ops.AggMax}
+		aq.Func = fns[r.Intn(len(fns))]
+		if aq.Func != ops.AggCount || r.Intn(2) == 0 {
+			aq.Field = "temperature"
+		}
+		switch r.Intn(4) {
+		case 1:
+			aq.GroupBy = []string{"source"}
+		case 2:
+			aq.GroupBy = []string{"theme"}
+		case 3:
+			aq.GroupBy = []string{"source", "theme"}
+		}
+		buckets := []time.Duration{0, 0, 5 * time.Minute, 17 * time.Minute, time.Hour}
+		aq.Bucket = buckets[r.Intn(len(buckets))]
+		return aq
+	}
 
-	ops := make([]mop, 0, n)
+	mops := make([]mop, 0, n)
 	for i := 0; i < n; i++ {
 		if withReopen && r.Intn(25) == 0 {
 			// Half the crashes land mid-spill: the victim segment's file is
 			// on disk but never swapped in or checkpointed.
 			if r.Intn(2) == 0 {
-				ops = append(ops, mop{kind: opCrashMidSpill})
+				mops = append(mops, mop{kind: opCrashMidSpill})
 			} else {
-				ops = append(ops, mop{kind: opReopen})
+				mops = append(mops, mop{kind: opReopen})
 			}
 			continue
 		}
-		switch k := r.Intn(10); {
+		switch k := r.Intn(12); {
 		case k < 4:
-			ops = append(ops, mop{kind: opAppend, tuples: []*stt.Tuple{genTuple()}})
+			mops = append(mops, mop{kind: opAppend, tuples: []*stt.Tuple{genTuple()}})
 		case k < 6:
 			batch := make([]*stt.Tuple, 1+r.Intn(20))
 			for j := range batch {
 				batch[j] = genTuple()
 			}
-			ops = append(ops, mop{kind: opAppendBatch, tuples: batch})
+			mops = append(mops, mop{kind: opAppendBatch, tuples: batch})
 		case k < 8:
-			ops = append(ops, mop{kind: opSelect, q: genQuery()})
+			mops = append(mops, mop{kind: opSelect, q: genQuery()})
 		case k < 9:
-			ops = append(ops, mop{kind: opCount, q: genQuery()})
+			mops = append(mops, mop{kind: opCount, q: genQuery()})
+		case k < 11:
+			mops = append(mops, mop{kind: opAggregate, aq: genAgg()})
 		default:
 			retain := 0
 			if r.Intn(3) > 0 {
 				retain = 10 + r.Intn(150)
 			}
-			ops = append(ops, mop{kind: opSetRetention, retain: retain})
+			mops = append(mops, mop{kind: opSetRetention, retain: retain})
 		}
 	}
-	return ops
+	return mops
 }
 
 // runOps replays the sequence against a fresh warehouse and model, checking
@@ -334,6 +482,14 @@ func runOps(cfg Config, ops []mop) string {
 			}
 			if want := len(m.selectQ(op.q)); got != want {
 				return fmt.Sprintf("op %d %s: count = %d, model = %d", i, op, got, want)
+			}
+		case opAggregate:
+			got, _, err := w.Aggregate(op.aq)
+			if err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			if diff := diffAggRows(got, m.aggregate(op.aq)); diff != "" {
+				return fmt.Sprintf("op %d %s: %s", i, op, diff)
 			}
 		case opSetRetention:
 			retain = op.retain

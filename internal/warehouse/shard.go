@@ -1,6 +1,7 @@
 package warehouse
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,15 +63,21 @@ type shard struct {
 }
 
 // segScan counts how segment pruning — and, for cold segments, the chunk
-// cache — served one shard-local query.
+// cache and the aggregate header fast path — served one shard-local query.
 type segScan struct {
 	scanned, pruned        int
 	cacheHits, cacheMisses int
+	headerOnly             int
 }
 
 func newShard(lim segLimits) *shard {
 	return &shard{lim: lim, sources: map[string]int{}}
 }
+
+// ErrCondEval tags a payload-condition runtime evaluation failure: the
+// query's Cond, not the store, is at fault, so HTTP callers can answer it
+// as a client error rather than a server one.
+var ErrCondEval = errors.New("warehouse: condition evaluation failed")
 
 // appendLocked stores one event, routing it to the hot or out-of-order
 // segment and rotating the target when it fills. Caller holds the write
@@ -381,7 +388,7 @@ func matchEvent(ev Event, q Query, conds map[*stt.Schema]*expr.Compiled) (bool, 
 		}
 		ok2, err := c.EvalBool(expr.Scope{Tuple: t})
 		if err != nil {
-			return false, fmt.Errorf("warehouse: evaluating %q: %w", q.Cond, err)
+			return false, fmt.Errorf("%w: %q: %v", ErrCondEval, q.Cond, err)
 		}
 		if !ok2 {
 			return false, nil

@@ -110,6 +110,9 @@ type QueryStats struct {
 	// query found decoded in the chunk cache versus read back from disk.
 	ColdCacheHits   int `json:"cold_cache_hits"`
 	ColdCacheMisses int `json:"cold_cache_misses"`
+	// ColdHeaderOnly counts the cold segments an aggregate answered purely
+	// from header stats — no chunk read, no event decoded.
+	ColdHeaderOnly int `json:"cold_header_only"`
 }
 
 // sourceHash routes a source name to a shard. It is FNV-1a rather than a
