@@ -32,12 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/url"
 	"os"
-	"strings"
 	"time"
 
 	"streamloader/internal/geo"
-	"streamloader/internal/ops"
 	"streamloader/internal/persist"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
@@ -198,19 +197,27 @@ func aggregateWarehouse(dir, fn, field, group string, bucket time.Duration, from
 		log.Fatalf("recover: %v", err)
 	}
 	defer w.Close()
-	parsed, err := ops.ParseAggFunc(fn)
-	if err != nil {
-		log.Fatalf("bad -agg: %v", err)
+	// Build the same wire params the HTTP aggregate endpoint takes and run
+	// them through the shared warehouse parser, so the CLI and the server
+	// cannot drift on the query vocabulary.
+	params := url.Values{"func": {fn}, "field": {field}}
+	if !from.IsZero() {
+		params.Set("from", from.UTC().Format(time.RFC3339))
 	}
-	aq := warehouse.AggQuery{
-		Query:  warehouse.Query{From: from, To: to},
-		Func:   parsed,
-		Field:  field,
-		Bucket: bucket,
+	if !to.IsZero() {
+		params.Set("to", to.UTC().Format(time.RFC3339))
 	}
 	if group != "" {
-		aq.GroupBy = strings.Split(group, ",")
+		params.Set("group", group)
 	}
+	if bucket > 0 {
+		params.Set("bucket", bucket.String())
+	}
+	aq, err := warehouse.ParseAggQueryValues(params)
+	if err != nil {
+		log.Fatalf("bad -agg flags: %v", err)
+	}
+	parsed := aq.Func
 	rows, qs, err := w.Aggregate(aq)
 	if err != nil {
 		log.Fatalf("aggregate: %v", err)

@@ -11,6 +11,7 @@
 //	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
 //	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
 //	             [-cold-cache-bytes 67108864] [-agg-max-groups 100000]
+//	             [-max-subscribers 10000]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -66,6 +67,7 @@ func main() {
 		hotSegs   = flag.Int("hot-segments", warehouse.DefaultHotSegments, "sealed in-memory segments per shard before spilling to disk (negative: never spill)")
 		coldCache = flag.Int64("cold-cache-bytes", warehouse.DefaultColdCacheBytes, "budget for the LRU of decoded cold-segment chunks (negative: disable)")
 		aggGroups = flag.Int("agg-max-groups", warehouse.DefaultAggMaxGroups, "group cardinality bound for /api/warehouse/aggregate")
+		maxSubs   = flag.Int("max-subscribers", server.DefaultMaxSubscribers, "live /api/warehouse/subscribe client cap across all views")
 	)
 	flag.Parse()
 
@@ -160,6 +162,7 @@ func main() {
 
 	srv := server.New(net, broker, exec, mon, wh, board, sensors)
 	srv.AggMaxGroups = *aggGroups
+	srv.MaxSubscribers = *maxSubs
 	log.Printf("streamloader: %d sensors on %d %s nodes, dashboard at http://localhost%s/",
 		len(fleet), *nodes, *topology, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

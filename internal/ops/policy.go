@@ -1,0 +1,128 @@
+package ops
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// UpdateMode selects when a standing computation publishes its state.
+type UpdateMode string
+
+const (
+	// UpdateEvent publishes after every state change.
+	UpdateEvent UpdateMode = "event"
+	// UpdateInterval publishes on a fixed wall-clock period.
+	UpdateInterval UpdateMode = "interval"
+	// UpdateCount publishes once at least N changes have accumulated.
+	UpdateCount UpdateMode = "count"
+)
+
+// UpdatePolicy is the scheduling side of the paper's trigger vocabulary
+// applied to standing queries: where the ⊕ON,t activator (trigger.go)
+// decides when a stream operator may emit within a window, UpdatePolicy
+// decides when a continuously-maintained result is pushed to its
+// subscribers. The three modes mirror the activation conditions the
+// trigger operators compose from — per tuple (event), per timer tick
+// (interval), and per accumulated count — so a view's freshness/cost
+// trade-off is expressed in the same terms as the streaming plan's.
+//
+// A policy only schedules publication; it never affects what the state is.
+// The maintained result is identical under every policy — only the push
+// cadence differs.
+type UpdatePolicy struct {
+	// Mode picks the scheduling rule; the zero value normalizes to
+	// UpdateEvent.
+	Mode UpdateMode
+	// Every is the publication period for UpdateInterval.
+	Every time.Duration
+	// N is the change threshold for UpdateCount.
+	N int
+}
+
+// ParseUpdatePolicy parses the wire form of a policy: "" or "event",
+// "interval:<duration>" (e.g. "interval:250ms"), or "count:<n>".
+func ParseUpdatePolicy(s string) (UpdatePolicy, error) {
+	switch {
+	case s == "" || s == string(UpdateEvent):
+		return UpdatePolicy{Mode: UpdateEvent}, nil
+	case strings.HasPrefix(s, string(UpdateInterval)+":"):
+		d, err := time.ParseDuration(s[len(UpdateInterval)+1:])
+		if err != nil || d <= 0 {
+			return UpdatePolicy{}, fmt.Errorf("ops: bad update policy %q (want interval:<positive duration>)", s)
+		}
+		return UpdatePolicy{Mode: UpdateInterval, Every: d}, nil
+	case strings.HasPrefix(s, string(UpdateCount)+":"):
+		n, err := strconv.Atoi(s[len(UpdateCount)+1:])
+		if err != nil || n <= 0 {
+			return UpdatePolicy{}, fmt.Errorf("ops: bad update policy %q (want count:<positive int>)", s)
+		}
+		return UpdatePolicy{Mode: UpdateCount, N: n}, nil
+	default:
+		return UpdatePolicy{}, fmt.Errorf("ops: bad update policy %q (want event, interval:<dur> or count:<n>)", s)
+	}
+}
+
+// Normalize fills the zero value in as UpdateEvent and returns the policy.
+func (p UpdatePolicy) Normalize() UpdatePolicy {
+	if p.Mode == "" {
+		p.Mode = UpdateEvent
+	}
+	return p
+}
+
+// Validate rejects a policy whose mode is unknown or whose parameter is
+// missing for its mode.
+func (p UpdatePolicy) Validate() error {
+	switch p.Normalize().Mode {
+	case UpdateEvent:
+		return nil
+	case UpdateInterval:
+		if p.Every <= 0 {
+			return fmt.Errorf("ops: interval policy needs a positive period, got %v", p.Every)
+		}
+	case UpdateCount:
+		if p.N <= 0 {
+			return fmt.Errorf("ops: count policy needs a positive threshold, got %d", p.N)
+		}
+	default:
+		return fmt.Errorf("ops: unknown update mode %q", p.Mode)
+	}
+	return nil
+}
+
+// String renders the canonical wire form; the inverse of ParseUpdatePolicy.
+func (p UpdatePolicy) String() string {
+	switch p.Normalize().Mode {
+	case UpdateInterval:
+		return string(UpdateInterval) + ":" + p.Every.String()
+	case UpdateCount:
+		return string(UpdateCount) + ":" + strconv.Itoa(p.N)
+	default:
+		return string(UpdateEvent)
+	}
+}
+
+// Due reports whether pending accumulated changes warrant a publication
+// right now, independent of any timer. Interval mode always answers false —
+// its publications ride the TickEvery timer alone.
+func (p UpdatePolicy) Due(pending int64) bool {
+	switch p.Normalize().Mode {
+	case UpdateCount:
+		return pending >= int64(p.N)
+	case UpdateInterval:
+		return false
+	default:
+		return pending > 0
+	}
+}
+
+// TickEvery returns the timer period a scheduler should run for this
+// policy, or zero when no timer is needed.
+func (p UpdatePolicy) TickEvery() time.Duration {
+	if p.Normalize().Mode == UpdateInterval {
+		return p.Every
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package ops
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseUpdatePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want UpdatePolicy
+		bad  bool
+	}{
+		{in: "", want: UpdatePolicy{Mode: UpdateEvent}},
+		{in: "event", want: UpdatePolicy{Mode: UpdateEvent}},
+		{in: "interval:250ms", want: UpdatePolicy{Mode: UpdateInterval, Every: 250 * time.Millisecond}},
+		{in: "interval:1h", want: UpdatePolicy{Mode: UpdateInterval, Every: time.Hour}},
+		{in: "count:100", want: UpdatePolicy{Mode: UpdateCount, N: 100}},
+		{in: "interval:", bad: true},
+		{in: "interval:-5s", bad: true},
+		{in: "interval:0s", bad: true},
+		{in: "count:", bad: true},
+		{in: "count:0", bad: true},
+		{in: "count:-3", bad: true},
+		{in: "tick", bad: true},
+		{in: "EVENT", bad: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseUpdatePolicy(tc.in)
+		if tc.bad {
+			if err == nil {
+				t.Errorf("ParseUpdatePolicy(%q) accepted, want error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseUpdatePolicy(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseUpdatePolicy(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	for _, p := range []UpdatePolicy{
+		{Mode: UpdateEvent},
+		{}, // zero value normalizes to event
+		{Mode: UpdateInterval, Every: 250 * time.Millisecond},
+		{Mode: UpdateCount, N: 7},
+	} {
+		back, err := ParseUpdatePolicy(p.String())
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", p, err)
+		}
+		if back != p.Normalize() {
+			t.Fatalf("round trip of %+v = %+v", p, back)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	valid := []UpdatePolicy{
+		{},
+		{Mode: UpdateEvent},
+		{Mode: UpdateInterval, Every: time.Second},
+		{Mode: UpdateCount, N: 1},
+	}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", p, err)
+		}
+	}
+	invalid := []UpdatePolicy{
+		{Mode: UpdateInterval},
+		{Mode: UpdateInterval, Every: -time.Second},
+		{Mode: UpdateCount},
+		{Mode: UpdateCount, N: -1},
+		{Mode: "cron"},
+	}
+	for _, p := range invalid {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted, want error", p)
+		}
+	}
+}
+
+func TestPolicyDueAndTick(t *testing.T) {
+	ev := UpdatePolicy{Mode: UpdateEvent}
+	if !ev.Due(1) || ev.Due(0) || ev.TickEvery() != 0 {
+		t.Error("event policy: due on any pending change, no timer")
+	}
+	iv := UpdatePolicy{Mode: UpdateInterval, Every: time.Minute}
+	if iv.Due(1000) || iv.TickEvery() != time.Minute {
+		t.Error("interval policy: never due by count, timer = Every")
+	}
+	ct := UpdatePolicy{Mode: UpdateCount, N: 10}
+	if ct.Due(9) || !ct.Due(10) || ct.TickEvery() != 0 {
+		t.Error("count policy: due at N, no timer")
+	}
+}

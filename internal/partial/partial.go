@@ -1,0 +1,128 @@
+// Package partial implements mergeable partial aggregates: the commutative,
+// associative per-group states that let an aggregation be evaluated as
+// independent partials merged in any grouping — per segment, per shard, or
+// incrementally one event at a time — without ever materializing the input.
+//
+// Count, sum, min and max are carried separately, never a derived value, so
+// AVG merges exactly across partials (sum/count of the merged state equals
+// the average over the union) and a partial built by a full scan is
+// indistinguishable from one built by folding the same events one by one.
+// That property is what lets the warehouse share a single aggregate core
+// between pushdown queries (scan-then-merge), materialized-view backfill
+// (scan at registration) and view delta-maintenance (fold at ingest).
+package partial
+
+import (
+	"math"
+	"time"
+
+	"streamloader/internal/ops"
+)
+
+// Key identifies one aggregation group. The time bucket rides as
+// (unix seconds, nanoseconds) rather than a time.Time so the key is
+// comparable without the Location pointer; Source and Theme are the group
+// values of the dimensions grouped on, empty otherwise.
+type Key struct {
+	Sec    int64
+	NS     int
+	Source string
+	Theme  string
+}
+
+// BucketKey builds the key coordinates for a bucket start plus group values.
+// A zero bucket time leaves the time coordinates zero (the unbucketed case).
+func BucketKey(bucket time.Time, source, theme string) Key {
+	k := Key{Source: source, Theme: theme}
+	if !bucket.IsZero() {
+		k.Sec, k.NS = bucket.Unix(), bucket.Nanosecond()
+	}
+	return k
+}
+
+// State is the mergeable aggregate state of one group.
+type State struct {
+	// Bucket is the window start carried for row building; the zero time
+	// when the aggregation had no bucketing.
+	Bucket time.Time
+	// Count is how many events contributed.
+	Count int64
+	// Sum accumulates the contributing values (numeric aggregates only).
+	Sum float64
+	// Min/Max are the contributing extrema, initialized to ±Inf so an
+	// observation-free numeric state merges as the identity.
+	Min, Max float64
+}
+
+// New returns an empty state for a group whose bucket starts at bucket.
+func New(bucket time.Time) *State {
+	return &State{Bucket: bucket, Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Observe folds one numeric contribution.
+func (st *State) Observe(v float64) {
+	st.Count++
+	st.Sum += v
+	st.Min = math.Min(st.Min, v)
+	st.Max = math.Max(st.Max, v)
+}
+
+// ObserveCount folds n value-less contributions (COUNT aggregates, and the
+// cold-header fast path that adds a whole segment's count at once).
+func (st *State) ObserveCount(n int64) {
+	st.Count += n
+}
+
+// Merge folds another state of the same group into this one. Merging is
+// commutative up to float addition order and associative the same way;
+// integral sums merge bit-exactly in any order.
+func (st *State) Merge(o *State) {
+	st.Count += o.Count
+	st.Sum += o.Sum
+	st.Min = math.Min(st.Min, o.Min)
+	st.Max = math.Max(st.Max, o.Max)
+}
+
+// Clone returns an independent copy, so a long-lived partial (a view's
+// incremental state) can be merged into a result without aliasing it.
+func (st *State) Clone() *State {
+	c := *st
+	return &c
+}
+
+// Value resolves the final aggregate result this state carries under fn.
+func (st *State) Value(fn ops.AggFunc) float64 {
+	switch fn {
+	case ops.AggCount:
+		return float64(st.Count)
+	case ops.AggSum:
+		return st.Sum
+	case ops.AggAvg:
+		return st.Sum / float64(st.Count)
+	case ops.AggMin:
+		return st.Min
+	default: // ops.AggMax
+		return st.Max
+	}
+}
+
+// Merge folds src into dst group by group, cloning states on first insertion
+// when clone is set (so dst never aliases src's states). It reports false
+// when inserting a new group would exceed maxGroups; dst may then hold a
+// partial merge and should be discarded.
+func Merge(dst, src map[Key]*State, maxGroups int, clone bool) bool {
+	for k, st := range src {
+		if d := dst[k]; d != nil {
+			d.Merge(st)
+			continue
+		}
+		if len(dst) >= maxGroups {
+			return false
+		}
+		if clone {
+			st = st.Clone()
+		}
+		dst[k] = st
+	}
+	return true
+}

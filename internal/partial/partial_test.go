@@ -1,0 +1,130 @@
+package partial
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"streamloader/internal/ops"
+)
+
+func TestObserveAndValue(t *testing.T) {
+	st := New(time.Time{})
+	for _, v := range []float64{20, 26, 30, 15} {
+		st.Observe(v)
+	}
+	for fn, want := range map[ops.AggFunc]float64{
+		ops.AggCount: 4,
+		ops.AggSum:   91,
+		ops.AggAvg:   91.0 / 4,
+		ops.AggMin:   15,
+		ops.AggMax:   30,
+	} {
+		if got := st.Value(fn); got != want {
+			t.Errorf("%s = %v, want %v", fn, got, want)
+		}
+	}
+}
+
+// TestMergeEqualsFold: a state built by merging per-chunk partials must be
+// indistinguishable from one built by folding every event — the property AVG
+// relies on (count and sum carried separately, never the derived value).
+func TestMergeEqualsFold(t *testing.T) {
+	vals := []float64{3, 14, 15, 9, 26, 5, 35, 8}
+	whole := New(time.Time{})
+	for _, v := range vals {
+		whole.Observe(v)
+	}
+	left, right := New(time.Time{}), New(time.Time{})
+	for _, v := range vals[:3] {
+		left.Observe(v)
+	}
+	for _, v := range vals[3:] {
+		right.Observe(v)
+	}
+	left.Merge(right)
+	if *left != *whole {
+		t.Fatalf("merged = %+v, folded = %+v", left, whole)
+	}
+	if got, want := left.Value(ops.AggAvg), whole.Sum/float64(whole.Count); got != want {
+		t.Fatalf("avg over merge = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyStateIsMergeIdentity(t *testing.T) {
+	st := New(time.Time{})
+	st.Observe(7)
+	st.Merge(New(time.Time{}))
+	if st.Count != 1 || st.Sum != 7 || st.Min != 7 || st.Max != 7 {
+		t.Fatalf("merge with empty changed the state: %+v", st)
+	}
+	empty := New(time.Time{})
+	if !math.IsInf(empty.Min, 1) || !math.IsInf(empty.Max, -1) {
+		t.Fatalf("empty extrema = (%v, %v), want (+Inf, -Inf)", empty.Min, empty.Max)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	st := New(time.Time{})
+	st.Observe(4)
+	c := st.Clone()
+	c.Observe(10)
+	if st.Count != 1 || st.Sum != 4 {
+		t.Fatalf("clone mutation leaked into the source: %+v", st)
+	}
+}
+
+func TestBucketKey(t *testing.T) {
+	bs := time.Date(2016, 3, 15, 12, 0, 0, 500, time.UTC)
+	k := BucketKey(bs, "umeda", "weather")
+	if k.Sec != bs.Unix() || k.NS != 500 || k.Source != "umeda" || k.Theme != "weather" {
+		t.Fatalf("key = %+v", k)
+	}
+	if z := BucketKey(time.Time{}, "", ""); z != (Key{}) {
+		t.Fatalf("zero-bucket key = %+v, want zero", z)
+	}
+	// Comparable: equal coordinates collide in a map regardless of Location.
+	inLoc := BucketKey(bs.In(time.FixedZone("x", 3600)), "umeda", "weather")
+	if k != inLoc {
+		t.Fatalf("location changed the key: %+v vs %+v", k, inLoc)
+	}
+}
+
+func TestMapMergeCardinalityBound(t *testing.T) {
+	dst := map[Key]*State{}
+	src := map[Key]*State{}
+	for i, src2 := range []string{"a", "b", "c"} {
+		st := New(time.Time{})
+		st.Observe(float64(i))
+		src[BucketKey(time.Time{}, src2, "")] = st
+	}
+	if Merge(dst, src, 2, false) {
+		t.Fatal("merge over the bound reported ok")
+	}
+	dst = map[Key]*State{}
+	if !Merge(dst, src, 3, false) || len(dst) != 3 {
+		t.Fatalf("merge under the bound failed: %d groups", len(dst))
+	}
+	// An existing group never counts against the bound again.
+	if !Merge(dst, src, 3, false) {
+		t.Fatal("re-merge of existing groups tripped the bound")
+	}
+	if dst[BucketKey(time.Time{}, "a", "")].Count != 2 {
+		t.Fatal("re-merge did not accumulate")
+	}
+}
+
+func TestMapMergeClone(t *testing.T) {
+	src := map[Key]*State{}
+	st := New(time.Time{})
+	st.Observe(1)
+	src[Key{}] = st
+	dst := map[Key]*State{}
+	if !Merge(dst, src, 10, true) {
+		t.Fatal("merge failed")
+	}
+	dst[Key{}].Observe(99)
+	if st.Count != 1 {
+		t.Fatalf("clone=true still aliased the source: %+v", st)
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -22,7 +21,6 @@ import (
 	"streamloader/internal/geo"
 	"streamloader/internal/monitor"
 	"streamloader/internal/network"
-	"streamloader/internal/ops"
 	"streamloader/internal/pubsub"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
@@ -43,6 +41,10 @@ type Server struct {
 	// AggMaxGroups caps the group cardinality one /api/warehouse/aggregate
 	// call may return (0 = the warehouse default).
 	AggMaxGroups int
+
+	// MaxSubscribers caps the live /api/warehouse/subscribe clients across
+	// all views (0 = DefaultMaxSubscribers).
+	MaxSubscribers int
 
 	mu          sync.Mutex
 	specs       map[string]*dataflow.Spec
@@ -85,6 +87,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/warehouse/stats", s.handleWarehouseStats)
 	mux.HandleFunc("GET /api/warehouse/query", s.handleWarehouseQuery)
 	mux.HandleFunc("GET /api/warehouse/aggregate", s.handleWarehouseAggregate)
+	mux.HandleFunc("GET /api/warehouse/subscribe", s.handleWarehouseSubscribe)
 	mux.HandleFunc("GET /api/viz", s.handleViz)
 	mux.HandleFunc("GET /", s.handleIndex)
 	return mux
@@ -456,40 +459,13 @@ func (s *Server) handleWarehouseStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Warehouse.Stats())
 }
 
-// parseWarehouseFilter reads the STT filter params shared by the query and
-// aggregate endpoints: ?from=&to= (RFC3339), &region=minLat,minLon,maxLat,
-// maxLon, &themes= and &sources= (comma-separated), &cond= (payload
-// condition).
+// parseWarehouseFilter reads the STT filter params shared by the query,
+// aggregate and subscribe endpoints: ?from=&to= (RFC3339), &region=minLat,
+// minLon,maxLat,maxLon, &themes= and &sources= (comma-separated), &cond=
+// (payload condition). The vocabulary and parsing live in the warehouse
+// package (ParseQueryValues), shared with the slgen CLI.
 func parseWarehouseFilter(r *http.Request) (warehouse.Query, error) {
-	var q warehouse.Query
-	params := r.URL.Query()
-	var err error
-	if v := params.Get("from"); v != "" {
-		if q.From, err = time.Parse(time.RFC3339, v); err != nil {
-			return q, fmt.Errorf("bad from: %v", err)
-		}
-	}
-	if v := params.Get("to"); v != "" {
-		if q.To, err = time.Parse(time.RFC3339, v); err != nil {
-			return q, fmt.Errorf("bad to: %v", err)
-		}
-	}
-	if v := params.Get("region"); v != "" {
-		var minLat, minLon, maxLat, maxLon float64
-		if _, err := fmt.Sscanf(v, "%f,%f,%f,%f", &minLat, &minLon, &maxLat, &maxLon); err != nil {
-			return q, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): %v", err)
-		}
-		rect := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
-		q.Region = &rect
-	}
-	if v := params.Get("themes"); v != "" {
-		q.Themes = strings.Split(v, ",")
-	}
-	if v := params.Get("sources"); v != "" {
-		q.Sources = strings.Split(v, ",")
-	}
-	q.Cond = params.Get("cond")
-	return q, nil
+	return warehouse.ParseQueryValues(r.URL.Query())
 }
 
 // parseFormat reads the response format param: "json" (the default, one
@@ -511,26 +487,70 @@ func parseFormat(r *http.Request) (string, error) {
 // of buffering whole.
 const ndjsonFlushEvery = 64
 
+// ndjsonFlushInterval bounds how long a written line may sit buffered: a
+// sparse stream (a slow query, a standing view between updates) flushes on
+// this tick even when it never reaches ndjsonFlushEvery lines.
+const ndjsonFlushInterval = 250 * time.Millisecond
+
 // writeNDJSON streams one value per line, flushing every ndjsonFlushEvery
-// lines and once at the end. It stops at the first write error (client
-// gone) and reports whether the stream completed.
+// lines, every ndjsonFlushInterval while lines sit buffered, and once at
+// the end. It stops at the first write error (client gone) and reports
+// whether the stream completed.
 func writeNDJSON(w http.ResponseWriter, lines func(yield func(v any) bool)) bool {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+
+	// The ticker goroutine flushes concurrently with encoding, and
+	// ResponseWriter does not promise Write/Flush are safe together — one
+	// mutex covers both. dirty tracks lines written since the last flush,
+	// so an idle stream costs no flush calls.
+	var mu sync.Mutex
+	dirty := false
+	var stop chan struct{}
+	var tickDone sync.WaitGroup
+	if flusher != nil {
+		stop = make(chan struct{})
+		tickDone.Add(1)
+		go func() {
+			defer tickDone.Done()
+			t := time.NewTicker(ndjsonFlushInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					mu.Lock()
+					if dirty {
+						flusher.Flush()
+						dirty = false
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
 	n := 0
 	ok := true
 	lines(func(v any) bool {
+		mu.Lock()
+		defer mu.Unlock()
 		if err := enc.Encode(v); err != nil {
 			ok = false
 			return false
 		}
+		dirty = true
 		if n++; n%ndjsonFlushEvery == 0 && flusher != nil {
 			flusher.Flush()
+			dirty = false
 		}
 		return true
 	})
 	if flusher != nil {
+		close(stop)
+		tickDone.Wait()
 		flusher.Flush()
 	}
 	return ok
@@ -700,6 +720,22 @@ type aggRowView struct {
 	Value  float64 `json:"value"`
 }
 
+// aggRowViews renders aggregate rows to their wire form; the bucket field
+// appears only for bucketed queries. Shared by the one-shot aggregate
+// endpoint and the subscribe stream, so a pushed snapshot is rendered
+// exactly like a pulled one.
+func aggRowViews(rows []warehouse.AggRow, bucketed bool) []aggRowView {
+	views := make([]aggRowView, 0, len(rows))
+	for _, row := range rows {
+		v := aggRowView{Source: row.Source, Theme: row.Theme, Count: row.Count, Value: row.Value}
+		if bucketed {
+			v.Bucket = row.Bucket.UTC().Format(time.RFC3339Nano)
+		}
+		views = append(views, v)
+	}
+	return views
+}
+
 // handleWarehouseAggregate pushes an aggregation down into the warehouse:
 // the parseWarehouseFilter params plus &func= (count, sum, avg, min, max),
 // &field= (the aggregated payload field; required for everything but
@@ -716,52 +752,24 @@ func (s *Server) handleWarehouseAggregate(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusNotFound, "no warehouse configured")
 		return
 	}
-	filter, err := parseWarehouseFilter(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	format, err := parseFormat(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	params := r.URL.Query()
-	fn, err := ops.ParseAggFunc(params.Get("func"))
+	aq, err := warehouse.ParseAggQueryValues(r.URL.Query())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad func: %v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	aq := warehouse.AggQuery{
-		Query:     filter,
-		Func:      fn,
-		Field:     params.Get("field"),
-		MaxGroups: s.AggMaxGroups,
-	}
-	if v := params.Get("group"); v != "" {
-		aq.GroupBy = strings.Split(v, ",")
-	}
-	if v := params.Get("bucket"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, "bad bucket (want a positive duration like 1h)")
-			return
-		}
-		aq.Bucket = d
-	}
+	aq.MaxGroups = s.AggMaxGroups
+	fn := aq.Func
 	rows, qs, err := s.Warehouse.Aggregate(aq)
 	if err != nil {
 		writeError(w, warehouseErrStatus(err), "%v", err)
 		return
 	}
-	views := make([]aggRowView, 0, len(rows))
-	for _, row := range rows {
-		v := aggRowView{Source: row.Source, Theme: row.Theme, Count: row.Count, Value: row.Value}
-		if aq.Bucket > 0 {
-			v.Bucket = row.Bucket.UTC().Format(time.RFC3339Nano)
-		}
-		views = append(views, v)
-	}
+	views := aggRowViews(rows, aq.Bucket > 0)
 	if format == "ndjson" {
 		writeNDJSON(w, func(yield func(v any) bool) {
 			for _, v := range views {

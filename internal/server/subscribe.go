@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"streamloader/internal/ops"
+	"streamloader/internal/warehouse"
+)
+
+// DefaultMaxSubscribers caps the live subscribe clients when the Server
+// does not configure its own bound. Each subscriber costs one goroutine
+// and one bounded channel, so the cap protects file descriptors and
+// memory, not the ingest path — view maintenance cost is per view, not
+// per subscriber.
+const DefaultMaxSubscribers = 10_000
+
+// subscriberBuffer is the per-client update channel depth. Updates are
+// full snapshots (latest-wins), so a shallow buffer costs a slow client
+// freshness, never correctness.
+const subscriberBuffer = 16
+
+// viewUpdateView is the wire form of one warehouse.ViewUpdate.
+type viewUpdateView struct {
+	Version    uint64       `json:"version"`
+	Rows       []aggRowView `json:"rows"`
+	Resnapshot bool         `json:"resnapshot,omitempty"`
+	Shed       uint64       `json:"shed,omitempty"`
+	Error      string       `json:"error,omitempty"`
+}
+
+// handleWarehouseSubscribe registers (or shares) a standing aggregate view
+// and streams its snapshots: the aggregate endpoint's params (func, field,
+// group, bucket, plus the shared filter) with &policy= (event — the
+// default —, interval:<dur>, count:<n>) choosing the push cadence and
+// &format= choosing the framing — "sse" (default; text/event-stream with
+// "snapshot"/"update"/"error" events) or "ndjson" (one update object per
+// line). The first frame is always a full snapshot backfilled from
+// cold/hot history; every later frame is again a full snapshot, so a
+// client that misses frames (slow-consumer shedding sets "shed" and
+// "resnapshot") loses freshness, never correctness. Identical
+// (query, policy) subscriptions share one maintained view server-side.
+func (s *Server) handleWarehouseSubscribe(w http.ResponseWriter, r *http.Request) {
+	if s.Warehouse == nil {
+		writeError(w, http.StatusNotFound, "no warehouse configured")
+		return
+	}
+	aq, err := warehouse.ParseAggQueryValues(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	aq.MaxGroups = s.AggMaxGroups
+	policy, err := ops.ParseUpdatePolicy(r.URL.Query().Get("policy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad policy: %v", err)
+		return
+	}
+	var sse bool
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "sse":
+		sse = true
+	case "ndjson":
+	default:
+		writeError(w, http.StatusBadRequest, "bad format %q (want sse or ndjson)", f)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	max := s.MaxSubscribers
+	if max <= 0 {
+		max = DefaultMaxSubscribers
+	}
+	sub, err := s.Warehouse.Subscribe(aq, warehouse.SubscribeOptions{
+		Policy: policy, Buffer: subscriberBuffer, MaxSubscribers: max,
+	})
+	if err != nil {
+		if errors.Is(err, warehouse.ErrTooManySubscribers) {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeError(w, warehouseErrStatus(err), "%v", err)
+		return
+	}
+	defer sub.Close()
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush() // commit headers before the first update arrives
+
+	enc := json.NewEncoder(w)
+	bucketed := aq.Bucket > 0
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case u, ok := <-sub.Updates():
+			if !ok {
+				return // view closed (warehouse shutdown)
+			}
+			uv := viewUpdateView{
+				Version:    u.Version,
+				Rows:       aggRowViews(u.Rows, bucketed),
+				Resnapshot: u.Resnapshot,
+				Shed:       u.Shed,
+			}
+			if u.Err != nil {
+				uv.Error = u.Err.Error()
+			}
+			if sse {
+				event := "update"
+				switch {
+				case u.Err != nil:
+					event = "error"
+				case u.Resnapshot:
+					event = "snapshot"
+				}
+				data, err := json.Marshal(uv)
+				if err != nil {
+					return
+				}
+				if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+					return
+				}
+			} else if err := enc.Encode(uv); err != nil {
+				return
+			}
+			flusher.Flush()
+			if u.Err != nil {
+				return
+			}
+		}
+	}
+}

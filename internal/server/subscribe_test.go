@@ -1,0 +1,214 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  viewUpdateView
+}
+
+// readSSE parses the next event/data frame off the stream.
+func readSSE(t *testing.T, sc *bufio.Scanner) sseFrame {
+	t.Helper()
+	var f sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			f.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f.data); err != nil {
+				t.Fatalf("bad data line %q: %v", line, err)
+			}
+		case line == "":
+			if f.event != "" {
+				return f
+			}
+		}
+	}
+	t.Fatalf("stream ended mid-frame: %v", sc.Err())
+	panic("unreachable")
+}
+
+// subscribeStream opens a subscribe request and hands back the response.
+func subscribeStream(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("subscribe status = %d", resp.StatusCode)
+	}
+	return resp
+}
+
+// waitSrv polls cond until it holds or the deadline passes.
+func waitSrv(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSubscribeSSE: the default framing is SSE — an immediate "snapshot"
+// event carrying the backfilled rows, then "update" events as ingest
+// advances the view.
+func TestSubscribeSSE(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(10)); err != nil {
+		t.Fatal(err)
+	}
+	resp := subscribeStream(t, ts.URL+"/api/warehouse/subscribe?func=count&group=source")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	first := readSSE(t, sc)
+	if first.event != "snapshot" || !first.data.Resnapshot {
+		t.Fatalf("first frame = %+v, want a snapshot", first)
+	}
+	if len(first.data.Rows) != 1 || first.data.Rows[0].Count != 10 || first.data.Rows[0].Source != "station-1" {
+		t.Fatalf("backfill rows = %+v, want station-1:10", first.data.Rows)
+	}
+	if err := srv.Warehouse.AppendBatch(queryTuples(3)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		f := readSSE(t, sc)
+		if f.data.Version <= first.data.Version {
+			t.Fatalf("version went backwards: %d then %d", first.data.Version, f.data.Version)
+		}
+		if len(f.data.Rows) == 1 && f.data.Rows[0].Count == 13 {
+			return
+		}
+	}
+}
+
+// TestSubscribeNDJSON: &format=ndjson frames each update as one JSON line.
+func TestSubscribeNDJSON(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(5)); err != nil {
+		t.Fatal(err)
+	}
+	resp := subscribeStream(t, ts.URL+"/api/warehouse/subscribe?func=sum&field=temperature&format=ndjson")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first line: %v", sc.Err())
+	}
+	var u viewUpdateView
+	if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+		t.Fatalf("bad line %q: %v", sc.Text(), err)
+	}
+	// temperatures 15..19 sum to 85.
+	if !u.Resnapshot || len(u.Rows) != 1 || u.Rows[0].Value != 85 {
+		t.Fatalf("first update = %+v, want sum 85", u)
+	}
+}
+
+// TestSubscribePolicyParam: &policy=interval coalesces a burst; a bad
+// policy is a 400.
+func TestSubscribePolicyParam(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp := subscribeStream(t, ts.URL+"/api/warehouse/subscribe?func=count&policy=interval:30ms")
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	readSSE(t, sc) // initial snapshot (empty store)
+	if err := srv.Warehouse.AppendBatch(queryTuples(50)); err != nil {
+		t.Fatal(err)
+	}
+	f := readSSE(t, sc)
+	if len(f.data.Rows) != 1 || f.data.Rows[0].Count != 50 {
+		t.Fatalf("interval frame = %+v, want the coalesced count 50", f.data.Rows)
+	}
+}
+
+// TestSubscribeValidation: malformed specs answer 4xx without registering
+// anything.
+func TestSubscribeValidation(t *testing.T) {
+	srv, ts := newTestServer(t)
+	for url, want := range map[string]int{
+		"/api/warehouse/subscribe?func=median":                http.StatusBadRequest,
+		"/api/warehouse/subscribe?func=sum":                   http.StatusBadRequest, // sum needs a field
+		"/api/warehouse/subscribe?func=count&policy=cron":     http.StatusBadRequest,
+		"/api/warehouse/subscribe?func=count&format=carrier":  http.StatusBadRequest,
+		"/api/warehouse/subscribe?func=count&bucket=-1h":      http.StatusBadRequest,
+		"/api/warehouse/subscribe?func=count&from=notatime":   http.StatusBadRequest,
+		"/api/warehouse/subscribe?func=count&group=continent": http.StatusBadRequest,
+	} {
+		if got := getJSON(t, ts.URL+url, nil); got != want {
+			t.Errorf("%s = %d, want %d", url, got, want)
+		}
+	}
+	if n := srv.Warehouse.ViewCount(); n != 0 {
+		t.Fatalf("failed subscribes left %d views", n)
+	}
+}
+
+// TestSubscribeCap: the MaxSubscribers bound answers 503.
+func TestSubscribeCap(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.MaxSubscribers = 1
+	resp := subscribeStream(t, ts.URL+"/api/warehouse/subscribe?func=count")
+	defer resp.Body.Close()
+	waitSrv(t, "first subscriber registered", func() bool {
+		return srv.Warehouse.SubscriberCount() == 1
+	})
+	if got := getJSON(t, ts.URL+"/api/warehouse/subscribe?func=count", nil); got != http.StatusServiceUnavailable {
+		t.Fatalf("over-cap subscribe = %d, want 503", got)
+	}
+}
+
+// TestSubscribeDisconnectFreesSlot: a client dropping mid-stream frees its
+// registry slot and subscriber count.
+func TestSubscribeDisconnectFreesSlot(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if err := srv.Warehouse.AppendBatch(queryTuples(5)); err != nil {
+		t.Fatal(err)
+	}
+	resp := subscribeStream(t, ts.URL+"/api/warehouse/subscribe?func=count")
+	waitSrv(t, "subscriber to register", func() bool {
+		return srv.Warehouse.SubscriberCount() == 1 && srv.Warehouse.ViewCount() == 1
+	})
+	resp.Body.Close() // mid-stream disconnect
+	waitSrv(t, "disconnect to free the registry slot", func() bool {
+		return srv.Warehouse.SubscriberCount() == 0 && srv.Warehouse.ViewCount() == 0
+	})
+}
+
+// TestSubscribeSharing: identical subscriptions share one server-side view.
+func TestSubscribeSharing(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var bodies []*http.Response
+	for i := 0; i < 4; i++ {
+		resp := subscribeStream(t, ts.URL+"/api/warehouse/subscribe?func=count&group=source")
+		bodies = append(bodies, resp)
+		defer resp.Body.Close()
+	}
+	waitSrv(t, "all subscribers to register", func() bool {
+		return srv.Warehouse.SubscriberCount() == 4
+	})
+	if n := srv.Warehouse.ViewCount(); n != 1 {
+		t.Fatalf("4 identical subscribes made %d views, want 1 shared", n)
+	}
+	_ = bodies
+}

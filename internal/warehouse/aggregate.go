@@ -3,13 +3,13 @@ package warehouse
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"time"
 
 	"streamloader/internal/expr"
 	"streamloader/internal/ops"
+	"streamloader/internal/partial"
 	"streamloader/internal/stt"
 )
 
@@ -35,7 +35,9 @@ const DefaultAggMaxGroups = 100_000
 // aggregation spec. The query is evaluated as per-shard, per-segment partial
 // aggregates merged at the top, never materializing a merged event list; a
 // cold segment whose header stats fully cover the filter and grouping is
-// answered without opening its event block at all.
+// answered without opening its event block at all. The partial states come
+// from the partial package, so the same query can also be registered as a
+// standing view and maintained incrementally (see view.go).
 type AggQuery struct {
 	Query
 
@@ -116,32 +118,6 @@ func (q AggQuery) plan() (aggPlan, error) {
 	return p, nil
 }
 
-// aggKey identifies one output group. The bucket rides as (unix sec, nanos)
-// so the key is comparable without time.Time's location pointer.
-type aggKey struct {
-	sec    int64
-	ns     int
-	source string
-	theme  string
-}
-
-// aggPartial is the mergeable state of one group: count, sum, min and max
-// are carried separately — never the derived value — so AVG merges exactly
-// across segments and shards.
-type aggPartial struct {
-	bucket     time.Time
-	count      int64
-	sum        float64
-	minV, maxV float64
-}
-
-func (st *aggPartial) merge(o *aggPartial) {
-	st.count += o.count
-	st.sum += o.sum
-	st.minV = math.Min(st.minV, o.minV)
-	st.maxV = math.Max(st.maxV, o.maxV)
-}
-
 // contribution resolves whether one event contributes and with what value.
 func (p *aggPlan) contribution(t *stt.Tuple) (float64, bool) {
 	if p.bareCount {
@@ -158,25 +134,24 @@ func (p *aggPlan) contribution(t *stt.Tuple) (float64, bool) {
 }
 
 // keyOf builds the group key (and bucket start) for one event.
-func (p *aggPlan) keyOf(t *stt.Tuple) (aggKey, time.Time) {
-	var key aggKey
+func (p *aggPlan) keyOf(t *stt.Tuple) (partial.Key, time.Time) {
 	var bs time.Time
 	if p.Bucket > 0 {
 		bs = t.Time.Truncate(p.Bucket)
-		key.sec, key.ns = bs.Unix(), bs.Nanosecond()
 	}
+	source, theme := "", ""
 	if p.groupSource {
-		key.source = t.Source
+		source = t.Source
 	}
 	if p.groupTheme {
-		key.theme = t.Theme
+		theme = t.Theme
 	}
-	return key, bs
+	return partial.BucketKey(bs, source, theme), bs
 }
 
 // accumulate folds one matching event into the group map. It reports false
 // when the group cardinality bound is exceeded.
-func (p *aggPlan) accumulate(acc map[aggKey]*aggPartial, t *stt.Tuple) bool {
+func (p *aggPlan) accumulate(acc map[partial.Key]*partial.State, t *stt.Tuple) bool {
 	f, ok := p.contribution(t)
 	if !ok {
 		return true
@@ -187,35 +162,32 @@ func (p *aggPlan) accumulate(acc map[aggKey]*aggPartial, t *stt.Tuple) bool {
 		if len(acc) >= p.maxGroups {
 			return false
 		}
-		st = &aggPartial{bucket: bs, minV: math.Inf(1), maxV: math.Inf(-1)}
+		st = partial.New(bs)
 		acc[key] = st
 	}
-	st.count++
-	switch p.Func {
-	case ops.AggCount:
-	default:
-		st.sum += f
-		st.minV = math.Min(st.minV, f)
-		st.maxV = math.Max(st.maxV, f)
+	if p.Func == ops.AggCount {
+		st.ObserveCount(1)
+	} else {
+		st.Observe(f)
 	}
 	return true
 }
 
 // add folds a header-derived count into the group map (cold fast path).
-func (p *aggPlan) add(acc map[aggKey]*aggPartial, bs time.Time, source, theme string, n int64) bool {
-	key := aggKey{source: source, theme: theme}
+func (p *aggPlan) add(acc map[partial.Key]*partial.State, bs time.Time, source, theme string, n int64) bool {
+	key := partial.BucketKey(time.Time{}, source, theme)
 	if p.Bucket > 0 {
-		key.sec, key.ns = bs.Unix(), bs.Nanosecond()
+		key = partial.BucketKey(bs, source, theme)
 	}
 	st := acc[key]
 	if st == nil {
 		if len(acc) >= p.maxGroups {
 			return false
 		}
-		st = &aggPartial{bucket: bs, minV: math.Inf(1), maxV: math.Inf(-1)}
+		st = partial.New(bs)
 		acc[key] = st
 	}
-	st.count += n
+	st.ObserveCount(n)
 	return true
 }
 
@@ -238,7 +210,7 @@ var errAggGroups = fmt.Errorf("%w (narrow the filter, coarsen the bucket, or rai
 //
 // The first return says whether the segment was answered; the second is
 // false only on group-cardinality overflow.
-func (p *aggPlan) coldHeaderAgg(acc map[aggKey]*aggPartial, cs *coldSegment) (bool, bool) {
+func (p *aggPlan) coldHeaderAgg(acc map[partial.Key]*partial.State, cs *coldSegment) (bool, bool) {
 	if !p.bareCount || p.Region != nil || p.Cond != "" {
 		return false, true
 	}
@@ -313,20 +285,31 @@ func (p *aggPlan) coldHeaderAgg(acc map[aggKey]*aggPartial, cs *coldSegment) (bo
 	return true, true
 }
 
-// value resolves a group's final result from its partial.
-func (p *aggPlan) value(st *aggPartial) float64 {
-	switch p.Func {
-	case ops.AggCount:
-		return float64(st.count)
-	case ops.AggSum:
-		return st.sum
-	case ops.AggAvg:
-		return st.sum / float64(st.count)
-	case ops.AggMin:
-		return st.minV
-	default: // ops.AggMax
-		return st.maxV
+// rowsFromPartials builds the sorted output rows from a merged group map.
+// Shared by the one-shot Aggregate path and materialized-view snapshots, so
+// both produce identical rows for identical partials.
+func (p *aggPlan) rowsFromPartials(merged map[partial.Key]*partial.State) []AggRow {
+	rows := make([]AggRow, 0, len(merged))
+	for k, st := range merged {
+		rows = append(rows, AggRow{
+			Bucket: st.Bucket,
+			Source: k.Source,
+			Theme:  k.Theme,
+			Count:  st.Count,
+			Value:  st.Value(p.Func),
+		})
 	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if !a.Bucket.Equal(b.Bucket) {
+			return a.Bucket.Before(b.Bucket)
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Theme < b.Theme
+	})
+	return rows
 }
 
 // Aggregate evaluates an aggregation over the store without materializing a
@@ -348,7 +331,7 @@ func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
 		return nil, qs, 0, err
 	}
 	shards := w.routedShards(p.Query)
-	parts := make([]map[aggKey]*aggPartial, len(shards))
+	parts := make([]map[partial.Key]*partial.State, len(shards))
 	scans := make([]segScan, len(shards))
 	errs := make([]error, len(shards))
 	forEachShard(shards, func(i int, s *shard) {
@@ -367,54 +350,35 @@ func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
 		}
 	}
 	// Merge in shard order, so equal-key float partials combine in a
-	// deterministic order run to run.
-	merged := map[aggKey]*aggPartial{}
+	// deterministic order run to run. The per-shard maps are throwaway, so
+	// the merge may take ownership of their states (no clone).
+	merged := map[partial.Key]*partial.State{}
 	for _, part := range parts {
-		for k, st := range part {
-			if dst := merged[k]; dst != nil {
-				dst.merge(st)
-			} else {
-				if len(merged) >= p.maxGroups {
-					return nil, qs, 0, errAggGroups
-				}
-				merged[k] = st
-			}
+		if !partial.Merge(merged, part, p.maxGroups, false) {
+			return nil, qs, 0, errAggGroups
 		}
 	}
-	rows := make([]AggRow, 0, len(merged))
-	for k, st := range merged {
-		rows = append(rows, AggRow{
-			Bucket: st.bucket,
-			Source: k.source,
-			Theme:  k.theme,
-			Count:  st.count,
-			Value:  p.value(st),
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
-		if !a.Bucket.Equal(b.Bucket) {
-			return a.Bucket.Before(b.Bucket)
-		}
-		if a.Source != b.Source {
-			return a.Source < b.Source
-		}
-		return a.Theme < b.Theme
-	})
-	return rows, qs, len(merged), nil
+	return p.rowsFromPartials(merged), qs, len(merged), nil
 }
 
-// aggQ folds this shard's matching events into per-group partials. Cold
+// aggQ folds this shard's matching events into per-group partials under the
+// shard read lock; see aggLocked for the scan itself.
+func (s *shard) aggQ(p *aggPlan) (map[partial.Key]*partial.State, segScan, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.aggLocked(p)
+}
+
+// aggLocked folds this shard's matching events into per-group partials. Cold
 // segments are answered from header stats when coldHeaderAgg's coverage
 // rules hold; otherwise only their window-overlapping chunks are read back
 // (through the chunk cache) and filtered exactly, and hot segments iterate
 // their cheapest candidate index. No event list is built, sorted or merged.
-func (s *shard) aggQ(p *aggPlan) (map[aggKey]*aggPartial, segScan, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-
+// The caller holds the shard lock (read suffices; view backfill calls it
+// under the write lock so the scan and the tap attach are one atomic step).
+func (s *shard) aggLocked(p *aggPlan) (map[partial.Key]*partial.State, segScan, error) {
 	var sc segScan
-	acc := map[aggKey]*aggPartial{}
+	acc := map[partial.Key]*partial.State{}
 	conds := map[*stt.Schema]*expr.Compiled{}
 	for _, cs := range s.cold {
 		if cs.prunedBy(p.From, p.To) {

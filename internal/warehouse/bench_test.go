@@ -652,3 +652,99 @@ func BenchmarkCountFastPath(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkViewFanout measures standing-view maintenance under fan-out.
+// Each push case seeds the same store, registers one shared COUNT-by-source
+// view and attaches 0/1/100/5000 draining subscribers, then times ingest:
+// the per-event cost is one partial fold plus one publisher wake regardless
+// of subscriber count, so events/sec and the append p99 must stay flat as
+// fan-out grows (the acceptance bar: p99 with subscribers within ~1.2x of
+// the bare store). The pull baseline serves the same freshness by
+// re-scanning the store once per ingested event — what every polling
+// client would pay without the view.
+func BenchmarkViewFanout(b *testing.B) {
+	const seedEvents = 50_000
+	aq := AggQuery{Func: ops.AggCount, GroupBy: []string{"source"}}
+	seed := func(b *testing.B) *Warehouse {
+		b.Helper()
+		w := NewWithConfig(Config{Shards: 4, SegmentEvents: 4096, SegmentSpan: time.Hour})
+		for _, streamTuples := range producerStreams(8, seedEvents/8) {
+			if err := w.AppendBatch(streamTuples); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return w
+	}
+	// ingest appends b.N fresh events one at a time — the latency-sensitive
+	// shape — reporting throughput and the p99 single-append latency.
+	ingest := func(b *testing.B, w *Warehouse) {
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tup := wTuple(200*time.Hour+time.Duration(i)*time.Second, float64(i%40),
+				fmt.Sprintf("src-%d", i%8), 34.7, 135.5)
+			start := time.Now()
+			if err := w.Append(tup); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		b.StopTimer()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[min(len(lat)*99/100, len(lat)-1)]
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(p99.Nanoseconds()), "append-p99-ns")
+	}
+	for _, subs := range []int{0, 1, 100, 5000} {
+		b.Run(fmt.Sprintf("push/subs=%d", subs), func(b *testing.B) {
+			w := seed(b)
+			var drainWG sync.WaitGroup
+			subscriptions := make([]*Subscription, 0, subs)
+			for i := 0; i < subs; i++ {
+				sub, err := w.Subscribe(aq, SubscribeOptions{Buffer: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				subscriptions = append(subscriptions, sub)
+				drainWG.Add(1)
+				go func() {
+					defer drainWG.Done()
+					for range sub.Updates() {
+					}
+				}()
+			}
+			ingest(b, w)
+			for _, sub := range subscriptions {
+				sub.Close()
+			}
+			drainWG.Wait()
+		})
+	}
+	// Pull baseline: no standing view; every ingested event is followed by
+	// one on-demand Aggregate — the cost one polling dashboard pays to stay
+	// as fresh as a single push subscriber.
+	b.Run("pull/poll-per-event", func(b *testing.B) {
+		w := seed(b)
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tup := wTuple(200*time.Hour+time.Duration(i)*time.Second, float64(i%40),
+				fmt.Sprintf("src-%d", i%8), 34.7, 135.5)
+			start := time.Now()
+			if err := w.Append(tup); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+			if _, _, err := w.Aggregate(aq); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[min(len(lat)*99/100, len(lat)-1)]
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(p99.Nanoseconds()), "append-p99-ns")
+	})
+}

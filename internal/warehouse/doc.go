@@ -81,6 +81,47 @@
 // each bounded by SegmentEvents) pay a per-event trim: an index rebuild in
 // memory, a logical skip on disk.
 //
+// # Ingest taps and standing views
+//
+// Every committed append flows through one post-commit tap dispatch: after
+// the WAL write and shard visibility, still under the shard's write lock,
+// each attached tap consumer sees exactly the events that just became
+// visible. The spiller's bookkeeping and view maintenance both ride this
+// single hook, so "durable, visible, observed" is one atomic step per
+// shard — no consumer can see an event the store would disown after a
+// crash, or miss one a concurrent query already returned.
+//
+// RegisterView turns an AggQuery into a standing, incrementally-maintained
+// view: registration backfills per-shard partial aggregates from cold and
+// hot history via the same scan Aggregate uses, then a per-shard tap folds
+// every later matching event into those partials as it commits — O(1) per
+// event, independent of history size and of subscriber count. Reads
+// (View.Rows) merge the per-shard partials with the pushdown's exact merge
+// arithmetic, so a view's state is byte-identical to running Aggregate at
+// the same instant; the model checker's Subscribe op asserts exactly that
+// at every quiescent point. Identical (query, policy) registrations share
+// one view via a refcounted registry.
+//
+// Partials carry count/sum/min/max and can absorb new events but not
+// un-observe evicted ones (MIN/MAX are not subtractable), so a retention
+// cut or crash recovery invalidates every view: compaction marks them
+// dirty under the shard locks it already holds, and the next read or
+// publish rebuilds from a fresh scan — per shard, one write-lock critical
+// section detaches the tap, re-scans and re-attaches, so no commit lands
+// in both the scan and the fold, and none lands in neither.
+//
+// Subscribe attaches a bounded-buffer subscriber fed by the view's single
+// publisher goroutine; the update policy (ops.UpdatePolicy — the paper's
+// trigger vocabulary applied to publication: per event, fixed interval, or
+// every N events) gates when snapshots go out. Updates are full snapshots,
+// latest-wins: a slow consumer's oldest buffered update is dropped and the
+// next delivery marked as a resnapshot (Shed counts the losses), so
+// backpressure costs a laggard freshness, never correctness, and never
+// blocks ingest or other subscribers. The HTTP layer serves this as
+// GET /api/warehouse/subscribe (SSE or NDJSON). BenchmarkViewFanout holds
+// per-event maintenance flat from 1 to 5000 subscribers with ingest p99
+// within 1.2x of the bare store.
+//
 // # Durability & tiering
 //
 // Open with Config.DataDir builds the durable warehouse over the

@@ -20,7 +20,8 @@ import (
 // This file model-checks the segmented warehouse: randomized, seeded
 // operation sequences run against both the real store and a deliberately
 // naive in-memory reference model, and every observable result — Select
-// contents and order, Count, Len, Evicted — must agree. Failing sequences
+// contents and order, Count, Len, Evicted, and every live standing view's
+// incrementally-maintained rows — must agree. Failing sequences
 // are shrunk to a minimal reproduction before being reported, so a broken
 // invariant prints a handful of operations, not hundreds.
 
@@ -57,6 +58,13 @@ const (
 	// must register the file and dedupe the WAL against it by sequence:
 	// no acked event lost, none duplicated. Durable configs only.
 	opCrashMidSpill
+	// opSubscribe registers a randomized standing view (up to two live at
+	// a time; the oldest is released). From then on every op is followed
+	// by a delta check: the view's incrementally-maintained Rows must
+	// equal the naive model's re-aggregation — across appends, retention
+	// cuts and crash recovery (views are re-registered after a reopen,
+	// like a reconnecting client).
+	opSubscribe
 )
 
 func (o mop) String() string {
@@ -75,17 +83,9 @@ func (o mop) String() string {
 	case opCount:
 		return fmt.Sprintf("Count{%s}", queryString(o.q))
 	case opAggregate:
-		spec := string(o.aq.Func)
-		if o.aq.Field != "" {
-			spec += "(" + o.aq.Field + ")"
-		}
-		if len(o.aq.GroupBy) > 0 {
-			spec += " by " + strings.Join(o.aq.GroupBy, ",")
-		}
-		if o.aq.Bucket > 0 {
-			spec += fmt.Sprintf(" bucket=%s", o.aq.Bucket)
-		}
-		return fmt.Sprintf("Aggregate{%s %s}", spec, queryString(o.aq.Query))
+		return fmt.Sprintf("Aggregate{%s %s}", aggString(o.aq), queryString(o.aq.Query))
+	case opSubscribe:
+		return fmt.Sprintf("Subscribe{%s %s}", aggString(o.aq), queryString(o.aq.Query))
 	case opReopen:
 		return "CrashReopen{}"
 	case opCrashMidSpill:
@@ -93,6 +93,20 @@ func (o mop) String() string {
 	default:
 		return fmt.Sprintf("SetRetention{%d}", o.retain)
 	}
+}
+
+func aggString(aq AggQuery) string {
+	spec := string(aq.Func)
+	if aq.Field != "" {
+		spec += "(" + aq.Field + ")"
+	}
+	if len(aq.GroupBy) > 0 {
+		spec += " by " + strings.Join(aq.GroupBy, ",")
+	}
+	if aq.Bucket > 0 {
+		spec += fmt.Sprintf(" bucket=%s", aq.Bucket)
+	}
+	return spec
 }
 
 func queryString(q Query) string {
@@ -399,7 +413,7 @@ func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 			}
 			continue
 		}
-		switch k := r.Intn(12); {
+		switch k := r.Intn(13); {
 		case k < 4:
 			mops = append(mops, mop{kind: opAppend, tuples: []*stt.Tuple{genTuple()}})
 		case k < 6:
@@ -414,12 +428,14 @@ func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 			mops = append(mops, mop{kind: opCount, q: genQuery()})
 		case k < 11:
 			mops = append(mops, mop{kind: opAggregate, aq: genAgg()})
-		default:
+		case k < 12:
 			retain := 0
 			if r.Intn(3) > 0 {
 				retain = 10 + r.Intn(150)
 			}
 			mops = append(mops, mop{kind: opSetRetention, retain: retain})
+		default:
+			mops = append(mops, mop{kind: opSubscribe, aq: genAgg()})
 		}
 	}
 	return mops
@@ -431,7 +447,7 @@ func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 // opReopen by hard-closing and recovering. It returns a description of the
 // first divergence, or "" when the run agrees — side-effect free, so the
 // shrinker can replay candidate subsequences.
-func runOps(cfg Config, ops []mop) string {
+func runOps(cfg Config, mops []mop) string {
 	durable := cfg.DataDir != ""
 	var w *Warehouse
 	if durable {
@@ -451,11 +467,26 @@ func runOps(cfg Config, ops []mop) string {
 		w = NewWithConfig(cfg)
 	}
 	m := &refModel{}
+	// Live standing views (at most two at a time; the oldest is released).
+	// Once registered, every subsequent op ends with a delta check: the
+	// view's incrementally-maintained rows must equal the naive model's
+	// re-aggregation — the quiescent-point equality the view machinery
+	// promises, exercised across appends, retention cuts and crashes.
+	type liveView struct {
+		v  *View
+		aq AggQuery
+	}
+	var views []liveView
+	defer func() {
+		for _, lv := range views {
+			lv.v.Release()
+		}
+	}()
 	// The warehouse's Evicted counter restarts at zero on reopen; offset
 	// tracks the model evictions already accounted before the last crash.
 	evictedOffset := 0
 	retain := 0
-	for i, op := range ops {
+	for i, op := range mops {
 		switch op.kind {
 		case opAppend:
 			if err := w.Append(op.tuples[0]); err != nil {
@@ -495,6 +526,16 @@ func runOps(cfg Config, ops []mop) string {
 			retain = op.retain
 			w.SetRetention(op.retain)
 			m.setRetention(op.retain)
+		case opSubscribe:
+			v, err := w.RegisterView(op.aq, ops.UpdatePolicy{})
+			if err != nil {
+				return fmt.Sprintf("op %d %s: %v", i, op, err)
+			}
+			if len(views) == 2 {
+				views[0].v.Release()
+				views = views[1:]
+			}
+			views = append(views, liveView{v: v, aq: op.aq})
 		case opReopen, opCrashMidSpill:
 			if !durable {
 				continue
@@ -520,12 +561,39 @@ func runOps(cfg Config, ops []mop) string {
 			if retain > 0 {
 				w.SetRetention(retain)
 			}
+			// CloseHard tore the standing views down with the store;
+			// re-register them against the recovered warehouse as a
+			// reconnecting client would. Their backfill must reproduce
+			// exactly the recovered history.
+			for j := range views {
+				v, err := w.RegisterView(views[j].aq, ops.UpdatePolicy{})
+				if err != nil {
+					return fmt.Sprintf("op %d %s: re-register view %d: %v", i, op, j, err)
+				}
+				views[j].v = v
+			}
 		}
 		if w.Len() != len(m.events) {
 			return fmt.Sprintf("after op %d %s: Len = %d, model = %d", i, op, w.Len(), len(m.events))
 		}
 		if int(w.Evicted())+evictedOffset != m.evicted {
 			return fmt.Sprintf("after op %d %s: Evicted = %d+%d, model = %d", i, op, w.Evicted(), evictedOffset, m.evicted)
+		}
+		for vi, lv := range views {
+			got, err := lv.v.Rows()
+			if err != nil {
+				return fmt.Sprintf("after op %d %s: view %d Rows: %v", i, op, vi, err)
+			}
+			if diff := diffAggRows(got, m.aggregate(lv.aq)); diff != "" {
+				live, _, aerr := w.Aggregate(lv.aq)
+				liveDiff := "aggregate matches view"
+				if aerr != nil {
+					liveDiff = fmt.Sprintf("aggregate err %v", aerr)
+				} else if d := diffAggRows(got, live); d != "" {
+					liveDiff = "view vs aggregate: " + d
+				}
+				return fmt.Sprintf("after op %d %s: view %d {%s %s}: %s [%s]", i, op, vi, aggString(lv.aq), queryString(lv.aq.Query), diff, liveDiff)
+			}
 		}
 	}
 	return ""

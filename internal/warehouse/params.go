@@ -1,0 +1,83 @@
+package warehouse
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+
+	"streamloader/internal/geo"
+	"streamloader/internal/ops"
+)
+
+// This file is the one wire-parameter parser for warehouse queries. The
+// HTTP query, aggregate and subscribe endpoints and the slgen CLI all
+// speak the same parameter vocabulary, so they share this parser instead
+// of maintaining near-copies: ?from=&to= (RFC3339), &region=minLat,minLon,
+// maxLat,maxLon, &themes=/&sources= (comma-separated), &cond= (payload
+// condition expression); aggregates add &func= (count, sum, avg, min,
+// max), &field=, &group= (comma-separated: source, theme) and &bucket= (a
+// positive Go duration).
+
+// ParseQueryValues parses the shared STT filter parameters into a Query.
+// Absent parameters leave their zero values (no constraint).
+func ParseQueryValues(params url.Values) (Query, error) {
+	var q Query
+	var err error
+	if v := params.Get("from"); v != "" {
+		if q.From, err = time.Parse(time.RFC3339, v); err != nil {
+			return q, fmt.Errorf("bad from: %v", err)
+		}
+	}
+	if v := params.Get("to"); v != "" {
+		if q.To, err = time.Parse(time.RFC3339, v); err != nil {
+			return q, fmt.Errorf("bad to: %v", err)
+		}
+	}
+	if v := params.Get("region"); v != "" {
+		var minLat, minLon, maxLat, maxLon float64
+		if _, err := fmt.Sscanf(v, "%f,%f,%f,%f", &minLat, &minLon, &maxLat, &maxLon); err != nil {
+			return q, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): %v", err)
+		}
+		rect := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
+		q.Region = &rect
+	}
+	if v := params.Get("themes"); v != "" {
+		q.Themes = strings.Split(v, ",")
+	}
+	if v := params.Get("sources"); v != "" {
+		q.Sources = strings.Split(v, ",")
+	}
+	q.Cond = params.Get("cond")
+	return q, nil
+}
+
+// ParseAggQueryValues parses the filter plus the aggregation parameters
+// into an AggQuery. MaxGroups is a server-side bound, not a wire
+// parameter — the caller sets it afterwards.
+func ParseAggQueryValues(params url.Values) (AggQuery, error) {
+	filter, err := ParseQueryValues(params)
+	if err != nil {
+		return AggQuery{}, err
+	}
+	fn, err := ops.ParseAggFunc(params.Get("func"))
+	if err != nil {
+		return AggQuery{}, fmt.Errorf("bad func: %v", err)
+	}
+	aq := AggQuery{
+		Query: filter,
+		Func:  fn,
+		Field: params.Get("field"),
+	}
+	if v := params.Get("group"); v != "" {
+		aq.GroupBy = strings.Split(v, ",")
+	}
+	if v := params.Get("bucket"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return AggQuery{}, fmt.Errorf("bad bucket (want a positive duration like 1h)")
+		}
+		aq.Bucket = d
+	}
+	return aq, nil
+}

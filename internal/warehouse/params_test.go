@@ -1,0 +1,81 @@
+package warehouse
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"streamloader/internal/ops"
+)
+
+func TestParseQueryValues(t *testing.T) {
+	params := url.Values{
+		"from":    {"2016-03-15T00:00:00Z"},
+		"to":      {"2016-03-16T00:00:00Z"},
+		"region":  {"34.6,135.4,34.8,135.6"},
+		"themes":  {"weather,social"},
+		"sources": {"umeda"},
+		"cond":    {"temperature > 20"},
+	}
+	q, err := ParseQueryValues(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.From.Equal(time.Date(2016, 3, 15, 0, 0, 0, 0, time.UTC)) || q.To.Sub(q.From) != 24*time.Hour {
+		t.Fatalf("window = [%v, %v)", q.From, q.To)
+	}
+	if q.Region == nil || q.Region.Min.Lat != 34.6 || q.Region.Max.Lon != 135.6 {
+		t.Fatalf("region = %+v", q.Region)
+	}
+	if len(q.Themes) != 2 || q.Themes[1] != "social" || len(q.Sources) != 1 || q.Cond == "" {
+		t.Fatalf("filter = %+v", q)
+	}
+	if q, err := ParseQueryValues(url.Values{}); err != nil || q.Region != nil || !q.From.IsZero() {
+		t.Fatalf("empty params = %+v, %v", q, err)
+	}
+}
+
+func TestParseQueryValuesErrors(t *testing.T) {
+	for param, msg := range map[string]string{
+		"from=yesterday":  "bad from",
+		"to=tomorrow":     "bad to",
+		"region=34.6,135": "bad region",
+	} {
+		vals, _ := url.ParseQuery(param)
+		if _, err := ParseQueryValues(vals); err == nil || !strings.Contains(err.Error(), msg) {
+			t.Errorf("%s: err = %v, want %q", param, err, msg)
+		}
+	}
+}
+
+func TestParseAggQueryValues(t *testing.T) {
+	vals, _ := url.ParseQuery("func=avg&field=temperature&group=source,theme&bucket=1h&sources=umeda")
+	aq, err := ParseAggQueryValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aq.Func != ops.AggAvg || aq.Field != "temperature" || aq.Bucket != time.Hour {
+		t.Fatalf("agg = %+v", aq)
+	}
+	if len(aq.GroupBy) != 2 || len(aq.Sources) != 1 {
+		t.Fatalf("agg = %+v", aq)
+	}
+	for param, msg := range map[string]string{
+		"func=median":            "bad func",
+		"func=count&bucket=0s":   "bad bucket",
+		"func=count&bucket=-1h":  "bad bucket",
+		"func=count&bucket=wide": "bad bucket",
+		"func=count&from=xx":     "bad from",
+	} {
+		vals, _ := url.ParseQuery(param)
+		if _, err := ParseAggQueryValues(vals); err == nil || !strings.Contains(err.Error(), msg) {
+			t.Errorf("%s: err = %v, want %q", param, err, msg)
+		}
+	}
+	// The parsed query round-trips through plan() — the shared parser must
+	// not produce specs the engine rejects.
+	if _, err := aq.plan(); err != nil {
+		t.Fatalf("parsed query fails plan: %v", err)
+	}
+}

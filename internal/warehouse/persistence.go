@@ -105,6 +105,9 @@ func Open(cfg Config) (*Warehouse, error) {
 			return nil, fmt.Errorf("warehouse: open wal: %w", err)
 		}
 		s.wal = wal
+		// Durable mode spills via the post-commit tap; in-memory warehouses
+		// never attach it.
+		s.attachTapLocked(spillTap{})
 		// Replay may have rebuilt more hot segments than the budget allows;
 		// queue them for the background spiller (it starts below, so the
 		// backlog drains once the shards are consistent), and checkpoint log
@@ -282,7 +285,13 @@ func dupFile(spilled map[uint64]struct{}, seqs []uint64) bool {
 // queryable, but further appends fail. A nil receiver or an in-memory
 // warehouse closes trivially.
 func (w *Warehouse) Close() error {
-	if w == nil || w.pers == nil {
+	if w == nil {
+		return nil
+	}
+	// Views close for in-memory warehouses too: their publisher goroutines
+	// must not outlive the store.
+	w.closeViews()
+	if w.pers == nil {
 		return nil
 	}
 	w.spill.close()
@@ -306,7 +315,14 @@ func (w *Warehouse) Close() error {
 // file published but never swapped in, which recovery dedupes. For
 // recovery testing.
 func (w *Warehouse) CloseHard() {
-	if w == nil || w.pers == nil {
+	if w == nil {
+		return
+	}
+	// A crash kills view goroutines with the process; here they must stop
+	// explicitly. Views are in-memory state, so this loses nothing a real
+	// crash would keep.
+	w.closeViews()
+	if w.pers == nil {
 		return
 	}
 	w.spill.abort()

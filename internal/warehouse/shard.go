@@ -60,6 +60,17 @@ type shard struct {
 	// walFiles carries the surviving WAL files from recovery to OpenWAL;
 	// cleared once the WAL takes ownership.
 	walFiles []persist.WALFileInfo
+
+	// idx is this shard's position in Warehouse.shards, so tap consumers
+	// can address their per-shard state without a map lookup.
+	idx int
+	// taps are the post-commit consumers (see tap.go), fired in attachment
+	// order under the write lock after WAL write + visibility.
+	taps []tapConsumer
+	// tapScratch backs the one-event slice Append dispatches with, so the
+	// single-event hot path allocates nothing for the tap. Cleared after
+	// each dispatch so it never retains a tuple.
+	tapScratch [1]Event
 }
 
 // segScan counts how segment pruning — and, for cold segments, the chunk

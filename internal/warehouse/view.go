@@ -1,0 +1,662 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamloader/internal/expr"
+	"streamloader/internal/ops"
+	"streamloader/internal/partial"
+	"streamloader/internal/stt"
+)
+
+// This file implements materialized aggregate views: standing AggQuery
+// results maintained incrementally at ingest and pushed to subscribers,
+// so a dashboard refresh costs a channel receive instead of a history
+// re-scan.
+//
+// A view is backfilled at registration by the same per-shard scan that
+// answers a one-shot Aggregate — run under each shard's write lock in the
+// same critical section that attaches the view's tap, so the scan and the
+// event stream compose without a gap or an overlap: every event is either
+// in the scanned history or delivered to the tap, never both, never
+// neither. From then on each committed event folds into the owning
+// shard's partial map (partial.State merges are order-insensitive for the
+// integral case and identical to Aggregate's arithmetic in general), and
+// a snapshot is the same shard-ordered merge Aggregate performs. A view's
+// rows therefore equal a fresh Aggregate of the same query at every
+// quiescent point.
+//
+// Deltas are not subtractable (MIN/MAX cannot un-observe an evicted
+// event), so anything that removes events — a retention cut, crash
+// recovery — marks every view dirty and the next snapshot rebuilds from a
+// fresh scan instead of patching.
+//
+// Lock order, strictly: shard.mu → viewPart.mu, shard.mu → View.mu, and
+// viewRegistry.mu → View.mu. The registry lock is taken while all shard
+// locks are held (compactAll → invalidateViews), so nothing may acquire a
+// shard lock — or block — while holding it: registration backfills after
+// releasing it, and teardown detaches its taps before taking it.
+
+// ErrViewClosed reports use of a view after Release/Close tore it down.
+var ErrViewClosed = errors.New("warehouse: view closed")
+
+// ErrTooManySubscribers reports a Subscribe beyond the configured cap.
+var ErrTooManySubscribers = errors.New("warehouse: too many subscribers")
+
+// ViewUpdate is one pushed snapshot. Every update carries the view's full
+// current row set (sorted like Aggregate's result), so updates are
+// latest-wins: a subscriber that misses intermediate updates loses
+// freshness, never correctness.
+type ViewUpdate struct {
+	// Version increments per published snapshot of this view.
+	Version uint64
+	// Rows is the complete current result.
+	Rows []AggRow
+	// Resnapshot marks a snapshot that may not extend the previous one
+	// monotonically: the first update, a post-rebuild update (retention
+	// cut), or the first update after this subscriber had updates shed.
+	Resnapshot bool
+	// Shed counts the updates dropped on this subscriber's buffer so far.
+	Shed uint64
+	// Err, when set, is the view's terminal error; the channel closes
+	// after this update.
+	Err error
+}
+
+// Subscription is one subscriber's handle on a view: a bounded channel of
+// snapshots plus a Close that frees the slot. When the buffer is full the
+// publisher drops the oldest queued update and marks the next delivered
+// one Resnapshot — a slow consumer sheds freshness but never blocks
+// ingest or other subscribers.
+type Subscription struct {
+	v        *View
+	ch       chan ViewUpdate
+	shed     uint64 // guarded by v.mu
+	chClosed bool   // guarded by v.mu
+	once     sync.Once
+}
+
+// Updates is the snapshot stream. It closes after a terminal update (one
+// with Err set) or a Close from either side.
+func (sub *Subscription) Updates() <-chan ViewUpdate { return sub.ch }
+
+// Close detaches the subscriber, closes its channel and releases its view
+// reference (the view tears down when the last reference goes).
+// Idempotent; safe concurrently with the publisher.
+func (sub *Subscription) Close() {
+	sub.once.Do(func() {
+		v := sub.v
+		v.mu.Lock()
+		for i, cur := range v.subs {
+			if cur == sub {
+				v.subs = append(v.subs[:i], v.subs[i+1:]...)
+				break
+			}
+		}
+		sub.closeChLocked()
+		v.mu.Unlock()
+		v.release()
+	})
+}
+
+// sendLocked delivers one update, shedding the oldest queued update when
+// the buffer is full. Caller holds v.mu (which serializes all sends and
+// the close, so the loop terminates: only the consumer may drain
+// concurrently, which only frees space).
+func (sub *Subscription) sendLocked(u ViewUpdate) {
+	if sub.chClosed {
+		return
+	}
+	u.Shed = sub.shed
+	for {
+		select {
+		case sub.ch <- u:
+			return
+		default:
+		}
+		select {
+		case <-sub.ch:
+			sub.shed++
+		default:
+		}
+		u.Resnapshot = true
+		u.Shed = sub.shed
+	}
+}
+
+// closeChLocked closes the channel once. Caller holds v.mu.
+func (sub *Subscription) closeChLocked() {
+	if !sub.chClosed {
+		sub.chClosed = true
+		close(sub.ch)
+	}
+}
+
+// viewPart is a view's per-shard state: the partial aggregates of the
+// events this shard contributed. It is the view's tap consumer — onCommit
+// folds committed events in — and its mutex nests inside the shard lock.
+type viewPart struct {
+	v *View
+
+	mu  sync.Mutex
+	acc map[partial.Key]*partial.State
+	// conds caches the view's compiled payload condition per schema, like
+	// a query-local cache but living as long as the view.
+	conds map[*stt.Schema]*expr.Compiled
+}
+
+// onCommit folds one committed batch into the shard's partials. Runs
+// under the shard write lock (tap contract): no blocking, no other locks
+// beyond p.mu. Errors park in the view's fail slot for the publisher —
+// teardown needs shard locks, so it cannot run from here.
+func (p *viewPart) onCommit(w *Warehouse, s *shard, evs []Event) {
+	v := p.v
+	matched := 0
+	p.mu.Lock()
+	for _, ev := range evs {
+		ok, err := matchEvent(ev, v.plan.Query, p.conds)
+		if err != nil {
+			p.mu.Unlock()
+			v.fail(err)
+			return
+		}
+		if !ok {
+			continue
+		}
+		if !v.plan.accumulate(p.acc, ev.Tuple) {
+			p.mu.Unlock()
+			v.fail(errAggGroups)
+			return
+		}
+		matched++
+	}
+	p.mu.Unlock()
+	if matched > 0 {
+		v.mutations.Add(1)
+		v.pending.Add(int64(matched))
+		v.wake()
+	}
+}
+
+// View is one registered standing aggregate. Identical (query, policy)
+// registrations share a View — the registry refcounts them — so a
+// thousand dashboards watching the same aggregate cost one maintenance
+// stream fanned out, not a thousand.
+type View struct {
+	w      *Warehouse
+	plan   aggPlan
+	policy ops.UpdatePolicy
+	key    string
+	parts  []*viewPart // one per shard, fixed at construction
+
+	refs int // guarded by w.views.mu
+
+	// dirty demands a full rebuild before the next snapshot (retention
+	// cut); mutations counts state changes (folds and rebuilds) so the
+	// publisher can skip no-op wakes; pending counts folded events since
+	// the last publication (count policy).
+	dirty     atomic.Bool
+	mutations atomic.Uint64
+	pending   atomic.Int64
+
+	// foldErr parks an onCommit failure for the publisher to act on.
+	foldErr atomic.Pointer[viewErr]
+
+	notify chan struct{} // cap 1: wake the publisher
+	stopc  chan struct{} // closed by teardown
+	done   chan struct{} // closed when the publisher exits
+
+	stopOnce sync.Once
+	// refreshMu serializes rebuilds (registration backfill included) and
+	// Rows reads, so a reader never merges a half-rebuilt accumulator set.
+	// Order: refreshMu → shard.mu → viewPart.mu.
+	refreshMu sync.Mutex
+
+	mu      sync.Mutex
+	subs    []*Subscription
+	err     error // terminal; set by teardown
+	version uint64
+}
+
+type viewErr struct{ err error }
+
+func (v *View) fail(err error) {
+	v.foldErr.CompareAndSwap(nil, &viewErr{err: err})
+	v.wake()
+}
+
+func (v *View) takeErr() error {
+	if e := v.foldErr.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// wake nudges the publisher; never blocks.
+func (v *View) wake() {
+	select {
+	case v.notify <- struct{}{}:
+	default:
+	}
+}
+
+// viewKey canonicalizes (query, policy) for registry dedup. Built field
+// by field — never %v on the struct — so the Region pointer's address can
+// not leak into the identity.
+func viewKey(p *aggPlan, policy ops.UpdatePolicy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f=%s|fld=%s|gs=%t|gt=%t|b=%d|mg=%d", p.Func, p.Field, p.groupSource, p.groupTheme, p.Bucket, p.maxGroups)
+	fmt.Fprintf(&b, "|from=%d|to=%d", p.From.UnixNano(), p.To.UnixNano())
+	if p.Region != nil {
+		fmt.Fprintf(&b, "|r=%.6f,%.6f,%.6f,%.6f", p.Region.Min.Lat, p.Region.Min.Lon, p.Region.Max.Lat, p.Region.Max.Lon)
+	}
+	fmt.Fprintf(&b, "|th=%s|src=%s|cond=%s|pol=%s",
+		strings.Join(p.Themes, "\x1f"), strings.Join(p.Sources, "\x1f"), p.Cond, policy.String())
+	return b.String()
+}
+
+// viewRegistry holds the live views keyed by canonical (query, policy).
+type viewRegistry struct {
+	mu sync.Mutex
+	m  map[string]*View
+}
+
+// RegisterView registers a standing aggregate: validate, dedup against an
+// identical live view, backfill from history, then maintain incrementally.
+// The returned view holds one reference; pair with Release. The first
+// error — invalid query, backfill scan failure, group-cardinality
+// overflow — is returned synchronously and registers nothing.
+func (w *Warehouse) RegisterView(q AggQuery, policy ops.UpdatePolicy) (*View, error) {
+	p, err := q.plan()
+	if err != nil {
+		return nil, err
+	}
+	policy = policy.Normalize()
+	if err := policy.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidAggQuery, err)
+	}
+	key := viewKey(&p, policy)
+
+	reg := &w.views
+	reg.mu.Lock()
+	if reg.m == nil {
+		reg.m = map[string]*View{}
+	}
+	if v := reg.m[key]; v != nil {
+		v.refs++
+		reg.mu.Unlock()
+		return v, nil
+	}
+	v := &View{
+		w:      w,
+		plan:   p,
+		policy: policy,
+		key:    key,
+		parts:  make([]*viewPart, len(w.shards)),
+		refs:   1,
+		notify: make(chan struct{}, 1),
+		stopc:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := range v.parts {
+		v.parts[i] = &viewPart{v: v, conds: map[*stt.Schema]*expr.Compiled{}}
+	}
+	v.dirty.Store(true)
+	reg.m[key] = v
+	reg.mu.Unlock()
+
+	// Backfill outside the registry lock (it takes shard locks). A
+	// concurrent same-key RegisterView may already hold a reference; its
+	// first snapshot waits on refreshMu, so it still sees a backfilled
+	// state or this teardown's ErrViewClosed.
+	if err := v.refreshIfDirty(); err != nil {
+		v.teardown(err)
+		return nil, err
+	}
+	go v.run()
+	return v, nil
+}
+
+// SubscribeOptions configures Warehouse.Subscribe.
+type SubscribeOptions struct {
+	// Policy is the publication schedule (zero value: per event).
+	Policy ops.UpdatePolicy
+	// Buffer is the subscriber channel depth (0: a small default).
+	Buffer int
+	// MaxSubscribers, when positive, fails the subscribe when the
+	// warehouse already carries that many subscribers across all views.
+	MaxSubscribers int
+}
+
+// Subscribe is the one-call path a serving layer uses: register (or share)
+// the view and attach one subscriber, whose Close releases everything.
+func (w *Warehouse) Subscribe(q AggQuery, opt SubscribeOptions) (*Subscription, error) {
+	if opt.MaxSubscribers > 0 && w.SubscriberCount() >= opt.MaxSubscribers {
+		return nil, ErrTooManySubscribers
+	}
+	v, err := w.RegisterView(q, opt.Policy)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := v.Subscribe(opt.Buffer)
+	v.Release() // the subscription holds its own reference now
+	return sub, err
+}
+
+// Subscribe attaches a subscriber: an immediate full snapshot, then
+// updates per the view's policy. The subscription holds a view reference
+// until its Close.
+func (v *View) Subscribe(buffer int) (*Subscription, error) {
+	if buffer <= 0 {
+		buffer = 8
+	}
+	rows, err := v.Rows()
+	if err != nil {
+		return nil, err
+	}
+	reg := &v.w.views
+	reg.mu.Lock()
+	if reg.m[v.key] != v {
+		reg.mu.Unlock()
+		return nil, ErrViewClosed
+	}
+	v.refs++
+	reg.mu.Unlock()
+
+	sub := &Subscription{v: v, ch: make(chan ViewUpdate, buffer)}
+	v.mu.Lock()
+	if v.err != nil {
+		err := v.err
+		v.mu.Unlock()
+		v.release()
+		return nil, err
+	}
+	v.subs = append(v.subs, sub)
+	v.version++
+	// Folds between the Rows call above and this attach are not lost:
+	// they bumped mutations, so the publisher rebroadcasts a fresher full
+	// snapshot to everyone, this subscriber included.
+	sub.sendLocked(ViewUpdate{Version: v.version, Rows: rows, Resnapshot: true})
+	v.mu.Unlock()
+	return sub, nil
+}
+
+// Release drops one reference; the last one tears the view down.
+func (v *View) Release() { v.release() }
+
+func (v *View) release() {
+	reg := &v.w.views
+	reg.mu.Lock()
+	v.refs--
+	dead := v.refs <= 0
+	if dead && reg.m[v.key] == v {
+		// Unpublish under the lock so no new reference is handed out
+		// between the decision and the teardown.
+		delete(reg.m, v.key)
+	}
+	reg.mu.Unlock()
+	if dead {
+		v.teardown(nil)
+	}
+}
+
+// Err returns the view's terminal error, nil while it is live.
+func (v *View) Err() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.err
+}
+
+// Rows computes the view's current full result: rebuild first if a
+// retention cut invalidated the partials, then merge the per-shard maps in
+// shard order — the same merge arithmetic and ordering as Aggregate, over
+// clones so the live partials are never aliased. The whole read holds
+// refreshMu: a rebuild clears the dirty flag before it re-scans shard by
+// shard, so a concurrent reader that merely checked the flag could merge
+// a torn mix of rebuilt and stale per-shard accumulators.
+func (v *View) Rows() ([]AggRow, error) {
+	if err := v.Err(); err != nil {
+		return nil, err
+	}
+	v.refreshMu.Lock()
+	defer v.refreshMu.Unlock()
+	if err := v.refreshLocked(); err != nil {
+		return nil, err
+	}
+	merged := map[partial.Key]*partial.State{}
+	for _, p := range v.parts {
+		p.mu.Lock()
+		ok := partial.Merge(merged, p.acc, v.plan.maxGroups, true)
+		p.mu.Unlock()
+		if !ok {
+			return nil, errAggGroups
+		}
+	}
+	return v.plan.rowsFromPartials(merged), nil
+}
+
+// refreshIfDirty rebuilds while the dirty flag is set.
+func (v *View) refreshIfDirty() error {
+	v.refreshMu.Lock()
+	defer v.refreshMu.Unlock()
+	return v.refreshLocked()
+}
+
+// refreshLocked rebuilds while the dirty flag is set; the caller holds
+// refreshMu. Bounded: retention churning faster than we can scan leaves
+// the flag set for the next call rather than looping forever.
+func (v *View) refreshLocked() error {
+	for i := 0; i < 16 && v.dirty.Load(); i++ {
+		if err := v.rebuildLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildLocked re-derives every shard's partials from a fresh scan; the
+// caller holds refreshMu. Per shard, one write-lock critical section
+// detaches the tap, scans (aggLocked), installs the result and re-attaches
+// — so no commit lands in both the scan and the tap, and none lands in
+// neither. The dirty flag clears before scanning: a cut racing the rebuild
+// re-marks it and the caller's loop goes again.
+func (v *View) rebuildLocked() error {
+	v.dirty.Store(false)
+	for i, s := range v.w.shards {
+		p := v.parts[i]
+		s.mu.Lock()
+		s.detachTapLocked(p)
+		stopped := false
+		select {
+		case <-v.stopc:
+			stopped = true
+		default:
+		}
+		if stopped {
+			// Teardown won the race; do not re-attach behind its back.
+			s.mu.Unlock()
+			return ErrViewClosed
+		}
+		acc, _, err := s.aggLocked(&v.plan)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		p.mu.Lock()
+		p.acc = acc
+		p.mu.Unlock()
+		s.attachTapLocked(p)
+		s.mu.Unlock()
+	}
+	v.mutations.Add(1)
+	return nil
+}
+
+// run is the view's publisher goroutine: it coalesces wakes, applies the
+// update policy, computes snapshots outside every shard lock and fans
+// them out. One publisher per view regardless of subscriber count, so
+// per-event maintenance cost does not scale with subscribers.
+func (v *View) run() {
+	defer close(v.done)
+	var tick <-chan time.Time
+	if d := v.policy.TickEvery(); d > 0 {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		tick = t.C
+	}
+	var published uint64
+	for {
+		fromTick := false
+		select {
+		case <-v.stopc:
+			return
+		case <-v.notify:
+		case <-tick:
+			fromTick = true
+		}
+		if err := v.takeErr(); err != nil {
+			v.teardown(err)
+			return
+		}
+		mut := v.mutations.Load()
+		dirty := v.dirty.Load()
+		if mut == published && !dirty {
+			continue
+		}
+		pend := v.pending.Load()
+		switch v.policy.Mode {
+		case ops.UpdateInterval:
+			// Interval publications ride the ticker; a dirty view (post-
+			// retention) resnapshots immediately so subscribers never hold
+			// evicted state for a whole period.
+			if !fromTick && !dirty {
+				continue
+			}
+		case ops.UpdateCount:
+			if !dirty && !v.policy.Due(pend) {
+				continue
+			}
+		}
+		// Pre-read, so folds racing the snapshot keep mut != published and
+		// force a re-publish: at-least-once, coalesced.
+		published = mut
+		v.pending.Add(-pend)
+		rows, err := v.Rows()
+		if err != nil {
+			v.teardown(err)
+			return
+		}
+		v.broadcast(rows, dirty)
+	}
+}
+
+// broadcast fans one snapshot out to every subscriber.
+func (v *View) broadcast(rows []AggRow, resnap bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.err != nil {
+		return
+	}
+	v.version++
+	for _, sub := range v.subs {
+		sub.sendLocked(ViewUpdate{Version: v.version, Rows: rows, Resnapshot: resnap})
+	}
+}
+
+// teardown stops the view: publisher signalled, taps detached, registry
+// entry removed, subscribers failed (terminal update when err != nil) and
+// their channels closed. Idempotent; never waits for the publisher, so
+// the publisher itself may call it.
+func (v *View) teardown(err error) {
+	v.stopOnce.Do(func() {
+		close(v.stopc)
+		for i, s := range v.w.shards {
+			s.mu.Lock()
+			s.detachTapLocked(v.parts[i])
+			s.mu.Unlock()
+		}
+		reg := &v.w.views
+		reg.mu.Lock()
+		if reg.m[v.key] == v {
+			delete(reg.m, v.key)
+		}
+		reg.mu.Unlock()
+
+		v.mu.Lock()
+		if err == nil {
+			err = ErrViewClosed
+		}
+		v.err = err
+		for _, sub := range v.subs {
+			if !errors.Is(err, ErrViewClosed) {
+				v.version++
+				sub.sendLocked(ViewUpdate{Version: v.version, Err: err})
+			}
+			sub.closeChLocked()
+		}
+		v.subs = nil
+		v.mu.Unlock()
+	})
+}
+
+// wait blocks until the publisher goroutine has exited. Only for
+// teardown-initiating callers outside the publisher (closeViews, tests).
+func (v *View) wait() { <-v.done }
+
+// invalidateViews marks every view dirty after events were removed
+// (retention cut). Called with every shard lock held, so it must only
+// flip atomics and poke nonblocking channels — the registry lock order
+// forbids anything heavier here.
+func (w *Warehouse) invalidateViews() {
+	reg := &w.views
+	reg.mu.Lock()
+	for _, v := range reg.m {
+		v.dirty.Store(true)
+		v.wake()
+	}
+	reg.mu.Unlock()
+}
+
+// closeViews tears down every live view and waits for their publishers,
+// leaving no view goroutine behind. Subscriber channels close without a
+// terminal error update — a shutdown, not a fault.
+func (w *Warehouse) closeViews() {
+	reg := &w.views
+	reg.mu.Lock()
+	views := make([]*View, 0, len(reg.m))
+	for _, v := range reg.m {
+		views = append(views, v)
+	}
+	reg.mu.Unlock()
+	for _, v := range views {
+		v.teardown(nil)
+		v.wait()
+	}
+}
+
+// ViewCount returns the number of live registered views.
+func (w *Warehouse) ViewCount() int {
+	reg := &w.views
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return len(reg.m)
+}
+
+// SubscriberCount returns the live subscriber total across all views.
+func (w *Warehouse) SubscriberCount() int {
+	reg := &w.views
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	n := 0
+	for _, v := range reg.m {
+		v.mu.Lock()
+		n += len(v.subs)
+		v.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,435 @@
+package warehouse
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"streamloader/internal/ops"
+	"streamloader/internal/stt"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// recvUpdate reads one update with a deadline.
+func recvUpdate(t *testing.T, sub *Subscription) ViewUpdate {
+	t.Helper()
+	select {
+	case u, ok := <-sub.Updates():
+		if !ok {
+			t.Fatal("updates channel closed")
+		}
+		return u
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update within deadline")
+	}
+	panic("unreachable")
+}
+
+// viewQueries is the query matrix the equality tests run over: grouped
+// AVG (merge-exactness), bucketed COUNT, filtered SUM, MIN with a
+// payload condition.
+func viewQueries() []AggQuery {
+	return []AggQuery{
+		{Func: ops.AggAvg, Field: "temperature", GroupBy: []string{"source"}},
+		{Func: ops.AggCount, Bucket: time.Hour},
+		{Query: Query{Sources: []string{"umeda"}}, Func: ops.AggSum, Field: "temperature"},
+		{Query: Query{Cond: "temperature > 16"}, Func: ops.AggMin, Field: "temperature", GroupBy: []string{"theme"}},
+	}
+}
+
+// TestViewBackfillEqualsAggregate: a freshly registered view's rows are
+// byte-for-byte the rows Aggregate returns for the same query — over hot
+// in-memory history and over spilled cold history alike.
+func TestViewBackfillEqualsAggregate(t *testing.T) {
+	cold, hot := aggColdPair(t, 600)
+	for _, w := range []*Warehouse{loaded(t), hot, cold} {
+		for _, q := range viewQueries() {
+			v, err := w.RegisterView(q, ops.UpdatePolicy{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := v.Rows()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := aggRows(t, w, q)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("backfill of %+v: %s", q, diffAggRows(got, want))
+			}
+			v.Release()
+		}
+		if n := w.ViewCount(); n != 0 {
+			t.Fatalf("released all views, %d left registered", n)
+		}
+	}
+}
+
+// TestViewIncrementalEqualsAggregate: after registration, appends fold
+// into the view incrementally; at every quiescent point Rows equals a
+// fresh Aggregate.
+func TestViewIncrementalEqualsAggregate(t *testing.T) {
+	w := loaded(t)
+	defer w.Close()
+	views := make([]*View, 0)
+	for _, q := range viewQueries() {
+		v, err := w.RegisterView(q, ops.UpdatePolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Release()
+		views = append(views, v)
+	}
+	for i := 0; i < 40; i++ {
+		tup := wTuple(time.Duration(i)*17*time.Minute, float64(10+i%20),
+			fmt.Sprintf("station-%d", i%5), 34.6+float64(i%7)*0.02, 135.4)
+		if err := w.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+		if i%13 == 0 {
+			// Exercise the batch path's tap dispatch too.
+			batch := []*stt.Tuple{
+				wTuple(time.Duration(i)*time.Hour, float64(i), "umeda", 34.7, 135.5),
+				sTuple(time.Duration(i)*time.Minute, "batch tweet"),
+			}
+			if err := w.AppendBatch(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for vi, v := range views {
+		got, err := v.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := aggRows(t, w, viewQueries()[vi])
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("view %d diverged: %s", vi, diffAggRows(got, want))
+		}
+	}
+}
+
+// TestViewPushPerEvent: an event-policy subscriber receives pushed
+// snapshots that converge to the live aggregate.
+func TestViewPushPerEvent(t *testing.T) {
+	w := loaded(t)
+	defer w.Close()
+	q := AggQuery{Func: ops.AggCount, GroupBy: []string{"source"}}
+	sub, err := w.Subscribe(q, SubscribeOptions{Buffer: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	first := recvUpdate(t, sub)
+	if !first.Resnapshot || first.Version == 0 {
+		t.Fatalf("first update = %+v, want initial resnapshot", first)
+	}
+	if !reflect.DeepEqual(first.Rows, aggRows(t, w, q)) {
+		t.Fatalf("initial snapshot diverges: %s", diffAggRows(first.Rows, aggRows(t, w, q)))
+	}
+	if err := w.Append(wTuple(5*time.Hour, 21, "tennoji", 34.65, 135.51)); err != nil {
+		t.Fatal(err)
+	}
+	want := aggRows(t, w, q)
+	for {
+		u := recvUpdate(t, sub)
+		if u.Version <= first.Version {
+			t.Fatalf("version did not advance: %d -> %d", first.Version, u.Version)
+		}
+		if reflect.DeepEqual(u.Rows, want) {
+			return
+		}
+	}
+}
+
+// TestViewRetentionRebuild: a retention cut invalidates the partials; the
+// next snapshot rebuilds and equals Aggregate over the surviving events.
+func TestViewRetentionRebuild(t *testing.T) {
+	w := NewWithConfig(Config{Shards: 2, SegmentEvents: 16})
+	defer w.Close()
+	for i := 0; i < 200; i++ {
+		if err := w.Append(wTuple(time.Duration(i)*time.Minute, float64(i%30),
+			fmt.Sprintf("s-%d", i%3), 34.7, 135.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := AggQuery{Func: ops.AggMin, Field: "temperature", GroupBy: []string{"source"}}
+	v, err := w.RegisterView(q, ops.UpdatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	w.SetRetention(40)
+	waitFor(t, 5*time.Second, "retention to evict", func() bool { return w.Len() <= 40 })
+	got, err := v.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := aggRows(t, w, q)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-retention view diverges (MIN must forget evicted events): %s", diffAggRows(got, want))
+	}
+}
+
+// TestViewSlowConsumerShed: a buffer-1 subscriber that never keeps up is
+// shed, never blocks ingest, and its final snapshot still converges.
+func TestViewSlowConsumerShed(t *testing.T) {
+	w := New()
+	defer w.Close()
+	q := AggQuery{Func: ops.AggSum, Field: "temperature"}
+	sub, err := w.Subscribe(q, SubscribeOptions{Buffer: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Never read while a burst lands: every publish beyond the first must
+	// shed the one queued update.
+	for i := 0; i < 500; i++ {
+		if err := w.Append(wTuple(time.Duration(i)*time.Second, 2, fmt.Sprintf("s-%d", i%8), 34.7, 135.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := aggRows(t, w, q)
+	var last ViewUpdate
+	waitFor(t, 5*time.Second, "shed subscriber to converge", func() bool {
+		for {
+			select {
+			case u, ok := <-sub.Updates():
+				if !ok {
+					t.Fatal("channel closed early")
+				}
+				last = u
+			default:
+				return reflect.DeepEqual(last.Rows, want)
+			}
+		}
+	})
+	if last.Shed == 0 {
+		t.Error("500 appends into a buffer-1 subscriber shed nothing")
+	}
+	if !last.Resnapshot {
+		t.Error("post-shed update not marked Resnapshot")
+	}
+}
+
+// TestViewDedupAndRelease: identical (query, policy) registrations share
+// one View; distinct policies do not; the registry frees on last release.
+func TestViewDedupAndRelease(t *testing.T) {
+	w := loaded(t)
+	defer w.Close()
+	q := AggQuery{Func: ops.AggCount}
+	v1, err := w.RegisterView(q, ops.UpdatePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := w.RegisterView(q, ops.UpdatePolicy{Mode: ops.UpdateEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("identical registrations produced distinct views")
+	}
+	v3, err := w.RegisterView(q, ops.UpdatePolicy{Mode: ops.UpdateCount, N: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 == v1 {
+		t.Fatal("distinct policies shared a view")
+	}
+	if n := w.ViewCount(); n != 2 {
+		t.Fatalf("ViewCount = %d, want 2", n)
+	}
+	v1.Release()
+	if n := w.ViewCount(); n != 2 {
+		t.Fatalf("ViewCount after first release = %d, want 2 (v2 still holds)", n)
+	}
+	v2.Release()
+	v3.Release()
+	if n := w.ViewCount(); n != 0 {
+		t.Fatalf("ViewCount after all releases = %d, want 0", n)
+	}
+	if _, err := v1.Rows(); !errors.Is(err, ErrViewClosed) {
+		t.Fatalf("Rows on a released view = %v, want ErrViewClosed", err)
+	}
+}
+
+// TestViewUnsubscribeFreesEverything: closing the last subscription frees
+// the registry slot and the publisher goroutine (no leak).
+func TestViewUnsubscribeFreesEverything(t *testing.T) {
+	w := loaded(t)
+	defer w.Close()
+	before := runtime.NumGoroutine()
+	subs := make([]*Subscription, 0, 10)
+	for i := 0; i < 10; i++ {
+		sub, err := w.Subscribe(AggQuery{Func: ops.AggCount, GroupBy: []string{"source"}},
+			SubscribeOptions{Buffer: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	if n := w.ViewCount(); n != 1 {
+		t.Fatalf("10 identical subscribes made %d views, want 1 shared", n)
+	}
+	if n := w.SubscriberCount(); n != 10 {
+		t.Fatalf("SubscriberCount = %d, want 10", n)
+	}
+	for _, sub := range subs {
+		sub.Close()
+		sub.Close() // idempotent
+	}
+	if n := w.ViewCount(); n != 0 {
+		t.Fatalf("last unsubscribe left %d views registered", n)
+	}
+	if n := w.SubscriberCount(); n != 0 {
+		t.Fatalf("SubscriberCount after close = %d, want 0", n)
+	}
+	waitFor(t, 5*time.Second, "publisher goroutines to exit", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+	// The channel must be closed so range loops terminate.
+	waitFor(t, time.Second, "subscriber channel close", func() bool {
+		_, ok := <-subs[0].Updates()
+		return !ok
+	})
+}
+
+// TestViewSubscriberCap: the warehouse-level cap answers over-subscription
+// with ErrTooManySubscribers.
+func TestViewSubscriberCap(t *testing.T) {
+	w := loaded(t)
+	defer w.Close()
+	opt := SubscribeOptions{Buffer: 1, MaxSubscribers: 2}
+	s1, err := w.Subscribe(AggQuery{Func: ops.AggCount}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, err := w.Subscribe(AggQuery{Func: ops.AggCount}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := w.Subscribe(AggQuery{Func: ops.AggCount}, opt); !errors.Is(err, ErrTooManySubscribers) {
+		t.Fatalf("third subscribe = %v, want ErrTooManySubscribers", err)
+	}
+}
+
+// TestViewCountPolicy: a count:N view stays quiet below the threshold and
+// publishes once N changes accumulate.
+func TestViewCountPolicy(t *testing.T) {
+	w := New()
+	defer w.Close()
+	q := AggQuery{Func: ops.AggCount}
+	sub, err := w.Subscribe(q, SubscribeOptions{
+		Policy: ops.UpdatePolicy{Mode: ops.UpdateCount, N: 10}, Buffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	recvUpdate(t, sub) // initial snapshot
+	for i := 0; i < 9; i++ {
+		if err := w.Append(wTuple(time.Duration(i)*time.Minute, 20, "umeda", 34.7, 135.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case u := <-sub.Updates():
+		t.Fatalf("count:10 published at 9 events: %+v", u)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := w.Append(wTuple(10*time.Minute, 20, "umeda", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	u := recvUpdate(t, sub)
+	if len(u.Rows) != 1 || u.Rows[0].Count != 10 {
+		t.Fatalf("threshold update = %+v, want count 10", u.Rows)
+	}
+}
+
+// TestViewIntervalPolicy: an interval view coalesces a burst into a
+// ticker-paced snapshot.
+func TestViewIntervalPolicy(t *testing.T) {
+	w := New()
+	defer w.Close()
+	sub, err := w.Subscribe(AggQuery{Func: ops.AggCount}, SubscribeOptions{
+		Policy: ops.UpdatePolicy{Mode: ops.UpdateInterval, Every: 30 * time.Millisecond}, Buffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	recvUpdate(t, sub)
+	for i := 0; i < 100; i++ {
+		if err := w.Append(wTuple(time.Duration(i)*time.Second, 20, "umeda", 34.7, 135.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u := recvUpdate(t, sub)
+	if len(u.Rows) != 1 || u.Rows[0].Count != 100 {
+		t.Fatalf("interval snapshot = %+v, want the coalesced count 100", u.Rows)
+	}
+}
+
+// TestWarehouseCloseClosesViews: Close tears every view down and closes
+// subscriber channels, in-memory warehouses included.
+func TestWarehouseCloseClosesViews(t *testing.T) {
+	w := loaded(t)
+	sub, err := w.Subscribe(AggQuery{Func: ops.AggCount}, SubscribeOptions{Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "channel close on warehouse Close", func() bool {
+		for {
+			select {
+			case _, ok := <-sub.Updates():
+				if !ok {
+					return true
+				}
+			default:
+				return false
+			}
+		}
+	})
+	if _, err := w.RegisterView(AggQuery{Func: ops.AggCount}, ops.UpdatePolicy{}); err != nil {
+		_ = err // registering after Close is allowed to fail or succeed; just no panic
+	}
+}
+
+// TestViewInvalidRegistrations: plan and policy validation reject early,
+// registering nothing.
+func TestViewInvalidRegistrations(t *testing.T) {
+	w := loaded(t)
+	defer w.Close()
+	if _, err := w.RegisterView(AggQuery{Func: "median"}, ops.UpdatePolicy{}); !errors.Is(err, ErrInvalidAggQuery) {
+		t.Fatalf("bad func = %v, want ErrInvalidAggQuery", err)
+	}
+	if _, err := w.RegisterView(AggQuery{Func: ops.AggSum}, ops.UpdatePolicy{}); !errors.Is(err, ErrInvalidAggQuery) {
+		t.Fatalf("SUM without field = %v, want ErrInvalidAggQuery", err)
+	}
+	if _, err := w.RegisterView(AggQuery{Func: ops.AggCount}, ops.UpdatePolicy{Mode: "cron"}); !errors.Is(err, ErrInvalidAggQuery) {
+		t.Fatalf("bad policy = %v, want ErrInvalidAggQuery", err)
+	}
+	if n := w.ViewCount(); n != 0 {
+		t.Fatalf("failed registrations left %d views", n)
+	}
+}

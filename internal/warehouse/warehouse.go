@@ -162,6 +162,9 @@ type Warehouse struct {
 	// need every shard lock (always taken in shard order).
 	retMu     sync.Mutex
 	maxEvents atomic.Int64
+
+	// views holds the registered materialized aggregate views (view.go).
+	views viewRegistry
 }
 
 // persistState carries the warehouse-global durable-mode state: the data
@@ -202,6 +205,7 @@ func NewWithConfig(cfg Config) *Warehouse {
 	lim := segLimits{maxEvents: cfg.SegmentEvents, maxSpan: cfg.SegmentSpan}
 	for i := range w.shards {
 		w.shards[i] = newShard(lim)
+		w.shards[i].idx = i
 	}
 	return w
 }
@@ -235,7 +239,9 @@ func (w *Warehouse) Append(t *stt.Tuple) error {
 	}
 	s.appendLocked(ev)
 	w.count.Add(1)
-	s.maybeSpillLocked(w)
+	s.tapScratch[0] = ev
+	s.dispatchTapLocked(w, s.tapScratch[:1])
+	s.tapScratch[0] = Event{}
 	s.mu.Unlock()
 	w.throttleSpill()
 	w.maybeCompact()
@@ -308,7 +314,7 @@ func (w *Warehouse) appendShardBatch(s *shard, evs []Event) error {
 		s.appendLocked(ev)
 	}
 	w.count.Add(int64(len(evs)))
-	s.maybeSpillLocked(w)
+	s.dispatchTapLocked(w, evs)
 	return nil
 }
 
@@ -539,6 +545,9 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	w.evicted.Add(uint64(dropped))
 	// All shard locks are held, so no append races this adjustment.
 	w.count.Add(int64(-dropped))
+	// Partial aggregates cannot un-observe evicted events (MIN/MAX are not
+	// subtractable); every view rebuilds from a fresh scan instead.
+	w.invalidateViews()
 }
 
 // segCursor tracks a compaction's progress through one segment — exactly
@@ -793,6 +802,11 @@ type Stats struct {
 	ColdCacheHits   uint64 `json:"cold_cache_hits"`
 	ColdCacheMisses uint64 `json:"cold_cache_misses"`
 	ColdCacheBytes  int64  `json:"cold_cache_bytes"`
+
+	// Views is the live materialized-view count and ViewSubscribers the
+	// subscriber total across them.
+	Views           int `json:"views"`
+	ViewSubscribers int `json:"view_subscribers"`
 }
 
 // Stats computes the summary, folding every shard's contribution.
@@ -809,6 +823,8 @@ func (w *Warehouse) Stats() Stats {
 	st.ColdCacheHits = cc.Hits
 	st.ColdCacheMisses = cc.Misses
 	st.ColdCacheBytes = cc.Bytes
+	st.Views = w.ViewCount()
+	st.ViewSubscribers = w.SubscriberCount()
 	return st
 }
 
