@@ -1,0 +1,161 @@
+// Command benchdiff compares the two newest runs in a BENCH_*.json perf
+// trajectory file and fails (exit 1) when a shared benchmark metric
+// regressed by more than the threshold. It is the CI teeth behind the
+// hand-appended bench entries: a PR that records a new run cannot silently
+// regress the previous one.
+//
+// Usage:
+//
+//	benchdiff [-file BENCH_warehouse.json] [-threshold 0.25]
+//
+// Only metrics present in both runs are compared. Machine-dependent
+// metrics — ns_per_op, anything ending in _ns or _per_sec — are compared
+// only when the two runs report the same cpu string; counts and
+// percentages (allocs_per_op, chunk_decodes_per_op, *_pct, ...) are
+// compared unconditionally. Direction is metric-aware: *_per_sec and *_pct
+// regress downward, everything else regresses upward. Fewer than two runs,
+// or no shared benchmark names (the usual case when consecutive PRs
+// benchmark different subsystems), compares nothing and passes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type benchFile struct {
+	Description string `json:"description"`
+	Runs        []run  `json:"runs"`
+}
+
+type run struct {
+	PR         int                           `json:"pr"`
+	Date       string                        `json:"date"`
+	Change     string                        `json:"change"`
+	CPU        string                        `json:"cpu"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// machineDependent reports whether a metric's absolute value is tied to
+// the machine that produced it (latency, throughput) rather than being a
+// count the workload fully determines.
+func machineDependent(metric string) bool {
+	return metric == "ns_per_op" ||
+		strings.HasSuffix(metric, "_ns") ||
+		strings.HasSuffix(metric, "_per_sec")
+}
+
+// higherIsBetter reports the improvement direction for a metric.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, "_per_sec") || strings.HasSuffix(metric, "_pct")
+}
+
+func main() {
+	file := flag.String("file", "BENCH_warehouse.json", "perf trajectory file")
+	threshold := flag.Float64("threshold", 0.25, "relative regression that fails the diff")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var bf benchFile
+	// Benchmarks values mix numbers with the "benchtime" string; decode
+	// leniently by round-tripping each metric map through interface{}.
+	var loose struct {
+		Runs []struct {
+			PR         int                               `json:"pr"`
+			Date       string                            `json:"date"`
+			Change     string                            `json:"change"`
+			CPU        string                            `json:"cpu"`
+			Benchmarks map[string]map[string]interface{} `json:"benchmarks"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &loose); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", *file, err)
+		os.Exit(2)
+	}
+	for _, lr := range loose.Runs {
+		r := run{PR: lr.PR, Date: lr.Date, Change: lr.Change, CPU: lr.CPU,
+			Benchmarks: map[string]map[string]float64{}}
+		for name, metrics := range lr.Benchmarks {
+			r.Benchmarks[name] = map[string]float64{}
+			for k, v := range metrics {
+				if f, ok := v.(float64); ok {
+					r.Benchmarks[name][k] = f
+				}
+			}
+		}
+		bf.Runs = append(bf.Runs, r)
+	}
+
+	if len(bf.Runs) < 2 {
+		fmt.Printf("benchdiff: %d run(s) in %s, nothing to compare\n", len(bf.Runs), *file)
+		return
+	}
+	old, cur := bf.Runs[len(bf.Runs)-2], bf.Runs[len(bf.Runs)-1]
+	sameCPU := old.CPU == cur.CPU
+	fmt.Printf("benchdiff: PR %d (%s) vs PR %d (%s), threshold %.0f%%, cpu match: %v\n",
+		old.PR, old.Date, cur.PR, cur.Date, *threshold*100, sameCPU)
+
+	var names []string
+	for name := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("benchdiff: no shared benchmarks between the two newest runs, nothing to compare")
+		return
+	}
+
+	regressions := 0
+	for _, name := range names {
+		om, nm := old.Benchmarks[name], cur.Benchmarks[name]
+		var metrics []string
+		for k := range nm {
+			if _, ok := om[k]; ok {
+				metrics = append(metrics, k)
+			}
+		}
+		sort.Strings(metrics)
+		for _, k := range metrics {
+			if machineDependent(k) && !sameCPU {
+				continue
+			}
+			ov, nv := om[k], nm[k]
+			var rel float64
+			switch {
+			case ov == nv:
+				rel = 0
+			case ov == 0:
+				if higherIsBetter(k) {
+					continue // no baseline to regress from
+				}
+				rel = 1 // was zero, now nonzero: unbounded regression
+			case higherIsBetter(k):
+				rel = (ov - nv) / ov
+			default:
+				rel = (nv - ov) / ov
+			}
+			status := "ok"
+			if rel > *threshold {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("  %-50s %-24s %14g -> %-14g %+6.1f%% %s\n",
+				name, k, ov, nv, rel*100, status)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}

@@ -10,7 +10,8 @@
 //	             [-seed 42] [-live=true] [-shards 16] [-sink-batch 0]
 //	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
 //	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
-//	             [-cold-cache-bytes 67108864] [-agg-max-groups 100000]
+//	             [-cold-cache-bytes 67108864] [-compact-below 0]
+//	             [-segment-format 0] [-agg-max-groups 100000]
 //	             [-max-subscribers 10000]
 //
 // With -live (default) sources pace in real time; with -live=false the
@@ -24,7 +25,10 @@
 // segment write), and a restart recovers everything that was acked.
 // Queries over spilled history go through an LRU of decoded chunks sized
 // by -cold-cache-bytes, so repeated window queries over the same history
-// hit RAM instead of disk.
+// hit RAM instead of disk. A background compactor merges cold files
+// smaller than -compact-below events (or left overlapping by out-of-order
+// spills) into their time-adjacent neighbors; -segment-format pins the
+// cold file format version for downgrade scenarios.
 package main
 
 import (
@@ -66,6 +70,8 @@ func main() {
 		fsync     = flag.String("fsync", "interval", "WAL fsync policy: never, always, interval, or a duration")
 		hotSegs   = flag.Int("hot-segments", warehouse.DefaultHotSegments, "sealed in-memory segments per shard before spilling to disk (negative: never spill)")
 		coldCache = flag.Int64("cold-cache-bytes", warehouse.DefaultColdCacheBytes, "budget for the LRU of decoded cold-segment chunks (negative: disable)")
+		compBelow = flag.Int("compact-below", 0, "merge cold segment files smaller than this many events into neighbors (0: half of -segment-events; negative: disable compaction)")
+		segFormat = flag.Int("segment-format", 0, "cold segment file format version to write (0: latest)")
 		aggGroups = flag.Int("agg-max-groups", warehouse.DefaultAggMaxGroups, "group cardinality bound for /api/warehouse/aggregate")
 		maxSubs   = flag.Int("max-subscribers", server.DefaultMaxSubscribers, "live /api/warehouse/subscribe client cap across all views")
 	)
@@ -109,6 +115,8 @@ func main() {
 		SyncEvery:      syncEvery,
 		HotSegments:    *hotSegs,
 		ColdCacheBytes: *coldCache,
+		CompactBelow:   *compBelow,
+		SegmentFormat:  *segFormat,
 	})
 	if err != nil {
 		log.Fatalf("opening warehouse: %v", err)

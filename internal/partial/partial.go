@@ -73,6 +73,21 @@ func (st *State) ObserveCount(n int64) {
 	st.Count += n
 }
 
+// ObserveStats folds a pre-aggregated batch of n numeric contributions
+// whose sum and extrema are already known — the cold chunk-stats fast path,
+// which absorbs a whole on-disk chunk's field summary without decoding the
+// chunk. A non-positive n is a no-op, so callers can pass an empty summary
+// unconditionally.
+func (st *State) ObserveStats(n int64, sum, min, max float64) {
+	if n <= 0 {
+		return
+	}
+	st.Count += n
+	st.Sum += sum
+	st.Min = math.Min(st.Min, min)
+	st.Max = math.Max(st.Max, max)
+}
+
 // Merge folds another state of the same group into this one. Merging is
 // commutative up to float addition order and associative the same way;
 // integral sums merge bit-exactly in any order.

@@ -202,6 +202,22 @@ func (c Cut) Mark(shard int) ShardMark {
 // worst case of dropping it is bounded resurrection, never loss.
 const maxCuts = 32
 
+// CompactionRecord marks one cold-file compaction durably while its old
+// files still exist: the merged file NewGen has been published and the
+// victim files OldGens are condemned. The record is written after the new
+// file's rename and cleared once every old file is deleted, so recovery can
+// finish the deletions idempotently — without it, a crash between the
+// deletes would leave the merged file and a surviving victim both
+// registered, double-counting every event they share. (A crash *before*
+// the record is written is already safe: the merged file's seqs are a
+// subset of the victims', so recovery detects it as a duplicate and
+// deletes it, harmlessly undoing the compaction.)
+type CompactionRecord struct {
+	Shard   int   `json:"shard"`
+	NewGen  int   `json:"new_gen"`
+	OldGens []int `json:"old_gens"`
+}
+
 // Manifest is the per-data-dir recovery state, saved atomically.
 type Manifest struct {
 	Version int `json:"version"`
@@ -213,6 +229,18 @@ type Manifest struct {
 	// above an older watermark subsumes the older cut, which is pruned).
 	// An event is suppressed at recovery when ANY cut covers it.
 	Cuts []Cut `json:"cuts,omitempty"`
+	// Compactions holds the in-flight cold-file compactions: published
+	// merged files whose victims may not all be deleted yet. Resolved (the
+	// deletions finished) and cleared on recovery before segment files are
+	// registered.
+	Compactions []CompactionRecord `json:"compactions,omitempty"`
+	// MaxSeq is the highest warehouse sequence known assigned when the
+	// manifest was last saved. Recovery seeds its counter past it, so a
+	// sequence is never reassigned even when every trace of its event was
+	// legitimately erased pre-crash (spilled, WAL-checkpointed, then the
+	// whole file deleted by a retention cut): re-deriving the counter from
+	// surviving events alone would regress it and hand out duplicates.
+	MaxSeq uint64 `json:"max_seq,omitempty"`
 
 	// Legacy single-cut fields, read (never written) so manifests from
 	// before the frontier keep recovering.

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -551,5 +552,136 @@ func TestKeyOrder(t *testing.T) {
 	}
 	if (Key{}).Less(Key{}) {
 		t.Fatal("equal keys must not be Less")
+	}
+}
+
+func TestSegmentVersionsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var events []Event
+	for i := 0; i < IndexEvery*2+37; i++ {
+		events = append(events,
+			wEvent(uint64(i+1), time.Duration(i)*time.Second, 15+float64(i%10), fmt.Sprintf("st-%d", i%3)))
+	}
+
+	for _, tc := range []struct {
+		version   int
+		wantStats bool
+	}{
+		{SegmentV1, false},
+		{SegmentV2, true},
+	} {
+		path := filepath.Join(dir, SegmentFileName(tc.version))
+		if _, err := WriteSegmentVersion(path, events, tc.version); err != nil {
+			t.Fatalf("v%d write: %v", tc.version, err)
+		}
+		info, seqs, err := OpenSegment(path)
+		if err != nil {
+			t.Fatalf("v%d open: %v", tc.version, err)
+		}
+		if info.Version != tc.version || info.Count != len(events) || len(seqs) != len(events) {
+			t.Fatalf("v%d: version=%d count=%d seqs=%d", tc.version, info.Version, info.Count, len(seqs))
+		}
+		if info.NumChunks() != 3 {
+			t.Fatalf("v%d: chunks = %d, want 3", tc.version, info.NumChunks())
+		}
+		for k := 0; k < info.NumChunks(); k++ {
+			entry := info.Sparse[k]
+			if (entry.Stats != nil) != tc.wantStats {
+				t.Fatalf("v%d chunk %d: stats = %+v, wantStats = %v", tc.version, k, entry.Stats, tc.wantStats)
+			}
+			if !tc.wantStats {
+				continue
+			}
+			start, end := info.ChunkRange(k)
+			st := entry.Stats
+			// Recompute the expected summary from the source events.
+			wantSrc := map[string]int{}
+			wantSum, wantMin, wantMax := 0.0, math.Inf(1), math.Inf(-1)
+			for _, ev := range events[start:end] {
+				wantSrc[ev.Tuple.Source]++
+				f := 15 + float64((int(ev.Seq)-1)%10)
+				wantSum += f
+				wantMin = math.Min(wantMin, f)
+				wantMax = math.Max(wantMax, f)
+			}
+			if !st.MaxTime.Equal(events[end-1].Tuple.Time) {
+				t.Fatalf("chunk %d max time = %v, want %v", k, st.MaxTime, events[end-1].Tuple.Time)
+			}
+			if len(st.SourceCounts) != len(wantSrc) {
+				t.Fatalf("chunk %d sources = %v, want %v", k, st.SourceCounts, wantSrc)
+			}
+			for src, n := range wantSrc {
+				if st.SourceCounts[src] != n {
+					t.Fatalf("chunk %d source %q = %d, want %d", k, src, st.SourceCounts[src], n)
+				}
+			}
+			if st.ThemeCounts["weather"] != end-start || st.PrimaryThemeCounts["weather"] != end-start {
+				t.Fatalf("chunk %d themes = %v / %v", k, st.ThemeCounts, st.PrimaryThemeCounts)
+			}
+			fs, ok := st.Fields["temperature"]
+			if !ok || fs.NonNull != end-start || fs.Num != end-start {
+				t.Fatalf("chunk %d temperature stats = %+v (present %v)", k, fs, ok)
+			}
+			if fs.Min != wantMin || fs.Max != wantMax || math.Abs(fs.Sum-wantSum) > 1e-9 {
+				t.Fatalf("chunk %d temperature frame = %+v, want sum=%v min=%v max=%v", k, fs, wantSum, wantMin, wantMax)
+			}
+		}
+		// Event payloads must decode identically in both versions.
+		pes, _, err := info.ReadRangeCached(nil, 0, info.Count)
+		if err != nil {
+			t.Fatalf("v%d read: %v", tc.version, err)
+		}
+		if len(pes) != len(events) {
+			t.Fatalf("v%d read %d events, want %d", tc.version, len(pes), len(events))
+		}
+		for i, pe := range pes {
+			if pe.Seq != events[i].Seq {
+				t.Fatalf("v%d event %d seq = %d, want %d", tc.version, i, pe.Seq, events[i].Seq)
+			}
+			sameTuple(t, pe.Tuple, events[i].Tuple)
+		}
+	}
+}
+
+func TestParseSegmentFileName(t *testing.T) {
+	for name, want := range map[string]int{
+		"seg-00000001.seg": 1,
+		"seg-123.seg":      123,
+		"seg-0.seg":        0,
+	} {
+		if got, err := ParseSegmentFileName(name); err != nil || got != want {
+			t.Errorf("%q = %d, %v; want %d", name, got, err, want)
+		}
+	}
+	for _, name := range []string{
+		"seg-.seg",       // no digits
+		"seg-12.seg.seg", // the old Sscanf parse read this as gen 12
+		"seg-12x.seg",    // trailing garbage inside the number
+		"seg-1.2.seg",    // not an integer
+		"12.seg",         // missing prefix
+		"seg-12",         // missing suffix
+		"seg--1.seg",     // sign is garbage, gens are non-negative
+	} {
+		if gen, err := ParseSegmentFileName(name); err == nil {
+			t.Errorf("%q parsed as gen %d, want error", name, gen)
+		}
+	}
+}
+
+func TestListSegmentsRejectsCorruptNames(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSegment(filepath.Join(dir, SegmentFileName(3)), []Event{wEvent(1, 0, 20, "a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, next, err := ListSegments(dir); err != nil || next != 4 {
+		t.Fatalf("clean dir: next=%d err=%v", next, err)
+	}
+	// A mangled name used to be half-parsed (or silently treated as gen 0),
+	// which mis-scopes retention watermarks; now the listing fails loudly.
+	if err := os.WriteFile(filepath.Join(dir, "seg-3extra.seg"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ListSegments(dir); err == nil {
+		t.Fatal("corrupt segment name must fail the listing")
 	}
 }

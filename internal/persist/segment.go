@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,7 +17,7 @@ import (
 
 // Segment file layout:
 //
-//	[8]  magic "SLSEG001"
+//	[8]  magic "SLSEG001" (v1) or "SLSEG002" (v2)
 //	[4]  header length          [4] header CRC32C
 //	[..] header JSON            (counts, keys, dictionaries, sparse index)
 //	[..] seq block              count × 8-byte little-endian warehouse seqs
@@ -27,8 +28,27 @@ import (
 // without touching a payload; the event block is cut into chunks of
 // IndexEvery events, each with its own CRC and byte offset in the sparse
 // index, so a time-window read decodes only the chunks that can overlap.
+//
+// v2 additionally carries per-chunk stats in each sparse-index entry — the
+// chunk's max event time, per-source / per-theme / primary-theme counts and
+// per-field numeric summaries — so aggregate pushdown can answer individual
+// chunks without decoding them. The event block encoding is identical
+// across versions; v1 files keep decoding forever, they just expose no
+// chunk stats.
 
-var segMagic = []byte("SLSEG001")
+var (
+	segMagicV1 = []byte("SLSEG001")
+	segMagicV2 = []byte("SLSEG002")
+)
+
+// Segment format versions WriteSegmentVersion accepts. Latest is what
+// WriteSegment writes; v1 stays writable so mixed-version stores can be
+// constructed deliberately (tests, staged rollouts).
+const (
+	SegmentV1            = 1
+	SegmentV2            = 2
+	SegmentVersionLatest = SegmentV2
+)
 
 // IndexEvery is the sparse-index granule: one index entry (and one CRC'd
 // chunk) per this many events.
@@ -40,6 +60,52 @@ type SparseEntry struct {
 	Time time.Time // that event's time (chunk-local minimum)
 	Off  int64     // byte offset of the chunk within the event block
 	CRC  uint32    // checksum of the chunk's bytes
+	// Stats carries the chunk's aggregate summary in v2 files; nil in v1
+	// files, which disables the per-chunk aggregate fast path (reads are
+	// unaffected).
+	Stats *ChunkStats
+}
+
+// FieldStats summarizes one payload field over one chunk, with exactly the
+// contribution semantics the warehouse aggregate engine uses: NonNull is
+// the COUNT(field) contribution (value present and non-null), and the
+// Num/Sum/Min/Max frame folds the chunk's numeric values so SUM/AVG/MIN/MAX
+// can absorb the whole chunk without decoding it. Min/Max are meaningful
+// only when Num > 0.
+type FieldStats struct {
+	NonNull int
+	Num     int
+	Sum     float64
+	Min     float64
+	Max     float64
+}
+
+// ChunkStats is the per-chunk aggregate summary a v2 sparse-index entry
+// carries. Together with the entry's Time (the chunk's minimum event time)
+// it gives the chunk a full time envelope plus the same count maps the file
+// header carries for the whole segment, one level down.
+type ChunkStats struct {
+	// MaxTime is the chunk's maximum event time (events are (time, seq)
+	// sorted, so this is the last event's time).
+	MaxTime time.Time
+	// SourceCounts counts the chunk's events per source (empty sources
+	// uncounted; the remainder is exactly them).
+	SourceCounts map[string]int
+	// ThemeCounts counts events *matching* each theme — primary tag plus
+	// every schema theme — mirroring the header's matchTheme cardinality.
+	ThemeCounts map[string]int
+	// PrimaryThemeCounts counts events by primary Theme tag alone.
+	PrimaryThemeCounts map[string]int
+	// Fields summarizes each payload field seen in the chunk.
+	Fields map[string]FieldStats
+}
+
+type fieldStatsJSON struct {
+	NonNull int     `json:"nn"`
+	Num     int     `json:"n,omitempty"`
+	Sum     float64 `json:"sum,omitempty"`
+	Min     float64 `json:"min,omitempty"`
+	Max     float64 `json:"max,omitempty"`
 }
 
 type sparseJSON struct {
@@ -48,6 +114,16 @@ type sparseJSON struct {
 	Nanos   int    `json:"nanos"`
 	Off     int64  `json:"off"`
 	CRC     uint32 `json:"crc"`
+
+	// v2 chunk stats; absent from v1 files. Decoding is gated on the file
+	// magic, not on field presence, so a v2 chunk with empty maps still
+	// gets a non-nil ChunkStats.
+	MaxSec   int64                     `json:"max_sec,omitempty"`
+	MaxNanos int                       `json:"max_nanos,omitempty"`
+	Sources  map[string]int            `json:"sources,omitempty"`
+	Themes   map[string]int            `json:"themes,omitempty"`
+	Primary  map[string]int            `json:"primary,omitempty"`
+	Fields   map[string]fieldStatsJSON `json:"fields,omitempty"`
 }
 
 type segHeaderJSON struct {
@@ -71,8 +147,10 @@ type segHeaderJSON struct {
 // envelope, index dictionaries and sparse index — everything queries need
 // to prune, plus what they need to read the overlap when they cannot.
 type SegmentInfo struct {
-	Path  string
-	Count int
+	Path string
+	// Version is the file's format version (SegmentV1 or SegmentV2).
+	Version int
+	Count   int
 	// Head and Tail are the keys of the first and last event in (time,
 	// seq) order; [Head.Time, Tail.Time] is the segment's time envelope.
 	Head, Tail   Key
@@ -108,14 +186,26 @@ func keyFromJSON(j keyJSON) Key {
 
 // WriteSegment writes events — which must already be in (time, seq) order
 // and non-empty — to path via a temp file, fsyncing file and directory
-// before the rename publishes it.
+// before the rename publishes it. It writes the latest format version.
 func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
+	return WriteSegmentVersion(path, events, SegmentVersionLatest)
+}
+
+// WriteSegmentVersion is WriteSegment pinned to an explicit format version:
+// SegmentV2 (the default) carries per-chunk stats in the sparse index,
+// SegmentV1 writes the legacy header so mixed-version stores can be
+// constructed on purpose.
+func WriteSegmentVersion(path string, events []Event, version int) (*SegmentInfo, error) {
+	if version != SegmentV1 && version != SegmentV2 {
+		return nil, fmt.Errorf("persist: unknown segment version %d", version)
+	}
 	if len(events) == 0 {
 		return nil, fmt.Errorf("persist: refusing to write empty segment")
 	}
 	dict := newSchemaDict()
 	info := &SegmentInfo{
 		Path:               path,
+		Version:            version,
 		Count:              len(events),
 		Head:               Key{Time: events[0].Tuple.Time, Seq: events[0].Seq},
 		Tail:               Key{Time: events[len(events)-1].Tuple.Time, Seq: events[len(events)-1].Seq},
@@ -155,6 +245,16 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 	}
 	last := &info.Sparse[len(info.Sparse)-1]
 	last.CRC = checksum(block[last.Off:])
+	if version >= SegmentV2 {
+		for k := range info.Sparse {
+			start := info.Sparse[k].Pos
+			end := len(events)
+			if k+1 < len(info.Sparse) {
+				end = info.Sparse[k+1].Pos
+			}
+			info.Sparse[k].Stats = chunkStatsFor(events[start:end])
+		}
+	}
 	info.schemas = dict.order
 	info.buildDict()
 
@@ -171,18 +271,38 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 		hdr.Schemas = append(hdr.Schemas, encodeSchema(s))
 	}
 	for _, e := range info.Sparse {
-		hdr.Sparse = append(hdr.Sparse, sparseJSON{
+		sj := sparseJSON{
 			Pos: e.Pos, UnixSec: e.Time.Unix(), Nanos: e.Time.Nanosecond(),
 			Off: e.Off, CRC: e.CRC,
-		})
+		}
+		if st := e.Stats; st != nil {
+			sj.MaxSec, sj.MaxNanos = st.MaxTime.Unix(), st.MaxTime.Nanosecond()
+			sj.Sources = st.SourceCounts
+			sj.Themes = st.ThemeCounts
+			sj.Primary = st.PrimaryThemeCounts
+			if len(st.Fields) > 0 {
+				sj.Fields = make(map[string]fieldStatsJSON, len(st.Fields))
+				for name, fs := range st.Fields {
+					sj.Fields[name] = fieldStatsJSON{
+						NonNull: fs.NonNull, Num: fs.Num,
+						Sum: fs.Sum, Min: fs.Min, Max: fs.Max,
+					}
+				}
+			}
+		}
+		hdr.Sparse = append(hdr.Sparse, sj)
 	}
 	hdrBytes, err := json.Marshal(hdr)
 	if err != nil {
 		return nil, err
 	}
 
-	buf := make([]byte, 0, len(segMagic)+8+len(hdrBytes)+8*len(events)+len(block))
-	buf = append(buf, segMagic...)
+	magic := segMagicV1
+	if version >= SegmentV2 {
+		magic = segMagicV2
+	}
+	buf := make([]byte, 0, len(magic)+8+len(hdrBytes)+8*len(events)+len(block))
+	buf = append(buf, magic...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(hdrBytes)))
 	buf = binary.LittleEndian.AppendUint32(buf, checksum(hdrBytes))
 	buf = append(buf, hdrBytes...)
@@ -222,6 +342,55 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 	return info, nil
 }
 
+// chunkStatsFor summarizes one chunk's events (already in (time, seq)
+// order) for the v2 sparse index.
+func chunkStatsFor(events []Event) *ChunkStats {
+	cs := &ChunkStats{
+		MaxTime:            events[len(events)-1].Tuple.Time,
+		SourceCounts:       map[string]int{},
+		ThemeCounts:        map[string]int{},
+		PrimaryThemeCounts: map[string]int{},
+		Fields:             map[string]FieldStats{},
+	}
+	for _, ev := range events {
+		t := ev.Tuple
+		if t.Source != "" {
+			cs.SourceCounts[t.Source]++
+		}
+		if t.Theme != "" {
+			cs.ThemeCounts[t.Theme]++
+			cs.PrimaryThemeCounts[t.Theme]++
+		}
+		for _, theme := range t.Schema.Themes {
+			if theme != t.Theme {
+				cs.ThemeCounts[theme]++
+			}
+		}
+		for i, n := 0, t.Schema.NumFields(); i < n && i < len(t.Values); i++ {
+			v := t.Values[i]
+			if v.IsNull() {
+				continue
+			}
+			name := t.Schema.Field(i).Name
+			fs := cs.Fields[name]
+			fs.NonNull++
+			if v.Kind().Numeric() {
+				f := v.AsFloat()
+				if fs.Num == 0 {
+					fs.Min, fs.Max = f, f
+				} else {
+					fs.Min = math.Min(fs.Min, f)
+					fs.Max = math.Max(fs.Max, f)
+				}
+				fs.Num++
+				fs.Sum += f
+			}
+			cs.Fields[name] = fs
+		}
+	}
+	return cs
+}
+
 // OpenSegment reads a segment file's header and seq block — but no event
 // payloads. The seqs are returned separately so recovery can dedupe WAL
 // records against the file and then let them go.
@@ -236,15 +405,21 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 		return nil, nil, err
 	}
 
-	fixed := make([]byte, len(segMagic)+8)
+	fixed := make([]byte, len(segMagicV1)+8)
 	if _, err := io.ReadFull(f, fixed); err != nil {
 		return nil, nil, fmt.Errorf("persist: %s: short header: %w", path, err)
 	}
-	if string(fixed[:len(segMagic)]) != string(segMagic) {
+	var version int
+	switch string(fixed[:len(segMagicV1)]) {
+	case string(segMagicV1):
+		version = SegmentV1
+	case string(segMagicV2):
+		version = SegmentV2
+	default:
 		return nil, nil, fmt.Errorf("persist: %s: bad magic", path)
 	}
-	hdrLen := int(binary.LittleEndian.Uint32(fixed[len(segMagic):]))
-	hdrCRC := binary.LittleEndian.Uint32(fixed[len(segMagic)+4:])
+	hdrLen := int(binary.LittleEndian.Uint32(fixed[len(segMagicV1):]))
+	hdrCRC := binary.LittleEndian.Uint32(fixed[len(segMagicV1)+4:])
 	if int64(hdrLen) > st.Size() {
 		return nil, nil, fmt.Errorf("persist: %s: header length %d exceeds file", path, hdrLen)
 	}
@@ -262,6 +437,7 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 
 	info := &SegmentInfo{
 		Path:               path,
+		Version:            version,
 		Count:              hdr.Count,
 		Head:               keyFromJSON(hdr.Head),
 		Tail:               keyFromJSON(hdr.Tail),
@@ -284,10 +460,29 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 		info.schemas = append(info.schemas, s)
 	}
 	for _, e := range hdr.Sparse {
-		info.Sparse = append(info.Sparse, SparseEntry{
+		entry := SparseEntry{
 			Pos: e.Pos, Time: time.Unix(e.UnixSec, int64(e.Nanos)).UTC(),
 			Off: e.Off, CRC: e.CRC,
-		})
+		}
+		if version >= SegmentV2 {
+			st := &ChunkStats{
+				MaxTime:            time.Unix(e.MaxSec, int64(e.MaxNanos)).UTC(),
+				SourceCounts:       e.Sources,
+				ThemeCounts:        e.Themes,
+				PrimaryThemeCounts: e.Primary,
+			}
+			if len(e.Fields) > 0 {
+				st.Fields = make(map[string]FieldStats, len(e.Fields))
+				for name, fj := range e.Fields {
+					st.Fields[name] = FieldStats{
+						NonNull: fj.NonNull, Num: fj.Num,
+						Sum: fj.Sum, Min: fj.Min, Max: fj.Max,
+					}
+				}
+			}
+			entry.Stats = st
+		}
+		info.Sparse = append(info.Sparse, entry)
 	}
 
 	seqBytes := make([]byte, 8*hdr.Count)
@@ -298,7 +493,7 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 	for i := range seqs {
 		seqs[i] = binary.LittleEndian.Uint64(seqBytes[8*i:])
 	}
-	info.eventOff = int64(len(segMagic)) + 8 + int64(hdrLen) + int64(8*hdr.Count)
+	info.eventOff = int64(len(segMagicV1)) + 8 + int64(hdrLen) + int64(8*hdr.Count)
 	if info.eventOff+hdr.EventBytes != st.Size() {
 		return nil, nil, fmt.Errorf("persist: %s: event block size mismatch", path)
 	}
@@ -337,6 +532,19 @@ func (si *SegmentInfo) WindowPositions(from, to time.Time) (int, int) {
 		hi = lo
 	}
 	return lo, hi
+}
+
+// NumChunks returns how many chunks the event block is cut into.
+func (si *SegmentInfo) NumChunks() int { return len(si.Sparse) }
+
+// ChunkRange returns chunk k's event-ordinal range [start, end).
+func (si *SegmentInfo) ChunkRange(k int) (start, end int) {
+	start = si.Sparse[k].Pos
+	end = si.Count
+	if k+1 < len(si.Sparse) {
+		end = si.Sparse[k+1].Pos
+	}
+	return start, end
 }
 
 // ReadStats reports how one read was served: chunks found decoded in the
@@ -502,7 +710,10 @@ func (si *SegmentInfo) Remove() error {
 }
 
 // ListSegments returns the segment files in dir in generation order, plus
-// the next free generation number.
+// the next free generation number. A file that wears the .seg suffix but
+// whose name does not parse as a generation is an error, not a skip: its
+// events would otherwise be silently invisible, and a garbled name means
+// something outside this package has touched the directory.
 func ListSegments(dir string) ([]string, int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -521,12 +732,16 @@ func ListSegments(dir string) ([]string, int, error) {
 			os.Remove(filepath.Join(dir, name))
 			continue
 		}
-		var n int
-		if _, err := fmt.Sscanf(name, "seg-%d.seg", &n); err == nil && strings.HasSuffix(name, ".seg") {
-			files = append(files, filepath.Join(dir, name))
-			if n >= next {
-				next = n + 1
-			}
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		n, err := ParseSegmentFileName(name)
+		if err != nil {
+			return nil, 0, err
+		}
+		files = append(files, filepath.Join(dir, name))
+		if n >= next {
+			next = n + 1
 		}
 	}
 	return files, next, nil
@@ -534,3 +749,26 @@ func ListSegments(dir string) ([]string, int, error) {
 
 // SegmentFileName names generation n's segment file.
 func SegmentFileName(n int) string { return fmt.Sprintf("seg-%08d.seg", n) }
+
+// ParseSegmentFileName extracts the generation from a segment file name,
+// strictly: "seg-" + decimal digits + ".seg", nothing more. (Sscanf-style
+// parsing would accept trailing garbage like "seg-12.seg.seg" as gen 12,
+// then apply the wrong retention watermark to the file at recovery.)
+func ParseSegmentFileName(name string) (int, error) {
+	digits, ok := strings.CutPrefix(name, "seg-")
+	if ok {
+		digits, ok = strings.CutSuffix(digits, ".seg")
+	}
+	if !ok || digits == "" {
+		return 0, fmt.Errorf("persist: bad segment file name %q (want seg-<gen>.seg)", name)
+	}
+	n := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("persist: bad segment file name %q (want seg-<gen>.seg)", name)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}

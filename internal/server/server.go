@@ -744,7 +744,10 @@ func aggRowViews(rows []warehouse.AggRow, bucketed bool) []aggRowView {
 // as per-shard, per-segment partial aggregates merged at the top — no event
 // list is materialized, and cold segments whose header stats cover the
 // query never open their event block (the "cold_header_only" counter in
-// "segments" says how many were answered that way). Rows come back sorted
+// "segments" says how many were answered that way). Partially-covered v2
+// cold files answer individual chunks from the per-chunk stats in their
+// sparse index instead of decoding them — "cold_chunk_stats_hits" counts
+// the chunks answered without a read. Rows come back sorted
 // by (bucket, source, theme); &format=ndjson streams one row per line
 // followed by a {"summary":...} line.
 func (s *Server) handleWarehouseAggregate(w http.ResponseWriter, r *http.Request) {

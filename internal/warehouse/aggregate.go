@@ -10,6 +10,7 @@ import (
 	"streamloader/internal/expr"
 	"streamloader/internal/ops"
 	"streamloader/internal/partial"
+	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
 
@@ -285,6 +286,310 @@ func (p *aggPlan) coldHeaderAgg(acc map[partial.Key]*partial.State, cs *coldSegm
 	return true, true
 }
 
+// addStats folds one chunk's field summary into the group map (cold
+// chunk-stats fast path). A summary with no contributing events adds no
+// group — a row exists only when at least one event contributed — so this
+// can be called unconditionally for an answered chunk.
+func (p *aggPlan) addStats(acc map[partial.Key]*partial.State, bs time.Time, source, theme string, fs persist.FieldStats) bool {
+	contrib := fs.Num
+	if p.Func == ops.AggCount {
+		contrib = fs.NonNull
+	}
+	if contrib == 0 {
+		return true
+	}
+	key := partial.BucketKey(time.Time{}, source, theme)
+	if p.Bucket > 0 {
+		key = partial.BucketKey(bs, source, theme)
+	}
+	st := acc[key]
+	if st == nil {
+		if len(acc) >= p.maxGroups {
+			return false
+		}
+		st = partial.New(bs)
+		acc[key] = st
+	}
+	if p.Func == ops.AggCount {
+		st.ObserveCount(int64(fs.NonNull))
+	} else {
+		st.ObserveStats(int64(fs.Num), fs.Sum, fs.Min, fs.Max)
+	}
+	return true
+}
+
+// coldChunkAgg extends the header fast path one level down: a v2 cold
+// segment the header could not answer whole is walked chunk by chunk, and
+// every chunk whose sparse-index stats fully determine its contribution is
+// folded without being decoded. A chunk is stats-answerable when it is
+// wholly live (no retention skip inside it), its [min, max] time envelope
+// lands inside the query window and — under bucketing — in one bucket, and
+// the filter/grouping can be resolved from the chunk's count maps: a bare
+// COUNT folds per-source or per-theme counts exactly like the header path;
+// a field aggregate needs every chunk event to pass the filter and a
+// uniform group key, and then folds the chunk's per-field Num/Sum/Min/Max
+// frame. A chunk the filter provably rejects outright (no matching source
+// or theme present) is skipped without a read — also a stats answer. The
+// chunks in between decode exactly as before, in contiguous runs through
+// the chunk cache, preserving fold order so results are identical to the
+// decode-everything path. Returns handled=false when the per-chunk walk
+// does not apply at all (v1 file, Region or Cond present) and the caller
+// must fall back to the full window read.
+func (p *aggPlan) coldChunkAgg(acc map[partial.Key]*partial.State, cs *coldSegment, sc *segScan) (bool, error) {
+	info := cs.info
+	if cs.loaded != nil || p.Region != nil || p.Cond != "" ||
+		info.NumChunks() == 0 || info.Sparse[0].Stats == nil {
+		return false, nil
+	}
+	lo, hi := info.WindowPositions(p.From, p.To)
+	if lo < cs.skip {
+		lo = cs.skip
+	}
+	if lo >= hi {
+		return true, nil
+	}
+	// flush decodes one pending run of event ordinals and filters exactly.
+	flush := func(a, b int) error {
+		if a >= b {
+			return nil
+		}
+		pes, rs, err := info.ReadRangeCached(cs.cache, a, b)
+		if err != nil {
+			return err
+		}
+		sc.cacheHits += rs.CacheHits
+		sc.cacheMisses += rs.CacheMisses
+		for _, pe := range pes {
+			ev := Event{Seq: pe.Seq, Tuple: pe.Tuple}
+			match, err := matchEvent(ev, p.Query, nil) // Cond is empty here
+			if err != nil {
+				return err
+			}
+			if match && !p.accumulate(acc, ev.Tuple) {
+				return errAggGroups
+			}
+		}
+		return nil
+	}
+	runStart := -1
+	for k := 0; k < info.NumChunks(); k++ {
+		start, end := info.ChunkRange(k)
+		if end <= lo {
+			continue
+		}
+		if start >= hi {
+			break
+		}
+		answered, ok := p.chunkAgg(acc, cs, k, start, end)
+		if !ok {
+			return false, errAggGroups
+		}
+		if answered {
+			if runStart >= 0 {
+				if err := flush(runStart, start); err != nil {
+					return false, err
+				}
+				runStart = -1
+			}
+			sc.chunkStats++
+			continue
+		}
+		if runStart < 0 {
+			runStart = max(start, lo)
+		}
+	}
+	if runStart >= 0 {
+		if err := flush(runStart, hi); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// chunkAgg tries to fold chunk k (event ordinals [start, end)) from its
+// stats alone. The first return says whether the chunk was answered — which
+// includes proving it contributes nothing — and the second is false only on
+// group-cardinality overflow.
+func (p *aggPlan) chunkAgg(acc map[partial.Key]*partial.State, cs *coldSegment, k, start, end int) (bool, bool) {
+	st := cs.info.Sparse[k].Stats
+	if st == nil || start < cs.skip {
+		return false, true
+	}
+	minTime := cs.info.Sparse[k].Time
+	if !p.From.IsZero() && minTime.Before(p.From) {
+		return false, true
+	}
+	if !p.To.IsZero() && !st.MaxTime.Before(p.To) {
+		return false, true
+	}
+	var bs time.Time
+	if p.Bucket > 0 {
+		hb, tb := minTime.Truncate(p.Bucket), st.MaxTime.Truncate(p.Bucket)
+		if !hb.Equal(tb) {
+			return false, true
+		}
+		bs = hb
+	}
+	n := end - start
+
+	// Resolve the source filter against the chunk: srcMatched is the exact
+	// number of chunk events passing it (always computable — per-source
+	// counts partition the chunk).
+	srcMatched, srcNamed := n, 0
+	if len(p.Sources) > 0 {
+		srcMatched = 0
+		for src, c := range st.SourceCounts {
+			srcNamed += c
+			if containsString(p.Sources, src) {
+				srcMatched += c
+			}
+		}
+		if containsString(p.Sources, "") {
+			srcMatched += n - srcNamed
+		}
+		if srcMatched == 0 {
+			return true, true // provably no match: skip without a read
+		}
+	}
+	srcFull := srcMatched == n
+
+	// Resolve the theme filter: thMatched is exact for a single-theme
+	// filter, and for several themes only the all-or-nothing cases resolve
+	// (matchTheme counts overlap, so a partial union is unknowable).
+	thMatched := n
+	if len(p.Themes) > 0 {
+		allZero, full := true, false
+		for _, th := range p.Themes {
+			c := st.ThemeCounts[th]
+			if c > 0 {
+				allZero = false
+			}
+			if c == n {
+				full = true
+			}
+		}
+		switch {
+		case allZero:
+			return true, true // provably no match
+		case full:
+			thMatched = n
+		case len(p.Themes) == 1:
+			thMatched = st.ThemeCounts[p.Themes[0]]
+		default:
+			return false, true
+		}
+	}
+	thFull := thMatched == n
+
+	if p.bareCount {
+		switch {
+		case p.groupSource && p.groupTheme:
+			return false, true // no source×theme cross in the stats
+		case p.groupSource:
+			if !thFull {
+				return false, true
+			}
+			for src, c := range st.SourceCounts {
+				if len(p.Sources) > 0 && !containsString(p.Sources, src) {
+					continue
+				}
+				if !p.add(acc, bs, src, "", int64(c)) {
+					return true, false
+				}
+			}
+			if rem := n - sumCounts(st.SourceCounts); rem > 0 && (len(p.Sources) == 0 || containsString(p.Sources, "")) {
+				if !p.add(acc, bs, "", "", int64(rem)) {
+					return true, false
+				}
+			}
+			return true, true
+		case p.groupTheme:
+			if !srcFull || !thFull {
+				return false, true
+			}
+			named := 0
+			for th, c := range st.PrimaryThemeCounts {
+				named += c
+				if !p.add(acc, bs, "", th, int64(c)) {
+					return true, false
+				}
+			}
+			if rem := n - named; rem > 0 {
+				if !p.add(acc, bs, "", "", int64(rem)) {
+					return true, false
+				}
+			}
+			return true, true
+		default:
+			// No grouping: one of the filters must be exactly resolvable.
+			var m int
+			switch {
+			case srcFull:
+				m = thMatched
+			case thFull:
+				m = srcMatched
+			default:
+				return false, true
+			}
+			if m > 0 && !p.add(acc, bs, "", "", int64(m)) {
+				return true, false
+			}
+			return true, true
+		}
+	}
+
+	// Field aggregates: the whole chunk must contribute (any filtered-out
+	// event would poison the pre-aggregated frame) under a uniform group key.
+	if !srcFull || !thFull {
+		return false, true
+	}
+	source, theme := "", ""
+	if p.groupSource {
+		src, uniform := uniformKey(st.SourceCounts, n)
+		if !uniform {
+			return false, true
+		}
+		source = src
+	}
+	if p.groupTheme {
+		th, uniform := uniformKey(st.PrimaryThemeCounts, n)
+		if !uniform {
+			return false, true
+		}
+		theme = th
+	}
+	if !p.addStats(acc, bs, source, theme, st.Fields[p.Field]) {
+		return true, false
+	}
+	return true, true
+}
+
+// sumCounts totals a count map.
+func sumCounts(m map[string]int) int {
+	n := 0
+	for _, c := range m {
+		n += c
+	}
+	return n
+}
+
+// uniformKey reports whether every one of n events carries the same key in
+// a partitioning count map — one entry covering all n, or no entry at all
+// (every event carries the empty key).
+func uniformKey(m map[string]int, n int) (string, bool) {
+	if len(m) == 0 {
+		return "", true
+	}
+	if len(m) == 1 {
+		for k, c := range m {
+			if c == n {
+				return k, true
+			}
+		}
+	}
+	return "", false
+}
+
 // rowsFromPartials builds the sorted output rows from a merged group map.
 // Shared by the one-shot Aggregate path and materialized-view snapshots, so
 // both produce identical rows for identical partials.
@@ -343,6 +648,10 @@ func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
 		qs.ColdCacheHits += sc.cacheHits
 		qs.ColdCacheMisses += sc.cacheMisses
 		qs.ColdHeaderOnly += sc.headerOnly
+		qs.ColdChunkStats += sc.chunkStats
+	}
+	if qs.ColdChunkStats > 0 {
+		w.chunkStatsHits.Add(uint64(qs.ColdChunkStats))
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -392,6 +701,13 @@ func (s *shard) aggLocked(p *aggPlan) (map[partial.Key]*partial.State, segScan, 
 				return nil, sc, errAggGroups
 			}
 			sc.headerOnly++
+			continue
+		}
+		handled, err := p.coldChunkAgg(acc, cs, &sc)
+		if err != nil {
+			return nil, sc, err
+		}
+		if handled {
 			continue
 		}
 		evs, rs, err := cs.readWindow(p.From, p.To)

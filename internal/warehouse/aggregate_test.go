@@ -346,3 +346,150 @@ func TestAggregateHeterogeneousSchemas(t *testing.T) {
 		t.Fatalf("count(field) = %+v, want 2", rows)
 	}
 }
+
+// aggChunkPair loads identical events into a durable warehouse whose cold
+// files span several 256-event chunks (so the v2 per-chunk stats path has
+// chunks to answer) and an in-memory twin. Compaction is disabled to keep
+// the file layout deterministic.
+func aggChunkPair(t *testing.T, format, n int) (cold, hot *Warehouse) {
+	t.Helper()
+	cold, err := Open(Config{
+		Shards: 1, SegmentEvents: 4 * persist.IndexEvery, SegmentSpan: 240 * time.Hour,
+		DataDir: t.TempDir(), HotSegments: 1, Sync: persist.SyncNever,
+		SegmentFormat: format, CompactBelow: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cold.Close() })
+	hot = NewWithConfig(Config{Shards: 1, SegmentEvents: 4 * persist.IndexEvery, SegmentSpan: 240 * time.Hour})
+	for i := 0; i < n; i++ {
+		tup := wTuple(time.Duration(i)*time.Minute, float64(10+i%25),
+			fmt.Sprintf("src-%d", i%4), 34.4+float64(i%10)*0.01, 135.2+float64(i%10)*0.01)
+		if err := cold.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+		if err := hot.Append(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold.DrainSpills()
+	if cold.Stats().SegmentsCold == 0 {
+		t.Fatal("nothing spilled")
+	}
+	return cold, hot
+}
+
+// chunkStatsQueries are aggregates the file header cannot answer (numeric
+// functions, partial windows) but whole chunks can.
+func chunkStatsQueries() map[string]AggQuery {
+	return map[string]AggQuery{
+		"sum":         {Func: ops.AggSum, Field: "temperature"},
+		"avg":         {Func: ops.AggAvg, Field: "temperature"},
+		"min":         {Func: ops.AggMin, Field: "temperature"},
+		"count all":   {Func: ops.AggCount, Query: Query{From: t0.Add(3 * time.Hour), To: t0.Add(70 * time.Hour)}},
+		"sum window":  {Func: ops.AggSum, Field: "temperature", Query: Query{From: t0.Add(3 * time.Hour), To: t0.Add(70 * time.Hour)}},
+		"wide bucket": {Func: ops.AggSum, Field: "temperature", Bucket: 24 * 365 * time.Hour},
+	}
+}
+
+// chunkFallbackQueries are aggregates whole chunks cannot answer — a source
+// filter under a field aggregate needs per-event matching, group-by-source
+// needs single-source chunks — so they decode (or use the file header) and
+// must still be exact.
+func chunkFallbackQueries() map[string]AggQuery {
+	return map[string]AggQuery{
+		"sum by source": {Func: ops.AggSum, Field: "temperature", GroupBy: []string{"source"}},
+		"sum one source": {Func: ops.AggSum, Field: "temperature",
+			Query: Query{Sources: []string{"src-1"}}},
+		"count one source": {Func: ops.AggCount, Query: Query{Sources: []string{"src-2"}}},
+	}
+}
+
+// TestAggregateChunkStatsFastPath: v2 cold files answer chunks of
+// partially-covered aggregates from sparse-index stats — identically to the
+// in-memory twin and to the forced decode path.
+func TestAggregateChunkStatsFastPath(t *testing.T) {
+	cold, hot := aggChunkPair(t, persist.SegmentV2, 13*persist.IndexEvery)
+	for name, q := range chunkStatsQueries() {
+		rows, qs, err := cold.Aggregate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if qs.ColdChunkStats == 0 {
+			t.Errorf("%s: no chunk answered from stats (%+v)", name, qs)
+		}
+		if diff := diffAggRows(rows, aggRows(t, hot, q)); diff != "" {
+			t.Errorf("%s vs in-memory: %s", name, diff)
+		}
+		// A Region covering everything forces full decode without changing
+		// the result set; rows must be byte-identical.
+		slow := q
+		slow.Region = allRegion()
+		slowRows, sqs, err := cold.Aggregate(slow)
+		if err != nil {
+			t.Fatalf("%s slow: %v", name, err)
+		}
+		if sqs.ColdChunkStats != 0 {
+			t.Errorf("%s: region query still took the chunk-stats path", name)
+		}
+		if diff := diffAggRows(rows, slowRows); diff != "" {
+			t.Errorf("%s fast vs slow: %s", name, diff)
+		}
+	}
+	for name, q := range chunkFallbackQueries() {
+		rows, _, err := cold.Aggregate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if diff := diffAggRows(rows, aggRows(t, hot, q)); diff != "" {
+			t.Errorf("%s vs in-memory: %s", name, diff)
+		}
+	}
+	if cold.Stats().ColdChunkStatsHits == 0 {
+		t.Error("warehouse counter did not accumulate chunk-stats hits")
+	}
+}
+
+// TestAggregateChunkStatsV1Files: the same store written in the v1 format
+// answers every query identically — just without the chunk fast path.
+func TestAggregateChunkStatsV1Files(t *testing.T) {
+	cold, hot := aggChunkPair(t, persist.SegmentV1, 13*persist.IndexEvery)
+	for name, q := range chunkStatsQueries() {
+		rows, qs, err := cold.Aggregate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if qs.ColdChunkStats != 0 {
+			t.Errorf("%s: v1 files cannot answer chunks from stats (%+v)", name, qs)
+		}
+		if diff := diffAggRows(rows, aggRows(t, hot, q)); diff != "" {
+			t.Errorf("%s vs in-memory: %s", name, diff)
+		}
+	}
+}
+
+// TestAggregateChunkStatsAfterRetention: a logically-trimmed cold file only
+// answers wholly-live chunks from stats; the straddling chunk decodes. The
+// results stay exact.
+func TestAggregateChunkStatsAfterRetention(t *testing.T) {
+	cold, _ := aggChunkPair(t, persist.SegmentV2, 13*persist.IndexEvery)
+	cold.SetRetention(8 * persist.IndexEvery)
+	q := AggQuery{Func: ops.AggSum, Field: "temperature"}
+	slow := q
+	slow.Region = allRegion()
+	want, _, err := cold.Aggregate(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, qs, err := cold.Aggregate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.ColdChunkStats == 0 {
+		t.Fatalf("no chunk-stats answers after retention (%+v)", qs)
+	}
+	if diff := diffAggRows(got, want); diff != "" {
+		t.Fatal(diff)
+	}
+}

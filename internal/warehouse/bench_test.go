@@ -748,3 +748,69 @@ func BenchmarkViewFanout(b *testing.B) {
 		b.ReportMetric(float64(p99.Nanoseconds()), "append-p99-ns")
 	})
 }
+
+// BenchmarkAggregatePartialCover measures the v2 per-chunk stats pushdown:
+// a SUM over a window that partially covers the spilled history, so the
+// file-header fast path never applies (numeric aggregate) and the file is
+// never wholly inside the window. v1 files must decode every overlapping
+// chunk; v2 files answer wholly-covered chunks from the sparse-index stats
+// and decode only the boundary chunks — chunk-decodes/op is the acceptance
+// metric (>= 5x fewer on v2). The cold cache is disabled so every decode
+// pays its real cost.
+func BenchmarkAggregatePartialCover(b *testing.B) {
+	const n = 100_000 // ~28h of second-spaced events
+	q := AggQuery{Func: ops.AggSum, Field: "temperature",
+		Query: Query{From: t0.Add(2 * time.Hour), To: t0.Add(20 * time.Hour)}}
+	decodesPerOp := map[string]float64{}
+	for _, ver := range []struct {
+		name   string
+		format int
+	}{
+		{"v1", persist.SegmentV1},
+		{"v2", persist.SegmentV2},
+	} {
+		b.Run(ver.name, func(b *testing.B) {
+			w, err := Open(Config{
+				Shards: 4, SegmentEvents: 4 * persist.IndexEvery, SegmentSpan: 24 * time.Hour,
+				DataDir: b.TempDir(), HotSegments: 1, Sync: persist.SyncNever,
+				ColdCacheBytes: -1, SegmentFormat: ver.format, CompactBelow: -1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			benchLoadColdable(b, w, n)
+			w.DrainSpills()
+			if w.Stats().SegmentsCold == 0 {
+				b.Fatal("nothing spilled")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var chunkReads, statsChunks int
+			for i := 0; i < b.N; i++ {
+				rows, qs, err := w.Aggregate(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) == 0 {
+					b.Fatal("empty aggregate")
+				}
+				chunkReads += qs.ColdCacheHits + qs.ColdCacheMisses
+				statsChunks += qs.ColdChunkStats
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			b.ReportMetric(float64(chunkReads)/float64(b.N), "chunk-decodes/op")
+			b.ReportMetric(float64(statsChunks)/float64(b.N), "stats-chunks/op")
+			decodesPerOp[ver.name] = float64(chunkReads) / float64(b.N)
+			// Acceptance (when both sub-benchmarks run): v2 must decode
+			// at least 5x fewer chunks than v1 on the same layout.
+			if v1, ok := decodesPerOp["v1"]; ok && ver.name == "v2" {
+				v2 := decodesPerOp["v2"]
+				if v2 > 0 && v1/v2 < 5 {
+					b.Fatalf("v2 decodes %.1f chunks/op vs v1's %.1f — under the 5x bar", v2, v1)
+				}
+			}
+		})
+	}
+}

@@ -41,6 +41,11 @@ type coldSegment struct {
 	// compaction needs per-event keys; it is released when the compaction
 	// is done with it.
 	loaded []Event
+
+	// compacting marks the segment as a victim of an in-flight background
+	// file compaction, so overlapping picks don't merge it twice. Queries
+	// ignore the flag: the file stays live until the swap.
+	compacting bool
 }
 
 // newColdSegment wraps a freshly written or reopened segment file. The

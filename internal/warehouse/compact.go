@@ -1,0 +1,376 @@
+package warehouse
+
+import (
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"streamloader/internal/persist"
+)
+
+// compactor is the per-warehouse background cold-file compactor. Retention
+// trims and out-of-order side-segment spills leave behind small,
+// time-overlapping cold files that prune poorly and multiply per-query
+// header checks; the compactor merges runs of such time-adjacent files into
+// one well-pruning neighbor, using the spiller's discipline — select and
+// validate under the shard lock, do the file I/O with no lock held, swap
+// briefly under the lock — so queries see identical results before, during
+// and after a compaction.
+//
+// Crash safety leans on one manifest record per rewrite. Until the merged
+// file is published, nothing has changed on disk. Once it is published but
+// before the CompactionRecord lands in the manifest, the merged file's
+// seqs are a subset of its victims', so recovery detects it as a duplicate
+// and deletes it — the compaction is harmlessly undone. After the record
+// lands, recovery finishes the victim deletions instead (they are
+// idempotent), so no interleaving of crash and deletion can register the
+// same event twice.
+type compactor struct {
+	w *Warehouse
+	// below is the live-event count under which a cold file is "small";
+	// maxOut caps the merged file's events so compaction cannot build an
+	// ever-growing mega-file.
+	below  int
+	maxOut int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*shard
+	queued   map[*shard]bool
+	inFlight int
+	closed   bool
+
+	// aborted is the crash switch, mirroring the spiller's: the worker
+	// stops at its next checkpoint, leaving whatever on-disk state the
+	// "crash" produced for recovery to sort out. CloseHard sets it.
+	aborted atomic.Bool
+
+	wg sync.WaitGroup
+}
+
+// maxCompactFiles bounds how many cold files one rewrite merges, keeping
+// each compaction's read-merge-write bounded in memory and time.
+const maxCompactFiles = 8
+
+func newCompactor(w *Warehouse, below, segmentEvents int) *compactor {
+	c := &compactor{w: w, below: below, maxOut: 2 * segmentEvents, queued: map[*shard]bool{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// start launches the worker; separate from construction so Open can finish
+// recovery before any shard is shared with a goroutine.
+func (c *compactor) start() {
+	c.wg.Add(1)
+	go c.loop()
+}
+
+// enqueue marks a shard for a compaction check. Cheap and idempotent — the
+// worker re-derives the actual candidates under the shard lock.
+func (c *compactor) enqueue(s *shard) {
+	c.mu.Lock()
+	if !c.queued[s] && !c.closed && !c.aborted.Load() {
+		c.queued[s] = true
+		c.queue = append(c.queue, s)
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+func (c *compactor) loop() {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed && !c.aborted.Load() {
+			c.cond.Wait()
+		}
+		if c.aborted.Load() || (c.closed && len(c.queue) == 0) {
+			c.mu.Unlock()
+			return
+		}
+		s := c.queue[0]
+		c.queue[0] = nil
+		c.queue = c.queue[1:]
+		delete(c.queued, s)
+		c.inFlight++
+		c.mu.Unlock()
+
+		// A merge can expose another mergeable run (the merged file may
+		// itself still be small); keep going until the shard is settled.
+		for c.w.compactShardOnce(s) && !c.aborted.Load() {
+		}
+
+		c.mu.Lock()
+		c.inFlight--
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// close drains the queue and stops the worker. Idempotent.
+func (c *compactor) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// abort stops the worker as a crash would: queued checks are dropped and an
+// in-flight rewrite stops at its next checkpoint, possibly leaving a
+// published merged file with no manifest record — exactly the state a kill
+// there leaves — for recovery to undo. Idempotent.
+func (c *compactor) abort() {
+	c.aborted.Store(true)
+	c.mu.Lock()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// drain blocks until the queue is empty and no compaction is in flight.
+func (c *compactor) drain() {
+	c.mu.Lock()
+	for (len(c.queue) > 0 || c.inFlight > 0) && !c.aborted.Load() {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// maybeCompactCold nudges the compactor about a shard whose cold list just
+// changed (a spill landed, retention trimmed). No-op when compaction is
+// disabled or the warehouse is in-memory.
+func (w *Warehouse) maybeCompactCold(s *shard) {
+	if w.compact != nil {
+		w.compact.enqueue(s)
+	}
+}
+
+// CompactNow enqueues every shard for a compaction check and waits for the
+// compactor to go idle — tests and the model checker use it to reach a
+// settled file layout. Queries need no such barrier. No-op for an
+// in-memory warehouse or when compaction is disabled.
+func (w *Warehouse) CompactNow() {
+	if w.compact == nil {
+		return
+	}
+	for _, s := range w.shards {
+		w.compact.enqueue(s)
+	}
+	w.compact.drain()
+}
+
+// compactSnap pins one victim's identity at selection time; the swap
+// validates against it so a segment retention touched mid-rewrite (its
+// skip or count moved) aborts the compaction instead of resurrecting
+// evicted events.
+type compactSnap struct {
+	cs    *coldSegment
+	skip  int
+	count int
+}
+
+// pickCompactionLocked selects the next run of cold segments worth merging:
+// at least two time-adjacent segments (ordered by live head key) where each
+// join is justified — one side is small, or the next segment's envelope
+// overlaps the previous one's (an out-of-order side spill) — capped at
+// maxCompactFiles files and maxOut merged events. Caller holds the shard
+// lock.
+func (s *shard) pickCompactionLocked(below, maxOut int) []compactSnap {
+	if len(s.cold) < 2 {
+		return nil
+	}
+	order := make([]*coldSegment, len(s.cold))
+	copy(order, s.cold)
+	sort.Slice(order, func(i, j int) bool { return order[i].head.Less(order[j].head) })
+	eligible := func(cs *coldSegment) bool { return !cs.compacting && cs.loaded == nil }
+	small := func(cs *coldSegment) bool { return cs.count < below }
+	for i := 0; i+1 < len(order); i++ {
+		if !eligible(order[i]) {
+			continue
+		}
+		run := []*coldSegment{order[i]}
+		total := order[i].count
+		for j := i + 1; j < len(order) && len(run) < maxCompactFiles; j++ {
+			cs := order[j]
+			prev := run[len(run)-1]
+			if !eligible(cs) || total+cs.count > maxOut {
+				break
+			}
+			if !small(prev) && !small(cs) && cs.head.Time.After(prev.tail.Time) {
+				break
+			}
+			run = append(run, cs)
+			total += cs.count
+		}
+		if len(run) >= 2 {
+			snaps := make([]compactSnap, len(run))
+			for k, cs := range run {
+				snaps[k] = compactSnap{cs: cs, skip: cs.skip, count: cs.count}
+			}
+			return snaps
+		}
+	}
+	return nil
+}
+
+// compactShardOnce runs at most one compaction on the shard, returning
+// whether it rewrote anything: pick and mark victims under the lock, read
+// and merge their live events and write the merged file with no lock held,
+// then validate-record-swap. Any validation failure or I/O error abandons
+// the rewrite with the store untouched.
+func (w *Warehouse) compactShardOnce(s *shard) bool {
+	s.mu.Lock()
+	snaps := s.pickCompactionLocked(w.compact.below, w.compact.maxOut)
+	if len(snaps) < 2 {
+		s.mu.Unlock()
+		return false
+	}
+	for _, sn := range snaps {
+		sn.cs.compacting = true
+	}
+	gen := s.nextSegGen
+	s.nextSegGen++
+	path := filepath.Join(s.dir, persist.SegmentFileName(gen))
+	s.mu.Unlock()
+
+	release := func() {
+		s.mu.Lock()
+		for _, sn := range snaps {
+			sn.cs.compacting = false
+		}
+		s.mu.Unlock()
+	}
+	if w.compact.aborted.Load() {
+		return false // crash before any I/O: nothing changed
+	}
+
+	// The victims' files are immutable, so their live suffixes read safely
+	// with no lock held. Each file is already (time, seq) sorted; the merge
+	// re-sorts the concatenation.
+	var events []persist.Event
+	oldGens := make([]int, 0, len(snaps))
+	for _, sn := range snaps {
+		g, err := persist.ParseSegmentFileName(filepath.Base(sn.cs.info.Path))
+		if err != nil {
+			release()
+			return false
+		}
+		oldGens = append(oldGens, g)
+		pes, _, err := sn.cs.info.ReadRangeCached(nil, sn.skip, sn.cs.info.Count)
+		if err != nil {
+			release()
+			return false
+		}
+		events = append(events, pes...)
+	}
+	persist.SortEvents(events)
+
+	info, err := persist.WriteSegmentVersion(path, events, w.segVersion)
+	if err != nil {
+		release()
+		return false
+	}
+	if w.compact.aborted.Load() {
+		// Crash after publication, before the record: the merged file is an
+		// exact duplicate of its victims' live events, which recovery
+		// detects by seq and deletes.
+		return false
+	}
+	return w.installCompaction(s, snaps, info, gen, oldGens)
+}
+
+// installCompaction swaps the merged file in for its victims: validate the
+// victims unchanged, record the rewrite in the manifest, replace them in
+// the cold list and delete their files, then clear the record. retMu
+// serializes this against retention compactions, which take every shard
+// lock under it.
+func (w *Warehouse) installCompaction(s *shard, snaps []compactSnap, info *persist.SegmentInfo, gen int, oldGens []int) bool {
+	w.retMu.Lock()
+	defer w.retMu.Unlock()
+	s.mu.Lock()
+
+	valid := true
+	for _, sn := range snaps {
+		if sn.cs.skip != sn.skip || sn.cs.count != sn.count || !s.containsColdLocked(sn.cs) {
+			valid = false
+			break
+		}
+	}
+	abandon := func() {
+		for _, sn := range snaps {
+			sn.cs.compacting = false
+		}
+		s.mu.Unlock()
+		_ = info.Remove()
+	}
+	if !valid {
+		abandon()
+		return false
+	}
+
+	// Record the rewrite before deleting anything: once victims start
+	// disappearing, only the record lets recovery tell "merged file plus
+	// surviving victim" from two live files.
+	rec := persist.CompactionRecord{Shard: s.idx, NewGen: gen, OldGens: oldGens}
+	w.pers.manifest.Compactions = append(w.pers.manifest.Compactions, rec)
+	w.stampMaxSeq()
+	if err := persist.SaveManifest(w.pers.dir, w.pers.manifest); err != nil {
+		w.pers.manifest.Compactions = w.pers.manifest.Compactions[:len(w.pers.manifest.Compactions)-1]
+		abandon()
+		return false
+	}
+
+	newCS := newColdSegment(info, w.coldCache)
+	isVictim := make(map[*coldSegment]bool, len(snaps))
+	for _, sn := range snaps {
+		isVictim[sn.cs] = true
+	}
+	kept := make([]*coldSegment, 0, len(s.cold)-len(snaps)+1)
+	placed := false
+	for _, cs := range s.cold {
+		if isVictim[cs] {
+			if !placed {
+				kept = append(kept, newCS)
+				placed = true
+			}
+			continue
+		}
+		kept = append(kept, cs)
+	}
+	s.cold = kept
+	var oldBytes int64
+	for _, sn := range snaps {
+		oldBytes += sn.cs.info.Bytes
+		_ = sn.cs.info.Remove() // a failed delete is finished at next Open via the record
+		sn.cs.cache.Invalidate(sn.cs.info.Path)
+	}
+	w.coldBytes.Add(info.Bytes - oldBytes)
+	w.compactions.Add(1)
+	w.segsCompacted.Add(uint64(len(snaps)))
+	s.mu.Unlock()
+
+	// Victims are gone; retire the record. A failed save just means the
+	// next Open re-runs the (idempotent) deletions.
+	recs := w.pers.manifest.Compactions
+	for i := range recs {
+		if recs[i].Shard == rec.Shard && recs[i].NewGen == rec.NewGen {
+			w.pers.manifest.Compactions = append(recs[:i], recs[i+1:]...)
+			break
+		}
+	}
+	_ = persist.SaveManifest(w.pers.dir, w.pers.manifest)
+	return true
+}
+
+// containsColdLocked reports whether cs is still one of the shard's cold
+// segments. Caller holds the lock.
+func (s *shard) containsColdLocked(cs *coldSegment) bool {
+	for _, c := range s.cold {
+		if c == cs {
+			return true
+		}
+	}
+	return false
+}

@@ -70,6 +70,26 @@
 // indistinguishable, crash/reopen included; QueryStats.ColdHeaderOnly
 // counts the segments answered header-only per query.
 //
+// Format-v2 segment files (the default; Config.SegmentFormat pins v1 for
+// downgrade scenarios) push the same idea below the file: each sparse-index
+// entry carries per-chunk stats — the chunk's max event time, per-source,
+// per-theme and primary-theme counts, and per-field non-null/numeric
+// counts, sum, min and max. A partially-covered v2 file answers each
+// wholly-live chunk whose [start, max] time envelope sits inside the query
+// window (and, under bucketing, inside one bucket) from those stats alone,
+// under the header path's strictness rules applied per chunk — field
+// aggregates additionally require the chunk unconstrained by source and
+// theme filters and, under grouping, a single group key across the chunk.
+// Only the boundary chunks the stats cannot settle are decoded, and chunks
+// are folded in file order with stats-answered chunks and decoded runs
+// interleaved exactly where they lie, so the result stays byte-identical
+// to a full decode (the model checker alternates v1 and v2 files in one
+// store to prove it). QueryStats.ColdChunkStats and the warehouse-level
+// cold_chunk_stats_hits counter count chunks answered without a read;
+// BenchmarkAggregatePartialCover shows a partially-covering SUM decoding
+// 32x fewer chunks on v2 than v1. v1 files keep decoding as before —
+// the event-block encoding is identical, only the index entries differ.
+//
 // # Retention
 //
 // SetRetention bounds the store; when exceeded, the globally-oldest events
@@ -180,6 +200,33 @@
 // checkpoint. No acked event is lost or duplicated in any interleaving —
 // the model checker's CrashMidSpill op exercises exactly this window.
 //
+// # Background compaction
+//
+// Side spills of straggler segments and retention trims leave shards with
+// small or time-overlapping cold files, which tax every query's pruning
+// pass and defeat envelope-based fast paths. A per-warehouse background
+// compactor (Config.CompactBelow — the file size in events below which a
+// file wants merging; 0 means SegmentEvents/2, negative disables) watches
+// each shard after spills and retention cuts. It picks runs of
+// time-adjacent cold files where every neighbor join is justified — one
+// side under the threshold, or envelopes overlapping — capped at 8 input
+// files and 2x SegmentEvents output events, and merges each run into one
+// sorted file under the spiller's write→validate→swap discipline: live
+// events only (logical skips are dropped for good) are read and written
+// off-lock under a freshly reserved generation, then the shard lock is
+// retaken to revalidate every victim (retention touched one in flight →
+// the merged file is deleted and the merge abandoned) before the swap.
+// Crash safety hinges on a manifest CompactionRecord written before the
+// victim files are deleted and retired after: recovery finding a record
+// with the merged file on disk deletes whatever victims survive
+// (idempotent across repeated crashes), while a crash before the record
+// leaves the merged file to be caught by the normal duplicate-sequence
+// pass and deleted, un-doing the compaction wholesale. Either way exactly
+// one copy of every event remains. The model checker injects CompactNow
+// between ops to prove compaction observationally invisible under crashes,
+// reopens and retention. Stats counts compactions and segments_compacted;
+// CompactNow runs a synchronous pass for tests and tooling.
+//
 // # The cold-read chunk cache
 //
 // Cold reads go through a warehouse-wide LRU of decoded event chunks,
@@ -205,7 +252,12 @@
 // log positions and spill generations it saw, kept as a frontier so a
 // later compaction with a lower cut never widens an older one's scope —
 // keep evicted events from resurrecting out of the log while stragglers
-// that arrived after a cut survive it. Stats reports the durable
-// footprint: segments_cold/segments_spilled, wal_bytes, disk_bytes and
+// that arrived after a cut survive it. The manifest also carries the seq
+// high-water mark (max_seq), stamped at every cut and compaction save:
+// surviving events alone can under-count the counter when the highest seq
+// was spilled, WAL-checkpointed, then deleted wholesale by a retention
+// cut, and re-deriving from survivors would hand the same sequence to a
+// post-crash append. Stats reports the durable footprint:
+// segments_cold/segments_spilled, wal_bytes, disk_bytes and
 // recovered_events.
 package warehouse

@@ -2,7 +2,9 @@ package warehouse
 
 import (
 	"fmt"
+	"math"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,21 +37,71 @@ func ParseQueryValues(params url.Values) (Query, error) {
 		}
 	}
 	if v := params.Get("region"); v != "" {
-		var minLat, minLon, maxLat, maxLon float64
-		if _, err := fmt.Sscanf(v, "%f,%f,%f,%f", &minLat, &minLon, &maxLat, &maxLon); err != nil {
-			return q, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): %v", err)
+		coords, err := parseRegion(v)
+		if err != nil {
+			return q, err
 		}
-		rect := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
+		rect := geo.NewRect(geo.Point{Lat: coords[0], Lon: coords[1]}, geo.Point{Lat: coords[2], Lon: coords[3]})
 		q.Region = &rect
 	}
 	if v := params.Get("themes"); v != "" {
-		q.Themes = strings.Split(v, ",")
+		if q.Themes, err = splitList("themes", v); err != nil {
+			return q, err
+		}
 	}
 	if v := params.Get("sources"); v != "" {
-		q.Sources = strings.Split(v, ",")
+		if q.Sources, err = splitList("sources", v); err != nil {
+			return q, err
+		}
 	}
 	q.Cond = params.Get("cond")
 	return q, nil
+}
+
+// parseRegion parses the four region coordinates strictly: exactly four
+// comma-separated finite floats with nothing left over, min not above max
+// on either axis. The previous Sscanf-based parse stopped at the first
+// unparsable character, so "0,0,1,1junk" and even "0,0,1,1,9" passed with
+// the garbage silently dropped, and an inverted rectangle was quietly
+// normalized into the box the caller probably did not mean to query.
+func parseRegion(v string) ([4]float64, error) {
+	var coords [4]float64
+	parts := strings.Split(v, ",")
+	if len(parts) != len(coords) {
+		return coords, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): got %d values", len(parts))
+	}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return coords, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): %q is not a number", p)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return coords, fmt.Errorf("bad region (want minLat,minLon,maxLat,maxLon): %q is not finite", p)
+		}
+		coords[i] = f
+	}
+	// geo.NewRect would silently swap the corners; an inverted box on the
+	// wire is a client bug, so reject it before normalization hides it.
+	if coords[0] > coords[2] || coords[1] > coords[3] {
+		return coords, fmt.Errorf("bad region: min corner (%g,%g) exceeds max corner (%g,%g)", coords[0], coords[1], coords[2], coords[3])
+	}
+	return coords, nil
+}
+
+// splitList splits a comma-separated wire list, trimming surrounding space
+// and rejecting empty elements: a bare strings.Split turns "a,,b" or a
+// trailing comma into "" entries, which then silently match nothing (a
+// filter) or create a junk group key (group-by).
+func splitList(name, v string) ([]string, error) {
+	parts := strings.Split(v, ",")
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("bad %s: empty element in %q", name, v)
+		}
+		parts[i] = p
+	}
+	return parts, nil
 }
 
 // ParseAggQueryValues parses the filter plus the aggregation parameters
@@ -70,7 +122,9 @@ func ParseAggQueryValues(params url.Values) (AggQuery, error) {
 		Field: params.Get("field"),
 	}
 	if v := params.Get("group"); v != "" {
-		aq.GroupBy = strings.Split(v, ",")
+		if aq.GroupBy, err = splitList("group", v); err != nil {
+			return AggQuery{}, err
+		}
 	}
 	if v := params.Get("bucket"); v != "" {
 		d, err := time.ParseDuration(v)

@@ -41,11 +41,34 @@ func TestParseQueryValuesErrors(t *testing.T) {
 		"from=yesterday":  "bad from",
 		"to=tomorrow":     "bad to",
 		"region=34.6,135": "bad region",
+		// Trailing garbage: Sscanf used to stop at the first unparsable
+		// character and silently drop the rest.
+		"region=34.6,135.4,34.8,135.6junk": "bad region",
+		"region=34.6,135.4,34.8,135.6,99":  "bad region",
+		"region=34.6,135.4,34.8,":          "bad region",
+		"region=34.6,135.4,34.8,NaN":       "not finite",
+		"region=34.6,135.4,34.8,%2BInf":    "not finite",
+		// Inverted rectangles used to be silently corner-swapped by NewRect.
+		"region=34.8,135.4,34.6,135.6": "min corner",
+		"region=34.6,135.6,34.8,135.4": "min corner",
+		// Empty list elements used to survive as "" filters/groups.
+		"themes=weather,,social": "bad themes",
+		"themes=weather,":        "bad themes",
+		"sources=,umeda":         "bad sources",
 	} {
 		vals, _ := url.ParseQuery(param)
 		if _, err := ParseQueryValues(vals); err == nil || !strings.Contains(err.Error(), msg) {
 			t.Errorf("%s: err = %v, want %q", param, err, msg)
 		}
+	}
+	// Surrounding whitespace is cosmetic, not an error.
+	q, err := ParseQueryValues(url.Values{"themes": {"weather, social"}})
+	if err != nil || len(q.Themes) != 2 || q.Themes[1] != "social" {
+		t.Fatalf("themes with space = %+v, %v", q.Themes, err)
+	}
+	// A degenerate (point) region is still a valid box.
+	if _, err := ParseQueryValues(url.Values{"region": {"34.6,135.4,34.6,135.4"}}); err != nil {
+		t.Fatalf("point region: %v", err)
 	}
 }
 
@@ -62,11 +85,14 @@ func TestParseAggQueryValues(t *testing.T) {
 		t.Fatalf("agg = %+v", aq)
 	}
 	for param, msg := range map[string]string{
-		"func=median":            "bad func",
-		"func=count&bucket=0s":   "bad bucket",
-		"func=count&bucket=-1h":  "bad bucket",
-		"func=count&bucket=wide": "bad bucket",
-		"func=count&from=xx":     "bad from",
+		"func=median":               "bad func",
+		"func=count&bucket=0s":      "bad bucket",
+		"func=count&bucket=-1h":     "bad bucket",
+		"func=count&bucket=wide":    "bad bucket",
+		"func=count&from=xx":        "bad from",
+		"func=count&group=source,":  "bad group",
+		"func=count&group=,theme":   "bad group",
+		"func=count&group=source,,": "bad group",
 	} {
 		vals, _ := url.ParseQuery(param)
 		if _, err := ParseAggQueryValues(vals); err == nil || !strings.Contains(err.Error(), msg) {

@@ -47,6 +47,33 @@ func Open(cfg Config) (*Warehouse, error) {
 			return nil, fmt.Errorf("warehouse: open: %w", err)
 		}
 	}
+	// Finish any file compaction a crash interrupted, before recovery
+	// registers segments. A CompactionRecord is written only after its
+	// merged file is durable, so if the record is here the victims it
+	// replaced must go — the deletions are idempotent, so replaying them
+	// after a crash mid-delete is safe. A published merged file with no
+	// record is handled later by recovery's duplicate-seq sweep instead.
+	if len(man.Compactions) > 0 {
+		for _, rec := range man.Compactions {
+			dir := filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%03d", rec.Shard))
+			if _, err := os.Stat(filepath.Join(dir, persist.SegmentFileName(rec.NewGen))); err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return nil, fmt.Errorf("warehouse: open: %w", err)
+			}
+			for _, g := range rec.OldGens {
+				old := filepath.Join(dir, persist.SegmentFileName(g))
+				if err := os.Remove(old); err != nil && !os.IsNotExist(err) {
+					return nil, fmt.Errorf("warehouse: open: %w", err)
+				}
+			}
+		}
+		man.Compactions = nil
+		if err := persist.SaveManifest(cfg.DataDir, man); err != nil {
+			return nil, fmt.Errorf("warehouse: open: %w", err)
+		}
+	}
 	w.pers = &persistState{dir: cfg.DataDir, manifest: man}
 
 	cacheBytes := cfg.ColdCacheBytes
@@ -55,6 +82,21 @@ func Open(cfg Config) (*Warehouse, error) {
 	}
 	w.coldCache = persist.NewChunkCache(cacheBytes) // nil when disabled
 	w.spill = newSpiller(w)
+	w.segVersion = cfg.SegmentFormat
+	if w.segVersion == 0 {
+		w.segVersion = persist.SegmentVersionLatest
+	}
+	segEvents := cfg.SegmentEvents
+	if segEvents < 1 {
+		segEvents = DefaultSegmentEvents
+	}
+	compactBelow := cfg.CompactBelow
+	if compactBelow == 0 {
+		compactBelow = segEvents / 2
+	}
+	if compactBelow > 0 {
+		w.compact = newCompactor(w, compactBelow, segEvents)
+	}
 
 	hotSegments := cfg.HotSegments
 	if hotSegments == 0 {
@@ -119,8 +161,34 @@ func Open(cfg Config) (*Warehouse, error) {
 	if anySeq {
 		w.nextID.Store(maxSeq + 1)
 	}
+	// Surviving events alone can under-estimate the counter: the highest
+	// seq may have been spilled, WAL-checkpointed, then deleted wholesale
+	// by a retention cut before the crash. The manifest's high-water mark
+	// covers those, and re-stamping it now makes this incarnation's
+	// recovery-time file deletions equally crash-proof.
+	// MaxSeq == 0 is "never stamped", not "seq 0 assigned" — the one-event
+	// store it could misread recovers seq 0 from its WAL or file anyway.
+	if hw := w.pers.manifest.MaxSeq; hw > 0 && w.nextID.Load() < hw+1 {
+		w.nextID.Store(hw + 1)
+	}
+	if next := w.nextID.Load(); next > 0 && w.pers.manifest.MaxSeq < next-1 {
+		w.pers.manifest.MaxSeq = next - 1
+		if err := persist.SaveManifest(w.pers.dir, w.pers.manifest); err != nil {
+			w.CloseHard()
+			return nil, fmt.Errorf("warehouse: open: %w", err)
+		}
+	}
 	w.count.Store(int64(total))
 	w.spill.start()
+	if w.compact != nil {
+		w.compact.start()
+		// Recovery can leave shards littered with small or overlapping
+		// files (crash-orphaned side spills, re-trimmed stragglers); give
+		// every shard an initial compaction check.
+		for _, s := range w.shards {
+			w.compact.enqueue(s)
+		}
+	}
 	return w, nil
 }
 
@@ -196,8 +264,13 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 			spilled[seq] = struct{}{}
 			note(seq)
 		}
-		gen := 0
-		fmt.Sscanf(filepath.Base(path), "seg-%d.seg", &gen)
+		gen, err := persist.ParseSegmentFileName(filepath.Base(path))
+		if err != nil {
+			// ListSegments vets names, so this is unreachable — but a wrong
+			// generation here silently mis-scopes retention watermarks, so
+			// fail recovery loudly rather than guess.
+			return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+		}
 		// Files spilled after a cut's compaction hold only survivors and
 		// later arrivals; that cut does not apply to them. The watermark
 		// here is the highest among the cuts that saw this generation.
@@ -266,6 +339,18 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 	return maxSeq, anySeq, nil
 }
 
+// stampMaxSeq folds the current seq high-water mark into the manifest
+// about to be saved, so sequences assigned before this save can never be
+// reissued by a later recovery — even when a retention cut erases the last
+// trace of the events that carried them. Caller holds retMu (every
+// post-Open manifest mutation is serialized under it); monotone, so a
+// stale re-stamp is harmless.
+func (w *Warehouse) stampMaxSeq() {
+	if next := w.nextID.Load(); next > 0 && w.pers.manifest.MaxSeq < next-1 {
+		w.pers.manifest.MaxSeq = next - 1
+	}
+}
+
 // dupFile reports whether every seq of a segment file is already durable in
 // an earlier-generation file.
 func dupFile(spilled map[uint64]struct{}, seqs []uint64) bool {
@@ -295,6 +380,12 @@ func (w *Warehouse) Close() error {
 		return nil
 	}
 	w.spill.close()
+	if w.compact != nil {
+		// After the spill queue drains; a final spill can enqueue one more
+		// compaction check. Runs before the WALs close, but compactions
+		// never touch the WAL.
+		w.compact.close()
+	}
 	var first error
 	for _, s := range w.shards {
 		s.mu.Lock()
@@ -326,6 +417,11 @@ func (w *Warehouse) CloseHard() {
 		return
 	}
 	w.spill.abort()
+	if w.compact != nil {
+		// Before taking shard locks below: abort waits for the worker, and
+		// an in-flight compaction may need a shard lock to finish its step.
+		w.compact.abort()
+	}
 	for _, s := range w.shards {
 		s.mu.Lock()
 		if s.wal != nil {

@@ -477,3 +477,87 @@ func TestTornWALTailRecovers(t *testing.T) {
 		t.Fatalf("Len = %d after torn tail, want 39", re.Len())
 	}
 }
+
+// maxSelectSeq returns the highest Seq among all live events.
+func maxSelectSeq(t *testing.T, w *Warehouse) uint64 {
+	t.Helper()
+	evs, err := w.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max uint64
+	for _, ev := range evs {
+		if ev.Seq > max {
+			max = ev.Seq
+		}
+	}
+	return max
+}
+
+// TestManifestCarriesSeqHighWater: a retention cut deletes whole cold
+// files; the manifest it saves must carry the seq high-water mark, because
+// the deleted files may hold the only remaining trace of the highest seqs
+// (spilled, then WAL-checkpointed). Without the stamp a crash after such a
+// cut regresses the counter and recovery reissues live sequence numbers.
+func TestManifestCarriesSeqHighWater(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ingestMixed(t, w, 300)
+	w.DrainSpills()
+	w.SetRetention(10)
+	man, _, err := persist.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.MaxSeq != 299 {
+		t.Fatalf("manifest MaxSeq = %d after cut, want 299", man.MaxSeq)
+	}
+}
+
+// TestRecoveryHonorsManifestSeqHighWater: recovery must seed the sequence
+// counter past the manifest's high-water mark even when no surviving event
+// carries it, so post-crash appends never reuse a pre-crash seq.
+func TestRecoveryHonorsManifestSeqHighWater(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestMixed(t, w, 40)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := persist.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.MaxSeq = 1000 // as if seqs up to 1000 were assigned, then evicted
+	if err := persist.SaveManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if err := re.Append(wTuple(8*time.Hour, 21, "umeda", 34.7, 135.5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxSelectSeq(t, re); got != 1001 {
+		t.Fatalf("first post-recovery append got seq %d, want 1001", got)
+	}
+	// The raised counter goes durable at the next manifest write too.
+	re.SetRetention(5)
+	man, _, err = persist.LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.MaxSeq != 1001 {
+		t.Fatalf("manifest MaxSeq = %d after retention cut, want 1001", man.MaxSeq)
+	}
+}

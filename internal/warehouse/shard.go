@@ -74,11 +74,13 @@ type shard struct {
 }
 
 // segScan counts how segment pruning — and, for cold segments, the chunk
-// cache and the aggregate header fast path — served one shard-local query.
+// cache and the aggregate header and chunk-stats fast paths — served one
+// shard-local query.
 type segScan struct {
 	scanned, pruned        int
 	cacheHits, cacheMisses int
 	headerOnly             int
+	chunkStats             int
 }
 
 func newShard(lim segLimits) *shard {

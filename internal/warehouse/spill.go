@@ -188,7 +188,7 @@ func (w *Warehouse) spillOne(req spillReq) {
 	if w.spill.aborted.Load() {
 		return // crash before the file exists: WAL still owns the events
 	}
-	info, err := persist.WriteSegment(path, events)
+	info, err := persist.WriteSegmentVersion(path, events, w.segVersion)
 	if err != nil {
 		// Durability is unaffected — the WAL records survive — and the
 		// segment stays queryable in memory; a later append re-enqueues.
@@ -233,4 +233,7 @@ func (w *Warehouse) installSpill(s *shard, seg *segment, info *persist.SegmentIn
 	// files the spilled file now makes obsolete.
 	s.wal.DropObsolete(s.minLiveSeqLocked())
 	s.mu.Unlock()
+	// A fresh cold file may complete a mergeable run (small straggler
+	// spills, overlapping side segments).
+	w.maybeCompactCold(s)
 }

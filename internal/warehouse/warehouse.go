@@ -73,6 +73,19 @@ type Config struct {
 	// RAM instead of re-reading files. 0 means DefaultColdCacheBytes;
 	// negative disables the cache.
 	ColdCacheBytes int64
+	// SegmentFormat pins the segment-file format version new spills (and
+	// compactions) are written in: 0 writes the latest
+	// (persist.SegmentVersionLatest, whose per-chunk stats feed the
+	// aggregate chunk fast path), persist.SegmentV1 the legacy format.
+	// Files of either version are always readable regardless of this
+	// setting, so a store may mix them freely.
+	SegmentFormat int
+	// CompactBelow is the live-event threshold under which a cold segment
+	// file counts as small enough to merge with its time-adjacent
+	// neighbors: the background compactor rewrites runs of small or
+	// time-overlapping cold files into one well-pruning file. 0 means
+	// SegmentEvents/2; negative disables compaction.
+	CompactBelow int
 }
 
 // Event is one stored STT event.
@@ -113,6 +126,10 @@ type QueryStats struct {
 	// ColdHeaderOnly counts the cold segments an aggregate answered purely
 	// from header stats — no chunk read, no event decoded.
 	ColdHeaderOnly int `json:"cold_header_only"`
+	// ColdChunkStats counts the cold-segment chunks an aggregate answered
+	// from per-chunk sparse-index stats (v2 files) — each one a chunk that
+	// overlapped the query window yet was never read or decoded.
+	ColdChunkStats int `json:"cold_chunk_stats_hits"`
 }
 
 // sourceHash routes a source name to a shard. It is FNV-1a rather than a
@@ -152,11 +169,24 @@ type Warehouse struct {
 	coldBytes   atomic.Int64
 	recovered   atomic.Uint64
 
-	// spill is the background spill worker and coldCache the LRU of decoded
-	// cold chunks; both nil for an in-memory warehouse (coldCache also when
-	// disabled by config).
+	// chunkStatsHits counts the cold chunks aggregate queries answered from
+	// v2 per-chunk stats; compactions/segsCompacted count background
+	// cold-file compactions and the files they merged away.
+	chunkStatsHits atomic.Uint64
+	compactions    atomic.Uint64
+	segsCompacted  atomic.Uint64
+
+	// spill is the background spill worker, compact the background cold-file
+	// compactor, and coldCache the LRU of decoded cold chunks; all nil for
+	// an in-memory warehouse (coldCache also when disabled by config,
+	// compact also when disabled by config).
 	spill     *spiller
+	compact   *compactor
 	coldCache *persist.ChunkCache
+
+	// segVersion is the segment-file format version spills and compactions
+	// write (Config.SegmentFormat resolved).
+	segVersion int
 
 	// retMu serializes retention changes and global compactions, which
 	// need every shard lock (always taken in shard order).
@@ -347,6 +377,13 @@ func (w *Warehouse) maybeCompact() {
 		return
 	}
 	w.compactAll(int(max))
+	// Retention trims shrink cold files logically; nudge the file compactor
+	// to fold the newly-small ones into their neighbors.
+	if w.compact != nil {
+		for _, s := range w.shards {
+			w.compact.enqueue(s)
+		}
+	}
 }
 
 // compactAll drops the globally-oldest events down to 3/4 of the bound
@@ -491,18 +528,23 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	// survived; leave the manifest alone in that degraded case and let
 	// the next clean compaction advance it (resurrecting this round's
 	// evictions after a crash is recoverable, losing live events is not).
-	if w.pers != nil && !anyDead {
-		marks := make([]persist.ShardMark, len(w.shards))
-		for i, s := range w.shards {
-			if s.wal != nil {
-				p := s.wal.Position()
-				marks[i] = persist.ShardMark{WALFile: p.File, WALOff: p.Off, SegGen: s.nextSegGen}
+	if w.pers != nil {
+		if !anyDead {
+			marks := make([]persist.ShardMark, len(w.shards))
+			for i, s := range w.shards {
+				if s.wal != nil {
+					p := s.wal.Position()
+					marks[i] = persist.ShardMark{WALFile: p.File, WALOff: p.Off, SegGen: s.nextSegGen}
+				}
 			}
+			w.pers.manifest.AddCut(persist.Cut{Watermark: cut, Marks: marks})
 		}
-		w.pers.manifest.AddCut(persist.Cut{Watermark: cut, Marks: marks})
-		// A failed manifest write is tolerable: eviction proceeds, and
-		// the worst case after a crash is re-ingesting events the next
-		// compaction re-evicts.
+		// Even a degraded (anyDead) eviction deletes cold files, so the
+		// seq high-water mark must go durable regardless of whether a cut
+		// was recorded. A failed manifest write is tolerable: eviction
+		// proceeds, and the worst case after a crash is re-ingesting
+		// events the next compaction re-evicts.
+		w.stampMaxSeq()
 		_ = persist.SaveManifest(w.pers.dir, w.pers.manifest)
 	}
 
@@ -803,6 +845,14 @@ type Stats struct {
 	ColdCacheMisses uint64 `json:"cold_cache_misses"`
 	ColdCacheBytes  int64  `json:"cold_cache_bytes"`
 
+	// ColdChunkStatsHits counts the cold chunks aggregate queries answered
+	// from v2 per-chunk sparse-index stats instead of decoding them.
+	// Compactions counts background cold-file compactions and
+	// SegmentsCompacted the files they merged away.
+	ColdChunkStatsHits uint64 `json:"cold_chunk_stats_hits"`
+	Compactions        uint64 `json:"compactions"`
+	SegmentsCompacted  uint64 `json:"segments_compacted"`
+
 	// Views is the live materialized-view count and ViewSubscribers the
 	// subscriber total across them.
 	Views           int `json:"views"`
@@ -823,6 +873,9 @@ func (w *Warehouse) Stats() Stats {
 	st.ColdCacheHits = cc.Hits
 	st.ColdCacheMisses = cc.Misses
 	st.ColdCacheBytes = cc.Bytes
+	st.ColdChunkStatsHits = w.chunkStatsHits.Load()
+	st.Compactions = w.compactions.Load()
+	st.SegmentsCompacted = w.segsCompacted.Load()
 	st.Views = w.ViewCount()
 	st.ViewSubscribers = w.SubscriberCount()
 	return st
