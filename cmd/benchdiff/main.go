@@ -7,6 +7,16 @@
 // Usage:
 //
 //	benchdiff [-file BENCH_warehouse.json] [-threshold 0.25]
+//	benchdiff -file BENCH_warehouse.json \
+//	          -within "Candidate/a=Baseline/a,Candidate/b=Baseline/b" \
+//	          [-within-threshold 0.05]
+//
+// With -within, instead of diffing the two newest runs, benchdiff compares
+// benchmark pairs INSIDE the newest run: every machine-dependent metric of
+// the candidate must stay within -within-threshold of the baseline's. Both
+// sides come from the same run on the same machine, so latency metrics
+// compare directly; the observability CI gate uses this to bound
+// instrumented-vs-noop append overhead.
 //
 // Only metrics present in both runs are compared. Machine-dependent
 // metrics — ns_per_op, anything ending in _ns or _per_sec — are compared
@@ -57,6 +67,8 @@ func higherIsBetter(metric string) bool {
 func main() {
 	file := flag.String("file", "BENCH_warehouse.json", "perf trajectory file")
 	threshold := flag.Float64("threshold", 0.25, "relative regression that fails the diff")
+	within := flag.String("within", "", `compare "candidate=baseline" benchmark pairs inside the newest run instead of diffing runs`)
+	withinThreshold := flag.Float64("within-threshold", 0.05, "relative overhead that fails a -within pair")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*file)
@@ -92,6 +104,10 @@ func main() {
 			}
 		}
 		bf.Runs = append(bf.Runs, r)
+	}
+
+	if *within != "" {
+		os.Exit(compareWithin(bf, *within, *withinThreshold))
 	}
 
 	if len(bf.Runs) < 2 {
@@ -158,4 +174,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchdiff: no regressions")
+}
+
+// compareWithin checks candidate=baseline benchmark pairs inside the newest
+// run. Both sides of a pair are from the same run — same machine, same
+// load — so every shared machine-dependent metric is compared. A missing
+// benchmark or a pair with nothing to compare is a configuration error
+// (exit 2), not a pass: the overhead gate must never succeed vacuously.
+func compareWithin(bf benchFile, pairs string, threshold float64) int {
+	if len(bf.Runs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no runs to check -within against")
+		return 2
+	}
+	cur := bf.Runs[len(bf.Runs)-1]
+	fmt.Printf("benchdiff: within-run check on PR %d (%s), threshold %.0f%%\n",
+		cur.PR, cur.Date, threshold*100)
+	over := 0
+	for _, p := range strings.Split(pairs, ",") {
+		cand, base, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if !ok || cand == "" || base == "" {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -within pair %q (want candidate=baseline)\n", p)
+			return 2
+		}
+		cm, bm := cur.Benchmarks[cand], cur.Benchmarks[base]
+		if cm == nil || bm == nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: newest run is missing benchmark %q or %q\n", cand, base)
+			return 2
+		}
+		var metrics []string
+		for k := range cm {
+			if _, shared := bm[k]; shared && machineDependent(k) {
+				metrics = append(metrics, k)
+			}
+		}
+		sort.Strings(metrics)
+		compared := 0
+		for _, k := range metrics {
+			bv, cv := bm[k], cm[k]
+			if bv == 0 {
+				continue
+			}
+			var rel float64
+			if higherIsBetter(k) {
+				rel = (bv - cv) / bv
+			} else {
+				rel = (cv - bv) / bv
+			}
+			status := "ok"
+			if rel > threshold {
+				status = "OVER"
+				over++
+			}
+			fmt.Printf("  %-40s vs %-40s %-16s %14g -> %-14g %+6.1f%% %s\n",
+				cand, base, k, bv, cv, rel*100, status)
+			compared++
+		}
+		if compared == 0 {
+			fmt.Fprintf(os.Stderr, "benchdiff: %q and %q share no machine-dependent metrics\n", cand, base)
+			return 2
+		}
+	}
+	if over > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) over the %.0f%% within-run threshold\n", over, threshold*100)
+		return 1
+	}
+	fmt.Println("benchdiff: within-run overheads inside threshold")
+	return 0
 }

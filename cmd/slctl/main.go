@@ -5,8 +5,11 @@
 //	slctl sample    flow.json -n 10  run sample tuples through every node
 //	slctl translate flow.json        print the DSN document
 //	slctl run       flow.json -duration 1h   replay and print statistics
+//	slctl metrics   -url http://localhost:8080/metrics   scrape and pretty-print
 //
 // Common flags configure the simulated substrate: -nodes, -topology, -seed.
+// The metrics command talks to a running server instead and takes its own
+// flags (-url, -top, -watch, -require).
 package main
 
 import (
@@ -39,8 +42,9 @@ commands:
   sample      run sample tuples through every node (design-time debugging)
   translate   print the dataflow's DSN document
   run         deploy and replay the dataflow, printing statistics
+  metrics     scrape a running server's /metrics and pretty-print it
 
-flags:
+flags (metrics has its own; see slctl metrics -h):
 `)
 	flag.PrintDefaults()
 	os.Exit(2)
@@ -57,6 +61,10 @@ func main() {
 		duration = flag.Duration("duration", time.Hour, "replay duration (run)")
 		start    = flag.String("start", "2016-03-15T09:00:00Z", "replay start (run, RFC3339)")
 	)
+	if len(os.Args) >= 2 && os.Args[1] == "metrics" {
+		runMetrics(os.Args[2:])
+		return
+	}
 	if len(os.Args) < 3 {
 		usage()
 	}

@@ -1,0 +1,264 @@
+package main
+
+// slctl metrics scrapes a running streamloader's GET /metrics endpoint and
+// pretty-prints it: histogram families as count/mean/p50/p90/p99 (quantiles
+// recomputed from the cumulative buckets with the same arithmetic the server
+// uses), scalar families top-N by value. With -watch it re-scrapes on an
+// interval; with -require it exits non-zero unless every named family is
+// present, which is how the CI smoke guards against silently dropped
+// instrumentation.
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"streamloader/internal/obs"
+)
+
+func runMetrics(argv []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: slctl metrics [flags]
+
+scrape a running streamloader and pretty-print its /metrics families
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	var (
+		url     = fs.String("url", "http://localhost:8080/metrics", "metrics endpoint to scrape")
+		top     = fs.Int("top", 20, "show at most this many families per section (0: all)")
+		watch   = fs.Duration("watch", 0, "re-scrape on this interval (0: scrape once)")
+		require = fs.String("require", "", "comma-separated family names that must be present (exit 1 otherwise)")
+	)
+	_ = fs.Parse(argv)
+	for {
+		if err := scrapeOnce(*url, *top, *require); err != nil {
+			log.Fatal(err)
+		}
+		if *watch <= 0 {
+			return
+		}
+		time.Sleep(*watch)
+		fmt.Println()
+	}
+}
+
+// histFamily is one reconstructed histogram series: a (name, label set)
+// pair with its cumulative buckets and, when exposed, _sum and _count.
+type histFamily struct {
+	name   string
+	labels string
+	bounds []float64
+	cum    []uint64
+	sum    float64
+	count  uint64
+}
+
+func scrapeOnce(url string, top int, require string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	series, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("malformed exposition from %s: %w", url, err)
+	}
+
+	hists := map[string]*histFamily{}
+	histBase := map[string]bool{}
+	for _, s := range series {
+		if !strings.HasSuffix(s.Name, "_bucket") {
+			continue
+		}
+		le, ok := s.Labels["le"]
+		if !ok {
+			continue
+		}
+		base := strings.TrimSuffix(s.Name, "_bucket")
+		key := base + "{" + labelsSansLe(s.Labels) + "}"
+		h := hists[key]
+		if h == nil {
+			h = &histFamily{name: base, labels: labelsSansLe(s.Labels)}
+			hists[key] = h
+		}
+		bound, err := strconv.ParseFloat(strings.TrimPrefix(le, "+"), 64)
+		if err != nil {
+			bound = math.Inf(1)
+		}
+		h.bounds = append(h.bounds, bound)
+		h.cum = append(h.cum, uint64(s.Value))
+		histBase[base] = true
+	}
+
+	var scalars []obs.Series
+	for _, s := range series {
+		if strings.HasSuffix(s.Name, "_bucket") && s.Labels["le"] != "" {
+			continue
+		}
+		if base, isSum := strings.CutSuffix(s.Name, "_sum"); isSum && histBase[base] {
+			if h := hists[base+"{"+labelsSansLe(s.Labels)+"}"]; h != nil {
+				h.sum = s.Value
+			}
+			continue
+		}
+		if base, isCount := strings.CutSuffix(s.Name, "_count"); isCount && histBase[base] {
+			if h := hists[base+"{"+labelsSansLe(s.Labels)+"}"]; h != nil {
+				h.count = uint64(s.Value)
+			}
+			continue
+		}
+		scalars = append(scalars, s)
+	}
+
+	if err := checkRequired(require, histBase, scalars); err != nil {
+		return err
+	}
+
+	printHistograms(hists, top)
+	printScalars(scalars, top)
+	return nil
+}
+
+// labelsSansLe renders a label set minus le, sorted, in exposition syntax —
+// the grouping key that reunites one histogram's bucket/sum/count series.
+func labelsSansLe(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func checkRequired(require string, histBase map[string]bool, scalars []obs.Series) error {
+	if require == "" {
+		return nil
+	}
+	present := map[string]bool{}
+	for b := range histBase {
+		present[b] = true
+	}
+	for _, s := range scalars {
+		present[s.Name] = true
+	}
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want != "" && !present[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("required metric families missing: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+func printHistograms(hists map[string]*histFamily, top int) {
+	fams := make([]*histFamily, 0, len(hists))
+	for _, h := range hists {
+		fams = append(fams, h)
+	}
+	sort.Slice(fams, func(i, j int) bool {
+		if fams[i].count != fams[j].count {
+			return fams[i].count > fams[j].count
+		}
+		return fams[i].name+fams[i].labels < fams[j].name+fams[j].labels
+	})
+	if top > 0 && len(fams) > top {
+		fams = fams[:top]
+	}
+	fmt.Println("== latency histograms")
+	for _, h := range fams {
+		// Sort buckets by bound (+Inf last) and clamp the +Inf bound to the
+		// last finite one, matching QuantileFromBuckets's overflow rule.
+		sort.Sort(byBound{h})
+		bounds := append([]float64(nil), h.bounds...)
+		for i, b := range bounds {
+			if math.IsInf(b, 1) {
+				if i > 0 {
+					bounds[i] = bounds[i-1]
+				} else {
+					bounds[i] = 0
+				}
+			}
+		}
+		mean := 0.0
+		if h.count > 0 {
+			mean = h.sum / float64(h.count)
+		}
+		name := h.name
+		if h.labels != "" {
+			name += "{" + h.labels + "}"
+		}
+		fmt.Printf("   %-58s n=%-9d mean=%-9s p50=%-9s p90=%-9s p99=%s\n",
+			name, h.count, fmtSecs(mean),
+			fmtSecs(obs.QuantileFromBuckets(bounds, h.cum, 0.50)),
+			fmtSecs(obs.QuantileFromBuckets(bounds, h.cum, 0.90)),
+			fmtSecs(obs.QuantileFromBuckets(bounds, h.cum, 0.99)))
+	}
+}
+
+// byBound sorts one histogram's parallel bound/cumulative slices together.
+type byBound struct{ h *histFamily }
+
+func (b byBound) Len() int           { return len(b.h.bounds) }
+func (b byBound) Less(i, j int) bool { return b.h.bounds[i] < b.h.bounds[j] }
+func (b byBound) Swap(i, j int) {
+	b.h.bounds[i], b.h.bounds[j] = b.h.bounds[j], b.h.bounds[i]
+	b.h.cum[i], b.h.cum[j] = b.h.cum[j], b.h.cum[i]
+}
+
+func printScalars(scalars []obs.Series, top int) {
+	sort.Slice(scalars, func(i, j int) bool {
+		if scalars[i].Value != scalars[j].Value {
+			return scalars[i].Value > scalars[j].Value
+		}
+		return scalars[i].Key() < scalars[j].Key()
+	})
+	if top > 0 && len(scalars) > top {
+		fmt.Printf("== counters and gauges (top %d of %d)\n", top, len(scalars))
+		scalars = scalars[:top]
+	} else {
+		fmt.Println("== counters and gauges")
+	}
+	for _, s := range scalars {
+		fmt.Printf("   %-70s %s\n", s.Key(), strconv.FormatFloat(s.Value, 'g', -1, 64))
+	}
+}
+
+// fmtSecs renders a duration in seconds with a human unit.
+func fmtSecs(s float64) string {
+	d := time.Duration(s * 1e9)
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Microsecond:
+		return d.String()
+	case d < time.Millisecond:
+		return d.Round(10 * time.Nanosecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}

@@ -12,7 +12,8 @@
 //	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
 //	             [-cold-cache-bytes 67108864] [-compact-below 0]
 //	             [-segment-format 0] [-agg-max-groups 100000]
-//	             [-max-subscribers 10000]
+//	             [-max-subscribers 10000] [-slow-query 0]
+//	             [-pprof-addr ""]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -29,6 +30,13 @@
 // smaller than -compact-below events (or left overlapping by out-of-order
 // spills) into their time-adjacent neighbors; -segment-format pins the
 // cold file format version for downgrade scenarios.
+//
+// Observability: every stage reports latency histograms and counters to
+// GET /metrics (Prometheus text format); ?trace=1 on the query/aggregate
+// endpoints returns a per-shard span breakdown; -slow-query logs any query
+// over the threshold with its spans; -pprof-addr serves net/http/pprof on
+// a separate listener (keep it private — it exposes heap and goroutine
+// internals).
 package main
 
 import (
@@ -36,12 +44,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers its handlers on DefaultServeMux, served only via -pprof-addr
 	"time"
 
 	"streamloader/internal/executor"
 	"streamloader/internal/geo"
 	"streamloader/internal/monitor"
 	"streamloader/internal/network"
+	"streamloader/internal/obs"
 	"streamloader/internal/persist"
 	"streamloader/internal/pubsub"
 	"streamloader/internal/sensor"
@@ -74,6 +84,8 @@ func main() {
 		segFormat = flag.Int("segment-format", 0, "cold segment file format version to write (0: latest)")
 		aggGroups = flag.Int("agg-max-groups", warehouse.DefaultAggMaxGroups, "group cardinality bound for /api/warehouse/aggregate")
 		maxSubs   = flag.Int("max-subscribers", server.DefaultMaxSubscribers, "live /api/warehouse/subscribe client cap across all views")
+		slowQuery = flag.Duration("slow-query", 0, "log warehouse queries slower than this, with their span breakdown (0: off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: off)")
 	)
 	flag.Parse()
 
@@ -106,6 +118,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("bad -fsync: %v", err)
 	}
+	reg := obs.NewRegistry()
 	wh, err := warehouse.Open(warehouse.Config{
 		Shards:         *shards,
 		SegmentEvents:  *segEvents,
@@ -117,6 +130,7 @@ func main() {
 		ColdCacheBytes: *coldCache,
 		CompactBelow:   *compBelow,
 		SegmentFormat:  *segFormat,
+		Obs:            reg,
 	})
 	if err != nil {
 		log.Fatalf("opening warehouse: %v", err)
@@ -171,6 +185,16 @@ func main() {
 	srv := server.New(net, broker, exec, mon, wh, board, sensors)
 	srv.AggMaxGroups = *aggGroups
 	srv.MaxSubscribers = *maxSubs
+	srv.SlowQuery = *slowQuery
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registered on DefaultServeMux; nothing else does.
+			log.Printf("pprof: listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 	log.Printf("streamloader: %d sensors on %d %s nodes, dashboard at http://localhost%s/",
 		len(fleet), *nodes, *topology, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {

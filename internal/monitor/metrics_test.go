@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"streamloader/internal/obs"
+	"streamloader/internal/ops"
+)
+
+// findSeries returns the value of the series with the given name and exact
+// label set, failing the test when it is absent.
+func findSeries(t *testing.T, series []obs.Series, name string, labels map[string]string) float64 {
+	t.Helper()
+	for _, s := range series {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	t.Fatalf("series %s%v not found", name, labels)
+	return 0
+}
+
+// TestRegisterMetricsMatchesSnapshot pins the no-drift property: the
+// /metrics collector and the JSON Snapshot read the same opState.report, so
+// the numbers a scrape sees must be exactly the numbers the dashboard sees.
+func TestRegisterMetricsMatchesSnapshot(t *testing.T) {
+	m := New()
+	var c1, c2 ops.Counters
+	m.Register("filter1", "node-00", &c1)
+	m.Register("agg1", "node-01", &c2)
+	c1.In.Add(100)
+	c1.Out.Add(60)
+	c1.Dropped.Add(40)
+	c2.In.Add(7)
+	m.SampleAll(t0)
+	c1.In.Add(50)
+	c1.Out.Add(30)
+	m.SampleAll(t0.Add(time.Second))
+	m.SetLoadSource(func() map[string]float64 {
+		return map[string]float64{"node-00": 0.25, "node-01": 0.75}
+	})
+
+	reg := obs.NewRegistry()
+	m.RegisterMetrics(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := obs.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+
+	rep := m.Snapshot(t0.Add(time.Second), false)
+	if len(rep.Ops) != 2 {
+		t.Fatalf("ops = %d", len(rep.Ops))
+	}
+	for _, op := range rep.Ops {
+		lb := map[string]string{"op": op.Name, "node": op.Node}
+		if got := findSeries(t, series, "streamloader_op_in_total", lb); got != float64(op.In) {
+			t.Errorf("%s in: scrape %v, snapshot %d", op.Name, got, op.In)
+		}
+		if got := findSeries(t, series, "streamloader_op_out_total", lb); got != float64(op.Out) {
+			t.Errorf("%s out: scrape %v, snapshot %d", op.Name, got, op.Out)
+		}
+		if got := findSeries(t, series, "streamloader_op_dropped_total", lb); got != float64(op.Dropped) {
+			t.Errorf("%s dropped: scrape %v, snapshot %d", op.Name, got, op.Dropped)
+		}
+		if got := findSeries(t, series, "streamloader_op_rate_in", lb); got != op.RateIn {
+			t.Errorf("%s rate_in: scrape %v, snapshot %v", op.Name, got, op.RateIn)
+		}
+		if got := findSeries(t, series, "streamloader_op_rate_out", lb); got != op.RateOut {
+			t.Errorf("%s rate_out: scrape %v, snapshot %v", op.Name, got, op.RateOut)
+		}
+	}
+	for node, load := range rep.NodeLoad {
+		if got := findSeries(t, series, "streamloader_node_load", map[string]string{"node": node}); got != load {
+			t.Errorf("node %s load: scrape %v, snapshot %v", node, got, load)
+		}
+	}
+}
+
+func TestRegisterMetricsNilSafe(t *testing.T) {
+	var m *Monitor
+	m.RegisterMetrics(obs.NewRegistry()) // must not panic
+	New().RegisterMetrics(nil)           // must not panic
+}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"streamloader/internal/obs"
 	"streamloader/internal/ops"
 )
 
@@ -222,6 +223,61 @@ func (m *Monitor) EventsOfKind(kind EventKind) []Event {
 	return out
 }
 
+// report builds one operation's snapshot entry. It is the single read path
+// for op state: the Web-interface Snapshot and the /metrics collector both
+// come through here, so the two surfaces can never drift. The caller holds
+// m.mu (read suffices).
+func (st *opState) report(includeSeries bool) OpReport {
+	in, out, dropped := st.counters.Snapshot()
+	or := OpReport{
+		Name: st.name, Node: st.node,
+		In: in, Out: out, Dropped: dropped,
+		RateIn: st.lastSample.RateIn, RateOut: st.lastSample.RateOut,
+	}
+	if includeSeries {
+		or.Series = append(or.Series, st.ring...)
+	}
+	return or
+}
+
+// RegisterMetrics exposes the monitor through reg as scrape-time series:
+// per-op tuple counters and the latest ring rates (labels op, node), plus
+// per-node load. The collector reads the same opState.report the JSON
+// Snapshot uses — one snapshot API, no parallel code path to drift.
+func (m *Monitor) RegisterMetrics(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.Collect("monitor", func(e *obs.Emitter) {
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		for _, st := range m.opsMap {
+			or := st.report(false)
+			lb := obs.Labels("op", or.Name, "node", or.Node)
+			e.Counter("streamloader_op_in_total", lb, float64(or.In))
+			e.Counter("streamloader_op_out_total", lb, float64(or.Out))
+			e.Counter("streamloader_op_dropped_total", lb, float64(or.Dropped))
+			e.Gauge("streamloader_op_rate_in", lb, or.RateIn)
+			e.Gauge("streamloader_op_rate_out", lb, or.RateOut)
+		}
+		if m.loadSource != nil {
+			for node, load := range m.loadSource() {
+				e.Gauge("streamloader_node_load", obs.Labels("node", node), load)
+			}
+		}
+	})
+	for _, d := range [][2]string{
+		{"streamloader_op_in_total", "Tuples consumed by the operation."},
+		{"streamloader_op_out_total", "Tuples produced by the operation."},
+		{"streamloader_op_dropped_total", "Tuples dropped by the operation."},
+		{"streamloader_op_rate_in", "Consumption rate at the last sample (tuples/s)."},
+		{"streamloader_op_rate_out", "Production rate at the last sample (tuples/s)."},
+		{"streamloader_node_load", "Per-node load fraction (0..1)."},
+	} {
+		reg.Describe(d[0], d[1])
+	}
+}
+
 // Snapshot builds the report for the Web interface. includeSeries controls
 // whether the per-op sample rings are attached (they are large).
 func (m *Monitor) Snapshot(now time.Time, includeSeries bool) Report {
@@ -234,17 +290,7 @@ func (m *Monitor) Snapshot(now time.Time, includeSeries bool) Report {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		st := m.opsMap[name]
-		in, out, dropped := st.counters.Snapshot()
-		or := OpReport{
-			Name: name, Node: st.node,
-			In: in, Out: out, Dropped: dropped,
-			RateIn: st.lastSample.RateIn, RateOut: st.lastSample.RateOut,
-		}
-		if includeSeries {
-			or.Series = append(or.Series, st.ring...)
-		}
-		rep.Ops = append(rep.Ops, or)
+		rep.Ops = append(rep.Ops, m.opsMap[name].report(includeSeries))
 	}
 	if m.loadSource != nil {
 		rep.NodeLoad = m.loadSource()

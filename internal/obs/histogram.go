@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NumBounds is the number of finite histogram bucket bounds. The bounds are
+// exponential in powers of two from 1µs to ~16.8s — wide enough to span a
+// sub-microsecond append and a multi-second compaction in one fixed layout,
+// so every latency histogram in the process shares bucket arithmetic.
+const NumBounds = 25
+
+// BucketBound returns the i-th finite upper bound in seconds
+// (1µs · 2^i); i == NumBounds returns +Inf's stand-in, the last finite
+// bound (quantiles clamp there).
+func BucketBound(i int) float64 {
+	if i >= NumBounds {
+		i = NumBounds - 1
+	}
+	return float64(uint64(1000)<<i) / 1e9
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is two atomic adds
+// on a preallocated array — cheap enough for the append hot path — and a
+// nil *Histogram is a no-op, so disabled instrumentation costs one nil
+// check. Snapshots are lock-free: the count is derived as the sum of the
+// bucket counters, so a snapshot racing observers is always conserved
+// (count == Σ buckets by construction) and monotone run to run.
+type Histogram struct {
+	buckets [NumBounds + 1]atomic.Uint64 // last bucket is +Inf
+	sum     atomic.Int64                 // nanoseconds
+}
+
+// Observe records one duration. Non-positive durations land in the first
+// bucket (coarse clocks legitimately measure zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < NumBounds && ns > int64(uint64(1000)<<i) {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(ns)
+}
+
+// Start begins a timing region: the zero time when the histogram is
+// disabled (nil), so the pair Start/Since prices to two nil checks and no
+// clock reads on the disabled path.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since observes the elapsed time of a region opened by Start. A zero start
+// (disabled histogram) is a no-op.
+func (h *Histogram) Since(start time.Time) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.Observe(time.Since(start))
+}
+
+// HistSnapshot is one point-in-time read of a histogram.
+type HistSnapshot struct {
+	// Count is the observation total, always equal to the sum of Buckets.
+	Count uint64
+	// Sum is the total observed time.
+	Sum time.Duration
+	// Buckets holds per-bucket (non-cumulative) counts; the last entry is
+	// the overflow (+Inf) bucket.
+	Buckets [NumBounds + 1]uint64
+}
+
+// Snapshot reads the histogram. Concurrent Observes may or may not be
+// included, but Count always equals the bucket sum, and successive
+// snapshots never go backwards.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	// Read sum before the buckets: a racing Observe bumps sum first only
+	// via its own ordering, so reading in this order can only under-report
+	// Sum relative to Count — never attribute time to unseen observations.
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		s.Count += n
+	}
+	return s
+}
+
+// Quantile estimates the q-th (0..1) latency quantile by linear
+// interpolation inside the owning bucket; the overflow bucket clamps to the
+// last finite bound. Zero when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	bounds := make([]float64, NumBounds+1)
+	cum := make([]uint64, NumBounds+1)
+	var running uint64
+	for i := 0; i <= NumBounds; i++ {
+		bounds[i] = BucketBound(i)
+		running += s.Buckets[i]
+		cum[i] = running
+	}
+	return time.Duration(QuantileFromBuckets(bounds, cum, q) * 1e9)
+}
+
+// QuantileFromBuckets estimates a quantile in seconds from cumulative
+// bucket counts and their upper bounds (ascending; the last bound doubles
+// as the +Inf clamp). It is the arithmetic shared by HistSnapshot.Quantile
+// and the slctl metrics pretty-printer working from a parsed exposition.
+func QuantileFromBuckets(bounds []float64, cumulative []uint64, q float64) float64 {
+	if len(bounds) == 0 || len(bounds) != len(cumulative) {
+		return 0
+	}
+	total := cumulative[len(cumulative)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(total)
+	for i, c := range cumulative {
+		if float64(c) < target {
+			continue
+		}
+		upper := bounds[i]
+		if i == len(bounds)-1 {
+			return upper // overflow bucket: clamp to the last bound
+		}
+		lower := 0.0
+		prev := uint64(0)
+		if i > 0 {
+			lower = bounds[i-1]
+			prev = cumulative[i-1]
+		}
+		inBucket := float64(c - prev)
+		if inBucket <= 0 {
+			return upper
+		}
+		frac := (target - float64(prev)) / inBucket
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process's metrics: counters, gauges, histograms and
+// named collectors, exposed together through WritePrometheus. Series are
+// get-or-create by (name, labels), so independent subsystems — and the N
+// shards of one warehouse — share a series by naming it identically.
+//
+// All methods are safe for concurrent use, and every accessor is nil-safe:
+// a nil *Registry (and the Noop registry) hands out nil metric handles
+// whose methods are no-ops, so instrumented code never branches on whether
+// observability is enabled.
+type Registry struct {
+	noop bool
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*gaugeSeries
+	hists      map[string]*Histogram
+	help       map[string]string
+	collectors map[string]func(*Emitter)
+}
+
+// NewRegistry creates an empty live registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*gaugeSeries{},
+		hists:      map[string]*Histogram{},
+		help:       map[string]string{},
+		collectors: map[string]func(*Emitter){},
+	}
+}
+
+// Noop returns a registry whose constructors hand out nil metrics and whose
+// exposition is empty: instrumented code runs with zero overhead beyond a
+// nil check. Benchmarks use it to price the instrumentation itself.
+func Noop() *Registry { return &Registry{noop: true} }
+
+// gaugeSeries is one registered gauge: a function read at exposition time.
+type gaugeSeries struct{ fn func() float64 }
+
+// Counter is a monotonically increasing series. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// describeLocked records a family's help text, first writer wins.
+func (r *Registry) describeLocked(name, help string) {
+	if help != "" && r.help[name] == "" {
+		r.help[name] = help
+	}
+}
+
+// Describe sets a family's help text without creating a series — used for
+// families a collector emits at scrape time.
+func (r *Registry) Describe(name, help string) {
+	if r == nil || r.noop {
+		return
+	}
+	r.mu.Lock()
+	r.describeLocked(name, help)
+	r.mu.Unlock()
+}
+
+// seriesKey joins a family name and a rendered label string into the
+// registry map key.
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Counter returns the unlabeled counter series of a family, creating it on
+// first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterWith(name, "", help)
+}
+
+// CounterWith returns the counter series (name, labels), creating it on
+// first use. labels is a pre-rendered Prometheus label body (see Labels).
+func (r *Registry) CounterWith(name, labels, help string) *Counter {
+	if r == nil || r.noop {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[key]
+	if c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+		r.describeLocked(name, help)
+	}
+	return c
+}
+
+// Gauge registers the unlabeled gauge series of a family, read through fn at
+// exposition time. Re-registering replaces the function.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.GaugeWith(name, "", help, fn)
+}
+
+// GaugeWith registers the gauge series (name, labels).
+func (r *Registry) GaugeWith(name, labels, help string, fn func() float64) {
+	if r == nil || r.noop || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[seriesKey(name, labels)] = &gaugeSeries{fn: fn}
+	r.describeLocked(name, help)
+	r.mu.Unlock()
+}
+
+// Histogram returns the unlabeled histogram series of a family, creating it
+// on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.HistogramWith(name, "", help)
+}
+
+// HistogramWith returns the histogram series (name, labels), creating it on
+// first use.
+func (r *Registry) HistogramWith(name, labels, help string) *Histogram {
+	if r == nil || r.noop {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[key] = h
+		r.describeLocked(name, help)
+	}
+	return h
+}
+
+// Collect registers a named collector: a function run at exposition time to
+// emit series whose identity or value lives elsewhere (a stats snapshot, a
+// dynamic op set). Registering the same id again replaces the function, so
+// re-wiring a subsystem is idempotent.
+func (r *Registry) Collect(id string, fn func(*Emitter)) {
+	if r == nil || r.noop || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors[id] = fn
+	r.mu.Unlock()
+}
+
+// Emitter receives the series a collector emits during one exposition.
+type Emitter struct {
+	counters map[string]float64
+	gauges   map[string]float64
+}
+
+// Counter emits one counter-typed sample.
+func (e *Emitter) Counter(name, labels string, v float64) {
+	e.counters[seriesKey(name, labels)] = v
+}
+
+// Gauge emits one gauge-typed sample.
+func (e *Emitter) Gauge(name, labels string, v float64) {
+	e.gauges[seriesKey(name, labels)] = v
+}
+
+// Labels renders alternating key, value pairs into a Prometheus label body:
+// Labels("route", "/metrics") == `route="/metrics"`. Values are escaped per
+// the exposition format; keys must be valid label names already. A trailing
+// odd argument is ignored.
+func Labels(kv ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		escapeLabelValue(&b, kv[i+1])
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+}
+
+// splitSeriesKey undoes seriesKey for exposition rendering.
+func splitSeriesKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], strings.TrimSuffix(key[i+1:], "}")
+	}
+	return key, ""
+}
+
+// sortedKeys returns a map's keys sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Concurrent Observe against repeated Snapshot: every snapshot must be
+// internally conserved (Count == Σ buckets — guaranteed by construction,
+// asserted anyway) and the count sequence monotone; the final snapshot
+// must account for every observation exactly once.
+func TestHistogramConcurrentConserved(t *testing.T) {
+	h := &Histogram{}
+	const goroutines = 8
+	const perG = 5000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			s := h.Snapshot()
+			var sum uint64
+			for _, b := range s.Buckets {
+				sum += b
+			}
+			if s.Count != sum {
+				snapErr = fmt.Errorf("snapshot count %d != bucket sum %d", s.Count, sum)
+				return
+			}
+			if s.Count < last {
+				snapErr = fmt.Errorf("snapshot count went backwards: %d then %d", last, s.Count)
+				return
+			}
+			last = s.Count
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+			}
+		}(g)
+	}
+	// Wait for observers, then stop the snapshotter.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	final := h.Snapshot()
+	if final.Count != goroutines*perG {
+		t.Fatalf("final count = %d, want %d", final.Count, goroutines*perG)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations at ~1ms, 10 at ~100ms: p50 near 1ms, p99 near 100ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	p50 := s.Quantile(0.50)
+	if p50 < 100*time.Microsecond || p50 > 5*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 10*time.Millisecond || p99 > 300*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~100ms", p99)
+	}
+	if got := s.Quantile(0); got < 0 {
+		t.Fatalf("q0 = %v", got)
+	}
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestNilAndNoopSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "").Inc()
+	r.Gauge("g", "", func() float64 { return 1 })
+	h := r.Histogram("h_seconds", "")
+	h.Observe(time.Second)
+	if !h.Start().IsZero() {
+		t.Fatal("nil histogram Start should return zero time")
+	}
+	h.Since(h.Start())
+	r.Collect("c", func(e *Emitter) { e.Counter("y_total", "", 1) })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry exposition: err=%v len=%d", err, buf.Len())
+	}
+
+	n := Noop()
+	if c := n.Counter("x_total", ""); c != nil {
+		t.Fatal("noop registry should hand out nil counters")
+	}
+	if h := n.Histogram("h_seconds", ""); h != nil {
+		t.Fatal("noop registry should hand out nil histograms")
+	}
+	buf.Reset()
+	if err := n.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("noop exposition: err=%v len=%d", err, buf.Len())
+	}
+
+	var tr *Trace
+	sp := tr.Start("x")
+	sp.SetInt("k", 1)
+	sp.End()
+	if rep := tr.Report(); rep != nil {
+		t.Fatal("nil trace should report nil")
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sl_requests_total", "total requests").Add(7)
+	r.CounterWith("sl_coded_total", Labels("code", "200", "route", `/api/"q"`), "by code").Add(3)
+	r.Gauge("sl_live", "liveness", func() float64 { return 1 })
+	h := r.Histogram("sl_lat_seconds", "latency")
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(30 * time.Second) // overflow bucket
+	r.Collect("aux", func(e *Emitter) {
+		e.Counter("sl_aux_total", Labels("op", "join"), 11)
+		e.Gauge("sl_aux_depth", "", 4.5)
+	})
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE sl_requests_total counter",
+		"# TYPE sl_lat_seconds histogram",
+		"# HELP sl_requests_total total requests",
+		`le="+Inf"`,
+		"sl_lat_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	series, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse back own exposition: %v\n%s", err, text)
+	}
+	byKey := map[string]float64{}
+	for _, s := range series {
+		byKey[s.Key()] = s.Value
+	}
+	if byKey["sl_requests_total"] != 7 {
+		t.Fatalf("requests_total = %v", byKey["sl_requests_total"])
+	}
+	if byKey[`sl_coded_total{code="200",route="/api/\"q\""}`] != 3 {
+		t.Fatalf("labeled counter lost: %v", byKey)
+	}
+	if byKey[`sl_aux_total{op="join"}`] != 11 {
+		t.Fatalf("collector counter lost: %v", byKey)
+	}
+	if byKey["sl_lat_seconds_count"] != 3 {
+		t.Fatalf("hist count = %v", byKey["sl_lat_seconds_count"])
+	}
+	// Cumulative buckets: the +Inf bucket equals the count.
+	if byKey[`sl_lat_seconds_bucket{le="+Inf"}`] != 3 {
+		t.Fatalf("+Inf bucket = %v", byKey[`sl_lat_seconds_bucket{le="+Inf"}`])
+	}
+	// Buckets must be monotone non-decreasing in le order.
+	var prev float64 = -1
+	for i := 0; i <= NumBounds; i++ {
+		le := "+Inf"
+		if i < NumBounds {
+			le = fmtG(BucketBound(i))
+		}
+		v, ok := byKey[`sl_lat_seconds_bucket{le="`+le+`"}`]
+		if !ok {
+			t.Fatalf("missing bucket le=%s", le)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%s not cumulative: %v < %v", le, v, prev)
+		}
+		prev = v
+	}
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"metric",                 // no value
+		"metric abc",             // non-numeric value
+		`metric{le=0.5} 1`,       // unquoted label value
+		`metric{le="0.5} 1`,      // unterminated quote
+		`metric{le="0.5"`,        // unterminated block
+		`1metric 2`,              // bad name
+		`metric{0bad="x"} 1`,     // bad label name
+		"# BOGUS metric counter", // unknown comment keyword
+		`metric{a="x"} 1 2 3`,    // trailing garbage
+		`metric{a="\q"} 1`,       // bad escape
+	}
+	for _, line := range bad {
+		if _, err := ParseExposition(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("ParseExposition accepted malformed line %q", line)
+		}
+	}
+	good := "m_total 4\nm2{a=\"b\"} 1.5 1700000000000\n# HELP m_total h\n# TYPE m_total counter\n"
+	series, err := ParseExposition(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("good exposition rejected: %v", err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("parsed %d series, want 2", len(series))
+	}
+}
+
+func TestTraceReport(t *testing.T) {
+	tr := NewTrace("query")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.Start("shard")
+			sp.SetInt("shard", int64(i))
+			sp.AddInt("events", 10)
+			sp.AddInt("events", 5)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	m := tr.Start("merge")
+	m.End()
+	rep := tr.Report()
+	if rep == nil || rep.Name != "query" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Spans) != 5 {
+		t.Fatalf("spans = %d, want 5", len(rep.Spans))
+	}
+	seen := map[int64]bool{}
+	for _, s := range rep.Spans {
+		if s.DurUS < 0 || s.StartUS < 0 {
+			t.Fatalf("negative span timing: %+v", s)
+		}
+		if s.Name == "shard" {
+			if s.Attrs["events"] != 15 {
+				t.Fatalf("attrs = %v", s.Attrs)
+			}
+			seen[s.Attrs["shard"]] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("shard spans = %v", seen)
+	}
+	// Report must marshal cleanly — it is embedded in HTTP responses.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileFromBucketsClamp(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	cum := []uint64{0, 0, 5} // everything in the overflow bucket
+	if got := QuantileFromBuckets(bounds, cum, 0.99); got != 0.1 {
+		t.Fatalf("overflow quantile = %v, want clamp to 0.1", got)
+	}
+	if got := QuantileFromBuckets(nil, nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if math.IsNaN(QuantileFromBuckets(bounds, []uint64{1, 2, 3}, 0.5)) {
+		t.Fatal("NaN quantile")
+	}
+}

@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, optional # HELP and a
+// # TYPE per family, histograms as cumulative _bucket{le=...}, _sum
+// (seconds) and _count series. Collectors run first, so series whose truth
+// lives elsewhere (warehouse stats, monitor rings) are sampled at scrape
+// time. A nil or noop registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil || r.noop {
+		return nil
+	}
+
+	r.mu.Lock()
+	collectors := make([]func(*Emitter), 0, len(r.collectors))
+	for _, id := range sortedKeys(r.collectors) {
+		collectors = append(collectors, r.collectors[id])
+	}
+	r.mu.Unlock()
+
+	em := &Emitter{counters: map[string]float64{}, gauges: map[string]float64{}}
+	for _, fn := range collectors {
+		fn(em)
+	}
+
+	// Snapshot everything under the lock, then render unlocked: gauge
+	// functions and histogram snapshots may take subsystem locks of their
+	// own, but only gauge fns run under r.mu-free rendering here.
+	r.mu.Lock()
+	type sample struct {
+		key string
+		v   float64
+	}
+	families := map[string]*family{}
+	fam := func(name, typ string) *family {
+		f := families[name]
+		if f == nil {
+			f = &family{typ: typ, help: r.help[name]}
+			families[name] = f
+		}
+		return f
+	}
+	for key, c := range r.counters {
+		name, _ := splitSeriesKey(key)
+		f := fam(name, "counter")
+		f.samples = append(f.samples, seriesSample{key: key, v: float64(c.Value())})
+	}
+	for key, v := range em.counters {
+		name, _ := splitSeriesKey(key)
+		f := fam(name, "counter")
+		f.samples = append(f.samples, seriesSample{key: key, v: v})
+	}
+	gaugeFns := map[string]func() float64{}
+	for key, g := range r.gauges {
+		gaugeFns[key] = g.fn
+	}
+	for key, v := range em.gauges {
+		name, _ := splitSeriesKey(key)
+		f := fam(name, "gauge")
+		f.samples = append(f.samples, seriesSample{key: key, v: v})
+	}
+	histSeries := map[string]*Histogram{}
+	for key, h := range r.hists {
+		histSeries[key] = h
+	}
+	for key := range gaugeFns {
+		name, _ := splitSeriesKey(key)
+		fam(name, "gauge")
+	}
+	for key := range histSeries {
+		name, _ := splitSeriesKey(key)
+		fam(name, "histogram")
+	}
+	r.mu.Unlock()
+
+	for key, fn := range gaugeFns {
+		name, _ := splitSeriesKey(key)
+		families[name].samples = append(families[name].samples, seriesSample{key: key, v: fn()})
+	}
+	for key, h := range histSeries {
+		name, _ := splitSeriesKey(key)
+		families[name].hists = append(families[name].hists, histSample{key: key, snap: h.Snapshot()})
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(families) {
+		f := families[name]
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.typ)
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].key < f.samples[j].key })
+		for _, s := range f.samples {
+			writeSample(bw, s.key, s.v)
+		}
+		sort.Slice(f.hists, func(i, j int) bool { return f.hists[i].key < f.hists[j].key })
+		for _, hs := range f.hists {
+			writeHistogram(bw, hs.key, hs.snap)
+		}
+	}
+	return bw.Flush()
+}
+
+type seriesSample struct {
+	key string
+	v   float64
+}
+
+type histSample struct {
+	key  string
+	snap HistSnapshot
+}
+
+type family struct {
+	typ     string
+	help    string
+	samples []seriesSample
+	hists   []histSample
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func writeSample(w io.Writer, key string, v float64) {
+	fmt.Fprintf(w, "%s %s\n", key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// writeHistogram renders one histogram series as cumulative buckets.
+func writeHistogram(w io.Writer, key string, s HistSnapshot) {
+	name, labels := splitSeriesKey(key)
+	var cum uint64
+	for i := 0; i <= NumBounds; i++ {
+		cum += s.Buckets[i]
+		le := "+Inf"
+		if i < NumBounds {
+			le = strconv.FormatFloat(BucketBound(i), 'g', -1, 64)
+		}
+		lb := Labels("le", le)
+		if labels != "" {
+			lb = labels + "," + lb
+		}
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, lb, cum)
+	}
+	sumKey := seriesKey(name+"_sum", labels)
+	fmt.Fprintf(w, "%s %s\n", sumKey, strconv.FormatFloat(s.Sum.Seconds(), 'g', -1, 64))
+	countKey := seriesKey(name+"_count", labels)
+	fmt.Fprintf(w, "%s %d\n", countKey, s.Count)
+}
+
+// Series is one parsed sample from a text exposition.
+type Series struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the series back to its name{labels} form with sorted label
+// keys — stable for display and comparison.
+func (s Series) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := sortedKeys(s.Labels)
+	kv := make([]string, 0, 2*len(keys))
+	for _, k := range keys {
+		kv = append(kv, k, s.Labels[k])
+	}
+	return s.Name + "{" + Labels(kv...) + "}"
+}
+
+// ParseExposition parses Prometheus text format strictly: every
+// non-comment line must be `name[{labels}] value` with a parseable float
+// and well-formed, properly quoted labels. It returns every sample (HELP
+// and TYPE lines are validated for shape and skipped). Used by the slctl
+// metrics client and by the CI smoke that fails on malformed exposition.
+func ParseExposition(r io.Reader) ([]Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Series
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimLeft(rest, " ")
+			word, _, _ := strings.Cut(rest, " ")
+			if word != "HELP" && word != "TYPE" {
+				return nil, fmt.Errorf("line %d: unknown comment %q", lineNo, line)
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSampleLine(line string) (Series, error) {
+	var s Series
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// A trailing timestamp is allowed by the format; we emit none, and
+	// reject anything beyond "value [timestamp]".
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return s, fmt.Errorf("malformed value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at rest[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(rest string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		for i < len(rest) && rest[i] == ' ' {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(rest) && rest[i] != '=' {
+			i++
+		}
+		if i >= len(rest) {
+			return 0, nil, fmt.Errorf("unterminated labels in %q", rest)
+		}
+		key := strings.TrimSpace(rest[start:i])
+		if !validLabelName(key) {
+			return 0, nil, fmt.Errorf("bad label name %q", key)
+		}
+		i++ // '='
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", rest)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", rest)
+			}
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", rest)
+				}
+				switch rest[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in %q", rest[i+1], rest)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[key] = b.String()
+		if i < len(rest) && rest[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, labels, nil
+		}
+		return 0, nil, fmt.Errorf("malformed labels in %q", rest)
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"streamloader/internal/obs"
 	"streamloader/internal/stt"
 )
 
@@ -41,6 +42,10 @@ type WALOptions struct {
 	// checkpoint freed would put fresh records "before" the mark and
 	// expose them to a watermark that never saw them.
 	MinFile int
+	// WriteHist/SyncHist time Append's buffer write and fsync syscalls;
+	// nil handles are no-ops (obs.Histogram is nil-safe).
+	WriteHist *obs.Histogram
+	SyncHist  *obs.Histogram
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -222,6 +227,7 @@ func (w *WAL) Append(events []Event) error {
 	}
 	w.frame(start)
 
+	t0 := w.opts.WriteHist.Start()
 	if _, err := w.f.Write(w.buf); err != nil {
 		// A partial write leaves torn bytes at the fd's advanced offset;
 		// rewind so the next (acked) append cannot land beyond a frame
@@ -229,7 +235,9 @@ func (w *WAL) Append(events []Event) error {
 		w.rewind()
 		return err
 	}
+	w.opts.WriteHist.Since(t0)
 	if w.opts.Sync == SyncAlways {
+		t0 := w.opts.SyncHist.Start()
 		if err := w.f.Sync(); err != nil {
 			// The frame is intact but the batch is about to be reported
 			// failed: take it back out, or replay would resurrect events
@@ -237,6 +245,7 @@ func (w *WAL) Append(events []Event) error {
 			w.rewind()
 			return err
 		}
+		w.opts.SyncHist.Since(t0)
 	}
 	w.fileSize += int64(len(w.buf))
 	w.bytes += int64(len(w.buf))
@@ -247,6 +256,8 @@ func (w *WAL) Append(events []Event) error {
 	if w.opts.Sync == SyncInterval {
 		if now := time.Now(); now.Sub(w.lastSync) >= w.opts.SyncEvery {
 			w.lastSync = now
+			t0 := w.opts.SyncHist.Start()
+			defer w.opts.SyncHist.Since(t0)
 			if err := w.f.Sync(); err != nil {
 				// The batch is durable-to-kernel and will be reported
 				// stored; surfacing the sync error would double-report.
@@ -339,6 +350,8 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return nil
 	}
+	t0 := w.opts.SyncHist.Start()
+	defer w.opts.SyncHist.Since(t0)
 	return w.f.Sync()
 }
 

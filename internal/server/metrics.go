@@ -1,0 +1,115 @@
+package server
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"streamloader/internal/obs"
+)
+
+// handleMetrics serves the process registry in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Obs.WritePrometheus(w)
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// flushWriter is statusWriter for an underlying writer that can stream.
+// Wrapping must not change whether the writer implements http.Flusher: the
+// subscribe endpoint refuses non-flushable writers, and NDJSON streaming
+// silently degrades without it.
+type flushWriter struct {
+	*statusWriter
+	f http.Flusher
+}
+
+func (w *flushWriter) Flush() { w.f.Flush() }
+
+// wrapWriter returns the status recorder plus the writer to pass downstream,
+// which exposes Flush exactly when the original writer does.
+func wrapWriter(w http.ResponseWriter) (*statusWriter, http.ResponseWriter) {
+	sw := &statusWriter{ResponseWriter: w}
+	if f, ok := w.(http.Flusher); ok {
+		return sw, &flushWriter{statusWriter: sw, f: f}
+	}
+	return sw, sw
+}
+
+// instrument wraps the routing table with per-route latency and request
+// counting. The route label is the ServeMux pattern that matched (ServeMux
+// stamps r.Pattern in place, so it is readable after next returns) — never
+// the raw URL, which would explode series cardinality.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	if s.Obs == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw, ww := wrapWriter(w)
+		next.ServeHTTP(ww, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.Obs.HistogramWith("streamloader_http_request_seconds",
+			obs.Labels("route", route),
+			"Latency of one HTTP request, labeled by mux pattern.").Observe(time.Since(t0))
+		s.Obs.CounterWith("streamloader_http_requests_total",
+			obs.Labels("route", route, "code", strconv.Itoa(sw.status)),
+			"HTTP requests by route and status code.").Inc()
+	})
+}
+
+// queryTrace decides the tracing mode for one query/aggregate request: the
+// client asked for a span breakdown (?trace=1), or the slow-query log is
+// armed and needs spans to explain an offender. Returns a nil trace when
+// neither applies, so the common path pays nothing.
+func (s *Server) queryTrace(r *http.Request, name string) (tr *obs.Trace, wantTrace bool) {
+	wantTrace = r.URL.Query().Get("trace") == "1"
+	if wantTrace || s.SlowQuery > 0 {
+		tr = obs.NewTrace(name)
+	}
+	return tr, wantTrace
+}
+
+// noteSlow logs one line — URL, elapsed, span breakdown — for a query that
+// exceeded the slow-query threshold, and counts it.
+func (s *Server) noteSlow(r *http.Request, tr *obs.Trace, start time.Time) {
+	if s.SlowQuery <= 0 {
+		return
+	}
+	elapsed := time.Since(start)
+	if elapsed < s.SlowQuery {
+		return
+	}
+	s.Obs.Counter("streamloader_slow_queries_total",
+		"Queries that exceeded the slow-query threshold.").Inc()
+	spans, _ := json.Marshal(tr.Report())
+	log.Printf("slow query: %s %s took %s (threshold %s) trace=%s",
+		r.Method, r.URL.RequestURI(), elapsed, s.SlowQuery, spans)
+}

@@ -21,6 +21,7 @@ import (
 	"streamloader/internal/geo"
 	"streamloader/internal/monitor"
 	"streamloader/internal/network"
+	"streamloader/internal/obs"
 	"streamloader/internal/pubsub"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
@@ -46,23 +47,44 @@ type Server struct {
 	// all views (0 = DefaultMaxSubscribers).
 	MaxSubscribers int
 
+	// Obs is the process metrics registry, served at GET /metrics and fed
+	// by the HTTP middleware. New inherits the warehouse's registry when it
+	// has one, so warehouse, monitor and HTTP series share one exposition.
+	Obs *obs.Registry
+
+	// SlowQuery, when positive, logs any warehouse query or aggregate
+	// slower than the threshold, once per offending request, with its span
+	// breakdown.
+	SlowQuery time.Duration
+
 	mu          sync.Mutex
 	specs       map[string]*dataflow.Spec
 	deployments map[string]*executor.Deployment
 	runs        map[string]chan error
 }
 
-// New assembles a server over existing subsystems.
+// New assembles a server over existing subsystems. The metrics registry is
+// adopted from the warehouse when it has one (so its histograms and the
+// HTTP series expose together) and created fresh otherwise; the monitor's
+// Figure-3 rates register into the same registry.
 func New(net *network.Network, broker *pubsub.Broker, exec *executor.Executor,
 	mon *monitor.Monitor, wh *warehouse.Warehouse, board *viz.Board,
 	sensors map[string]*sensor.Sensor) *Server {
-	return &Server{
+	s := &Server{
 		Network: net, Broker: broker, Executor: exec, Monitor: mon,
 		Warehouse: wh, Board: board, Sensors: sensors,
 		specs:       map[string]*dataflow.Spec{},
 		deployments: map[string]*executor.Deployment{},
 		runs:        map[string]chan error{},
 	}
+	if wh != nil {
+		s.Obs = wh.Obs()
+	}
+	if s.Obs == nil {
+		s.Obs = obs.NewRegistry()
+	}
+	mon.RegisterMetrics(s.Obs)
+	return s
 }
 
 // Handler builds the HTTP routing table.
@@ -89,8 +111,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/warehouse/aggregate", s.handleWarehouseAggregate)
 	mux.HandleFunc("GET /api/warehouse/subscribe", s.handleWarehouseSubscribe)
 	mux.HandleFunc("GET /api/viz", s.handleViz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /", s.handleIndex)
-	return mux
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -611,6 +634,8 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		offset = parsed
 	}
+	tr, wantTrace := s.queryTrace(r, "warehouse_query")
+	start := time.Now()
 	if countOnly {
 		// The caller wants the cardinality, not the events: skip
 		// materialization entirely. Offset is meaningless against a bare
@@ -621,27 +646,30 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		if cq.Cond != "" {
 			cq.Limit = 10001
 		}
-		n, qs, err := s.Warehouse.CountWithStats(cq)
+		n, qs, err := s.Warehouse.CountTraced(cq, tr)
 		if err != nil {
 			writeError(w, warehouseErrStatus(err), "%v", err)
 			return
 		}
+		s.noteSlow(r, tr, start)
 		truncated := false
 		if cq.Limit > 0 && n > 10000 {
 			n, truncated = 10000, true
 		}
+		summary := map[string]any{
+			"count": n, "segments": qs, "offset": 0, "truncated": truncated,
+		}
+		if wantTrace {
+			summary["trace"] = tr.Report()
+		}
 		if format == "ndjson" {
 			writeNDJSON(w, func(yield func(v any) bool) {
-				yield(map[string]any{"summary": map[string]any{
-					"count": n, "segments": qs, "offset": 0, "truncated": truncated,
-				}})
+				yield(map[string]any{"summary": summary})
 			})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"count": n, "events": []any{}, "segments": qs,
-			"offset": 0, "truncated": truncated,
-		})
+		summary["events"] = []any{}
+		writeJSON(w, http.StatusOK, summary)
 		return
 	}
 	// offset+limit bounds how many events one request materializes — the
@@ -654,11 +682,12 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// Fetch one event past the page to learn whether the result was cut.
 	q.Limit = offset + limit + 1
-	evs, qs, err := s.Warehouse.SelectWithStats(q)
+	evs, qs, err := s.Warehouse.SelectTraced(q, tr)
 	if err != nil {
 		writeError(w, warehouseErrStatus(err), "%v", err)
 		return
 	}
+	s.noteSlow(r, tr, start)
 	truncated := len(evs) > offset+limit
 	if truncated {
 		evs = evs[:offset+limit]
@@ -672,6 +701,13 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 		Seq   uint64         `json:"seq"`
 		Event map[string]any `json:"event"`
 	}
+	summary := map[string]any{
+		"count": len(evs), "segments": qs,
+		"offset": offset, "truncated": truncated,
+	}
+	if wantTrace {
+		summary["trace"] = tr.Report()
+	}
 	if format == "ndjson" {
 		writeNDJSON(w, func(yield func(v any) bool) {
 			for _, ev := range evs {
@@ -679,10 +715,7 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 			}
-			yield(map[string]any{"summary": map[string]any{
-				"count": len(evs), "segments": qs,
-				"offset": offset, "truncated": truncated,
-			}})
+			yield(map[string]any{"summary": summary})
 		})
 		return
 	}
@@ -690,10 +723,8 @@ func (s *Server) handleWarehouseQuery(w http.ResponseWriter, r *http.Request) {
 	for _, ev := range evs {
 		out = append(out, eventView{Seq: ev.Seq, Event: ev.Tuple.Map()})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"count": len(out), "events": out, "segments": qs,
-		"offset": offset, "truncated": truncated,
-	})
+	summary["events"] = out
+	writeJSON(w, http.StatusOK, summary)
 }
 
 // warehouseErrStatus classifies a warehouse query/aggregate evaluation
@@ -767,28 +798,35 @@ func (s *Server) handleWarehouseAggregate(w http.ResponseWriter, r *http.Request
 	}
 	aq.MaxGroups = s.AggMaxGroups
 	fn := aq.Func
-	rows, qs, err := s.Warehouse.Aggregate(aq)
+	tr, wantTrace := s.queryTrace(r, "warehouse_aggregate")
+	start := time.Now()
+	rows, qs, err := s.Warehouse.AggregateTraced(aq, tr)
 	if err != nil {
 		writeError(w, warehouseErrStatus(err), "%v", err)
 		return
 	}
+	s.noteSlow(r, tr, start)
 	views := aggRowViews(rows, aq.Bucket > 0)
+	summary := map[string]any{
+		"func": string(fn), "field": aq.Field, "segments": qs,
+	}
+	if wantTrace {
+		summary["trace"] = tr.Report()
+	}
 	if format == "ndjson" {
+		summary["rows"] = len(views)
 		writeNDJSON(w, func(yield func(v any) bool) {
 			for _, v := range views {
 				if !yield(v) {
 					return
 				}
 			}
-			yield(map[string]any{"summary": map[string]any{
-				"rows": len(views), "func": string(fn), "field": aq.Field, "segments": qs,
-			}})
+			yield(map[string]any{"summary": summary})
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"rows": views, "func": string(fn), "field": aq.Field, "segments": qs,
-	})
+	summary["rows"] = views
+	writeJSON(w, http.StatusOK, summary)
 }
 
 func (s *Server) handleViz(w http.ResponseWriter, r *http.Request) {

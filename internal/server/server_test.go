@@ -15,6 +15,7 @@ import (
 	"streamloader/internal/geo"
 	"streamloader/internal/monitor"
 	"streamloader/internal/network"
+	"streamloader/internal/obs"
 	"streamloader/internal/pubsub"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stream"
@@ -45,7 +46,9 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 		}
 	}
 	mon := monitor.New()
-	wh := warehouse.New()
+	// An instrumented warehouse, as cmd/streamloader wires it, so every
+	// handler test also exercises the metrics middleware and collectors.
+	wh := warehouse.NewWithConfig(warehouse.Config{Obs: obs.NewRegistry()})
 	board, err := viz.NewBoard(geo.Osaka, 8, 8, "")
 	if err != nil {
 		t.Fatal(err)

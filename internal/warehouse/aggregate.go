@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streamloader/internal/expr"
+	"streamloader/internal/obs"
 	"streamloader/internal/ops"
 	"streamloader/internal/partial"
 	"streamloader/internal/persist"
@@ -353,7 +354,9 @@ func (p *aggPlan) coldChunkAgg(acc map[partial.Key]*partial.State, cs *coldSegme
 		if a >= b {
 			return nil
 		}
+		t0 := cs.readHist.Start()
 		pes, rs, err := info.ReadRangeCached(cs.cache, a, b)
+		cs.readHist.Since(t0)
 		if err != nil {
 			return err
 		}
@@ -623,13 +626,22 @@ func (p *aggPlan) rowsFromPartials(merged map[partial.Key]*partial.State) []AggR
 // merge at the top. Rows come back sorted by (bucket, source, theme). A
 // group appears only when at least one event contributed to it.
 func (w *Warehouse) Aggregate(q AggQuery) ([]AggRow, QueryStats, error) {
-	rows, qs, _, err := w.aggregate(q)
+	rows, qs, _, err := w.aggregate(q, nil)
+	return rows, qs, err
+}
+
+// AggregateTraced is Aggregate recording, when tr is non-nil, one span per
+// shard visited plus the top-level merge span — the ?trace=1 explain path.
+func (w *Warehouse) AggregateTraced(q AggQuery, tr *obs.Trace) ([]AggRow, QueryStats, error) {
+	rows, qs, _, err := w.aggregate(q, tr)
 	return rows, qs, err
 }
 
 // aggregate additionally reports the group count before row building, for
 // telemetry-minded callers and tests.
-func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
+func (w *Warehouse) aggregate(q AggQuery, tr *obs.Trace) ([]AggRow, QueryStats, int, error) {
+	t0 := w.met.aggregate.Start()
+	defer w.met.aggregate.Since(t0)
 	var qs QueryStats
 	p, err := q.plan()
 	if err != nil {
@@ -640,7 +652,9 @@ func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
 	scans := make([]segScan, len(shards))
 	errs := make([]error, len(shards))
 	forEachShard(shards, func(i int, s *shard) {
+		sp := shardSpan(tr, s)
 		parts[i], scans[i], errs[i] = s.aggQ(&p)
+		endShardSpan(sp, scans[i], len(parts[i]))
 	})
 	for _, sc := range scans {
 		qs.SegmentsScanned += sc.scanned
@@ -661,12 +675,16 @@ func (w *Warehouse) aggregate(q AggQuery) ([]AggRow, QueryStats, int, error) {
 	// Merge in shard order, so equal-key float partials combine in a
 	// deterministic order run to run. The per-shard maps are throwaway, so
 	// the merge may take ownership of their states (no clone).
+	msp := tr.Start("merge")
 	merged := map[partial.Key]*partial.State{}
 	for _, part := range parts {
 		if !partial.Merge(merged, part, p.maxGroups, false) {
+			msp.End()
 			return nil, qs, 0, errAggGroups
 		}
 	}
+	msp.SetInt("groups", int64(len(merged)))
+	msp.End()
 	return p.rowsFromPartials(merged), qs, len(merged), nil
 }
 

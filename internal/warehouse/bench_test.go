@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/obs"
 	"streamloader/internal/ops"
 	"streamloader/internal/persist"
 	"streamloader/internal/stt"
@@ -813,4 +814,83 @@ func BenchmarkAggregatePartialCover(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead prices the instrumentation itself: identical ingest
+// and select workloads against a warehouse wired to a live metrics registry
+// and one wired to the no-op registry (every histogram handle nil, so the
+// hot path pays exactly one nil check per timing region). The CI gate runs
+// `benchdiff -within` over the instrumented=noop pairs and fails the build
+// when the instrumented side is more than 5% slower.
+//
+// The ingest side measures the production shape — the sink delivers
+// batches, so one Start/Since pair (two clock reads, ~100ns) amortizes
+// across the batch. Per-tuple Append is also instrumented but is NOT the
+// gated path: a lone Append runs ~150ns, so wall-clocking it can never sit
+// under a 5% bar, and no production caller appends unbatched at rate.
+func BenchmarkObsOverhead(b *testing.B) {
+	registries := []struct {
+		name string
+		mk   func() *obs.Registry
+	}{
+		{"instrumented", obs.NewRegistry},
+		{"noop", obs.Noop},
+	}
+	const batch = 64
+	b.Run("append", func(b *testing.B) {
+		for _, rc := range registries {
+			b.Run(rc.name, func(b *testing.B) {
+				// Retention bounds the heap so the comparison runs at a
+				// steady state instead of under ever-growing GC pressure.
+				w := NewWithConfig(Config{Obs: rc.mk()})
+				w.SetRetention(200_000)
+				tuples := make([]*stt.Tuple, batch)
+				lat := make([]time.Duration, 0, b.N)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range tuples {
+						tuples[j] = wTuple(time.Duration(i*batch+j)*time.Second,
+							20, "s", 34.7, 135.5)
+					}
+					start := time.Now()
+					if err := w.AppendBatch(tuples); err != nil {
+						b.Fatal(err)
+					}
+					lat = append(lat, time.Since(start))
+				}
+				b.StopTimer()
+				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				if len(lat) > 0 {
+					b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+					b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+				}
+				b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "events_per_sec")
+			})
+		}
+	})
+	b.Run("select", func(b *testing.B) {
+		for _, rc := range registries {
+			b.Run(rc.name, func(b *testing.B) {
+				w := NewWithConfig(Config{Obs: rc.mk()})
+				for i := 0; i < 50_000; i++ {
+					tup := wTuple(time.Duration(i%86400)*time.Second, float64(10+i%25),
+						"s", 34.4+float64(i%50)*0.01, 135.2+float64(i%50)*0.01)
+					if err := w.Append(tup); err != nil {
+						b.Fatal(err)
+					}
+				}
+				q := Query{From: t0.Add(6 * time.Hour), To: t0.Add(7 * time.Hour)}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := w.Select(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries_per_sec")
+			})
+		}
+	})
 }

@@ -3,6 +3,7 @@ package warehouse
 import (
 	"time"
 
+	"streamloader/internal/obs"
 	"streamloader/internal/persist"
 )
 
@@ -21,6 +22,8 @@ type coldSegment struct {
 	// cache is the warehouse-wide LRU of decoded chunks reads go through;
 	// nil when the cold-read cache is disabled.
 	cache *persist.ChunkCache
+	// readHist times chunk-range reads off this file (nil = no-op).
+	readHist *obs.Histogram
 
 	// skip is how many leading events (in the file's (time, seq) order)
 	// retention has logically evicted.
@@ -51,10 +54,11 @@ type coldSegment struct {
 // newColdSegment wraps a freshly written or reopened segment file. The
 // info's count maps are adopted (not copied): the coldSegment is their
 // sole owner from here on.
-func newColdSegment(info *persist.SegmentInfo, cache *persist.ChunkCache) *coldSegment {
+func (w *Warehouse) newColdSegment(info *persist.SegmentInfo) *coldSegment {
 	return &coldSegment{
 		info:          info,
-		cache:         cache,
+		cache:         w.coldCache,
+		readHist:      w.met.coldRead,
 		count:         info.Count,
 		head:          info.Head,
 		tail:          info.Tail,
@@ -99,7 +103,9 @@ func (c *coldSegment) readWindow(from, to time.Time) ([]Event, persist.ReadStats
 	if lo < c.skip {
 		lo = c.skip
 	}
+	t0 := c.readHist.Start()
 	pes, rs, err := c.info.ReadRangeCached(c.cache, lo, hi)
+	c.readHist.Since(t0)
 	if err != nil {
 		return nil, rs, err
 	}

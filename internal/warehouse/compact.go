@@ -234,6 +234,8 @@ func (w *Warehouse) compactShardOnce(s *shard) bool {
 	s.nextSegGen++
 	path := filepath.Join(s.dir, persist.SegmentFileName(gen))
 	s.mu.Unlock()
+	t0 := w.met.compaction.Start()
+	defer w.met.compaction.Since(t0)
 
 	release := func() {
 		s.mu.Lock()
@@ -322,7 +324,7 @@ func (w *Warehouse) installCompaction(s *shard, snaps []compactSnap, info *persi
 		return false
 	}
 
-	newCS := newColdSegment(info, w.coldCache)
+	newCS := w.newColdSegment(info)
 	isVictim := make(map[*coldSegment]bool, len(snaps))
 	for _, sn := range snaps {
 		isVictim[sn.cs] = true

@@ -106,6 +106,8 @@ func Open(cfg Config) (*Warehouse, error) {
 		Sync:         cfg.Sync,
 		SyncEvery:    cfg.SyncEvery,
 		SegmentBytes: cfg.WALBytes,
+		WriteHist:    w.met.walWrite,
+		SyncHist:     w.met.walSync,
 	}
 
 	var maxSeq uint64
@@ -284,7 +286,7 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 			}
 			continue
 		}
-		cs := newColdSegment(info, w.coldCache)
+		cs := w.newColdSegment(info)
 		if cutApplies && keyLE(info.Head, watermark) {
 			// The file straddles the cut: re-apply the logical trim the
 			// pre-crash compaction performed.

@@ -184,6 +184,8 @@ func (w *Warehouse) spillOne(req spillReq) {
 	s.nextSegGen++
 	path := filepath.Join(s.dir, persist.SegmentFileName(gen))
 	s.mu.Unlock()
+	t0 := w.met.spill.Start()
+	defer w.met.spill.Since(t0)
 
 	if w.spill.aborted.Load() {
 		return // crash before the file exists: WAL still owns the events
@@ -226,7 +228,7 @@ func (w *Warehouse) installSpill(s *shard, seg *segment, info *persist.SegmentIn
 		return
 	}
 	s.segs = append(s.segs[:idx], s.segs[idx+1:]...)
-	s.cold = append(s.cold, newColdSegment(info, w.coldCache))
+	s.cold = append(s.cold, w.newColdSegment(info))
 	w.segsSpilled.Add(1)
 	w.coldBytes.Add(info.Bytes)
 	// The swap may have raised the shard's minimum live seq; retire WAL

@@ -466,6 +466,8 @@ func (v *View) refreshLocked() error {
 // neither. The dirty flag clears before scanning: a cut racing the rebuild
 // re-marks it and the caller's loop goes again.
 func (v *View) rebuildLocked() error {
+	t0 := v.w.met.viewRebuild.Start()
+	defer v.w.met.viewRebuild.Since(t0)
 	v.dirty.Store(false)
 	for i, s := range v.w.shards {
 		p := v.parts[i]
@@ -557,6 +559,8 @@ func (v *View) run() {
 
 // broadcast fans one snapshot out to every subscriber.
 func (v *View) broadcast(rows []AggRow, resnap bool) {
+	t0 := v.w.met.viewPublish.Start()
+	defer v.w.met.viewPublish.Since(t0)
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.err != nil {

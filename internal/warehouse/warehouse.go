@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/obs"
 	"streamloader/internal/persist"
 	"streamloader/internal/stt"
 )
@@ -86,6 +87,11 @@ type Config struct {
 	// time-overlapping cold files into one well-pruning file. 0 means
 	// SegmentEvents/2; negative disables compaction.
 	CompactBelow int
+
+	// Obs is the metrics registry the warehouse reports its latency
+	// histograms and stats snapshot into. Nil disables instrumentation
+	// (every handle degrades to a nil no-op).
+	Obs *obs.Registry
 }
 
 // Event is one stored STT event.
@@ -195,6 +201,11 @@ type Warehouse struct {
 
 	// views holds the registered materialized aggregate views (view.go).
 	views viewRegistry
+
+	// obsReg is the configured metrics registry (nil when observability is
+	// off); met holds the warehouse's latency histogram handles (obs.go).
+	obsReg *obs.Registry
+	met    whMetrics
 }
 
 // persistState carries the warehouse-global durable-mode state: the data
@@ -237,6 +248,9 @@ func NewWithConfig(cfg Config) *Warehouse {
 		w.shards[i] = newShard(lim)
 		w.shards[i].idx = i
 	}
+	w.obsReg = cfg.Obs
+	w.met = newWHMetrics(cfg.Obs)
+	w.registerStatsCollector(cfg.Obs)
 	return w
 }
 
@@ -258,6 +272,8 @@ func (w *Warehouse) Append(t *stt.Tuple) error {
 	if t == nil || t.Schema == nil {
 		return fmt.Errorf("warehouse: nil tuple")
 	}
+	t0 := w.met.append.Start()
+	defer w.met.append.Since(t0)
 	s := w.shardFor(t.Source)
 	s.mu.Lock()
 	ev := Event{Seq: w.nextID.Add(1) - 1, Tuple: t}
@@ -293,6 +309,8 @@ func (w *Warehouse) AppendBatch(tuples []*stt.Tuple) error {
 			return fmt.Errorf("warehouse: nil tuple in batch")
 		}
 	}
+	t0 := w.met.append.Start()
+	defer w.met.append.Since(t0)
 	// Reserve a contiguous Seq block so batch order survives grouping.
 	base := w.nextID.Add(uint64(len(tuples))) - uint64(len(tuples))
 
@@ -702,12 +720,49 @@ func forEachShard(shards []*shard, fn func(i int, s *shard)) {
 
 // SelectWithStats is Select plus segment-pruning telemetry for the query.
 func (w *Warehouse) SelectWithStats(q Query) ([]Event, QueryStats, error) {
+	return w.SelectTraced(q, nil)
+}
+
+// shardSpan opens one per-shard trace span (nil trace → nil span) and, on
+// close, annotates it with the shard's scan telemetry.
+func shardSpan(tr *obs.Trace, s *shard) *obs.Span {
+	sp := tr.Start("shard")
+	sp.SetInt("shard", int64(s.idx))
+	return sp
+}
+
+func endShardSpan(sp *obs.Span, sc segScan, events int) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("events", int64(events))
+	sp.SetInt("segments_scanned", int64(sc.scanned))
+	sp.SetInt("segments_pruned", int64(sc.pruned))
+	sp.SetInt("cold_cache_hits", int64(sc.cacheHits))
+	sp.SetInt("cold_cache_misses", int64(sc.cacheMisses))
+	if sc.headerOnly > 0 {
+		sp.SetInt("cold_header_only", int64(sc.headerOnly))
+	}
+	if sc.chunkStats > 0 {
+		sp.SetInt("cold_chunk_stats_hits", int64(sc.chunkStats))
+	}
+	sp.End()
+}
+
+// SelectTraced is SelectWithStats recording, when tr is non-nil, one span
+// per shard visited (with its scan telemetry as attributes) plus a merge
+// span — the ?trace=1 explain path.
+func (w *Warehouse) SelectTraced(q Query, tr *obs.Trace) ([]Event, QueryStats, error) {
+	t0 := w.met.selectQ.Start()
+	defer w.met.selectQ.Since(t0)
 	shards := w.routedShards(q)
 	parts := make([][]Event, len(shards))
 	scans := make([]segScan, len(shards))
 	errs := make([]error, len(shards))
 	forEachShard(shards, func(i int, s *shard) {
+		sp := shardSpan(tr, s)
 		parts[i], scans[i], errs[i] = s.selectQ(q)
+		endShardSpan(sp, scans[i], len(parts[i]))
 	})
 	var qs QueryStats
 	for _, sc := range scans {
@@ -721,7 +776,11 @@ func (w *Warehouse) SelectWithStats(q Query) ([]Event, QueryStats, error) {
 			return nil, qs, err
 		}
 	}
-	return mergeEvents(parts, q.Limit), qs, nil
+	msp := tr.Start("merge")
+	out := mergeEvents(parts, q.Limit)
+	msp.SetInt("events", int64(len(out)))
+	msp.End()
+	return out, qs, nil
 }
 
 // mergeEvents k-way merges per-shard results already sorted by
@@ -785,16 +844,26 @@ func (w *Warehouse) Count(q Query) (int, error) {
 // CountWithStats is Count plus the segment-pruning and cold-cache telemetry
 // of the counting pass.
 func (w *Warehouse) CountWithStats(q Query) (int, QueryStats, error) {
+	return w.CountTraced(q, nil)
+}
+
+// CountTraced is CountWithStats with optional per-shard tracing, mirroring
+// SelectTraced.
+func (w *Warehouse) CountTraced(q Query, tr *obs.Trace) (int, QueryStats, error) {
 	if q.Cond != "" || q.Limit > 0 {
-		evs, qs, err := w.SelectWithStats(q)
+		evs, qs, err := w.SelectTraced(q, tr)
 		return len(evs), qs, err
 	}
+	t0 := w.met.selectQ.Start()
+	defer w.met.selectQ.Since(t0)
 	shards := w.routedShards(q)
 	counts := make([]int, len(shards))
 	scans := make([]segScan, len(shards))
 	errs := make([]error, len(shards))
 	forEachShard(shards, func(i int, s *shard) {
+		sp := shardSpan(tr, s)
 		counts[i], scans[i], errs[i] = s.countQ(q)
+		endShardSpan(sp, scans[i], counts[i])
 	})
 	var qs QueryStats
 	n := 0
