@@ -6,10 +6,11 @@
 //	slctl translate flow.json        print the DSN document
 //	slctl run       flow.json -duration 1h   replay and print statistics
 //	slctl metrics   -url http://localhost:8080/metrics   scrape and pretty-print
+//	slctl segments  /var/lib/streamloader   dump cold segment files
 //
 // Common flags configure the simulated substrate: -nodes, -topology, -seed.
-// The metrics command talks to a running server instead and takes its own
-// flags (-url, -top, -watch, -require).
+// The metrics command talks to a running server instead, and segments to an
+// on-disk data directory; each takes its own flags (see slctl <cmd> -h).
 package main
 
 import (
@@ -43,8 +44,9 @@ commands:
   translate   print the dataflow's DSN document
   run         deploy and replay the dataflow, printing statistics
   metrics     scrape a running server's /metrics and pretty-print it
+  segments    dump a warehouse data directory's cold segment files
 
-flags (metrics has its own; see slctl metrics -h):
+flags (metrics and segments have their own; see slctl <cmd> -h):
 `)
 	flag.PrintDefaults()
 	os.Exit(2)
@@ -63,6 +65,10 @@ func main() {
 	)
 	if len(os.Args) >= 2 && os.Args[1] == "metrics" {
 		runMetrics(os.Args[2:])
+		return
+	}
+	if len(os.Args) >= 2 && os.Args[1] == "segments" {
+		runSegments(os.Args[2:])
 		return
 	}
 	if len(os.Args) < 3 {

@@ -81,7 +81,7 @@ func main() {
 		hotSegs   = flag.Int("hot-segments", warehouse.DefaultHotSegments, "sealed in-memory segments per shard before spilling to disk (negative: never spill)")
 		coldCache = flag.Int64("cold-cache-bytes", warehouse.DefaultColdCacheBytes, "budget for the LRU of decoded cold-segment chunks (negative: disable)")
 		compBelow = flag.Int("compact-below", 0, "merge cold segment files smaller than this many events into neighbors (0: half of -segment-events; negative: disable compaction)")
-		segFormat = flag.Int("segment-format", 0, "cold segment file format version to write (0: latest)")
+		segFormat = flag.Int("segment-format", 0, "cold segment file format version to write (0: latest; supported: "+persist.SupportedSegmentFormats()+")")
 		aggGroups = flag.Int("agg-max-groups", warehouse.DefaultAggMaxGroups, "group cardinality bound for /api/warehouse/aggregate")
 		maxSubs   = flag.Int("max-subscribers", server.DefaultMaxSubscribers, "live /api/warehouse/subscribe client cap across all views")
 		slowQuery = flag.Duration("slow-query", 0, "log warehouse queries slower than this, with their span breakdown (0: off)")
@@ -89,6 +89,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := persist.ValidateSegmentFormat(*segFormat); err != nil {
+		log.Fatalf("bad -segment-format: %v", err)
+	}
 	net, err := network.Build(*topology, network.TopologyConfig{
 		Nodes: *nodes, Area: geo.Osaka, Capacity: *capacity, Seed: *seed,
 	})

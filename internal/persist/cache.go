@@ -35,10 +35,13 @@ type chunkKey struct {
 	chunk int
 }
 
+// chunkEntry holds one decoded chunk: a []Event for row-encoded (v1/v2)
+// chunks, a *colChunk of decoded columns for v3 chunks. Both are immutable
+// once cached.
 type chunkEntry struct {
-	key    chunkKey
-	events []Event
-	bytes  int64
+	key   chunkKey
+	val   any
+	bytes int64
 }
 
 // NewChunkCache builds a cache bounded to roughly budget encoded bytes.
@@ -54,10 +57,11 @@ func NewChunkCache(budget int64) *ChunkCache {
 	}
 }
 
-// get returns the decoded chunk and marks it recently used. The returned
-// slice is shared: callers must treat it (and the tuples it references) as
-// immutable, which is already the warehouse-wide contract for stored events.
-func (c *ChunkCache) get(k chunkKey) ([]Event, bool) {
+// get returns the decoded chunk — []Event or *colChunk — and marks it
+// recently used. The returned value is shared: callers must treat it (and
+// the tuples it references) as immutable, which is already the
+// warehouse-wide contract for stored events.
+func (c *ChunkCache) get(k chunkKey) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.entries[k]
 	if !ok {
@@ -66,15 +70,15 @@ func (c *ChunkCache) get(k chunkKey) ([]Event, bool) {
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
-	evs := el.Value.(*chunkEntry).events
+	v := el.Value.(*chunkEntry).val
 	c.mu.Unlock()
 	c.hits.Add(1)
-	return evs, true
+	return v, true
 }
 
 // put inserts a decoded chunk, evicting least-recently-used entries until
 // the budget holds. A chunk larger than the whole budget is not cached.
-func (c *ChunkCache) put(k chunkKey, events []Event, size int64) {
+func (c *ChunkCache) put(k chunkKey, val any, size int64) {
 	if size > c.budget {
 		return
 	}
@@ -84,9 +88,43 @@ func (c *ChunkCache) put(k chunkKey, events []Event, size int64) {
 		c.lru.MoveToFront(el) // raced with another reader; keep the first copy
 		return
 	}
-	for c.bytes+size > c.budget {
+	c.insertLocked(k, val, size)
+}
+
+// update is put with replace semantics: the v3 projected-read path widens a
+// chunk's cached column set by merging fresh columns into the cached ones
+// and storing the union back. Two readers racing here each store a correct
+// superset of their own projection, so last-write-wins is safe.
+func (c *ChunkCache) update(k chunkKey, val any, size int64) {
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		ent := el.Value.(*chunkEntry)
+		c.bytes += size - ent.bytes
+		ent.val, ent.bytes = val, size
+		c.lru.MoveToFront(el)
+		c.evictLocked(el)
+		return
+	}
+	c.insertLocked(k, val, size)
+}
+
+// insertLocked adds a new entry, evicting from the LRU tail to budget.
+func (c *ChunkCache) insertLocked(k chunkKey, val any, size int64) {
+	c.bytes += size
+	el := c.lru.PushFront(&chunkEntry{key: k, val: val, bytes: size})
+	c.entries[k] = el
+	c.evictLocked(el)
+}
+
+// evictLocked drops LRU-tail entries until the budget holds, sparing keep.
+func (c *ChunkCache) evictLocked(keep *list.Element) {
+	for c.bytes > c.budget {
 		tail := c.lru.Back()
-		if tail == nil {
+		if tail == nil || tail == keep {
 			break
 		}
 		ent := tail.Value.(*chunkEntry)
@@ -94,8 +132,6 @@ func (c *ChunkCache) put(k chunkKey, events []Event, size int64) {
 		delete(c.entries, ent.key)
 		c.bytes -= ent.bytes
 	}
-	c.entries[k] = c.lru.PushFront(&chunkEntry{key: k, events: events, bytes: size})
-	c.bytes += size
 }
 
 // Invalidate drops every cached chunk of one segment file. Retention calls

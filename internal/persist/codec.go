@@ -321,6 +321,22 @@ func (sd *schemaDict) id(s *stt.Schema) (uint64, bool) {
 	return id, true
 }
 
+// RowEncodedBytes reports how many bytes events occupy in the row-wise
+// event encoding (the v1/v2 chunk payload), assigning schema dictionary
+// ids the way a segment writer would. Inspection tools use it to compare
+// a file's on-disk footprint against the row-format equivalent.
+func RowEncodedBytes(events []Event) int64 {
+	dict := newSchemaDict()
+	var b []byte
+	var n int64
+	for _, ev := range events {
+		id, _ := dict.id(ev.Tuple.Schema)
+		b = appendEvent(b[:0], ev, id)
+		n += int64(len(b))
+	}
+	return n
+}
+
 // SortEvents orders events by (time, seq) in place — the canonical
 // on-disk order WriteSegment requires. Callers with nearly-sorted input
 // (a segment's time index) pay almost nothing: the sort is stable and

@@ -17,7 +17,7 @@ import (
 
 // Segment file layout:
 //
-//	[8]  magic "SLSEG001" (v1) or "SLSEG002" (v2)
+//	[8]  magic "SLSEG001" (v1), "SLSEG002" (v2) or "SLSEG003" (v3)
 //	[4]  header length          [4] header CRC32C
 //	[..] header JSON            (counts, keys, dictionaries, sparse index)
 //	[..] seq block              count × 8-byte little-endian warehouse seqs
@@ -32,23 +32,51 @@ import (
 // v2 additionally carries per-chunk stats in each sparse-index entry — the
 // chunk's max event time, per-source / per-theme / primary-theme counts and
 // per-field numeric summaries — so aggregate pushdown can answer individual
-// chunks without decoding them. The event block encoding is identical
-// across versions; v1 files keep decoding forever, they just expose no
-// chunk stats.
+// chunks without decoding them. v1 and v2 encode chunk events row-wise
+// (one self-describing record per event, see codec.go).
+//
+// v3 keeps the v2 framing and header (chunk-stats pushdown included) but
+// encodes each chunk column-wise: a fixed order of length-prefixed column
+// sections — delta-of-delta times, delta seqs, RLE schema ids, raw float
+// lat/lon streams, dictionary+RLE theme/source/string columns, and one
+// typed column per payload position (colcodec.go documents the exact
+// order). Each section wears its byte length, so projected reads
+// (ReadRangeProjected with a ColumnMask) skip the columns a query does not
+// touch and materialize rows only for events that survive filtering. All
+// three versions keep decoding forever; writers choose with
+// WriteSegmentVersion / Config.SegmentFormat.
 
 var (
 	segMagicV1 = []byte("SLSEG001")
 	segMagicV2 = []byte("SLSEG002")
+	segMagicV3 = []byte("SLSEG003")
 )
 
 // Segment format versions WriteSegmentVersion accepts. Latest is what
-// WriteSegment writes; v1 stays writable so mixed-version stores can be
-// constructed deliberately (tests, staged rollouts).
+// WriteSegment writes; older versions stay writable so mixed-version stores
+// can be constructed deliberately (tests, staged rollouts).
 const (
 	SegmentV1            = 1
 	SegmentV2            = 2
-	SegmentVersionLatest = SegmentV2
+	SegmentV3            = 3
+	SegmentVersionLatest = SegmentV3
 )
+
+// SupportedSegmentFormats names the formats this build reads and writes,
+// for error messages and CLI validation.
+func SupportedSegmentFormats() string {
+	return fmt.Sprintf("%d..%d", SegmentV1, SegmentVersionLatest)
+}
+
+// ValidateSegmentFormat rejects segment format versions this build cannot
+// write. 0 is accepted as "latest" (the Config.SegmentFormat default).
+func ValidateSegmentFormat(v int) error {
+	if v == 0 || (v >= SegmentV1 && v <= SegmentVersionLatest) {
+		return nil
+	}
+	return fmt.Errorf("persist: unknown segment format %d (supported: %s, or 0 for latest)",
+		v, SupportedSegmentFormats())
+}
 
 // IndexEvery is the sparse-index granule: one index entry (and one CRC'd
 // chunk) per this many events.
@@ -78,6 +106,12 @@ type FieldStats struct {
 	Sum     float64
 	Min     float64
 	Max     float64
+	// NonFinite counts numeric values excluded from the Num/Sum/Min/Max
+	// frame because they are NaN or ±Inf (JSON cannot carry them and no
+	// finite frame can absorb them). When NonFinite > 0 the frame is a
+	// partial view and SUM/AVG/MIN/MAX pushdown must decode the chunk;
+	// NonNull stays exact regardless.
+	NonFinite int
 }
 
 // ChunkStats is the per-chunk aggregate summary a v2 sparse-index entry
@@ -101,11 +135,12 @@ type ChunkStats struct {
 }
 
 type fieldStatsJSON struct {
-	NonNull int     `json:"nn"`
-	Num     int     `json:"n,omitempty"`
-	Sum     float64 `json:"sum,omitempty"`
-	Min     float64 `json:"min,omitempty"`
-	Max     float64 `json:"max,omitempty"`
+	NonNull   int     `json:"nn"`
+	Num       int     `json:"n,omitempty"`
+	Sum       float64 `json:"sum,omitempty"`
+	Min       float64 `json:"min,omitempty"`
+	Max       float64 `json:"max,omitempty"`
+	NonFinite int     `json:"nf,omitempty"`
 }
 
 type sparseJSON struct {
@@ -148,7 +183,7 @@ type segHeaderJSON struct {
 // to prune, plus what they need to read the overlap when they cannot.
 type SegmentInfo struct {
 	Path string
-	// Version is the file's format version (SegmentV1 or SegmentV2).
+	// Version is the file's format version (SegmentV1..SegmentV3).
 	Version int
 	Count   int
 	// Head and Tail are the keys of the first and last event in (time,
@@ -165,6 +200,10 @@ type SegmentInfo struct {
 	schemas  []*stt.Schema
 	dict     map[uint64]*stt.Schema // id -> schema, shared by every read
 	eventOff int64                  // absolute offset of the event block
+
+	// fieldPos memoizes fieldPositions lookups (v3 projected value reads).
+	fieldPosMu sync.Mutex
+	fieldPos   map[string][]int
 }
 
 // buildDict materializes the id->schema decode dictionary once, so reads
@@ -192,12 +231,13 @@ func WriteSegment(path string, events []Event) (*SegmentInfo, error) {
 }
 
 // WriteSegmentVersion is WriteSegment pinned to an explicit format version:
-// SegmentV2 (the default) carries per-chunk stats in the sparse index,
-// SegmentV1 writes the legacy header so mixed-version stores can be
-// constructed on purpose.
+// SegmentV3 (the default) encodes chunks column-wise for projected decode,
+// SegmentV2 writes row-encoded chunks with per-chunk stats, SegmentV1 the
+// legacy row format — so mixed-version stores can be constructed on purpose.
 func WriteSegmentVersion(path string, events []Event, version int) (*SegmentInfo, error) {
-	if version != SegmentV1 && version != SegmentV2 {
-		return nil, fmt.Errorf("persist: unknown segment version %d", version)
+	if version < SegmentV1 || version > SegmentVersionLatest {
+		return nil, fmt.Errorf("persist: unknown segment version %d (supported: %s)",
+			version, SupportedSegmentFormats())
 	}
 	if len(events) == 0 {
 		return nil, fmt.Errorf("persist: refusing to write empty segment")
@@ -214,21 +254,38 @@ func WriteSegmentVersion(path string, events []Event, version int) (*SegmentInfo
 		PrimaryThemeCounts: map[string]int{},
 	}
 
-	// Event block, chunked at IndexEvery events.
+	// Event block, chunked at IndexEvery events: columnar chunks for v3,
+	// row-encoded for v1/v2.
 	var block []byte
-	for i, ev := range events {
-		if i%IndexEvery == 0 {
-			if i > 0 {
-				prev := &info.Sparse[len(info.Sparse)-1]
-				prev.CRC = checksum(block[prev.Off:])
-			}
+	if version >= SegmentV3 {
+		var scratch []byte
+		for start := 0; start < len(events); start += IndexEvery {
+			end := min(start+IndexEvery, len(events))
 			info.Sparse = append(info.Sparse, SparseEntry{
-				Pos: i, Time: ev.Tuple.Time, Off: int64(len(block)),
+				Pos: start, Time: events[start].Tuple.Time, Off: int64(len(block)),
 			})
+			block = appendChunkV3(block, events[start:end], dict, &scratch)
+			e := &info.Sparse[len(info.Sparse)-1]
+			e.CRC = checksum(block[e.Off:])
 		}
-		id, _ := dict.id(ev.Tuple.Schema)
-		block = appendEvent(block, ev, id)
-
+	} else {
+		for i, ev := range events {
+			if i%IndexEvery == 0 {
+				if i > 0 {
+					prev := &info.Sparse[len(info.Sparse)-1]
+					prev.CRC = checksum(block[prev.Off:])
+				}
+				info.Sparse = append(info.Sparse, SparseEntry{
+					Pos: i, Time: ev.Tuple.Time, Off: int64(len(block)),
+				})
+			}
+			id, _ := dict.id(ev.Tuple.Schema)
+			block = appendEvent(block, ev, id)
+		}
+		last := &info.Sparse[len(info.Sparse)-1]
+		last.CRC = checksum(block[last.Off:])
+	}
+	for _, ev := range events {
 		t := ev.Tuple
 		if t.Source != "" {
 			info.SourceCounts[t.Source]++
@@ -243,8 +300,6 @@ func WriteSegmentVersion(path string, events []Event, version int) (*SegmentInfo
 			}
 		}
 	}
-	last := &info.Sparse[len(info.Sparse)-1]
-	last.CRC = checksum(block[last.Off:])
 	if version >= SegmentV2 {
 		for k := range info.Sparse {
 			start := info.Sparse[k].Pos
@@ -286,6 +341,7 @@ func WriteSegmentVersion(path string, events []Event, version int) (*SegmentInfo
 					sj.Fields[name] = fieldStatsJSON{
 						NonNull: fs.NonNull, Num: fs.Num,
 						Sum: fs.Sum, Min: fs.Min, Max: fs.Max,
+						NonFinite: fs.NonFinite,
 					}
 				}
 			}
@@ -298,7 +354,10 @@ func WriteSegmentVersion(path string, events []Event, version int) (*SegmentInfo
 	}
 
 	magic := segMagicV1
-	if version >= SegmentV2 {
+	switch {
+	case version >= SegmentV3:
+		magic = segMagicV3
+	case version >= SegmentV2:
 		magic = segMagicV2
 	}
 	buf := make([]byte, 0, len(magic)+8+len(hdrBytes)+8*len(events)+len(block))
@@ -376,15 +435,29 @@ func chunkStatsFor(events []Event) *ChunkStats {
 			fs.NonNull++
 			if v.Kind().Numeric() {
 				f := v.AsFloat()
-				if fs.Num == 0 {
-					fs.Min, fs.Max = f, f
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					// NaN/Inf cannot ride in the JSON frame; count it so
+					// pushdown knows the frame is partial.
+					fs.NonFinite++
 				} else {
-					fs.Min = math.Min(fs.Min, f)
-					fs.Max = math.Max(fs.Max, f)
+					if fs.Num == 0 {
+						fs.Min, fs.Max = f, f
+					} else {
+						fs.Min = math.Min(fs.Min, f)
+						fs.Max = math.Max(fs.Max, f)
+					}
+					fs.Num++
+					fs.Sum += f
 				}
-				fs.Num++
-				fs.Sum += f
 			}
+			cs.Fields[name] = fs
+		}
+	}
+	for name, fs := range cs.Fields {
+		if math.IsInf(fs.Sum, 0) {
+			// Finite values can still overflow their sum; poison the frame.
+			fs.NonFinite += fs.Num
+			fs.Num, fs.Sum, fs.Min, fs.Max = 0, 0, 0, 0
 			cs.Fields[name] = fs
 		}
 	}
@@ -415,8 +488,11 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 		version = SegmentV1
 	case string(segMagicV2):
 		version = SegmentV2
+	case string(segMagicV3):
+		version = SegmentV3
 	default:
-		return nil, nil, fmt.Errorf("persist: %s: bad magic", path)
+		return nil, nil, fmt.Errorf("persist: %s: unknown segment magic %q (this build reads %q..%q, versions %s)",
+			path, fixed[:len(segMagicV1)], segMagicV1, segMagicV3, SupportedSegmentFormats())
 	}
 	hdrLen := int(binary.LittleEndian.Uint32(fixed[len(segMagicV1):]))
 	hdrCRC := binary.LittleEndian.Uint32(fixed[len(segMagicV1)+4:])
@@ -477,6 +553,7 @@ func OpenSegment(path string) (*SegmentInfo, []uint64, error) {
 					st.Fields[name] = FieldStats{
 						NonNull: fj.NonNull, Num: fj.Num,
 						Sum: fj.Sum, Min: fj.Min, Max: fj.Max,
+						NonFinite: fj.NonFinite,
 					}
 				}
 			}
@@ -548,10 +625,18 @@ func (si *SegmentInfo) ChunkRange(k int) (start, end int) {
 }
 
 // ReadStats reports how one read was served: chunks found decoded in the
-// cache versus chunks read back from disk.
+// cache versus chunks read back from disk, plus — on the v3 projected
+// path — how much column skipping saved.
 type ReadStats struct {
 	CacheHits   int
 	CacheMisses int
+	// ColumnsSkipped counts column sections a projected v3 decode skipped
+	// over instead of parsing. Zero for v1/v2 reads and cache hits.
+	ColumnsSkipped int
+	// BytesDecoded is how many event-block bytes actual decodes parsed:
+	// whole chunks for v1/v2, only the projected sections for v3. Cache
+	// hits contribute nothing.
+	BytesDecoded int64
 }
 
 // readBufPool recycles the scratch buffers chunk reads land in. Decoded
@@ -599,6 +684,9 @@ func (si *SegmentInfo) ReadRange(lo, hi int) ([]Event, error) {
 // buffer. A nil cache reads everything. The returned events may be shared
 // with other readers and must not be mutated.
 func (si *SegmentInfo) ReadRangeCached(cache *ChunkCache, lo, hi int) ([]Event, ReadStats, error) {
+	if si.Version >= SegmentV3 {
+		return si.readRangeV3(cache, lo, hi, FullProjection)
+	}
 	var rs ReadStats
 	if lo < 0 || hi > si.Count || lo >= hi {
 		if lo == hi {
@@ -610,12 +698,14 @@ func (si *SegmentInfo) ReadRangeCached(cache *ChunkCache, lo, hi int) ([]Event, 
 	chunks := make([][]Event, last-first+1)
 	if cache != nil {
 		for k := first; k <= last; k++ {
-			if evs, ok := cache.get(chunkKey{si.Path, k}); ok {
-				chunks[k-first] = evs
-				rs.CacheHits++
-			} else {
-				rs.CacheMisses++
+			if v, ok := cache.get(chunkKey{si.Path, k}); ok {
+				if evs, ok := v.([]Event); ok {
+					chunks[k-first] = evs
+					rs.CacheHits++
+					continue
+				}
 			}
+			rs.CacheMisses++
 		}
 	} else {
 		rs.CacheMisses = last - first + 1
@@ -641,7 +731,7 @@ func (si *SegmentInfo) ReadRangeCached(cache *ChunkCache, lo, hi int) ([]Event, 
 				return nil, rs, err
 			}
 		}
-		if err := si.readChunks(f, cache, k, end, chunks[k-first:end+1-first]); err != nil {
+		if err := si.readChunks(f, cache, k, end, chunks[k-first:end+1-first], &rs); err != nil {
 			return nil, rs, err
 		}
 		k = end
@@ -661,7 +751,7 @@ func (si *SegmentInfo) ReadRangeCached(cache *ChunkCache, lo, hi int) ([]Event, 
 // readChunks reads and decodes chunks [k, end] with one pread, verifying
 // each chunk's checksum, storing the per-chunk event slices into dst and —
 // when a cache is supplied — inserting each decoded chunk into it.
-func (si *SegmentInfo) readChunks(f *os.File, cache *ChunkCache, k, end int, dst [][]Event) error {
+func (si *SegmentInfo) readChunks(f *os.File, cache *ChunkCache, k, end int, dst [][]Event, rs *ReadStats) error {
 	_, _, startOff, _ := si.chunkBounds(k)
 	_, _, _, endOff := si.chunkBounds(end)
 	bufp := readBufPool.Get().(*[]byte)
@@ -689,9 +779,150 @@ func (si *SegmentInfo) readChunks(f *os.File, cache *ChunkCache, k, end int, dst
 			}
 			evs = append(evs, ev)
 		}
+		rs.BytesDecoded += cEnd - cOff
 		dst[c-k] = evs
 		if cache != nil {
 			cache.put(chunkKey{si.Path, c}, evs, cEnd-cOff)
+		}
+	}
+	return nil
+}
+
+// ReadRangeProjected is ReadRangeCached restricted to the columns proj
+// names. On v3 files only those columns are decoded — skipped sections are
+// counted in ReadStats.ColumnsSkipped — and the returned events carry zero
+// values for unprojected columns. v1/v2 files have no column structure, so
+// the projection is ignored and the read is a full ReadRangeCached; callers
+// therefore always get a superset of what they asked for. The returned
+// events may be shared with other readers and must not be mutated.
+func (si *SegmentInfo) ReadRangeProjected(cache *ChunkCache, lo, hi int, proj Projection) ([]Event, ReadStats, error) {
+	if si.Version >= SegmentV3 {
+		return si.readRangeV3(cache, lo, hi, proj)
+	}
+	return si.ReadRangeCached(cache, lo, hi)
+}
+
+// readRangeV3 is the v3 read path: per chunk, consult the cache for decoded
+// columns covering the projection, decode (only) the projected sections of
+// the chunks that miss — one pread per contiguous miss run — and merge
+// fresh columns into whatever the cache already held for the chunk.
+func (si *SegmentInfo) readRangeV3(cache *ChunkCache, lo, hi int, proj Projection) ([]Event, ReadStats, error) {
+	var rs ReadStats
+	if lo < 0 || hi > si.Count || lo >= hi {
+		if lo == hi {
+			return nil, rs, nil
+		}
+		return nil, rs, fmt.Errorf("persist: %s: bad range [%d, %d) of %d", si.Path, lo, hi, si.Count)
+	}
+	first, last := si.chunkSpan(lo, hi)
+	chunks := make([]*colChunk, last-first+1)
+	partial := make([]*colChunk, last-first+1) // cached but missing projected columns
+	if cache != nil {
+		for k := first; k <= last; k++ {
+			if v, ok := cache.get(chunkKey{si.Path, k}); ok {
+				if cc, ok := v.(*colChunk); ok {
+					if cc.covers(proj, si) {
+						chunks[k-first] = cc
+						rs.CacheHits++
+						continue
+					}
+					partial[k-first] = cc
+				}
+			}
+			rs.CacheMisses++
+		}
+	} else {
+		rs.CacheMisses = last - first + 1
+	}
+
+	var f *os.File
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	for k := first; k <= last; k++ {
+		if chunks[k-first] != nil {
+			continue
+		}
+		end := k
+		for end+1 <= last && chunks[end+1-first] == nil {
+			end++
+		}
+		if f == nil {
+			var err error
+			if f, err = os.Open(si.Path); err != nil {
+				return nil, rs, err
+			}
+		}
+		if err := si.readChunksV3(f, cache, k, end, proj,
+			partial[k-first:end+1-first], chunks[k-first:end+1-first], &rs); err != nil {
+			return nil, rs, err
+		}
+		k = end
+	}
+
+	out := make([]Event, 0, hi-lo)
+	full := proj.full()
+	for idx, cc := range chunks {
+		posStart, posEnd, _, _ := si.chunkBounds(first + idx)
+		a, b := max(lo, posStart), min(hi, posEnd)
+		if a < b {
+			out = append(out, cc.materialize(a-posStart, b-posStart, full)...)
+		}
+	}
+	return out, rs, nil
+}
+
+// readChunksV3 reads chunks [k, end] with one pread and decodes each one's
+// projected columns, merging with any partially-cached columns and storing
+// the (possibly widened) column sets back into the cache.
+func (si *SegmentInfo) readChunksV3(f *os.File, cache *ChunkCache, k, end int, proj Projection, partial, dst []*colChunk, rs *ReadStats) error {
+	_, _, startOff, _ := si.chunkBounds(k)
+	_, _, _, endOff := si.chunkBounds(end)
+	bufp := readBufPool.Get().(*[]byte)
+	defer readBufPool.Put(bufp)
+	need := int(endOff - startOff)
+	if cap(*bufp) < need {
+		*bufp = make([]byte, need)
+	}
+	block := (*bufp)[:need]
+	if _, err := f.ReadAt(block, si.eventOff+startOff); err != nil {
+		return fmt.Errorf("persist: %s: reading events: %w", si.Path, err)
+	}
+	rowsDirect := cache == nil && proj.full()
+	for c := k; c <= end; c++ {
+		posStart, posEnd, cOff, cEnd := si.chunkBounds(c)
+		chunk := block[cOff-startOff : cEnd-startOff]
+		if checksum(chunk) != si.Sparse[c].CRC {
+			return fmt.Errorf("persist: %s: chunk %d checksum mismatch", si.Path, c)
+		}
+		if rowsDirect {
+			// Nothing to cache: decode straight into rows, skipping the
+			// columnar intermediates (they'd be garbage the moment the rows
+			// materialize).
+			evs, decoded, err := si.decodeChunkRowsV3(chunk, posEnd-posStart)
+			if err != nil {
+				return fmt.Errorf("persist: %s: decoding chunk %d: %w", si.Path, c, err)
+			}
+			rs.BytesDecoded += decoded
+			cc := &colChunk{n: posEnd - posStart, mask: ColAll, allVals: true}
+			cc.rows.Store(&evs)
+			dst[c-k] = cc
+			continue
+		}
+		cc, cd, err := si.decodeChunkV3(chunk, posEnd-posStart, proj)
+		if err != nil {
+			return fmt.Errorf("persist: %s: decoding chunk %d: %w", si.Path, c, err)
+		}
+		rs.ColumnsSkipped += cd.skipped
+		rs.BytesDecoded += cd.decoded
+		if p := partial[c-k]; p != nil {
+			cc = p.merge(cc)
+		}
+		dst[c-k] = cc
+		if cache != nil {
+			cache.update(chunkKey{si.Path, c}, cc, cEnd-cOff)
 		}
 	}
 	return nil

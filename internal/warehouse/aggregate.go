@@ -120,6 +120,31 @@ func (q AggQuery) plan() (aggPlan, error) {
 	return p, nil
 }
 
+// projection names the event columns this plan's decode path touches, for
+// projected v3 chunk reads: the time always (window filtering), geo only
+// under a Region, theme/source only when filtered or grouped on, and of the
+// payload only the aggregated field. A payload condition reads everything —
+// it can reference any field.
+func (p *aggPlan) projection() persist.Projection {
+	if p.Cond != "" {
+		return persist.FullProjection
+	}
+	proj := persist.Projection{Mask: persist.ColTime}
+	if p.Region != nil {
+		proj.Mask |= persist.ColGeo
+	}
+	if len(p.Themes) > 0 || p.groupTheme {
+		proj.Mask |= persist.ColTheme
+	}
+	if len(p.Sources) > 0 || p.groupSource {
+		proj.Mask |= persist.ColSource
+	}
+	if !p.bareCount {
+		proj.Field = p.Field
+	}
+	return proj
+}
+
 // contribution resolves whether one event contributes and with what value.
 func (p *aggPlan) contribution(t *stt.Tuple) (float64, bool) {
 	if p.bareCount {
@@ -349,19 +374,20 @@ func (p *aggPlan) coldChunkAgg(acc map[partial.Key]*partial.State, cs *coldSegme
 	if lo >= hi {
 		return true, nil
 	}
-	// flush decodes one pending run of event ordinals and filters exactly.
+	proj := p.projection()
+	// flush decodes one pending run of event ordinals — only the plan's
+	// projected columns on v3 files — and filters exactly.
 	flush := func(a, b int) error {
 		if a >= b {
 			return nil
 		}
 		t0 := cs.readHist.Start()
-		pes, rs, err := info.ReadRangeCached(cs.cache, a, b)
+		pes, rs, err := info.ReadRangeProjected(cs.cache, a, b, proj)
 		cs.readHist.Since(t0)
 		if err != nil {
 			return err
 		}
-		sc.cacheHits += rs.CacheHits
-		sc.cacheMisses += rs.CacheMisses
+		sc.addRead(rs)
 		for _, pe := range pes {
 			ev := Event{Seq: pe.Seq, Tuple: pe.Tuple}
 			match, err := matchEvent(ev, p.Query, nil) // Cond is empty here
@@ -542,8 +568,13 @@ func (p *aggPlan) chunkAgg(acc map[partial.Key]*partial.State, cs *coldSegment, 
 	}
 
 	// Field aggregates: the whole chunk must contribute (any filtered-out
-	// event would poison the pre-aggregated frame) under a uniform group key.
+	// event would poison the pre-aggregated frame) under a uniform group key,
+	// and the chunk's numeric frame must be total — NaN/Inf values cannot
+	// ride in the stats, so their chunks decode.
 	if !srcFull || !thFull {
+		return false, true
+	}
+	if p.Func != ops.AggCount && st.Fields[p.Field].NonFinite > 0 {
 		return false, true
 	}
 	source, theme := "", ""
@@ -663,10 +694,13 @@ func (w *Warehouse) aggregate(q AggQuery, tr *obs.Trace) ([]AggRow, QueryStats, 
 		qs.ColdCacheMisses += sc.cacheMisses
 		qs.ColdHeaderOnly += sc.headerOnly
 		qs.ColdChunkStats += sc.chunkStats
+		qs.ColdColumnsSkipped += sc.columnsSkipped
+		qs.ColdBytesDecoded += sc.bytesDecoded
 	}
 	if qs.ColdChunkStats > 0 {
 		w.chunkStatsHits.Add(uint64(qs.ColdChunkStats))
 	}
+	w.columnsSkipped.Add(uint64(qs.ColdColumnsSkipped))
 	for _, err := range errs {
 		if err != nil {
 			return nil, qs, 0, err
@@ -728,12 +762,11 @@ func (s *shard) aggLocked(p *aggPlan) (map[partial.Key]*partial.State, segScan, 
 		if handled {
 			continue
 		}
-		evs, rs, err := cs.readWindow(p.From, p.To)
+		evs, rs, err := cs.readWindowProjected(p.From, p.To, p.projection())
 		if err != nil {
 			return nil, sc, err
 		}
-		sc.cacheHits += rs.CacheHits
-		sc.cacheMisses += rs.CacheMisses
+		sc.addRead(rs)
 		for _, ev := range evs {
 			match, err := matchEvent(ev, p.Query, conds)
 			if err != nil {

@@ -553,16 +553,13 @@ func runOps(cfg Config, mops []mop) string {
 			if !durable {
 				continue
 			}
-			// Configs seeded with an explicit segment format alternate it on
-			// every reopen, so cold history accumulates a mix of v1 and v2
-			// files — both must keep decoding, and the v2 chunk-stats fast
-			// path must be byte-identical to v1's decode path.
+			// Configs seeded with an explicit segment format cycle it
+			// v1→v2→v3→v1 on every reopen, so cold history accumulates a mix
+			// of all three formats in one store — all must keep decoding, and
+			// the v2+ chunk-stats and v3 projected-decode fast paths must be
+			// byte-identical to v1's full decode path.
 			if cfg.SegmentFormat != 0 {
-				if cfg.SegmentFormat == persist.SegmentV1 {
-					cfg.SegmentFormat = persist.SegmentV2
-				} else {
-					cfg.SegmentFormat = persist.SegmentV1
-				}
+				cfg.SegmentFormat = cfg.SegmentFormat%persist.SegmentVersionLatest + 1
 			}
 			if op.kind == opCrashMidSpill {
 				// Freeze the spill worker as the crash would, then write —
@@ -716,9 +713,9 @@ func TestModelCheck(t *testing.T) {
 		// shard is on disk) and crash-prone.
 		{Shards: 2, SegmentEvents: 4, SegmentSpan: 10 * time.Minute, DataDir: durableDir, HotSegments: 1},
 		{Shards: 4, SegmentEvents: 8, SegmentSpan: 30 * time.Minute, DataDir: durableDir, HotSegments: 2},
-		// Durable, v1-seeded: every reopen flips the segment format, so cold
-		// history mixes v1 and v2 files in one store, and an eager
-		// CompactBelow rewrites the mix aggressively.
+		// Durable, v1-seeded: every reopen cycles the segment format
+		// v1→v2→v3, so cold history mixes all three formats in one store,
+		// and an eager CompactBelow rewrites the mix aggressively.
 		{Shards: 2, SegmentEvents: 4, SegmentSpan: 10 * time.Minute, DataDir: durableDir,
 			HotSegments: 1, SegmentFormat: persist.SegmentV1, CompactBelow: 6},
 	}
@@ -729,7 +726,7 @@ func TestModelCheck(t *testing.T) {
 			name += "/durable"
 		}
 		if cfg.SegmentFormat != 0 {
-			name += "/v1v2"
+			name += "/v1v2v3"
 		}
 		t.Run(name, func(t *testing.T) {
 			seedCount := seeds

@@ -82,6 +82,9 @@ func Open(cfg Config) (*Warehouse, error) {
 	}
 	w.coldCache = persist.NewChunkCache(cacheBytes) // nil when disabled
 	w.spill = newSpiller(w)
+	if err := persist.ValidateSegmentFormat(cfg.SegmentFormat); err != nil {
+		return nil, fmt.Errorf("warehouse: open: %w", err)
+	}
 	w.segVersion = cfg.SegmentFormat
 	if w.segVersion == 0 {
 		w.segVersion = persist.SegmentVersionLatest

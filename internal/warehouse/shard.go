@@ -74,14 +74,28 @@ type shard struct {
 }
 
 // segScan counts how segment pruning — and, for cold segments, the chunk
-// cache and the aggregate header and chunk-stats fast paths — served one
-// shard-local query.
+// cache, projected column decode, and the aggregate header and chunk-stats
+// fast paths — served one shard-local query.
 type segScan struct {
 	scanned, pruned        int
 	cacheHits, cacheMisses int
 	headerOnly             int
 	chunkStats             int
+	columnsSkipped         int
+	bytesDecoded           int64
 }
+
+// addRead folds one cold read's stats into the scan.
+func (sc *segScan) addRead(rs persist.ReadStats) {
+	sc.cacheHits += rs.CacheHits
+	sc.cacheMisses += rs.CacheMisses
+	sc.columnsSkipped += rs.ColumnsSkipped
+	sc.bytesDecoded += rs.BytesDecoded
+}
+
+// condCache caches per-schema compilations of a query's Cond across the
+// segments one shard-local scan visits.
+type condCache = map[*stt.Schema]*expr.Compiled
 
 func newShard(lim segLimits) *shard {
 	return &shard{lim: lim, sources: map[string]int{}}
@@ -313,7 +327,7 @@ func (s *shard) selectQ(q Query) ([]Event, segScan, error) {
 	defer s.mu.RUnlock()
 
 	var sc segScan
-	conds := map[*stt.Schema]*expr.Compiled{}
+	conds := condCache{}
 	var out []Event
 	for _, cs := range s.cold {
 		if cs.prunedBy(q.From, q.To) {
@@ -321,20 +335,9 @@ func (s *shard) selectQ(q Query) ([]Event, segScan, error) {
 			continue
 		}
 		sc.scanned++
-		evs, rs, err := cs.readWindow(q.From, q.To)
-		if err != nil {
+		var err error
+		if out, err = cs.selectWindow(q, conds, out, &sc); err != nil {
 			return nil, sc, err
-		}
-		sc.cacheHits += rs.CacheHits
-		sc.cacheMisses += rs.CacheMisses
-		for _, ev := range evs {
-			ok, err := matchEvent(ev, q, conds)
-			if err != nil {
-				return nil, sc, err
-			}
-			if ok {
-				out = append(out, ev)
-			}
 		}
 	}
 	for _, seg := range s.segs {
@@ -434,12 +437,23 @@ func (s *shard) countQ(q Query) (int, segScan, error) {
 			n += cs.count
 			continue
 		}
-		evs, rs, err := cs.readWindow(q.From, q.To)
+		// A count never returns events, so only the filter columns need to
+		// decode (v3 files; v1/v2 fall through to a full read).
+		proj := persist.Projection{Mask: persist.ColTime}
+		if len(q.Themes) > 0 {
+			proj.Mask |= persist.ColTheme
+		}
+		if len(q.Sources) > 0 {
+			proj.Mask |= persist.ColSource
+		}
+		if q.Region != nil {
+			proj.Mask |= persist.ColGeo
+		}
+		evs, rs, err := cs.readWindowProjected(q.From, q.To, proj)
 		if err != nil {
 			return 0, sc, err
 		}
-		sc.cacheHits += rs.CacheHits
-		sc.cacheMisses += rs.CacheMisses
+		sc.addRead(rs)
 		for _, ev := range evs {
 			// q.Cond is empty here, so matchEvent cannot fail.
 			if ok, _ := matchEvent(ev, q, nil); ok {

@@ -76,10 +76,11 @@ type Config struct {
 	ColdCacheBytes int64
 	// SegmentFormat pins the segment-file format version new spills (and
 	// compactions) are written in: 0 writes the latest
-	// (persist.SegmentVersionLatest, whose per-chunk stats feed the
-	// aggregate chunk fast path), persist.SegmentV1 the legacy format.
-	// Files of either version are always readable regardless of this
-	// setting, so a store may mix them freely.
+	// (persist.SegmentVersionLatest — the columnar v3 layout with
+	// projected decode), persist.SegmentV2 the row layout with per-chunk
+	// stats, persist.SegmentV1 the legacy row format. Open rejects other
+	// values. Files of every version are always readable regardless of
+	// this setting, so a store may mix them freely.
 	SegmentFormat int
 	// CompactBelow is the live-event threshold under which a cold segment
 	// file counts as small enough to merge with its time-adjacent
@@ -133,9 +134,16 @@ type QueryStats struct {
 	// from header stats — no chunk read, no event decoded.
 	ColdHeaderOnly int `json:"cold_header_only"`
 	// ColdChunkStats counts the cold-segment chunks an aggregate answered
-	// from per-chunk sparse-index stats (v2 files) — each one a chunk that
+	// from per-chunk sparse-index stats (v2+ files) — each one a chunk that
 	// overlapped the query window yet was never read or decoded.
 	ColdChunkStats int `json:"cold_chunk_stats_hits"`
+	// ColdColumnsSkipped counts the column sections projected v3 decodes
+	// skipped over — columns the query provably did not need.
+	ColdColumnsSkipped int `json:"cold_columns_skipped"`
+	// ColdBytesDecoded is how many event-block bytes this query's cold
+	// reads actually parsed (whole chunks on v1/v2, only the projected
+	// sections on v3; cache hits contribute nothing).
+	ColdBytesDecoded int64 `json:"cold_bytes_decoded"`
 }
 
 // sourceHash routes a source name to a shard. It is FNV-1a rather than a
@@ -176,9 +184,11 @@ type Warehouse struct {
 	recovered   atomic.Uint64
 
 	// chunkStatsHits counts the cold chunks aggregate queries answered from
-	// v2 per-chunk stats; compactions/segsCompacted count background
-	// cold-file compactions and the files they merged away.
+	// v2+ per-chunk stats; columnsSkipped the v3 column sections projected
+	// reads skipped; compactions/segsCompacted count background cold-file
+	// compactions and the files they merged away.
 	chunkStatsHits atomic.Uint64
+	columnsSkipped atomic.Uint64
 	compactions    atomic.Uint64
 	segsCompacted  atomic.Uint64
 
@@ -746,6 +756,12 @@ func endShardSpan(sp *obs.Span, sc segScan, events int) {
 	if sc.chunkStats > 0 {
 		sp.SetInt("cold_chunk_stats_hits", int64(sc.chunkStats))
 	}
+	if sc.columnsSkipped > 0 {
+		sp.SetInt("cold_columns_skipped", int64(sc.columnsSkipped))
+	}
+	if sc.bytesDecoded > 0 {
+		sp.SetInt("cold_bytes_decoded", sc.bytesDecoded)
+	}
 	sp.End()
 }
 
@@ -770,7 +786,10 @@ func (w *Warehouse) SelectTraced(q Query, tr *obs.Trace) ([]Event, QueryStats, e
 		qs.SegmentsPruned += sc.pruned
 		qs.ColdCacheHits += sc.cacheHits
 		qs.ColdCacheMisses += sc.cacheMisses
+		qs.ColdColumnsSkipped += sc.columnsSkipped
+		qs.ColdBytesDecoded += sc.bytesDecoded
 	}
+	w.columnsSkipped.Add(uint64(qs.ColdColumnsSkipped))
 	for _, err := range errs {
 		if err != nil {
 			return nil, qs, err
@@ -873,7 +892,10 @@ func (w *Warehouse) CountTraced(q Query, tr *obs.Trace) (int, QueryStats, error)
 		qs.SegmentsPruned += scans[i].pruned
 		qs.ColdCacheHits += scans[i].cacheHits
 		qs.ColdCacheMisses += scans[i].cacheMisses
+		qs.ColdColumnsSkipped += scans[i].columnsSkipped
+		qs.ColdBytesDecoded += scans[i].bytesDecoded
 	}
+	w.columnsSkipped.Add(uint64(qs.ColdColumnsSkipped))
 	for _, err := range errs {
 		if err != nil {
 			return 0, qs, err
@@ -915,10 +937,12 @@ type Stats struct {
 	ColdCacheBytes  int64  `json:"cold_cache_bytes"`
 
 	// ColdChunkStatsHits counts the cold chunks aggregate queries answered
-	// from v2 per-chunk sparse-index stats instead of decoding them.
-	// Compactions counts background cold-file compactions and
-	// SegmentsCompacted the files they merged away.
+	// from v2+ per-chunk sparse-index stats instead of decoding them.
+	// ColdColumnsSkipped counts the v3 column sections projected reads
+	// skipped instead of decoding. Compactions counts background cold-file
+	// compactions and SegmentsCompacted the files they merged away.
 	ColdChunkStatsHits uint64 `json:"cold_chunk_stats_hits"`
+	ColdColumnsSkipped uint64 `json:"cold_columns_skipped"`
 	Compactions        uint64 `json:"compactions"`
 	SegmentsCompacted  uint64 `json:"segments_compacted"`
 
@@ -943,6 +967,7 @@ func (w *Warehouse) Stats() Stats {
 	st.ColdCacheMisses = cc.Misses
 	st.ColdCacheBytes = cc.Bytes
 	st.ColdChunkStatsHits = w.chunkStatsHits.Load()
+	st.ColdColumnsSkipped = w.columnsSkipped.Load()
 	st.Compactions = w.compactions.Load()
 	st.SegmentsCompacted = w.segsCompacted.Load()
 	st.Views = w.ViewCount()
