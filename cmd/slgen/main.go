@@ -24,6 +24,17 @@
 //
 //	slgen -data-dir /tmp/wh -agg count -agg-group source
 //	slgen -data-dir /tmp/wh -agg avg -agg-field temperature_c -agg-bucket 1h
+//
+// With -view the ingester also maintains a standing view of the same
+// aggregate vocabulary (spec from the -agg-* flags), checkpointing its
+// state on every mutation; -verify -view re-registers it after the crash
+// and checks the resumed rows against a fresh pushdown, and
+// -require-view-resume additionally fails unless the registration resumed
+// from the checkpoint instead of re-scanning history:
+//
+//	slgen -data-dir /tmp/wh -view count -agg-bucket 1m &
+//	kill -9 $!
+//	slgen -data-dir /tmp/wh -verify -view count -agg-bucket 1m -require-view-resume
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"streamloader/internal/geo"
+	"streamloader/internal/ops"
 	"streamloader/internal/persist"
 	"streamloader/internal/sensor"
 	"streamloader/internal/stt"
@@ -62,6 +74,8 @@ func main() {
 		aggField  = flag.String("agg-field", "", "payload field the aggregation reads (required for sum/avg/min/max)")
 		aggGroup  = flag.String("agg-group", "", "comma-separated aggregation group-by dimensions: source, theme")
 		aggBucket = flag.Duration("agg-bucket", 0, "fixed-width event-time bucketing for the aggregation (0: none)")
+		viewFunc  = flag.String("view", "", "with -data-dir: maintain a standing view of this aggregation (count, sum, avg, min, max; spec from the -agg-* flags) while ingesting, checkpointing every mutation; with -verify: re-register it and check it against a fresh aggregation")
+		viewMust  = flag.Bool("require-view-resume", false, "with -verify -view: fail unless the view resumed from its checkpoint instead of backfilling")
 	)
 	flag.Parse()
 
@@ -71,8 +85,17 @@ func main() {
 	}
 	to := from.Add(*duration)
 
+	var viewAq *warehouse.AggQuery
+	if *viewFunc != "" {
+		aq, err := parseAggFlags(*viewFunc, *aggField, *aggGroup, *aggBucket, time.Time{}, time.Time{})
+		if err != nil {
+			log.Fatalf("bad -view flags: %v", err)
+		}
+		viewAq = &aq
+	}
+
 	if *dataDir != "" && *verify {
-		verifyWarehouse(*dataDir, *minEvents)
+		verifyWarehouse(*dataDir, *minEvents, viewAq, *viewMust)
 		return
 	}
 	if *dataDir != "" && *aggFunc != "" {
@@ -106,7 +129,7 @@ func main() {
 	}
 
 	if *dataDir != "" {
-		ingestWarehouse(*dataDir, *fsync, *hotSegs, specs, from, *duration)
+		ingestWarehouse(*dataDir, *fsync, *hotSegs, specs, from, *duration, viewAq)
 		return
 	}
 
@@ -135,7 +158,7 @@ func main() {
 // Every "acked N" line is printed only after the batch behind it returned
 // from AppendBatch, i.e. after it hit the WAL under the chosen policy — a
 // SIGKILL immediately after a line must not lose the N events it reports.
-func ingestWarehouse(dir, fsync string, hotSegs int, specs []sensor.Spec, from time.Time, duration time.Duration) {
+func ingestWarehouse(dir, fsync string, hotSegs int, specs []sensor.Spec, from time.Time, duration time.Duration, viewAq *warehouse.AggQuery) {
 	syncPolicy, syncEvery, err := persist.ParseSyncPolicy(fsync)
 	if err != nil {
 		log.Fatalf("bad -fsync: %v", err)
@@ -146,12 +169,24 @@ func ingestWarehouse(dir, fsync string, hotSegs int, specs []sensor.Spec, from t
 		Sync:    syncPolicy, SyncEvery: syncEvery,
 		HotSegments:   hotSegs,
 		SegmentEvents: 256, // small segments so spill exercises quickly
+		// Checkpoint on every view mutation, so a SIGKILL at any point
+		// leaves a recent checkpoint for -verify -view to resume from.
+		ViewCheckpointEvery: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := w.Stats()
 	log.Printf("opened %s: %d events recovered (%d cold segments)", dir, st.RecoveredEvents, st.SegmentsCold)
+	if viewAq != nil {
+		// The handle is deliberately never released: the smoke kills the
+		// process mid-ingest, and the periodic checkpoints are the artifact
+		// under test.
+		if _, err := w.RegisterView(*viewAq, ops.UpdatePolicy{}); err != nil {
+			log.Fatalf("register view: %v", err)
+		}
+		log.Printf("standing view registered: %s", viewAq.Func)
+	}
 
 	out := bufio.NewWriter(os.Stdout)
 	acked := 0
@@ -197,23 +232,7 @@ func aggregateWarehouse(dir, fn, field, group string, bucket time.Duration, from
 		log.Fatalf("recover: %v", err)
 	}
 	defer w.Close()
-	// Build the same wire params the HTTP aggregate endpoint takes and run
-	// them through the shared warehouse parser, so the CLI and the server
-	// cannot drift on the query vocabulary.
-	params := url.Values{"func": {fn}, "field": {field}}
-	if !from.IsZero() {
-		params.Set("from", from.UTC().Format(time.RFC3339))
-	}
-	if !to.IsZero() {
-		params.Set("to", to.UTC().Format(time.RFC3339))
-	}
-	if group != "" {
-		params.Set("group", group)
-	}
-	if bucket > 0 {
-		params.Set("bucket", bucket.String())
-	}
-	aq, err := warehouse.ParseAggQueryValues(params)
+	aq, err := parseAggFlags(fn, field, group, bucket, from, to)
 	if err != nil {
 		log.Fatalf("bad -agg flags: %v", err)
 	}
@@ -245,9 +264,12 @@ func aggregateWarehouse(dir, fn, field, group string, bucket time.Duration, from
 		qs.SegmentsScanned, qs.SegmentsPruned, qs.ColdHeaderOnly)
 }
 
-// verifyWarehouse recovers the warehouse and checks the event count.
-func verifyWarehouse(dir string, minEvents int) {
-	w, err := warehouse.Open(warehouse.Config{Shards: 4, DataDir: dir})
+// verifyWarehouse recovers the warehouse and checks the event count. With
+// a view spec it also re-registers the standing view — resuming from the
+// checkpoint the crashed ingester left behind — and proves the resumed
+// state equals a fresh pushdown aggregation of the recovered store.
+func verifyWarehouse(dir string, minEvents int, viewAq *warehouse.AggQuery, requireResume bool) {
+	w, err := warehouse.Open(warehouse.Config{Shards: 4, DataDir: dir, ViewCheckpointEvery: 1})
 	if err != nil {
 		log.Fatalf("recover: %v", err)
 	}
@@ -258,4 +280,59 @@ func verifyWarehouse(dir string, minEvents int) {
 	if st.Events < minEvents {
 		log.Fatalf("recovered %d events, want at least %d", st.Events, minEvents)
 	}
+	if viewAq == nil {
+		return
+	}
+	v, err := w.RegisterView(*viewAq, ops.UpdatePolicy{})
+	if err != nil {
+		log.Fatalf("register view: %v", err)
+	}
+	defer v.Release()
+	rows, err := v.Rows()
+	if err != nil {
+		log.Fatalf("view rows: %v", err)
+	}
+	want, _, err := w.Aggregate(*viewAq)
+	if err != nil {
+		log.Fatalf("aggregate: %v", err)
+	}
+	if len(rows) != len(want) {
+		log.Fatalf("view has %d rows, aggregate %d", len(rows), len(want))
+	}
+	for i := range rows {
+		g, w := rows[i], want[i]
+		if !g.Bucket.Equal(w.Bucket) || g.Source != w.Source || g.Theme != w.Theme ||
+			g.Count != w.Count || g.Value != w.Value {
+			log.Fatalf("view row %d = %+v, aggregate says %+v", i, g, w)
+		}
+	}
+	resumes := w.Stats().ViewResumes
+	log.Printf("view %s: %d rows, matches aggregate exactly (checkpoint resumes: %d)",
+		viewAq.Func, len(rows), resumes)
+	if requireResume && resumes == 0 {
+		log.Fatalf("view backfilled from history; want a checkpoint resume")
+	}
+}
+
+// parseAggFlags builds an AggQuery from the -agg-*/-view flag vocabulary
+// through the same wire parser the HTTP endpoints use, so the CLI and the
+// server cannot drift.
+func parseAggFlags(fn, field, group string, bucket time.Duration, from, to time.Time) (warehouse.AggQuery, error) {
+	params := url.Values{"func": {fn}}
+	if field != "" {
+		params.Set("field", field)
+	}
+	if !from.IsZero() {
+		params.Set("from", from.UTC().Format(time.RFC3339))
+	}
+	if !to.IsZero() {
+		params.Set("to", to.UTC().Format(time.RFC3339))
+	}
+	if group != "" {
+		params.Set("group", group)
+	}
+	if bucket > 0 {
+		params.Set("bucket", bucket.String())
+	}
+	return warehouse.ParseAggQueryValues(params)
 }

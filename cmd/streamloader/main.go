@@ -11,9 +11,9 @@
 //	             [-retain 0] [-segment-events 4096] [-segment-span 1h]
 //	             [-data-dir ""] [-fsync interval] [-hot-segments 16]
 //	             [-cold-cache-bytes 67108864] [-compact-below 0]
-//	             [-segment-format 0] [-agg-max-groups 100000]
-//	             [-max-subscribers 10000] [-slow-query 0]
-//	             [-pprof-addr ""]
+//	             [-segment-format 0] [-view-checkpoint-every 0]
+//	             [-agg-max-groups 100000] [-max-subscribers 10000]
+//	             [-slow-query 0] [-pprof-addr ""]
 //
 // With -live (default) sources pace in real time; with -live=false the
 // server replays event-time ranges at full speed, which is what the
@@ -29,7 +29,10 @@
 // hit RAM instead of disk. A background compactor merges cold files
 // smaller than -compact-below events (or left overlapping by out-of-order
 // spills) into their time-adjacent neighbors; -segment-format pins the
-// cold file format version for downgrade scenarios.
+// cold file format version for downgrade scenarios. Standing views
+// checkpoint their state every -view-checkpoint-every mutations (and on
+// clean shutdown), so a restart or a reconnecting subscriber resumes from
+// the checkpoint plus a WAL-tail fold instead of re-scanning history.
 //
 // Observability: every stage reports latency histograms and counters to
 // GET /metrics (Prometheus text format); ?trace=1 on the query/aggregate
@@ -82,6 +85,7 @@ func main() {
 		coldCache = flag.Int64("cold-cache-bytes", warehouse.DefaultColdCacheBytes, "budget for the LRU of decoded cold-segment chunks (negative: disable)")
 		compBelow = flag.Int("compact-below", 0, "merge cold segment files smaller than this many events into neighbors (0: half of -segment-events; negative: disable compaction)")
 		segFormat = flag.Int("segment-format", 0, "cold segment file format version to write (0: latest; supported: "+persist.SupportedSegmentFormats()+")")
+		viewCkpt  = flag.Int("view-checkpoint-every", 0, "view mutations between standing-view checkpoints on a durable store (0: default; negative: disable)")
 		aggGroups = flag.Int("agg-max-groups", warehouse.DefaultAggMaxGroups, "group cardinality bound for /api/warehouse/aggregate")
 		maxSubs   = flag.Int("max-subscribers", server.DefaultMaxSubscribers, "live /api/warehouse/subscribe client cap across all views")
 		slowQuery = flag.Duration("slow-query", 0, "log warehouse queries slower than this, with their span breakdown (0: off)")
@@ -133,7 +137,10 @@ func main() {
 		ColdCacheBytes: *coldCache,
 		CompactBelow:   *compBelow,
 		SegmentFormat:  *segFormat,
-		Obs:            reg,
+
+		ViewCheckpointEvery: *viewCkpt,
+
+		Obs: reg,
 	})
 	if err != nil {
 		log.Fatalf("opening warehouse: %v", err)

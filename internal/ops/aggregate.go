@@ -23,6 +23,19 @@ const (
 	AggMax   AggFunc = "MAX"
 )
 
+// Subtractable reports whether the function's partial state can exactly
+// un-observe a contribution: COUNT, SUM and AVG carry only a count and a
+// sum, both linear, so removing an event is one subtraction. MIN and MAX
+// are not — once an extremum is folded in, forgetting it needs a rescan of
+// the surviving inputs.
+func (f AggFunc) Subtractable() bool {
+	switch f {
+	case AggCount, AggSum, AggAvg:
+		return true
+	}
+	return false
+}
+
 // ParseAggFunc validates an aggregation function name (case-insensitive).
 func ParseAggFunc(s string) (AggFunc, error) {
 	switch AggFunc(strings.ToUpper(s)) {

@@ -1,0 +1,203 @@
+package partial
+
+import (
+	"time"
+)
+
+// Store groups partial aggregate state into per-time-bucket frames keyed
+// by the aligned bucket start. The frame index is what makes removal
+// cheap: a retention cut or a window expiry deletes whole frames in O(1)
+// each instead of rescanning history, and only the single frame straddling
+// a retention boundary ever needs patching (an exact subtraction for
+// COUNT/SUM/AVG, a one-bucket rescan for MIN/MAX).
+//
+// A Store with Width == 0 is the unbucketed degenerate case: one frame
+// holds every group and frame-granular removal never applies.
+type Store struct {
+	// Width is the frame width; for a bucketed aggregation it equals the
+	// query's bucket, so frames and output buckets are one-to-one.
+	Width time.Duration
+
+	frames map[int64]*Frame
+	groups int
+}
+
+// Frame is the group state of one time bucket.
+type Frame struct {
+	// Start is the aligned frame start (the zero time in a Width-0 store).
+	Start  time.Time
+	Groups map[Key]*State
+}
+
+// NewStore returns an empty store with the given frame width.
+func NewStore(width time.Duration) *Store {
+	return &Store{Width: width, frames: map[int64]*Frame{}}
+}
+
+func frameKey(start time.Time) int64 {
+	if start.IsZero() {
+		return 0
+	}
+	return start.UnixNano()
+}
+
+// Len is the total group count across frames.
+func (st *Store) Len() int { return st.groups }
+
+// FrameCount is the number of live frames.
+func (st *Store) FrameCount() int { return len(st.frames) }
+
+// Group returns the state for k in the frame starting at start, creating
+// both on demand. It returns nil when creating the group would exceed
+// maxGroups.
+func (st *Store) Group(k Key, start time.Time, maxGroups int) *State {
+	fk := frameKey(start)
+	f := st.frames[fk]
+	if f == nil {
+		f = &Frame{Start: start, Groups: map[Key]*State{}}
+		st.frames[fk] = f
+	}
+	s := f.Groups[k]
+	if s == nil {
+		if st.groups >= maxGroups {
+			return nil
+		}
+		s = New(start)
+		f.Groups[k] = s
+		st.groups++
+	}
+	return s
+}
+
+// Put installs a state, replacing any previous state of the same group —
+// the checkpoint-restore path.
+func (st *Store) Put(k Key, start time.Time, s *State) {
+	fk := frameKey(start)
+	f := st.frames[fk]
+	if f == nil {
+		f = &Frame{Start: start, Groups: map[Key]*State{}}
+		st.frames[fk] = f
+	}
+	if _, ok := f.Groups[k]; !ok {
+		st.groups++
+	}
+	f.Groups[k] = s
+}
+
+// ForEach visits every group.
+func (st *Store) ForEach(fn func(frameStart time.Time, k Key, s *State)) {
+	for _, f := range st.frames {
+		for k, s := range f.Groups {
+			fn(f.Start, k, s)
+		}
+	}
+}
+
+// MergeInto folds every frame whose start satisfies keep (nil keeps all)
+// into dst, cloning states when clone is set. It reports false on group
+// overflow, mirroring Merge.
+func (st *Store) MergeInto(dst map[Key]*State, maxGroups int, clone bool, keep func(start time.Time) bool) bool {
+	for _, f := range st.frames {
+		if keep != nil && !keep(f.Start) {
+			continue
+		}
+		if !Merge(dst, f.Groups, maxGroups, clone) {
+			return false
+		}
+	}
+	return true
+}
+
+// DropFrames deletes every frame whose start fails keep and returns how
+// many frames went. Whole-frame deletion is the subtraction-free removal
+// path: no group is patched, no event is rescanned.
+func (st *Store) DropFrames(keep func(start time.Time) bool) int {
+	dropped := 0
+	for fk, f := range st.frames {
+		if keep(f.Start) {
+			continue
+		}
+		st.groups -= len(f.Groups)
+		delete(st.frames, fk)
+		dropped++
+	}
+	return dropped
+}
+
+// ReplaceFrame installs a freshly scanned group set for one frame (the
+// MIN/MAX boundary-rescan path), dropping the frame entirely when the scan
+// came back empty.
+func (st *Store) ReplaceFrame(start time.Time, groups map[Key]*State) {
+	fk := frameKey(start)
+	if old := st.frames[fk]; old != nil {
+		st.groups -= len(old.Groups)
+		delete(st.frames, fk)
+	}
+	if len(groups) == 0 {
+		return
+	}
+	st.frames[fk] = &Frame{Start: start, Groups: groups}
+	st.groups += len(groups)
+}
+
+// Sub subtracts exact deltas — count and sum only, the subtractable
+// aggregates — group by group, deleting any group whose count reaches
+// zero. Min/Max are deliberately untouched: a caller whose aggregate
+// reads them must use ReplaceFrame instead. Deltas for groups the store
+// does not hold are ignored (the group was already dropped whole).
+func (st *Store) Sub(deltas map[Key]*State) {
+	for k, d := range deltas {
+		var start time.Time
+		if d.Bucket.IsZero() && st.Width == 0 {
+			// unbucketed: single frame 0
+		} else {
+			start = d.Bucket
+		}
+		f := st.frames[frameKey(start)]
+		if f == nil {
+			continue
+		}
+		s := f.Groups[k]
+		if s == nil {
+			continue
+		}
+		s.Count -= d.Count
+		s.Sum -= d.Sum
+		if s.Count <= 0 {
+			delete(f.Groups, k)
+			st.groups--
+			if len(f.Groups) == 0 {
+				delete(st.frames, frameKey(start))
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy (independent frames and states).
+func (st *Store) Clone() *Store {
+	c := &Store{Width: st.Width, frames: make(map[int64]*Frame, len(st.frames)), groups: st.groups}
+	for fk, f := range st.frames {
+		nf := &Frame{Start: f.Start, Groups: make(map[Key]*State, len(f.Groups))}
+		for k, s := range f.Groups {
+			nf.Groups[k] = s.Clone()
+		}
+		c.frames[fk] = nf
+	}
+	return c
+}
+
+// FromFlat wraps a flat scan result into a store: with a positive width
+// every state files under its own bucket (scan buckets and frames are
+// one-to-one for a bucketed aggregation), otherwise everything lands in
+// the single zero frame.
+func FromFlat(width time.Duration, flat map[Key]*State) *Store {
+	st := NewStore(width)
+	for k, s := range flat {
+		var start time.Time
+		if width > 0 {
+			start = s.Bucket
+		}
+		st.Put(k, start, s)
+	}
+	return st
+}

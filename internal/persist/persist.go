@@ -242,10 +242,57 @@ type Manifest struct {
 	// surviving events alone would regress it and hand out duplicates.
 	MaxSeq uint64 `json:"max_seq,omitempty"`
 
+	// Evictions counts every retention eviction this directory has applied,
+	// including degraded ones that recorded no cut (an unreadable cold file
+	// kept its events, so no watermark was safe to persist). View
+	// checkpoints fingerprint it together with the cut frontier: any
+	// eviction invalidates state that can no longer subtract what left.
+	Evictions uint64 `json:"evictions,omitempty"`
+
+	// Views records the registered standing aggregate views and the
+	// checkpoint file each resumes from, oldest registration first.
+	Views []ViewRecord `json:"views,omitempty"`
+
 	// Legacy single-cut fields, read (never written) so manifests from
 	// before the frontier keep recovering.
 	LegacyMarks         []ShardMark `json:"marks,omitempty"`
 	LegacyWatermarkJSON *keyJSON    `json:"watermark,omitempty"`
+}
+
+// ViewRecord is one standing view's durable definition: the canonical
+// registry key, the query in URL-values form (round-trippable through
+// ParseAggQueryValues), the update policy's wire string, and the
+// checkpoint file name under the views/ subdirectory.
+type ViewRecord struct {
+	Key    string `json:"key"`
+	Query  string `json:"query"`
+	Policy string `json:"policy"`
+	File   string `json:"file"`
+}
+
+// maxViewRecords bounds the manifest's view list; registrations beyond it
+// evict oldest-first.
+const maxViewRecords = 32
+
+// AddView appends or refreshes a view record, reporting whether the
+// manifest changed and which records fell off the capped end (their
+// checkpoint files should be deleted by the caller).
+func (m *Manifest) AddView(r ViewRecord) (changed bool, evicted []ViewRecord) {
+	for i, old := range m.Views {
+		if old.Key == r.Key {
+			if old == r {
+				return false, nil
+			}
+			m.Views[i] = r
+			return true, nil
+		}
+	}
+	m.Views = append(m.Views, r)
+	for len(m.Views) > maxViewRecords {
+		evicted = append(evicted, m.Views[0])
+		m.Views = append(m.Views[:0], m.Views[1:]...)
+	}
+	return true, evicted
 }
 
 // AddCut appends a compaction's cut, pruning the cuts it subsumes: every

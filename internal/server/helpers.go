@@ -75,6 +75,8 @@ pre { background: #0a0e12; padding: .6em; overflow-x: auto; }
 <h2>Sensors</h2><div id="sensors">loading&hellip;</div>
 <h2>Dataflows</h2><div id="dataflows">loading&hellip;</div>
 <h2>Network</h2><div id="network">loading&hellip;</div>
+<h2>Warehouse</h2><div id="warehouse">loading&hellip;</div>
+<h2>Standing views</h2><div id="views">loading&hellip;</div>
 <h2>Events</h2><pre id="events">loading&hellip;</pre>
 <script>
 async function j(u) { const r = await fetch(u); return r.json(); }
@@ -102,6 +104,20 @@ async function refresh() {
     document.getElementById('network').innerHTML =
       table(net.nodes, ['id','capacity','load','down']) +
       table(net.flows || [], ['id','tuples','bytes']);
+    try {
+      const wh = await j('/api/warehouse/stats');
+      document.getElementById('warehouse').innerHTML =
+        table([wh], ['events','sources','segments','segments_cold','wal_bytes','disk_bytes']);
+      document.getElementById('views').innerHTML = table([{
+        live: wh.views, subscribers: wh.view_subscribers,
+        frame_drops: wh.view_frame_drops, subtractions: wh.view_subtractions,
+        boundary_rescans: wh.view_boundary_rescans,
+        checkpoints: wh.view_checkpoints, resumes: wh.view_resumes,
+      }], ['live','subscribers','frame_drops','subtractions','boundary_rescans','checkpoints','resumes']);
+    } catch (e) {
+      document.getElementById('warehouse').textContent = 'no warehouse';
+      document.getElementById('views').textContent = 'no warehouse';
+    }
     const evs = await j('/api/events');
     document.getElementById('events').textContent =
       (evs || []).slice(-20).map(e => e.time+' '+e.kind+' '+(e.op||'')+' '+(e.node||'')+' '+(e.detail||'')).join('\n');

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ndjsonRecorder is a ResponseWriter+Flusher that records every flush, so
+// the tests can pin writeNDJSON's flush contract: batched flushes every
+// ndjsonFlushEvery lines, a ticker flush for lines that would otherwise
+// sit buffered, and exactly one reaped ticker goroutine no matter how the
+// generator exits.
+type ndjsonRecorder struct {
+	mu        sync.Mutex
+	buf       bytes.Buffer
+	flushes   int
+	failAfter int // writes allowed before erroring; <0 means never fail
+	writes    int
+	header    http.Header
+}
+
+func newNDJSONRecorder() *ndjsonRecorder {
+	return &ndjsonRecorder{failAfter: -1, header: http.Header{}}
+}
+
+func (f *ndjsonRecorder) Header() http.Header { return f.header }
+func (f *ndjsonRecorder) WriteHeader(int)     {}
+
+func (f *ndjsonRecorder) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failAfter >= 0 && f.writes >= f.failAfter {
+		return 0, errors.New("client gone")
+	}
+	f.writes++
+	return f.buf.Write(p)
+}
+
+func (f *ndjsonRecorder) Flush() {
+	f.mu.Lock()
+	f.flushes++
+	f.mu.Unlock()
+}
+
+func (f *ndjsonRecorder) flushCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushes
+}
+
+func (f *ndjsonRecorder) lines() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return strings.Count(f.buf.String(), "\n")
+}
+
+func TestWriteNDJSONBatchFlush(t *testing.T) {
+	w := newNDJSONRecorder()
+	const n = 2*ndjsonFlushEvery + 3
+	ok := writeNDJSON(w, func(yield func(v any) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(map[string]int{"i": i}) {
+				return
+			}
+		}
+	})
+	if !ok {
+		t.Fatalf("writeNDJSON returned false for a healthy stream")
+	}
+	if got := w.lines(); got != n {
+		t.Fatalf("wrote %d lines, want %d", got, n)
+	}
+	// Two full batches plus the unconditional tail flush; the ticker may
+	// add more but never fewer.
+	if got := w.flushCount(); got < 3 {
+		t.Fatalf("flushed %d times, want >= 3 (every %d lines plus the tail)", got, ndjsonFlushEvery)
+	}
+}
+
+// TestWriteNDJSONTickerFlush pins the sparse-stream behavior: a line that
+// would sit under the ndjsonFlushEvery batch threshold is still pushed to
+// the client by the interval ticker, while the generator is blocked
+// producing the next line.
+func TestWriteNDJSONTickerFlush(t *testing.T) {
+	w := newNDJSONRecorder()
+	flushed := make(chan struct{})
+	writeNDJSON(w, func(yield func(v any) bool) {
+		if !yield(map[string]string{"first": "line"}) {
+			return
+		}
+		// Wait for the ticker, not a wall-clock guess: the stream is
+		// mid-generation, so any flush seen now is the ticker's.
+		deadline := time.After(10 * ndjsonFlushInterval)
+		for w.flushCount() == 0 {
+			select {
+			case <-deadline:
+				close(flushed)
+				return
+			case <-time.After(ndjsonFlushInterval / 10):
+			}
+		}
+		close(flushed)
+	})
+	<-flushed
+	if w.flushCount() == 0 {
+		t.Fatalf("no ticker flush within %v of a buffered line", 10*ndjsonFlushInterval)
+	}
+}
+
+func TestWriteNDJSONWriteErrorStops(t *testing.T) {
+	w := newNDJSONRecorder()
+	w.failAfter = 1
+	yields := 0
+	ok := writeNDJSON(w, func(yield func(v any) bool) {
+		for yield(map[string]int{"i": yields}) {
+			yields++
+		}
+	})
+	if ok {
+		t.Fatalf("writeNDJSON returned true after a write error")
+	}
+	if yields != 1 {
+		t.Fatalf("generator saw %d successful yields, want 1 (stop at first write error)", yields)
+	}
+}
+
+// TestWriteNDJSONPanicReapsTicker pins the cleanup path: a panicking
+// generator must not leak the flush-ticker goroutine — teardown is
+// deferred, so the ticker is stopped and joined before the panic leaves
+// writeNDJSON.
+func TestWriteNDJSONPanicReapsTicker(t *testing.T) {
+	w := newNDJSONRecorder()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("generator panic did not propagate")
+			}
+		}()
+		writeNDJSON(w, func(yield func(v any) bool) {
+			yield(map[string]string{"last": "words"})
+			panic("generator exploded")
+		})
+	}()
+	// The deferred teardown joined the ticker goroutine (tickDone.Wait())
+	// and ran the tail flush before the panic unwound past writeNDJSON.
+	if w.flushCount() == 0 {
+		t.Fatalf("tail flush skipped on generator panic")
+	}
+	if got := w.lines(); got != 1 {
+		t.Fatalf("wrote %d lines before the panic, want 1", got)
+	}
+}

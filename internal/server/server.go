@@ -530,10 +530,9 @@ func writeNDJSON(w http.ResponseWriter, lines func(yield func(v any) bool)) bool
 	// so an idle stream costs no flush calls.
 	var mu sync.Mutex
 	dirty := false
-	var stop chan struct{}
-	var tickDone sync.WaitGroup
 	if flusher != nil {
-		stop = make(chan struct{})
+		stop := make(chan struct{})
+		var tickDone sync.WaitGroup
 		tickDone.Add(1)
 		go func() {
 			defer tickDone.Done()
@@ -553,6 +552,15 @@ func writeNDJSON(w http.ResponseWriter, lines func(yield func(v any) bool)) bool
 				}
 			}
 		}()
+		// Deferred, not inline after lines(): if the generator panics the
+		// ticker goroutine must still be reaped (it holds the flusher and
+		// would otherwise run for the life of the process) and the tail
+		// flush must still happen before the handler unwinds.
+		defer func() {
+			close(stop)
+			tickDone.Wait()
+			flusher.Flush()
+		}()
 	}
 
 	n := 0
@@ -571,11 +579,6 @@ func writeNDJSON(w http.ResponseWriter, lines func(yield func(v any) bool)) bool
 		}
 		return true
 	})
-	if flusher != nil {
-		close(stop)
-		tickDone.Wait()
-		flusher.Flush()
-	}
 	return ok
 }
 

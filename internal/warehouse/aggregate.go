@@ -57,6 +57,15 @@ type AggQuery struct {
 	// Bucket, when positive, additionally groups results into fixed-width
 	// event-time windows (time.Time.Truncate alignment).
 	Bucket time.Duration
+	// Window, when positive, restricts the result to the trailing window
+	// ending at evaluation time: only buckets that still overlap
+	// (now-Window, now] survive, judged on the evaluator's clock. It
+	// requires a positive Bucket — expiry is bucket-granular, dropping a
+	// whole frame exactly when its end leaves the window, so results stay
+	// identical to re-aggregating the surviving buckets from scratch. On a
+	// standing view the same rule drops expired frames by construction on
+	// the publisher's clock (see view.go).
+	Window time.Duration
 	// MaxGroups bounds the result cardinality (0 = DefaultAggMaxGroups).
 	MaxGroups int
 }
@@ -112,12 +121,44 @@ func (q AggQuery) plan() (aggPlan, error) {
 	if q.Bucket < 0 {
 		return p, fmt.Errorf("%w: negative bucket %v", ErrInvalidAggQuery, q.Bucket)
 	}
+	if q.Window < 0 {
+		return p, fmt.Errorf("%w: negative window %v", ErrInvalidAggQuery, q.Window)
+	}
+	if q.Window > 0 && q.Bucket <= 0 {
+		return p, fmt.Errorf("%w: window %v needs a bucket (expiry is bucket-granular)", ErrInvalidAggQuery, q.Window)
+	}
 	p.maxGroups = q.MaxGroups
 	if p.maxGroups <= 0 {
 		p.maxGroups = DefaultAggMaxGroups
 	}
 	p.Limit = 0 // aggregates have no page; never let a Limit prune inputs
 	return p, nil
+}
+
+// windowKeep returns the bucket-survival predicate of a windowed plan at
+// evaluation time now: a bucket survives while its end is still inside the
+// trailing window. Nil when the plan has no window (everything survives).
+func (p *aggPlan) windowKeep(now time.Time) func(start time.Time) bool {
+	if p.Window <= 0 {
+		return nil
+	}
+	cutoff := now.Add(-p.Window)
+	bucket := p.Bucket
+	return func(start time.Time) bool { return start.Add(bucket).After(cutoff) }
+}
+
+// windowFrom tightens the plan's From bound to the earliest event time any
+// surviving bucket can contain — a conservative pre-filter (one spare bucket
+// of slack) that lets scans prune history the keep-predicate would discard
+// anyway. The keep-predicate stays the authority on what is emitted.
+func (p *aggPlan) windowFrom(now time.Time) {
+	if p.Window <= 0 {
+		return
+	}
+	lower := now.Add(-p.Window).Truncate(p.Bucket).Add(-p.Bucket)
+	if p.From.IsZero() || p.From.Before(lower) {
+		p.From = lower
+	}
 }
 
 // projection names the event columns this plan's decode path touches, for
@@ -196,6 +237,28 @@ func (p *aggPlan) accumulate(acc map[partial.Key]*partial.State, t *stt.Tuple) b
 		st.ObserveCount(1)
 	} else {
 		st.Observe(f)
+	}
+	return true
+}
+
+// accumulateStore is accumulate targeting a bucketed store: the event files
+// under the frame of its own bucket (the zero frame when unbucketed), which
+// is what lets retention cuts and window expiry drop whole frames later. It
+// reports false when the group cardinality bound is exceeded.
+func (p *aggPlan) accumulateStore(st *partial.Store, t *stt.Tuple) bool {
+	f, ok := p.contribution(t)
+	if !ok {
+		return true
+	}
+	key, bs := p.keyOf(t)
+	s := st.Group(key, bs, p.maxGroups)
+	if s == nil {
+		return false
+	}
+	if p.Func == ops.AggCount {
+		s.ObserveCount(1)
+	} else {
+		s.Observe(f)
 	}
 	return true
 }
@@ -678,6 +741,8 @@ func (w *Warehouse) aggregate(q AggQuery, tr *obs.Trace) ([]AggRow, QueryStats, 
 	if err != nil {
 		return nil, qs, 0, err
 	}
+	now := w.now()
+	p.windowFrom(now)
 	shards := w.routedShards(p.Query)
 	parts := make([]map[partial.Key]*partial.State, len(shards))
 	scans := make([]segScan, len(shards))
@@ -715,6 +780,13 @@ func (w *Warehouse) aggregate(q AggQuery, tr *obs.Trace) ([]AggRow, QueryStats, 
 		if !partial.Merge(merged, part, p.maxGroups, false) {
 			msp.End()
 			return nil, qs, 0, errAggGroups
+		}
+	}
+	if keep := p.windowKeep(now); keep != nil {
+		for k, st := range merged {
+			if !keep(st.Bucket) {
+				delete(merged, k)
+			}
 		}
 	}
 	msp.SetInt("groups", int64(len(merged)))

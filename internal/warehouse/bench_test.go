@@ -1116,3 +1116,296 @@ func BenchmarkSelectProjected(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkViewRetentionCut prices what per-bucket partial frames buy a
+// standing view when retention cuts history out from under it.
+//
+// The cut/* cases time one retention cut plus the next full read of a
+// live bucketed view over a single hot stream. For COUNT/SUM/AVG the
+// frames make the cut incremental: whole buckets older than the boundary
+// fall off as frame drops and the boundary bucket's evicted contribution
+// is subtracted exactly — zero boundary rescans, never a dirty rebuild
+// (both asserted). cut/rebuild is the pre-frames design as a baseline:
+// the same cut, but the view is invalidated (as every eviction used to
+// do) and the next read re-derives every frame from a full history scan.
+// cut/speedup interleaves the two on one store and fails the run when the
+// incremental path is not ≥10x cheaper; the comparison is conservative —
+// the trim side is charged for the whole cut (eviction walk included),
+// the rebuild side only for its re-scan read.
+//
+// The reconnect/* cases price checkpoint resume on a durable store: a
+// released view re-registered from its checkpoint (plus an empty WAL-tail
+// fold) versus the same registration with the checkpoint files removed,
+// which pays a cold backfill over spilled history. reconnect/speedup
+// pairs the two per round and fails under the 5x bar.
+//
+// Timing is manual (ns/op overridden via ReportMetric): the un-timed
+// appends that force each cut would otherwise sit inside StopTimer /
+// StartTimer pairs, whose per-call memstats reads cost more than the cut
+// being measured.
+func BenchmarkViewRetentionCut(b *testing.B) {
+	const (
+		bound   = 65536           // retention bound; cuts drop to 3/4 of it
+		batch   = bound/4 + 1     // un-timed appends that force each cut
+		spacing = 5 * time.Second // 720 events per 1h bucket and segment
+	)
+	bucketed := func(fn ops.AggFunc, field string) AggQuery {
+		return AggQuery{Func: fn, Field: field, Bucket: time.Hour}
+	}
+	// seedCut builds an in-memory store at the retention steady state with
+	// one live bucketed view, plus a tail counter for further appends.
+	seedCut := func(b *testing.B, aq AggQuery) (*Warehouse, *View, *int) {
+		b.Helper()
+		w := NewWithConfig(Config{Shards: 4, SegmentEvents: 1024, SegmentSpan: time.Hour})
+		tail := 0
+		grow := func(n int) {
+			tups := make([]*stt.Tuple, 0, n)
+			for i := 0; i < n; i++ {
+				tups = append(tups, wTuple(time.Duration(tail)*spacing, float64(tail%40),
+					"s", 34.7, 135.5))
+				tail++
+			}
+			if err := w.AppendBatch(tups); err != nil {
+				b.Fatal(err)
+			}
+		}
+		grow(bound)
+		v, err := w.RegisterView(aq, ops.UpdatePolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Rows(); err != nil {
+			b.Fatal(err)
+		}
+		return w, v, &tail
+	}
+	grow := func(b *testing.B, w *Warehouse, tail *int) {
+		b.Helper()
+		tups := make([]*stt.Tuple, 0, batch)
+		for i := 0; i < batch; i++ {
+			tups = append(tups, wTuple(time.Duration(*tail)*spacing, float64(*tail%40),
+				"s", 34.7, 135.5))
+			*tail++
+		}
+		if err := w.AppendBatch(tups); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		aq   AggQuery
+	}{
+		{"cut/count", bucketed(ops.AggCount, "")},
+		{"cut/sum", bucketed(ops.AggSum, "temperature")},
+		{"cut/avg", bucketed(ops.AggAvg, "temperature")},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w, v, tail := seedCut(b, tc.aq)
+			defer v.Release()
+			rescans0 := w.viewBoundaryRescans.Load()
+			drops0 := w.viewFrameDrops.Load()
+			subs0 := w.viewSubtractions.Load()
+			var timed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				grow(b, w, tail)
+				start := time.Now()
+				w.SetRetention(bound) // cut runs inline, frames patched in place
+				if _, err := v.Rows(); err != nil {
+					b.Fatal(err)
+				}
+				timed += time.Since(start)
+				w.SetRetention(0)
+			}
+			b.StopTimer()
+			if n := w.viewBoundaryRescans.Load() - rescans0; n != 0 {
+				b.Fatalf("%s paid %d boundary rescans; subtractable cuts must pay none", tc.name, n)
+			}
+			if v.dirty.Load() {
+				b.Fatalf("%s left the view dirty; cuts must never force a rebuild", tc.name)
+			}
+			if n := w.viewFrameDrops.Load() - drops0; n == 0 {
+				b.Fatal("cuts dropped no frames; benchmark is not exercising the trim path")
+			}
+			b.ReportMetric(float64(timed.Nanoseconds())/float64(b.N), "ns/op")
+			b.ReportMetric(float64(w.viewFrameDrops.Load()-drops0)/float64(b.N), "frame-drops/op")
+			b.ReportMetric(float64(w.viewSubtractions.Load()-subs0)/float64(b.N), "subtractions/op")
+		})
+	}
+
+	// The pre-frames baseline: identical cut, but the next read re-derives
+	// every frame from a full scan of the surviving history.
+	b.Run("cut/rebuild", func(b *testing.B) {
+		w, v, tail := seedCut(b, bucketed(ops.AggSum, "temperature"))
+		defer v.Release()
+		var timed time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			grow(b, w, tail)
+			start := time.Now()
+			w.SetRetention(bound)
+			v.dirty.Store(true)
+			if _, err := v.Rows(); err != nil {
+				b.Fatal(err)
+			}
+			timed += time.Since(start)
+			w.SetRetention(0)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(timed.Nanoseconds())/float64(b.N), "ns/op")
+	})
+
+	// Interleave the two paths on one store and hold the bar. A minimum of
+	// six rounds keeps the ratio honest at -benchtime=1x.
+	b.Run("cut/speedup", func(b *testing.B) {
+		w, v, tail := seedCut(b, bucketed(ops.AggSum, "temperature"))
+		defer v.Release()
+		rounds := b.N
+		if rounds < 6 {
+			rounds = 6
+		}
+		var trim, rebuild time.Duration
+		b.ResetTimer()
+		for i := 0; i < rounds; i++ {
+			grow(b, w, tail)
+			start := time.Now()
+			w.SetRetention(bound)
+			if _, err := v.Rows(); err != nil {
+				b.Fatal(err)
+			}
+			trim += time.Since(start)
+			start = time.Now()
+			v.dirty.Store(true)
+			if _, err := v.Rows(); err != nil {
+				b.Fatal(err)
+			}
+			rebuild += time.Since(start)
+			w.SetRetention(0)
+		}
+		b.StopTimer()
+		speedup := float64(rebuild) / float64(trim)
+		b.ReportMetric(float64(trim.Nanoseconds())/float64(rounds), "ns/op")
+		b.ReportMetric(speedup, "speedup-x")
+		if speedup < 10 {
+			b.Fatalf("incremental cut only %.1fx cheaper than rebuild (trim %v, rebuild %v) — under the 10x bar",
+				speedup, trim/time.Duration(rounds), rebuild/time.Duration(rounds))
+		}
+	})
+
+	// seedDurable builds a spilled durable store with a per-mutation view
+	// checkpoint cadence and primes one checkpoint via register+release.
+	const durableEvents = 65536
+	aq := bucketed(ops.AggSum, "temperature")
+	seedDurable := func(b *testing.B, dir string) *Warehouse {
+		b.Helper()
+		w, err := Open(Config{
+			Shards: 4, SegmentEvents: 1024, SegmentSpan: time.Hour,
+			DataDir: dir, HotSegments: 1, Sync: persist.SyncNever,
+			ViewCheckpointEvery: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tups := make([]*stt.Tuple, 0, durableEvents)
+		for i := 0; i < durableEvents; i++ {
+			tups = append(tups, wTuple(time.Duration(i)*spacing, float64(i%40),
+				"s", 34.7, 135.5))
+		}
+		if err := w.AppendBatch(tups); err != nil {
+			b.Fatal(err)
+		}
+		w.DrainSpills()
+		v, err := w.RegisterView(aq, ops.UpdatePolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Rows(); err != nil {
+			b.Fatal(err)
+		}
+		v.Release() // last release persists the checkpoint
+		return w
+	}
+	// connect times what a reconnecting subscriber waits for — register
+	// (checkpoint load or backfill) plus the first full read. The release
+	// that follows re-persists the checkpoint for the next round but is
+	// teardown, not time-to-first-snapshot, so it stays un-timed.
+	connect := func(b *testing.B, w *Warehouse) time.Duration {
+		b.Helper()
+		start := time.Now()
+		v, err := w.RegisterView(aq, ops.UpdatePolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := v.Rows(); err != nil {
+			b.Fatal(err)
+		}
+		d := time.Since(start)
+		v.Release()
+		return d
+	}
+
+	b.Run("reconnect/resume", func(b *testing.B) {
+		dir := b.TempDir()
+		w := seedDurable(b, dir)
+		defer w.Close()
+		resumes0 := w.viewResumes.Load()
+		var timed time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			timed += connect(b, w)
+		}
+		b.StopTimer()
+		if got := w.viewResumes.Load() - resumes0; got != uint64(b.N) {
+			b.Fatalf("resumed %d of %d reconnects; every one must come from the checkpoint", got, b.N)
+		}
+		b.ReportMetric(float64(timed.Nanoseconds())/float64(b.N), "ns/op")
+	})
+
+	b.Run("reconnect/backfill", func(b *testing.B) {
+		dir := b.TempDir()
+		w := seedDurable(b, dir)
+		defer w.Close()
+		resumes0 := w.viewResumes.Load()
+		var timed time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := os.RemoveAll(filepath.Join(dir, viewCkptDir)); err != nil {
+				b.Fatal(err)
+			}
+			timed += connect(b, w)
+		}
+		b.StopTimer()
+		if got := w.viewResumes.Load() - resumes0; got != 0 {
+			b.Fatalf("backfill baseline resumed %d times; checkpoints were supposed to be gone", got)
+		}
+		b.ReportMetric(float64(timed.Nanoseconds())/float64(b.N), "ns/op")
+	})
+
+	b.Run("reconnect/speedup", func(b *testing.B) {
+		dir := b.TempDir()
+		w := seedDurable(b, dir)
+		defer w.Close()
+		rounds := b.N
+		if rounds < 3 {
+			rounds = 3
+		}
+		var resume, backfill time.Duration
+		b.ResetTimer()
+		for i := 0; i < rounds; i++ {
+			if err := os.RemoveAll(filepath.Join(dir, viewCkptDir)); err != nil {
+				b.Fatal(err)
+			}
+			backfill += connect(b, w) // no checkpoint: cold backfill; release re-writes one
+			resume += connect(b, w)   // checkpoint present: resume
+		}
+		b.StopTimer()
+		speedup := float64(backfill) / float64(resume)
+		b.ReportMetric(float64(resume.Nanoseconds())/float64(rounds), "ns/op")
+		b.ReportMetric(speedup, "speedup-x")
+		if speedup < 5 {
+			b.Fatalf("checkpoint resume only %.1fx faster than cold backfill (resume %v, backfill %v) — under the 5x bar",
+				speedup, resume/time.Duration(rounds), backfill/time.Duration(rounds))
+		}
+	})
+}

@@ -49,6 +49,12 @@ type coldSegment struct {
 	// file compaction, so overlapping picks don't merge it twice. Queries
 	// ignore the flag: the file stays live until the swap.
 	compacting bool
+
+	// seqHi is the highest warehouse seq stored in the file (retention-
+	// skipped prefix included — seqs never resurrect, so the over-estimate
+	// only costs a spurious read). View-checkpoint resumes skip files whose
+	// seqHi a checkpoint already covers.
+	seqHi uint64
 }
 
 // newColdSegment wraps a freshly written or reopened segment file. The

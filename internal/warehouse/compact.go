@@ -325,6 +325,11 @@ func (w *Warehouse) installCompaction(s *shard, snaps []compactSnap, info *persi
 	}
 
 	newCS := w.newColdSegment(info)
+	for _, sn := range snaps {
+		if sn.cs.seqHi > newCS.seqHi {
+			newCS.seqHi = sn.cs.seqHi
+		}
+	}
 	isVictim := make(map[*coldSegment]bool, len(snaps))
 	for _, sn := range snaps {
 		isVictim[sn.cs] = true

@@ -136,13 +136,54 @@
 // at every quiescent point. Identical (query, policy) registrations share
 // one view via a refcounted registry.
 //
-// Partials carry count/sum/min/max and can absorb new events but not
-// un-observe evicted ones (MIN/MAX are not subtractable), so a retention
-// cut or crash recovery invalidates every view: compaction marks them
-// dirty under the shard locks it already holds, and the next read or
-// publish rebuilds from a fresh scan — per shard, one write-lock critical
-// section detaches the tap, re-scans and re-attaches, so no commit lands
-// in both the scan and the fold, and none lands in neither.
+// A bucketed view keeps its partials as per-time-bucket frames
+// (internal/partial's bucketed Store) rather than one flat accumulator,
+// and a retention cut maintains them in place instead of invalidating the
+// view. The eviction prefix property — evicted events form the globally
+// smallest (time, seq) prefix — means every frame strictly below the
+// cut's bucket B* holds only evicted events and ages out whole, an
+// O(frames) map delete. Only the single boundary frame (start == B*) is
+// partially evicted, and what it pays depends on the function:
+//
+//	COUNT/SUM/AVG  subtractable — the evicted boundary events' exact
+//	               contribution is subtracted (count and sum are linear);
+//	               zero rescans, zero dirty flags.
+//	MIN/MAX        not subtractable (an extremum cannot be un-observed) —
+//	               the boundary frame alone is queued for a one-bucket
+//	               rescan; history below it still drops frame-wise.
+//
+// A cold file consumed whole by its envelope was never read back; if its
+// tail reaches into the boundary frame, that frame's evicted contribution
+// is unknown and it falls back to the rescan queue too. Only a degraded
+// eviction (an unreadable cold file of uncertain scope) or an unbucketed
+// MIN/MAX still sets the full-rebuild dirty flag. Stats counts the work:
+// view_frame_drops, view_subtractions, view_boundary_rescans.
+//
+// Window=<dur> on a bucketed AggQuery makes the view a sliding window:
+// Rows filters frames whose bucket end has fallen behind now-window at
+// merge time (so a reader never sees an expired bucket), and the
+// publisher physically prunes expired frames on its cadence — old buckets
+// drop by construction, no retention cut needed. Window requires Bucket.
+//
+// A durable warehouse also checkpoints view state (view_ckpt.go): every
+// Config.ViewCheckpointEvery mutations, and on clean close/release, the
+// per-shard frames plus the seq high-water mark they cover are written
+// <dataDir>/views/<hash>.ckpt with the same write→validate→swap
+// discipline as every other artifact. Re-registering the same (query,
+// policy) — a restart, an SSE client reconnecting — seeds from the
+// checkpoint and folds only the WAL-tail events above its seq mark,
+// skipping cold files the checkpoint already covers, instead of scanning
+// history. A fingerprint of the manifest's cut frontier and eviction
+// counter gates the resume: any eviction since the checkpoint was taken
+// changes it and the resume is rejected (the frames would still carry
+// evicted events), falling back to the ordinary backfill — rejection is
+// always safe, acceptance requires the exact manifest state. The write
+// itself re-checks the dirty flag and the rescan queue after
+// snapshotting, so a cut racing the checkpoint can only force that safe
+// rejection, never a wrong accept. Stats counts view_checkpoints and
+// view_resumes; the view test suite proves a trimmed view equals a full
+// rebuild and a resumed view equals a cold backfill, and the model
+// checker replays all of it against a naive reference, crashes included.
 //
 // Subscribe attaches a bounded-buffer subscriber fed by the view's single
 // publisher goroutine; the update policy (ops.UpdatePolicy — the paper's

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -112,6 +113,9 @@ func aggString(aq AggQuery) string {
 	}
 	if aq.Bucket > 0 {
 		spec += fmt.Sprintf(" bucket=%s", aq.Bucket)
+	}
+	if aq.Window > 0 {
+		spec += fmt.Sprintf(" window=%s", aq.Window)
 	}
 	return spec
 }
@@ -240,7 +244,9 @@ func (m *refModel) matches(t *stt.Tuple, q Query) bool {
 // sharing any engine code. The generator only emits integral field values,
 // so float sums are exact and order-independent: rows must match the
 // engine's bit for bit.
-func (m *refModel) aggregate(q AggQuery) []AggRow {
+// now is the evaluation clock for trailing-window queries; ignored when
+// the query has no window.
+func (m *refModel) aggregate(q AggQuery, now time.Time) []AggRow {
 	groupSource, groupTheme := false, false
 	for _, g := range q.GroupBy {
 		switch g {
@@ -287,6 +293,11 @@ func (m *refModel) aggregate(q AggQuery) []AggRow {
 		var bs time.Time
 		if q.Bucket > 0 {
 			bs = t.Time.Truncate(q.Bucket)
+			// Trailing window: a bucket survives while its end is still
+			// inside the window — the same predicate as windowKeep.
+			if q.Window > 0 && !bs.Add(q.Bucket).After(now.Add(-q.Window)) {
+				continue
+			}
 			k.sec, k.ns = bs.Unix(), bs.Nanosecond()
 		}
 		if groupSource {
@@ -405,6 +416,13 @@ func genOps(r *rand.Rand, n int, withReopen bool) []mop {
 		}
 		buckets := []time.Duration{0, 0, 5 * time.Minute, 17 * time.Minute, time.Hour}
 		aq.Bucket = buckets[r.Intn(len(buckets))]
+		// Trailing windows (bucketed queries only — expiry is
+		// bucket-granular): short enough against the pinned clock that
+		// runs see both surviving and expired buckets.
+		if aq.Bucket > 0 && r.Intn(3) == 0 {
+			windows := []time.Duration{30 * time.Minute, 2 * time.Hour, 6 * time.Hour}
+			aq.Window = windows[r.Intn(len(windows))]
+		}
 		return aq
 	}
 
@@ -477,6 +495,21 @@ func runOps(cfg Config, mops []mop) string {
 	} else {
 		w = NewWithConfig(cfg)
 	}
+	// Pin the warehouse clock to the model's: trailing-window semantics
+	// must evaluate against the same "now" on both sides, and wall-clock
+	// nondeterminism would make shrinking useless. The pinned clock
+	// follows the newest event time appended so far (atomically — the
+	// view publisher goroutines read it concurrently).
+	var nowMin atomic.Int64 // minutes past t0
+	modelNow := func() time.Time { return t0.Add(time.Duration(nowMin.Load()) * time.Minute) }
+	w.nowFn = modelNow
+	advanceClock := func(tuples []*stt.Tuple) {
+		for _, tp := range tuples {
+			if min := int64(tp.Time.Sub(t0) / time.Minute); min > nowMin.Load() {
+				nowMin.Store(min)
+			}
+		}
+	}
 	m := &refModel{}
 	// Live standing views (at most two at a time; the oldest is released).
 	// Once registered, every subsequent op ends with a delta check: the
@@ -504,11 +537,13 @@ func runOps(cfg Config, mops []mop) string {
 				return fmt.Sprintf("op %d %s: %v", i, op, err)
 			}
 			m.append(op.tuples[0])
+			advanceClock(op.tuples)
 		case opAppendBatch:
 			if err := w.AppendBatch(op.tuples); err != nil {
 				return fmt.Sprintf("op %d %s: %v", i, op, err)
 			}
 			m.append(op.tuples...)
+			advanceClock(op.tuples)
 		case opSelect:
 			got, err := w.Select(op.q)
 			if err != nil {
@@ -530,7 +565,7 @@ func runOps(cfg Config, mops []mop) string {
 			if err != nil {
 				return fmt.Sprintf("op %d %s: %v", i, op, err)
 			}
-			if diff := diffAggRows(got, m.aggregate(op.aq)); diff != "" {
+			if diff := diffAggRows(got, m.aggregate(op.aq, modelNow())); diff != "" {
 				return fmt.Sprintf("op %d %s: %s", i, op, diff)
 			}
 		case opSetRetention:
@@ -575,6 +610,7 @@ func runOps(cfg Config, mops []mop) string {
 				return fmt.Sprintf("op %d %s: %v", i, op, err)
 			}
 			w = ww
+			w.nowFn = modelNow // re-pin the recovered store's clock
 			evictedOffset = m.evicted
 			// Retention is configuration, not data: re-arm it like an
 			// operator would. The recovered store already reflects every
@@ -595,7 +631,7 @@ func runOps(cfg Config, mops []mop) string {
 			}
 		}
 		if w.Len() != len(m.events) {
-			return fmt.Sprintf("after op %d %s: Len = %d, model = %d", i, op, w.Len(), len(m.events))
+			return fmt.Sprintf("after op %d %s: Len = %d, model = %d\n%s", i, op, w.Len(), len(m.events), dumpDivergence(w, m))
 		}
 		if int(w.Evicted())+evictedOffset != m.evicted {
 			return fmt.Sprintf("after op %d %s: Evicted = %d+%d, model = %d", i, op, w.Evicted(), evictedOffset, m.evicted)
@@ -605,7 +641,7 @@ func runOps(cfg Config, mops []mop) string {
 			if err != nil {
 				return fmt.Sprintf("after op %d %s: view %d Rows: %v", i, op, vi, err)
 			}
-			if diff := diffAggRows(got, m.aggregate(lv.aq)); diff != "" {
+			if diff := diffAggRows(got, m.aggregate(lv.aq, modelNow())); diff != "" {
 				live, _, aerr := w.Aggregate(lv.aq)
 				liveDiff := "aggregate matches view"
 				if aerr != nil {
@@ -710,14 +746,20 @@ func TestModelCheck(t *testing.T) {
 		{Shards: 2, SegmentEvents: 1, SegmentSpan: time.Minute},                // every event its own segment
 		{Shards: 4, SegmentEvents: 1 << 20, SegmentSpan: 24 * 365 * time.Hour}, // never rotates
 		// Durable: spill-heavy (everything beyond one sealed segment per
-		// shard is on disk) and crash-prone.
-		{Shards: 2, SegmentEvents: 4, SegmentSpan: 10 * time.Minute, DataDir: durableDir, HotSegments: 1},
-		{Shards: 4, SegmentEvents: 8, SegmentSpan: 30 * time.Minute, DataDir: durableDir, HotSegments: 2},
+		// shard is on disk) and crash-prone. The tiny checkpoint cadence
+		// makes the view publishers persist partials constantly, so the
+		// post-crash re-registrations exercise checkpoint resume — both
+		// accepted (fresh checkpoint) and rejected (an eviction bumped the
+		// cut fingerprint) — not just cold backfill.
+		{Shards: 2, SegmentEvents: 4, SegmentSpan: 10 * time.Minute, DataDir: durableDir,
+			HotSegments: 1, ViewCheckpointEvery: 2},
+		{Shards: 4, SegmentEvents: 8, SegmentSpan: 30 * time.Minute, DataDir: durableDir,
+			HotSegments: 2, ViewCheckpointEvery: 4},
 		// Durable, v1-seeded: every reopen cycles the segment format
 		// v1→v2→v3, so cold history mixes all three formats in one store,
 		// and an eager CompactBelow rewrites the mix aggressively.
 		{Shards: 2, SegmentEvents: 4, SegmentSpan: 10 * time.Minute, DataDir: durableDir,
-			HotSegments: 1, SegmentFormat: persist.SegmentV1, CompactBelow: 6},
+			HotSegments: 1, SegmentFormat: persist.SegmentV1, CompactBelow: 6, ViewCheckpointEvery: 2},
 	}
 	const seeds = 25
 	for ci, cfg := range configs {
@@ -756,4 +798,71 @@ func TestModelCheck(t *testing.T) {
 			}
 		})
 	}
+}
+
+// dumpDivergence maps every live seq in the impl to where it lives (which
+// shard, which memory segment role or cold file) and diffs that seq set
+// against the model's, plus the manifest's cut frontier — the first thing
+// needed to localize a Len divergence.
+func dumpDivergence(w *Warehouse, m *refModel) string {
+	var b strings.Builder
+	model := map[uint64]Event{}
+	for _, ev := range m.events {
+		model[ev.Seq] = ev
+	}
+	impl := map[uint64]string{}
+	for si, s := range w.shards {
+		s.mu.Lock()
+		for _, seg := range s.segs {
+			role := "sealed"
+			if seg == s.hot {
+				role = "hot"
+			} else if seg == s.ooo {
+				role = "ooo"
+			}
+			for _, ev := range seg.events {
+				impl[ev.Seq] = fmt.Sprintf("shard%d/mem-%s(len=%d)", si, role, seg.len())
+			}
+		}
+		for _, cs := range s.cold {
+			loc := fmt.Sprintf("shard%d/cold[%s count=%d skip=%d]", si, filepath.Base(cs.info.Path), cs.count, cs.skip)
+			if err := cs.ensureLoaded(); err != nil {
+				b.WriteString(fmt.Sprintf("  LOAD ERR %s: %v\n", loc, err))
+				continue
+			}
+			for _, ev := range cs.loaded {
+				impl[ev.Seq] = loc
+			}
+			cs.unload()
+		}
+		s.mu.Unlock()
+	}
+	var extra, missing []uint64
+	for seq := range impl {
+		if _, ok := model[seq]; !ok {
+			extra = append(extra, seq)
+		}
+	}
+	for seq := range model {
+		if _, ok := impl[seq]; !ok {
+			missing = append(missing, seq)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+	b.WriteString(fmt.Sprintf("impl=%d model=%d extra=%d missing=%d\n", len(impl), len(model), len(extra), len(missing)))
+	for _, seq := range extra {
+		b.WriteString(fmt.Sprintf("  EXTRA seq=%d at %s\n", seq, impl[seq]))
+	}
+	for _, seq := range missing {
+		ev := model[seq]
+		b.WriteString(fmt.Sprintf("  MISSING seq=%d %s@%s\n", seq, ev.Tuple.Source, ev.Tuple.Time.Format("15:04:05")))
+	}
+	if w.pers != nil {
+		for ci, c := range w.pers.manifest.Cuts {
+			b.WriteString(fmt.Sprintf("  cut[%d] wm={%s seq=%d} marks=%v\n", ci,
+				c.Watermark.Time.Format("15:04:05"), c.Watermark.Seq, c.Marks))
+		}
+	}
+	return b.String()
 }

@@ -133,5 +133,58 @@ func ParseAggQueryValues(params url.Values) (AggQuery, error) {
 		}
 		aq.Bucket = d
 	}
+	if v := params.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return AggQuery{}, fmt.Errorf("bad window (want a positive duration like 15m)")
+		}
+		if aq.Bucket <= 0 {
+			return AggQuery{}, fmt.Errorf("bad window: needs a bucket (expiry is bucket-granular)")
+		}
+		aq.Window = d
+	}
 	return aq, nil
+}
+
+// AggQueryValues is the inverse of ParseAggQueryValues: it renders the query
+// back into the shared wire vocabulary. View checkpoints persist queries in
+// this form — one parser, one serializer, so a definition written by any
+// version that can parse it rebuilds the identical query. MaxGroups is
+// deliberately not round-tripped (it is a server-side bound, re-imposed on
+// load).
+func (q AggQuery) AggQueryValues() url.Values {
+	v := url.Values{}
+	if !q.From.IsZero() {
+		v.Set("from", q.From.Format(time.RFC3339Nano))
+	}
+	if !q.To.IsZero() {
+		v.Set("to", q.To.Format(time.RFC3339Nano))
+	}
+	if q.Region != nil {
+		mn, mx := q.Region.Min, q.Region.Max
+		v.Set("region", fmt.Sprintf("%g,%g,%g,%g", mn.Lat, mn.Lon, mx.Lat, mx.Lon))
+	}
+	if len(q.Themes) > 0 {
+		v.Set("themes", strings.Join(q.Themes, ","))
+	}
+	if len(q.Sources) > 0 {
+		v.Set("sources", strings.Join(q.Sources, ","))
+	}
+	if q.Cond != "" {
+		v.Set("cond", q.Cond)
+	}
+	v.Set("func", strings.ToLower(string(q.Func)))
+	if q.Field != "" {
+		v.Set("field", q.Field)
+	}
+	if len(q.GroupBy) > 0 {
+		v.Set("group", strings.Join(q.GroupBy, ","))
+	}
+	if q.Bucket > 0 {
+		v.Set("bucket", q.Bucket.String())
+	}
+	if q.Window > 0 {
+		v.Set("window", q.Window.String())
+	}
+	return v
 }

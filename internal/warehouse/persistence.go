@@ -265,9 +265,22 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 			}
 			continue
 		}
+		// The seqs join the dedup set only once this file's own fate is
+		// decided (the survivor-dup sweep below must compare against
+		// earlier files, not the file itself); deleted files' seqs still
+		// join it — their WAL records must not replay, and later raw-seq
+		// subsets of them are still duplicates.
+		registerSeqs := func() {
+			for _, seq := range seqs {
+				spilled[seq] = struct{}{}
+			}
+		}
+		var fileSeqHi uint64
 		for _, seq := range seqs {
-			spilled[seq] = struct{}{}
 			note(seq)
+			if seq > fileSeqHi {
+				fileSeqHi = seq
+			}
 		}
 		gen, err := persist.ParseSegmentFileName(filepath.Base(path))
 		if err != nil {
@@ -284,12 +297,14 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 		if cutApplies && keyLE(info.Tail, watermark) {
 			// Every event is below the retention cut: the pre-crash
 			// compaction meant to delete this file (or already tried).
+			registerSeqs()
 			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
 				return 0, false, fmt.Errorf("warehouse: recover: %w", err)
 			}
 			continue
 		}
 		cs := w.newColdSegment(info)
+		cs.seqHi = fileSeqHi
 		if cutApplies && keyLE(info.Head, watermark) {
 			// The file straddles the cut: re-apply the logical trim the
 			// pre-crash compaction performed.
@@ -300,15 +315,35 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 			for n < len(cs.loaded) && keyLE(eventKey(cs.loaded[n]), watermark) {
 				n++
 			}
+			// A merged file a crashed cold-file compaction published but
+			// never swapped in escapes the raw-seq duplicate sweep above
+			// when a retention cut deleted one of its victims' files
+			// outright: the dead victim's seqs exist nowhere else, so the
+			// merged file is no longer a raw-seq subset. After the
+			// watermark re-trim, though, those seqs are gone and every
+			// survivor it still holds is exactly a surviving victim's live
+			// event — already registered. Registering such a file would
+			// double-count the survivors; it contributes nothing live, so
+			// delete it instead.
+			if n > 0 && dupSuffix(spilled, cs.loaded[n:]) {
+				cs.unload()
+				registerSeqs()
+				if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+					return 0, false, fmt.Errorf("warehouse: recover: %w", err)
+				}
+				continue
+			}
 			if n > 0 {
 				cs.dropPrefix(n)
 			}
 			cs.unload()
 			if cs.count == 0 {
+				registerSeqs()
 				_ = os.Remove(path)
 				continue
 			}
 		}
+		registerSeqs()
 		s.cold = append(s.cold, cs)
 		s.count += cs.count
 		for src, n := range cs.sourceCounts {
@@ -341,6 +376,11 @@ func (w *Warehouse) recoverShard(s *shard, cuts []persist.Cut, shardIdx int) (ui
 		return 0, false, fmt.Errorf("warehouse: replay: %w", err)
 	}
 	s.walFiles = res.Files
+	// Seqs registered from cold files bypass appendLocked; settle the
+	// shard's high-water mark over everything this shard has seen.
+	if anySeq && maxSeq > s.seqHi {
+		s.seqHi = maxSeq
+	}
 	return maxSeq, anySeq, nil
 }
 
@@ -370,6 +410,21 @@ func dupFile(spilled map[uint64]struct{}, seqs []uint64) bool {
 	return true
 }
 
+// dupSuffix is dupFile over the events surviving a watermark re-trim: true
+// when every one of them is already registered from an earlier file, so the
+// file holds nothing live of its own.
+func dupSuffix(spilled map[uint64]struct{}, survivors []Event) bool {
+	if len(survivors) == 0 {
+		return false
+	}
+	for _, ev := range survivors {
+		if _, ok := spilled[ev.Seq]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // Close drains the background spill queue — every pending segment reaches
 // its file — then flushes and closes every shard's WAL. The warehouse stays
 // queryable, but further appends fail. A nil receiver or an in-memory
@@ -379,8 +434,9 @@ func (w *Warehouse) Close() error {
 		return nil
 	}
 	// Views close for in-memory warehouses too: their publisher goroutines
-	// must not outlive the store.
-	w.closeViews()
+	// must not outlive the store. A clean close persists each view's final
+	// checkpoint so the next Open's registrations resume from it.
+	w.closeViews(true)
 	if w.pers == nil {
 		return nil
 	}
@@ -415,9 +471,10 @@ func (w *Warehouse) CloseHard() {
 		return
 	}
 	// A crash kills view goroutines with the process; here they must stop
-	// explicitly. Views are in-memory state, so this loses nothing a real
-	// crash would keep.
-	w.closeViews()
+	// explicitly. No final checkpoint is written — a kill would not have
+	// written one either — so recovery exercises the stale-checkpoint and
+	// backfill paths, not an artificially clean shutdown.
+	w.closeViews(false)
 	if w.pers == nil {
 		return
 	}

@@ -478,6 +478,98 @@ func TestTornWALTailRecovers(t *testing.T) {
 	}
 }
 
+// TestCrashedCompactionAfterVictimDeletedByCut reconstructs the on-disk
+// state of a specific crash interleaving that raw-seq duplicate detection
+// alone cannot untangle:
+//
+//  1. the background cold-file compactor picks victims V1 and V2, reads
+//     their live events, and publishes the merged file F (newest gen);
+//  2. before the swap, an inline retention cut evicts all of V1 — deleting
+//     its file outright — while V2 survives above the watermark;
+//  3. the process dies before installCompaction runs, leaving F behind.
+//
+// Recovery registers V2, then reaches F. F is not a raw-seq subset of the
+// registered files (the dead V1's seqs exist nowhere else), so the
+// duplicate sweep keeps it — but after the watermark re-trim removes V1's
+// evicted events, every survivor F holds is exactly V2's live history,
+// already registered. Registering F double-counted those survivors: the
+// CrashReopen/CrashMidSpill model-check divergence (impl Len above the
+// model by one victim file's survivor count).
+func TestCrashedCompactionAfterVictimDeletedByCut(t *testing.T) {
+	dir := t.TempDir()
+	shardDir := filepath.Join(dir, "shard-000")
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// V1: seqs 0-3, all below the watermark (the cut will delete it whole).
+	var v1 []persist.Event
+	for i := 0; i < 4; i++ {
+		tup := wTuple(time.Duration(i)*time.Minute, 20, "s", 34.7, 135.5)
+		v1 = append(v1, persist.Event{Seq: uint64(i), Tuple: tup})
+	}
+	// V2: seqs 4-10, all above the watermark (survives the cut untouched).
+	var v2 []persist.Event
+	for i := 0; i < 7; i++ {
+		tup := wTuple(time.Duration(10+i)*time.Minute, 20, "s", 34.7, 135.5)
+		v2 = append(v2, persist.Event{Seq: uint64(4 + i), Tuple: tup})
+	}
+	merged := append(append([]persist.Event{}, v1...), v2...)
+	persist.SortEvents(merged)
+
+	write := func(gen int, events []persist.Event) string {
+		path := filepath.Join(shardDir, persist.SegmentFileName(gen))
+		if _, err := persist.WriteSegmentVersion(path, events, persist.SegmentV1); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	v1Path := write(0, v1)
+	write(1, v2)
+	write(2, merged) // the published, never-installed compaction output
+
+	// The retention cut: watermark above all of V1, below all of V2; its
+	// mark postdates every file, so the watermark applies to all three.
+	man := persist.Manifest{Version: 1, Shards: 1, MaxSeq: 10}
+	man.AddCut(persist.Cut{
+		Watermark: persist.Key{Time: t0.Add(5 * time.Minute), Seq: ^uint64(0)},
+		Marks:     []persist.ShardMark{{WALFile: 1, WALOff: 1 << 40, SegGen: 3}},
+	})
+	if err := persist.SaveManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	// The cut already deleted V1's file before the crash.
+	if err := os.Remove(v1Path); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := durableCfg(dir)
+	cfg.Shards = 1
+	w, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.Len(); got != len(v2) {
+		t.Fatalf("Len = %d after recovery, want %d (V2's survivors once)", got, len(v2))
+	}
+	evs, err := w.Select(Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("seq %d returned twice: merged compaction file resurrected a survivor", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	// The merged file must be gone, not just logically empty.
+	if _, err := os.Stat(filepath.Join(shardDir, persist.SegmentFileName(2))); !os.IsNotExist(err) {
+		t.Fatalf("merged file still present after recovery (stat err %v)", err)
+	}
+}
+
 // maxSelectSeq returns the highest Seq among all live events.
 func maxSelectSeq(t *testing.T, w *Warehouse) uint64 {
 	t.Helper()

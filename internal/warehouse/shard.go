@@ -43,6 +43,10 @@ type shard struct {
 
 	// count is the live event total across segments, cold included.
 	count int
+	// seqHi is the highest warehouse seq ever appended to (or recovered
+	// into) this shard; view checkpoints record it so a resume can fold
+	// only the events a checkpoint has not seen.
+	seqHi uint64
 	// sources tracks live events per source, so Stats can count distinct
 	// sources without unioning per-segment indexes.
 	sources map[string]int
@@ -127,6 +131,9 @@ func (s *shard) appendLocked(ev Event) {
 	}
 	seg.append(ev)
 	s.count++
+	if ev.Seq > s.seqHi {
+		s.seqHi = ev.Seq
+	}
 	if t.Source != "" {
 		s.sources[t.Source]++
 	}

@@ -204,7 +204,13 @@ func (w *Warehouse) spillOne(req spillReq) {
 		// the file and dedupes its WAL records by seq.
 		return
 	}
-	w.installSpill(s, seg, info, snapLen)
+	var seqHi uint64
+	for _, ev := range events {
+		if ev.Seq > seqHi {
+			seqHi = ev.Seq
+		}
+	}
+	w.installSpill(s, seg, info, snapLen, seqHi)
 }
 
 // installSpill swaps a written segment file for its in-memory segment and
@@ -212,7 +218,7 @@ func (w *Warehouse) spillOne(req spillReq) {
 // segment while the file was being written, the file is stale — its
 // contents include events that were just evicted — so it is discarded and
 // the surviving segment left in memory for a later retry.
-func (w *Warehouse) installSpill(s *shard, seg *segment, info *persist.SegmentInfo, snapLen int) {
+func (w *Warehouse) installSpill(s *shard, seg *segment, info *persist.SegmentInfo, snapLen int, seqHi uint64) {
 	s.mu.Lock()
 	idx := -1
 	for i, sg := range s.segs {
@@ -228,7 +234,9 @@ func (w *Warehouse) installSpill(s *shard, seg *segment, info *persist.SegmentIn
 		return
 	}
 	s.segs = append(s.segs[:idx], s.segs[idx+1:]...)
-	s.cold = append(s.cold, w.newColdSegment(info))
+	cs := w.newColdSegment(info)
+	cs.seqHi = seqHi
+	s.cold = append(s.cold, cs)
 	w.segsSpilled.Add(1)
 	w.coldBytes.Add(info.Bytes)
 	// The swap may have raised the shard's minimum live seq; retire WAL

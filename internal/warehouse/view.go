@@ -25,22 +25,36 @@ import (
 // event stream compose without a gap or an overlap: every event is either
 // in the scanned history or delivered to the tap, never both, never
 // neither. From then on each committed event folds into the owning
-// shard's partial map (partial.State merges are order-insensitive for the
-// integral case and identical to Aggregate's arithmetic in general), and
-// a snapshot is the same shard-ordered merge Aggregate performs. A view's
-// rows therefore equal a fresh Aggregate of the same query at every
-// quiescent point.
+// shard's partial store (partial.State merges are order-insensitive for
+// the integral case and identical to Aggregate's arithmetic in general),
+// and a snapshot is the same shard-ordered merge Aggregate performs. A
+// view's rows therefore equal a fresh Aggregate of the same query at
+// every quiescent point.
 //
-// Deltas are not subtractable (MIN/MAX cannot un-observe an evicted
-// event), so anything that removes events — a retention cut, crash
-// recovery — marks every view dirty and the next snapshot rebuilds from a
-// fresh scan instead of patching.
+// Partials live in a partial.Store: per-time-bucket frames keyed by the
+// aligned bucket start (one zero frame when the query has no bucket).
+// The frame index is what makes removal cheap. A retention cut deletes
+// every frame strictly below the cut's bucket whole — no rescan, any
+// aggregate — and patches only the single boundary frame: COUNT/SUM/AVG
+// subtract the evicted events' exact contribution, while MIN/MAX (which
+// cannot un-observe an extremum) queue a rescan of that one bucket, not
+// of history (view_trim.go). A windowed view (AggQuery.Window) drops
+// expired frames the same way on the publisher's clock, so expiry never
+// rescans either. Only an unbucketed MIN/MAX view, or a cut whose evicted
+// events are not in memory to subtract, still pays a full rebuild.
+//
+// Durable warehouses checkpoint view state: the publisher periodically
+// persists each shard's frames plus its seq high-water mark
+// (view_ckpt.go), and a re-registration of the same (query, policy) seeds
+// from the checkpoint and folds only the WAL-tail events committed after
+// it, instead of re-scanning all of history.
 //
 // Lock order, strictly: shard.mu → viewPart.mu, shard.mu → View.mu, and
 // viewRegistry.mu → View.mu. The registry lock is taken while all shard
-// locks are held (compactAll → invalidateViews), so nothing may acquire a
+// locks are held (compactAll → trimViews), so nothing may acquire a
 // shard lock — or block — while holding it: registration backfills after
-// releasing it, and teardown detaches its taps before taking it.
+// releasing it, teardown detaches its taps before taking it, and
+// trimViews snapshots the view list and does its patching after release.
 
 // ErrViewClosed reports use of a view after Release/Close tore it down.
 var ErrViewClosed = errors.New("warehouse: view closed")
@@ -59,7 +73,8 @@ type ViewUpdate struct {
 	Rows []AggRow
 	// Resnapshot marks a snapshot that may not extend the previous one
 	// monotonically: the first update, a post-rebuild update (retention
-	// cut), or the first update after this subscriber had updates shed.
+	// cut), a window expiry, or the first update after this subscriber had
+	// updates shed.
 	Resnapshot bool
 	// Shed counts the updates dropped on this subscriber's buffer so far.
 	Shed uint64
@@ -137,23 +152,24 @@ func (sub *Subscription) closeChLocked() {
 	}
 }
 
-// viewPart is a view's per-shard state: the partial aggregates of the
-// events this shard contributed. It is the view's tap consumer — onCommit
-// folds committed events in — and its mutex nests inside the shard lock.
+// viewPart is a view's per-shard state: the bucketed partial aggregates
+// of the events this shard contributed. It is the view's tap consumer —
+// onCommit folds committed events in — and its mutex nests inside the
+// shard lock.
 type viewPart struct {
 	v *View
 
-	mu  sync.Mutex
-	acc map[partial.Key]*partial.State
+	mu    sync.Mutex
+	store *partial.Store
 	// conds caches the view's compiled payload condition per schema, like
 	// a query-local cache but living as long as the view.
 	conds map[*stt.Schema]*expr.Compiled
 }
 
-// onCommit folds one committed batch into the shard's partials. Runs
-// under the shard write lock (tap contract): no blocking, no other locks
-// beyond p.mu. Errors park in the view's fail slot for the publisher —
-// teardown needs shard locks, so it cannot run from here.
+// onCommit folds one committed batch into the shard's partial frames.
+// Runs under the shard write lock (tap contract): no blocking, no other
+// locks beyond p.mu. Errors park in the view's fail slot for the
+// publisher — teardown needs shard locks, so it cannot run from here.
 func (p *viewPart) onCommit(w *Warehouse, s *shard, evs []Event) {
 	v := p.v
 	matched := 0
@@ -168,7 +184,7 @@ func (p *viewPart) onCommit(w *Warehouse, s *shard, evs []Event) {
 		if !ok {
 			continue
 		}
-		if !v.plan.accumulate(p.acc, ev.Tuple) {
+		if !v.plan.accumulateStore(p.store, ev.Tuple) {
 			p.mu.Unlock()
 			v.fail(errAggGroups)
 			return
@@ -196,10 +212,11 @@ type View struct {
 
 	refs int // guarded by w.views.mu
 
-	// dirty demands a full rebuild before the next snapshot (retention
-	// cut); mutations counts state changes (folds and rebuilds) so the
-	// publisher can skip no-op wakes; pending counts folded events since
-	// the last publication (count policy).
+	// dirty demands a full rebuild before the next snapshot (an eviction
+	// whose exact contribution is unknown); mutations counts state changes
+	// (folds, trims, rebuilds) so the publisher can skip no-op wakes;
+	// pending counts folded events since the last publication (count
+	// policy).
 	dirty     atomic.Bool
 	mutations atomic.Uint64
 	pending   atomic.Int64
@@ -212,10 +229,18 @@ type View struct {
 	done   chan struct{} // closed when the publisher exits
 
 	stopOnce sync.Once
-	// refreshMu serializes rebuilds (registration backfill included) and
-	// Rows reads, so a reader never merges a half-rebuilt accumulator set.
-	// Order: refreshMu → shard.mu → viewPart.mu.
+	// refreshMu serializes rebuilds (registration backfill included),
+	// boundary rescans and Rows reads, so a reader never merges a
+	// half-rebuilt accumulator set. Order: refreshMu → shard.mu →
+	// viewPart.mu.
 	refreshMu sync.Mutex
+
+	// trimMu guards rescan, the set of boundary-frame starts a retention
+	// cut left for MIN/MAX (or an unloadable cold drop) to re-derive. It
+	// is taken with all shard locks held (trimViews), so nothing may block
+	// under it.
+	trimMu sync.Mutex
+	rescan map[int64]time.Time
 
 	mu      sync.Mutex
 	subs    []*Subscription
@@ -245,12 +270,48 @@ func (v *View) wake() {
 	}
 }
 
-// viewKey canonicalizes (query, policy) for registry dedup. Built field
-// by field — never %v on the struct — so the Region pointer's address can
-// not leak into the identity.
+// queueRescan records that the frame starting at start must be re-derived
+// from a one-bucket scan before the next snapshot. Safe under any locks
+// (trimViews calls it with every shard lock held).
+func (v *View) queueRescan(start time.Time) {
+	v.trimMu.Lock()
+	if v.rescan == nil {
+		v.rescan = map[int64]time.Time{}
+	}
+	v.rescan[start.UnixNano()] = start
+	v.trimMu.Unlock()
+}
+
+// takeRescans drains the queued boundary rescans.
+func (v *View) takeRescans() []time.Time {
+	v.trimMu.Lock()
+	defer v.trimMu.Unlock()
+	if len(v.rescan) == 0 {
+		return nil
+	}
+	out := make([]time.Time, 0, len(v.rescan))
+	for _, t := range v.rescan {
+		out = append(out, t)
+	}
+	v.rescan = nil
+	return out
+}
+
+// pendingRescans reports whether boundary rescans are queued (checkpoints
+// must not persist a frame awaiting one).
+func (v *View) pendingRescans() bool {
+	v.trimMu.Lock()
+	defer v.trimMu.Unlock()
+	return len(v.rescan) > 0
+}
+
+// viewKey canonicalizes (query, policy) for registry dedup and for the
+// checkpoint identity a restart resumes by. Built field by field — never
+// %v on the struct — so the Region pointer's address can not leak into
+// the identity.
 func viewKey(p *aggPlan, policy ops.UpdatePolicy) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "f=%s|fld=%s|gs=%t|gt=%t|b=%d|mg=%d", p.Func, p.Field, p.groupSource, p.groupTheme, p.Bucket, p.maxGroups)
+	fmt.Fprintf(&b, "f=%s|fld=%s|gs=%t|gt=%t|b=%d|w=%d|mg=%d", p.Func, p.Field, p.groupSource, p.groupTheme, p.Bucket, p.Window, p.maxGroups)
 	fmt.Fprintf(&b, "|from=%d|to=%d", p.From.UnixNano(), p.To.UnixNano())
 	if p.Region != nil {
 		fmt.Fprintf(&b, "|r=%.6f,%.6f,%.6f,%.6f", p.Region.Min.Lat, p.Region.Min.Lon, p.Region.Max.Lat, p.Region.Max.Lon)
@@ -267,10 +328,12 @@ type viewRegistry struct {
 }
 
 // RegisterView registers a standing aggregate: validate, dedup against an
-// identical live view, backfill from history, then maintain incrementally.
-// The returned view holds one reference; pair with Release. The first
-// error — invalid query, backfill scan failure, group-cardinality
-// overflow — is returned synchronously and registers nothing.
+// identical live view, seed from a persisted checkpoint when one is still
+// valid (folding only the events committed after it), otherwise backfill
+// from a history scan, then maintain incrementally. The returned view
+// holds one reference; pair with Release. The first error — invalid
+// query, backfill scan failure, group-cardinality overflow — is returned
+// synchronously and registers nothing.
 func (w *Warehouse) RegisterView(q AggQuery, policy ops.UpdatePolicy) (*View, error) {
 	p, err := q.plan()
 	if err != nil {
@@ -304,20 +367,28 @@ func (w *Warehouse) RegisterView(q AggQuery, policy ops.UpdatePolicy) (*View, er
 		done:   make(chan struct{}),
 	}
 	for i := range v.parts {
-		v.parts[i] = &viewPart{v: v, conds: map[*stt.Schema]*expr.Compiled{}}
+		v.parts[i] = &viewPart{
+			v:     v,
+			store: partial.NewStore(p.Bucket),
+			conds: map[*stt.Schema]*expr.Compiled{},
+		}
 	}
 	v.dirty.Store(true)
 	reg.m[key] = v
 	reg.mu.Unlock()
 
-	// Backfill outside the registry lock (it takes shard locks). A
-	// concurrent same-key RegisterView may already hold a reference; its
-	// first snapshot waits on refreshMu, so it still sees a backfilled
-	// state or this teardown's ErrViewClosed.
+	// Seed and backfill outside the registry lock (they take shard locks).
+	// A concurrent same-key RegisterView may already hold a reference; its
+	// first snapshot waits on refreshMu, so it still sees a seeded state
+	// or this teardown's ErrViewClosed. tryResume clears the dirty flag
+	// and attaches the taps itself on success; on any validation failure
+	// it leaves the flag set and the full backfill below runs instead.
+	v.tryResume()
 	if err := v.refreshIfDirty(); err != nil {
 		v.teardown(err)
 		return nil, err
 	}
+	w.recordViewDef(v)
 	go v.run()
 	return v, nil
 }
@@ -401,6 +472,9 @@ func (v *View) release() {
 	}
 	reg.mu.Unlock()
 	if dead {
+		// A clean last release persists the final state, so the next
+		// registration of the same view resumes instead of backfilling.
+		v.writeCheckpoint()
 		v.teardown(nil)
 	}
 }
@@ -412,13 +486,17 @@ func (v *View) Err() error {
 	return v.err
 }
 
-// Rows computes the view's current full result: rebuild first if a
-// retention cut invalidated the partials, then merge the per-shard maps in
-// shard order — the same merge arithmetic and ordering as Aggregate, over
-// clones so the live partials are never aliased. The whole read holds
-// refreshMu: a rebuild clears the dirty flag before it re-scans shard by
-// shard, so a concurrent reader that merely checked the flag could merge
-// a torn mix of rebuilt and stale per-shard accumulators.
+// Rows computes the view's current full result: rebuild first if an
+// eviction invalidated the partials (and re-derive any boundary frame a
+// cut left queued), then merge the per-shard frames in shard order — the
+// same merge arithmetic and ordering as Aggregate, over clones so the
+// live partials are never aliased. A windowed view filters expired
+// frames out of the merge by the warehouse clock, so its rows never show
+// a bucket older than the window even before the publisher physically
+// prunes it. The whole read holds refreshMu: a rebuild clears the dirty
+// flag before it re-scans shard by shard, so a concurrent reader that
+// merely checked the flag could merge a torn mix of rebuilt and stale
+// per-shard accumulators.
 func (v *View) Rows() ([]AggRow, error) {
 	if err := v.Err(); err != nil {
 		return nil, err
@@ -429,9 +507,10 @@ func (v *View) Rows() ([]AggRow, error) {
 		return nil, err
 	}
 	merged := map[partial.Key]*partial.State{}
+	keep := v.plan.windowKeep(v.w.now())
 	for _, p := range v.parts {
 		p.mu.Lock()
-		ok := partial.Merge(merged, p.acc, v.plan.maxGroups, true)
+		ok := p.store.MergeInto(merged, v.plan.maxGroups, true, keep)
 		p.mu.Unlock()
 		if !ok {
 			return nil, errAggGroups
@@ -440,20 +519,37 @@ func (v *View) Rows() ([]AggRow, error) {
 	return v.plan.rowsFromPartials(merged), nil
 }
 
-// refreshIfDirty rebuilds while the dirty flag is set.
+// refreshIfDirty rebuilds while the dirty flag is set and drains queued
+// boundary rescans.
 func (v *View) refreshIfDirty() error {
 	v.refreshMu.Lock()
 	defer v.refreshMu.Unlock()
 	return v.refreshLocked()
 }
 
-// refreshLocked rebuilds while the dirty flag is set; the caller holds
-// refreshMu. Bounded: retention churning faster than we can scan leaves
-// the flag set for the next call rather than looping forever.
+// refreshLocked rebuilds while the dirty flag is set, then re-derives any
+// boundary frames a retention cut queued; the caller holds refreshMu.
+// Bounded: retention churning faster than we can scan leaves work queued
+// for the next call rather than looping forever.
 func (v *View) refreshLocked() error {
-	for i := 0; i < 16 && v.dirty.Load(); i++ {
-		if err := v.rebuildLocked(); err != nil {
-			return err
+	for i := 0; i < 16; i++ {
+		if v.dirty.Load() {
+			// A full rebuild re-derives every frame; rescans queued so far
+			// are subsumed by it.
+			v.takeRescans()
+			if err := v.rebuildLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		starts := v.takeRescans()
+		if len(starts) == 0 {
+			return nil
+		}
+		for _, start := range starts {
+			if err := v.rescanFrameLocked(start); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -490,7 +586,7 @@ func (v *View) rebuildLocked() error {
 			return err
 		}
 		p.mu.Lock()
-		p.acc = acc
+		p.store = partial.FromFlat(v.plan.Bucket, acc)
 		p.mu.Unlock()
 		s.attachTapLocked(p)
 		s.mu.Unlock()
@@ -499,10 +595,82 @@ func (v *View) rebuildLocked() error {
 	return nil
 }
 
+// rescanFrameLocked re-derives one frame — the bucket a retention cut
+// partially evicted — from a window-restricted scan, per shard under the
+// same detach-scan-install-attach critical section rebuildLocked uses.
+// The scan is bounded to [start, start+bucket), so a MIN/MAX view pays
+// one bucket's worth of re-reading instead of a history rescan. The
+// caller holds refreshMu.
+func (v *View) rescanFrameLocked(start time.Time) error {
+	v.w.viewBoundaryRescans.Add(1)
+	t0 := v.w.met.viewRebuild.Start()
+	defer v.w.met.viewRebuild.Since(t0)
+	q := v.plan
+	q.From, q.To = start, start.Add(v.plan.Bucket)
+	if !v.plan.From.IsZero() && v.plan.From.After(q.From) {
+		q.From = v.plan.From
+	}
+	if !v.plan.To.IsZero() && v.plan.To.Before(q.To) {
+		q.To = v.plan.To
+	}
+	for i, s := range v.w.shards {
+		p := v.parts[i]
+		s.mu.Lock()
+		s.detachTapLocked(p)
+		stopped := false
+		select {
+		case <-v.stopc:
+			stopped = true
+		default:
+		}
+		if stopped {
+			s.mu.Unlock()
+			return ErrViewClosed
+		}
+		acc, _, err := s.aggLocked(&q)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		p.mu.Lock()
+		p.store.ReplaceFrame(start, acc)
+		p.mu.Unlock()
+		s.attachTapLocked(p)
+		s.mu.Unlock()
+	}
+	v.mutations.Add(1)
+	return nil
+}
+
+// pruneExpired physically drops every frame that has aged out of a
+// windowed view, returning how many went. Rows already filters expired
+// frames out of each merge, so this is a memory release plus the
+// publisher's expiry edge detector, not a correctness gate.
+func (v *View) pruneExpired() int {
+	keep := v.plan.windowKeep(v.w.now())
+	if keep == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range v.parts {
+		p.mu.Lock()
+		n += p.store.DropFrames(keep)
+		p.mu.Unlock()
+	}
+	if n > 0 {
+		v.w.viewFrameDrops.Add(uint64(n))
+		v.mutations.Add(1)
+	}
+	return n
+}
+
 // run is the view's publisher goroutine: it coalesces wakes, applies the
 // update policy, computes snapshots outside every shard lock and fans
 // them out. One publisher per view regardless of subscriber count, so
-// per-event maintenance cost does not scale with subscribers.
+// per-event maintenance cost does not scale with subscribers. A windowed
+// view also ticks at bucket granularity to notice frames expiring in the
+// absence of ingest — expiry is bucket-granular, so a finer clock would
+// buy nothing.
 func (v *View) run() {
 	defer close(v.done)
 	var tick <-chan time.Time
@@ -511,15 +679,27 @@ func (v *View) run() {
 		defer t.Stop()
 		tick = t.C
 	}
+	var wtick <-chan time.Time
+	if v.plan.Window > 0 && v.plan.Bucket > 0 {
+		t := time.NewTicker(v.plan.Bucket)
+		defer t.Stop()
+		wtick = t.C
+	}
 	var published uint64
+	lastCkpt := v.mutations.Load()
 	for {
-		fromTick := false
+		fromTick, expired := false, false
 		select {
 		case <-v.stopc:
 			return
 		case <-v.notify:
 		case <-tick:
 			fromTick = true
+		case <-wtick:
+			if v.pruneExpired() == 0 {
+				continue
+			}
+			expired = true
 		}
 		if err := v.takeErr(); err != nil {
 			v.teardown(err)
@@ -527,21 +707,24 @@ func (v *View) run() {
 		}
 		mut := v.mutations.Load()
 		dirty := v.dirty.Load()
-		if mut == published && !dirty {
+		if mut == published && !dirty && !expired {
 			continue
 		}
 		pend := v.pending.Load()
-		switch v.policy.Mode {
-		case ops.UpdateInterval:
-			// Interval publications ride the ticker; a dirty view (post-
-			// retention) resnapshots immediately so subscribers never hold
-			// evicted state for a whole period.
-			if !fromTick && !dirty {
-				continue
-			}
-		case ops.UpdateCount:
-			if !dirty && !v.policy.Due(pend) {
-				continue
+		if !expired {
+			switch v.policy.Mode {
+			case ops.UpdateInterval:
+				// Interval publications ride the ticker; a dirty view (post-
+				// retention) resnapshots immediately so subscribers never hold
+				// evicted state for a whole period. Window expiry takes the
+				// same shortcut above.
+				if !fromTick && !dirty {
+					continue
+				}
+			case ops.UpdateCount:
+				if !dirty && !v.policy.Due(pend) {
+					continue
+				}
 			}
 		}
 		// Pre-read, so folds racing the snapshot keep mut != published and
@@ -553,7 +736,11 @@ func (v *View) run() {
 			v.teardown(err)
 			return
 		}
-		v.broadcast(rows, dirty)
+		v.broadcast(rows, dirty || expired)
+		if every := v.w.viewCkptEvery; every > 0 && mut-lastCkpt >= uint64(every) {
+			v.writeCheckpoint()
+			lastCkpt = mut
+		}
 	}
 }
 
@@ -612,24 +799,13 @@ func (v *View) teardown(err error) {
 // teardown-initiating callers outside the publisher (closeViews, tests).
 func (v *View) wait() { <-v.done }
 
-// invalidateViews marks every view dirty after events were removed
-// (retention cut). Called with every shard lock held, so it must only
-// flip atomics and poke nonblocking channels — the registry lock order
-// forbids anything heavier here.
-func (w *Warehouse) invalidateViews() {
-	reg := &w.views
-	reg.mu.Lock()
-	for _, v := range reg.m {
-		v.dirty.Store(true)
-		v.wake()
-	}
-	reg.mu.Unlock()
-}
-
 // closeViews tears down every live view and waits for their publishers,
-// leaving no view goroutine behind. Subscriber channels close without a
-// terminal error update — a shutdown, not a fault.
-func (w *Warehouse) closeViews() {
+// leaving no view goroutine behind. A clean close (write) persists each
+// view's final checkpoint first, so the next Open's registrations resume
+// from it; a crash-style close skips that, exactly as a kill would.
+// Subscriber channels close without a terminal error update — a
+// shutdown, not a fault.
+func (w *Warehouse) closeViews(write bool) {
 	reg := &w.views
 	reg.mu.Lock()
 	views := make([]*View, 0, len(reg.m))
@@ -638,6 +814,9 @@ func (w *Warehouse) closeViews() {
 	}
 	reg.mu.Unlock()
 	for _, v := range views {
+		if write {
+			v.writeCheckpoint()
+		}
 		v.teardown(nil)
 		v.wait()
 	}

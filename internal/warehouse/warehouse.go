@@ -89,11 +89,24 @@ type Config struct {
 	// SegmentEvents/2; negative disables compaction.
 	CompactBelow int
 
+	// ViewCheckpointEvery is how many view state mutations may accumulate
+	// before the publisher writes the view's bucketed partials to a
+	// checkpoint file (durable mode only): a restart or a reconnecting
+	// subscriber then resumes from the checkpoint plus a tail fold of the
+	// newer events instead of a full history scan. 0 means
+	// DefaultViewCheckpointEvery; negative disables automatic checkpoints
+	// (a final one is still written on clean close and view release).
+	ViewCheckpointEvery int
+
 	// Obs is the metrics registry the warehouse reports its latency
 	// histograms and stats snapshot into. Nil disables instrumentation
 	// (every handle degrades to a nil no-op).
 	Obs *obs.Registry
 }
+
+// DefaultViewCheckpointEvery is the view-mutation count between automatic
+// view checkpoints; Config.ViewCheckpointEvery overrides it.
+const DefaultViewCheckpointEvery = 4096
 
 // Event is one stored STT event.
 type Event struct {
@@ -212,6 +225,25 @@ type Warehouse struct {
 	// views holds the registered materialized aggregate views (view.go).
 	views viewRegistry
 
+	// Standing-view maintenance counters: frames dropped whole (retention
+	// cuts and window expiry), exact boundary subtractions, one-bucket
+	// boundary rescans, checkpoints written, and registrations that
+	// resumed from a checkpoint instead of backfilling.
+	viewFrameDrops      atomic.Uint64
+	viewSubtractions    atomic.Uint64
+	viewBoundaryRescans atomic.Uint64
+	viewCheckpoints     atomic.Uint64
+	viewResumes         atomic.Uint64
+
+	// nowFn is the clock windowed views and window-bounded aggregates read;
+	// it is time.Now outside tests. The model checker pins it so window
+	// expiry is deterministic.
+	nowFn func() time.Time
+
+	// viewCkptEvery is Config.ViewCheckpointEvery resolved (0 when
+	// checkpoints are disabled or the warehouse is in-memory).
+	viewCkptEvery int
+
 	// obsReg is the configured metrics registry (nil when observability is
 	// off); met holds the warehouse's latency histogram handles (obs.go).
 	obsReg *obs.Registry
@@ -258,11 +290,21 @@ func NewWithConfig(cfg Config) *Warehouse {
 		w.shards[i] = newShard(lim)
 		w.shards[i].idx = i
 	}
+	w.nowFn = time.Now
+	switch {
+	case cfg.ViewCheckpointEvery > 0:
+		w.viewCkptEvery = cfg.ViewCheckpointEvery
+	case cfg.ViewCheckpointEvery == 0:
+		w.viewCkptEvery = DefaultViewCheckpointEvery
+	}
 	w.obsReg = cfg.Obs
 	w.met = newWHMetrics(cfg.Obs)
 	w.registerStatsCollector(cfg.Obs)
 	return w
 }
+
+// now reads the warehouse clock (time.Now unless a test pinned it).
+func (w *Warehouse) now() time.Time { return w.nowFn() }
 
 // NumShards returns the shard count.
 func (w *Warehouse) NumShards() int { return len(w.shards) }
@@ -571,10 +613,20 @@ func (w *Warehouse) compactAll(maxEvents int) {
 		// seq high-water mark must go durable regardless of whether a cut
 		// was recorded. A failed manifest write is tolerable: eviction
 		// proceeds, and the worst case after a crash is re-ingesting
-		// events the next compaction re-evicts.
+		// events the next compaction re-evicts. The eviction counter bumps
+		// on every eviction — cut or degraded — so view checkpoints taken
+		// before it can never pass their fingerprint check.
+		w.pers.manifest.Evictions++
 		w.stampMaxSeq()
 		_ = persist.SaveManifest(w.pers.dir, w.pers.manifest)
 	}
+
+	// Patch the standing views before the drops are applied below, while
+	// the evicted events are still readable from memory: whole frames
+	// below the cut fall off without a rescan, subtractable aggregates get
+	// exact boundary deltas, and only a MIN/MAX boundary frame queues a
+	// one-bucket rescan (view_trim.go).
+	w.trimViews(cut, anyDead, cursors)
 
 	perShard := map[*shard]map[*segment]int{}
 	perShardCold := map[*shard]map[*coldSegment]int{}
@@ -615,9 +667,6 @@ func (w *Warehouse) compactAll(maxEvents int) {
 	w.evicted.Add(uint64(dropped))
 	// All shard locks are held, so no append races this adjustment.
 	w.count.Add(int64(-dropped))
-	// Partial aggregates cannot un-observe evicted events (MIN/MAX are not
-	// subtractable); every view rebuilds from a fresh scan instead.
-	w.invalidateViews()
 }
 
 // segCursor tracks a compaction's progress through one segment — exactly
@@ -950,6 +999,16 @@ type Stats struct {
 	// subscriber total across them.
 	Views           int `json:"views"`
 	ViewSubscribers int `json:"view_subscribers"`
+
+	// Standing-view maintenance counters: partial frames dropped whole
+	// (retention cuts and window expiry), exact boundary subtractions,
+	// one-bucket boundary rescans, checkpoints written, and registrations
+	// that resumed from a checkpoint instead of backfilling.
+	ViewFrameDrops      uint64 `json:"view_frame_drops"`
+	ViewSubtractions    uint64 `json:"view_subtractions"`
+	ViewBoundaryRescans uint64 `json:"view_boundary_rescans"`
+	ViewCheckpoints     uint64 `json:"view_checkpoints"`
+	ViewResumes         uint64 `json:"view_resumes"`
 }
 
 // Stats computes the summary, folding every shard's contribution.
@@ -972,6 +1031,11 @@ func (w *Warehouse) Stats() Stats {
 	st.SegmentsCompacted = w.segsCompacted.Load()
 	st.Views = w.ViewCount()
 	st.ViewSubscribers = w.SubscriberCount()
+	st.ViewFrameDrops = w.viewFrameDrops.Load()
+	st.ViewSubtractions = w.viewSubtractions.Load()
+	st.ViewBoundaryRescans = w.viewBoundaryRescans.Load()
+	st.ViewCheckpoints = w.viewCheckpoints.Load()
+	st.ViewResumes = w.viewResumes.Load()
 	return st
 }
 
